@@ -1,0 +1,230 @@
+//! Ablation harness (`harness = false`): varies the design choices
+//! DESIGN.md calls out and reports *simulated cycles* — the metric that
+//! matters — rather than wall time. Runs under `cargo bench` like the
+//! Criterion benches.
+//!
+//! Ablated knobs:
+//!
+//! * prefetch mode (BASELINE / INTER / INTER+INTRA) — the headline claim;
+//! * object-inspection iteration count (the paper uses 20);
+//! * majority threshold (the paper uses 75%);
+//! * scheduling distance `c` (the paper fixes 1);
+//! * guarded-load vs hardware-prefetch mapping (§3.3);
+//! * profitability analysis on/off;
+//! * discovery mechanism: object inspection vs Wu-style off-line profiling.
+
+use spf_bench::{run_workload, RunPlan};
+use spf_core::codegen::GuardedPolicy;
+use spf_core::offline::optimize_with_profile;
+use spf_core::PrefetchOptions;
+use spf_heap::Layout;
+use spf_memsim::ProcessorConfig;
+use spf_vm::{Vm, VmConfig};
+use spf_workloads::Size;
+
+fn plan() -> RunPlan {
+    RunPlan {
+        size: Size::Small,
+        warmup_runs: 2,
+        measured_runs: 1,
+    }
+}
+
+fn measure(label: &str, options: PrefetchOptions, baseline: Option<u64>) -> u64 {
+    let spec = spf_workloads::all()
+        .into_iter()
+        .find(|s| s.name == "db")
+        .unwrap();
+    let m = run_workload(&spec, &options, &ProcessorConfig::pentium4(), &plan());
+    match baseline {
+        Some(base) => println!(
+            "{label:<44} {:>14} cycles  ({:+.1}% vs baseline)",
+            m.best_cycles,
+            (base as f64 / m.best_cycles as f64 - 1.0) * 100.0
+        ),
+        None => println!("{label:<44} {:>14} cycles", m.best_cycles),
+    }
+    m.best_cycles
+}
+
+/// The off-line-profiling ablation: profile a training run, optimize the
+/// hot method from the profile alone, install it, and measure.
+fn offline_discovery() -> u64 {
+    let spec = spf_workloads::all()
+        .into_iter()
+        .find(|s| s.name == "db")
+        .unwrap();
+    let built = (spec.build)(Size::Small);
+    let p4 = ProcessorConfig::pentium4();
+    // Training run with instrumentation, prefetching off.
+    let mut train = Vm::new(
+        built.program.clone(),
+        VmConfig {
+            heap_bytes: built.heap_bytes,
+            prefetch: PrefetchOptions::off(),
+            collect_offline_profile: true,
+            ..VmConfig::default()
+        },
+        p4.clone(),
+    );
+    train.call(built.entry, &[]).expect("training run");
+    let profiles = train.offline_profiles().clone();
+    // Production run: install profile-optimized bodies up front.
+    let mut vm = Vm::new(
+        built.program.clone(),
+        VmConfig {
+            heap_bytes: built.heap_bytes,
+            prefetch: PrefetchOptions::off(),
+            ..VmConfig::default()
+        },
+        p4.clone(),
+    );
+    let layout = Layout::compute(&built.program);
+    let options = PrefetchOptions::inter(); // Wu: inter-iteration only
+    for (&mid, profile) in &profiles {
+        let func = built.program.method(mid).func();
+        let (optimized, _) =
+            optimize_with_profile(&built.program, func, &layout, profile, &options, &p4);
+        vm.install_compiled(mid, optimized);
+    }
+    vm.call(built.entry, &[]).expect("warm");
+    vm.reset_measurement();
+    vm.call(built.entry, &[]).expect("measured");
+    let cycles = vm.stats().cycles;
+    println!("{:<44} {:>14} cycles", "discovery=offline-profile (Wu, INTER)", cycles);
+    cycles
+}
+
+fn main() {
+    // `cargo bench -- --test` probes benches; skip the heavy work then.
+    if std::env::args().any(|a| a == "--test") {
+        return;
+    }
+    println!("== ablation study on db (Pentium 4, Size::Small) ==");
+    let base = measure("mode=BASELINE", PrefetchOptions::off(), None);
+    measure("mode=INTER", PrefetchOptions::inter(), Some(base));
+    measure("mode=INTER+INTRA", PrefetchOptions::inter_intra(), Some(base));
+
+    for iters in [5u32, 20, 50] {
+        measure(
+            &format!("inspect_iterations={iters}"),
+            PrefetchOptions {
+                inspect_iterations: iters,
+                ..PrefetchOptions::inter_intra()
+            },
+            Some(base),
+        );
+    }
+    for majority in [0.5f64, 0.75, 1.0] {
+        measure(
+            &format!("majority={majority}"),
+            PrefetchOptions {
+                majority,
+                ..PrefetchOptions::inter_intra()
+            },
+            Some(base),
+        );
+    }
+    for distance in [1u32, 2, 4] {
+        measure(
+            &format!("scheduling_distance={distance}"),
+            PrefetchOptions {
+                distance,
+                ..PrefetchOptions::inter_intra()
+            },
+            Some(base),
+        );
+    }
+    for (label, policy) in [
+        ("guarded_policy=Auto (paper)", GuardedPolicy::Auto),
+        ("guarded_policy=AlwaysHardware", GuardedPolicy::AlwaysHardware),
+        ("guarded_policy=AlwaysGuarded", GuardedPolicy::AlwaysGuarded),
+    ] {
+        measure(
+            label,
+            PrefetchOptions {
+                guarded_policy: policy,
+                ..PrefetchOptions::inter_intra()
+            },
+            Some(base),
+        );
+    }
+    measure(
+        "inspect_calls=true (inter-procedural)",
+        PrefetchOptions {
+            inspect_calls: true,
+            ..PrefetchOptions::inter_intra()
+        },
+        Some(base),
+    );
+    measure(
+        "profitability=off",
+        PrefetchOptions {
+            profitability: false,
+            ..PrefetchOptions::inter_intra()
+        },
+        Some(base),
+    );
+    inlining_ablation();
+    unrolling_ablation();
+    offline_discovery();
+}
+
+/// Unrolling ablation (§3.3: unrolling stretches the effective prefetch
+/// scheduling distance): db with unroll factors 2 and 4.
+fn unrolling_ablation() {
+    for factor in [2u32, 4] {
+        let spec = spf_workloads::all()
+            .into_iter()
+            .find(|s| s.name == "db")
+            .unwrap();
+        let built = (spec.build)(Size::Small);
+        let mut vm = Vm::new(
+            built.program,
+            VmConfig {
+                heap_bytes: built.heap_bytes,
+                prefetch: PrefetchOptions::inter_intra(),
+                unroll_factor: factor,
+                ..VmConfig::default()
+            },
+            ProcessorConfig::pentium4(),
+        );
+        vm.call(built.entry, &[]).expect("warm");
+        vm.call(built.entry, &[]).expect("warm");
+        vm.reset_measurement();
+        vm.call(built.entry, &[]).expect("measured");
+        println!(
+            "{:<44} {:>14} cycles",
+            format!("unroll_factor={factor} (+INTER+INTRA)"),
+            vm.stats().cycles
+        );
+    }
+}
+
+/// Inlining ablation: run db with the baseline JIT inliner enabled.
+fn inlining_ablation() {
+    let spec = spf_workloads::all()
+        .into_iter()
+        .find(|s| s.name == "db")
+        .unwrap();
+    let built = (spec.build)(Size::Small);
+    let mut vm = Vm::new(
+        built.program,
+        VmConfig {
+            heap_bytes: built.heap_bytes,
+            prefetch: PrefetchOptions::inter_intra(),
+            inline_small_methods: true,
+            ..VmConfig::default()
+        },
+        ProcessorConfig::pentium4(),
+    );
+    vm.call(built.entry, &[]).expect("warm");
+    vm.call(built.entry, &[]).expect("warm");
+    vm.reset_measurement();
+    vm.call(built.entry, &[]).expect("measured");
+    println!(
+        "{:<44} {:>14} cycles",
+        "inline_small_methods=true (+INTER+INTRA)",
+        vm.stats().cycles
+    );
+}

@@ -1,0 +1,106 @@
+//! Criterion wrappers around the figure experiments, one bench per figure
+//! family, at `Size::Tiny` so `cargo bench` completes quickly. The figure
+//! data itself (paper-scale) is produced by the `figures` binary:
+//!
+//! ```text
+//! cargo run --release -p spf-bench --bin figures
+//! ```
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use spf_bench::{run_workload, RunPlan};
+use spf_core::PrefetchOptions;
+use spf_memsim::ProcessorConfig;
+use spf_workloads::Size;
+
+fn plan() -> RunPlan {
+    RunPlan {
+        size: Size::Tiny,
+        warmup_runs: 2,
+        measured_runs: 1,
+    }
+}
+
+/// Figures 6/7 (speedups): each sample runs one workload under one
+/// configuration end to end.
+fn bench_speedup_grid(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig6_fig7_speedups");
+    group.sample_size(10);
+    let interesting = ["db", "jess", "Euler", "compress"];
+    for proc in [ProcessorConfig::pentium4(), ProcessorConfig::athlon_mp()] {
+        for spec in spf_workloads::all() {
+            if !interesting.contains(&spec.name) {
+                continue;
+            }
+            for options in [
+                PrefetchOptions::off(),
+                PrefetchOptions::inter(),
+                PrefetchOptions::inter_intra(),
+            ] {
+                let id = BenchmarkId::new(
+                    format!("{}/{}", proc.name, spec.name),
+                    options.mode.to_string(),
+                );
+                group.bench_with_input(id, &options, |b, options| {
+                    b.iter(|| run_workload(&spec, options, &proc, &plan()).best_cycles)
+                });
+            }
+        }
+    }
+    group.finish();
+}
+
+/// Figures 8–10 (MPIs): one sample collects the Pentium 4 miss counters of
+/// the db workload under BASELINE and INTER+INTRA.
+fn bench_mpi_counters(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig8_fig9_fig10_mpis");
+    group.sample_size(10);
+    let spec = spf_workloads::all()
+        .into_iter()
+        .find(|s| s.name == "db")
+        .unwrap();
+    let p4 = ProcessorConfig::pentium4();
+    for options in [PrefetchOptions::off(), PrefetchOptions::inter_intra()] {
+        let id = BenchmarkId::new("db_p4", options.mode.to_string());
+        group.bench_with_input(id, &options, |b, options| {
+            b.iter(|| {
+                let m = run_workload(&spec, options, &p4, &plan());
+                (
+                    m.mem.l1_load_misses,
+                    m.mem.l2_load_misses,
+                    m.mem.dtlb_load_misses,
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Figure 11 (compile-time overhead): each sample measures the JIT with
+/// the prefetching pass enabled.
+fn bench_compile_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig11_compile_overhead");
+    group.sample_size(10);
+    let spec = spf_workloads::all()
+        .into_iter()
+        .find(|s| s.name == "jess")
+        .unwrap();
+    let p4 = ProcessorConfig::pentium4();
+    for options in [PrefetchOptions::off(), PrefetchOptions::inter_intra()] {
+        let id = BenchmarkId::new("jess_jit", options.mode.to_string());
+        group.bench_with_input(id, &options, |b, options| {
+            b.iter(|| {
+                let m = run_workload(&spec, options, &p4, &plan());
+                m.prefetch_pass_fraction
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_speedup_grid,
+    bench_mpi_counters,
+    bench_compile_overhead
+);
+criterion_main!(benches);

@@ -1,0 +1,155 @@
+//! Criterion micro-benchmarks of the compiler machinery: the cost of the
+//! analyses, of object inspection, and of the whole prefetching pass —
+//! the quantities behind Figure 11's "< 3% of JIT compilation time".
+
+use std::collections::HashSet;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use spf_core::{Inspector, Ldg, PrefetchOptions, StridePrefetcher};
+use spf_heap::{Heap, HeapRead, Layout, Value, ARRAY_DATA_OFFSET};
+use spf_ir::cfg::Cfg;
+use spf_ir::defuse::UseDef;
+use spf_ir::dom::DomTree;
+use spf_ir::loops::LoopForest;
+use spf_ir::{CmpOp, ElemTy, InstrRef, MethodId, Program, ProgramBuilder, Ty};
+use spf_memsim::ProcessorConfig;
+
+/// A pointer-chasing fixture: `arr[i] -> node.data -> data[0]` with 512
+/// live nodes on a real heap.
+struct Fixture {
+    program: Program,
+    method: MethodId,
+    heap: Heap,
+    arr: u64,
+}
+
+fn fixture() -> Fixture {
+    let mut pb = ProgramBuilder::new();
+    let (ncls, nf) = pb.add_class(
+        "Node",
+        &[
+            ("data", ElemTy::Ref),
+            ("pad0", ElemTy::I64),
+            ("pad1", ElemTy::I64),
+            ("pad2", ElemTy::I64),
+            ("pad3", ElemTy::I64),
+            ("pad4", ElemTy::I64),
+            ("pad5", ElemTy::I64),
+            ("pad6", ElemTy::I64),
+            ("pad7", ElemTy::I64),
+            ("pad8", ElemTy::I64),
+            ("pad9", ElemTy::I64),
+        ],
+    );
+    let mut b = pb.function("chase", &[Ty::Ref], Some(Ty::I32));
+    let arr = b.param(0);
+    let sum = b.new_reg(Ty::I32);
+    let z = b.const_i32(0);
+    b.move_(sum, z);
+    b.for_i32(0, 1, CmpOp::Lt, |b| b.arraylen(arr), |b, i| {
+        let node = b.aload(arr, i, ElemTy::Ref);
+        let data = b.getfield(node, nf[0]);
+        let zero = b.const_i32(0);
+        let v = b.aload(data, zero, ElemTy::I32);
+        let s = b.add(sum, v);
+        b.move_(sum, s);
+    });
+    b.ret(Some(sum));
+    let method = b.finish();
+    let program = pb.finish();
+    let layout = Layout::compute(&program);
+    let mut heap = Heap::new(layout, 4 << 20);
+    let n = 512u64;
+    let arr_addr = heap.alloc_array(ElemTy::Ref, n).unwrap();
+    for i in 0..n {
+        let node = heap.alloc_object(ncls).unwrap();
+        let data = heap.alloc_array(ElemTy::I32, 16).unwrap();
+        heap.write(node + 16, ElemTy::Ref, Value::Ref(data)).unwrap();
+        heap.write(
+            arr_addr + ARRAY_DATA_OFFSET + 8 * i,
+            ElemTy::Ref,
+            Value::Ref(node),
+        )
+        .unwrap();
+    }
+    Fixture {
+        program,
+        method,
+        heap,
+        arr: arr_addr,
+    }
+}
+
+fn bench_analyses(c: &mut Criterion) {
+    let fx = fixture();
+    let func = fx.program.method(fx.method).func();
+    c.bench_function("cfg+dom+loops+usedef", |b| {
+        b.iter(|| {
+            let cfg = Cfg::compute(func);
+            let dom = DomTree::compute(func, &cfg);
+            let forest = LoopForest::compute(func, &cfg, &dom);
+            let ud = UseDef::compute(func, &cfg);
+            (forest.len(), ud.defs_of(spf_ir::Reg::new(0)).count())
+        })
+    });
+    let cfg = Cfg::compute(func);
+    let dom = DomTree::compute(func, &cfg);
+    let forest = LoopForest::compute(func, &cfg, &dom);
+    let ud = UseDef::compute(func, &cfg);
+    let target = forest.roots()[0];
+    c.bench_function("ldg_build", |b| {
+        b.iter(|| Ldg::build(func, &ud, &forest, target).len())
+    });
+}
+
+fn bench_inspection(c: &mut Criterion) {
+    let fx = fixture();
+    let func = fx.program.method(fx.method).func();
+    let cfg = Cfg::compute(func);
+    let dom = DomTree::compute(func, &cfg);
+    let forest = LoopForest::compute(func, &cfg, &dom);
+    let ud = UseDef::compute(func, &cfg);
+    let target = forest.roots()[0];
+    let ldg = Ldg::build(func, &ud, &forest, target);
+    let record: HashSet<InstrRef> = ldg.node_ids().map(|id| ldg.node(id).site).collect();
+    let options = PrefetchOptions::default();
+    c.bench_function("object_inspection_20_iters", |b| {
+        b.iter(|| {
+            let insp = Inspector::new(&fx.program, func, &fx.heap, &[], &forest, &options);
+            insp.run(&[Value::Ref(fx.arr)], target, &record).steps
+        })
+    });
+}
+
+fn bench_full_pass(c: &mut Criterion) {
+    let fx = fixture();
+    let func = fx.program.method(fx.method).func();
+    let p4 = ProcessorConfig::pentium4();
+    for (label, options) in [
+        ("prefetch_pass_inter", PrefetchOptions::inter()),
+        ("prefetch_pass_inter_intra", PrefetchOptions::inter_intra()),
+    ] {
+        let opt = StridePrefetcher::new(options);
+        c.bench_function(label, |b| {
+            b.iter(|| {
+                opt.optimize(
+                    &fx.program,
+                    func,
+                    &fx.heap as &dyn HeapRead,
+                    &[],
+                    &[Value::Ref(fx.arr)],
+                    &p4,
+                )
+                .report
+                .total_prefetches
+            })
+        });
+    }
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_analyses, bench_inspection, bench_full_pass
+);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Regenerates every table and figure of the paper.
+//!
+//! ```text
+//! cargo run --release -p spf-bench --bin figures            # full size
+//! cargo run --release -p spf-bench --bin figures -- small   # quicker
+//! cargo run --release -p spf-bench --bin figures -- tiny db # one workload
+//! ```
+
+use spf_bench::figures;
+use spf_bench::RunPlan;
+use spf_workloads::Size;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let size = match args.first().map(String::as_str) {
+        Some("tiny") => Size::Tiny,
+        Some("small") => Size::Small,
+        _ => Size::Full,
+    };
+    let only: Option<&str> = args.get(1).map(String::as_str);
+    let plan = RunPlan {
+        size,
+        ..RunPlan::default()
+    };
+
+    println!("{}", figures::table2());
+    println!("{}", figures::table1_and_fig5());
+
+    eprintln!("running experiment grid (this takes a few minutes at full size)...");
+    let data = figures::collect_filtered(&plan, |n| only.is_none_or(|o| o == n));
+    println!("{}", data.table3());
+    println!("{}", data.fig6());
+    println!("{}", data.fig7());
+    println!("{}", data.fig8());
+    println!("{}", data.fig9());
+    println!("{}", data.fig10());
+    println!("{}", data.fig11());
+}

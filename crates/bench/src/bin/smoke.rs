@@ -1,0 +1,41 @@
+//! Quick shape check: db under all three configurations on both processors.
+
+use spf_bench::{run_workload, RunPlan};
+use spf_core::PrefetchOptions;
+use spf_memsim::ProcessorConfig;
+use spf_workloads::Size;
+
+fn main() {
+    let size = std::env::args()
+        .nth(1)
+        .map(|s| match s.as_str() {
+            "tiny" => Size::Tiny,
+            "small" => Size::Small,
+            _ => Size::Full,
+        })
+        .unwrap_or(Size::Small);
+    let plan = RunPlan {
+        size,
+        ..RunPlan::default()
+    };
+    for proc in [ProcessorConfig::pentium4(), ProcessorConfig::athlon_mp()] {
+        for spec in spf_workloads::all() {
+            let base = run_workload(&spec, &PrefetchOptions::off(), &proc, &plan);
+            let inter = run_workload(&spec, &PrefetchOptions::inter(), &proc, &plan);
+            let both = run_workload(&spec, &PrefetchOptions::inter_intra(), &proc, &plan);
+            println!(
+                "{:<10} {:<10} base={:>12} INTER={:>6.2}% INTER+INTRA={:>6.2}%  (pf={} l1mpi {:.4}->{:.4} dtlbmpi {:.5}->{:.5})",
+                proc.name,
+                spec.name,
+                base.best_cycles,
+                (inter.speedup_vs(&base) - 1.0) * 100.0,
+                (both.speedup_vs(&base) - 1.0) * 100.0,
+                both.prefetches_inserted,
+                base.mem.l1_load_mpi(base.retired),
+                both.mem.l1_load_mpi(both.retired),
+                base.mem.dtlb_load_mpi(base.retired),
+                both.mem.dtlb_load_mpi(both.retired),
+            );
+        }
+    }
+}

@@ -1,0 +1,338 @@
+//! Regeneration of every table and figure of the paper's evaluation (§4).
+//!
+//! | artifact | paper content | function |
+//! |---|---|---|
+//! | Table 1 / Fig. 5 | loads + LDG of `findInMemory` | [`table1_and_fig5`] |
+//! | Table 2 | processor parameters | [`table2`] |
+//! | Table 3 | benchmark descriptions + compiled-code % | [`ExperimentData::table3`] |
+//! | Fig. 6 | speedups on the Pentium 4 | [`ExperimentData::fig6`] |
+//! | Fig. 7 | speedups on the Athlon MP | [`ExperimentData::fig7`] |
+//! | Fig. 8 | L1 load MPI on the Pentium 4 | [`ExperimentData::fig8`] |
+//! | Fig. 9 | L2 load MPI on the Pentium 4 | [`ExperimentData::fig9`] |
+//! | Fig. 10 | DTLB load MPI on the Pentium 4 | [`ExperimentData::fig10`] |
+//! | Fig. 11 | compile-time overheads | [`ExperimentData::fig11`] |
+
+use std::fmt::Write as _;
+
+use spf_core::{PrefetchMode, PrefetchOptions};
+use spf_memsim::ProcessorConfig;
+use spf_vm::{Vm, VmConfig};
+use spf_workloads::Size;
+
+use crate::runner::{run_workload, Measurement, RunPlan};
+
+/// All measurements needed for Tables 3 and Figures 6–11.
+#[derive(Clone, Debug)]
+pub struct ExperimentData {
+    measurements: Vec<Measurement>,
+    suites: Vec<(String, String, String)>, // name, description, suite
+}
+
+/// Runs the full experiment grid: every workload × {BASELINE, INTER,
+/// INTER+INTRA} × {Pentium 4, Athlon MP}.
+pub fn collect(plan: &RunPlan) -> ExperimentData {
+    collect_filtered(plan, |_| true)
+}
+
+/// Like [`collect`] but restricted to workloads accepted by `keep` (used by
+/// tests and quick runs).
+pub fn collect_filtered(
+    plan: &RunPlan,
+    keep: impl Fn(&str) -> bool,
+) -> ExperimentData {
+    let mut measurements = Vec::new();
+    let mut suites = Vec::new();
+    for spec in spf_workloads::all() {
+        if !keep(spec.name) {
+            continue;
+        }
+        suites.push((
+            spec.name.to_string(),
+            spec.description.to_string(),
+            spec.suite.to_string(),
+        ));
+        for proc in [ProcessorConfig::pentium4(), ProcessorConfig::athlon_mp()] {
+            for options in [
+                PrefetchOptions::off(),
+                PrefetchOptions::inter(),
+                PrefetchOptions::inter_intra(),
+            ] {
+                measurements.push(run_workload(&spec, &options, &proc, plan));
+            }
+        }
+    }
+    ExperimentData {
+        measurements,
+        suites,
+    }
+}
+
+impl ExperimentData {
+    /// All measurements.
+    pub fn measurements(&self) -> &[Measurement] {
+        &self.measurements
+    }
+
+    fn get(&self, name: &str, proc: &str, mode: PrefetchMode) -> Option<&Measurement> {
+        self.measurements
+            .iter()
+            .find(|m| m.name == name && m.processor == proc && m.mode == mode)
+    }
+
+    /// Names of the measured workloads, in Table 3 order.
+    pub fn names(&self) -> Vec<&str> {
+        self.suites.iter().map(|(n, ..)| n.as_str()).collect()
+    }
+
+    fn speedup_figure(&self, proc: &str, title: &str) -> String {
+        let mut s = String::new();
+        let _ = writeln!(s, "{title}");
+        let _ = writeln!(s, "{:<12} {:>10} {:>14}", "program", "INTER", "INTER+INTRA");
+        for name in self.names() {
+            let base = self.get(name, proc, PrefetchMode::Off);
+            let inter = self.get(name, proc, PrefetchMode::Inter);
+            let both = self.get(name, proc, PrefetchMode::InterIntra);
+            if let (Some(base), Some(inter), Some(both)) = (base, inter, both) {
+                let _ = writeln!(
+                    s,
+                    "{:<12} {:>+9.1}% {:>+13.1}%",
+                    name,
+                    (inter.speedup_vs(base) - 1.0) * 100.0,
+                    (both.speedup_vs(base) - 1.0) * 100.0
+                );
+            }
+        }
+        s
+    }
+
+    /// Figure 6: speedup ratios on the Pentium 4.
+    pub fn fig6(&self) -> String {
+        self.speedup_figure(
+            "Pentium 4",
+            "Figure 6: speedup ratios on the Pentium 4 (baseline = no stride prefetching)",
+        )
+    }
+
+    /// Figure 7: speedup ratios on the Athlon MP.
+    pub fn fig7(&self) -> String {
+        self.speedup_figure(
+            "Athlon MP",
+            "Figure 7: speedup ratios on the Athlon MP (baseline = no stride prefetching)",
+        )
+    }
+
+    fn mpi_figure(
+        &self,
+        title: &str,
+        metric: impl Fn(&Measurement) -> f64,
+    ) -> String {
+        let mut s = String::new();
+        let _ = writeln!(s, "{title}");
+        let _ = writeln!(
+            s,
+            "{:<12} {:>12} {:>12}",
+            "program", "BASELINE", "INTER+INTRA"
+        );
+        for name in self.names() {
+            let base = self.get(name, "Pentium 4", PrefetchMode::Off);
+            let both = self.get(name, "Pentium 4", PrefetchMode::InterIntra);
+            if let (Some(base), Some(both)) = (base, both) {
+                let _ = writeln!(
+                    s,
+                    "{:<12} {:>12.5} {:>12.5}",
+                    name,
+                    metric(base),
+                    metric(both)
+                );
+            }
+        }
+        s
+    }
+
+    /// Figure 8: L1 cache load MPIs on the Pentium 4.
+    pub fn fig8(&self) -> String {
+        self.mpi_figure("Figure 8: L1 cache load MPIs on the Pentium 4", |m| {
+            m.mem.l1_load_mpi(m.retired)
+        })
+    }
+
+    /// Figure 9: L2 cache load MPIs on the Pentium 4.
+    pub fn fig9(&self) -> String {
+        self.mpi_figure("Figure 9: L2 cache load MPIs on the Pentium 4", |m| {
+            m.mem.l2_load_mpi(m.retired)
+        })
+    }
+
+    /// Figure 10: DTLB load MPIs on the Pentium 4.
+    pub fn fig10(&self) -> String {
+        self.mpi_figure("Figure 10: DTLB load MPIs on the Pentium 4", |m| {
+            m.mem.dtlb_load_mpi(m.retired)
+        })
+    }
+
+    /// Figure 11: prefetch-pass compile time relative to total JIT
+    /// compilation time, and JIT time relative to total execution (Pentium
+    /// 4, INTER+INTRA, warm-up phase).
+    pub fn fig11(&self) -> String {
+        let mut s = String::new();
+        let _ = writeln!(
+            s,
+            "Figure 11: compilation time for prefetching and total JIT compilation time"
+        );
+        let _ = writeln!(
+            s,
+            "{:<12} {:>22} {:>22}",
+            "program", "prefetch-pass/JIT (%)", "JIT/total time (%)"
+        );
+        for name in self.names() {
+            if let Some(m) = self.get(name, "Pentium 4", PrefetchMode::InterIntra) {
+                let _ = writeln!(
+                    s,
+                    "{:<12} {:>21.2}% {:>21.2}%",
+                    name,
+                    m.prefetch_pass_fraction * 100.0,
+                    m.jit_fraction * 100.0
+                );
+            }
+        }
+        s
+    }
+
+    /// Table 3: benchmark descriptions and the fraction of execution time
+    /// spent in compiled code (Pentium 4, baseline).
+    pub fn table3(&self) -> String {
+        let mut s = String::new();
+        let _ = writeln!(
+            s,
+            "Table 3: benchmarks (SPECjvm98 and JavaGrande v2.0 Section 3)"
+        );
+        let _ = writeln!(
+            s,
+            "{:<12} {:<36} {:<11} {:>16}",
+            "program", "description", "suite", "compiled code %"
+        );
+        for (name, desc, suite) in &self.suites {
+            if let Some(m) = self.get(name, "Pentium 4", PrefetchMode::Off) {
+                let _ = writeln!(
+                    s,
+                    "{:<12} {:<36} {:<11} {:>15.1}%",
+                    name,
+                    desc,
+                    suite,
+                    m.compiled_fraction * 100.0
+                );
+            }
+        }
+        s
+    }
+}
+
+/// Table 2: parameters related to prefetching on the two processors.
+pub fn table2() -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "Table 2: prefetch-related processor parameters");
+    let _ = writeln!(
+        s,
+        "{:<12} {:>8} {:>13} {:>8} {:>13} {:>13}",
+        "Processor", "L1 (KB)", "L1 line (B)", "L2 (KB)", "L2 line (B)", "#DTLB entries"
+    );
+    for cfg in [ProcessorConfig::pentium4(), ProcessorConfig::athlon_mp()] {
+        let _ = writeln!(s, "{}", cfg.table2_row());
+    }
+    s
+}
+
+/// Table 1 + Figure 5: the load instructions of jess's `findInMemory` and
+/// its load dependence graph, regenerated by compiling the method with live
+/// heap data and rendering the per-loop report.
+pub fn table1_and_fig5() -> String {
+    let spec = spf_workloads::all()
+        .into_iter()
+        .find(|s| s.name == "jess")
+        .expect("jess workload");
+    let built = (spec.build)(Size::Tiny);
+    let mut vm = Vm::new(
+        built.program,
+        VmConfig {
+            heap_bytes: built.heap_bytes,
+            ..VmConfig::default()
+        },
+        ProcessorConfig::pentium4(),
+    );
+    vm.call(built.entry, &[]).expect("jess runs");
+    vm.call(built.entry, &[]).expect("jess runs");
+    let report = vm
+        .reports()
+        .iter()
+        .find(|r| r.method == "findInMemory")
+        .expect("findInMemory compiled");
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "Table 1 / Figure 5: load dependence graph of findInMemory()"
+    );
+    for lr in &report.loops {
+        let _ = writeln!(
+            s,
+            "loop at {} (depth {}): {} nodes, {} edges",
+            lr.header, lr.depth, lr.ldg_nodes, lr.ldg_edges
+        );
+        s.push_str(&lr.ldg_text);
+        for p in &lr.prefetches {
+            let _ = writeln!(s, "  generated: {} for {} [{}]", p.kind, p.anchor, p.mapped);
+        }
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_matches_paper() {
+        let t = table2();
+        assert!(t.contains("Pentium 4"), "{t}");
+        assert!(t.contains("Athlon MP"), "{t}");
+        // P4 row: 8 KB L1, 64 B line, 256 KB L2, 128 B line, 64 entries.
+        let p4_line = t.lines().find(|l| l.starts_with("Pentium 4")).unwrap();
+        for v in ["8", "64", "256", "128"] {
+            assert!(p4_line.contains(v), "{p4_line}");
+        }
+    }
+
+    #[test]
+    fn table1_mentions_the_motivating_loads() {
+        let t = table1_and_fig5();
+        assert!(t.contains("getfield"), "{t}");
+        assert!(t.contains("->"), "ldg edges rendered: {t}");
+        assert!(t.contains("spec-load"), "Figure 4 code generated: {t}");
+    }
+
+    #[test]
+    fn figures_render_for_a_small_grid() {
+        let plan = RunPlan {
+            size: Size::Tiny,
+            warmup_runs: 2,
+            measured_runs: 1,
+        };
+        let data = collect_filtered(&plan, |n| n == "db" || n == "compress");
+        let f6 = data.fig6();
+        assert!(f6.contains("db"), "{f6}");
+        assert!(f6.contains("compress"), "{f6}");
+        let f8 = data.fig8();
+        assert!(f8.contains("BASELINE"), "{f8}");
+        let f11 = data.fig11();
+        assert!(f11.contains("%"), "{f11}");
+        let t3 = data.table3();
+        assert!(t3.contains("Memory resident database"), "{t3}");
+        // db's checksums agree across all six configurations.
+        let db: Vec<_> = data
+            .measurements()
+            .iter()
+            .filter(|m| m.name == "db")
+            .collect();
+        assert_eq!(db.len(), 6);
+        assert!(db.windows(2).all(|w| w[0].checksum == w[1].checksum));
+    }
+}

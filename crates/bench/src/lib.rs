@@ -1,0 +1,15 @@
+//! Experiment harness: runs workloads under each configuration and
+//! regenerates every table and figure of the paper.
+//!
+//! The measurement protocol mirrors the paper's (§4): workloads are run
+//! repeatedly; the first runs warm up the JIT (methods get compiled, with
+//! object inspection seeing live data); measurement then restarts the
+//! memory system and takes the *best* of the remaining runs — "the best run
+//! times under automatic continuous execution", which excludes JIT
+//! compilation time. JIT-time fractions for Figure 11 are taken from the
+//! warm-up phase, where compilation actually happens.
+
+pub mod figures;
+pub mod runner;
+
+pub use runner::{run_workload, Measurement, RunPlan};

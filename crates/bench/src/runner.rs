@@ -1,0 +1,136 @@
+//! Workload runner: warm-up, steady-state measurement, counter capture.
+
+use spf_core::{PrefetchMode, PrefetchOptions};
+use spf_memsim::{MemStats, ProcessorConfig};
+use spf_vm::{Vm, VmConfig};
+use spf_workloads::{Size, WorkloadSpec};
+
+/// How a workload is run.
+#[derive(Clone, Debug)]
+pub struct RunPlan {
+    /// Problem size.
+    pub size: Size,
+    /// Warm-up invocations of the entry (JIT compilation happens here).
+    pub warmup_runs: u32,
+    /// Measured invocations; the best (fewest cycles) is reported.
+    pub measured_runs: u32,
+}
+
+impl Default for RunPlan {
+    fn default() -> Self {
+        RunPlan {
+            size: Size::Full,
+            warmup_runs: 2,
+            measured_runs: 2,
+        }
+    }
+}
+
+/// One workload × configuration × processor measurement.
+#[derive(Clone, Debug)]
+pub struct Measurement {
+    /// Workload name.
+    pub name: String,
+    /// Prefetch configuration.
+    pub mode: PrefetchMode,
+    /// Processor name.
+    pub processor: String,
+    /// Best steady-state cycles over the measured runs.
+    pub best_cycles: u64,
+    /// Retired instructions in the best run.
+    pub retired: u64,
+    /// Memory counters of the best run.
+    pub mem: MemStats,
+    /// Fraction of execution cycles in compiled code (Table 3).
+    pub compiled_fraction: f64,
+    /// JIT time / total time during the warm-up phase (Figure 11, right).
+    pub jit_fraction: f64,
+    /// Prefetch-pass time / JIT time (Figure 11, left).
+    pub prefetch_pass_fraction: f64,
+    /// Total prefetches the JIT inserted across all methods.
+    pub prefetches_inserted: usize,
+    /// The workload's checksum (must agree across configurations).
+    pub checksum: i32,
+}
+
+impl Measurement {
+    /// Speedup of this measurement relative to a baseline measurement:
+    /// `baseline_cycles / cycles` (1.0 = no change, >1 = faster).
+    pub fn speedup_vs(&self, baseline: &Measurement) -> f64 {
+        assert_eq!(self.name, baseline.name);
+        baseline.best_cycles as f64 / self.best_cycles as f64
+    }
+}
+
+/// Runs `spec` under `options` on `proc` according to `plan`.
+///
+/// # Panics
+///
+/// Panics if the workload faults, or if it produces different checksums on
+/// different runs (workloads must be deterministic per invocation
+/// sequence).
+pub fn run_workload(
+    spec: &WorkloadSpec,
+    options: &PrefetchOptions,
+    proc: &ProcessorConfig,
+    plan: &RunPlan,
+) -> Measurement {
+    let built = (spec.build)(plan.size);
+    let mut vm = Vm::new(
+        built.program,
+        VmConfig {
+            heap_bytes: built.heap_bytes,
+            prefetch: options.clone(),
+            compile_threshold: built.compile_threshold,
+            ..VmConfig::default()
+        },
+        proc.clone(),
+    );
+    let mut checksum = 0;
+    for _ in 0..plan.warmup_runs {
+        checksum = vm
+            .call(built.entry, &[])
+            .unwrap_or_else(|e| panic!("{} faulted: {e}", spec.name))
+            .expect("entry returns a checksum")
+            .as_i32();
+    }
+    if let Some(expected) = built.expected {
+        assert_eq!(checksum, expected, "{} checksum", spec.name);
+    }
+    let warm_stats = vm.stats().clone();
+    let prefetches_inserted = vm.reports().iter().map(|r| r.total_prefetches).sum();
+
+    let mut best: Option<(u64, u64, MemStats, f64)> = None;
+    for _ in 0..plan.measured_runs {
+        vm.reset_measurement();
+        let out = vm
+            .call(built.entry, &[])
+            .unwrap_or_else(|e| panic!("{} faulted: {e}", spec.name))
+            .expect("entry returns a checksum")
+            .as_i32();
+        assert_eq!(out, checksum, "{} is deterministic across runs", spec.name);
+        let s = vm.stats();
+        if best.as_ref().is_none_or(|(c, ..)| s.cycles < *c) {
+            best = Some((
+                s.cycles,
+                s.retired_instructions,
+                vm.mem_stats().clone(),
+                s.compiled_code_fraction(),
+            ));
+        }
+    }
+    let (best_cycles, retired, mem, compiled_fraction) = best.expect("at least one measured run");
+    Measurement {
+        name: spec.name.to_string(),
+        mode: options.mode,
+        processor: proc.name.clone(),
+        best_cycles,
+        retired,
+        mem,
+        compiled_fraction,
+        jit_fraction: warm_stats.jit_time_fraction(),
+        prefetch_pass_fraction: warm_stats.prefetch_pass_fraction(),
+        prefetches_inserted,
+        checksum,
+    }
+}

@@ -1,0 +1,161 @@
+//! Off-line stride profiling (Wu et al., CC'02/PLDI'02) as an ablation of
+//! the discovery mechanism.
+//!
+//! The paper's INTER configuration emulates Wu's stride prefetching using
+//! object inspection for discovery. This module provides the *other*
+//! discovery path: an instrumented run records the raw address trace of
+//! candidate loads (no iteration boundaries — off-line profiling does not
+//! have them, which is precisely why it cannot find intra-iteration
+//! patterns), and the same code generator consumes the annotations.
+
+use std::collections::{HashMap, HashSet};
+
+use spf_heap::{Addr, Layout};
+use spf_ir::cfg::Cfg;
+use spf_ir::defuse::UseDef;
+use spf_ir::dom::DomTree;
+use spf_ir::loops::LoopForest;
+use spf_ir::{Function, InstrRef, Program};
+use spf_memsim::ProcessorConfig;
+
+use crate::codegen::{apply_insertions, PrefetchCodegen};
+use crate::ldg::Ldg;
+use crate::options::PrefetchOptions;
+use crate::report::MethodReport;
+use crate::stride::{dominant_stride, inter_iteration_samples};
+
+/// An address trace gathered by instrumented execution.
+///
+/// The VM's profiling hook calls [`record`](Self::record) for every
+/// execution of every candidate load; the profile is then fed to
+/// [`optimize_with_profile`].
+#[derive(Clone, Debug, Default)]
+pub struct OfflineProfile {
+    traces: HashMap<InstrRef, Vec<Addr>>,
+    /// Cap on samples kept per site (Wu's profiling is sampling-based).
+    pub max_samples_per_site: usize,
+}
+
+impl OfflineProfile {
+    /// Creates an empty profile with the default per-site sample cap.
+    pub fn new() -> Self {
+        OfflineProfile {
+            traces: HashMap::new(),
+            max_samples_per_site: 4096,
+        }
+    }
+
+    /// Records one executed load.
+    pub fn record(&mut self, site: InstrRef, addr: Addr) {
+        let v = self.traces.entry(site).or_default();
+        if v.len() < self.max_samples_per_site {
+            v.push(addr);
+        }
+    }
+
+    /// Number of sites with samples.
+    pub fn site_count(&self) -> usize {
+        self.traces.len()
+    }
+
+    /// The dominant inter-iteration stride of a site, if any.
+    pub fn stride_of(&self, site: InstrRef, options: &PrefetchOptions) -> Option<i64> {
+        let trace = self.traces.get(&site)?;
+        // Reuse the on-line sample shape: iteration indices are unknown
+        // off-line, so successive executions are used directly.
+        let fake: Vec<(u32, Addr)> = trace.iter().map(|&a| (0, a)).collect();
+        let samples = inter_iteration_samples(&fake);
+        dominant_stride(&samples, options.majority, options.min_samples)
+    }
+}
+
+/// Optimizes `func` using a previously collected [`OfflineProfile`] instead
+/// of object inspection. Only inter-iteration patterns can be discovered
+/// this way, so this is meaningful with [`PrefetchOptions::inter`].
+pub fn optimize_with_profile(
+    _program: &Program,
+    func: &Function,
+    layout: &Layout,
+    profile: &OfflineProfile,
+    options: &PrefetchOptions,
+    proc: &ProcessorConfig,
+) -> (Function, MethodReport) {
+    let start = std::time::Instant::now();
+    let mut report = MethodReport {
+        method: func.name().to_string(),
+        ..MethodReport::default()
+    };
+    let cfg = Cfg::compute(func);
+    let dom = DomTree::compute(func, &cfg);
+    let forest = LoopForest::compute(func, &cfg, &dom);
+    let ud = UseDef::compute(func, &cfg);
+    let codegen = PrefetchCodegen::new(layout, proc, options);
+    let mut work = func.clone();
+    let mut merged: HashMap<InstrRef, Vec<spf_ir::Instr>> = HashMap::new();
+    let mut already: HashSet<InstrRef> = HashSet::new();
+    for target in forest.postorder() {
+        let mut ldg = Ldg::build(func, &ud, &forest, target);
+        if ldg.is_empty() {
+            continue;
+        }
+        for id in ldg.node_ids().collect::<Vec<_>>() {
+            let site = ldg.node(id).site;
+            ldg.node_mut(id).inter_stride = profile.stride_of(site, options);
+        }
+        let (insertions, prefetches) =
+            codegen.plan(&mut work, &ldg, &HashSet::new(), &mut already);
+        for (site, instrs) in insertions {
+            merged.entry(site).or_default().extend(instrs);
+        }
+        report.loops.push(crate::report::LoopReport {
+            header: forest.info(target).header,
+            depth: forest.depth(target),
+            ldg_nodes: ldg.len(),
+            ldg_edges: ldg.edges().len(),
+            ldg_text: String::new(),
+            inspected_iterations: 0,
+            inspected_steps: 0,
+            inter_patterns: ldg
+                .node_ids()
+                .filter(|&id| ldg.node(id).inter_stride.is_some())
+                .count(),
+            intra_patterns: 0,
+            prefetches,
+        });
+    }
+    apply_insertions(&mut work, &merged);
+    report.total_prefetches = report.count_prefetches();
+    report.pass_nanos = start.elapsed().as_nanos();
+    (work, report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profile_records_and_caps() {
+        let mut p = OfflineProfile::new();
+        p.max_samples_per_site = 3;
+        let site = InstrRef::new(spf_ir::BlockId::new(0), 0);
+        for i in 0..10u64 {
+            p.record(site, 1000 + 8 * i);
+        }
+        assert_eq!(p.site_count(), 1);
+        let opts = PrefetchOptions {
+            min_samples: 2,
+            ..PrefetchOptions::default()
+        };
+        assert_eq!(p.stride_of(site, &opts), Some(8));
+    }
+
+    #[test]
+    fn irregular_trace_has_no_stride() {
+        let mut p = OfflineProfile::new();
+        let site = InstrRef::new(spf_ir::BlockId::new(0), 0);
+        for a in [100u64, 900, 250, 4000, 1, 777] {
+            p.record(site, a);
+        }
+        assert_eq!(p.stride_of(site, &PrefetchOptions::default()), None);
+    }
+}

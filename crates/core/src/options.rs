@@ -1,0 +1,126 @@
+//! Configuration of the prefetching algorithm.
+
+use crate::codegen::GuardedPolicy;
+
+/// Which stride patterns the optimizer exploits — the two configurations
+/// evaluated in the paper's §4 plus "off" (the baseline).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+pub enum PrefetchMode {
+    /// No prefetching (the paper's BASELINE).
+    Off,
+    /// Inter-iteration stride prefetching only — the paper's limited
+    /// emulation of Wu et al.'s stride prefetching (INTER).
+    Inter,
+    /// Inter- and intra-iteration stride prefetching (INTER+INTRA).
+    #[default]
+    InterIntra,
+}
+
+impl std::fmt::Display for PrefetchMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PrefetchMode::Off => f.write_str("BASELINE"),
+            PrefetchMode::Inter => f.write_str("INTER"),
+            PrefetchMode::InterIntra => f.write_str("INTER+INTRA"),
+        }
+    }
+}
+
+/// Tuning knobs of the algorithm; defaults are the paper's settings.
+#[derive(Clone, PartialEq, Debug)]
+pub struct PrefetchOptions {
+    /// Pattern classes to exploit.
+    pub mode: PrefetchMode,
+    /// Iterations of the target loop to interpret ("We investigated the
+    /// first 20 iterations of a given loop", §4).
+    pub inspect_iterations: u32,
+    /// Fraction of identical strides required to accept a pattern ("it
+    /// matches 75% of the all collected strides", §4).
+    pub majority: f64,
+    /// Minimum number of stride samples before a pattern is considered.
+    pub min_samples: usize,
+    /// Scheduling distance in iterations ("We fixed the scheduling distance
+    /// as one iteration", §4).
+    pub distance: u32,
+    /// Hard budget on interpreted instructions per inspection, keeping the
+    /// profile "ultra-lightweight".
+    pub max_inspect_steps: u64,
+    /// A nested loop whose average trip count (per target-loop iteration)
+    /// is at most this is treated as part of the parent loop (§3).
+    pub small_trip_threshold: f64,
+    /// How prefetches are mapped to hardware instructions (§3.3).
+    pub guarded_policy: GuardedPolicy,
+    /// Inter-procedural object inspection: step into directly called
+    /// methods instead of skipping them (§3.2 discusses this as a
+    /// trade-off: "it would increase the compilation time, requiring the
+    /// trade-off to be carefully assessed"). Off by default, as in the
+    /// paper.
+    pub inspect_calls: bool,
+    /// Recursion-depth cap when `inspect_calls` is enabled.
+    pub max_call_depth: u32,
+    /// Whether the profitability analysis runs (ablation knob; the paper
+    /// always enables it).
+    pub profitability: bool,
+}
+
+impl Default for PrefetchOptions {
+    fn default() -> Self {
+        PrefetchOptions {
+            mode: PrefetchMode::InterIntra,
+            inspect_iterations: 20,
+            majority: 0.75,
+            min_samples: 4,
+            distance: 1,
+            max_inspect_steps: 50_000,
+            small_trip_threshold: 16.0,
+            guarded_policy: GuardedPolicy::Auto,
+            inspect_calls: false,
+            max_call_depth: 4,
+            profitability: true,
+        }
+    }
+}
+
+impl PrefetchOptions {
+    /// The paper's INTER configuration.
+    pub fn inter() -> Self {
+        PrefetchOptions {
+            mode: PrefetchMode::Inter,
+            ..Self::default()
+        }
+    }
+
+    /// The paper's INTER+INTRA configuration.
+    pub fn inter_intra() -> Self {
+        Self::default()
+    }
+
+    /// The baseline: prefetching disabled.
+    pub fn off() -> Self {
+        PrefetchOptions {
+            mode: PrefetchMode::Off,
+            ..Self::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let o = PrefetchOptions::default();
+        assert_eq!(o.inspect_iterations, 20);
+        assert!((o.majority - 0.75).abs() < 1e-9);
+        assert_eq!(o.distance, 1);
+        assert_eq!(o.mode, PrefetchMode::InterIntra);
+    }
+
+    #[test]
+    fn mode_display() {
+        assert_eq!(PrefetchMode::Off.to_string(), "BASELINE");
+        assert_eq!(PrefetchMode::Inter.to_string(), "INTER");
+        assert_eq!(PrefetchMode::InterIntra.to_string(), "INTER+INTRA");
+    }
+}

@@ -1,0 +1,374 @@
+//! The full optimization pass: loops → LDG → object inspection → stride
+//! annotation → prefetch code generation (paper §3).
+
+use std::collections::{HashMap, HashSet};
+use std::time::Instant;
+
+use spf_heap::{HeapRead, Value};
+use spf_ir::cfg::Cfg;
+use spf_ir::defuse::UseDef;
+use spf_ir::dom::DomTree;
+use spf_ir::loops::LoopForest;
+use spf_ir::{Function, InstrRef, Program};
+use spf_memsim::ProcessorConfig;
+
+use crate::codegen::{apply_insertions, PrefetchCodegen};
+use crate::inspect::Inspector;
+use crate::ldg::{Ldg, LdgNodeId};
+use crate::options::{PrefetchMode, PrefetchOptions};
+use crate::report::{LoopReport, MethodReport};
+use crate::stride::annotate_ldg;
+
+/// Result of optimizing one method.
+#[derive(Clone, Debug)]
+pub struct OptimizeOutcome {
+    /// The transformed function (identical to the input when nothing was
+    /// profitable).
+    pub func: Function,
+    /// What the pass found and generated.
+    pub report: MethodReport,
+}
+
+/// The stride-prefetching optimizer. One instance per configuration; it is
+/// stateless across methods and can be reused.
+#[derive(Clone, Debug, Default)]
+pub struct StridePrefetcher {
+    options: PrefetchOptions,
+}
+
+impl StridePrefetcher {
+    /// Creates an optimizer with the given options.
+    pub fn new(options: PrefetchOptions) -> Self {
+        StridePrefetcher { options }
+    }
+
+    /// The configuration in use.
+    pub fn options(&self) -> &PrefetchOptions {
+        &self.options
+    }
+
+    /// Optimizes `func` of `program`, using the *actual argument values*
+    /// `args` of the pending invocation and read access to the live heap
+    /// and statics — the information that only a dynamic compiler has
+    /// (paper §1).
+    ///
+    /// The traversal follows §3: loops are processed in postorder within
+    /// each loop tree, trees in program order. Loads inside nested loops
+    /// whose measured trip count is small are folded into the parent loop's
+    /// pass; anchors already handled by an inner pass are skipped.
+    pub fn optimize(
+        &self,
+        program: &Program,
+        func: &Function,
+        heap: &dyn HeapRead,
+        statics: &[Value],
+        args: &[Value],
+        proc: &ProcessorConfig,
+    ) -> OptimizeOutcome {
+        let start = Instant::now();
+        let mut report = MethodReport {
+            method: func.name().to_string(),
+            ..MethodReport::default()
+        };
+        if self.options.mode == PrefetchMode::Off {
+            report.pass_nanos = start.elapsed().as_nanos();
+            return OptimizeOutcome {
+                func: func.clone(),
+                report,
+            };
+        }
+        let cfg = Cfg::compute(func);
+        let dom = DomTree::compute(func, &cfg);
+        let forest = LoopForest::compute(func, &cfg, &dom);
+        if forest.is_empty() {
+            report.pass_nanos = start.elapsed().as_nanos();
+            return OptimizeOutcome {
+                func: func.clone(),
+                report,
+            };
+        }
+        let ud = UseDef::compute(func, &cfg);
+        let codegen = PrefetchCodegen::new(heap.layout(), proc, &self.options);
+
+        let mut work = func.clone();
+        let mut merged: HashMap<InstrRef, Vec<spf_ir::Instr>> = HashMap::new();
+        let mut already: HashSet<InstrRef> = HashSet::new();
+
+        for target in forest.postorder() {
+            let mut ldg = Ldg::build(func, &ud, &forest, target);
+            if ldg.is_empty() {
+                continue;
+            }
+            let record: HashSet<InstrRef> =
+                ldg.node_ids().map(|id| ldg.node(id).site).collect();
+            let inspector =
+                Inspector::new(program, func, heap, statics, &forest, &self.options);
+            let inspection = inspector.run(args, target, &record);
+            annotate_ldg(&mut ldg, &inspection.traces, &self.options);
+
+            // Fold-in rule (§3): loads in nested loops participate only if
+            // the nested loop's measured trip count is small.
+            let mut exclude: HashSet<LdgNodeId> = HashSet::new();
+            for id in ldg.node_ids() {
+                if let Some(inner) = ldg.node(id).innermost {
+                    if inner != target {
+                        let header = forest.info(inner).header;
+                        if inspection.avg_nested_trips(header)
+                            > self.options.small_trip_threshold
+                        {
+                            exclude.insert(id);
+                        }
+                    }
+                }
+            }
+
+            let (insertions, prefetches) =
+                codegen.plan(&mut work, &ldg, &exclude, &mut already);
+            for (site, instrs) in insertions {
+                merged.entry(site).or_default().extend(instrs);
+            }
+            report.loops.push(LoopReport {
+                header: forest.info(target).header,
+                depth: forest.depth(target),
+                ldg_nodes: ldg.len(),
+                ldg_edges: ldg.edges().len(),
+                ldg_text: ldg.render(program, func),
+                inspected_iterations: inspection.iterations,
+                inspected_steps: inspection.steps,
+                inter_patterns: ldg
+                    .node_ids()
+                    .filter(|&id| ldg.node(id).inter_stride.is_some())
+                    .count(),
+                intra_patterns: ldg
+                    .edges()
+                    .iter()
+                    .filter(|e| e.intra_stride.is_some())
+                    .count(),
+                prefetches,
+            });
+        }
+
+        apply_insertions(&mut work, &merged);
+        debug_assert!(
+            spf_ir::verify::verify(program, &work).is_ok(),
+            "prefetch insertion produced invalid IR: {:?}",
+            spf_ir::verify::verify(program, &work)
+        );
+        report.total_prefetches = report.count_prefetches();
+        report.pass_nanos = start.elapsed().as_nanos();
+        OptimizeOutcome { func: work, report }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spf_heap::{Heap, Layout, ARRAY_DATA_OFFSET};
+    use spf_ir::{CmpOp, ElemTy, Instr, ProgramBuilder, Ty};
+
+    /// arr[i] are Node refs allocated back to back; each Node has a `data`
+    /// array co-allocated right after it. The loop chases
+    /// arr[i] -> node.data -> data[0].
+    fn fixture(permute: bool) -> (Program, spf_ir::MethodId, Heap, spf_heap::Addr) {
+        let mut pb = ProgramBuilder::new();
+        let (ncls, nf) = pb.add_class(
+            "Node",
+            &[
+                ("data", ElemTy::Ref),
+                ("pad0", ElemTy::I64),
+                ("pad1", ElemTy::I64),
+                ("pad2", ElemTy::I64),
+                ("pad3", ElemTy::I64),
+                ("pad4", ElemTy::I64),
+                ("pad5", ElemTy::I64),
+                ("pad6", ElemTy::I64),
+                ("pad7", ElemTy::I64),
+                ("pad8", ElemTy::I64),
+                ("pad9", ElemTy::I64),
+                ("pad10", ElemTy::I64),
+                ("pad11", ElemTy::I64),
+                ("pad12", ElemTy::I64),
+                ("pad13", ElemTy::I64),
+                ("pad14", ElemTy::I64),
+                ("pad15", ElemTy::I64),
+                ("pad16", ElemTy::I64),
+                ("pad17", ElemTy::I64),
+                ("pad18", ElemTy::I64),
+            ],
+        );
+        let mut b = pb.function("chase", &[Ty::Ref], Some(Ty::I32));
+        let arr = b.param(0);
+        let sum = b.new_reg(Ty::I32);
+        let z = b.const_i32(0);
+        b.move_(sum, z);
+        b.for_i32(0, 1, CmpOp::Lt, |b| b.arraylen(arr), |b, i| {
+            let node = b.aload(arr, i, ElemTy::Ref);
+            let data = b.getfield(node, nf[0]);
+            let zero = b.const_i32(0);
+            let v = b.aload(data, zero, ElemTy::I32);
+            let s = b.add(sum, v);
+            b.move_(sum, s);
+        });
+        b.ret(Some(sum));
+        let m = b.finish();
+        let program = pb.finish();
+        let layout = Layout::compute(&program);
+        let mut heap = Heap::new(layout, 8 << 20);
+        let n = 256u64;
+        let arr_addr = heap.alloc_array(ElemTy::Ref, n).unwrap();
+        let mut nodes = Vec::new();
+        for _ in 0..n {
+            let node = heap.alloc_object(ncls).unwrap();
+            let data = heap.alloc_array(ElemTy::I32, 40).unwrap();
+            heap.write(
+                node + heap.layout_tables().field_offset(nf[0]),
+                ElemTy::Ref,
+                Value::Ref(data),
+            )
+            .unwrap();
+            nodes.push(node);
+        }
+        if permute {
+            // Deterministic shuffle so arr[i] has no usable stride.
+            let len = nodes.len();
+            for i in 0..len {
+                nodes.swap(i, (i * 7 + 3) % len);
+            }
+        }
+        for (i, &node) in nodes.iter().enumerate() {
+            heap.write(
+                arr_addr + ARRAY_DATA_OFFSET + 8 * i as u64,
+                ElemTy::Ref,
+                Value::Ref(node),
+            )
+            .unwrap();
+        }
+        (program, m, heap, arr_addr)
+    }
+
+    fn count_kinds(f: &Function) -> (usize, usize) {
+        let mut prefetches = 0;
+        let mut specs = 0;
+        for s in f.instr_sites() {
+            match f.instr(s) {
+                Instr::Prefetch { .. } => prefetches += 1,
+                Instr::SpecLoad { .. } => specs += 1,
+                _ => {}
+            }
+        }
+        (prefetches, specs)
+    }
+
+    #[test]
+    fn off_mode_changes_nothing() {
+        let (p, m, heap, arr) = fixture(false);
+        let opt = StridePrefetcher::new(PrefetchOptions::off());
+        let out = opt.optimize(
+            &p,
+            p.method(m).func(),
+            &heap,
+            &[],
+            &[Value::Ref(arr)],
+            &ProcessorConfig::pentium4(),
+        );
+        assert_eq!(&out.func, p.method(m).func());
+        assert_eq!(out.report.total_prefetches, 0);
+    }
+
+    #[test]
+    fn sequential_nodes_get_inter_prefetches() {
+        let (p, m, heap, arr) = fixture(false);
+        let opt = StridePrefetcher::new(PrefetchOptions::inter_intra());
+        let out = opt.optimize(
+            &p,
+            p.method(m).func(),
+            &heap,
+            &[],
+            &[Value::Ref(arr)],
+            &ProcessorConfig::athlon_mp(),
+        );
+        let (prefetches, _) = count_kinds(&out.func);
+        assert!(prefetches > 0, "{}", out.report.render());
+        // node getfield has inter stride (nodes sequential) -> the loop has
+        // at least one inter pattern.
+        assert!(out.report.loops[0].inter_patterns >= 1, "{}", out.report.render());
+    }
+
+    #[test]
+    fn permuted_nodes_need_dereference_prefetching() {
+        let (p, m, heap, arr) = fixture(true);
+        let opt = StridePrefetcher::new(PrefetchOptions::inter_intra());
+        let out = opt.optimize(
+            &p,
+            p.method(m).func(),
+            &heap,
+            &[],
+            &[Value::Ref(arr)],
+            &ProcessorConfig::pentium4(),
+        );
+        let (prefetches, specs) = count_kinds(&out.func);
+        assert!(
+            specs >= 1,
+            "expected a speculative load anchor:\n{}",
+            out.report.render()
+        );
+        assert!(prefetches >= 1, "{}", out.report.render());
+    }
+
+    #[test]
+    fn inter_mode_emits_no_spec_loads() {
+        let (p, m, heap, arr) = fixture(true);
+        let opt = StridePrefetcher::new(PrefetchOptions::inter());
+        let out = opt.optimize(
+            &p,
+            p.method(m).func(),
+            &heap,
+            &[],
+            &[Value::Ref(arr)],
+            &ProcessorConfig::pentium4(),
+        );
+        let (_, specs) = count_kinds(&out.func);
+        assert_eq!(specs, 0, "INTER emulates Wu: no dereference prefetching");
+    }
+
+    #[test]
+    fn report_counts_match_function_contents() {
+        let (p, m, heap, arr) = fixture(true);
+        let opt = StridePrefetcher::new(PrefetchOptions::inter_intra());
+        let out = opt.optimize(
+            &p,
+            p.method(m).func(),
+            &heap,
+            &[],
+            &[Value::Ref(arr)],
+            &ProcessorConfig::pentium4(),
+        );
+        let (prefetches, specs) = count_kinds(&out.func);
+        assert_eq!(out.report.total_prefetches, prefetches + specs);
+        assert!(out.report.pass_nanos > 0);
+    }
+
+    #[test]
+    fn optimized_function_verifies() {
+        let (p, m, heap, arr) = fixture(true);
+        for proc in [ProcessorConfig::pentium4(), ProcessorConfig::athlon_mp()] {
+            for opts in [
+                PrefetchOptions::inter(),
+                PrefetchOptions::inter_intra(),
+            ] {
+                let opt = StridePrefetcher::new(opts);
+                let out = opt.optimize(
+                    &p,
+                    p.method(m).func(),
+                    &heap,
+                    &[],
+                    &[Value::Ref(arr)],
+                    &proc,
+                );
+                spf_ir::verify::verify(&p, &out.func).unwrap();
+            }
+        }
+    }
+
+    use spf_heap::Value;
+}

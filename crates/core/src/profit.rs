@@ -1,0 +1,125 @@
+//! Profitability analysis (paper §3.3).
+//!
+//! Prefetch code is generated for a load `L` only when:
+//!
+//! 1. one or more instructions are data dependent on `L`;
+//! 2. the data accessed by `L` does not apparently share a cache line with
+//!    data for which prefetch code is already issued (tracked during code
+//!    generation by [`IssuedLines`]);
+//! 3. if `L` has an inter-iteration stride pattern, the stride is larger
+//!    than half of the cache line filled by software prefetches (smaller
+//!    strides are already covered by the previous iteration's prefetch and
+//!    by the hardware prefetcher).
+
+use spf_ir::{Function, InstrRef, Reg};
+
+/// Whether any instruction (or terminator) of `func` reads the register
+/// defined by the load at `site` — the paper's condition 1. Registers are
+/// mostly single-assignment in this IR, so register identity is an accurate
+/// proxy for data dependence.
+pub fn has_dependent(func: &Function, site: InstrRef) -> bool {
+    let Some(dst) = func.instr(site).dst() else {
+        return false;
+    };
+    let mut uses: Vec<Reg> = Vec::new();
+    for b in func.block_ids() {
+        for (i, instr) in func.block(b).instrs.iter().enumerate() {
+            if b == site.block && i as u32 == site.index {
+                continue;
+            }
+            uses.clear();
+            instr.uses(&mut uses);
+            if uses.contains(&dst) {
+                return true;
+            }
+        }
+        uses.clear();
+        func.block(b).term.uses(&mut uses);
+        if uses.contains(&dst) {
+            return true;
+        }
+    }
+    false
+}
+
+/// Whether an inter-iteration stride passes condition 3 for a target cache
+/// line of `line_bytes`.
+pub fn stride_is_profitable(stride: i64, line_bytes: u64) -> bool {
+    stride.unsigned_abs() > line_bytes / 2
+}
+
+/// Tracks, per anchor value, the byte offsets for which prefetch code has
+/// already been issued, implementing condition 2 within one loop.
+#[derive(Clone, Debug, Default)]
+pub struct IssuedLines {
+    issued: Vec<(u32, i64)>, // (anchor key, offset)
+}
+
+impl IssuedLines {
+    /// Creates an empty tracker.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Tries to claim `offset` (relative to anchor `key`); returns `false`
+    /// if a prefetch within the same `line_bytes`-sized window was already
+    /// issued for that anchor.
+    pub fn claim(&mut self, key: u32, offset: i64, line_bytes: u64) -> bool {
+        let line = line_bytes as i64;
+        if self
+            .issued
+            .iter()
+            .any(|&(k, o)| k == key && (offset - o).abs() < line)
+        {
+            return false;
+        }
+        self.issued.push((key, offset));
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spf_ir::{ElemTy, ProgramBuilder, Ty};
+
+    #[test]
+    fn dependent_detection() {
+        let mut pb = ProgramBuilder::new();
+        let (_c, fs) = pb.add_class("N", &[("v", ElemTy::I32), ("w", ElemTy::I32)]);
+        let mut b = pb.function("f", &[Ty::Ref], Some(Ty::I32));
+        let o = b.param(0);
+        let v = b.getfield(o, fs[0]); // used by ret
+        let _w = b.getfield(o, fs[1]); // dead
+        b.ret(Some(v));
+        let m = b.finish();
+        let p = pb.finish();
+        let f = p.method(m).func();
+        let sites: Vec<_> = f
+            .instr_sites()
+            .filter(|&s| f.instr(s).is_ldg_load())
+            .collect();
+        assert!(has_dependent(f, sites[0]), "v flows into ret");
+        assert!(!has_dependent(f, sites[1]), "w is dead");
+    }
+
+    #[test]
+    fn stride_thresholds() {
+        assert!(!stride_is_profitable(0, 128));
+        assert!(!stride_is_profitable(64, 128));
+        assert!(stride_is_profitable(65, 128));
+        assert!(stride_is_profitable(-80, 128));
+        assert!(stride_is_profitable(40, 64));
+    }
+
+    #[test]
+    fn issued_lines_dedup() {
+        let mut il = IssuedLines::new();
+        assert!(il.claim(0, 0, 64));
+        assert!(!il.claim(0, 32, 64), "same line as offset 0");
+        assert!(il.claim(0, 64, 64));
+        assert!(il.claim(1, 16, 64), "different anchor");
+        assert!(!il.claim(0, -63, 64));
+        assert!(il.claim(0, -64, 64));
+    }
+}

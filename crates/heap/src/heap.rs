@@ -1,0 +1,449 @@
+//! The simulated heap: bump allocation and typed memory access.
+
+use spf_ir::{ClassId, ElemTy};
+
+use crate::layout::{
+    elem_tag, tag_elem, Layout, ARRAY_BIT, ARRAY_LENGTH_OFFSET, MARK_BIT,
+    TAG_MASK,
+};
+use crate::value::{Addr, Value, NULL};
+
+/// Default base address of the heap (addresses below it are invalid, which
+/// keeps null-pointer arithmetic from aliasing real objects).
+pub const DEFAULT_HEAP_BASE: Addr = 0x10_0000;
+
+/// Base address of the static-variable area (distinct from the heap; the VM
+/// stores static values itself but reports accesses at these addresses to
+/// the memory simulator).
+pub const STATICS_BASE: Addr = 0x1000;
+
+/// Base address used for the *private heap* of object inspection: objects
+/// the partial interpreter allocates live here, far from real heap
+/// addresses, so they can never be confused with program data.
+pub const PRIVATE_HEAP_BASE: Addr = 1 << 44;
+
+/// The simulated address of static slot `sid`.
+pub fn static_addr(sid: spf_ir::StaticId) -> Addr {
+    STATICS_BASE + 8 * sid.index() as Addr
+}
+
+/// Errors reported by heap operations.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum HeapError {
+    /// Allocation does not fit even after a collection.
+    OutOfMemory {
+        /// Bytes requested by the failing allocation.
+        requested: u64,
+    },
+    /// A typed access touched an address outside the allocated heap.
+    BadAccess {
+        /// The faulting address.
+        addr: Addr,
+    },
+}
+
+impl std::fmt::Display for HeapError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HeapError::OutOfMemory { requested } => {
+                write!(f, "out of memory allocating {requested} bytes")
+            }
+            HeapError::BadAccess { addr } => write!(f, "bad heap access at {addr:#x}"),
+        }
+    }
+}
+
+impl std::error::Error for HeapError {}
+
+/// Read-only view of a heap, as needed by object inspection and guarded
+/// loads: reads either succeed or report invalidity — they never fault.
+pub trait HeapRead {
+    /// Reads a typed value, or `None` when the access is invalid.
+    fn try_read(&self, addr: Addr, ty: ElemTy) -> Option<Value>;
+
+    /// Whether `[addr, addr+size)` lies within allocated memory.
+    fn is_valid_range(&self, addr: Addr, size: u64) -> bool;
+
+    /// The layout tables of the program this heap runs.
+    fn layout(&self) -> &Layout;
+}
+
+/// The simulated heap.
+///
+/// Objects and arrays are allocated with a bump pointer, so back-to-back
+/// allocations are adjacent in the address space — the property stride
+/// prefetching exploits.
+#[derive(Clone, Debug)]
+pub struct Heap {
+    pub(crate) base: Addr,
+    pub(crate) data: Vec<u8>,
+    pub(crate) top: usize,
+    pub(crate) layout: Layout,
+    pub(crate) allocated_bytes_total: u64,
+    pub(crate) allocation_count: u64,
+}
+
+impl Heap {
+    /// Creates a heap of `capacity` bytes at the default base address.
+    pub fn new(layout: Layout, capacity: usize) -> Self {
+        Self::with_base(layout, capacity, DEFAULT_HEAP_BASE)
+    }
+
+    /// Creates a heap at a caller-chosen base address (used for the private
+    /// heap of object inspection).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `base` is not 8-byte aligned or is null.
+    pub fn with_base(layout: Layout, capacity: usize, base: Addr) -> Self {
+        assert!(base != NULL && base % 8 == 0, "heap base must be aligned and non-null");
+        Heap {
+            base,
+            data: vec![0; capacity],
+            top: 0,
+            layout,
+            allocated_bytes_total: 0,
+            allocation_count: 0,
+        }
+    }
+
+    /// The heap's base address.
+    pub fn base(&self) -> Addr {
+        self.base
+    }
+
+    /// Bytes currently allocated (bump-pointer offset).
+    pub fn used(&self) -> u64 {
+        self.top as u64
+    }
+
+    /// Total capacity in bytes.
+    pub fn capacity(&self) -> u64 {
+        self.data.len() as u64
+    }
+
+    /// Running total of bytes ever allocated (monotonic; GC does not reduce
+    /// it).
+    pub fn allocated_bytes_total(&self) -> u64 {
+        self.allocated_bytes_total
+    }
+
+    /// Number of allocations performed.
+    pub fn allocation_count(&self) -> u64 {
+        self.allocation_count
+    }
+
+    /// The layout tables.
+    pub fn layout_tables(&self) -> &Layout {
+        &self.layout
+    }
+
+    fn bump(&mut self, size: u64) -> Option<Addr> {
+        let size = size.next_multiple_of(8);
+        if self.top as u64 + size > self.data.len() as u64 {
+            return None;
+        }
+        let addr = self.base + self.top as u64;
+        // Zero the storage: it may contain stale bytes from before a GC.
+        self.data[self.top..self.top + size as usize].fill(0);
+        self.top += size as usize;
+        self.allocated_bytes_total += size;
+        self.allocation_count += 1;
+        Some(addr)
+    }
+
+    /// Allocates an instance of `class`; `None` means a GC is needed.
+    pub fn alloc_object(&mut self, class: ClassId) -> Option<Addr> {
+        let size = self.layout.class_size(class);
+        let addr = self.bump(size)?;
+        self.write_u64(addr, class.index() as u64);
+        Some(addr)
+    }
+
+    /// Allocates an array; `None` means a GC is needed.
+    pub fn alloc_array(&mut self, elem: ElemTy, len: u64) -> Option<Addr> {
+        let size = Layout::array_size(elem, len);
+        let addr = self.bump(size)?;
+        self.write_u64(addr, ARRAY_BIT | elem_tag(elem));
+        self.write_u64(addr + ARRAY_LENGTH_OFFSET, len);
+        Some(addr)
+    }
+
+    fn offset_of(&self, addr: Addr, size: u64) -> Option<usize> {
+        if addr < self.base {
+            return None;
+        }
+        let off = addr - self.base;
+        if off + size <= self.top as u64 {
+            Some(off as usize)
+        } else {
+            None
+        }
+    }
+
+    pub(crate) fn read_u64(&self, addr: Addr) -> u64 {
+        let off = self
+            .offset_of(addr, 8)
+            .unwrap_or_else(|| panic!("bad heap read at {addr:#x}"));
+        u64::from_le_bytes(self.data[off..off + 8].try_into().unwrap())
+    }
+
+    pub(crate) fn write_u64(&mut self, addr: Addr, v: u64) {
+        let off = self
+            .offset_of(addr, 8)
+            .unwrap_or_else(|| panic!("bad heap write at {addr:#x}"));
+        self.data[off..off + 8].copy_from_slice(&v.to_le_bytes());
+    }
+
+    /// Reads a typed value.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HeapError::BadAccess`] outside allocated memory.
+    pub fn read(&self, addr: Addr, ty: ElemTy) -> Result<Value, HeapError> {
+        let off = self
+            .offset_of(addr, ty.size())
+            .ok_or(HeapError::BadAccess { addr })?;
+        Ok(match ty {
+            ElemTy::I8 => Value::I32(self.data[off] as i8 as i32),
+            ElemTy::I32 => Value::I32(i32::from_le_bytes(
+                self.data[off..off + 4].try_into().unwrap(),
+            )),
+            ElemTy::I64 => Value::I64(i64::from_le_bytes(
+                self.data[off..off + 8].try_into().unwrap(),
+            )),
+            ElemTy::F64 => Value::F64(f64::from_le_bytes(
+                self.data[off..off + 8].try_into().unwrap(),
+            )),
+            ElemTy::Ref => Value::Ref(u64::from_le_bytes(
+                self.data[off..off + 8].try_into().unwrap(),
+            )),
+        })
+    }
+
+    /// Writes a typed value.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HeapError::BadAccess`] outside allocated memory.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value` does not match `ty` (verified programs never do
+    /// this).
+    pub fn write(&mut self, addr: Addr, ty: ElemTy, value: Value) -> Result<(), HeapError> {
+        let off = self
+            .offset_of(addr, ty.size())
+            .ok_or(HeapError::BadAccess { addr })?;
+        match (ty, value) {
+            (ElemTy::I8, Value::I32(v)) => self.data[off] = v as u8,
+            (ElemTy::I32, Value::I32(v)) => {
+                self.data[off..off + 4].copy_from_slice(&v.to_le_bytes())
+            }
+            (ElemTy::I64, Value::I64(v)) => {
+                self.data[off..off + 8].copy_from_slice(&v.to_le_bytes())
+            }
+            (ElemTy::F64, Value::F64(v)) => {
+                self.data[off..off + 8].copy_from_slice(&v.to_le_bytes())
+            }
+            (ElemTy::Ref, Value::Ref(v)) => {
+                self.data[off..off + 8].copy_from_slice(&v.to_le_bytes())
+            }
+            (ty, v) => panic!("type mismatch writing {v:?} as {ty}"),
+        }
+        Ok(())
+    }
+
+    /// Whether `addr` is the address of a live allocation's header (i.e.
+    /// within the allocated range; headers are not distinguished from
+    /// interiors here).
+    pub fn contains(&self, addr: Addr) -> bool {
+        addr >= self.base && addr < self.base + self.top as u64
+    }
+
+    /// Whether the allocation at `addr` (a header address) is an array.
+    pub fn is_array(&self, addr: Addr) -> bool {
+        self.read_u64(addr) & ARRAY_BIT != 0
+    }
+
+    /// Class of the object whose header is at `addr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is an array header.
+    pub fn class_of(&self, addr: Addr) -> ClassId {
+        let w = self.read_u64(addr);
+        assert!(w & ARRAY_BIT == 0, "class_of on array at {addr:#x}");
+        ClassId::new((w & TAG_MASK) as usize)
+    }
+
+    /// Element type of the array whose header is at `addr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is not an array header.
+    pub fn array_elem(&self, addr: Addr) -> ElemTy {
+        let w = self.read_u64(addr);
+        assert!(w & ARRAY_BIT != 0, "array_elem on object at {addr:#x}");
+        tag_elem(w & TAG_MASK)
+    }
+
+    /// Length of the array whose header is at `addr`.
+    pub fn array_len(&self, addr: Addr) -> u64 {
+        self.read_u64(addr + ARRAY_LENGTH_OFFSET)
+    }
+
+    /// Size in bytes of the allocation whose header is at `addr`.
+    pub fn alloc_size(&self, addr: Addr) -> u64 {
+        let w = self.read_u64(addr);
+        if w & ARRAY_BIT != 0 {
+            Layout::array_size(tag_elem(w & TAG_MASK), self.array_len(addr))
+        } else {
+            self.layout
+                .class_size(ClassId::new((w & (TAG_MASK)) as usize))
+        }
+    }
+
+    pub(crate) fn is_marked(&self, addr: Addr) -> bool {
+        self.read_u64(addr) & MARK_BIT != 0
+    }
+
+    pub(crate) fn set_mark(&mut self, addr: Addr, on: bool) {
+        let w = self.read_u64(addr);
+        self.write_u64(addr, if on { w | MARK_BIT } else { w & !MARK_BIT });
+    }
+
+    /// Iterates over the header addresses of all allocations in address
+    /// order.
+    pub fn walk(&self) -> HeapWalk<'_> {
+        HeapWalk {
+            heap: self,
+            cursor: self.base,
+        }
+    }
+}
+
+/// Iterator over allocation header addresses; see [`Heap::walk`].
+#[derive(Debug)]
+pub struct HeapWalk<'a> {
+    heap: &'a Heap,
+    cursor: Addr,
+}
+
+impl Iterator for HeapWalk<'_> {
+    type Item = Addr;
+
+    fn next(&mut self) -> Option<Addr> {
+        if self.cursor >= self.heap.base + self.heap.top as u64 {
+            return None;
+        }
+        let addr = self.cursor;
+        self.cursor += self.heap.alloc_size(addr).next_multiple_of(8);
+        Some(addr)
+    }
+}
+
+impl HeapRead for Heap {
+    fn try_read(&self, addr: Addr, ty: ElemTy) -> Option<Value> {
+        if addr == NULL {
+            return None;
+        }
+        self.read(addr, ty).ok()
+    }
+
+    fn is_valid_range(&self, addr: Addr, size: u64) -> bool {
+        self.offset_of(addr, size).is_some()
+    }
+
+    fn layout(&self) -> &Layout {
+        &self.layout
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spf_ir::Program;
+
+    fn token_program() -> (Program, ClassId, Vec<spf_ir::FieldId>) {
+        let mut p = Program::new();
+        let (c, fs) = p.add_class("Token", &[("size", ElemTy::I32), ("facts", ElemTy::Ref)]);
+        (p, c, fs)
+    }
+
+    #[test]
+    fn bump_allocation_is_contiguous() {
+        let (p, c, _) = token_program();
+        let mut h = Heap::new(Layout::compute(&p), 1 << 16);
+        let a = h.alloc_object(c).unwrap();
+        let b = h.alloc_object(c).unwrap();
+        let size = h.layout_tables().class_size(c);
+        assert_eq!(b - a, size, "objects allocated back-to-back");
+        assert_eq!(h.allocation_count(), 2);
+    }
+
+    #[test]
+    fn field_read_write() {
+        let (p, c, fs) = token_program();
+        let layout = Layout::compute(&p);
+        let off = layout.field_offset(fs[0]);
+        let mut h = Heap::new(layout, 1 << 16);
+        let a = h.alloc_object(c).unwrap();
+        h.write(a + off, ElemTy::I32, Value::I32(42)).unwrap();
+        assert_eq!(h.read(a + off, ElemTy::I32).unwrap(), Value::I32(42));
+    }
+
+    #[test]
+    fn arrays() {
+        let (p, _, _) = token_program();
+        let mut h = Heap::new(Layout::compute(&p), 1 << 16);
+        let a = h.alloc_array(ElemTy::I32, 10).unwrap();
+        assert!(h.is_array(a));
+        assert_eq!(h.array_len(a), 10);
+        assert_eq!(h.array_elem(a), ElemTy::I32);
+        let e3 = a + crate::layout::ARRAY_DATA_OFFSET + 3 * 4;
+        h.write(e3, ElemTy::I32, Value::I32(-7)).unwrap();
+        assert_eq!(h.read(e3, ElemTy::I32).unwrap(), Value::I32(-7));
+    }
+
+    #[test]
+    fn i8_sign_extension() {
+        let (p, _, _) = token_program();
+        let mut h = Heap::new(Layout::compute(&p), 1 << 16);
+        let a = h.alloc_array(ElemTy::I8, 4).unwrap();
+        let e0 = a + crate::layout::ARRAY_DATA_OFFSET;
+        h.write(e0, ElemTy::I8, Value::I32(-1)).unwrap();
+        assert_eq!(h.read(e0, ElemTy::I8).unwrap(), Value::I32(-1));
+    }
+
+    #[test]
+    fn out_of_memory_returns_none() {
+        let (p, c, _) = token_program();
+        let mut h = Heap::new(Layout::compute(&p), 64);
+        assert!(h.alloc_object(c).is_some()); // 24 bytes
+        assert!(h.alloc_object(c).is_some());
+        assert!(h.alloc_object(c).is_none());
+    }
+
+    #[test]
+    fn bad_access_reported() {
+        let (p, _, _) = token_program();
+        let h = Heap::new(Layout::compute(&p), 64);
+        assert!(matches!(
+            h.read(12, ElemTy::I32),
+            Err(HeapError::BadAccess { .. })
+        ));
+        assert_eq!(h.try_read(12, ElemTy::I32), None);
+        assert_eq!(h.try_read(NULL, ElemTy::Ref), None);
+    }
+
+    #[test]
+    fn walk_visits_all_allocations() {
+        let (p, c, _) = token_program();
+        let mut h = Heap::new(Layout::compute(&p), 1 << 16);
+        let a = h.alloc_object(c).unwrap();
+        let b = h.alloc_array(ElemTy::Ref, 3).unwrap();
+        let c2 = h.alloc_object(c).unwrap();
+        assert_eq!(h.walk().collect::<Vec<_>>(), vec![a, b, c2]);
+    }
+}

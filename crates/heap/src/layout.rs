@@ -1,0 +1,164 @@
+//! Object and array layout: header format, field offsets, instance sizes.
+//!
+//! Layouts are computed once per [`spf_ir::Program`] and shared by the VM,
+//! the garbage collector, and the prefetch optimizer (which needs field
+//! offsets to build the `F[Lx,Ly]` address-mapping functions of §3.3).
+
+use spf_ir::{ClassId, ElemTy, FieldId, Program};
+
+/// Size of an object/array header in bytes.
+///
+/// * word 0 (`u64`): tag — class id for objects, element-type tag with the
+///   high bit set for arrays; bit 62 is the GC mark bit.
+/// * word 1 (`u64`): array length (objects: scratch, used by the collector).
+pub const OBJECT_HEADER_SIZE: u64 = 16;
+
+/// Byte offset of the first array element.
+pub const ARRAY_DATA_OFFSET: u64 = 16;
+
+/// Byte offset of the array-length word (loaded by `arraylength`).
+pub const ARRAY_LENGTH_OFFSET: u64 = 8;
+
+pub(crate) const ARRAY_BIT: u64 = 1 << 63;
+pub(crate) const MARK_BIT: u64 = 1 << 62;
+pub(crate) const TAG_MASK: u64 = (1 << 32) - 1;
+
+/// Encodes an element type as an array tag.
+pub(crate) fn elem_tag(e: ElemTy) -> u64 {
+    match e {
+        ElemTy::I8 => 0,
+        ElemTy::I32 => 1,
+        ElemTy::I64 => 2,
+        ElemTy::F64 => 3,
+        ElemTy::Ref => 4,
+    }
+}
+
+/// Decodes an array tag.
+///
+/// # Panics
+///
+/// Panics on a corrupt tag.
+pub(crate) fn tag_elem(tag: u64) -> ElemTy {
+    match tag {
+        0 => ElemTy::I8,
+        1 => ElemTy::I32,
+        2 => ElemTy::I64,
+        3 => ElemTy::F64,
+        4 => ElemTy::Ref,
+        other => panic!("corrupt array tag {other}"),
+    }
+}
+
+/// Precomputed layout tables for every class of a program.
+#[derive(Clone, Debug)]
+pub struct Layout {
+    field_offsets: Vec<u64>,
+    class_sizes: Vec<u64>,
+    /// Per class: byte offsets of reference-typed fields (the GC's ref map).
+    ref_maps: Vec<Vec<u64>>,
+}
+
+impl Layout {
+    /// Computes layouts for all classes of `program`.
+    ///
+    /// Fields are laid out in declaration order, each aligned to its size;
+    /// instance sizes are rounded up to 8 bytes. Declaration order is layout
+    /// order, so a constructor that stores into fields in declaration order
+    /// touches monotonically increasing addresses.
+    pub fn compute(program: &Program) -> Self {
+        let mut field_offsets = vec![0u64; program.field_count()];
+        let mut class_sizes = Vec::with_capacity(program.class_count());
+        let mut ref_maps = Vec::with_capacity(program.class_count());
+        for cid in program.class_ids() {
+            let mut off = OBJECT_HEADER_SIZE;
+            let mut refs = Vec::new();
+            for &fid in &program.class(cid).fields {
+                let ty = program.field(fid).ty;
+                let align = ty.size();
+                off = off.next_multiple_of(align);
+                field_offsets[fid.index()] = off;
+                if ty == ElemTy::Ref {
+                    refs.push(off);
+                }
+                off += ty.size();
+            }
+            class_sizes.push(off.next_multiple_of(8));
+            ref_maps.push(refs);
+        }
+        Layout {
+            field_offsets,
+            class_sizes,
+            ref_maps,
+        }
+    }
+
+    /// Byte offset of field `fid` within its object.
+    pub fn field_offset(&self, fid: FieldId) -> u64 {
+        self.field_offsets[fid.index()]
+    }
+
+    /// Instance size in bytes (header included) of class `cid`.
+    pub fn class_size(&self, cid: ClassId) -> u64 {
+        self.class_sizes[cid.index()]
+    }
+
+    /// Byte offsets of the reference fields of class `cid`.
+    pub fn ref_map(&self, cid: ClassId) -> &[u64] {
+        &self.ref_maps[cid.index()]
+    }
+
+    /// Total size in bytes of an array (header included, padded to 8).
+    pub fn array_size(elem: ElemTy, len: u64) -> u64 {
+        (ARRAY_DATA_OFFSET + elem.size() * len).next_multiple_of(8)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn field_offsets_alignment_and_size() {
+        let mut p = Program::new();
+        let (c, fs) = p.add_class(
+            "Mixed",
+            &[
+                ("b", ElemTy::I8),
+                ("i", ElemTy::I32),
+                ("r", ElemTy::Ref),
+                ("c", ElemTy::I8),
+            ],
+        );
+        let l = Layout::compute(&p);
+        assert_eq!(l.field_offset(fs[0]), 16);
+        assert_eq!(l.field_offset(fs[1]), 20); // aligned to 4
+        assert_eq!(l.field_offset(fs[2]), 24); // aligned to 8
+        assert_eq!(l.field_offset(fs[3]), 32);
+        assert_eq!(l.class_size(c), 40); // 33 rounded to 8
+        assert_eq!(l.ref_map(c), &[24]);
+    }
+
+    #[test]
+    fn array_sizes() {
+        assert_eq!(Layout::array_size(ElemTy::I8, 3), 24); // 16 + 3 -> 24
+        assert_eq!(Layout::array_size(ElemTy::Ref, 5), 56); // 16 + 40
+        assert_eq!(Layout::array_size(ElemTy::I32, 0), 16);
+    }
+
+    #[test]
+    fn empty_class() {
+        let mut p = Program::new();
+        let (c, _) = p.add_class("Empty", &[]);
+        let l = Layout::compute(&p);
+        assert_eq!(l.class_size(c), OBJECT_HEADER_SIZE);
+        assert!(l.ref_map(c).is_empty());
+    }
+
+    #[test]
+    fn tags_round_trip() {
+        for e in [ElemTy::I8, ElemTy::I32, ElemTy::I64, ElemTy::F64, ElemTy::Ref] {
+            assert_eq!(tag_elem(elem_tag(e)), e);
+        }
+    }
+}

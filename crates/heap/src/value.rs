@@ -1,0 +1,134 @@
+//! Runtime values and simulated addresses.
+
+/// A simulated 64-bit address. `0` is the null reference ([`NULL`]).
+pub type Addr = u64;
+
+/// The null reference.
+pub const NULL: Addr = 0;
+
+/// A runtime value held in a virtual register, field, or array element.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub enum Value {
+    /// 32-bit integer.
+    I32(i32),
+    /// 64-bit integer.
+    I64(i64),
+    /// 64-bit float.
+    F64(f64),
+    /// Reference ([`NULL`] for null).
+    Ref(Addr),
+}
+
+impl Value {
+    /// The register type of this value.
+    pub fn ty(self) -> spf_ir::Ty {
+        match self {
+            Value::I32(_) => spf_ir::Ty::I32,
+            Value::I64(_) => spf_ir::Ty::I64,
+            Value::F64(_) => spf_ir::Ty::F64,
+            Value::Ref(_) => spf_ir::Ty::Ref,
+        }
+    }
+
+    /// The zero/default value of a register type.
+    pub fn zero_of(ty: spf_ir::Ty) -> Value {
+        match ty {
+            spf_ir::Ty::I32 => Value::I32(0),
+            spf_ir::Ty::I64 => Value::I64(0),
+            spf_ir::Ty::F64 => Value::F64(0.0),
+            spf_ir::Ty::Ref => Value::Ref(NULL),
+        }
+    }
+
+    /// Extracts an `i32`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value is not `I32` (a verifier-rejected program).
+    pub fn as_i32(self) -> i32 {
+        match self {
+            Value::I32(v) => v,
+            other => panic!("expected i32, got {other:?}"),
+        }
+    }
+
+    /// Extracts an `i64`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value is not `I64`.
+    pub fn as_i64(self) -> i64 {
+        match self {
+            Value::I64(v) => v,
+            other => panic!("expected i64, got {other:?}"),
+        }
+    }
+
+    /// Extracts an `f64`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value is not `F64`.
+    pub fn as_f64(self) -> f64 {
+        match self {
+            Value::F64(v) => v,
+            other => panic!("expected f64, got {other:?}"),
+        }
+    }
+
+    /// Extracts a reference.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value is not `Ref`.
+    pub fn as_ref_addr(self) -> Addr {
+        match self {
+            Value::Ref(a) => a,
+            other => panic!("expected ref, got {other:?}"),
+        }
+    }
+}
+
+impl std::fmt::Display for Value {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Value::I32(v) => write!(f, "{v}"),
+            Value::I64(v) => write!(f, "{v}L"),
+            Value::F64(v) => write!(f, "{v}"),
+            Value::Ref(NULL) => f.write_str("null"),
+            Value::Ref(a) => write!(f, "@{a:#x}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_values() {
+        assert_eq!(Value::zero_of(spf_ir::Ty::I32), Value::I32(0));
+        assert_eq!(Value::zero_of(spf_ir::Ty::Ref), Value::Ref(NULL));
+    }
+
+    #[test]
+    fn accessors() {
+        assert_eq!(Value::I32(7).as_i32(), 7);
+        assert_eq!(Value::Ref(16).as_ref_addr(), 16);
+        assert_eq!(Value::F64(1.25).as_f64(), 1.25);
+        assert_eq!(Value::I64(-3).as_i64(), -3);
+    }
+
+    #[test]
+    #[should_panic(expected = "expected i32")]
+    fn wrong_accessor_panics() {
+        Value::F64(0.0).as_i32();
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Value::Ref(NULL).to_string(), "null");
+        assert_eq!(Value::Ref(0x20).to_string(), "@0x20");
+        assert_eq!(Value::I64(5).to_string(), "5L");
+    }
+}

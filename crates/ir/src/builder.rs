@@ -1,0 +1,714 @@
+//! Program and function builders with structured control flow.
+//!
+//! [`FunctionBuilder`] keeps track of a *current block* and provides
+//! structured helpers (`if_`, `if_else`, `while_`, `for_i32`) plus
+//! `break_`/`continue_` that work across nesting levels — enough to express
+//! the labelled `continue TokenLoop` of the paper's motivating example.
+
+use crate::entities::{BlockId, ClassId, FieldId, MethodId, Reg, StaticId};
+use crate::func::Function;
+use crate::instr::{BinOp, CmpOp, Conv, Instr, Terminator, UnOp};
+use crate::program::Program;
+use crate::types::{Const, ElemTy, Ty};
+
+/// Incrementally builds a [`Program`].
+#[derive(Default, Debug)]
+pub struct ProgramBuilder {
+    program: Program,
+}
+
+impl ProgramBuilder {
+    /// Creates an empty program builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a class; see [`Program::add_class`].
+    pub fn add_class(&mut self, name: &str, fields: &[(&str, ElemTy)]) -> (ClassId, Vec<FieldId>) {
+        self.program.add_class(name, fields)
+    }
+
+    /// Adds a static slot; see [`Program::add_static`].
+    pub fn add_static(&mut self, name: &str, ty: ElemTy) -> StaticId {
+        self.program.add_static(name, ty)
+    }
+
+    /// Declares a method signature without a body, so it can be called
+    /// recursively or before its body is built. Define it later with
+    /// [`ProgramBuilder::define`].
+    pub fn declare(&mut self, name: &str, params: &[Ty], ret: Option<Ty>) -> MethodId {
+        self.program
+            .add_method(Function::with_signature(name, params, ret))
+    }
+
+    /// Starts building the body of a previously [`declare`](Self::declare)d
+    /// method.
+    pub fn define(&mut self, mid: MethodId) -> FunctionBuilder<'_> {
+        let decl = self.program.method(mid).func();
+        let params: Vec<Ty> = decl.params().map(|r| decl.reg_ty(r)).collect();
+        let func = Function::with_signature(decl.name(), &params, decl.ret_ty());
+        FunctionBuilder::with_parts(self, mid, func)
+    }
+
+    /// Declares a new method and starts building its body in one step.
+    pub fn function(&mut self, name: &str, params: &[Ty], ret: Option<Ty>) -> FunctionBuilder<'_> {
+        let mid = self.declare(name, params, ret);
+        self.define(mid)
+    }
+
+    /// Read access to the program built so far.
+    pub fn program(&self) -> &Program {
+        &self.program
+    }
+
+    /// Finishes and returns the program.
+    pub fn finish(self) -> Program {
+        self.program
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct LoopCtx {
+    continue_target: BlockId,
+    break_target: BlockId,
+}
+
+/// Builds one function body; created by [`ProgramBuilder::function`] or
+/// [`ProgramBuilder::define`].
+#[derive(Debug)]
+pub struct FunctionBuilder<'a> {
+    pb: &'a mut ProgramBuilder,
+    mid: MethodId,
+    func: Function,
+    cur: BlockId,
+    done: bool,
+    loops: Vec<LoopCtx>,
+}
+
+impl<'a> FunctionBuilder<'a> {
+    fn with_parts(pb: &'a mut ProgramBuilder, mid: MethodId, func: Function) -> Self {
+        let cur = func.entry();
+        FunctionBuilder {
+            pb,
+            mid,
+            func,
+            cur,
+            done: false,
+            loops: Vec::new(),
+        }
+    }
+
+    /// The program being built (for id lookups while building).
+    pub fn program(&self) -> &Program {
+        self.pb.program()
+    }
+
+    /// The id of the method being built.
+    pub fn method_id(&self) -> MethodId {
+        self.mid
+    }
+
+    /// The `i`-th parameter register.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn param(&self, i: usize) -> Reg {
+        assert!(i < self.func.param_count(), "parameter {i} out of range");
+        Reg::new(i)
+    }
+
+    /// Allocates a fresh register of type `ty` (a mutable local variable).
+    pub fn new_reg(&mut self, ty: Ty) -> Reg {
+        self.func.new_reg(ty)
+    }
+
+    fn push(&mut self, i: Instr) {
+        assert!(!self.done, "function already finished");
+        self.func.block_mut(self.cur).instrs.push(i);
+    }
+
+    fn emit_value(&mut self, ty: Ty, make: impl FnOnce(Reg) -> Instr) -> Reg {
+        let dst = self.func.new_reg(ty);
+        self.push(make(dst));
+        dst
+    }
+
+    // ---- constants ------------------------------------------------------
+
+    /// Materializes an `I32` constant.
+    pub fn const_i32(&mut self, v: i32) -> Reg {
+        self.emit_value(Ty::I32, |dst| Instr::Const {
+            dst,
+            value: Const::I32(v),
+        })
+    }
+
+    /// Materializes an `I64` constant.
+    pub fn const_i64(&mut self, v: i64) -> Reg {
+        self.emit_value(Ty::I64, |dst| Instr::Const {
+            dst,
+            value: Const::I64(v),
+        })
+    }
+
+    /// Materializes an `F64` constant.
+    pub fn const_f64(&mut self, v: f64) -> Reg {
+        self.emit_value(Ty::F64, |dst| Instr::Const {
+            dst,
+            value: Const::F64(v),
+        })
+    }
+
+    /// Materializes the null reference.
+    pub fn null(&mut self) -> Reg {
+        self.emit_value(Ty::Ref, |dst| Instr::Const {
+            dst,
+            value: Const::Null,
+        })
+    }
+
+    // ---- data movement and arithmetic ------------------------------------
+
+    /// Copies `src` into the existing register `dst` (assignment to a local).
+    pub fn move_(&mut self, dst: Reg, src: Reg) {
+        self.push(Instr::Move { dst, src });
+    }
+
+    /// Emits `dst = op a b` into a fresh register typed like `a`.
+    pub fn bin(&mut self, op: BinOp, a: Reg, b: Reg) -> Reg {
+        let ty = self.func.reg_ty(a);
+        self.emit_value(ty, |dst| Instr::Bin { dst, op, a, b })
+    }
+
+    /// Addition.
+    pub fn add(&mut self, a: Reg, b: Reg) -> Reg {
+        self.bin(BinOp::Add, a, b)
+    }
+
+    /// Subtraction.
+    pub fn sub(&mut self, a: Reg, b: Reg) -> Reg {
+        self.bin(BinOp::Sub, a, b)
+    }
+
+    /// Multiplication.
+    pub fn mul(&mut self, a: Reg, b: Reg) -> Reg {
+        self.bin(BinOp::Mul, a, b)
+    }
+
+    /// Division.
+    pub fn div(&mut self, a: Reg, b: Reg) -> Reg {
+        self.bin(BinOp::Div, a, b)
+    }
+
+    /// Remainder.
+    pub fn rem(&mut self, a: Reg, b: Reg) -> Reg {
+        self.bin(BinOp::Rem, a, b)
+    }
+
+    /// Bitwise and.
+    pub fn and(&mut self, a: Reg, b: Reg) -> Reg {
+        self.bin(BinOp::And, a, b)
+    }
+
+    /// Bitwise or.
+    pub fn or(&mut self, a: Reg, b: Reg) -> Reg {
+        self.bin(BinOp::Or, a, b)
+    }
+
+    /// Bitwise xor.
+    pub fn xor(&mut self, a: Reg, b: Reg) -> Reg {
+        self.bin(BinOp::Xor, a, b)
+    }
+
+    /// Left shift.
+    pub fn shl(&mut self, a: Reg, b: Reg) -> Reg {
+        self.bin(BinOp::Shl, a, b)
+    }
+
+    /// Arithmetic right shift.
+    pub fn shr(&mut self, a: Reg, b: Reg) -> Reg {
+        self.bin(BinOp::Shr, a, b)
+    }
+
+    /// Unary operation into a fresh register.
+    pub fn un(&mut self, op: UnOp, src: Reg) -> Reg {
+        let ty = self.func.reg_ty(src);
+        self.emit_value(ty, |dst| Instr::Un { dst, op, src })
+    }
+
+    /// Numeric conversion into a fresh register.
+    pub fn convert(&mut self, conv: Conv, src: Reg) -> Reg {
+        let (_, to) = conv.signature();
+        self.emit_value(to, |dst| Instr::Convert { dst, conv, src })
+    }
+
+    /// Comparison into a fresh `I32` register (0 or 1).
+    pub fn cmp(&mut self, op: CmpOp, a: Reg, b: Reg) -> Reg {
+        self.emit_value(Ty::I32, |dst| Instr::Cmp { dst, op, a, b })
+    }
+
+    /// `a < b`.
+    pub fn lt(&mut self, a: Reg, b: Reg) -> Reg {
+        self.cmp(CmpOp::Lt, a, b)
+    }
+
+    /// `a <= b`.
+    pub fn le(&mut self, a: Reg, b: Reg) -> Reg {
+        self.cmp(CmpOp::Le, a, b)
+    }
+
+    /// `a > b`.
+    pub fn gt(&mut self, a: Reg, b: Reg) -> Reg {
+        self.cmp(CmpOp::Gt, a, b)
+    }
+
+    /// `a >= b`.
+    pub fn ge(&mut self, a: Reg, b: Reg) -> Reg {
+        self.cmp(CmpOp::Ge, a, b)
+    }
+
+    /// `a == b`.
+    pub fn eq(&mut self, a: Reg, b: Reg) -> Reg {
+        self.cmp(CmpOp::Eq, a, b)
+    }
+
+    /// `a != b`.
+    pub fn ne(&mut self, a: Reg, b: Reg) -> Reg {
+        self.cmp(CmpOp::Ne, a, b)
+    }
+
+    /// Adds the `I32` constant `by` to register `var` in place.
+    pub fn inc(&mut self, var: Reg, by: i32) {
+        let c = self.const_i32(by);
+        let sum = self.add(var, c);
+        self.move_(var, sum);
+    }
+
+    // ---- memory -----------------------------------------------------------
+
+    /// `obj.field` into a fresh register of the field's type.
+    pub fn getfield(&mut self, obj: Reg, field: FieldId) -> Reg {
+        let ty = self.pb.program().field(field).ty.reg_ty();
+        self.emit_value(ty, |dst| Instr::GetField { dst, obj, field })
+    }
+
+    /// `obj.field = src`.
+    pub fn putfield(&mut self, obj: Reg, field: FieldId, src: Reg) {
+        self.push(Instr::PutField { obj, field, src });
+    }
+
+    /// Loads a static slot.
+    pub fn getstatic(&mut self, sid: StaticId) -> Reg {
+        let ty = self.pb.program().static_def(sid).ty.reg_ty();
+        self.emit_value(ty, |dst| Instr::GetStatic { dst, sid })
+    }
+
+    /// Stores to a static slot.
+    pub fn putstatic(&mut self, sid: StaticId, src: Reg) {
+        self.push(Instr::PutStatic { sid, src });
+    }
+
+    /// `arr[idx]` with element type `elem`.
+    pub fn aload(&mut self, arr: Reg, idx: Reg, elem: ElemTy) -> Reg {
+        self.emit_value(elem.reg_ty(), |dst| Instr::ALoad {
+            dst,
+            arr,
+            idx,
+            elem,
+        })
+    }
+
+    /// `arr[idx] = src`.
+    pub fn astore(&mut self, arr: Reg, idx: Reg, src: Reg, elem: ElemTy) {
+        self.push(Instr::AStore {
+            arr,
+            idx,
+            src,
+            elem,
+        });
+    }
+
+    /// `arr.length`.
+    pub fn arraylen(&mut self, arr: Reg) -> Reg {
+        self.emit_value(Ty::I32, |dst| Instr::ArrayLen { dst, arr })
+    }
+
+    /// Allocates an object.
+    pub fn new_object(&mut self, class: ClassId) -> Reg {
+        self.emit_value(Ty::Ref, |dst| Instr::New { dst, class })
+    }
+
+    /// Allocates an array.
+    pub fn new_array(&mut self, elem: ElemTy, len: Reg) -> Reg {
+        self.emit_value(Ty::Ref, |dst| Instr::NewArray { dst, elem, len })
+    }
+
+    /// Calls a method that returns a value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the callee returns nothing; use
+    /// [`call_void`](Self::call_void) for those.
+    pub fn call(&mut self, callee: MethodId, args: &[Reg]) -> Reg {
+        let ret = self
+            .pb
+            .program()
+            .method(callee)
+            .func()
+            .ret_ty()
+            .expect("callee returns no value; use call_void");
+        let args = args.to_vec();
+        self.emit_value(ret, |dst| Instr::Call {
+            dst: Some(dst),
+            callee,
+            args,
+        })
+    }
+
+    /// Calls a method that returns nothing.
+    pub fn call_void(&mut self, callee: MethodId, args: &[Reg]) {
+        self.push(Instr::Call {
+            dst: None,
+            callee,
+            args: args.to_vec(),
+        });
+    }
+
+    // ---- control flow -----------------------------------------------------
+
+    /// Creates a new (empty) block.
+    pub fn create_block(&mut self) -> BlockId {
+        self.func.add_block()
+    }
+
+    /// Switches emission to `bb`.
+    pub fn switch_to(&mut self, bb: BlockId) {
+        self.cur = bb;
+    }
+
+    /// The current block.
+    pub fn current_block(&self) -> BlockId {
+        self.cur
+    }
+
+    fn terminate(&mut self, term: Terminator) {
+        assert!(
+            matches!(self.func.block(self.cur).term, Terminator::Unreachable),
+            "block {} already terminated",
+            self.cur
+        );
+        self.func.block_mut(self.cur).term = term;
+    }
+
+    /// Ends the current block with a jump and switches to `to`... no — the
+    /// caller decides where to emit next via [`switch_to`](Self::switch_to).
+    pub fn jump(&mut self, to: BlockId) {
+        self.terminate(Terminator::Jump(to));
+    }
+
+    /// Ends the current block with a conditional branch.
+    pub fn branch(&mut self, cond: Reg, then_bb: BlockId, else_bb: BlockId) {
+        self.terminate(Terminator::Branch {
+            cond,
+            then_bb,
+            else_bb,
+        });
+    }
+
+    /// Returns from the function and switches emission to a fresh
+    /// (unreachable) block so structured builders can continue.
+    pub fn ret(&mut self, value: Option<Reg>) {
+        self.terminate(Terminator::Return(value));
+        let dead = self.create_block();
+        self.switch_to(dead);
+    }
+
+    /// `if (cond != 0) { then }`.
+    pub fn if_(&mut self, cond: Reg, then: impl FnOnce(&mut Self)) {
+        let then_bb = self.create_block();
+        let join = self.create_block();
+        self.branch(cond, then_bb, join);
+        self.switch_to(then_bb);
+        then(self);
+        self.jump(join);
+        self.switch_to(join);
+    }
+
+    /// `if (cond != 0) { then } else { els }`.
+    pub fn if_else(
+        &mut self,
+        cond: Reg,
+        then: impl FnOnce(&mut Self),
+        els: impl FnOnce(&mut Self),
+    ) {
+        let then_bb = self.create_block();
+        let else_bb = self.create_block();
+        let join = self.create_block();
+        self.branch(cond, then_bb, else_bb);
+        self.switch_to(then_bb);
+        then(self);
+        self.jump(join);
+        self.switch_to(else_bb);
+        els(self);
+        self.jump(join);
+        self.switch_to(join);
+    }
+
+    /// `while (cond()) { body }`. The condition closure is re-evaluated on
+    /// every iteration (so e.g. a `getfield` limit is reloaded each time,
+    /// like Java source semantics). `continue_` targets the condition.
+    pub fn while_(
+        &mut self,
+        cond: impl FnOnce(&mut Self) -> Reg,
+        body: impl FnOnce(&mut Self),
+    ) {
+        let head = self.create_block();
+        let body_bb = self.create_block();
+        let exit = self.create_block();
+        self.jump(head);
+        self.switch_to(head);
+        let c = cond(self);
+        self.branch(c, body_bb, exit);
+        self.switch_to(body_bb);
+        self.loops.push(LoopCtx {
+            continue_target: head,
+            break_target: exit,
+        });
+        body(self);
+        self.loops.pop();
+        self.jump(head);
+        self.switch_to(exit);
+    }
+
+    /// `for (i = init; i cmp limit(); i += step) { body(i) }`.
+    ///
+    /// Returns the counter register. `continue_` targets the increment.
+    pub fn for_i32(
+        &mut self,
+        init: i32,
+        step: i32,
+        cmp: CmpOp,
+        limit: impl FnOnce(&mut Self) -> Reg,
+        body: impl FnOnce(&mut Self, Reg),
+    ) -> Reg {
+        let i = self.new_reg(Ty::I32);
+        let init_c = self.const_i32(init);
+        self.move_(i, init_c);
+        let head = self.create_block();
+        let body_bb = self.create_block();
+        let incr = self.create_block();
+        let exit = self.create_block();
+        self.jump(head);
+        self.switch_to(head);
+        let l = limit(self);
+        let c = self.cmp(cmp, i, l);
+        self.branch(c, body_bb, exit);
+        self.switch_to(body_bb);
+        self.loops.push(LoopCtx {
+            continue_target: incr,
+            break_target: exit,
+        });
+        body(self, i);
+        self.loops.pop();
+        self.jump(incr);
+        self.switch_to(incr);
+        self.inc(i, step);
+        self.jump(head);
+        self.switch_to(exit);
+        i
+    }
+
+    /// A general `for`-style loop: `while (cond()) { body(); update(); }`
+    /// where `continue_` targets the `update` code (unlike
+    /// [`while_`](Self::while_), where it targets the condition).
+    pub fn loop_with_update(
+        &mut self,
+        cond: impl FnOnce(&mut Self) -> Reg,
+        body: impl FnOnce(&mut Self),
+        update: impl FnOnce(&mut Self),
+    ) {
+        let head = self.create_block();
+        let body_bb = self.create_block();
+        let update_bb = self.create_block();
+        let exit = self.create_block();
+        self.jump(head);
+        self.switch_to(head);
+        let c = cond(self);
+        self.branch(c, body_bb, exit);
+        self.switch_to(body_bb);
+        self.loops.push(LoopCtx {
+            continue_target: update_bb,
+            break_target: exit,
+        });
+        body(self);
+        self.loops.pop();
+        self.jump(update_bb);
+        self.switch_to(update_bb);
+        update(self);
+        self.jump(head);
+        self.switch_to(exit);
+    }
+
+    /// Pushes a loop context so that `break_`/`continue_` emitted by an
+    /// external lowering (e.g. the `spf-lang` front end, which manages its
+    /// own blocks) target the given blocks. Must be balanced with
+    /// [`pop_loop_ctx`](Self::pop_loop_ctx).
+    pub fn push_loop_ctx(&mut self, continue_target: BlockId, break_target: BlockId) {
+        self.loops.push(LoopCtx {
+            continue_target,
+            break_target,
+        });
+    }
+
+    /// Pops a loop context pushed with [`push_loop_ctx`](Self::push_loop_ctx).
+    ///
+    /// # Panics
+    ///
+    /// Panics if no context is active.
+    pub fn pop_loop_ctx(&mut self) {
+        self.loops.pop().expect("unbalanced pop_loop_ctx");
+    }
+
+    /// `continue` targeting the loop `depth` levels out (0 = innermost).
+    ///
+    /// # Panics
+    ///
+    /// Panics if there is no enclosing loop at that depth.
+    pub fn continue_(&mut self, depth: usize) {
+        let ctx = self.loops[self.loops.len() - 1 - depth];
+        self.jump(ctx.continue_target);
+        let dead = self.create_block();
+        self.switch_to(dead);
+    }
+
+    /// `break` targeting the loop `depth` levels out (0 = innermost).
+    ///
+    /// # Panics
+    ///
+    /// Panics if there is no enclosing loop at that depth.
+    pub fn break_(&mut self, depth: usize) {
+        let ctx = self.loops[self.loops.len() - 1 - depth];
+        self.jump(ctx.break_target);
+        let dead = self.create_block();
+        self.switch_to(dead);
+    }
+
+    /// Finishes the function: terminates a trailing open block (with
+    /// `Return(None)` for void functions), verifies the body, installs it
+    /// in the program, and returns the method id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if verification fails.
+    pub fn finish(mut self) -> MethodId {
+        if matches!(self.func.block(self.cur).term, Terminator::Unreachable)
+            && self.func.ret_ty().is_none()
+        {
+            self.func.block_mut(self.cur).term = Terminator::Return(None);
+        }
+        self.done = true;
+        let mid = self.mid;
+        let func = std::mem::replace(&mut self.func, Function::with_signature("", &[], None));
+        if let Err(e) = crate::verify::verify(self.pb.program(), &func) {
+            panic!("IR verification failed for `{}`: {e}", func.name());
+        }
+        self.pb.program.replace_method_body(mid, func);
+        mid
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn straight_line() {
+        let mut pb = ProgramBuilder::new();
+        let mut b = pb.function("f", &[Ty::I32], Some(Ty::I32));
+        let x = b.param(0);
+        let one = b.const_i32(1);
+        let y = b.add(x, one);
+        b.ret(Some(y));
+        let mid = b.finish();
+        let p = pb.finish();
+        assert_eq!(p.method(mid).name(), "f");
+        assert!(p.method(mid).func().instr_count() >= 2);
+    }
+
+    #[test]
+    fn while_loop_shape() {
+        let mut pb = ProgramBuilder::new();
+        let mut b = pb.function("count", &[Ty::I32], Some(Ty::I32));
+        let n = b.param(0);
+        let i = b.new_reg(Ty::I32);
+        let zero = b.const_i32(0);
+        b.move_(i, zero);
+        b.while_(|b| b.lt(i, n), |b| b.inc(i, 1));
+        b.ret(Some(i));
+        let mid = b.finish();
+        let p = pb.finish();
+        // entry + head + body + exit + dead-after-ret
+        assert!(p.method(mid).func().block_count() >= 4);
+    }
+
+    #[test]
+    fn nested_loop_with_labelled_continue() {
+        let mut pb = ProgramBuilder::new();
+        let mut b = pb.function("nest", &[Ty::I32], Some(Ty::I32));
+        let n = b.param(0);
+        let total = b.new_reg(Ty::I32);
+        let zero = b.const_i32(0);
+        b.move_(total, zero);
+        b.for_i32(0, 1, CmpOp::Lt, |_| n, |b, _i| {
+            b.for_i32(0, 1, CmpOp::Lt, |_| n, |b, j| {
+                let two = b.const_i32(2);
+                let c = b.ge(j, two);
+                b.if_(c, |b| b.continue_(1)); // continue the *outer* loop
+                b.inc(total, 1);
+            });
+        });
+        b.ret(Some(total));
+        b.finish();
+    }
+
+    #[test]
+    fn if_else_returns() {
+        let mut pb = ProgramBuilder::new();
+        let mut b = pb.function("abs", &[Ty::I32], Some(Ty::I32));
+        let x = b.param(0);
+        let zero = b.const_i32(0);
+        let c = b.lt(x, zero);
+        let out = b.new_reg(Ty::I32);
+        b.if_else(
+            c,
+            |b| {
+                let n = b.un(UnOp::Neg, x);
+                b.move_(out, n);
+            },
+            |b| b.move_(out, x),
+        );
+        b.ret(Some(out));
+        b.finish();
+    }
+
+    #[test]
+    fn declare_then_define_recursion() {
+        let mut pb = ProgramBuilder::new();
+        let fib = pb.declare("fib", &[Ty::I32], Some(Ty::I32));
+        let mut b = pb.define(fib);
+        let n = b.param(0);
+        let two = b.const_i32(2);
+        let c = b.lt(n, two);
+        b.if_(c, |b| b.ret(Some(n)));
+        let one = b.const_i32(1);
+        let n1 = b.sub(n, one);
+        let a = b.call(fib, &[n1]);
+        let n2 = b.sub(n, two);
+        let bb = b.call(fib, &[n2]);
+        let s = b.add(a, bb);
+        b.ret(Some(s));
+        b.finish();
+        assert!(pb.finish().method_by_name("fib").is_some());
+    }
+}

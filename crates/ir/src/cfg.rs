@@ -1,0 +1,137 @@
+//! Control-flow graph: predecessors, successors, reverse postorder.
+
+use crate::entities::BlockId;
+use crate::func::Function;
+
+/// Precomputed CFG facts for one [`Function`].
+#[derive(Clone, Debug)]
+pub struct Cfg {
+    preds: Vec<Vec<BlockId>>,
+    succs: Vec<Vec<BlockId>>,
+    rpo: Vec<BlockId>,
+    rpo_index: Vec<Option<u32>>,
+}
+
+impl Cfg {
+    /// Computes the CFG of `func`.
+    pub fn compute(func: &Function) -> Self {
+        let n = func.block_count();
+        let mut preds = vec![Vec::new(); n];
+        let mut succs = vec![Vec::new(); n];
+        for b in func.block_ids() {
+            for s in func.block(b).term.successors() {
+                succs[b.index()].push(s);
+                preds[s.index()].push(b);
+            }
+        }
+        // Iterative DFS postorder from the entry; unreachable blocks are
+        // excluded from the RPO (their rpo_index is None).
+        let mut state = vec![0u8; n]; // 0 = unvisited, 1 = on stack, 2 = done
+        let mut post = Vec::with_capacity(n);
+        let mut stack: Vec<(BlockId, usize)> = vec![(func.entry(), 0)];
+        state[func.entry().index()] = 1;
+        while let Some(&mut (b, ref mut next)) = stack.last_mut() {
+            let ss = &succs[b.index()];
+            if *next < ss.len() {
+                let s = ss[*next];
+                *next += 1;
+                if state[s.index()] == 0 {
+                    state[s.index()] = 1;
+                    stack.push((s, 0));
+                }
+            } else {
+                state[b.index()] = 2;
+                post.push(b);
+                stack.pop();
+            }
+        }
+        post.reverse();
+        let mut rpo_index = vec![None; n];
+        for (i, b) in post.iter().enumerate() {
+            rpo_index[b.index()] = Some(i as u32);
+        }
+        Cfg {
+            preds,
+            succs,
+            rpo: post,
+            rpo_index,
+        }
+    }
+
+    /// Predecessors of `b`.
+    pub fn preds(&self, b: BlockId) -> &[BlockId] {
+        &self.preds[b.index()]
+    }
+
+    /// Successors of `b`.
+    pub fn succs(&self, b: BlockId) -> &[BlockId] {
+        &self.succs[b.index()]
+    }
+
+    /// Reachable blocks in reverse postorder (entry first).
+    pub fn rpo(&self) -> &[BlockId] {
+        &self.rpo
+    }
+
+    /// Position of `b` in the reverse postorder, or `None` if unreachable.
+    pub fn rpo_index(&self, b: BlockId) -> Option<usize> {
+        self.rpo_index[b.index()].map(|i| i as usize)
+    }
+
+    /// Whether `b` is reachable from the entry.
+    pub fn is_reachable(&self, b: BlockId) -> bool {
+        self.rpo_index[b.index()].is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ProgramBuilder;
+    use crate::types::Ty;
+
+    fn diamond() -> (crate::Program, crate::MethodId) {
+        let mut pb = ProgramBuilder::new();
+        let mut b = pb.function("d", &[Ty::I32], Some(Ty::I32));
+        let x = b.param(0);
+        let zero = b.const_i32(0);
+        let c = b.gt(x, zero);
+        let out = b.new_reg(Ty::I32);
+        b.if_else(c, |b| b.move_(out, x), |b| b.move_(out, zero));
+        b.ret(Some(out));
+        let m = b.finish();
+        (pb.finish(), m)
+    }
+
+    #[test]
+    fn diamond_cfg() {
+        let (p, m) = diamond();
+        let f = p.method(m).func();
+        let cfg = Cfg::compute(f);
+        let entry = f.entry();
+        assert_eq!(cfg.succs(entry).len(), 2);
+        assert_eq!(cfg.rpo()[0], entry);
+        // The join block has two predecessors.
+        let join = cfg
+            .rpo()
+            .iter()
+            .copied()
+            .find(|&b| cfg.preds(b).len() == 2)
+            .expect("join block");
+        assert!(cfg.is_reachable(join));
+        // RPO places entry before both arms before the join.
+        for &arm in cfg.succs(entry) {
+            assert!(cfg.rpo_index(entry).unwrap() < cfg.rpo_index(arm).unwrap());
+            assert!(cfg.rpo_index(arm).unwrap() < cfg.rpo_index(join).unwrap());
+        }
+    }
+
+    #[test]
+    fn dead_block_after_return_is_unreachable() {
+        let (p, m) = diamond();
+        let f = p.method(m).func();
+        let cfg = Cfg::compute(f);
+        let unreachable: Vec<_> = f.block_ids().filter(|&b| !cfg.is_reachable(b)).collect();
+        assert_eq!(unreachable.len(), 1, "the dead block created by ret()");
+    }
+}

@@ -1,0 +1,253 @@
+//! Reaching definitions and use-def chains.
+//!
+//! The IR is not SSA — registers are mutable locals, as in the stack frames
+//! the paper's JIT operates on — so the load dependence graph construction
+//! (paper §3.1, "we can construct the graph, for instance, by utilizing the
+//! use-def chains built for the method") needs a classic reaching-definitions
+//! analysis.
+
+use crate::bitset::BitSet;
+use crate::cfg::Cfg;
+use crate::entities::{InstrRef, Reg};
+use crate::func::Function;
+
+/// A definition site of a register.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum DefSite {
+    /// The register is a parameter (defined at function entry).
+    Param(Reg),
+    /// The register is defined by the instruction at this site.
+    Instr(InstrRef),
+}
+
+/// Reaching-definitions facts plus use-def queries for one function.
+#[derive(Clone, Debug)]
+pub struct UseDef {
+    defs: Vec<(DefSite, Reg)>,
+    defs_of_reg: Vec<Vec<u32>>,
+    /// def-site bitset flowing into each block
+    reach_in: Vec<BitSet>,
+}
+
+impl UseDef {
+    /// Runs reaching definitions over `func`.
+    pub fn compute(func: &Function, cfg: &Cfg) -> Self {
+        let mut defs: Vec<(DefSite, Reg)> = Vec::new();
+        let mut defs_of_reg: Vec<Vec<u32>> = vec![Vec::new(); func.reg_count()];
+        for p in func.params() {
+            defs_of_reg[p.index()].push(defs.len() as u32);
+            defs.push((DefSite::Param(p), p));
+        }
+        for site in func.instr_sites() {
+            if let Some(dst) = func.instr(site).dst() {
+                defs_of_reg[dst.index()].push(defs.len() as u32);
+                defs.push((DefSite::Instr(site), dst));
+            }
+        }
+        let ndefs = defs.len();
+        let nblocks = func.block_count();
+
+        // gen/kill per block
+        let mut gen = vec![BitSet::new(ndefs); nblocks];
+        let mut kill = vec![BitSet::new(ndefs); nblocks];
+        // Map from site to def number for quick lookup.
+        let mut def_no_at: std::collections::HashMap<InstrRef, u32> = std::collections::HashMap::new();
+        for (no, (site, _)) in defs.iter().enumerate() {
+            if let DefSite::Instr(s) = site {
+                def_no_at.insert(*s, no as u32);
+            }
+        }
+        for b in func.block_ids() {
+            let g = &mut gen[b.index()];
+            let k = &mut kill[b.index()];
+            for (i, instr) in func.block(b).instrs.iter().enumerate() {
+                if let Some(dst) = instr.dst() {
+                    let no = def_no_at[&InstrRef::new(b, i)];
+                    // A new def of dst kills all other defs of dst.
+                    for &other in &defs_of_reg[dst.index()] {
+                        g.remove(other as usize);
+                        k.insert(other as usize);
+                    }
+                    g.insert(no as usize);
+                    k.remove(no as usize);
+                }
+            }
+        }
+
+        // in[entry] = parameter defs; iterate to fixpoint in RPO.
+        let mut reach_in = vec![BitSet::new(ndefs); nblocks];
+        let mut reach_out = vec![BitSet::new(ndefs); nblocks];
+        for p in func.params() {
+            for &no in &defs_of_reg[p.index()] {
+                if matches!(defs[no as usize].0, DefSite::Param(_)) {
+                    reach_in[func.entry().index()].insert(no as usize);
+                }
+            }
+        }
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &b in cfg.rpo() {
+                let bi = b.index();
+                let mut inset = reach_in[bi].clone();
+                for &p in cfg.preds(b) {
+                    inset.union_with(&reach_out[p.index()]);
+                }
+                let mut outset = inset.clone();
+                outset.subtract(&kill[bi]);
+                outset.union_with(&gen[bi]);
+                if inset != reach_in[bi] || outset != reach_out[bi] {
+                    reach_in[bi] = inset;
+                    reach_out[bi] = outset;
+                    changed = true;
+                }
+            }
+        }
+
+        UseDef {
+            defs,
+            defs_of_reg,
+            reach_in,
+        }
+    }
+
+    /// The definitions of `reg` that reach the *use* at `site` (i.e. the
+    /// program point just before the instruction executes).
+    pub fn reaching_defs(&self, func: &Function, site: InstrRef, reg: Reg) -> Vec<DefSite> {
+        let mut live: Vec<DefSite> = self.reach_in[site.block.index()]
+            .iter()
+            .filter(|&no| self.defs[no].1 == reg)
+            .map(|no| self.defs[no].0)
+            .collect();
+        // Walk the block up to (not including) the use site; a redefinition
+        // of `reg` replaces the whole set.
+        for (i, instr) in func.block(site.block).instrs.iter().enumerate() {
+            if i as u32 >= site.index {
+                break;
+            }
+            if instr.dst() == Some(reg) {
+                live.clear();
+                live.push(DefSite::Instr(InstrRef::new(site.block, i)));
+            }
+        }
+        live
+    }
+
+    /// If exactly one definition of `reg` reaches `site`, returns it.
+    pub fn unique_reaching_def(
+        &self,
+        func: &Function,
+        site: InstrRef,
+        reg: Reg,
+    ) -> Option<DefSite> {
+        let d = self.reaching_defs(func, site, reg);
+        if d.len() == 1 {
+            Some(d[0])
+        } else {
+            None
+        }
+    }
+
+    /// All definition sites of `reg` anywhere in the function.
+    pub fn defs_of(&self, reg: Reg) -> impl Iterator<Item = DefSite> + '_ {
+        self.defs_of_reg[reg.index()]
+            .iter()
+            .map(move |&no| self.defs[no as usize].0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ProgramBuilder;
+    use crate::instr::Instr;
+    use crate::types::Ty;
+
+    #[test]
+    fn straight_line_use_def() {
+        let mut pb = ProgramBuilder::new();
+        let mut b = pb.function("f", &[Ty::I32], Some(Ty::I32));
+        let x = b.param(0);
+        let one = b.const_i32(1);
+        let y = b.add(x, one);
+        b.ret(Some(y));
+        let m = b.finish();
+        let p = pb.finish();
+        let f = p.method(m).func();
+        let cfg = Cfg::compute(f);
+        let ud = UseDef::compute(f, &cfg);
+        // The add's use of `x` reaches back to the parameter.
+        let add_site = f
+            .instr_sites()
+            .find(|&s| matches!(f.instr(s), Instr::Bin { .. }))
+            .unwrap();
+        assert_eq!(
+            ud.reaching_defs(f, add_site, x),
+            vec![DefSite::Param(x)]
+        );
+        // The add's use of `one` reaches the const site.
+        let const_site = f
+            .instr_sites()
+            .find(|&s| matches!(f.instr(s), Instr::Const { .. }))
+            .unwrap();
+        assert_eq!(
+            ud.reaching_defs(f, add_site, one),
+            vec![DefSite::Instr(const_site)]
+        );
+    }
+
+    #[test]
+    fn loop_carried_defs_merge() {
+        // i is defined before the loop and redefined in the body: a use in
+        // the loop header sees both definitions.
+        let mut pb = ProgramBuilder::new();
+        let mut b = pb.function("g", &[Ty::I32], Some(Ty::I32));
+        let n = b.param(0);
+        let i = b.new_reg(Ty::I32);
+        let z = b.const_i32(0);
+        b.move_(i, z);
+        b.while_(|b| b.lt(i, n), |b| b.inc(i, 1));
+        b.ret(Some(i));
+        let m = b.finish();
+        let p = pb.finish();
+        let f = p.method(m).func();
+        let cfg = Cfg::compute(f);
+        let ud = UseDef::compute(f, &cfg);
+        // Find the comparison in the loop header.
+        let cmp_site = f
+            .instr_sites()
+            .find(|&s| matches!(f.instr(s), Instr::Cmp { .. }))
+            .unwrap();
+        let defs = ud.reaching_defs(f, cmp_site, i);
+        assert_eq!(defs.len(), 2, "initial move and loop-body move: {defs:?}");
+    }
+
+    #[test]
+    fn redefinition_within_block_kills() {
+        let mut pb = ProgramBuilder::new();
+        let mut b = pb.function("h", &[], Some(Ty::I32));
+        let a1 = b.const_i32(1);
+        let v = b.new_reg(Ty::I32);
+        b.move_(v, a1);
+        let a2 = b.const_i32(2);
+        b.move_(v, a2);
+        let out = b.add(v, v);
+        b.ret(Some(out));
+        let m = b.finish();
+        let p = pb.finish();
+        let f = p.method(m).func();
+        let cfg = Cfg::compute(f);
+        let ud = UseDef::compute(f, &cfg);
+        let add_site = f
+            .instr_sites()
+            .find(|&s| matches!(f.instr(s), Instr::Bin { .. }))
+            .unwrap();
+        let defs = ud.reaching_defs(f, add_site, v);
+        assert_eq!(defs.len(), 1, "second move kills the first");
+        // And it is the *second* move.
+        match defs[0] {
+            DefSite::Instr(s) => assert!(matches!(f.instr(s), Instr::Move { .. })),
+            _ => panic!("expected instr def"),
+        }
+    }
+}

@@ -1,0 +1,86 @@
+//! Graphviz (DOT) export of control-flow graphs.
+
+use crate::func::Function;
+use crate::instr::Terminator;
+use crate::program::Program;
+
+/// Renders `func`'s CFG as a DOT digraph, one record node per basic block
+/// with its instructions, solid edges for jumps and labelled edges for
+/// branch arms.
+pub fn cfg_to_dot(program: &Program, func: &Function) -> String {
+    use std::fmt::Write;
+    let mut s = String::new();
+    let _ = writeln!(s, "digraph \"{}\" {{", func.name());
+    let _ = writeln!(s, "  node [shape=box, fontname=\"monospace\"];");
+    for b in func.block_ids() {
+        let block = func.block(b);
+        let mut label = format!("{b}\\l");
+        for instr in &block.instrs {
+            let text = crate::display::instr_to_string(program, func, instr)
+                .replace('"', "'")
+                .replace('\\', "\\\\");
+            label.push_str(&text);
+            label.push_str("\\l");
+        }
+        let _ = writeln!(s, "  {} [label=\"{}\"];", b.index(), label);
+        match &block.term {
+            Terminator::Jump(t) => {
+                let _ = writeln!(s, "  {} -> {};", b.index(), t.index());
+            }
+            Terminator::Branch {
+                then_bb, else_bb, ..
+            } => {
+                let _ = writeln!(
+                    s,
+                    "  {} -> {} [label=\"T\"];",
+                    b.index(),
+                    then_bb.index()
+                );
+                let _ = writeln!(
+                    s,
+                    "  {} -> {} [label=\"F\"];",
+                    b.index(),
+                    else_bb.index()
+                );
+            }
+            Terminator::Return(_) | Terminator::Unreachable => {}
+        }
+    }
+    s.push_str("}\n");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ProgramBuilder;
+    use crate::types::Ty;
+    use crate::CmpOp;
+
+    #[test]
+    fn dot_has_nodes_and_edges() {
+        let mut pb = ProgramBuilder::new();
+        let mut b = pb.function("loopy", &[Ty::I32], Some(Ty::I32));
+        let n = b.param(0);
+        let acc = b.new_reg(Ty::I32);
+        let z = b.const_i32(0);
+        b.move_(acc, z);
+        b.for_i32(0, 1, CmpOp::Lt, |_| n, |b, i| {
+            let s = b.add(acc, i);
+            b.move_(acc, s);
+        });
+        b.ret(Some(acc));
+        let m = b.finish();
+        let p = pb.finish();
+        let dot = cfg_to_dot(&p, p.method(m).func());
+        assert!(dot.starts_with("digraph \"loopy\""), "{dot}");
+        assert!(dot.contains("label=\"T\""), "branch arms labelled: {dot}");
+        assert!(dot.contains("->"), "{dot}");
+        assert!(dot.trim_end().ends_with('}'), "{dot}");
+        // Every reachable block appears as a node declaration.
+        let f = p.method(m).func();
+        for b in f.block_ids() {
+            assert!(dot.contains(&format!("  {} [label=", b.index())), "{dot}");
+        }
+    }
+}

@@ -1,0 +1,125 @@
+//! Newtype identifiers for IR entities.
+//!
+//! All identifiers are dense `u32` indices into the owning table
+//! ([`crate::Program`] or [`crate::Function`]), wrapped in newtypes so they
+//! cannot be confused with one another.
+
+/// Declares a `u32`-backed entity id with `new`/`index` and `Display`.
+macro_rules! entity_id {
+    ($(#[$doc:meta])* $name:ident, $prefix:expr) => {
+        $(#[$doc])*
+        #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+        pub struct $name(u32);
+
+        impl $name {
+            /// Creates an id from a dense index.
+            ///
+            /// # Panics
+            ///
+            /// Panics if `index` does not fit in `u32`.
+            pub fn new(index: usize) -> Self {
+                Self(u32::try_from(index).expect("entity index overflow"))
+            }
+
+            /// Returns the dense index this id wraps.
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl std::fmt::Display for $name {
+            fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                write!(f, "{}{}", $prefix, self.0)
+            }
+        }
+
+        impl std::fmt::Debug for $name {
+            fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                write!(f, "{}{}", $prefix, self.0)
+            }
+        }
+    };
+}
+
+entity_id!(
+    /// A virtual register local to a [`crate::Function`].
+    Reg,
+    "r"
+);
+entity_id!(
+    /// A basic block within a [`crate::Function`].
+    BlockId,
+    "bb"
+);
+entity_id!(
+    /// A class in a [`crate::Program`].
+    ClassId,
+    "class"
+);
+entity_id!(
+    /// An instance field; global across the program (fields know their owner).
+    FieldId,
+    "field"
+);
+entity_id!(
+    /// A static (global) variable slot.
+    StaticId,
+    "static"
+);
+entity_id!(
+    /// A method in a [`crate::Program`].
+    MethodId,
+    "method"
+);
+
+/// Identifies one instruction *site* inside a function: a block plus the
+/// instruction's position within that block.
+///
+/// Instruction sites are the nodes of the paper's load dependence graph and
+/// the keys under which object inspection records address traces.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct InstrRef {
+    /// The block containing the instruction.
+    pub block: BlockId,
+    /// Index of the instruction within [`crate::Block::instrs`].
+    pub index: u32,
+}
+
+impl InstrRef {
+    /// Creates an instruction reference.
+    pub fn new(block: BlockId, index: usize) -> Self {
+        Self {
+            block,
+            index: u32::try_from(index).expect("instruction index overflow"),
+        }
+    }
+}
+
+impl std::fmt::Display for InstrRef {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}:{}", self.block, self.index)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn entity_round_trip() {
+        let r = Reg::new(7);
+        assert_eq!(r.index(), 7);
+        assert_eq!(r.to_string(), "r7");
+        let b = BlockId::new(0);
+        assert_eq!(b.to_string(), "bb0");
+        assert_ne!(Reg::new(1), Reg::new(2));
+    }
+
+    #[test]
+    fn instr_ref_display_and_order() {
+        let a = InstrRef::new(BlockId::new(1), 3);
+        let b = InstrRef::new(BlockId::new(1), 4);
+        assert!(a < b);
+        assert_eq!(a.to_string(), "bb1:3");
+    }
+}

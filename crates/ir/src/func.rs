@@ -1,0 +1,197 @@
+//! Functions (method bodies) and basic blocks.
+
+use crate::entities::{BlockId, InstrRef, Reg};
+use crate::instr::{Instr, Terminator};
+use crate::types::Ty;
+
+/// A basic block: a straight-line instruction sequence plus a terminator.
+#[derive(Clone, PartialEq, Debug)]
+pub struct Block {
+    /// The instructions in execution order.
+    pub instrs: Vec<Instr>,
+    /// The block terminator.
+    pub term: Terminator,
+}
+
+impl Block {
+    /// An empty block ending in `Unreachable` (the builder's placeholder).
+    pub fn new() -> Self {
+        Block {
+            instrs: Vec::new(),
+            term: Terminator::Unreachable,
+        }
+    }
+}
+
+impl Default for Block {
+    fn default() -> Self {
+        Block::new()
+    }
+}
+
+/// A function body: typed virtual registers and a CFG of basic blocks.
+///
+/// The first [`Function::param_count`] registers are the parameters, in
+/// order. Registers are mutable (this IR is not SSA), matching the
+/// stack-frame model the paper's object inspection copies.
+#[derive(Clone, PartialEq, Debug)]
+pub struct Function {
+    name: String,
+    param_count: usize,
+    ret: Option<Ty>,
+    reg_tys: Vec<Ty>,
+    blocks: Vec<Block>,
+    entry: BlockId,
+}
+
+impl Function {
+    /// Creates an empty function with the given signature; used by the
+    /// builder.
+    pub fn with_signature(name: impl Into<String>, params: &[Ty], ret: Option<Ty>) -> Self {
+        Function {
+            name: name.into(),
+            param_count: params.len(),
+            ret,
+            reg_tys: params.to_vec(),
+            blocks: vec![Block::new()],
+            entry: BlockId::new(0),
+        }
+    }
+
+    /// The function's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of parameters (the first registers).
+    pub fn param_count(&self) -> usize {
+        self.param_count
+    }
+
+    /// The parameter registers, in order.
+    pub fn params(&self) -> impl Iterator<Item = Reg> + '_ {
+        (0..self.param_count).map(Reg::new)
+    }
+
+    /// Return type, if any.
+    pub fn ret_ty(&self) -> Option<Ty> {
+        self.ret
+    }
+
+    /// The entry block.
+    pub fn entry(&self) -> BlockId {
+        self.entry
+    }
+
+    /// Number of virtual registers.
+    pub fn reg_count(&self) -> usize {
+        self.reg_tys.len()
+    }
+
+    /// Type of register `r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is not a register of this function.
+    pub fn reg_ty(&self, r: Reg) -> Ty {
+        self.reg_tys[r.index()]
+    }
+
+    /// Allocates a fresh register of type `ty`.
+    pub fn new_reg(&mut self, ty: Ty) -> Reg {
+        let r = Reg::new(self.reg_tys.len());
+        self.reg_tys.push(ty);
+        r
+    }
+
+    /// Number of basic blocks.
+    pub fn block_count(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// All block ids, in creation order.
+    pub fn block_ids(&self) -> impl Iterator<Item = BlockId> {
+        (0..self.blocks.len()).map(BlockId::new)
+    }
+
+    /// Borrows block `b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b` is not a block of this function.
+    pub fn block(&self, b: BlockId) -> &Block {
+        &self.blocks[b.index()]
+    }
+
+    /// Mutably borrows block `b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b` is not a block of this function.
+    pub fn block_mut(&mut self, b: BlockId) -> &mut Block {
+        &mut self.blocks[b.index()]
+    }
+
+    /// Appends a new empty block and returns its id.
+    pub fn add_block(&mut self) -> BlockId {
+        let id = BlockId::new(self.blocks.len());
+        self.blocks.push(Block::new());
+        id
+    }
+
+    /// The instruction at `site`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the site is out of range.
+    pub fn instr(&self, site: InstrRef) -> &Instr {
+        &self.blocks[site.block.index()].instrs[site.index as usize]
+    }
+
+    /// Iterates over all instruction sites in block order.
+    pub fn instr_sites(&self) -> impl Iterator<Item = InstrRef> + '_ {
+        self.block_ids().flat_map(move |b| {
+            (0..self.block(b).instrs.len()).map(move |i| InstrRef::new(b, i))
+        })
+    }
+
+    /// Total number of instructions (excluding terminators).
+    pub fn instr_count(&self) -> usize {
+        self.blocks.iter().map(|b| b.instrs.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instr::Instr;
+    use crate::types::Const;
+
+    #[test]
+    fn signature_and_regs() {
+        let mut f = Function::with_signature("f", &[Ty::I32, Ty::Ref], Some(Ty::I32));
+        assert_eq!(f.param_count(), 2);
+        assert_eq!(f.reg_ty(Reg::new(0)), Ty::I32);
+        assert_eq!(f.reg_ty(Reg::new(1)), Ty::Ref);
+        let r = f.new_reg(Ty::F64);
+        assert_eq!(r, Reg::new(2));
+        assert_eq!(f.reg_ty(r), Ty::F64);
+        assert_eq!(f.params().collect::<Vec<_>>(), vec![Reg::new(0), Reg::new(1)]);
+    }
+
+    #[test]
+    fn blocks_and_sites() {
+        let mut f = Function::with_signature("f", &[], None);
+        let b1 = f.add_block();
+        let r = f.new_reg(Ty::I32);
+        f.block_mut(f.entry()).instrs.push(Instr::Const {
+            dst: r,
+            value: Const::I32(1),
+        });
+        f.block_mut(b1).instrs.push(Instr::Move { dst: r, src: r });
+        assert_eq!(f.instr_count(), 2);
+        let sites: Vec<_> = f.instr_sites().collect();
+        assert_eq!(sites.len(), 2);
+        assert!(matches!(f.instr(sites[0]), Instr::Const { .. }));
+    }
+}

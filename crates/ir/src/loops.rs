@@ -1,0 +1,328 @@
+//! Natural loops and the loop nesting forest.
+//!
+//! The paper's algorithm "first attempts to identify loops, constructing a
+//! loop nesting forest. The algorithm then traverses the loops in each tree
+//! in a postorder traversal, walking the trees in the program order"
+//! (§3). [`LoopForest::postorder`] provides exactly that traversal order.
+
+use std::collections::VecDeque;
+
+use crate::bitset::BitSet;
+use crate::cfg::Cfg;
+use crate::dom::DomTree;
+use crate::entities::BlockId;
+use crate::func::Function;
+
+/// Identifies a loop within a [`LoopForest`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct LoopId(u32);
+
+impl LoopId {
+    fn new(i: usize) -> Self {
+        LoopId(u32::try_from(i).expect("loop index overflow"))
+    }
+
+    /// Dense index of this loop.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for LoopId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "loop{}", self.0)
+    }
+}
+
+/// One natural loop: header plus body blocks (including nested loops'
+/// blocks).
+#[derive(Clone, Debug)]
+pub struct LoopInfo {
+    /// The loop header block.
+    pub header: BlockId,
+    /// All blocks of the loop (header included), as a bitset over block ids.
+    pub blocks: BitSet,
+    /// Enclosing loop, if any.
+    pub parent: Option<LoopId>,
+    /// Directly nested loops.
+    pub children: Vec<LoopId>,
+}
+
+impl LoopInfo {
+    /// Whether `b` belongs to this loop (header included).
+    pub fn contains(&self, b: BlockId) -> bool {
+        self.blocks.contains(b.index())
+    }
+
+    /// Number of blocks in the loop.
+    pub fn block_count(&self) -> usize {
+        self.blocks.len()
+    }
+}
+
+/// The loop nesting forest of a function.
+#[derive(Clone, Debug)]
+pub struct LoopForest {
+    loops: Vec<LoopInfo>,
+    roots: Vec<LoopId>,
+    /// innermost loop containing each block, if any
+    innermost: Vec<Option<LoopId>>,
+}
+
+impl LoopForest {
+    /// Detects natural loops (back edges `n -> h` with `h` dominating `n`),
+    /// merging loops that share a header, and builds the nesting forest.
+    pub fn compute(func: &Function, cfg: &Cfg, dom: &DomTree) -> Self {
+        let nblocks = func.block_count();
+        // Collect back edges grouped by header, in program order of headers.
+        let mut headers: Vec<BlockId> = Vec::new();
+        let mut latches: Vec<Vec<BlockId>> = Vec::new();
+        for b in func.block_ids() {
+            if !cfg.is_reachable(b) {
+                continue;
+            }
+            for s in func.block(b).term.successors() {
+                if dom.dominates(s, b) {
+                    match headers.iter().position(|&h| h == s) {
+                        Some(i) => latches[i].push(b),
+                        None => {
+                            headers.push(s);
+                            latches.push(vec![b]);
+                        }
+                    }
+                }
+            }
+        }
+        // Body of each loop: header + all blocks that reach a latch without
+        // passing through the header (standard worklist over predecessors).
+        let mut loops: Vec<LoopInfo> = Vec::with_capacity(headers.len());
+        for (i, &h) in headers.iter().enumerate() {
+            let mut blocks = BitSet::new(nblocks);
+            blocks.insert(h.index());
+            let mut work: VecDeque<BlockId> = VecDeque::new();
+            for &l in &latches[i] {
+                if blocks.insert(l.index()) {
+                    work.push_back(l);
+                }
+            }
+            while let Some(b) = work.pop_front() {
+                for &p in cfg.preds(b) {
+                    if cfg.is_reachable(p) && blocks.insert(p.index()) {
+                        work.push_back(p);
+                    }
+                }
+            }
+            loops.push(LoopInfo {
+                header: h,
+                blocks,
+                parent: None,
+                children: Vec::new(),
+            });
+        }
+        // Nesting: loop A is the parent of loop B if A contains B's header
+        // and A is the smallest such loop.
+        let order: Vec<usize> = {
+            let mut o: Vec<usize> = (0..loops.len()).collect();
+            o.sort_by_key(|&i| loops[i].block_count());
+            o
+        };
+        for bi in 0..loops.len() {
+            let header = loops[bi].header;
+            let mut best: Option<usize> = None;
+            for &ai in &order {
+                if ai != bi
+                    && loops[ai].contains(header)
+                    && loops[ai].block_count() > loops[bi].block_count()
+                {
+                    best = Some(ai);
+                    break; // order is by size, so the first hit is smallest
+                }
+            }
+            if let Some(p) = best {
+                loops[bi].parent = Some(LoopId::new(p));
+            }
+        }
+        let mut roots = Vec::new();
+        for i in 0..loops.len() {
+            match loops[i].parent {
+                Some(p) => {
+                    let child = LoopId::new(i);
+                    loops[p.index()].children.push(child);
+                }
+                None => roots.push(LoopId::new(i)),
+            }
+        }
+        // Innermost loop per block.
+        let mut innermost: Vec<Option<LoopId>> = vec![None; nblocks];
+        let mut by_size: Vec<usize> = (0..loops.len()).collect();
+        by_size.sort_by_key(|&i| std::cmp::Reverse(loops[i].block_count()));
+        for &i in &by_size {
+            for b in loops[i].blocks.iter() {
+                innermost[b] = Some(LoopId::new(i));
+            }
+        }
+        LoopForest {
+            loops,
+            roots,
+            innermost,
+        }
+    }
+
+    /// Number of loops.
+    pub fn len(&self) -> usize {
+        self.loops.len()
+    }
+
+    /// Whether the function has no loops.
+    pub fn is_empty(&self) -> bool {
+        self.loops.is_empty()
+    }
+
+    /// Borrows a loop.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a [`LoopId`] from another forest.
+    pub fn info(&self, id: LoopId) -> &LoopInfo {
+        &self.loops[id.index()]
+    }
+
+    /// Top-level loops in program order.
+    pub fn roots(&self) -> &[LoopId] {
+        &self.roots
+    }
+
+    /// The innermost loop containing block `b`, if any.
+    pub fn innermost(&self, b: BlockId) -> Option<LoopId> {
+        self.innermost[b.index()]
+    }
+
+    /// Nesting depth of a loop (top-level = 1).
+    pub fn depth(&self, id: LoopId) -> usize {
+        let mut d = 1;
+        let mut cur = id;
+        while let Some(p) = self.loops[cur.index()].parent {
+            d += 1;
+            cur = p;
+        }
+        d
+    }
+
+    /// All loops in the paper's processing order: each tree in program
+    /// order, loops within a tree in postorder (innermost first).
+    pub fn postorder(&self) -> Vec<LoopId> {
+        let mut out = Vec::with_capacity(self.loops.len());
+        fn visit(f: &LoopForest, id: LoopId, out: &mut Vec<LoopId>) {
+            for &c in &f.loops[id.index()].children {
+                visit(f, c, out);
+            }
+            out.push(id);
+        }
+        for &r in &self.roots {
+            visit(self, r, &mut out);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ProgramBuilder;
+    use crate::types::Ty;
+    use crate::CmpOp;
+
+    fn analyse(p: &crate::Program, m: crate::MethodId) -> (Cfg, DomTree, LoopForest) {
+        let f = p.method(m).func();
+        let cfg = Cfg::compute(f);
+        let dom = DomTree::compute(f, &cfg);
+        let lf = LoopForest::compute(f, &cfg, &dom);
+        (cfg, dom, lf)
+    }
+
+    #[test]
+    fn single_loop() {
+        let mut pb = ProgramBuilder::new();
+        let mut b = pb.function("l", &[Ty::I32], None);
+        let n = b.param(0);
+        b.for_i32(0, 1, CmpOp::Lt, |_| n, |_, _| {});
+        let m = b.finish();
+        let p = pb.finish();
+        let (_, _, lf) = analyse(&p, m);
+        assert_eq!(lf.len(), 1);
+        assert_eq!(lf.roots().len(), 1);
+        assert_eq!(lf.depth(lf.roots()[0]), 1);
+    }
+
+    #[test]
+    fn doubly_nested_loop() {
+        let mut pb = ProgramBuilder::new();
+        let mut b = pb.function("nest", &[Ty::I32], None);
+        let n = b.param(0);
+        b.for_i32(0, 1, CmpOp::Lt, |_| n, |b, _| {
+            b.for_i32(0, 1, CmpOp::Lt, |_| n, |_, _| {});
+        });
+        let m = b.finish();
+        let p = pb.finish();
+        let (_, _, lf) = analyse(&p, m);
+        assert_eq!(lf.len(), 2);
+        assert_eq!(lf.roots().len(), 1);
+        let outer = lf.roots()[0];
+        assert_eq!(lf.info(outer).children.len(), 1);
+        let inner = lf.info(outer).children[0];
+        assert_eq!(lf.depth(inner), 2);
+        // Postorder visits the inner loop first.
+        assert_eq!(lf.postorder(), vec![inner, outer]);
+        // The outer loop contains the inner loop's header.
+        assert!(lf.info(outer).contains(lf.info(inner).header));
+    }
+
+    #[test]
+    fn sequential_loops_are_siblings() {
+        let mut pb = ProgramBuilder::new();
+        let mut b = pb.function("seq", &[Ty::I32], None);
+        let n = b.param(0);
+        b.for_i32(0, 1, CmpOp::Lt, |_| n, |_, _| {});
+        b.for_i32(0, 1, CmpOp::Lt, |_| n, |_, _| {});
+        let m = b.finish();
+        let p = pb.finish();
+        let (_, _, lf) = analyse(&p, m);
+        assert_eq!(lf.len(), 2);
+        assert_eq!(lf.roots().len(), 2);
+        // Program order: first loop's header precedes the second's.
+        let a = lf.info(lf.roots()[0]).header;
+        let c = lf.info(lf.roots()[1]).header;
+        assert!(a < c);
+    }
+
+    #[test]
+    fn no_loops() {
+        let mut pb = ProgramBuilder::new();
+        let mut b = pb.function("s", &[], None);
+        let _ = b.const_i32(1);
+        let m = b.finish();
+        let p = pb.finish();
+        let (_, _, lf) = analyse(&p, m);
+        assert!(lf.is_empty());
+        assert!(lf.postorder().is_empty());
+    }
+
+    #[test]
+    fn while_loop_innermost_mapping() {
+        let mut pb = ProgramBuilder::new();
+        let mut b = pb.function("w", &[Ty::I32], None);
+        let n = b.param(0);
+        let i = b.new_reg(Ty::I32);
+        let z = b.const_i32(0);
+        b.move_(i, z);
+        b.while_(|b| b.lt(i, n), |b| b.inc(i, 1));
+        let m = b.finish();
+        let p = pb.finish();
+        let f = p.method(m).func();
+        let (_, _, lf) = analyse(&p, m);
+        let l = lf.roots()[0];
+        let header = lf.info(l).header;
+        assert_eq!(lf.innermost(header), Some(l));
+        assert_eq!(lf.innermost(f.entry()), None);
+    }
+}

@@ -1,0 +1,261 @@
+//! The program: classes, fields, statics, and methods.
+
+use std::collections::HashMap;
+
+use crate::entities::{ClassId, FieldId, MethodId, StaticId};
+use crate::func::Function;
+use crate::types::ElemTy;
+
+/// An instance field declaration.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct FieldDef {
+    /// Field name (unique within its class).
+    pub name: String,
+    /// The class declaring the field.
+    pub owner: ClassId,
+    /// Storage type.
+    pub ty: ElemTy,
+}
+
+/// A class declaration. Layout (field offsets, instance size) is computed by
+/// the heap crate, not here, so the IR stays machine-independent.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ClassDef {
+    /// Class name (unique within the program).
+    pub name: String,
+    /// Fields in declaration order (which is also layout order).
+    pub fields: Vec<FieldId>,
+}
+
+/// A static (global) variable slot.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct StaticDef {
+    /// Name (unique within the program).
+    pub name: String,
+    /// Storage type.
+    pub ty: ElemTy,
+}
+
+/// A method: a named [`Function`].
+#[derive(Clone, PartialEq, Debug)]
+pub struct MethodDef {
+    func: Function,
+}
+
+impl MethodDef {
+    /// The method's name.
+    pub fn name(&self) -> &str {
+        self.func.name()
+    }
+
+    /// The method's body.
+    pub fn func(&self) -> &Function {
+        &self.func
+    }
+}
+
+/// A complete program: the unit the VM loads and the JIT compiles from.
+#[derive(Clone, Default, Debug)]
+pub struct Program {
+    classes: Vec<ClassDef>,
+    fields: Vec<FieldDef>,
+    statics: Vec<StaticDef>,
+    methods: Vec<MethodDef>,
+    method_names: HashMap<String, MethodId>,
+    class_names: HashMap<String, ClassId>,
+}
+
+impl Program {
+    /// Creates an empty program.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a class with the given fields; returns the class id and the
+    /// field ids in declaration order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a class with the same name already exists.
+    pub fn add_class(&mut self, name: &str, fields: &[(&str, ElemTy)]) -> (ClassId, Vec<FieldId>) {
+        assert!(
+            !self.class_names.contains_key(name),
+            "duplicate class {name}"
+        );
+        let cid = ClassId::new(self.classes.len());
+        let mut fids = Vec::with_capacity(fields.len());
+        for (fname, ty) in fields {
+            let fid = FieldId::new(self.fields.len());
+            self.fields.push(FieldDef {
+                name: (*fname).to_string(),
+                owner: cid,
+                ty: *ty,
+            });
+            fids.push(fid);
+        }
+        self.classes.push(ClassDef {
+            name: name.to_string(),
+            fields: fids.clone(),
+        });
+        self.class_names.insert(name.to_string(), cid);
+        (cid, fids)
+    }
+
+    /// Adds a static slot.
+    pub fn add_static(&mut self, name: &str, ty: ElemTy) -> StaticId {
+        let sid = StaticId::new(self.statics.len());
+        self.statics.push(StaticDef {
+            name: name.to_string(),
+            ty,
+        });
+        sid
+    }
+
+    /// Adds a method; returns its id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a method with the same name already exists.
+    pub fn add_method(&mut self, func: Function) -> MethodId {
+        let name = func.name().to_string();
+        assert!(
+            !self.method_names.contains_key(&name),
+            "duplicate method {name}"
+        );
+        let mid = MethodId::new(self.methods.len());
+        self.methods.push(MethodDef { func });
+        self.method_names.insert(name, mid);
+        mid
+    }
+
+    /// Replaces the body of `mid` (used by the JIT to install optimized
+    /// code — the VM keeps original and compiled bodies separately, so this
+    /// is mostly for tests).
+    pub fn replace_method_body(&mut self, mid: MethodId, func: Function) {
+        self.methods[mid.index()].func = func;
+    }
+
+    /// Number of classes.
+    pub fn class_count(&self) -> usize {
+        self.classes.len()
+    }
+
+    /// Number of methods.
+    pub fn method_count(&self) -> usize {
+        self.methods.len()
+    }
+
+    /// Number of static slots.
+    pub fn static_count(&self) -> usize {
+        self.statics.len()
+    }
+
+    /// Number of fields across all classes.
+    pub fn field_count(&self) -> usize {
+        self.fields.len()
+    }
+
+    /// Borrows class `cid`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an id from another program.
+    pub fn class(&self, cid: ClassId) -> &ClassDef {
+        &self.classes[cid.index()]
+    }
+
+    /// Borrows field `fid`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an id from another program.
+    pub fn field(&self, fid: FieldId) -> &FieldDef {
+        &self.fields[fid.index()]
+    }
+
+    /// Borrows static `sid`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an id from another program.
+    pub fn static_def(&self, sid: StaticId) -> &StaticDef {
+        &self.statics[sid.index()]
+    }
+
+    /// Borrows method `mid`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an id from another program.
+    pub fn method(&self, mid: MethodId) -> &MethodDef {
+        &self.methods[mid.index()]
+    }
+
+    /// Looks up a method by name.
+    pub fn method_by_name(&self, name: &str) -> Option<MethodId> {
+        self.method_names.get(name).copied()
+    }
+
+    /// Looks up a class by name.
+    pub fn class_by_name(&self, name: &str) -> Option<ClassId> {
+        self.class_names.get(name).copied()
+    }
+
+    /// All method ids.
+    pub fn method_ids(&self) -> impl Iterator<Item = MethodId> {
+        (0..self.methods.len()).map(MethodId::new)
+    }
+
+    /// All class ids.
+    pub fn class_ids(&self) -> impl Iterator<Item = ClassId> {
+        (0..self.classes.len()).map(ClassId::new)
+    }
+
+    /// All static ids.
+    pub fn static_ids(&self) -> impl Iterator<Item = StaticId> {
+        (0..self.statics.len()).map(StaticId::new)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::Ty;
+
+    #[test]
+    fn classes_and_fields() {
+        let mut p = Program::new();
+        let (c, fs) = p.add_class("Token", &[("size", ElemTy::I32), ("facts", ElemTy::Ref)]);
+        assert_eq!(p.class(c).name, "Token");
+        assert_eq!(fs.len(), 2);
+        assert_eq!(p.field(fs[1]).ty, ElemTy::Ref);
+        assert_eq!(p.field(fs[0]).owner, c);
+        assert_eq!(p.class_by_name("Token"), Some(c));
+        assert_eq!(p.class_by_name("Nope"), None);
+    }
+
+    #[test]
+    fn methods() {
+        let mut p = Program::new();
+        let f = Function::with_signature("main", &[], Some(Ty::I32));
+        let m = p.add_method(f);
+        assert_eq!(p.method_by_name("main"), Some(m));
+        assert_eq!(p.method(m).name(), "main");
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate class")]
+    fn duplicate_class_panics() {
+        let mut p = Program::new();
+        p.add_class("A", &[]);
+        p.add_class("A", &[]);
+    }
+
+    #[test]
+    fn statics() {
+        let mut p = Program::new();
+        let s = p.add_static("roots", ElemTy::Ref);
+        assert_eq!(p.static_def(s).ty, ElemTy::Ref);
+        assert_eq!(p.static_count(), 1);
+    }
+}

@@ -1,0 +1,156 @@
+//! Value and storage types of the IR.
+
+/// Type of a virtual register.
+///
+/// The register-level type system is deliberately small, mirroring the JVM's
+/// computational types: sub-word integers are widened to `I32` when loaded.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Ty {
+    /// 32-bit signed integer.
+    I32,
+    /// 64-bit signed integer.
+    I64,
+    /// 64-bit IEEE float (the only float width, like JVM `double`).
+    F64,
+    /// Reference to a heap object or array (or null).
+    Ref,
+}
+
+impl Ty {
+    /// Returns `true` for the integer types.
+    pub fn is_int(self) -> bool {
+        matches!(self, Ty::I32 | Ty::I64)
+    }
+}
+
+impl std::fmt::Display for Ty {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            Ty::I32 => "i32",
+            Ty::I64 => "i64",
+            Ty::F64 => "f64",
+            Ty::Ref => "ref",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Storage type of an instance field, static slot, or array element.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum ElemTy {
+    /// 8-bit integer (loaded sign-extended to `I32`).
+    I8,
+    /// 32-bit integer.
+    I32,
+    /// 64-bit integer.
+    I64,
+    /// 64-bit float.
+    F64,
+    /// Object/array reference.
+    Ref,
+}
+
+impl ElemTy {
+    /// Size of the element in bytes.
+    pub fn size(self) -> u64 {
+        match self {
+            ElemTy::I8 => 1,
+            ElemTy::I32 => 4,
+            ElemTy::I64 | ElemTy::F64 | ElemTy::Ref => 8,
+        }
+    }
+
+    /// The register type values of this element type have once loaded.
+    pub fn reg_ty(self) -> Ty {
+        match self {
+            ElemTy::I8 | ElemTy::I32 => Ty::I32,
+            ElemTy::I64 => Ty::I64,
+            ElemTy::F64 => Ty::F64,
+            ElemTy::Ref => Ty::Ref,
+        }
+    }
+}
+
+impl std::fmt::Display for ElemTy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            ElemTy::I8 => "i8",
+            ElemTy::I32 => "i32",
+            ElemTy::I64 => "i64",
+            ElemTy::F64 => "f64",
+            ElemTy::Ref => "ref",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A compile-time constant.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub enum Const {
+    /// 32-bit integer constant.
+    I32(i32),
+    /// 64-bit integer constant.
+    I64(i64),
+    /// Float constant.
+    F64(f64),
+    /// The null reference.
+    Null,
+}
+
+impl Const {
+    /// The register type of this constant.
+    pub fn ty(self) -> Ty {
+        match self {
+            Const::I32(_) => Ty::I32,
+            Const::I64(_) => Ty::I64,
+            Const::F64(_) => Ty::F64,
+            Const::Null => Ty::Ref,
+        }
+    }
+}
+
+impl std::fmt::Display for Const {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Const::I32(v) => write!(f, "{v}i32"),
+            Const::I64(v) => write!(f, "{v}i64"),
+            Const::F64(v) => write!(f, "{v}f64"),
+            Const::Null => f.write_str("null"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn elem_sizes() {
+        assert_eq!(ElemTy::I8.size(), 1);
+        assert_eq!(ElemTy::I32.size(), 4);
+        assert_eq!(ElemTy::I64.size(), 8);
+        assert_eq!(ElemTy::F64.size(), 8);
+        assert_eq!(ElemTy::Ref.size(), 8);
+    }
+
+    #[test]
+    fn reg_ty_widening() {
+        assert_eq!(ElemTy::I8.reg_ty(), Ty::I32);
+        assert_eq!(ElemTy::Ref.reg_ty(), Ty::Ref);
+    }
+
+    #[test]
+    fn const_types() {
+        assert_eq!(Const::I32(3).ty(), Ty::I32);
+        assert_eq!(Const::Null.ty(), Ty::Ref);
+        assert_eq!(Const::F64(1.5).to_string(), "1.5f64");
+    }
+
+    #[test]
+    fn int_predicate() {
+        assert!(Ty::I32.is_int());
+        assert!(Ty::I64.is_int());
+        assert!(!Ty::F64.is_int());
+        assert!(!Ty::Ref.is_int());
+    }
+}

@@ -1,0 +1,311 @@
+//! IR verifier: structural and type checks.
+
+use crate::entities::{BlockId, Reg};
+use crate::func::Function;
+use crate::instr::{Instr, PrefetchAddr, Terminator};
+use crate::program::Program;
+use crate::types::Ty;
+
+/// An IR verification failure.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct VerifyError {
+    /// Human-readable description of the violation.
+    msg: String,
+}
+
+impl VerifyError {
+    fn new(msg: String) -> Self {
+        VerifyError { msg }
+    }
+}
+
+impl std::fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for VerifyError {}
+
+macro_rules! check {
+    ($cond:expr, $($arg:tt)*) => {
+        if !$cond {
+            return Err(VerifyError::new(format!($($arg)*)));
+        }
+    };
+}
+
+/// Verifies `func` against `program`.
+///
+/// Checks: block targets in range, register indices in range, operand type
+/// agreement, integer-only ops not applied to floats/refs, call signatures,
+/// field/static/array element types, and prefetch address operand types.
+///
+/// # Errors
+///
+/// Returns the first violation found.
+pub fn verify(program: &Program, func: &Function) -> Result<(), VerifyError> {
+    let nregs = func.reg_count();
+    let nblocks = func.block_count();
+    let reg_ok = |r: Reg| r.index() < nregs;
+    let block_ok = |b: BlockId| b.index() < nblocks;
+
+    for b in func.block_ids() {
+        for (i, instr) in func.block(b).instrs.iter().enumerate() {
+            let at = format!("{} {b}:{i}", func.name());
+            let mut used = Vec::new();
+            instr.uses(&mut used);
+            for r in used.iter().chain(instr.dst().iter()) {
+                check!(reg_ok(*r), "{at}: register {r} out of range");
+            }
+            let ty = |r: Reg| func.reg_ty(r);
+            match instr {
+                Instr::Const { dst, value } => {
+                    check!(
+                        ty(*dst) == value.ty(),
+                        "{at}: const type mismatch ({} vs {})",
+                        ty(*dst),
+                        value.ty()
+                    );
+                }
+                Instr::Move { dst, src } => {
+                    check!(
+                        ty(*dst) == ty(*src),
+                        "{at}: move type mismatch ({} <- {})",
+                        ty(*dst),
+                        ty(*src)
+                    );
+                }
+                Instr::Bin { dst, op, a, b: rb } => {
+                    check!(ty(*a) == ty(*rb), "{at}: binop operand types differ");
+                    check!(ty(*dst) == ty(*a), "{at}: binop result type differs");
+                    check!(ty(*a) != Ty::Ref, "{at}: binop on references");
+                    if op.int_only() {
+                        check!(ty(*a).is_int(), "{at}: {op:?} requires integers");
+                    }
+                }
+                Instr::Un { dst, op, src } => {
+                    check!(ty(*dst) == ty(*src), "{at}: unop type mismatch");
+                    check!(ty(*src) != Ty::Ref, "{at}: unop on reference");
+                    if *op == crate::instr::UnOp::Not {
+                        check!(ty(*src).is_int(), "{at}: Not requires integers");
+                    }
+                }
+                Instr::Cmp { dst, a, b: rb, .. } => {
+                    check!(ty(*a) == ty(*rb), "{at}: cmp operand types differ");
+                    check!(ty(*dst) == Ty::I32, "{at}: cmp result must be i32");
+                }
+                Instr::Convert { dst, conv, src } => {
+                    let (from, to) = conv.signature();
+                    check!(ty(*src) == from, "{at}: convert source type");
+                    check!(ty(*dst) == to, "{at}: convert result type");
+                }
+                Instr::GetField { dst, obj, field } => {
+                    check!(ty(*obj) == Ty::Ref, "{at}: getfield on non-ref");
+                    check!(field.index() < program.field_count(), "{at}: bad field id");
+                    check!(
+                        ty(*dst) == program.field(*field).ty.reg_ty(),
+                        "{at}: getfield result type"
+                    );
+                }
+                Instr::PutField { obj, field, src } => {
+                    check!(ty(*obj) == Ty::Ref, "{at}: putfield on non-ref");
+                    check!(field.index() < program.field_count(), "{at}: bad field id");
+                    check!(
+                        ty(*src) == program.field(*field).ty.reg_ty(),
+                        "{at}: putfield value type"
+                    );
+                }
+                Instr::GetStatic { dst, sid } => {
+                    check!(sid.index() < program.static_count(), "{at}: bad static id");
+                    check!(
+                        ty(*dst) == program.static_def(*sid).ty.reg_ty(),
+                        "{at}: getstatic result type"
+                    );
+                }
+                Instr::PutStatic { sid, src } => {
+                    check!(sid.index() < program.static_count(), "{at}: bad static id");
+                    check!(
+                        ty(*src) == program.static_def(*sid).ty.reg_ty(),
+                        "{at}: putstatic value type"
+                    );
+                }
+                Instr::ALoad { dst, arr, idx, elem } => {
+                    check!(ty(*arr) == Ty::Ref, "{at}: aload on non-ref");
+                    check!(ty(*idx) == Ty::I32, "{at}: aload index must be i32");
+                    check!(ty(*dst) == elem.reg_ty(), "{at}: aload result type");
+                }
+                Instr::AStore { arr, idx, src, elem } => {
+                    check!(ty(*arr) == Ty::Ref, "{at}: astore on non-ref");
+                    check!(ty(*idx) == Ty::I32, "{at}: astore index must be i32");
+                    check!(ty(*src) == elem.reg_ty(), "{at}: astore value type");
+                }
+                Instr::ArrayLen { dst, arr } => {
+                    check!(ty(*arr) == Ty::Ref, "{at}: arraylength on non-ref");
+                    check!(ty(*dst) == Ty::I32, "{at}: arraylength result type");
+                }
+                Instr::New { dst, class } => {
+                    check!(class.index() < program.class_count(), "{at}: bad class id");
+                    check!(ty(*dst) == Ty::Ref, "{at}: new result type");
+                }
+                Instr::NewArray { dst, len, .. } => {
+                    check!(ty(*len) == Ty::I32, "{at}: newarray length must be i32");
+                    check!(ty(*dst) == Ty::Ref, "{at}: newarray result type");
+                }
+                Instr::Call { dst, callee, args } => {
+                    check!(
+                        callee.index() < program.method_count(),
+                        "{at}: bad method id"
+                    );
+                    let callee_fn = program.method(*callee).func();
+                    check!(
+                        args.len() == callee_fn.param_count(),
+                        "{at}: call to {} with {} args, expected {}",
+                        callee_fn.name(),
+                        args.len(),
+                        callee_fn.param_count()
+                    );
+                    for (i, (a, p)) in args.iter().zip(callee_fn.params()).enumerate() {
+                        check!(
+                            ty(*a) == callee_fn.reg_ty(p),
+                            "{at}: call arg {i} type mismatch"
+                        );
+                    }
+                    match (dst, callee_fn.ret_ty()) {
+                        (Some(d), Some(rt)) => {
+                            check!(ty(*d) == rt, "{at}: call result type mismatch")
+                        }
+                        (Some(_), None) => {
+                            check!(false, "{at}: call captures result of void method")
+                        }
+                        _ => {}
+                    }
+                }
+                Instr::Prefetch { addr, .. } => verify_addr(func, addr, &at)?,
+                Instr::SpecLoad { dst, addr } => {
+                    check!(ty(*dst) == Ty::Ref, "{at}: spec_load result must be ref");
+                    verify_addr(func, addr, &at)?;
+                }
+            }
+        }
+        match &func.block(b).term {
+            Terminator::Jump(t) => check!(block_ok(*t), "{b}: jump target out of range"),
+            Terminator::Branch {
+                cond,
+                then_bb,
+                else_bb,
+            } => {
+                check!(reg_ok(*cond), "{b}: branch cond out of range");
+                check!(
+                    func.reg_ty(*cond) == Ty::I32,
+                    "{b}: branch cond must be i32"
+                );
+                check!(block_ok(*then_bb), "{b}: then target out of range");
+                check!(block_ok(*else_bb), "{b}: else target out of range");
+            }
+            Terminator::Return(v) => match (v, func.ret_ty()) {
+                (Some(r), Some(rt)) => {
+                    check!(reg_ok(*r), "{b}: return reg out of range");
+                    check!(func.reg_ty(*r) == rt, "{b}: return type mismatch");
+                }
+                (Some(_), None) => check!(false, "{b}: returning value from void function"),
+                (None, Some(_)) => check!(false, "{b}: missing return value"),
+                (None, None) => {}
+            },
+            Terminator::Unreachable => {}
+        }
+    }
+    Ok(())
+}
+
+fn verify_addr(func: &Function, addr: &PrefetchAddr, at: &str) -> Result<(), VerifyError> {
+    match addr {
+        PrefetchAddr::FieldOf { base, .. } => {
+            check!(
+                func.reg_ty(*base) == Ty::Ref,
+                "{at}: prefetch base must be ref"
+            );
+        }
+        PrefetchAddr::ArrayElem { arr, idx, .. } => {
+            check!(
+                func.reg_ty(*arr) == Ty::Ref,
+                "{at}: prefetch array must be ref"
+            );
+            check!(
+                func.reg_ty(*idx) == Ty::I32,
+                "{at}: prefetch index must be i32"
+            );
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ProgramBuilder;
+    use crate::entities::Reg;
+    use crate::types::{Const, Ty};
+
+    #[test]
+    fn valid_function_passes() {
+        let mut pb = ProgramBuilder::new();
+        let mut b = pb.function("ok", &[Ty::I32], Some(Ty::I32));
+        let x = b.param(0);
+        b.ret(Some(x));
+        b.finish(); // finish() runs the verifier internally
+    }
+
+    #[test]
+    fn type_mismatch_detected() {
+        let p = Program::new();
+        let mut f = Function::with_signature("bad", &[Ty::I32], None);
+        let r = f.new_reg(Ty::F64);
+        let entry = f.entry();
+        f.block_mut(entry).instrs.push(Instr::Const {
+            dst: r,
+            value: Const::I32(1),
+        });
+        f.block_mut(entry).term = Terminator::Return(None);
+        let err = verify(&p, &f).unwrap_err();
+        assert!(err.to_string().contains("const type mismatch"), "{err}");
+    }
+
+    #[test]
+    fn out_of_range_register_detected() {
+        let p = Program::new();
+        let mut f = Function::with_signature("bad2", &[], None);
+        let entry = f.entry();
+        f.block_mut(entry).instrs.push(Instr::Move {
+            dst: Reg::new(5),
+            src: Reg::new(6),
+        });
+        f.block_mut(entry).term = Terminator::Return(None);
+        assert!(verify(&p, &f).is_err());
+    }
+
+    #[test]
+    fn branch_cond_must_be_i32() {
+        let p = Program::new();
+        let mut f = Function::with_signature("bad3", &[Ty::F64], None);
+        let t = f.add_block();
+        let entry = f.entry();
+        f.block_mut(t).term = Terminator::Return(None);
+        f.block_mut(entry).term = Terminator::Branch {
+            cond: Reg::new(0),
+            then_bb: t,
+            else_bb: t,
+        };
+        let err = verify(&p, &f).unwrap_err();
+        assert!(err.to_string().contains("cond must be i32"), "{err}");
+    }
+
+    #[test]
+    fn void_return_mismatch_detected() {
+        let p = Program::new();
+        let mut f = Function::with_signature("bad4", &[Ty::I32], Some(Ty::I32));
+        let entry = f.entry();
+        f.block_mut(entry).term = Terminator::Return(None);
+        assert!(verify(&p, &f).is_err());
+    }
+}

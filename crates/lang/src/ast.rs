@@ -1,0 +1,178 @@
+//! Abstract syntax tree.
+
+/// A source type.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum TypeExpr {
+    /// `int`
+    Int,
+    /// `long`
+    Long,
+    /// `double`
+    Double,
+    /// `byte` (storage type; expressions widen to `int`)
+    Byte,
+    /// `void` (function returns only)
+    Void,
+    /// A class name.
+    Class(String),
+    /// `T[]`
+    Array(Box<TypeExpr>),
+}
+
+/// Binary operators.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum BinOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Rem,
+    Shl,
+    Shr,
+    BitAnd,
+    BitOr,
+    BitXor,
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    And,
+    Or,
+}
+
+/// Unary operators.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum UnOp {
+    Neg,
+    Not,
+}
+
+/// An expression, annotated with its source position.
+#[derive(Clone, PartialEq, Debug)]
+pub struct Expr {
+    /// The node.
+    pub kind: ExprKind,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+}
+
+/// Expression kinds.
+#[derive(Clone, PartialEq, Debug)]
+pub enum ExprKind {
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// `null`.
+    Null,
+    /// Variable reference.
+    Var(String),
+    /// `expr.field`, or `expr.length` for arrays.
+    Field(Box<Expr>, String),
+    /// `expr[expr]`.
+    Index(Box<Expr>, Box<Expr>),
+    /// Function call.
+    Call(String, Vec<Expr>),
+    /// `new C()`.
+    New(String),
+    /// `new T[expr]`.
+    NewArray(TypeExpr, Box<Expr>),
+    /// Binary operation.
+    Bin(BinOp, Box<Expr>, Box<Expr>),
+    /// Unary operation.
+    Un(UnOp, Box<Expr>),
+    /// `(long) e`, `(int) e`, `(double) e` — numeric cast.
+    Cast(TypeExpr, Box<Expr>),
+}
+
+/// A statement.
+#[derive(Clone, PartialEq, Debug)]
+pub enum Stmt {
+    /// `T name = init;`
+    Let(TypeExpr, String, Option<Expr>),
+    /// `lvalue = expr;`
+    Assign(Expr, Expr),
+    /// Expression statement (a call).
+    Expr(Expr),
+    /// `if (cond) then else els`
+    If(Expr, Vec<Stmt>, Vec<Stmt>),
+    /// `while (cond) body`
+    While(Expr, Vec<Stmt>),
+    /// `for (init; cond; update) body`
+    For(Box<Stmt>, Expr, Box<Stmt>, Vec<Stmt>),
+    /// `break;`
+    Break,
+    /// `continue;`
+    Continue,
+    /// `return expr?;`
+    Return(Option<Expr>),
+}
+
+/// A field declaration.
+#[derive(Clone, PartialEq, Debug)]
+pub struct FieldDecl {
+    /// Field type.
+    pub ty: TypeExpr,
+    /// Field name.
+    pub name: String,
+}
+
+/// A class declaration.
+#[derive(Clone, PartialEq, Debug)]
+pub struct ClassDecl {
+    /// Class name.
+    pub name: String,
+    /// Fields in declaration (= layout) order.
+    pub fields: Vec<FieldDecl>,
+}
+
+/// A function declaration.
+#[derive(Clone, PartialEq, Debug)]
+pub struct FuncDecl {
+    /// Return type (`Void` for none).
+    pub ret: TypeExpr,
+    /// Function name.
+    pub name: String,
+    /// Parameters.
+    pub params: Vec<(TypeExpr, String)>,
+    /// Body statements.
+    pub body: Vec<Stmt>,
+}
+
+/// A static variable declaration.
+#[derive(Clone, PartialEq, Debug)]
+pub struct StaticDecl {
+    /// Static type.
+    pub ty: TypeExpr,
+    /// Name.
+    pub name: String,
+}
+
+/// A parsed compilation unit.
+#[derive(Clone, PartialEq, Debug, Default)]
+pub struct Unit {
+    /// Classes.
+    pub classes: Vec<ClassDecl>,
+    /// Statics.
+    pub statics: Vec<StaticDecl>,
+    /// Functions.
+    pub funcs: Vec<FuncDecl>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn type_expr_equality() {
+        assert_eq!(
+            TypeExpr::Array(Box::new(TypeExpr::Int)),
+            TypeExpr::Array(Box::new(TypeExpr::Int))
+        );
+        assert_ne!(TypeExpr::Int, TypeExpr::Long);
+    }
+}

@@ -1,0 +1,55 @@
+//! Front-end errors with source positions.
+
+/// A lexing, parsing, or type error.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct LangError {
+    msg: String,
+    line: u32,
+    col: u32,
+}
+
+impl LangError {
+    pub(crate) fn new(msg: impl Into<String>, line: u32, col: u32) -> Self {
+        LangError {
+            msg: msg.into(),
+            line,
+            col,
+        }
+    }
+
+    /// 1-based source line of the error.
+    pub fn line(&self) -> u32 {
+        self.line
+    }
+
+    /// 1-based source column of the error.
+    pub fn column(&self) -> u32 {
+        self.col
+    }
+
+    /// The message without position.
+    pub fn message(&self) -> &str {
+        &self.msg
+    }
+}
+
+impl std::fmt::Display for LangError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}:{}: {}", self.line, self.col, self.msg)
+    }
+}
+
+impl std::error::Error for LangError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_position() {
+        let e = LangError::new("unexpected token", 3, 7);
+        assert_eq!(e.to_string(), "3:7: unexpected token");
+        assert_eq!(e.line(), 3);
+        assert_eq!(e.column(), 7);
+    }
+}

@@ -1,0 +1,261 @@
+//! Hand-written lexer.
+
+use crate::error::LangError;
+
+/// A token kind with its payload.
+#[derive(Clone, PartialEq, Debug)]
+pub enum Tok {
+    /// Identifier or keyword candidate.
+    Ident(String),
+    /// Integer literal (decimal or 0x…).
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// Punctuation or operator, e.g. `"+"`, `"=="`, `"{"`.
+    Punct(&'static str),
+    /// End of input.
+    Eof,
+}
+
+/// A token with its source position.
+#[derive(Clone, PartialEq, Debug)]
+pub struct Token {
+    /// The token.
+    pub tok: Tok,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+}
+
+const PUNCTS2: &[&str] = &["==", "!=", "<=", ">=", "&&", "||", "<<", ">>"];
+const PUNCTS1: &[&str] = &[
+    "+", "-", "*", "/", "%", "<", ">", "=", "!", "&", "|", "^", "(", ")", "{", "}", "[", "]",
+    ";", ",", ".",
+];
+
+/// Tokenizes `src`.
+///
+/// # Errors
+///
+/// Returns a [`LangError`] on malformed literals or unknown characters.
+pub fn lex(src: &str) -> Result<Vec<Token>, LangError> {
+    let mut out = Vec::new();
+    let bytes: Vec<char> = src.chars().collect();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    let mut col = 1u32;
+    let n = bytes.len();
+    while i < n {
+        let c = bytes[i];
+        if c == '\n' {
+            line += 1;
+            col = 1;
+            i += 1;
+            continue;
+        }
+        if c.is_whitespace() {
+            i += 1;
+            col += 1;
+            continue;
+        }
+        // Comments: // … and /* … */
+        if c == '/' && i + 1 < n && bytes[i + 1] == '/' {
+            while i < n && bytes[i] != '\n' {
+                i += 1;
+            }
+            continue;
+        }
+        if c == '/' && i + 1 < n && bytes[i + 1] == '*' {
+            i += 2;
+            col += 2;
+            while i + 1 < n && !(bytes[i] == '*' && bytes[i + 1] == '/') {
+                if bytes[i] == '\n' {
+                    line += 1;
+                    col = 1;
+                } else {
+                    col += 1;
+                }
+                i += 1;
+            }
+            if i + 1 >= n {
+                return Err(LangError::new("unterminated block comment", line, col));
+            }
+            i += 2;
+            col += 2;
+            continue;
+        }
+        let (tline, tcol) = (line, col);
+        if c.is_ascii_alphabetic() || c == '_' {
+            let start = i;
+            while i < n && (bytes[i].is_ascii_alphanumeric() || bytes[i] == '_') {
+                i += 1;
+                col += 1;
+            }
+            let s: String = bytes[start..i].iter().collect();
+            out.push(Token {
+                tok: Tok::Ident(s),
+                line: tline,
+                col: tcol,
+            });
+            continue;
+        }
+        if c.is_ascii_digit() {
+            let start = i;
+            let mut is_float = false;
+            if c == '0' && i + 1 < n && (bytes[i + 1] == 'x' || bytes[i + 1] == 'X') {
+                i += 2;
+                col += 2;
+                while i < n && bytes[i].is_ascii_hexdigit() {
+                    i += 1;
+                    col += 1;
+                }
+                let s: String = bytes[start + 2..i].iter().collect();
+                let v = i64::from_str_radix(&s, 16)
+                    .map_err(|_| LangError::new("bad hex literal", tline, tcol))?;
+                out.push(Token {
+                    tok: Tok::Int(v),
+                    line: tline,
+                    col: tcol,
+                });
+                continue;
+            }
+            while i < n && bytes[i].is_ascii_digit() {
+                i += 1;
+                col += 1;
+            }
+            if i + 1 < n && bytes[i] == '.' && bytes[i + 1].is_ascii_digit() {
+                is_float = true;
+                i += 1;
+                col += 1;
+                while i < n && bytes[i].is_ascii_digit() {
+                    i += 1;
+                    col += 1;
+                }
+            }
+            let s: String = bytes[start..i].iter().collect();
+            let tok = if is_float {
+                Tok::Float(
+                    s.parse()
+                        .map_err(|_| LangError::new("bad float literal", tline, tcol))?,
+                )
+            } else {
+                Tok::Int(
+                    s.parse()
+                        .map_err(|_| LangError::new("bad int literal", tline, tcol))?,
+                )
+            };
+            out.push(Token {
+                tok,
+                line: tline,
+                col: tcol,
+            });
+            continue;
+        }
+        // Two-char then one-char punctuation.
+        let two: String = bytes[i..(i + 2).min(n)].iter().collect();
+        if let Some(&p) = PUNCTS2.iter().find(|&&p| p == two) {
+            out.push(Token {
+                tok: Tok::Punct(p),
+                line: tline,
+                col: tcol,
+            });
+            i += 2;
+            col += 2;
+            continue;
+        }
+        let one = c.to_string();
+        if let Some(&p) = PUNCTS1.iter().find(|&&p| p == one) {
+            out.push(Token {
+                tok: Tok::Punct(p),
+                line: tline,
+                col: tcol,
+            });
+            i += 1;
+            col += 1;
+            continue;
+        }
+        return Err(LangError::new(
+            format!("unexpected character {c:?}"),
+            tline,
+            tcol,
+        ));
+    }
+    out.push(Token {
+        tok: Tok::Eof,
+        line,
+        col,
+    });
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|t| t.tok).collect()
+    }
+
+    #[test]
+    fn idents_numbers_puncts() {
+        let toks = kinds("int x = 42 + y2;");
+        assert_eq!(
+            toks,
+            vec![
+                Tok::Ident("int".into()),
+                Tok::Ident("x".into()),
+                Tok::Punct("="),
+                Tok::Int(42),
+                Tok::Punct("+"),
+                Tok::Ident("y2".into()),
+                Tok::Punct(";"),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn floats_and_hex() {
+        assert_eq!(
+            kinds("1.5 0x10"),
+            vec![Tok::Float(1.5), Tok::Int(16), Tok::Eof]
+        );
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        assert_eq!(
+            kinds("a // line\n /* block\n */ b"),
+            vec![Tok::Ident("a".into()), Tok::Ident("b".into()), Tok::Eof]
+        );
+    }
+
+    #[test]
+    fn two_char_operators() {
+        assert_eq!(
+            kinds("a <= b == c"),
+            vec![
+                Tok::Ident("a".into()),
+                Tok::Punct("<="),
+                Tok::Ident("b".into()),
+                Tok::Punct("=="),
+                Tok::Ident("c".into()),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn positions_track_lines() {
+        let toks = lex("a\n  b").unwrap();
+        assert_eq!((toks[0].line, toks[0].col), (1, 1));
+        assert_eq!((toks[1].line, toks[1].col), (2, 3));
+    }
+
+    #[test]
+    fn bad_char_is_an_error() {
+        assert!(lex("a @ b").is_err());
+        assert!(lex("/* oops").is_err());
+    }
+}

@@ -1,0 +1,39 @@
+//! A miniature Java-like frontend that lowers to the `spf-ir` register IR.
+//!
+//! The paper's system compiles Java; writing workloads directly against the
+//! IR builder is precise but verbose. This crate provides a small,
+//! statically typed, class-based source language — enough to express the
+//! benchmark kernels readably:
+//!
+//! ```
+//! let program = spf_lang::compile(
+//!     "class Token { int size; int[] facts; }
+//!      int sum(Token[] v, int n) {
+//!          int acc = 0;
+//!          for (int i = 0; i < n; i = i + 1) {
+//!              Token t = v[i];
+//!              acc = acc + t.size;
+//!          }
+//!          return acc;
+//!      }",
+//! ).expect("compiles");
+//! assert!(program.method_by_name("sum").is_some());
+//! ```
+//!
+//! Use [`compile`] to turn source text into an [`spf_ir::Program`].
+//!
+//! The language: `int`/`long`/`double`/`byte` primitives, classes with
+//! fields, one-dimensional arrays, statics, functions (no methods — the IR
+//! has direct calls only), `if`/`else`, `while`, `for`, `break`,
+//! `continue`, `return`, `new C()`, `new T[n]`, `.length`, and the usual
+//! operators. Semantics follow the IR: wrapping integer arithmetic,
+//! null/bounds checks at run time.
+
+pub mod ast;
+pub mod error;
+pub mod lexer;
+pub mod lower;
+pub mod parser;
+
+pub use error::LangError;
+pub use lower::compile;

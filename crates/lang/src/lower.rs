@@ -1,0 +1,932 @@
+//! Type checking and lowering to the IR.
+
+use std::collections::HashMap;
+
+use spf_ir::{
+    ClassId, CmpOp, Conv, ElemTy, FieldId, FunctionBuilder, MethodId, Program, ProgramBuilder,
+    Reg, StaticId, Ty,
+};
+
+use crate::ast::{self, Expr, ExprKind, FuncDecl, Stmt, TypeExpr, Unit};
+use crate::error::LangError;
+use crate::parser::parse;
+
+/// A checked source-level type.
+#[derive(Clone, PartialEq, Debug)]
+enum LTy {
+    Int,
+    Long,
+    Double,
+    /// `byte` — a storage type; loading one yields `Int`.
+    Byte,
+    Class(ClassId),
+    Array(Box<LTy>),
+    /// The type of `null`, assignable to any reference type.
+    Null,
+    Void,
+}
+
+impl LTy {
+    fn reg_ty(&self) -> Ty {
+        match self {
+            LTy::Int | LTy::Byte => Ty::I32,
+            LTy::Long => Ty::I64,
+            LTy::Double => Ty::F64,
+            LTy::Class(_) | LTy::Array(_) | LTy::Null => Ty::Ref,
+            LTy::Void => panic!("void has no register type"),
+        }
+    }
+
+    fn elem_ty(&self) -> ElemTy {
+        match self {
+            LTy::Int => ElemTy::I32,
+            LTy::Byte => ElemTy::I8,
+            LTy::Long => ElemTy::I64,
+            LTy::Double => ElemTy::F64,
+            LTy::Class(_) | LTy::Array(_) | LTy::Null => ElemTy::Ref,
+            LTy::Void => panic!("void has no storage type"),
+        }
+    }
+
+    fn is_ref(&self) -> bool {
+        matches!(self, LTy::Class(_) | LTy::Array(_) | LTy::Null)
+    }
+
+    fn display(&self) -> String {
+        match self {
+            LTy::Int => "int".into(),
+            LTy::Byte => "byte".into(),
+            LTy::Long => "long".into(),
+            LTy::Double => "double".into(),
+            LTy::Class(c) => format!("class#{}", c.index()),
+            LTy::Array(e) => format!("{}[]", e.display()),
+            LTy::Null => "null".into(),
+            LTy::Void => "void".into(),
+        }
+    }
+}
+
+struct Signatures {
+    classes: HashMap<String, ClassId>,
+    fields: HashMap<(ClassId, String), (FieldId, LTy)>,
+    statics: HashMap<String, (StaticId, LTy)>,
+    funcs: HashMap<String, (MethodId, Vec<LTy>, LTy)>,
+}
+
+/// Compiles source text to a [`Program`]; function names become method
+/// names (look them up with [`Program::method_by_name`]).
+///
+/// # Errors
+///
+/// Returns the first syntax or type error with its source position.
+pub fn compile(src: &str) -> Result<Program, LangError> {
+    let unit = parse(src)?;
+    let mut pb = ProgramBuilder::new();
+    let sigs = declare(&mut pb, &unit)?;
+    for f in &unit.funcs {
+        lower_func(&mut pb, &sigs, f)?;
+    }
+    Ok(pb.finish())
+}
+
+fn resolve_ty(
+    classes: &HashMap<String, ClassId>,
+    ty: &TypeExpr,
+    line: u32,
+    col: u32,
+) -> Result<LTy, LangError> {
+    Ok(match ty {
+        TypeExpr::Int => LTy::Int,
+        TypeExpr::Long => LTy::Long,
+        TypeExpr::Double => LTy::Double,
+        TypeExpr::Byte => LTy::Byte,
+        TypeExpr::Void => LTy::Void,
+        TypeExpr::Class(name) => LTy::Class(
+            *classes
+                .get(name)
+                .ok_or_else(|| LangError::new(format!("unknown class `{name}`"), line, col))?,
+        ),
+        TypeExpr::Array(inner) => LTy::Array(Box::new(resolve_ty(classes, inner, line, col)?)),
+    })
+}
+
+fn declare(pb: &mut ProgramBuilder, unit: &Unit) -> Result<Signatures, LangError> {
+    // Class names first (fields may reference classes declared later).
+    let mut class_names: HashMap<String, ClassId> = HashMap::new();
+    for (i, c) in unit.classes.iter().enumerate() {
+        if class_names.insert(c.name.clone(), ClassId::new(i)).is_some() {
+            return Err(LangError::new(format!("duplicate class `{}`", c.name), 1, 1));
+        }
+    }
+    let mut fields = HashMap::new();
+    for c in &unit.classes {
+        let decl: Vec<(&str, ElemTy)> = c
+            .fields
+            .iter()
+            .map(|f| {
+                let lty = resolve_ty(&class_names, &f.ty, 1, 1)?;
+                if lty == LTy::Void {
+                    return Err(LangError::new("field cannot be void", 1, 1));
+                }
+                Ok((f.name.as_str(), lty.elem_ty()))
+            })
+            .collect::<Result<_, LangError>>()?;
+        let (cid, fids) = pb.add_class(&c.name, &decl);
+        debug_assert_eq!(Some(&cid), class_names.get(&c.name));
+        for (f, fid) in c.fields.iter().zip(fids) {
+            let lty = resolve_ty(&class_names, &f.ty, 1, 1)?;
+            fields.insert((cid, f.name.clone()), (fid, lty));
+        }
+    }
+    let mut statics = HashMap::new();
+    for s in &unit.statics {
+        let lty = resolve_ty(&class_names, &s.ty, 1, 1)?;
+        if lty == LTy::Void {
+            return Err(LangError::new("static cannot be void", 1, 1));
+        }
+        let sid = pb.add_static(&s.name, lty.elem_ty());
+        statics.insert(s.name.clone(), (sid, lty));
+    }
+    let mut funcs = HashMap::new();
+    for f in &unit.funcs {
+        let ret = resolve_ty(&class_names, &f.ret, 1, 1)?;
+        let params: Vec<LTy> = f
+            .params
+            .iter()
+            .map(|(ty, _)| resolve_ty(&class_names, ty, 1, 1))
+            .collect::<Result<_, _>>()?;
+        let param_tys: Vec<Ty> = params.iter().map(LTy::reg_ty).collect();
+        let ret_ty = if ret == LTy::Void {
+            None
+        } else {
+            Some(ret.reg_ty())
+        };
+        let mid = pb.declare(&f.name, &param_tys, ret_ty);
+        if funcs
+            .insert(f.name.clone(), (mid, params, ret))
+            .is_some()
+        {
+            return Err(LangError::new(format!("duplicate function `{}`", f.name), 1, 1));
+        }
+    }
+    Ok(Signatures {
+        classes: class_names,
+        fields,
+        statics,
+        funcs,
+    })
+}
+
+struct Lowerer<'a, 'b> {
+    b: &'a mut FunctionBuilder<'b>,
+    sigs: &'a Signatures,
+    scopes: Vec<HashMap<String, (Reg, LTy)>>,
+    ret: LTy,
+}
+
+fn lower_func(
+    pb: &mut ProgramBuilder,
+    sigs: &Signatures,
+    f: &FuncDecl,
+) -> Result<(), LangError> {
+    let (mid, params, ret) = sigs.funcs[&f.name].clone();
+    let mut b = pb.define(mid);
+    let mut scope = HashMap::new();
+    for (i, ((_, name), lty)) in f.params.iter().zip(&params).enumerate() {
+        scope.insert(name.clone(), (b.param(i), lty.clone()));
+    }
+    let mut lw = Lowerer {
+        b: &mut b,
+        sigs,
+        scopes: vec![scope],
+        ret,
+    };
+    lw.stmts(&f.body)?;
+    if lw.ret == LTy::Void {
+        // finish() terminates the trailing block with `ret` for void fns.
+    }
+    b.finish();
+    Ok(())
+}
+
+impl Lowerer<'_, '_> {
+    fn err(&self, msg: impl Into<String>, e: &Expr) -> LangError {
+        LangError::new(msg, e.line, e.col)
+    }
+
+    fn lookup(&self, name: &str) -> Option<(Reg, LTy)> {
+        self.scopes
+            .iter()
+            .rev()
+            .find_map(|s| s.get(name))
+            .cloned()
+    }
+
+    fn stmts(&mut self, body: &[Stmt]) -> Result<(), LangError> {
+        self.scopes.push(HashMap::new());
+        for s in body {
+            self.stmt(s)?;
+        }
+        self.scopes.pop();
+        Ok(())
+    }
+
+    /// Widens `v` from `from` to `to` if needed; errors when incompatible.
+    fn coerce(
+        &mut self,
+        v: Reg,
+        from: &LTy,
+        to: &LTy,
+        at: &Expr,
+    ) -> Result<Reg, LangError> {
+        if from == to || (from == &LTy::Byte && to == &LTy::Int) || (from == &LTy::Int && to == &LTy::Byte) {
+            return Ok(v);
+        }
+        Ok(match (from, to) {
+            (LTy::Int, LTy::Long) => self.b.convert(Conv::I32ToI64, v),
+            (LTy::Int, LTy::Double) => self.b.convert(Conv::I32ToF64, v),
+            (LTy::Long, LTy::Double) => self.b.convert(Conv::I64ToF64, v),
+            (LTy::Null, t) if t.is_ref() => v,
+            _ => {
+                return Err(self.err(
+                    format!("cannot convert {} to {}", from.display(), to.display()),
+                    at,
+                ))
+            }
+        })
+    }
+
+    /// Numeric promotion for binary operands; returns the common type.
+    fn promote(
+        &mut self,
+        a: Reg,
+        at: &LTy,
+        b: Reg,
+        bt: &LTy,
+        e: &Expr,
+    ) -> Result<(Reg, Reg, LTy), LangError> {
+        let common = match (at, bt) {
+            (LTy::Double, _) | (_, LTy::Double) => LTy::Double,
+            (LTy::Long, _) | (_, LTy::Long) => LTy::Long,
+            _ => LTy::Int,
+        };
+        let a2 = self.coerce(a, at, &common, e)?;
+        let b2 = self.coerce(b, bt, &common, e)?;
+        Ok((a2, b2, common))
+    }
+
+    fn stmt(&mut self, s: &Stmt) -> Result<(), LangError> {
+        match s {
+            Stmt::Let(ty, name, init) => {
+                let lty = resolve_ty(&self.sigs.classes, ty, 1, 1)?;
+                if lty == LTy::Void {
+                    return Err(LangError::new("variable cannot be void", 1, 1));
+                }
+                let reg = self.b.new_reg(lty.reg_ty());
+                if let Some(e) = init {
+                    let (v, vt) = self.expr(e)?;
+                    let v = self.coerce(v, &vt, &lty, e)?;
+                    self.b.move_(reg, v);
+                } else {
+                    // Zero-initialize like a JVM local.
+                    let z = match lty.reg_ty() {
+                        Ty::I32 => self.b.const_i32(0),
+                        Ty::I64 => self.b.const_i64(0),
+                        Ty::F64 => self.b.const_f64(0.0),
+                        Ty::Ref => self.b.null(),
+                    };
+                    self.b.move_(reg, z);
+                }
+                self.scopes
+                    .last_mut()
+                    .expect("scope")
+                    .insert(name.clone(), (reg, lty));
+                Ok(())
+            }
+            Stmt::Assign(lhs, rhs) => self.assign(lhs, rhs),
+            Stmt::Expr(e) => {
+                if let ExprKind::Call(name, args) = &e.kind {
+                    self.call(name, args, e, true)?;
+                    Ok(())
+                } else {
+                    let _ = self.expr(e)?;
+                    Ok(())
+                }
+            }
+            Stmt::If(cond, then, els) => {
+                let c = self.cond(cond)?;
+                // Lower both arms with fresh scopes; closures need to call
+                // back into self, so inline the scope management.
+                if els.is_empty() {
+                    let then_bb = self.b.create_block();
+                    let join = self.b.create_block();
+                    self.b.branch(c, then_bb, join);
+                    self.b.switch_to(then_bb);
+                    self.stmts(then)?;
+                    self.b.jump(join);
+                    self.b.switch_to(join);
+                    Ok(())
+                } else {
+                    let then_bb = self.b.create_block();
+                    let else_bb = self.b.create_block();
+                    let join = self.b.create_block();
+                    self.b.branch(c, then_bb, else_bb);
+                    self.b.switch_to(then_bb);
+                    self.stmts(then)?;
+                    self.b.jump(join);
+                    self.b.switch_to(else_bb);
+                    self.stmts(els)?;
+                    self.b.jump(join);
+                    self.b.switch_to(join);
+                    Ok(())
+                }
+            }
+            Stmt::While(cond, body) => self.lower_loop(None, cond, None, body),
+            Stmt::For(init, cond, update, body) => {
+                self.scopes.push(HashMap::new());
+                self.stmt(init)?;
+                let r = self.lower_loop(None, cond, Some(update), body);
+                self.scopes.pop();
+                r
+            }
+            Stmt::Break => {
+                self.b.break_(0);
+                Ok(())
+            }
+            Stmt::Continue => {
+                self.b.continue_(0);
+                Ok(())
+            }
+            Stmt::Return(None) => {
+                if self.ret != LTy::Void {
+                    return Err(LangError::new("missing return value", 1, 1));
+                }
+                self.b.ret(None);
+                Ok(())
+            }
+            Stmt::Return(Some(e)) => {
+                let (v, vt) = self.expr(e)?;
+                let ret = self.ret.clone();
+                let v = self.coerce(v, &vt, &ret, e)?;
+                self.b.ret(Some(v));
+                Ok(())
+            }
+        }
+    }
+
+    /// Lowers a while/for loop without closing over `self` in closures
+    /// (manual block management mirrors `FunctionBuilder::loop_with_update`).
+    fn lower_loop(
+        &mut self,
+        _pre: Option<()>,
+        cond: &Expr,
+        update: Option<&Stmt>,
+        body: &[Stmt],
+    ) -> Result<(), LangError> {
+        let head = self.b.create_block();
+        let body_bb = self.b.create_block();
+        let update_bb = self.b.create_block();
+        let exit = self.b.create_block();
+        self.b.jump(head);
+        self.b.switch_to(head);
+        let c = self.cond(cond)?;
+        self.b.branch(c, body_bb, exit);
+        self.b.switch_to(body_bb);
+        self.b.push_loop_ctx(update_bb, exit);
+        let body_result = self.stmts(body);
+        self.b.pop_loop_ctx();
+        body_result?;
+        self.b.jump(update_bb);
+        self.b.switch_to(update_bb);
+        if let Some(u) = update {
+            self.stmt(u)?;
+        }
+        self.b.jump(head);
+        self.b.switch_to(exit);
+        Ok(())
+    }
+
+    /// Lowers `e` as a branch condition (must be `int`).
+    fn cond(&mut self, e: &Expr) -> Result<Reg, LangError> {
+        let (v, t) = self.expr(e)?;
+        match t {
+            LTy::Int | LTy::Byte => Ok(v),
+            other => Err(self.err(
+                format!("condition must be int, found {}", other.display()),
+                e,
+            )),
+        }
+    }
+
+    fn assign(&mut self, lhs: &Expr, rhs: &Expr) -> Result<(), LangError> {
+        match &lhs.kind {
+            ExprKind::Var(name) => {
+                let (reg, lty) = self
+                    .lookup(name)
+                    .map(|x| (Some(x.0), Some(x.1)))
+                    .unwrap_or((None, None));
+                if let (Some(reg), Some(lty)) = (reg, lty) {
+                    let (v, vt) = self.expr(rhs)?;
+                    let v = self.coerce(v, &vt, &lty, rhs)?;
+                    self.b.move_(reg, v);
+                    return Ok(());
+                }
+                if let Some((sid, lty)) = self.sigs.statics.get(name).cloned() {
+                    let (v, vt) = self.expr(rhs)?;
+                    let v = self.coerce(v, &vt, &lty, rhs)?;
+                    self.b.putstatic(sid, v);
+                    return Ok(());
+                }
+                Err(self.err(format!("unknown variable `{name}`"), lhs))
+            }
+            ExprKind::Field(obj, fname) => {
+                let (oreg, oty) = self.expr(obj)?;
+                let LTy::Class(cid) = oty else {
+                    return Err(self.err("field store on non-object", lhs));
+                };
+                let (fid, fty) = self
+                    .sigs
+                    .fields
+                    .get(&(cid, fname.clone()))
+                    .cloned()
+                    .ok_or_else(|| self.err(format!("unknown field `{fname}`"), lhs))?;
+                let (v, vt) = self.expr(rhs)?;
+                let v = self.coerce(v, &vt, &fty, rhs)?;
+                self.b.putfield(oreg, fid, v);
+                Ok(())
+            }
+            ExprKind::Index(arr, idx) => {
+                let (areg, aty) = self.expr(arr)?;
+                let LTy::Array(elem) = aty else {
+                    return Err(self.err("indexing a non-array", lhs));
+                };
+                let (ireg, ity) = self.expr(idx)?;
+                if !matches!(ity, LTy::Int | LTy::Byte) {
+                    return Err(self.err("array index must be int", lhs));
+                }
+                let (v, vt) = self.expr(rhs)?;
+                let v = self.coerce(v, &vt, &elem, rhs)?;
+                self.b.astore(areg, ireg, v, elem.elem_ty());
+                Ok(())
+            }
+            _ => Err(self.err("invalid assignment target", lhs)),
+        }
+    }
+
+    fn call(
+        &mut self,
+        name: &str,
+        args: &[Expr],
+        e: &Expr,
+        allow_void: bool,
+    ) -> Result<Option<(Reg, LTy)>, LangError> {
+        let (mid, params, ret) = self
+            .sigs
+            .funcs
+            .get(name)
+            .cloned()
+            .ok_or_else(|| self.err(format!("unknown function `{name}`"), e))?;
+        if args.len() != params.len() {
+            return Err(self.err(
+                format!("`{name}` takes {} arguments, got {}", params.len(), args.len()),
+                e,
+            ));
+        }
+        let mut regs = Vec::with_capacity(args.len());
+        for (a, pty) in args.iter().zip(&params) {
+            let (v, vt) = self.expr(a)?;
+            regs.push(self.coerce(v, &vt, pty, a)?);
+        }
+        if ret == LTy::Void {
+            if !allow_void {
+                return Err(self.err(format!("`{name}` returns no value"), e));
+            }
+            self.b.call_void(mid, &regs);
+            Ok(None)
+        } else {
+            let r = self.b.call(mid, &regs);
+            Ok(Some((r, ret)))
+        }
+    }
+
+    fn expr(&mut self, e: &Expr) -> Result<(Reg, LTy), LangError> {
+        match &e.kind {
+            ExprKind::Int(v) => {
+                if let Ok(v32) = i32::try_from(*v) {
+                    Ok((self.b.const_i32(v32), LTy::Int))
+                } else {
+                    Ok((self.b.const_i64(*v), LTy::Long))
+                }
+            }
+            ExprKind::Float(v) => Ok((self.b.const_f64(*v), LTy::Double)),
+            ExprKind::Null => Ok((self.b.null(), LTy::Null)),
+            ExprKind::Var(name) => {
+                if let Some((reg, lty)) = self.lookup(name) {
+                    return Ok((reg, lty));
+                }
+                if let Some((sid, lty)) = self.sigs.statics.get(name).cloned() {
+                    let v = self.b.getstatic(sid);
+                    let lty = if lty == LTy::Byte { LTy::Int } else { lty };
+                    return Ok((v, lty));
+                }
+                Err(self.err(format!("unknown variable `{name}`"), e))
+            }
+            ExprKind::Field(obj, fname) => {
+                let (oreg, oty) = self.expr(obj)?;
+                match oty {
+                    LTy::Array(_) if fname == "length" => {
+                        Ok((self.b.arraylen(oreg), LTy::Int))
+                    }
+                    LTy::Class(cid) => {
+                        let (fid, fty) = self
+                            .sigs
+                            .fields
+                            .get(&(cid, fname.clone()))
+                            .cloned()
+                            .ok_or_else(|| self.err(format!("unknown field `{fname}`"), e))?;
+                        let v = self.b.getfield(oreg, fid);
+                        let fty = if fty == LTy::Byte { LTy::Int } else { fty };
+                        Ok((v, fty))
+                    }
+                    other => Err(self.err(
+                        format!("field access on {}", other.display()),
+                        e,
+                    )),
+                }
+            }
+            ExprKind::Index(arr, idx) => {
+                let (areg, aty) = self.expr(arr)?;
+                let LTy::Array(elem) = aty else {
+                    return Err(self.err("indexing a non-array", e));
+                };
+                let (ireg, ity) = self.expr(idx)?;
+                if !matches!(ity, LTy::Int | LTy::Byte) {
+                    return Err(self.err("array index must be int", e));
+                }
+                let v = self.b.aload(areg, ireg, elem.elem_ty());
+                let lty = if *elem == LTy::Byte { LTy::Int } else { *elem };
+                Ok((v, lty))
+            }
+            ExprKind::Call(name, args) => self
+                .call(name, args, e, false)?
+                .ok_or_else(|| self.err("void call in expression", e)),
+            ExprKind::New(cname) => {
+                let cid = *self
+                    .sigs
+                    .classes
+                    .get(cname)
+                    .ok_or_else(|| self.err(format!("unknown class `{cname}`"), e))?;
+                Ok((self.b.new_object(cid), LTy::Class(cid)))
+            }
+            ExprKind::NewArray(ty, len) => {
+                let elem = resolve_ty(&self.sigs.classes, ty, e.line, e.col)?;
+                if elem == LTy::Void {
+                    return Err(self.err("array of void", e));
+                }
+                let (lreg, lt) = self.expr(len)?;
+                if !matches!(lt, LTy::Int | LTy::Byte) {
+                    return Err(self.err("array length must be int", e));
+                }
+                let r = self.b.new_array(elem.elem_ty(), lreg);
+                Ok((r, LTy::Array(Box::new(elem))))
+            }
+            ExprKind::Un(op, inner) => {
+                let (v, t) = self.expr(inner)?;
+                match op {
+                    ast::UnOp::Neg => {
+                        if t.is_ref() || t == LTy::Void {
+                            return Err(self.err("negating a non-number", e));
+                        }
+                        Ok((self.b.un(spf_ir::UnOp::Neg, v), t))
+                    }
+                    ast::UnOp::Not => {
+                        // Logical not: (v == 0) as int.
+                        if !matches!(t, LTy::Int | LTy::Byte) {
+                            return Err(self.err("`!` requires int", e));
+                        }
+                        let z = self.b.const_i32(0);
+                        Ok((self.b.eq(v, z), LTy::Int))
+                    }
+                }
+            }
+            ExprKind::Cast(ty, inner) => {
+                let target = resolve_ty(&self.sigs.classes, ty, e.line, e.col)?;
+                let (v, t) = self.expr(inner)?;
+                let out = match (&t, &target) {
+                    (a, b) if a == b => v,
+                    (LTy::Int, LTy::Long) => self.b.convert(Conv::I32ToI64, v),
+                    (LTy::Int, LTy::Double) => self.b.convert(Conv::I32ToF64, v),
+                    (LTy::Long, LTy::Int) => self.b.convert(Conv::I64ToI32, v),
+                    (LTy::Long, LTy::Double) => self.b.convert(Conv::I64ToF64, v),
+                    (LTy::Double, LTy::Int) => self.b.convert(Conv::F64ToI32, v),
+                    (LTy::Double, LTy::Long) => self.b.convert(Conv::F64ToI64, v),
+                    (LTy::Byte, LTy::Int) => v,
+                    _ => {
+                        return Err(self.err(
+                            format!("cannot cast {} to {}", t.display(), target.display()),
+                            e,
+                        ))
+                    }
+                };
+                Ok((out, target))
+            }
+            ExprKind::Bin(op, lhs, rhs) => self.bin(*op, lhs, rhs, e),
+        }
+    }
+
+    fn bin(
+        &mut self,
+        op: ast::BinOp,
+        lhs: &Expr,
+        rhs: &Expr,
+        e: &Expr,
+    ) -> Result<(Reg, LTy), LangError> {
+        use ast::BinOp as B;
+        // Short-circuit && and || lower to nested ifs over an out register.
+        if matches!(op, B::And | B::Or) {
+            let out = self.b.new_reg(Ty::I32);
+            let (l, lt) = self.expr(lhs)?;
+            if !matches!(lt, LTy::Int | LTy::Byte) {
+                return Err(self.err("logical op requires int", e));
+            }
+            let z = self.b.const_i32(0);
+            let lbool = self.b.ne(l, z);
+            let rhs_bb = self.b.create_block();
+            let done = self.b.create_block();
+            self.b.move_(out, lbool);
+            match op {
+                B::And => self.b.branch(lbool, rhs_bb, done),
+                _ => self.b.branch(lbool, done, rhs_bb),
+            }
+            self.b.switch_to(rhs_bb);
+            let (r, rt) = self.expr(rhs)?;
+            if !matches!(rt, LTy::Int | LTy::Byte) {
+                return Err(self.err("logical op requires int", e));
+            }
+            let z2 = self.b.const_i32(0);
+            let rbool = self.b.ne(r, z2);
+            self.b.move_(out, rbool);
+            self.b.jump(done);
+            self.b.switch_to(done);
+            return Ok((out, LTy::Int));
+        }
+        let (l, lt) = self.expr(lhs)?;
+        let (r, rt) = self.expr(rhs)?;
+        // Reference equality.
+        if matches!(op, B::Eq | B::Ne) && (lt.is_ref() || rt.is_ref()) {
+            if !(lt.is_ref() && rt.is_ref()) {
+                return Err(self.err("comparing reference with non-reference", e));
+            }
+            let cmp = if op == B::Eq { CmpOp::Eq } else { CmpOp::Ne };
+            return Ok((self.b.cmp(cmp, l, r), LTy::Int));
+        }
+        if lt.is_ref() || rt.is_ref() || lt == LTy::Void || rt == LTy::Void {
+            return Err(self.err("arithmetic on non-numbers", e));
+        }
+        let (l, r, common) = self.promote(l, &lt, r, &rt, e)?;
+        let cmp_op = match op {
+            B::Eq => Some(CmpOp::Eq),
+            B::Ne => Some(CmpOp::Ne),
+            B::Lt => Some(CmpOp::Lt),
+            B::Le => Some(CmpOp::Le),
+            B::Gt => Some(CmpOp::Gt),
+            B::Ge => Some(CmpOp::Ge),
+            _ => None,
+        };
+        if let Some(c) = cmp_op {
+            return Ok((self.b.cmp(c, l, r), LTy::Int));
+        }
+        let ir_op = match op {
+            B::Add => spf_ir::BinOp::Add,
+            B::Sub => spf_ir::BinOp::Sub,
+            B::Mul => spf_ir::BinOp::Mul,
+            B::Div => spf_ir::BinOp::Div,
+            B::Rem => spf_ir::BinOp::Rem,
+            B::Shl => spf_ir::BinOp::Shl,
+            B::Shr => spf_ir::BinOp::Shr,
+            B::BitAnd => spf_ir::BinOp::And,
+            B::BitOr => spf_ir::BinOp::Or,
+            B::BitXor => spf_ir::BinOp::Xor,
+            _ => unreachable!("handled above"),
+        };
+        if ir_op.int_only() && common == LTy::Double {
+            return Err(self.err("integer operation on double", e));
+        }
+        Ok((self.b.bin(ir_op, l, r), common))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spf_heap::Value;
+    use spf_memsim::ProcessorConfig;
+    use spf_vm::{Vm, VmConfig};
+
+    fn run(src: &str, func: &str, args: &[Value]) -> Option<Value> {
+        let program = compile(src).unwrap_or_else(|e| panic!("compile error: {e}\n{src}"));
+        let mid = program.method_by_name(func).expect("function exists");
+        let mut vm = Vm::new(program, VmConfig::default(), ProcessorConfig::pentium4());
+        vm.call(mid, args).expect("runs")
+    }
+
+    #[test]
+    fn arithmetic_and_control_flow() {
+        let out = run(
+            "int f(int n) {
+                 int acc = 0;
+                 for (int i = 0; i < n; i = i + 1) {
+                     if (i % 2 == 0) { acc = acc + i; } else { acc = acc - 1; }
+                 }
+                 return acc;
+             }",
+            "f",
+            &[Value::I32(10)],
+        );
+        // evens 0+2+4+6+8 = 20, odds subtract 5 -> 15
+        assert_eq!(out, Some(Value::I32(15)));
+    }
+
+    #[test]
+    fn classes_arrays_and_fields() {
+        let out = run(
+            "class Node { int v; Node next; }
+             int f(int n) {
+                 Node head = null;
+                 for (int i = 0; i < n; i = i + 1) {
+                     Node x = new Node();
+                     x.v = i;
+                     x.next = head;
+                     head = x;
+                 }
+                 int sum = 0;
+                 while (head != null) {
+                     sum = sum + head.v;
+                     head = head.next;
+                 }
+                 return sum;
+             }",
+            "f",
+            &[Value::I32(5)],
+        );
+        assert_eq!(out, Some(Value::I32(10)));
+    }
+
+    #[test]
+    fn arrays_length_and_bytes() {
+        let out = run(
+            "int f() {
+                 byte[] b = new byte[10];
+                 for (int i = 0; i < b.length; i = i + 1) { b[i] = i * 3; }
+                 int acc = 0;
+                 for (int i = 0; i < b.length; i = i + 1) { acc = acc + b[i]; }
+                 return acc;
+             }",
+            "f",
+            &[],
+        );
+        assert_eq!(out, Some(Value::I32(135)));
+    }
+
+    #[test]
+    fn calls_and_recursion() {
+        let out = run(
+            "int fib(int n) { if (n < 2) return n; return fib(n-1) + fib(n-2); }
+             int f() { return fib(10); }",
+            "f",
+            &[],
+        );
+        assert_eq!(out, Some(Value::I32(55)));
+    }
+
+    #[test]
+    fn doubles_and_casts() {
+        let out = run(
+            "int f(int n) {
+                 double acc = 0.0;
+                 for (int i = 0; i < n; i = i + 1) { acc = acc + 1.5; }
+                 return (int) acc;
+             }",
+            "f",
+            &[Value::I32(4)],
+        );
+        assert_eq!(out, Some(Value::I32(6)));
+    }
+
+    #[test]
+    fn short_circuit_semantics() {
+        // The right side would trap (div by zero) if evaluated.
+        let out = run(
+            "int f(int x) { if (x != 0 && 10 / x > 1) return 1; return 0; }",
+            "f",
+            &[Value::I32(0)],
+        );
+        assert_eq!(out, Some(Value::I32(0)));
+    }
+
+    #[test]
+    fn break_continue_in_for() {
+        let out = run(
+            "int f() {
+                 int acc = 0;
+                 for (int i = 0; i < 100; i = i + 1) {
+                     if (i == 5) continue;
+                     if (i == 8) break;
+                     acc = acc + i;
+                 }
+                 return acc;
+             }",
+            "f",
+            &[],
+        );
+        // 0+1+2+3+4+6+7 = 23
+        assert_eq!(out, Some(Value::I32(23)));
+    }
+
+    #[test]
+    fn statics() {
+        let out = run(
+            "static int counter;
+             void bump() { counter = counter + 1; }
+             int f() { bump(); bump(); bump(); return counter; }",
+            "f",
+            &[],
+        );
+        assert_eq!(out, Some(Value::I32(3)));
+    }
+
+    #[test]
+    fn type_errors_are_reported() {
+        assert!(compile("int f() { return null; }").is_err());
+        assert!(compile("int f(double d) { return d; }").is_err());
+        assert!(compile("void f() { g(); }").is_err());
+        assert!(compile("int f() { int x = new int[3]; return x; }").is_err());
+        assert!(compile("class A { int v; } int f(A a) { return a.w; }").is_err());
+    }
+
+    #[test]
+    fn nested_arrays() {
+        let out = run(
+            "int f(int n) {
+                 int[][] g = new int[][n];
+                 for (int i = 0; i < n; i = i + 1) {
+                     g[i] = new int[n];
+                     for (int j = 0; j < n; j = j + 1) { g[i][j] = i * j; }
+                 }
+                 int acc = 0;
+                 for (int i = 0; i < n; i = i + 1) {
+                     acc = acc + g[i][i];
+                 }
+                 return acc;
+             }",
+            "f",
+            &[Value::I32(5)],
+        );
+        // sum of i^2 for i in 0..5 = 30
+        assert_eq!(out, Some(Value::I32(30)));
+    }
+
+    #[test]
+    fn mutual_recursion() {
+        let out = run(
+            "int isOdd(int n) { if (n == 0) return 0; return isEven(n - 1); }
+             int isEven(int n) { if (n == 0) return 1; return isOdd(n - 1); }
+             int f() { return isEven(10) * 10 + isOdd(7); }",
+            "f",
+            &[],
+        );
+        assert_eq!(out, Some(Value::I32(11)));
+    }
+
+    #[test]
+    fn class_typed_arrays_of_arrays() {
+        let out = run(
+            "class P { int v; }
+             int f() {
+                 P[][] rows = new P[][3];
+                 for (int i = 0; i < 3; i = i + 1) {
+                     rows[i] = new P[3];
+                     for (int j = 0; j < 3; j = j + 1) {
+                         P p = new P();
+                         p.v = i + j;
+                         rows[i][j] = p;
+                     }
+                 }
+                 return rows[2][2].v;
+             }",
+            "f",
+            &[],
+        );
+        assert_eq!(out, Some(Value::I32(4)));
+    }
+
+    #[test]
+    fn long_arithmetic() {
+        let out = run(
+            "long f(int n) { long acc = 0; for (int i = 0; i < n; i = i + 1) { acc = acc + 1000000000; } return acc; }",
+            "f",
+            &[Value::I32(5)],
+        );
+        assert_eq!(out, Some(Value::I64(5_000_000_000)));
+    }
+}

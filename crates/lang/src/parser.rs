@@ -1,0 +1,578 @@
+//! Recursive-descent parser.
+
+use crate::ast::*;
+use crate::error::LangError;
+use crate::lexer::{lex, Tok, Token};
+
+const KEYWORDS: &[&str] = &[
+    "class", "static", "int", "long", "double", "byte", "void", "if", "else", "while", "for",
+    "break", "continue", "return", "new", "null",
+];
+
+struct Parser {
+    toks: Vec<Token>,
+    pos: usize,
+}
+
+/// Parses a compilation unit.
+///
+/// # Errors
+///
+/// Returns the first syntax error with its position.
+pub fn parse(src: &str) -> Result<Unit, LangError> {
+    let toks = lex(src)?;
+    let mut p = Parser { toks, pos: 0 };
+    p.unit()
+}
+
+impl Parser {
+    fn peek(&self) -> &Token {
+        &self.toks[self.pos]
+    }
+
+    fn err(&self, msg: impl Into<String>) -> LangError {
+        let t = self.peek();
+        LangError::new(msg, t.line, t.col)
+    }
+
+    fn bump(&mut self) -> Token {
+        let t = self.toks[self.pos].clone();
+        if self.pos + 1 < self.toks.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat_punct(&mut self, p: &str) -> Result<(), LangError> {
+        match &self.peek().tok {
+            Tok::Punct(q) if *q == p => {
+                self.bump();
+                Ok(())
+            }
+            other => Err(self.err(format!("expected `{p}`, found {other:?}"))),
+        }
+    }
+
+    fn at_punct(&self, p: &str) -> bool {
+        matches!(&self.peek().tok, Tok::Punct(q) if *q == p)
+    }
+
+    fn eat_if_punct(&mut self, p: &str) -> bool {
+        if self.at_punct(p) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn at_kw(&self, kw: &str) -> bool {
+        matches!(&self.peek().tok, Tok::Ident(s) if s == kw)
+    }
+
+    fn eat_kw(&mut self, kw: &str) -> Result<(), LangError> {
+        if self.at_kw(kw) {
+            self.bump();
+            Ok(())
+        } else {
+            Err(self.err(format!("expected `{kw}`")))
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, LangError> {
+        match &self.peek().tok {
+            Tok::Ident(s) if !KEYWORDS.contains(&s.as_str()) => {
+                let s = s.clone();
+                self.bump();
+                Ok(s)
+            }
+            other => Err(self.err(format!("expected identifier, found {other:?}"))),
+        }
+    }
+
+    fn unit(&mut self) -> Result<Unit, LangError> {
+        let mut unit = Unit::default();
+        while self.peek().tok != Tok::Eof {
+            if self.at_kw("class") {
+                unit.classes.push(self.class_decl()?);
+            } else if self.at_kw("static") {
+                self.bump();
+                let ty = self.type_expr()?;
+                let name = self.ident()?;
+                self.eat_punct(";")?;
+                unit.statics.push(StaticDecl { ty, name });
+            } else {
+                unit.funcs.push(self.func_decl()?);
+            }
+        }
+        Ok(unit)
+    }
+
+    fn class_decl(&mut self) -> Result<ClassDecl, LangError> {
+        self.eat_kw("class")?;
+        let name = self.ident()?;
+        self.eat_punct("{")?;
+        let mut fields = Vec::new();
+        while !self.eat_if_punct("}") {
+            let ty = self.type_expr()?;
+            let fname = self.ident()?;
+            self.eat_punct(";")?;
+            fields.push(FieldDecl { ty, name: fname });
+        }
+        Ok(ClassDecl { name, fields })
+    }
+
+    /// A type: base then any number of `[]` suffixes.
+    fn type_expr(&mut self) -> Result<TypeExpr, LangError> {
+        let base = match &self.peek().tok {
+            Tok::Ident(s) => match s.as_str() {
+                "int" => {
+                    self.bump();
+                    TypeExpr::Int
+                }
+                "long" => {
+                    self.bump();
+                    TypeExpr::Long
+                }
+                "double" => {
+                    self.bump();
+                    TypeExpr::Double
+                }
+                "byte" => {
+                    self.bump();
+                    TypeExpr::Byte
+                }
+                "void" => {
+                    self.bump();
+                    TypeExpr::Void
+                }
+                _ => TypeExpr::Class(self.ident()?),
+            },
+            other => return Err(self.err(format!("expected type, found {other:?}"))),
+        };
+        let mut ty = base;
+        while self.at_punct("[") && matches!(self.toks[self.pos + 1].tok, Tok::Punct("]")) {
+            self.bump();
+            self.bump();
+            ty = TypeExpr::Array(Box::new(ty));
+        }
+        Ok(ty)
+    }
+
+    fn func_decl(&mut self) -> Result<FuncDecl, LangError> {
+        let ret = self.type_expr()?;
+        let name = self.ident()?;
+        self.eat_punct("(")?;
+        let mut params = Vec::new();
+        if !self.at_punct(")") {
+            loop {
+                let ty = self.type_expr()?;
+                let pname = self.ident()?;
+                params.push((ty, pname));
+                if !self.eat_if_punct(",") {
+                    break;
+                }
+            }
+        }
+        self.eat_punct(")")?;
+        let body = self.block()?;
+        Ok(FuncDecl {
+            ret,
+            name,
+            params,
+            body,
+        })
+    }
+
+    fn block(&mut self) -> Result<Vec<Stmt>, LangError> {
+        self.eat_punct("{")?;
+        let mut stmts = Vec::new();
+        while !self.eat_if_punct("}") {
+            stmts.push(self.stmt()?);
+        }
+        Ok(stmts)
+    }
+
+    fn looks_like_decl(&self) -> bool {
+        // A declaration starts with a type keyword, or `Ident Ident`, or
+        // `Ident [ ] Ident…`.
+        match &self.peek().tok {
+            Tok::Ident(s) if ["int", "long", "double", "byte"].contains(&s.as_str()) => true,
+            Tok::Ident(s) if !KEYWORDS.contains(&s.as_str()) => {
+                // Class-typed declaration: `C x …` or `C[] x …`.
+                let mut i = self.pos + 1;
+                while matches!(self.toks[i].tok, Tok::Punct("["))
+                    && matches!(self.toks[i + 1].tok, Tok::Punct("]"))
+                {
+                    i += 2;
+                }
+                matches!(&self.toks[i].tok, Tok::Ident(t) if !KEYWORDS.contains(&t.as_str()))
+            }
+            _ => false,
+        }
+    }
+
+    fn stmt(&mut self) -> Result<Stmt, LangError> {
+        if self.at_kw("if") {
+            self.bump();
+            self.eat_punct("(")?;
+            let cond = self.expr()?;
+            self.eat_punct(")")?;
+            let then = self.stmt_or_block()?;
+            let els = if self.at_kw("else") {
+                self.bump();
+                self.stmt_or_block()?
+            } else {
+                Vec::new()
+            };
+            return Ok(Stmt::If(cond, then, els));
+        }
+        if self.at_kw("while") {
+            self.bump();
+            self.eat_punct("(")?;
+            let cond = self.expr()?;
+            self.eat_punct(")")?;
+            let body = self.stmt_or_block()?;
+            return Ok(Stmt::While(cond, body));
+        }
+        if self.at_kw("for") {
+            self.bump();
+            self.eat_punct("(")?;
+            let init = self.simple_stmt()?; // consumes its `;`
+            let cond = self.expr()?;
+            self.eat_punct(";")?;
+            let update = self.simple_stmt_no_semi()?;
+            self.eat_punct(")")?;
+            let body = self.stmt_or_block()?;
+            return Ok(Stmt::For(Box::new(init), cond, Box::new(update), body));
+        }
+        if self.at_kw("break") {
+            self.bump();
+            self.eat_punct(";")?;
+            return Ok(Stmt::Break);
+        }
+        if self.at_kw("continue") {
+            self.bump();
+            self.eat_punct(";")?;
+            return Ok(Stmt::Continue);
+        }
+        if self.at_kw("return") {
+            self.bump();
+            if self.eat_if_punct(";") {
+                return Ok(Stmt::Return(None));
+            }
+            let e = self.expr()?;
+            self.eat_punct(";")?;
+            return Ok(Stmt::Return(Some(e)));
+        }
+        self.simple_stmt()
+    }
+
+    fn stmt_or_block(&mut self) -> Result<Vec<Stmt>, LangError> {
+        if self.at_punct("{") {
+            self.block()
+        } else {
+            Ok(vec![self.stmt()?])
+        }
+    }
+
+    /// Declaration, assignment, or expression statement, ending in `;`.
+    fn simple_stmt(&mut self) -> Result<Stmt, LangError> {
+        let s = self.simple_stmt_no_semi()?;
+        self.eat_punct(";")?;
+        Ok(s)
+    }
+
+    fn simple_stmt_no_semi(&mut self) -> Result<Stmt, LangError> {
+        if self.looks_like_decl() {
+            let ty = self.type_expr()?;
+            let name = self.ident()?;
+            let init = if self.eat_if_punct("=") {
+                Some(self.expr()?)
+            } else {
+                None
+            };
+            return Ok(Stmt::Let(ty, name, init));
+        }
+        let lhs = self.expr()?;
+        if self.eat_if_punct("=") {
+            let rhs = self.expr()?;
+            return Ok(Stmt::Assign(lhs, rhs));
+        }
+        Ok(Stmt::Expr(lhs))
+    }
+
+    fn expr(&mut self) -> Result<Expr, LangError> {
+        self.binary(0)
+    }
+
+    fn binary(&mut self, min_prec: u8) -> Result<Expr, LangError> {
+        let mut lhs = self.unary()?;
+        loop {
+            let (op, prec) = match &self.peek().tok {
+                Tok::Punct("||") => (BinOp::Or, 1),
+                Tok::Punct("&&") => (BinOp::And, 2),
+                Tok::Punct("|") => (BinOp::BitOr, 3),
+                Tok::Punct("^") => (BinOp::BitXor, 4),
+                Tok::Punct("&") => (BinOp::BitAnd, 5),
+                Tok::Punct("==") => (BinOp::Eq, 6),
+                Tok::Punct("!=") => (BinOp::Ne, 6),
+                Tok::Punct("<") => (BinOp::Lt, 7),
+                Tok::Punct("<=") => (BinOp::Le, 7),
+                Tok::Punct(">") => (BinOp::Gt, 7),
+                Tok::Punct(">=") => (BinOp::Ge, 7),
+                Tok::Punct("<<") => (BinOp::Shl, 8),
+                Tok::Punct(">>") => (BinOp::Shr, 8),
+                Tok::Punct("+") => (BinOp::Add, 9),
+                Tok::Punct("-") => (BinOp::Sub, 9),
+                Tok::Punct("*") => (BinOp::Mul, 10),
+                Tok::Punct("/") => (BinOp::Div, 10),
+                Tok::Punct("%") => (BinOp::Rem, 10),
+                _ => break,
+            };
+            if prec < min_prec {
+                break;
+            }
+            let t = self.bump();
+            let rhs = self.binary(prec + 1)?;
+            lhs = Expr {
+                kind: ExprKind::Bin(op, Box::new(lhs), Box::new(rhs)),
+                line: t.line,
+                col: t.col,
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn unary(&mut self) -> Result<Expr, LangError> {
+        let t = self.peek().clone();
+        if self.eat_if_punct("-") {
+            let e = self.unary()?;
+            return Ok(Expr {
+                kind: ExprKind::Un(UnOp::Neg, Box::new(e)),
+                line: t.line,
+                col: t.col,
+            });
+        }
+        if self.eat_if_punct("!") {
+            let e = self.unary()?;
+            return Ok(Expr {
+                kind: ExprKind::Un(UnOp::Not, Box::new(e)),
+                line: t.line,
+                col: t.col,
+            });
+        }
+        // Cast: `( int|long|double ) unary`
+        if self.at_punct("(") {
+            if let Tok::Ident(s) = &self.toks[self.pos + 1].tok {
+                if ["int", "long", "double"].contains(&s.as_str())
+                    && matches!(self.toks[self.pos + 2].tok, Tok::Punct(")"))
+                {
+                    self.bump();
+                    let ty = self.type_expr()?;
+                    self.eat_punct(")")?;
+                    let e = self.unary()?;
+                    return Ok(Expr {
+                        kind: ExprKind::Cast(ty, Box::new(e)),
+                        line: t.line,
+                        col: t.col,
+                    });
+                }
+            }
+        }
+        self.postfix()
+    }
+
+    fn postfix(&mut self) -> Result<Expr, LangError> {
+        let mut e = self.primary()?;
+        loop {
+            let t = self.peek().clone();
+            if self.eat_if_punct(".") {
+                let name = self.ident()?;
+                e = Expr {
+                    kind: ExprKind::Field(Box::new(e), name),
+                    line: t.line,
+                    col: t.col,
+                };
+            } else if self.eat_if_punct("[") {
+                let idx = self.expr()?;
+                self.eat_punct("]")?;
+                e = Expr {
+                    kind: ExprKind::Index(Box::new(e), Box::new(idx)),
+                    line: t.line,
+                    col: t.col,
+                };
+            } else {
+                break;
+            }
+        }
+        Ok(e)
+    }
+
+    fn primary(&mut self) -> Result<Expr, LangError> {
+        let t = self.peek().clone();
+        match &t.tok {
+            Tok::Int(v) => {
+                self.bump();
+                Ok(Expr {
+                    kind: ExprKind::Int(*v),
+                    line: t.line,
+                    col: t.col,
+                })
+            }
+            Tok::Float(v) => {
+                self.bump();
+                Ok(Expr {
+                    kind: ExprKind::Float(*v),
+                    line: t.line,
+                    col: t.col,
+                })
+            }
+            Tok::Punct("(") => {
+                self.bump();
+                let e = self.expr()?;
+                self.eat_punct(")")?;
+                Ok(e)
+            }
+            Tok::Ident(s) if s == "null" => {
+                self.bump();
+                Ok(Expr {
+                    kind: ExprKind::Null,
+                    line: t.line,
+                    col: t.col,
+                })
+            }
+            Tok::Ident(s) if s == "new" => {
+                self.bump();
+                let base = self.type_expr()?;
+                if self.eat_if_punct("(") {
+                    self.eat_punct(")")?;
+                    let name = match base {
+                        TypeExpr::Class(n) => n,
+                        _ => return Err(self.err("`new` with () requires a class")),
+                    };
+                    return Ok(Expr {
+                        kind: ExprKind::New(name),
+                        line: t.line,
+                        col: t.col,
+                    });
+                }
+                self.eat_punct("[")?;
+                let len = self.expr()?;
+                self.eat_punct("]")?;
+                Ok(Expr {
+                    kind: ExprKind::NewArray(base, Box::new(len)),
+                    line: t.line,
+                    col: t.col,
+                })
+            }
+            Tok::Ident(s) if !KEYWORDS.contains(&s.as_str()) => {
+                let name = self.ident()?;
+                if self.eat_if_punct("(") {
+                    let mut args = Vec::new();
+                    if !self.at_punct(")") {
+                        loop {
+                            args.push(self.expr()?);
+                            if !self.eat_if_punct(",") {
+                                break;
+                            }
+                        }
+                    }
+                    self.eat_punct(")")?;
+                    return Ok(Expr {
+                        kind: ExprKind::Call(name, args),
+                        line: t.line,
+                        col: t.col,
+                    });
+                }
+                Ok(Expr {
+                    kind: ExprKind::Var(name),
+                    line: t.line,
+                    col: t.col,
+                })
+            }
+            other => Err(self.err(format!("expected expression, found {other:?}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_class_and_function() {
+        let unit = parse(
+            "class Token { int size; int[] facts; }
+             static int seed;
+             int sum(Token[] v, int n) {
+                 int acc = 0;
+                 for (int i = 0; i < n; i = i + 1) {
+                     Token t = v[i];
+                     acc = acc + t.size;
+                 }
+                 return acc;
+             }",
+        )
+        .unwrap();
+        assert_eq!(unit.classes.len(), 1);
+        assert_eq!(unit.classes[0].fields.len(), 2);
+        assert_eq!(unit.statics.len(), 1);
+        assert_eq!(unit.funcs.len(), 1);
+        assert_eq!(unit.funcs[0].params.len(), 2);
+        assert_eq!(unit.funcs[0].body.len(), 3);
+    }
+
+    #[test]
+    fn precedence() {
+        let unit = parse("int f() { return 1 + 2 * 3; }").unwrap();
+        let Stmt::Return(Some(e)) = &unit.funcs[0].body[0] else {
+            panic!()
+        };
+        // + at the top, * nested on the right.
+        let ExprKind::Bin(BinOp::Add, _, rhs) = &e.kind else {
+            panic!("{e:?}")
+        };
+        assert!(matches!(rhs.kind, ExprKind::Bin(BinOp::Mul, _, _)));
+    }
+
+    #[test]
+    fn postfix_chains() {
+        let unit = parse("int f(Token t) { return t.facts[0]; }").unwrap();
+        let Stmt::Return(Some(e)) = &unit.funcs[0].body[0] else {
+            panic!()
+        };
+        assert!(matches!(e.kind, ExprKind::Index(..)));
+    }
+
+    #[test]
+    fn new_expressions() {
+        let unit = parse("void f() { Token t = new Token(); int[] a = new int[10]; }");
+        let unit = unit.unwrap();
+        assert_eq!(unit.funcs[0].body.len(), 2);
+    }
+
+    #[test]
+    fn while_break_continue() {
+        let unit = parse("void f(int n) { while (1) { if (n > 3) break; continue; } }").unwrap();
+        let Stmt::While(_, body) = &unit.funcs[0].body[0] else {
+            panic!()
+        };
+        assert_eq!(body.len(), 2);
+    }
+
+    #[test]
+    fn cast() {
+        let unit = parse("double f(int x) { return (double) x; }").unwrap();
+        let Stmt::Return(Some(e)) = &unit.funcs[0].body[0] else {
+            panic!()
+        };
+        assert!(matches!(e.kind, ExprKind::Cast(TypeExpr::Double, _)));
+    }
+
+    #[test]
+    fn syntax_error_has_position() {
+        let err = parse("int f() { return ; + }").unwrap_err();
+        assert!(err.line() >= 1);
+    }
+}

@@ -1,0 +1,186 @@
+//! A set-associative cache with LRU replacement and per-line fill
+//! timestamps.
+
+use crate::config::CacheParams;
+
+#[derive(Clone, Copy, Debug, Default)]
+struct Line {
+    tag: u64,
+    valid: bool,
+    /// Cycle at which the line's fill completes. A demand access before
+    /// this time waits for the remainder — this is how prefetch timeliness
+    /// ("not too late") is modelled.
+    ready_at: u64,
+    /// LRU timestamp.
+    last_used: u64,
+}
+
+/// Result of a cache lookup.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Lookup {
+    /// Line present; `wait` extra cycles until an in-flight fill completes
+    /// (0 for a settled line).
+    Hit {
+        /// Extra cycles to wait for an in-flight fill.
+        wait: u64,
+    },
+    /// Line absent.
+    Miss,
+}
+
+/// A set-associative, LRU, write-allocate cache.
+#[derive(Clone, Debug)]
+pub struct Cache {
+    params: CacheParams,
+    sets: Vec<Vec<Line>>,
+    set_mask: u64,
+    line_shift: u32,
+    tick: u64,
+}
+
+impl Cache {
+    /// Creates a cache with the given geometry.
+    pub fn new(params: CacheParams) -> Self {
+        let sets = params.sets();
+        Cache {
+            params,
+            sets: vec![vec![Line::default(); params.assoc as usize]; sets as usize],
+            set_mask: sets - 1,
+            line_shift: params.line_bytes.trailing_zeros(),
+            tick: 0,
+        }
+    }
+
+    /// The cache's geometry.
+    pub fn params(&self) -> &CacheParams {
+        &self.params
+    }
+
+    fn set_and_tag(&self, addr: u64) -> (usize, u64) {
+        let line = addr >> self.line_shift;
+        ((line & self.set_mask) as usize, line >> self.set_mask.count_ones())
+    }
+
+    /// Looks up `addr`, updating LRU state on a hit.
+    pub fn lookup(&mut self, addr: u64, now: u64) -> Lookup {
+        self.tick += 1;
+        let (set, tag) = self.set_and_tag(addr);
+        let tick = self.tick;
+        for line in &mut self.sets[set] {
+            if line.valid && line.tag == tag {
+                line.last_used = tick;
+                return Lookup::Hit {
+                    wait: line.ready_at.saturating_sub(now),
+                };
+            }
+        }
+        Lookup::Miss
+    }
+
+    /// Whether the line containing `addr` is present (no LRU update).
+    pub fn contains(&self, addr: u64) -> bool {
+        let (set, tag) = self.set_and_tag(addr);
+        self.sets[set].iter().any(|l| l.valid && l.tag == tag)
+    }
+
+    /// Installs the line containing `addr`, evicting the LRU way if needed.
+    /// `ready_at` is the cycle its fill completes. Re-installing an already
+    /// present line only tightens its `ready_at` (a demand fill of an
+    /// in-flight prefetch).
+    pub fn install(&mut self, addr: u64, ready_at: u64) {
+        self.tick += 1;
+        let (set, tag) = self.set_and_tag(addr);
+        let tick = self.tick;
+        if let Some(line) = self.sets[set]
+            .iter_mut()
+            .find(|l| l.valid && l.tag == tag)
+        {
+            line.ready_at = line.ready_at.min(ready_at);
+            line.last_used = tick;
+            return;
+        }
+        let victim = self.sets[set]
+            .iter_mut()
+            .min_by_key(|l| if l.valid { l.last_used } else { 0 })
+            .expect("associativity is at least 1");
+        *victim = Line {
+            tag,
+            valid: true,
+            ready_at,
+            last_used: tick,
+        };
+    }
+
+    /// Invalidates everything (used between benchmark runs).
+    pub fn flush(&mut self) {
+        for set in &mut self.sets {
+            for line in set {
+                line.valid = false;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> Cache {
+        // 4 sets x 2 ways x 64B lines = 512 B
+        Cache::new(CacheParams {
+            size_bytes: 512,
+            line_bytes: 64,
+            assoc: 2,
+            hit_latency: 1,
+        })
+    }
+
+    #[test]
+    fn miss_then_hit() {
+        let mut c = small();
+        assert_eq!(c.lookup(0x1000, 0), Lookup::Miss);
+        c.install(0x1000, 0);
+        assert_eq!(c.lookup(0x1000, 10), Lookup::Hit { wait: 0 });
+        // Same line, different offset.
+        assert_eq!(c.lookup(0x103f, 10), Lookup::Hit { wait: 0 });
+        // Next line misses.
+        assert_eq!(c.lookup(0x1040, 10), Lookup::Miss);
+    }
+
+    #[test]
+    fn in_flight_fill_waits() {
+        let mut c = small();
+        c.install(0x2000, 150);
+        assert_eq!(c.lookup(0x2000, 100), Lookup::Hit { wait: 50 });
+        assert_eq!(c.lookup(0x2000, 200), Lookup::Hit { wait: 0 });
+    }
+
+    #[test]
+    fn lru_eviction() {
+        let mut c = small();
+        // Three lines mapping to the same set (stride = sets * line = 256).
+        c.install(0x0000, 0);
+        c.install(0x0100, 0);
+        let _ = c.lookup(0x0000, 1); // make 0x0000 most recent
+        c.install(0x0200, 0); // evicts 0x0100 (LRU)
+        assert!(c.contains(0x0000));
+        assert!(!c.contains(0x0100));
+        assert!(c.contains(0x0200));
+    }
+
+    #[test]
+    fn reinstall_tightens_ready_at() {
+        let mut c = small();
+        c.install(0x3000, 500);
+        c.install(0x3000, 100); // demand fill while prefetch in flight
+        assert_eq!(c.lookup(0x3000, 100), Lookup::Hit { wait: 0 });
+    }
+
+    #[test]
+    fn flush_clears() {
+        let mut c = small();
+        c.install(0x1000, 0);
+        c.flush();
+        assert_eq!(c.lookup(0x1000, 0), Lookup::Miss);
+    }
+}

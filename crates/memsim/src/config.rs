@@ -1,0 +1,197 @@
+//! Processor configurations (the paper's Table 2).
+
+/// Which cache level a software prefetch instruction fills.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum CacheLevel {
+    /// First-level data cache.
+    L1,
+    /// Second-level cache.
+    L2,
+}
+
+impl std::fmt::Display for CacheLevel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CacheLevel::L1 => f.write_str("L1"),
+            CacheLevel::L2 => f.write_str("L2"),
+        }
+    }
+}
+
+/// Geometry and latency of one cache level.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct CacheParams {
+    /// Capacity in bytes.
+    pub size_bytes: u64,
+    /// Line size in bytes (power of two).
+    pub line_bytes: u64,
+    /// Associativity (ways per set).
+    pub assoc: u32,
+    /// Hit latency in cycles.
+    pub hit_latency: u64,
+}
+
+impl CacheParams {
+    /// Number of sets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry is inconsistent.
+    pub fn sets(&self) -> u64 {
+        let sets = self.size_bytes / (self.line_bytes * self.assoc as u64);
+        assert!(sets > 0, "cache too small for its associativity");
+        assert!(
+            sets.is_power_of_two() && self.line_bytes.is_power_of_two(),
+            "cache geometry must be powers of two"
+        );
+        sets
+    }
+}
+
+/// Full processor description used by the simulator and by the prefetch
+/// optimizer's profitability analysis and instruction mapping.
+#[derive(Clone, PartialEq, Debug)]
+pub struct ProcessorConfig {
+    /// Display name.
+    pub name: String,
+    /// L1 data cache.
+    pub l1: CacheParams,
+    /// Unified L2 cache.
+    pub l2: CacheParams,
+    /// Main-memory latency in cycles.
+    pub mem_latency: u64,
+    /// Number of (fully associative) DTLB entries.
+    pub dtlb_entries: u32,
+    /// Page size in bytes.
+    pub page_bytes: u64,
+    /// Page-walk penalty in cycles on a DTLB miss.
+    pub tlb_miss_penalty: u64,
+    /// Which level a software prefetch instruction fills (P4: L2, Athlon:
+    /// L1).
+    pub swpf_target: CacheLevel,
+    /// Whether the prefetch instruction is cancelled on a DTLB miss
+    /// (Pentium 4) rather than walking the page table (Athlon).
+    pub swpf_drops_on_tlb_miss: bool,
+    /// Whether the hardware next-line prefetcher is enabled.
+    pub hw_prefetch: bool,
+}
+
+impl ProcessorConfig {
+    /// The 2 GHz Intel Pentium 4 of the paper's evaluation: 8 KB L1 with
+    /// 64-byte lines, 256 KB L2 with 128-byte lines, 64 DTLB entries;
+    /// software prefetch fills the L2 and is dropped on a DTLB miss.
+    pub fn pentium4() -> Self {
+        ProcessorConfig {
+            name: "Pentium 4".to_string(),
+            l1: CacheParams {
+                size_bytes: 8 * 1024,
+                line_bytes: 64,
+                assoc: 4,
+                hit_latency: 2,
+            },
+            l2: CacheParams {
+                size_bytes: 256 * 1024,
+                line_bytes: 128,
+                assoc: 8,
+                hit_latency: 18,
+            },
+            mem_latency: 200,
+            dtlb_entries: 64,
+            page_bytes: 4096,
+            tlb_miss_penalty: 55,
+            swpf_target: CacheLevel::L2,
+            swpf_drops_on_tlb_miss: true,
+            hw_prefetch: true,
+        }
+    }
+
+    /// The 1.2 GHz AMD Athlon MP: 64 KB L1 with 64-byte lines, 256 KB L2
+    /// with 64-byte lines, 256 DTLB entries; software prefetch fills the L1
+    /// and performs a page walk on a DTLB miss.
+    pub fn athlon_mp() -> Self {
+        ProcessorConfig {
+            name: "Athlon MP".to_string(),
+            l1: CacheParams {
+                size_bytes: 64 * 1024,
+                line_bytes: 64,
+                assoc: 2,
+                hit_latency: 3,
+            },
+            l2: CacheParams {
+                size_bytes: 256 * 1024,
+                line_bytes: 64,
+                assoc: 16,
+                hit_latency: 11,
+            },
+            mem_latency: 180,
+            dtlb_entries: 256,
+            page_bytes: 4096,
+            tlb_miss_penalty: 25,
+            swpf_target: CacheLevel::L1,
+            swpf_drops_on_tlb_miss: false,
+            hw_prefetch: true,
+        }
+    }
+
+    /// Line size, in bytes, of the level software prefetches fill. The
+    /// profitability analysis compares strides against half of this (§3.3).
+    pub fn swpf_line_bytes(&self) -> u64 {
+        match self.swpf_target {
+            CacheLevel::L1 => self.l1.line_bytes,
+            CacheLevel::L2 => self.l2.line_bytes,
+        }
+    }
+
+    /// Renders the Table 2 row for this processor.
+    pub fn table2_row(&self) -> String {
+        format!(
+            "{:<12} {:>8} {:>13} {:>8} {:>13} {:>13}",
+            self.name,
+            self.l1.size_bytes / 1024,
+            self.l1.line_bytes,
+            self.l2.size_bytes / 1024,
+            self.l2.line_bytes,
+            self.dtlb_entries
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_parameters_match_paper() {
+        let p4 = ProcessorConfig::pentium4();
+        assert_eq!(p4.l1.size_bytes, 8 * 1024);
+        assert_eq!(p4.l1.line_bytes, 64);
+        assert_eq!(p4.l2.size_bytes, 256 * 1024);
+        assert_eq!(p4.l2.line_bytes, 128);
+        assert_eq!(p4.dtlb_entries, 64);
+        assert_eq!(p4.swpf_target, CacheLevel::L2);
+        assert!(p4.swpf_drops_on_tlb_miss);
+
+        let amp = ProcessorConfig::athlon_mp();
+        assert_eq!(amp.l1.size_bytes, 64 * 1024);
+        assert_eq!(amp.l1.line_bytes, 64);
+        assert_eq!(amp.l2.size_bytes, 256 * 1024);
+        assert_eq!(amp.l2.line_bytes, 64);
+        assert_eq!(amp.dtlb_entries, 256);
+        assert_eq!(amp.swpf_target, CacheLevel::L1);
+        assert!(!amp.swpf_drops_on_tlb_miss);
+    }
+
+    #[test]
+    fn geometry_is_consistent() {
+        for cfg in [ProcessorConfig::pentium4(), ProcessorConfig::athlon_mp()] {
+            assert!(cfg.l1.sets() > 0);
+            assert!(cfg.l2.sets() > 0);
+        }
+    }
+
+    #[test]
+    fn swpf_line() {
+        assert_eq!(ProcessorConfig::pentium4().swpf_line_bytes(), 128);
+        assert_eq!(ProcessorConfig::athlon_mp().swpf_line_bytes(), 64);
+    }
+}

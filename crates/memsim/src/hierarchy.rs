@@ -1,0 +1,332 @@
+//! The two-level memory hierarchy with DTLB and prefetch semantics.
+
+use crate::cache::{Cache, Lookup};
+use crate::config::{CacheLevel, ProcessorConfig};
+use crate::stats::MemStats;
+use crate::tlb::Tlb;
+
+/// Issue cost, in cycles, of a software prefetch instruction.
+pub const SWPF_ISSUE_COST: u64 = 1;
+
+/// Issue cost, in cycles, of a guarded prefetch load (address check plus
+/// the load µops; the fill itself is overlapped, as on an out-of-order
+/// machine).
+pub const GUARDED_LOAD_COST: u64 = 2;
+
+/// A simulated L1/L2/DTLB memory system for one processor.
+///
+/// Demand accesses ([`load`](Self::load), [`store`](Self::store)) return the
+/// access latency in cycles, which the execution engine adds to its cycle
+/// counter — an in-order, stall-on-use timing model. Prefetches are
+/// non-blocking: they initiate fills whose completion times are tracked per
+/// line, so a demand access arriving before the fill completes waits only
+/// for the remainder.
+#[derive(Clone, Debug)]
+pub struct MemorySystem {
+    cfg: ProcessorConfig,
+    l1: Cache,
+    l2: Cache,
+    tlb: Tlb,
+    stats: MemStats,
+}
+
+impl MemorySystem {
+    /// Creates a memory system for `cfg`.
+    pub fn new(cfg: ProcessorConfig) -> Self {
+        MemorySystem {
+            l1: Cache::new(cfg.l1),
+            l2: Cache::new(cfg.l2),
+            tlb: Tlb::new(cfg.dtlb_entries, cfg.page_bytes),
+            stats: MemStats::default(),
+            cfg,
+        }
+    }
+
+    /// The processor configuration.
+    pub fn config(&self) -> &ProcessorConfig {
+        &self.cfg
+    }
+
+    /// Counters accumulated so far.
+    pub fn stats(&self) -> &MemStats {
+        &self.stats
+    }
+
+    /// Clears caches, TLB, and counters (between benchmark runs).
+    pub fn reset(&mut self) {
+        self.l1.flush();
+        self.l2.flush();
+        self.tlb.flush();
+        self.stats = MemStats::default();
+    }
+
+    fn demand_access(&mut self, addr: u64, now: u64, is_load: bool) -> u64 {
+        let mut latency = 0;
+        if !self.tlb.lookup(addr) {
+            self.tlb.insert(addr);
+            if is_load {
+                self.stats.dtlb_load_misses += 1;
+            } else {
+                self.stats.dtlb_store_misses += 1;
+            }
+            latency += self.cfg.tlb_miss_penalty;
+        }
+        match self.l1.lookup(addr, now) {
+            Lookup::Hit { wait } => {
+                latency += self.cfg.l1.hit_latency + wait;
+            }
+            Lookup::Miss => {
+                if is_load {
+                    self.stats.l1_load_misses += 1;
+                } else {
+                    self.stats.l1_store_misses += 1;
+                }
+                match self.l2.lookup(addr, now) {
+                    Lookup::Hit { wait } => {
+                        let lat = self.cfg.l2.hit_latency + wait;
+                        latency += lat;
+                        self.l1.install(addr, now + lat);
+                    }
+                    Lookup::Miss => {
+                        if is_load {
+                            self.stats.l2_load_misses += 1;
+                        } else {
+                            self.stats.l2_store_misses += 1;
+                        }
+                        let lat = self.cfg.mem_latency;
+                        latency += lat;
+                        self.l2.install(addr, now + lat);
+                        self.l1.install(addr, now + lat);
+                        if self.cfg.hw_prefetch {
+                            // Simple next-line hardware prefetcher into L2.
+                            let next = addr + self.cfg.l2.line_bytes;
+                            if !self.l2.contains(next) && self.tlb.contains(next) {
+                                self.l2.install(next, now + lat + self.cfg.mem_latency);
+                                self.stats.hw_prefetch_fills += 1;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        self.stats.stall_cycles += latency;
+        latency
+    }
+
+    /// A demand load of any width within one line; returns its latency.
+    pub fn load(&mut self, addr: u64, now: u64) -> u64 {
+        self.stats.loads += 1;
+        self.demand_access(addr, now, true)
+    }
+
+    /// A demand store (write-allocate, treated like a read for fills).
+    pub fn store(&mut self, addr: u64, now: u64) -> u64 {
+        self.stats.stores += 1;
+        self.demand_access(addr, now, false)
+    }
+
+    /// Latency of filling a line into a higher level: the L2's hit latency
+    /// when the line is already L2-resident, the full memory latency
+    /// otherwise.
+    fn fill_latency(&self, addr: u64) -> u64 {
+        if self.l2.contains(addr) {
+            self.cfg.l2.hit_latency
+        } else {
+            self.cfg.mem_latency
+        }
+    }
+
+    /// A software prefetch instruction for the line containing `addr`.
+    ///
+    /// Fills [`ProcessorConfig::swpf_target`]. On a DTLB miss the prefetch
+    /// is cancelled when [`ProcessorConfig::swpf_drops_on_tlb_miss`] (the
+    /// Pentium 4 behaviour) and otherwise performs the page walk (Athlon).
+    /// Returns the issue cost in cycles.
+    pub fn software_prefetch(&mut self, addr: u64, now: u64) -> u64 {
+        self.stats.swpf_issued += 1;
+        if !self.tlb.contains(addr) {
+            if self.cfg.swpf_drops_on_tlb_miss {
+                self.stats.swpf_dropped_tlb += 1;
+                return SWPF_ISSUE_COST;
+            }
+            self.tlb.insert(addr);
+        }
+        match self.cfg.swpf_target {
+            CacheLevel::L1 => {
+                if !self.l1.contains(addr) {
+                    self.stats.swpf_fills += 1;
+                    let ready = now + self.fill_latency(addr);
+                    if !self.l2.contains(addr) {
+                        self.l2.install(addr, ready);
+                    }
+                    self.l1.install(addr, ready);
+                }
+            }
+            CacheLevel::L2 => {
+                if !self.l2.contains(addr) {
+                    self.stats.swpf_fills += 1;
+                    self.l2.install(addr, now + self.cfg.mem_latency);
+                }
+            }
+        }
+        SWPF_ISSUE_COST
+    }
+
+    /// A guarded prefetch load: a real (but speculative) load that fills
+    /// the L1 and L2 and *primes the DTLB* on a miss — the paper's "TLB
+    /// priming" mapping for intra-iteration prefetches on the Pentium 4
+    /// (§3.3). Returns the issue cost; the fill is overlapped.
+    pub fn guarded_load(&mut self, addr: u64, now: u64) -> u64 {
+        self.stats.guarded_loads += 1;
+        if !self.tlb.lookup(addr) {
+            self.tlb.insert(addr);
+            self.stats.guarded_load_tlb_fills += 1;
+        }
+        if !self.l1.contains(addr) {
+            self.stats.guarded_load_fills += 1;
+            let ready = now + self.fill_latency(addr);
+            if !self.l2.contains(addr) {
+                self.l2.install(addr, ready);
+            }
+            self.l1.install(addr, ready);
+        }
+        GUARDED_LOAD_COST
+    }
+
+    /// Whether the line containing `addr` is resident at `level`.
+    pub fn line_present(&self, level: CacheLevel, addr: u64) -> bool {
+        match level {
+            CacheLevel::L1 => self.l1.contains(addr),
+            CacheLevel::L2 => self.l2.contains(addr),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p4() -> MemorySystem {
+        MemorySystem::new(ProcessorConfig::pentium4())
+    }
+
+    fn athlon() -> MemorySystem {
+        MemorySystem::new(ProcessorConfig::athlon_mp())
+    }
+
+    #[test]
+    fn cold_load_misses_everywhere() {
+        let mut m = p4();
+        let lat = m.load(0x10_0000, 0);
+        assert_eq!(m.stats().l1_load_misses, 1);
+        assert_eq!(m.stats().l2_load_misses, 1);
+        assert_eq!(m.stats().dtlb_load_misses, 1);
+        assert!(lat >= m.config().mem_latency);
+    }
+
+    #[test]
+    fn second_load_hits_l1() {
+        let mut m = p4();
+        let first = m.load(0x10_0000, 0);
+        let second = m.load(0x10_0008, first);
+        assert_eq!(second, m.config().l1.hit_latency);
+        assert_eq!(m.stats().l1_load_misses, 1);
+    }
+
+    #[test]
+    fn p4_swpf_fills_l2_not_l1() {
+        let mut m = p4();
+        m.load(0x10_0000, 0); // prime TLB for the page
+        m.software_prefetch(0x10_0400, 10);
+        assert!(m.line_present(CacheLevel::L2, 0x10_0400));
+        assert!(!m.line_present(CacheLevel::L1, 0x10_0400));
+        assert_eq!(m.stats().swpf_fills, 1);
+    }
+
+    #[test]
+    fn athlon_swpf_fills_l1() {
+        let mut m = athlon();
+        m.load(0x10_0000, 0);
+        m.software_prefetch(0x10_0400, 10);
+        assert!(m.line_present(CacheLevel::L1, 0x10_0400));
+        assert!(m.line_present(CacheLevel::L2, 0x10_0400));
+    }
+
+    #[test]
+    fn p4_swpf_dropped_on_tlb_miss() {
+        let mut m = p4();
+        m.software_prefetch(0x40_0000, 0); // page never touched
+        assert_eq!(m.stats().swpf_dropped_tlb, 1);
+        assert!(!m.line_present(CacheLevel::L2, 0x40_0000));
+    }
+
+    #[test]
+    fn athlon_swpf_walks_on_tlb_miss() {
+        let mut m = athlon();
+        m.software_prefetch(0x40_0000, 0);
+        assert_eq!(m.stats().swpf_dropped_tlb, 0);
+        assert!(m.line_present(CacheLevel::L1, 0x40_0000));
+        // And the page is now resident, so a demand load takes no TLB miss.
+        let before = m.stats().dtlb_load_misses;
+        m.load(0x40_0000, 1_000);
+        assert_eq!(m.stats().dtlb_load_misses, before);
+    }
+
+    #[test]
+    fn guarded_load_primes_tlb_and_l1() {
+        let mut m = p4();
+        let cost = m.guarded_load(0x40_0000, 0);
+        assert_eq!(cost, GUARDED_LOAD_COST);
+        assert_eq!(m.stats().guarded_load_tlb_fills, 1);
+        assert!(m.line_present(CacheLevel::L1, 0x40_0000));
+        // Demand load long after: TLB hit, L1 hit, no new miss events.
+        let lat = m.load(0x40_0000, 10_000);
+        assert_eq!(lat, m.config().l1.hit_latency);
+        assert_eq!(m.stats().dtlb_load_misses, 0);
+        assert_eq!(m.stats().l1_load_misses, 0);
+    }
+
+    #[test]
+    fn too_late_prefetch_waits_partially() {
+        let mut m = p4();
+        m.load(0x10_0000, 0); // prime page
+        let l2_misses_before = m.stats().l2_load_misses;
+        m.software_prefetch(0x10_0800, 100);
+        // Demand load 50 cycles later: line is in flight, waits ~150.
+        let lat = m.load(0x10_0800, 150);
+        let expected_wait = (100 + m.config().mem_latency) - 150;
+        // L1 misses (P4 prefetch fills L2 only), L2 "hits" with a wait.
+        assert_eq!(lat, m.config().l2.hit_latency + expected_wait);
+        assert_eq!(
+            m.stats().l2_load_misses,
+            l2_misses_before,
+            "no new L2 miss event"
+        );
+    }
+
+    #[test]
+    fn timely_prefetch_eliminates_stall() {
+        let mut m = p4();
+        m.load(0x10_0000, 0);
+        m.software_prefetch(0x10_0800, 100);
+        let lat = m.load(0x10_0800, 100 + m.config().mem_latency + 10);
+        assert_eq!(lat, m.config().l2.hit_latency);
+    }
+
+    #[test]
+    fn hw_prefetcher_fetches_next_line() {
+        let mut m = p4();
+        m.load(0x10_0000, 0);
+        assert!(m.stats().hw_prefetch_fills >= 1);
+        assert!(m.line_present(CacheLevel::L2, 0x10_0000 + 128));
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let mut m = p4();
+        m.load(0x10_0000, 0);
+        m.reset();
+        assert_eq!(m.stats().loads, 0);
+        assert!(!m.line_present(CacheLevel::L2, 0x10_0000));
+    }
+}

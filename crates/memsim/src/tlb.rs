@@ -1,0 +1,105 @@
+//! A fully associative, LRU data TLB.
+
+/// A fully associative translation lookaside buffer.
+#[derive(Clone, Debug)]
+pub struct Tlb {
+    entries: Vec<(u64, u64)>, // (page number, last_used)
+    capacity: usize,
+    page_shift: u32,
+    tick: u64,
+}
+
+impl Tlb {
+    /// Creates a TLB with `entries` slots for pages of `page_bytes`.
+    pub fn new(entries: u32, page_bytes: u64) -> Self {
+        assert!(page_bytes.is_power_of_two(), "page size must be a power of two");
+        Tlb {
+            entries: Vec::with_capacity(entries as usize),
+            capacity: entries as usize,
+            page_shift: page_bytes.trailing_zeros(),
+            tick: 0,
+        }
+    }
+
+    fn page(&self, addr: u64) -> u64 {
+        addr >> self.page_shift
+    }
+
+    /// Looks up the page of `addr`; returns whether it hit (updating LRU).
+    pub fn lookup(&mut self, addr: u64) -> bool {
+        self.tick += 1;
+        let page = self.page(addr);
+        if let Some(e) = self.entries.iter_mut().find(|e| e.0 == page) {
+            e.1 = self.tick;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Whether the page of `addr` is resident (no LRU update).
+    pub fn contains(&self, addr: u64) -> bool {
+        let page = self.page(addr);
+        self.entries.iter().any(|e| e.0 == page)
+    }
+
+    /// Inserts the page of `addr`, evicting the LRU entry if full.
+    pub fn insert(&mut self, addr: u64) {
+        self.tick += 1;
+        let page = self.page(addr);
+        if let Some(e) = self.entries.iter_mut().find(|e| e.0 == page) {
+            e.1 = self.tick;
+            return;
+        }
+        if self.entries.len() == self.capacity {
+            let lru = self
+                .entries
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, e)| e.1)
+                .map(|(i, _)| i)
+                .expect("tlb has capacity");
+            self.entries.swap_remove(lru);
+        }
+        self.entries.push((page, self.tick));
+    }
+
+    /// Empties the TLB.
+    pub fn flush(&mut self) {
+        self.entries.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_after_insert() {
+        let mut t = Tlb::new(4, 4096);
+        assert!(!t.lookup(0x1000));
+        t.insert(0x1000);
+        assert!(t.lookup(0x1234)); // same page
+        assert!(!t.lookup(0x2000)); // next page
+    }
+
+    #[test]
+    fn lru_eviction_at_capacity() {
+        let mut t = Tlb::new(2, 4096);
+        t.insert(0x0000);
+        t.insert(0x1000);
+        assert!(t.lookup(0x0000)); // touch page 0
+        t.insert(0x2000); // evicts page 1
+        assert!(t.contains(0x0000));
+        assert!(!t.contains(0x1000));
+        assert!(t.contains(0x2000));
+    }
+
+    #[test]
+    fn flush_empties() {
+        let mut t = Tlb::new(2, 4096);
+        t.insert(0x0000);
+        t.flush();
+        assert!(!t.contains(0x0000));
+    }
+}

@@ -1,0 +1,80 @@
+//! VM configuration.
+
+use spf_core::PrefetchOptions;
+
+/// Cycle cost of executing one instruction in compiled code (memory
+/// latencies come on top, from the memory simulator).
+pub const COMPILED_INSTR_COST: u64 = 1;
+
+/// Extra cycle cost of a method call/return pair (frame setup).
+pub const CALL_OVERHEAD: u64 = 5;
+
+/// Approximate cycles per wall-clock nanosecond used to charge JIT
+/// compilation time to the simulated clock (a 2 GHz machine, like the
+/// paper's Pentium 4).
+pub const CYCLES_PER_NANO: f64 = 2.0;
+
+/// Configuration of a [`crate::Vm`].
+#[derive(Clone, Debug)]
+pub struct VmConfig {
+    /// Heap capacity in bytes.
+    pub heap_bytes: usize,
+    /// Invocation count at which a method is JIT-compiled (mixed mode).
+    pub compile_threshold: u32,
+    /// Cycle multiplier for interpreted (not yet compiled) code.
+    pub interp_cost_multiplier: u64,
+    /// The prefetching configuration used at JIT compilation.
+    pub prefetch: PrefetchOptions,
+    /// Record an off-line address profile of every load (Wu et al.
+    /// ablation). Expensive; off by default.
+    pub collect_offline_profile: bool,
+    /// Maximum call-stack depth.
+    pub max_stack_depth: usize,
+    /// Inline small non-recursive callees before optimizing (the paper's
+    /// JIT inlines; off by default so the figure experiments match the
+    /// documented workload structure).
+    pub inline_small_methods: bool,
+    /// Unroll innermost loops this many times before optimizing (1 = off).
+    /// The paper's §3.3 suggests unrolling to stretch the effective
+    /// prefetch scheduling distance; an ablation knob here.
+    pub unroll_factor: u32,
+}
+
+impl Default for VmConfig {
+    fn default() -> Self {
+        VmConfig {
+            heap_bytes: 64 << 20,
+            compile_threshold: 2,
+            interp_cost_multiplier: 10,
+            prefetch: PrefetchOptions::default(),
+            collect_offline_profile: false,
+            max_stack_depth: 4096,
+            inline_small_methods: false,
+            unroll_factor: 1,
+        }
+    }
+}
+
+impl VmConfig {
+    /// Baseline configuration: prefetching off.
+    pub fn baseline() -> Self {
+        VmConfig {
+            prefetch: PrefetchOptions::off(),
+            ..Self::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spf_core::PrefetchMode;
+
+    #[test]
+    fn defaults() {
+        let c = VmConfig::default();
+        assert!(c.heap_bytes > 0);
+        assert_eq!(c.prefetch.mode, PrefetchMode::InterIntra);
+        assert_eq!(VmConfig::baseline().prefetch.mode, PrefetchMode::Off);
+    }
+}

@@ -1,0 +1,78 @@
+//! VM runtime errors (the moral equivalents of Java runtime exceptions).
+
+use spf_heap::Addr;
+use spf_ir::InstrRef;
+
+/// A runtime error that aborts execution.
+#[derive(Clone, PartialEq, Debug)]
+pub enum VmError {
+    /// Dereferenced a null reference.
+    NullPointer {
+        /// Where it happened.
+        at: InstrRef,
+    },
+    /// Array index out of bounds.
+    IndexOutOfBounds {
+        /// Where it happened.
+        at: InstrRef,
+        /// The offending index.
+        index: i32,
+        /// The array length.
+        len: u64,
+    },
+    /// Integer division or remainder by zero.
+    DivisionByZero {
+        /// Where it happened.
+        at: InstrRef,
+    },
+    /// Heap exhausted even after collection.
+    OutOfMemory {
+        /// Bytes requested.
+        requested: u64,
+    },
+    /// Call-stack depth limit exceeded.
+    StackOverflow,
+    /// An `Unreachable` terminator was executed (a builder bug).
+    UnreachableExecuted,
+    /// A typed heap access faulted (an engine bug).
+    BadAccess {
+        /// The faulting address.
+        addr: Addr,
+    },
+}
+
+impl std::fmt::Display for VmError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            VmError::NullPointer { at } => write!(f, "null pointer dereference at {at}"),
+            VmError::IndexOutOfBounds { at, index, len } => {
+                write!(f, "index {index} out of bounds (len {len}) at {at}")
+            }
+            VmError::DivisionByZero { at } => write!(f, "division by zero at {at}"),
+            VmError::OutOfMemory { requested } => {
+                write!(f, "out of memory allocating {requested} bytes")
+            }
+            VmError::StackOverflow => f.write_str("stack overflow"),
+            VmError::UnreachableExecuted => f.write_str("unreachable code executed"),
+            VmError::BadAccess { addr } => write!(f, "bad access at {addr:#x}"),
+        }
+    }
+}
+
+impl std::error::Error for VmError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        let e = VmError::IndexOutOfBounds {
+            at: InstrRef::new(spf_ir::BlockId::new(1), 2),
+            index: 9,
+            len: 4,
+        };
+        assert_eq!(e.to_string(), "index 9 out of bounds (len 4) at bb1:2");
+        assert!(VmError::StackOverflow.to_string().contains("overflow"));
+    }
+}

@@ -1,0 +1,430 @@
+//! Method inlining for the baseline JIT.
+//!
+//! The paper's JIT inlines aggressively — §4.1 notes that `findInMemory`
+//! "is inlined into" the hottest jess method. This pass inlines direct
+//! calls to small, non-recursive callees, exposing the callee's loads to
+//! the caller's loop analyses (and therefore to the prefetching pass).
+//! It is off by default ([`crate::VmConfig::inline_small_methods`]) so the
+//! figure experiments match the workload structure described in
+//! DESIGN.md; turning it on is a supported ablation.
+
+use spf_ir::{Block, Function, Instr, MethodId, Program, Reg, Terminator};
+
+/// Upper bound on callee size (instructions) for inlining.
+pub const DEFAULT_MAX_CALLEE_INSTRS: usize = 40;
+
+/// Upper bound on how many instructions inlining may add to a function.
+pub const DEFAULT_MAX_GROWTH: usize = 400;
+
+/// Whether `callee` (directly) calls itself or `self_mid`.
+fn is_recursive_or_mutual(program: &Program, callee: MethodId, self_mid: MethodId) -> bool {
+    let func = program.method(callee).func();
+    func.instr_sites().any(|s| match func.instr(s) {
+        Instr::Call { callee: c, .. } => *c == callee || *c == self_mid,
+        _ => false,
+    })
+}
+
+/// Returns the first inlinable call site of `func`, if any.
+fn find_site(
+    program: &Program,
+    func: &Function,
+    self_mid: MethodId,
+    max_callee_instrs: usize,
+) -> Option<(spf_ir::BlockId, usize, MethodId)> {
+    for b in func.block_ids() {
+        for (i, instr) in func.block(b).instrs.iter().enumerate() {
+            if let Instr::Call { callee, .. } = instr {
+                if *callee == self_mid {
+                    continue;
+                }
+                let cf = program.method(*callee).func();
+                if cf.block_count() == 1
+                    && matches!(cf.block(cf.entry()).term, Terminator::Unreachable)
+                {
+                    continue; // declared but undefined body
+                }
+                if cf.instr_count() <= max_callee_instrs
+                    && !is_recursive_or_mutual(program, *callee, self_mid)
+                {
+                    return Some((b, i, *callee));
+                }
+            }
+        }
+    }
+    None
+}
+
+/// Inlines one call site; returns the transformed function.
+fn inline_one(
+    program: &Program,
+    func: &Function,
+    site: (spf_ir::BlockId, usize, MethodId),
+) -> Function {
+    let (bb, idx, callee_id) = site;
+    let callee = program.method(callee_id).func();
+    let mut out = func.clone();
+
+    let Instr::Call { dst, args, .. } = func.instr(spf_ir::InstrRef::new(bb, idx)).clone() else {
+        unreachable!("site is a call");
+    };
+
+    // Map callee registers to fresh caller registers.
+    let reg_map: Vec<Reg> = (0..callee.reg_count())
+        .map(|i| out.new_reg(callee.reg_ty(Reg::new(i))))
+        .collect();
+    let map = |r: Reg| reg_map[r.index()];
+
+    // Map callee blocks to fresh caller blocks.
+    let block_map: Vec<spf_ir::BlockId> =
+        callee.block_ids().map(|_| out.add_block()).collect();
+    let bmap = |b: spf_ir::BlockId| block_map[b.index()];
+
+    // Continuation block: the tail of the split caller block.
+    let cont = out.add_block();
+    {
+        let original = out.block_mut(bb);
+        let tail: Vec<Instr> = original.instrs.drain(idx + 1..).collect();
+        original.instrs.pop(); // the call itself
+        let term = std::mem::replace(&mut original.term, Terminator::Unreachable);
+        // Argument moves, then jump to the inlined entry.
+        for (k, a) in args.iter().enumerate() {
+            original.instrs.push(Instr::Move {
+                dst: reg_map[k],
+                src: *a,
+            });
+        }
+        original.term = Terminator::Jump(bmap(callee.entry()));
+        *out.block_mut(cont) = Block { instrs: tail, term };
+    }
+
+    // Copy callee blocks with registers and targets remapped; returns
+    // become moves into the call's destination plus jumps to `cont`.
+    for cb in callee.block_ids() {
+        let src = callee.block(cb);
+        let mut instrs = Vec::with_capacity(src.instrs.len());
+        for instr in &src.instrs {
+            instrs.push(remap_instr(instr, &map));
+        }
+        let term = match &src.term {
+            Terminator::Jump(t) => Terminator::Jump(bmap(*t)),
+            Terminator::Branch {
+                cond,
+                then_bb,
+                else_bb,
+            } => Terminator::Branch {
+                cond: map(*cond),
+                then_bb: bmap(*then_bb),
+                else_bb: bmap(*else_bb),
+            },
+            Terminator::Return(v) => {
+                if let (Some(d), Some(r)) = (dst, v) {
+                    instrs.push(Instr::Move {
+                        dst: d,
+                        src: map(*r),
+                    });
+                }
+                Terminator::Jump(cont)
+            }
+            Terminator::Unreachable => Terminator::Unreachable,
+        };
+        *out.block_mut(bmap(cb)) = Block { instrs, term };
+    }
+    out
+}
+
+fn remap_instr(instr: &Instr, map: &impl Fn(Reg) -> Reg) -> Instr {
+    use spf_ir::PrefetchAddr as PA;
+    let map_addr = |a: &PA| match *a {
+        PA::FieldOf { base, delta } => PA::FieldOf {
+            base: map(base),
+            delta,
+        },
+        PA::ArrayElem {
+            arr,
+            idx,
+            scale,
+            delta,
+        } => PA::ArrayElem {
+            arr: map(arr),
+            idx: map(idx),
+            scale,
+            delta,
+        },
+    };
+    match instr.clone() {
+        Instr::Const { dst, value } => Instr::Const {
+            dst: map(dst),
+            value,
+        },
+        Instr::Move { dst, src } => Instr::Move {
+            dst: map(dst),
+            src: map(src),
+        },
+        Instr::Bin { dst, op, a, b } => Instr::Bin {
+            dst: map(dst),
+            op,
+            a: map(a),
+            b: map(b),
+        },
+        Instr::Un { dst, op, src } => Instr::Un {
+            dst: map(dst),
+            op,
+            src: map(src),
+        },
+        Instr::Cmp { dst, op, a, b } => Instr::Cmp {
+            dst: map(dst),
+            op,
+            a: map(a),
+            b: map(b),
+        },
+        Instr::Convert { dst, conv, src } => Instr::Convert {
+            dst: map(dst),
+            conv,
+            src: map(src),
+        },
+        Instr::GetField { dst, obj, field } => Instr::GetField {
+            dst: map(dst),
+            obj: map(obj),
+            field,
+        },
+        Instr::PutField { obj, field, src } => Instr::PutField {
+            obj: map(obj),
+            field,
+            src: map(src),
+        },
+        Instr::GetStatic { dst, sid } => Instr::GetStatic { dst: map(dst), sid },
+        Instr::PutStatic { sid, src } => Instr::PutStatic { sid, src: map(src) },
+        Instr::ALoad {
+            dst,
+            arr,
+            idx,
+            elem,
+        } => Instr::ALoad {
+            dst: map(dst),
+            arr: map(arr),
+            idx: map(idx),
+            elem,
+        },
+        Instr::AStore {
+            arr,
+            idx,
+            src,
+            elem,
+        } => Instr::AStore {
+            arr: map(arr),
+            idx: map(idx),
+            src: map(src),
+            elem,
+        },
+        Instr::ArrayLen { dst, arr } => Instr::ArrayLen {
+            dst: map(dst),
+            arr: map(arr),
+        },
+        Instr::New { dst, class } => Instr::New {
+            dst: map(dst),
+            class,
+        },
+        Instr::NewArray { dst, elem, len } => Instr::NewArray {
+            dst: map(dst),
+            elem,
+            len: map(len),
+        },
+        Instr::Call { dst, callee, args } => Instr::Call {
+            dst: dst.map(&map),
+            callee,
+            args: args.into_iter().map(&map).collect(),
+        },
+        Instr::Prefetch { addr, kind } => Instr::Prefetch {
+            addr: map_addr(&addr),
+            kind,
+        },
+        Instr::SpecLoad { dst, addr } => Instr::SpecLoad {
+            dst: map(dst),
+            addr: map_addr(&addr),
+        },
+    }
+}
+
+/// Repeatedly inlines small direct non-recursive callees into `func`,
+/// bounded by size growth. `self_mid` is the id of the method being
+/// compiled (so self-calls are never inlined).
+pub fn inline_small_calls(
+    program: &Program,
+    func: &Function,
+    self_mid: MethodId,
+    max_callee_instrs: usize,
+    max_growth: usize,
+) -> Function {
+    let budget = func.instr_count() + max_growth;
+    let mut cur = func.clone();
+    while cur.instr_count() < budget {
+        let Some(site) = find_site(program, &cur, self_mid, max_callee_instrs) else {
+            break;
+        };
+        let callee_size = program.method(site.2).func().instr_count();
+        if cur.instr_count() + callee_size > budget {
+            break;
+        }
+        cur = inline_one(program, &cur, site);
+    }
+    debug_assert!(
+        spf_ir::verify::verify(program, &cur).is_ok(),
+        "inlining produced invalid IR: {:?}",
+        spf_ir::verify::verify(program, &cur)
+    );
+    cur
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::VmConfig;
+    use crate::vm::Vm;
+    use spf_heap::Value;
+    use spf_ir::{CmpOp, ElemTy, ProgramBuilder, Ty};
+    use spf_memsim::ProcessorConfig;
+
+    fn build_with_helper() -> (Program, MethodId, MethodId) {
+        let mut pb = ProgramBuilder::new();
+        let (_c, fs) = pb.add_class("N", &[("v", ElemTy::I32)]);
+        let get = {
+            let mut b = pb.function("get", &[Ty::Ref], Some(Ty::I32));
+            let o = b.param(0);
+            let v = b.getfield(o, fs[0]);
+            let one = b.const_i32(1);
+            let w = b.add(v, one);
+            b.ret(Some(w));
+            b.finish()
+        };
+        let mut b = pb.function("main", &[Ty::I32], Some(Ty::I32));
+        let n = b.param(0);
+        let (cls, vfs) = (b.program().class_by_name("N").unwrap(), fs.clone());
+        let acc = b.new_reg(Ty::I32);
+        let z = b.const_i32(0);
+        b.move_(acc, z);
+        b.for_i32(0, 1, CmpOp::Lt, |_| n, |b, i| {
+            let o = b.new_object(cls);
+            b.putfield(o, vfs[0], i);
+            let v = b.call(get, &[o]);
+            let s = b.add(acc, v);
+            b.move_(acc, s);
+        });
+        b.ret(Some(acc));
+        let main = b.finish();
+        (pb.finish(), main, get)
+    }
+
+    #[test]
+    fn inlining_removes_the_call_and_preserves_semantics() {
+        let (p, main, _) = build_with_helper();
+        let func = p.method(main).func();
+        let inlined = inline_small_calls(&p, func, main, 40, 400);
+        let calls = inlined
+            .instr_sites()
+            .filter(|&s| matches!(inlined.instr(s), Instr::Call { .. }))
+            .count();
+        assert_eq!(calls, 0, "helper call inlined");
+        // Execute both versions.
+        let mut vm = Vm::new(
+            p.clone(),
+            VmConfig {
+                compile_threshold: u32::MAX,
+                ..VmConfig::default()
+            },
+            ProcessorConfig::pentium4(),
+        );
+        let expected = vm.call(main, &[Value::I32(20)]).unwrap();
+        let mut p2 = p.clone();
+        p2.replace_method_body(main, inlined);
+        let mut vm2 = Vm::new(
+            p2,
+            VmConfig {
+                compile_threshold: u32::MAX,
+                ..VmConfig::default()
+            },
+            ProcessorConfig::pentium4(),
+        );
+        assert_eq!(vm2.call(main, &[Value::I32(20)]).unwrap(), expected);
+        assert_eq!(expected, Some(Value::I32((0..20).map(|i| i + 1).sum())));
+    }
+
+    #[test]
+    fn recursive_callees_are_not_inlined() {
+        let mut pb = ProgramBuilder::new();
+        let fib = pb.declare("fib", &[Ty::I32], Some(Ty::I32));
+        {
+            let mut b = pb.define(fib);
+            let n = b.param(0);
+            let two = b.const_i32(2);
+            let c = b.lt(n, two);
+            b.if_(c, |b| b.ret(Some(n)));
+            let one = b.const_i32(1);
+            let n1 = b.sub(n, one);
+            let a = b.call(fib, &[n1]);
+            let n2 = b.sub(n, two);
+            let bb = b.call(fib, &[n2]);
+            let s = b.add(a, bb);
+            b.ret(Some(s));
+            b.finish();
+        }
+        let mut b = pb.function("main", &[Ty::I32], Some(Ty::I32));
+        let n = b.param(0);
+        let r = b.call(fib, &[n]);
+        b.ret(Some(r));
+        let main = b.finish();
+        let p = pb.finish();
+        let inlined = inline_small_calls(&p, p.method(main).func(), main, 40, 400);
+        let calls = inlined
+            .instr_sites()
+            .filter(|&s| matches!(inlined.instr(s), Instr::Call { .. }))
+            .count();
+        assert_eq!(calls, 1, "recursive fib stays a call");
+    }
+
+    #[test]
+    fn growth_is_bounded() {
+        let (p, main, _) = build_with_helper();
+        let func = p.method(main).func();
+        let inlined = inline_small_calls(&p, func, main, 40, 2);
+        // Budget of 2 extra instructions cannot fit the callee: unchanged.
+        assert_eq!(inlined.instr_count(), func.instr_count());
+    }
+
+    #[test]
+    fn void_callees_inline() {
+        let mut pb = ProgramBuilder::new();
+        let sid = pb.add_static("g", ElemTy::I32);
+        let bump = {
+            let mut b = pb.function("bump", &[Ty::I32], None);
+            let x = b.param(0);
+            let g = b.getstatic(sid);
+            let s = b.add(g, x);
+            b.putstatic(sid, s);
+            b.finish()
+        };
+        let mut b = pb.function("main", &[Ty::I32], Some(Ty::I32));
+        let n = b.param(0);
+        b.for_i32(0, 1, CmpOp::Lt, |_| n, |b, i| {
+            b.call_void(bump, &[i]);
+        });
+        let out = b.getstatic(sid);
+        b.ret(Some(out));
+        let main = b.finish();
+        let p = pb.finish();
+        let inlined = inline_small_calls(&p, p.method(main).func(), main, 40, 400);
+        let calls = inlined
+            .instr_sites()
+            .filter(|&s| matches!(inlined.instr(s), Instr::Call { .. }))
+            .count();
+        assert_eq!(calls, 0);
+        let mut p2 = p.clone();
+        p2.replace_method_body(main, inlined);
+        let mut vm = Vm::new(p2, VmConfig::default(), ProcessorConfig::pentium4());
+        assert_eq!(
+            vm.call(main, &[Value::I32(5)]).unwrap(),
+            Some(Value::I32(10))
+        );
+    }
+
+}

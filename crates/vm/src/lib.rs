@@ -1,0 +1,32 @@
+//! The mixed-mode execution engine ("the JVM").
+//!
+//! [`Vm`] interprets the IR against the simulated heap and memory system,
+//! charging cycles per instruction plus memory latencies — an in-order,
+//! stall-on-use timing model. Methods start out interpreted (at a cycle
+//! multiplier); when a method's invocation count reaches the compile
+//! threshold the VM "JIT-compiles" it: it runs the stride-prefetching
+//! optimizer *with the actual arguments of the pending invocation* (the
+//! paper's key enabler) and thereafter executes the optimized body at
+//! compiled-code cost.
+//!
+//! The VM also:
+//!
+//! * triggers the mark-sweep-compact GC when allocation fails, forwarding
+//!   every root in its frames and statics;
+//! * counts retired instructions and per-method cycle attribution (the
+//!   paper's Table 3 "% of time in compiled code");
+//! * optionally records the off-line address profile used by the Wu et al.
+//!   ablation.
+
+pub mod config;
+pub mod error;
+pub mod inline;
+pub mod passes;
+pub mod unroll;
+pub mod stats;
+pub mod vm;
+
+pub use config::VmConfig;
+pub use error::VmError;
+pub use stats::VmStats;
+pub use vm::Vm;

@@ -1,0 +1,94 @@
+//! Execution statistics.
+
+/// Per-method cycle attribution.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct MethodCycles {
+    /// Cycles spent executing this method's compiled code.
+    pub compiled: u64,
+    /// Cycles spent interpreting this method.
+    pub interpreted: u64,
+    /// Times the method was invoked.
+    pub invocations: u64,
+}
+
+/// Counters accumulated by a [`crate::Vm`] run.
+#[derive(Clone, Debug, Default)]
+pub struct VmStats {
+    /// Simulated cycles elapsed (execution + memory stalls + GC + charged
+    /// JIT time).
+    pub cycles: u64,
+    /// Instructions retired (including inserted prefetch instructions).
+    pub retired_instructions: u64,
+    /// Instructions retired while interpreting.
+    pub interpreted_instructions: u64,
+    /// Instructions retired in compiled code.
+    pub compiled_instructions: u64,
+    /// Methods JIT-compiled.
+    pub methods_compiled: u64,
+    /// Wall-clock nanoseconds spent in JIT compilation (all passes).
+    pub jit_nanos: u128,
+    /// Wall-clock nanoseconds of `jit_nanos` spent in the prefetching pass.
+    pub prefetch_pass_nanos: u128,
+    /// Cycles charged to the simulated clock for JIT compilation.
+    pub jit_cycles: u64,
+    /// Garbage collections performed.
+    pub gc_count: u64,
+    /// Cycles charged for garbage collection.
+    pub gc_cycles: u64,
+    /// Per-method cycles, indexed by method id.
+    pub per_method: Vec<MethodCycles>,
+}
+
+impl VmStats {
+    /// Fraction of execution cycles spent in compiled code (Table 3's last
+    /// column). GC and JIT cycles are excluded from the denominator.
+    pub fn compiled_code_fraction(&self) -> f64 {
+        let compiled: u64 = self.per_method.iter().map(|m| m.compiled).sum();
+        let interp: u64 = self.per_method.iter().map(|m| m.interpreted).sum();
+        if compiled + interp == 0 {
+            0.0
+        } else {
+            compiled as f64 / (compiled + interp) as f64
+        }
+    }
+
+    /// Fraction of total execution the JIT compiler accounts for (Figure
+    /// 11's right bars).
+    pub fn jit_time_fraction(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.jit_cycles as f64 / self.cycles as f64
+        }
+    }
+
+    /// Fraction of JIT compilation time spent in the prefetching pass
+    /// (Figure 11's left bars; the paper's headline is < 3%).
+    pub fn prefetch_pass_fraction(&self) -> f64 {
+        if self.jit_nanos == 0 {
+            0.0
+        } else {
+            self.prefetch_pass_nanos as f64 / self.jit_nanos as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fractions() {
+        let mut s = VmStats::default();
+        assert_eq!(s.compiled_code_fraction(), 0.0);
+        s.per_method.push(MethodCycles {
+            compiled: 75,
+            interpreted: 25,
+            invocations: 1,
+        });
+        assert!((s.compiled_code_fraction() - 0.75).abs() < 1e-12);
+        s.jit_nanos = 1000;
+        s.prefetch_pass_nanos = 25;
+        assert!((s.prefetch_pass_fraction() - 0.025).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,308 @@
+//! Loop unrolling for the baseline JIT.
+//!
+//! The paper's §3.3 observes that the effective scheduling distance of a
+//! prefetch depends on "the amount of computation and number of memory
+//! accesses in the loop body. While we cannot change the cache parameters,
+//! we can increase the amount of computation by unrolling the loop."
+//!
+//! This pass unrolls innermost natural loops by block duplication with
+//! exact trip semantics: every copied iteration re-tests the loop
+//! condition through its own copy of the header, so no induction-variable
+//! analysis is needed and the transformation is valid for any natural
+//! loop. Registers are mutable locals shared by all copies (the IR is not
+//! SSA), so no renaming is required either.
+//!
+//! Off by default ([`crate::VmConfig::unroll_factor`] = 1); an ablation
+//! knob for prefetch-distance experiments.
+
+use spf_ir::cfg::Cfg;
+use spf_ir::dom::DomTree;
+use spf_ir::loops::LoopForest;
+use spf_ir::{Block, BlockId, Function, Program, Terminator};
+
+/// Loops with more blocks than this are left alone.
+const MAX_LOOP_BLOCKS: usize = 24;
+
+/// Unrolls each innermost loop of `func` `factor` times (1 = no change).
+/// Stops adding copies when the function would exceed `max_growth` extra
+/// instructions.
+pub fn unroll_innermost_loops(
+    program: &Program,
+    func: &Function,
+    factor: u32,
+    max_growth: usize,
+) -> Function {
+    if factor <= 1 {
+        return func.clone();
+    }
+    let budget = func.instr_count() + max_growth;
+    let mut cur = func.clone();
+    // Unroll one loop at a time; re-run the analyses after each rewrite
+    // (block ids change). Headers of already-unrolled loops are remembered
+    // so we don't unroll our own copies again.
+    let mut done_headers: Vec<BlockId> = Vec::new();
+    loop {
+        let cfg = Cfg::compute(&cur);
+        let dom = DomTree::compute(&cur, &cfg);
+        let forest = LoopForest::compute(&cur, &cfg, &dom);
+        let candidate = forest.postorder().into_iter().find(|&l| {
+            let info = forest.info(l);
+            info.children.is_empty()
+                && info.block_count() <= MAX_LOOP_BLOCKS
+                && !done_headers.contains(&info.header)
+        });
+        let Some(lid) = candidate else { break };
+        let info = forest.info(lid).clone();
+        let loop_instrs: usize = info
+            .blocks
+            .iter()
+            .map(|b| cur.block(BlockId::new(b)).instrs.len())
+            .sum();
+        if cur.instr_count() + loop_instrs * (factor as usize - 1) > budget {
+            done_headers.push(info.header);
+            continue;
+        }
+        cur = unroll_one(&cur, &info, factor);
+        done_headers.push(info.header);
+    }
+    debug_assert!(
+        spf_ir::verify::verify(program, &cur).is_ok(),
+        "unrolling produced invalid IR: {:?}",
+        spf_ir::verify::verify(program, &cur)
+    );
+    cur
+}
+
+fn unroll_one(func: &Function, info: &spf_ir::loops::LoopInfo, factor: u32) -> Function {
+    let mut out = func.clone();
+    let copies = factor as usize - 1;
+    let loop_blocks: Vec<BlockId> = info.blocks.iter().map(BlockId::new).collect();
+
+    // Allocate blocks for every copy.
+    let maps: Vec<std::collections::HashMap<BlockId, BlockId>> = (0..copies)
+        .map(|_| {
+            loop_blocks
+                .iter()
+                .map(|&b| (b, out.add_block()))
+                .collect()
+        })
+        .collect();
+
+    // Retarget a terminator for copy `k` (k == copies means the original).
+    let retarget = |t: &Terminator, k: usize| -> Terminator {
+        let map_target = |b: BlockId| -> BlockId {
+            if b == info.header {
+                // Back edge: chain into the next copy; the last copy goes
+                // back to the original header.
+                if k < copies {
+                    maps[k][&info.header]
+                } else {
+                    info.header
+                }
+            } else if info.contains(b) {
+                if k == 0 || k > copies {
+                    b
+                } else {
+                    maps[k - 1][&b]
+                }
+            } else {
+                b // loop exit: unchanged
+            }
+        };
+        match t {
+            Terminator::Jump(t) => Terminator::Jump(map_target(*t)),
+            Terminator::Branch {
+                cond,
+                then_bb,
+                else_bb,
+            } => Terminator::Branch {
+                cond: *cond,
+                then_bb: map_target(*then_bb),
+                else_bb: map_target(*else_bb),
+            },
+            other => other.clone(),
+        }
+    };
+
+    // Fill the copies: copy k's blocks are the originals with in-loop
+    // targets mapped into copy k and back edges chained to copy k+1.
+    for (k, map) in maps.iter().enumerate() {
+        for &b in &loop_blocks {
+            let src = func.block(b).clone();
+            let term = retarget_in_copy(&src.term, info, &maps, k, copies);
+            *out.block_mut(map[&b]) = Block {
+                instrs: src.instrs,
+                term,
+            };
+        }
+    }
+    // Rewrite the original loop's back edges to enter copy 0.
+    for &b in &loop_blocks {
+        let t = out.block(b).term.clone();
+        let new_t = retarget(&t, 0);
+        out.block_mut(b).term = new_t;
+    }
+    out
+}
+
+/// Target mapping for terminators inside copy `k` (0-based).
+fn retarget_in_copy(
+    t: &Terminator,
+    info: &spf_ir::loops::LoopInfo,
+    maps: &[std::collections::HashMap<BlockId, BlockId>],
+    k: usize,
+    copies: usize,
+) -> Terminator {
+    let map_target = |b: BlockId| -> BlockId {
+        if b == info.header {
+            if k + 1 < copies {
+                maps[k + 1][&info.header]
+            } else {
+                info.header
+            }
+        } else if info.contains(b) {
+            maps[k][&b]
+        } else {
+            b
+        }
+    };
+    match t {
+        Terminator::Jump(t) => Terminator::Jump(map_target(*t)),
+        Terminator::Branch {
+            cond,
+            then_bb,
+            else_bb,
+        } => Terminator::Branch {
+            cond: *cond,
+            then_bb: map_target(*then_bb),
+            else_bb: map_target(*else_bb),
+        },
+        other => other.clone(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::VmConfig;
+    use crate::vm::Vm;
+    use spf_heap::Value;
+    use spf_ir::{CmpOp, ProgramBuilder, Ty};
+    use spf_memsim::ProcessorConfig;
+
+    fn sum_program() -> (Program, spf_ir::MethodId) {
+        let mut pb = ProgramBuilder::new();
+        let mut b = pb.function("sum", &[Ty::I32], Some(Ty::I32));
+        let n = b.param(0);
+        let acc = b.new_reg(Ty::I32);
+        let z = b.const_i32(0);
+        b.move_(acc, z);
+        b.for_i32(0, 1, CmpOp::Lt, |_| n, |b, i| {
+            let s = b.add(acc, i);
+            b.move_(acc, s);
+        });
+        b.ret(Some(acc));
+        let m = b.finish();
+        (pb.finish(), m)
+    }
+
+    fn run_with(p: &Program, m: spf_ir::MethodId, f: &Function, arg: i32) -> Option<Value> {
+        let mut p2 = p.clone();
+        p2.replace_method_body(m, f.clone());
+        let mut vm = Vm::new(
+            p2,
+            VmConfig {
+                compile_threshold: u32::MAX,
+                ..VmConfig::default()
+            },
+            ProcessorConfig::pentium4(),
+        );
+        vm.call(m, &[Value::I32(arg)]).unwrap()
+    }
+
+    #[test]
+    fn unrolled_loop_computes_the_same_sums() {
+        let (p, m) = sum_program();
+        let f = p.method(m).func();
+        for factor in [2u32, 3, 4, 8] {
+            let u = unroll_innermost_loops(&p, f, factor, 10_000);
+            assert!(u.instr_count() > f.instr_count(), "factor {factor} grew");
+            // Exact trip semantics for every residue class of the trip
+            // count, including zero-trip loops.
+            for n in [0, 1, 2, 3, 5, 7, 16, 33] {
+                assert_eq!(
+                    run_with(&p, m, &u, n),
+                    run_with(&p, m, f, n),
+                    "factor {factor}, n {n}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn factor_one_is_identity() {
+        let (p, m) = sum_program();
+        let f = p.method(m).func();
+        let u = unroll_innermost_loops(&p, f, 1, 10_000);
+        assert_eq!(&u, f);
+    }
+
+    #[test]
+    fn growth_budget_respected() {
+        let (p, m) = sum_program();
+        let f = p.method(m).func();
+        let u = unroll_innermost_loops(&p, f, 16, 4);
+        assert_eq!(u.instr_count(), f.instr_count(), "budget of 4 too small");
+    }
+
+    #[test]
+    fn nested_loops_unroll_only_the_innermost() {
+        let mut pb = ProgramBuilder::new();
+        let mut b = pb.function("nest", &[Ty::I32], Some(Ty::I32));
+        let n = b.param(0);
+        let acc = b.new_reg(Ty::I32);
+        let z = b.const_i32(0);
+        b.move_(acc, z);
+        b.for_i32(0, 1, CmpOp::Lt, |_| n, |b, i| {
+            b.for_i32(0, 1, CmpOp::Lt, |_| n, |b, j| {
+                let x = b.mul(i, j);
+                let s = b.add(acc, x);
+                b.move_(acc, s);
+            });
+        });
+        b.ret(Some(acc));
+        let m = b.finish();
+        let p = pb.finish();
+        let f = p.method(m).func();
+        let u = unroll_innermost_loops(&p, f, 4, 10_000);
+        for n in [0, 1, 3, 6] {
+            assert_eq!(run_with(&p, m, &u, n), run_with(&p, m, f, n), "n {n}");
+        }
+        // Outer loop untouched: the unrolled function has exactly one set
+        // of copies (inner loop), so block growth is bounded by
+        // 3 * inner-loop blocks + nothing for the outer loop.
+        let cfg = Cfg::compute(&u);
+        let dom = DomTree::compute(&u, &cfg);
+        let forest = LoopForest::compute(&u, &cfg, &dom);
+        assert!(forest.len() >= 2, "loops still present");
+    }
+
+    #[test]
+    fn vm_level_unrolling_preserves_results() {
+        let (p, m) = sum_program();
+        let mut vm = Vm::new(
+            p,
+            VmConfig {
+                unroll_factor: 4,
+                compile_threshold: 1,
+                ..VmConfig::default()
+            },
+            ProcessorConfig::pentium4(),
+        );
+        assert_eq!(
+            vm.call(m, &[Value::I32(100)]).unwrap(),
+            Some(Value::I32(4950))
+        );
+        assert!(vm.is_compiled(m));
+    }
+}

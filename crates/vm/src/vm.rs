@@ -1,0 +1,999 @@
+//! The virtual machine: iterative interpreter with JIT hook, GC glue, and
+//! cycle accounting.
+
+use std::collections::HashMap;
+use std::rc::Rc;
+use std::time::Instant;
+
+use spf_core::offline::OfflineProfile;
+use spf_core::{MethodReport, StridePrefetcher};
+use spf_heap::{static_addr, Addr, Heap, Layout, Value, ARRAY_DATA_OFFSET, NULL};
+use spf_ir::{
+    BinOp, BlockId, CmpOp, Conv, ElemTy, Function, Instr, InstrRef, MethodId, PrefetchAddr,
+    PrefetchKind, Program, Reg, Terminator, Ty, UnOp,
+};
+use spf_memsim::{MemorySystem, ProcessorConfig};
+
+use crate::config::{VmConfig, CALL_OVERHEAD, COMPILED_INSTR_COST, CYCLES_PER_NANO};
+use crate::error::VmError;
+use crate::passes;
+use crate::stats::{MethodCycles, VmStats};
+
+struct Frame {
+    method: MethodId,
+    code: Rc<Function>,
+    compiled: bool,
+    regs: Vec<Value>,
+    block: BlockId,
+    idx: usize,
+    ret_dst: Option<Reg>,
+}
+
+/// The mixed-mode virtual machine.
+///
+/// # Example
+///
+/// ```
+/// use spf_ir::{ProgramBuilder, Ty};
+/// use spf_memsim::ProcessorConfig;
+/// use spf_vm::{Vm, VmConfig};
+///
+/// let mut pb = ProgramBuilder::new();
+/// let mut b = pb.function("main", &[Ty::I32], Some(Ty::I32));
+/// let x = b.param(0);
+/// let y = b.add(x, x);
+/// b.ret(Some(y));
+/// let main = b.finish();
+/// let mut vm = Vm::new(pb.finish(), VmConfig::default(), ProcessorConfig::pentium4());
+/// let out = vm.call(main, &[spf_heap::Value::I32(21)]).unwrap();
+/// assert_eq!(out, Some(spf_heap::Value::I32(42)));
+/// ```
+pub struct Vm {
+    program: Program,
+    config: VmConfig,
+    heap: Heap,
+    statics: Vec<Value>,
+    mem: MemorySystem,
+    originals: Vec<Rc<Function>>,
+    compiled: Vec<Option<Rc<Function>>>,
+    invocations: Vec<u32>,
+    reports: Vec<MethodReport>,
+    stats: VmStats,
+    offline: HashMap<MethodId, OfflineProfile>,
+    frames: Vec<Frame>,
+}
+
+impl std::fmt::Debug for Vm {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Vm")
+            .field("methods", &self.program.method_count())
+            .field("cycles", &self.stats.cycles)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Vm {
+    /// Creates a VM for `program` on the processor `proc`.
+    pub fn new(program: Program, config: VmConfig, proc: ProcessorConfig) -> Self {
+        let layout = Layout::compute(&program);
+        let heap = Heap::new(layout, config.heap_bytes);
+        let statics = program
+            .static_ids()
+            .map(|sid| Value::zero_of(program.static_def(sid).ty.reg_ty()))
+            .collect();
+        let originals: Vec<Rc<Function>> = program
+            .method_ids()
+            .map(|m| Rc::new(program.method(m).func().clone()))
+            .collect();
+        let n = program.method_count();
+        let mut stats = VmStats::default();
+        stats.per_method = vec![MethodCycles::default(); n];
+        Vm {
+            program,
+            heap,
+            statics,
+            mem: MemorySystem::new(proc),
+            originals,
+            compiled: vec![None; n],
+            invocations: vec![0; n],
+            reports: Vec::new(),
+            stats,
+            offline: HashMap::new(),
+            frames: Vec::new(),
+            config,
+        }
+    }
+
+    /// The program being executed.
+    pub fn program(&self) -> &Program {
+        &self.program
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &VmConfig {
+        &self.config
+    }
+
+    /// Execution statistics so far.
+    pub fn stats(&self) -> &VmStats {
+        &self.stats
+    }
+
+    /// Memory-system statistics so far.
+    pub fn mem_stats(&self) -> &spf_memsim::MemStats {
+        self.mem.stats()
+    }
+
+    /// The heap (read access, e.g. for assertions in tests).
+    pub fn heap(&self) -> &Heap {
+        &self.heap
+    }
+
+    /// Optimization reports of all JIT compilations performed.
+    pub fn reports(&self) -> &[MethodReport] {
+        &self.reports
+    }
+
+    /// Off-line address profiles (only populated when
+    /// [`VmConfig::collect_offline_profile`] is set).
+    pub fn offline_profiles(&self) -> &HashMap<MethodId, OfflineProfile> {
+        &self.offline
+    }
+
+    /// Installs a pre-optimized body for `mid`, bypassing the JIT trigger
+    /// (used by the off-line profiling ablation).
+    pub fn install_compiled(&mut self, mid: MethodId, func: Function) {
+        self.compiled[mid.index()] = Some(Rc::new(func));
+    }
+
+    /// Whether `mid` has been JIT-compiled.
+    pub fn is_compiled(&self, mid: MethodId) -> bool {
+        self.compiled[mid.index()].is_some()
+    }
+
+    /// Clears the memory system and measurement counters while keeping
+    /// compiled code, the heap, and statics — the "steady state" protocol:
+    /// the paper reports best run times under continuous execution, where
+    /// JIT compilation no longer occurs.
+    pub fn reset_measurement(&mut self) {
+        self.mem.reset();
+        let n = self.program.method_count();
+        self.stats = VmStats {
+            per_method: vec![MethodCycles::default(); n],
+            ..VmStats::default()
+        };
+    }
+
+    /// Calls method `name` with `args`.
+    ///
+    /// # Errors
+    ///
+    /// [`VmError`] on runtime faults.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no method has that name.
+    pub fn call_by_name(&mut self, name: &str, args: &[Value]) -> Result<Option<Value>, VmError> {
+        let mid = self
+            .program
+            .method_by_name(name)
+            .unwrap_or_else(|| panic!("no method named {name}"));
+        self.call(mid, args)
+    }
+
+    /// Calls method `mid` with `args` and runs to completion.
+    ///
+    /// # Errors
+    ///
+    /// [`VmError`] on runtime faults.
+    pub fn call(&mut self, mid: MethodId, args: &[Value]) -> Result<Option<Value>, VmError> {
+        assert!(self.frames.is_empty(), "vm is not reentrant");
+        self.push_frame(mid, args, None)?;
+        let result = self.run();
+        if result.is_err() {
+            self.frames.clear();
+        }
+        result
+    }
+
+    fn charge(&mut self, cost: u64) {
+        self.stats.cycles += cost;
+        if let Some(f) = self.frames.last() {
+            let pm = &mut self.stats.per_method[f.method.index()];
+            if f.compiled {
+                pm.compiled += cost;
+            } else {
+                pm.interpreted += cost;
+            }
+        }
+    }
+
+    fn instr_cost(&self) -> u64 {
+        match self.frames.last() {
+            Some(f) if !f.compiled => COMPILED_INSTR_COST * self.config.interp_cost_multiplier,
+            _ => COMPILED_INSTR_COST,
+        }
+    }
+
+    fn push_frame(
+        &mut self,
+        mid: MethodId,
+        args: &[Value],
+        ret_dst: Option<Reg>,
+    ) -> Result<(), VmError> {
+        if self.frames.len() >= self.config.max_stack_depth {
+            return Err(VmError::StackOverflow);
+        }
+        self.invocations[mid.index()] += 1;
+        self.stats.per_method[mid.index()].invocations += 1;
+        if self.compiled[mid.index()].is_none()
+            && self.invocations[mid.index()] >= self.config.compile_threshold
+        {
+            self.jit_compile(mid, args);
+        }
+        let (code, compiled) = match &self.compiled[mid.index()] {
+            Some(c) => (Rc::clone(c), true),
+            None => (Rc::clone(&self.originals[mid.index()]), false),
+        };
+        let mut regs: Vec<Value> = (0..code.reg_count())
+            .map(|i| Value::zero_of(code.reg_ty(Reg::new(i))))
+            .collect();
+        regs[..args.len()].copy_from_slice(args);
+        let entry = code.entry();
+        self.frames.push(Frame {
+            method: mid,
+            code,
+            compiled,
+            regs,
+            block: entry,
+            idx: 0,
+            ret_dst,
+        });
+        Ok(())
+    }
+
+    /// JIT-compiles `mid`: baseline passes, then the stride-prefetching
+    /// pass with the actual `args` of the pending invocation.
+    fn jit_compile(&mut self, mid: MethodId, args: &[Value]) {
+        let t0 = Instant::now();
+        let original = Rc::clone(&self.originals[mid.index()]);
+        let pre_inlined;
+        let input: &Function = if self.config.inline_small_methods {
+            pre_inlined = crate::inline::inline_small_calls(
+                &self.program,
+                &original,
+                mid,
+                crate::inline::DEFAULT_MAX_CALLEE_INSTRS,
+                crate::inline::DEFAULT_MAX_GROWTH,
+            );
+            &pre_inlined
+        } else {
+            &original
+        };
+        let unrolled;
+        let input: &Function = if self.config.unroll_factor > 1 {
+            unrolled = crate::unroll::unroll_innermost_loops(
+                &self.program,
+                input,
+                self.config.unroll_factor,
+                2048,
+            );
+            &unrolled
+        } else {
+            input
+        };
+        let base = passes::optimize(&self.program, input);
+        let prefetcher = StridePrefetcher::new(self.config.prefetch.clone());
+        let outcome = prefetcher.optimize(
+            &self.program,
+            &base,
+            &self.heap,
+            &self.statics,
+            args,
+            self.mem.config(),
+        );
+        let total_nanos = t0.elapsed().as_nanos();
+        self.stats.jit_nanos += total_nanos;
+        self.stats.prefetch_pass_nanos += outcome.report.pass_nanos;
+        let jit_cycles = (total_nanos as f64 * CYCLES_PER_NANO) as u64;
+        self.stats.jit_cycles += jit_cycles;
+        self.stats.cycles += jit_cycles;
+        self.stats.methods_compiled += 1;
+        self.compiled[mid.index()] = Some(Rc::new(outcome.func));
+        self.reports.push(outcome.report);
+    }
+
+    fn gc(&mut self) {
+        let mut roots: Vec<Addr> = Vec::new();
+        for f in &self.frames {
+            for (i, v) in f.regs.iter().enumerate() {
+                if f.code.reg_ty(Reg::new(i)) == Ty::Ref {
+                    if let Value::Ref(a) = v {
+                        if *a != NULL && self.heap.contains(*a) {
+                            roots.push(*a);
+                        }
+                    }
+                }
+            }
+        }
+        for v in &self.statics {
+            if let Value::Ref(a) = v {
+                if *a != NULL && self.heap.contains(*a) {
+                    roots.push(*a);
+                }
+            }
+        }
+        let (cstats, fwd) = self.heap.collect(&roots);
+        for f in &mut self.frames {
+            for v in f.regs.iter_mut() {
+                if let Value::Ref(a) = v {
+                    *a = fwd.forward(*a);
+                }
+            }
+        }
+        for v in &mut self.statics {
+            if let Value::Ref(a) = v {
+                *a = fwd.forward(*a);
+            }
+        }
+        let cost = 200 + cstats.live_bytes / 4 + cstats.freed_bytes / 16;
+        self.stats.cycles += cost;
+        self.stats.gc_cycles += cost;
+        self.stats.gc_count += 1;
+    }
+
+    fn alloc_object(&mut self, class: spf_ir::ClassId) -> Result<Addr, VmError> {
+        if let Some(a) = self.heap.alloc_object(class) {
+            return Ok(a);
+        }
+        self.gc();
+        self.heap.alloc_object(class).ok_or(VmError::OutOfMemory {
+            requested: self.heap.layout_tables().class_size(class),
+        })
+    }
+
+    fn alloc_array(&mut self, elem: ElemTy, len: u64) -> Result<Addr, VmError> {
+        if let Some(a) = self.heap.alloc_array(elem, len) {
+            return Ok(a);
+        }
+        self.gc();
+        self.heap.alloc_array(elem, len).ok_or(VmError::OutOfMemory {
+            requested: Layout::array_size(elem, len),
+        })
+    }
+
+    fn prefetch_addr(&self, frame: &Frame, addr: &PrefetchAddr) -> Option<Addr> {
+        match *addr {
+            PrefetchAddr::FieldOf { base, delta } => match frame.regs[base.index()] {
+                Value::Ref(a) if a != NULL => Some(a.wrapping_add(delta as u64)),
+                _ => None,
+            },
+            PrefetchAddr::ArrayElem {
+                arr,
+                idx,
+                scale,
+                delta,
+            } => match (frame.regs[arr.index()], frame.regs[idx.index()]) {
+                (Value::Ref(a), Value::I32(i)) if a != NULL => Some(
+                    a.wrapping_add((i as i64).wrapping_mul(scale as i64) as u64)
+                        .wrapping_add(delta as u64),
+                ),
+                _ => None,
+            },
+        }
+    }
+
+    #[allow(clippy::too_many_lines)]
+    fn run(&mut self) -> Result<Option<Value>, VmError> {
+        loop {
+            // Fetch.
+            let frame = self.frames.last().expect("frame");
+            let block = frame.code.block(frame.block);
+            if frame.idx >= block.instrs.len() {
+                // Terminator.
+                let term = block.term.clone();
+                self.charge(self.instr_cost());
+                self.stats.retired_instructions += 1;
+                match term {
+                    Terminator::Jump(t) => {
+                        let f = self.frames.last_mut().expect("frame");
+                        f.block = t;
+                        f.idx = 0;
+                    }
+                    Terminator::Branch {
+                        cond,
+                        then_bb,
+                        else_bb,
+                    } => {
+                        let f = self.frames.last_mut().expect("frame");
+                        let taken = f.regs[cond.index()].as_i32() != 0;
+                        f.block = if taken { then_bb } else { else_bb };
+                        f.idx = 0;
+                    }
+                    Terminator::Return(v) => {
+                        let f = self.frames.pop().expect("frame");
+                        let value = v.map(|r| f.regs[r.index()]);
+                        match self.frames.last_mut() {
+                            Some(caller) => {
+                                if let (Some(dst), Some(val)) = (f.ret_dst, value) {
+                                    caller.regs[dst.index()] = val;
+                                }
+                            }
+                            None => return Ok(value),
+                        }
+                    }
+                    Terminator::Unreachable => return Err(VmError::UnreachableExecuted),
+                }
+                continue;
+            }
+
+            let site = InstrRef::new(frame.block, frame.idx);
+            let instr = block.instrs[frame.idx].clone();
+            let base_cost = self.instr_cost();
+            self.charge(base_cost);
+            self.stats.retired_instructions += 1;
+            if self.frames.last().expect("frame").compiled {
+                self.stats.compiled_instructions += 1;
+            } else {
+                self.stats.interpreted_instructions += 1;
+            }
+            self.frames.last_mut().expect("frame").idx += 1;
+
+            macro_rules! frame {
+                () => {
+                    self.frames.last().expect("frame")
+                };
+            }
+            macro_rules! set {
+                ($dst:expr, $v:expr) => {{
+                    let v = $v;
+                    self.frames.last_mut().expect("frame").regs[$dst.index()] = v;
+                }};
+            }
+
+            match instr {
+                Instr::Const { dst, value } => {
+                    let v = match value {
+                        spf_ir::Const::I32(x) => Value::I32(x),
+                        spf_ir::Const::I64(x) => Value::I64(x),
+                        spf_ir::Const::F64(x) => Value::F64(x),
+                        spf_ir::Const::Null => Value::Ref(NULL),
+                    };
+                    set!(dst, v);
+                }
+                Instr::Move { dst, src } => {
+                    let v = frame!().regs[src.index()];
+                    set!(dst, v);
+                }
+                Instr::Bin { dst, op, a, b } => {
+                    let (x, y) = (frame!().regs[a.index()], frame!().regs[b.index()]);
+                    let v = exec_bin(op, x, y).ok_or(VmError::DivisionByZero { at: site })?;
+                    set!(dst, v);
+                }
+                Instr::Un { dst, op, src } => {
+                    let v = exec_un(op, frame!().regs[src.index()]);
+                    set!(dst, v);
+                }
+                Instr::Cmp { dst, op, a, b } => {
+                    let (x, y) = (frame!().regs[a.index()], frame!().regs[b.index()]);
+                    set!(dst, Value::I32(exec_cmp(op, x, y)));
+                }
+                Instr::Convert { dst, conv, src } => {
+                    let v = exec_conv(conv, frame!().regs[src.index()]);
+                    set!(dst, v);
+                }
+                Instr::GetField { dst, obj, field } => {
+                    let a = frame!().regs[obj.index()].as_ref_addr();
+                    if a == NULL {
+                        return Err(VmError::NullPointer { at: site });
+                    }
+                    let ty = self.program.field(field).ty;
+                    let addr = a + self.heap.layout_tables().field_offset(field);
+                    let lat = self.mem.load(addr, self.stats.cycles);
+                    self.charge(lat);
+                    if self.config.collect_offline_profile {
+                        let mid = frame!().method;
+                        self.offline.entry(mid).or_default().record(site, addr);
+                    }
+                    let v = self
+                        .heap
+                        .read(addr, ty)
+                        .map_err(|_| VmError::BadAccess { addr })?;
+                    set!(dst, v);
+                }
+                Instr::PutField { obj, field, src } => {
+                    let a = frame!().regs[obj.index()].as_ref_addr();
+                    if a == NULL {
+                        return Err(VmError::NullPointer { at: site });
+                    }
+                    let ty = self.program.field(field).ty;
+                    let addr = a + self.heap.layout_tables().field_offset(field);
+                    let lat = self.mem.store(addr, self.stats.cycles);
+                    self.charge(lat);
+                    let v = frame!().regs[src.index()];
+                    let v = coerce_store(v, ty);
+                    self.heap
+                        .write(addr, ty, v)
+                        .map_err(|_| VmError::BadAccess { addr })?;
+                }
+                Instr::GetStatic { dst, sid } => {
+                    let addr = static_addr(sid);
+                    let lat = self.mem.load(addr, self.stats.cycles);
+                    self.charge(lat);
+                    let v = self.statics[sid.index()];
+                    set!(dst, v);
+                }
+                Instr::PutStatic { sid, src } => {
+                    let addr = static_addr(sid);
+                    let lat = self.mem.store(addr, self.stats.cycles);
+                    self.charge(lat);
+                    self.statics[sid.index()] = frame!().regs[src.index()];
+                }
+                Instr::ALoad { dst, arr, idx, elem } => {
+                    let a = frame!().regs[arr.index()].as_ref_addr();
+                    if a == NULL {
+                        return Err(VmError::NullPointer { at: site });
+                    }
+                    let i = frame!().regs[idx.index()].as_i32();
+                    let len = self.heap.array_len(a);
+                    if i < 0 || i as u64 >= len {
+                        return Err(VmError::IndexOutOfBounds {
+                            at: site,
+                            index: i,
+                            len,
+                        });
+                    }
+                    let addr = a + ARRAY_DATA_OFFSET + i as u64 * elem.size();
+                    let lat = self.mem.load(addr, self.stats.cycles);
+                    self.charge(lat);
+                    if self.config.collect_offline_profile {
+                        let mid = frame!().method;
+                        self.offline.entry(mid).or_default().record(site, addr);
+                    }
+                    let v = self
+                        .heap
+                        .read(addr, elem)
+                        .map_err(|_| VmError::BadAccess { addr })?;
+                    set!(dst, v);
+                }
+                Instr::AStore { arr, idx, src, elem } => {
+                    let a = frame!().regs[arr.index()].as_ref_addr();
+                    if a == NULL {
+                        return Err(VmError::NullPointer { at: site });
+                    }
+                    let i = frame!().regs[idx.index()].as_i32();
+                    let len = self.heap.array_len(a);
+                    if i < 0 || i as u64 >= len {
+                        return Err(VmError::IndexOutOfBounds {
+                            at: site,
+                            index: i,
+                            len,
+                        });
+                    }
+                    let addr = a + ARRAY_DATA_OFFSET + i as u64 * elem.size();
+                    let lat = self.mem.store(addr, self.stats.cycles);
+                    self.charge(lat);
+                    let v = coerce_store(frame!().regs[src.index()], elem);
+                    self.heap
+                        .write(addr, elem, v)
+                        .map_err(|_| VmError::BadAccess { addr })?;
+                }
+                Instr::ArrayLen { dst, arr } => {
+                    let a = frame!().regs[arr.index()].as_ref_addr();
+                    if a == NULL {
+                        return Err(VmError::NullPointer { at: site });
+                    }
+                    let lat = self.mem.load(a + 8, self.stats.cycles);
+                    self.charge(lat);
+                    if self.config.collect_offline_profile {
+                        let mid = frame!().method;
+                        self.offline.entry(mid).or_default().record(site, a + 8);
+                    }
+                    set!(dst, Value::I32(self.heap.array_len(a) as i32));
+                }
+                Instr::New { dst, class } => {
+                    let a = self.alloc_object(class)?;
+                    let size = self.heap.layout_tables().class_size(class);
+                    let lat = self.mem.store(a, self.stats.cycles);
+                    self.charge(lat + 4 + size / 32);
+                    set!(dst, Value::Ref(a));
+                }
+                Instr::NewArray { dst, elem, len } => {
+                    let n = frame!().regs[len.index()].as_i32();
+                    if n < 0 {
+                        return Err(VmError::IndexOutOfBounds {
+                            at: site,
+                            index: n,
+                            len: 0,
+                        });
+                    }
+                    let a = self.alloc_array(elem, n as u64)?;
+                    let size = Layout::array_size(elem, n as u64);
+                    let lat = self.mem.store(a, self.stats.cycles);
+                    self.charge(lat + 4 + size / 32);
+                    set!(dst, Value::Ref(a));
+                }
+                Instr::Call { dst, callee, args } => {
+                    self.charge(CALL_OVERHEAD);
+                    let argv: Vec<Value> = {
+                        let f = frame!();
+                        args.iter().map(|r| f.regs[r.index()]).collect()
+                    };
+                    self.push_frame(callee, &argv, dst)?;
+                }
+                Instr::Prefetch { addr, kind } => {
+                    if let Some(target) = self.prefetch_addr(frame!(), &addr) {
+                        let cost = match kind {
+                            PrefetchKind::Hardware => {
+                                self.mem.software_prefetch(target, self.stats.cycles)
+                            }
+                            PrefetchKind::GuardedLoad => {
+                                self.mem.guarded_load(target, self.stats.cycles)
+                            }
+                        };
+                        self.charge(cost);
+                    }
+                }
+                Instr::SpecLoad { dst, addr } => {
+                    let v = match self.prefetch_addr(frame!(), &addr) {
+                        Some(target) => {
+                            let cost = self.mem.guarded_load(target, self.stats.cycles);
+                            self.charge(cost);
+                            match spf_heap::HeapRead::try_read(&self.heap, target, ElemTy::Ref) {
+                                Some(Value::Ref(a)) => Value::Ref(a),
+                                _ => Value::Ref(NULL),
+                            }
+                        }
+                        None => Value::Ref(NULL),
+                    };
+                    set!(dst, v);
+                }
+            }
+        }
+    }
+}
+
+fn coerce_store(v: Value, _ty: ElemTy) -> Value {
+    v
+}
+
+fn exec_bin(op: BinOp, a: Value, b: Value) -> Option<Value> {
+    Some(match (a, b) {
+        (Value::I32(x), Value::I32(y)) => Value::I32(match op {
+            BinOp::Add => x.wrapping_add(y),
+            BinOp::Sub => x.wrapping_sub(y),
+            BinOp::Mul => x.wrapping_mul(y),
+            BinOp::Div => x.checked_div(y)?,
+            BinOp::Rem => x.checked_rem(y)?,
+            BinOp::And => x & y,
+            BinOp::Or => x | y,
+            BinOp::Xor => x ^ y,
+            BinOp::Shl => x.wrapping_shl(y as u32),
+            BinOp::Shr => x.wrapping_shr(y as u32),
+            BinOp::UShr => ((x as u32).wrapping_shr(y as u32)) as i32,
+        }),
+        (Value::I64(x), Value::I64(y)) => Value::I64(match op {
+            BinOp::Add => x.wrapping_add(y),
+            BinOp::Sub => x.wrapping_sub(y),
+            BinOp::Mul => x.wrapping_mul(y),
+            BinOp::Div => x.checked_div(y)?,
+            BinOp::Rem => x.checked_rem(y)?,
+            BinOp::And => x & y,
+            BinOp::Or => x | y,
+            BinOp::Xor => x ^ y,
+            BinOp::Shl => x.wrapping_shl(y as u32),
+            BinOp::Shr => x.wrapping_shr(y as u32),
+            BinOp::UShr => ((x as u64).wrapping_shr(y as u32)) as i64,
+        }),
+        (Value::F64(x), Value::F64(y)) => Value::F64(match op {
+            BinOp::Add => x + y,
+            BinOp::Sub => x - y,
+            BinOp::Mul => x * y,
+            BinOp::Div => x / y,
+            _ => unreachable!("verifier rejects float bit-ops"),
+        }),
+        _ => unreachable!("verifier rejects mixed-type binops"),
+    })
+}
+
+fn exec_un(op: UnOp, v: Value) -> Value {
+    match (op, v) {
+        (UnOp::Neg, Value::I32(x)) => Value::I32(x.wrapping_neg()),
+        (UnOp::Neg, Value::I64(x)) => Value::I64(x.wrapping_neg()),
+        (UnOp::Neg, Value::F64(x)) => Value::F64(-x),
+        (UnOp::Not, Value::I32(x)) => Value::I32(!x),
+        (UnOp::Not, Value::I64(x)) => Value::I64(!x),
+        _ => unreachable!("verifier rejects other unops"),
+    }
+}
+
+fn exec_cmp(op: CmpOp, a: Value, b: Value) -> i32 {
+    let ord = match (a, b) {
+        (Value::I32(x), Value::I32(y)) => x.partial_cmp(&y),
+        (Value::I64(x), Value::I64(y)) => x.partial_cmp(&y),
+        (Value::F64(x), Value::F64(y)) => x.partial_cmp(&y),
+        (Value::Ref(x), Value::Ref(y)) => x.partial_cmp(&y),
+        _ => unreachable!("verifier rejects mixed-type compares"),
+    };
+    let Some(ord) = ord else {
+        // NaN comparisons are all false except Ne.
+        return matches!(op, CmpOp::Ne) as i32;
+    };
+    use std::cmp::Ordering::*;
+    (match op {
+        CmpOp::Eq => ord == Equal,
+        CmpOp::Ne => ord != Equal,
+        CmpOp::Lt => ord == Less,
+        CmpOp::Le => ord != Greater,
+        CmpOp::Gt => ord == Greater,
+        CmpOp::Ge => ord != Less,
+    }) as i32
+}
+
+fn exec_conv(conv: Conv, v: Value) -> Value {
+    match (conv, v) {
+        (Conv::I32ToI64, Value::I32(x)) => Value::I64(x as i64),
+        (Conv::I64ToI32, Value::I64(x)) => Value::I32(x as i32),
+        (Conv::I32ToF64, Value::I32(x)) => Value::F64(x as f64),
+        (Conv::F64ToI32, Value::F64(x)) => Value::I32(x as i32),
+        (Conv::I64ToF64, Value::I64(x)) => Value::F64(x as f64),
+        (Conv::F64ToI64, Value::F64(x)) => Value::I64(x as i64),
+        _ => unreachable!("verifier rejects other conversions"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spf_ir::ProgramBuilder;
+
+    fn vm_for(pb: ProgramBuilder) -> Vm {
+        Vm::new(pb.finish(), VmConfig::default(), ProcessorConfig::pentium4())
+    }
+
+    #[test]
+    fn arithmetic_and_calls() {
+        let mut pb = ProgramBuilder::new();
+        let sq = {
+            let mut b = pb.function("sq", &[Ty::I32], Some(Ty::I32));
+            let x = b.param(0);
+            let y = b.mul(x, x);
+            b.ret(Some(y));
+            b.finish()
+        };
+        let mut b = pb.function("main", &[Ty::I32], Some(Ty::I32));
+        let x = b.param(0);
+        let s = b.call(sq, &[x]);
+        let one = b.const_i32(1);
+        let out = b.add(s, one);
+        b.ret(Some(out));
+        let main = b.finish();
+        let mut vm = vm_for(pb);
+        assert_eq!(
+            vm.call(main, &[Value::I32(6)]).unwrap(),
+            Some(Value::I32(37))
+        );
+        assert!(vm.stats().retired_instructions > 0);
+        assert!(vm.stats().cycles > 0);
+    }
+
+    #[test]
+    fn heap_objects_and_arrays() {
+        let mut pb = ProgramBuilder::new();
+        let (cls, fs) = pb.add_class("P", &[("x", ElemTy::I32), ("next", ElemTy::Ref)]);
+        let mut b = pb.function("main", &[], Some(Ty::I32));
+        let p1 = b.new_object(cls);
+        let p2 = b.new_object(cls);
+        let seven = b.const_i32(7);
+        b.putfield(p2, fs[0], seven);
+        b.putfield(p1, fs[1], p2);
+        let q = b.getfield(p1, fs[1]);
+        let v = b.getfield(q, fs[0]);
+        let n = b.const_i32(3);
+        let arr = b.new_array(ElemTy::I32, n);
+        let zero = b.const_i32(0);
+        b.astore(arr, zero, v, ElemTy::I32);
+        let got = b.aload(arr, zero, ElemTy::I32);
+        let len = b.arraylen(arr);
+        let out = b.add(got, len);
+        b.ret(Some(out));
+        let main = b.finish();
+        let mut vm = vm_for(pb);
+        assert_eq!(vm.call(main, &[]).unwrap(), Some(Value::I32(10)));
+    }
+
+    #[test]
+    fn null_pointer_and_bounds_errors() {
+        let mut pb = ProgramBuilder::new();
+        let (_cls, fs) = pb.add_class("P", &[("x", ElemTy::I32)]);
+        let mut b = pb.function("npe", &[], Some(Ty::I32));
+        let nl = b.null();
+        let v = b.getfield(nl, fs[0]);
+        b.ret(Some(v));
+        let npe = b.finish();
+        let mut b = pb.function("oob", &[], Some(Ty::I32));
+        let n = b.const_i32(2);
+        let arr = b.new_array(ElemTy::I32, n);
+        let five = b.const_i32(5);
+        let v = b.aload(arr, five, ElemTy::I32);
+        b.ret(Some(v));
+        let oob = b.finish();
+        let mut vm = vm_for(pb);
+        assert!(matches!(
+            vm.call(npe, &[]),
+            Err(VmError::NullPointer { .. })
+        ));
+        assert!(matches!(
+            vm.call(oob, &[]),
+            Err(VmError::IndexOutOfBounds { index: 5, .. })
+        ));
+    }
+
+    #[test]
+    fn division_by_zero() {
+        let mut pb = ProgramBuilder::new();
+        let mut b = pb.function("d", &[Ty::I32], Some(Ty::I32));
+        let x = b.param(0);
+        let zero = b.const_i32(0);
+        let q = b.div(x, zero);
+        b.ret(Some(q));
+        let d = b.finish();
+        let mut vm = vm_for(pb);
+        assert!(matches!(
+            vm.call(d, &[Value::I32(1)]),
+            Err(VmError::DivisionByZero { .. })
+        ));
+    }
+
+    #[test]
+    fn methods_compile_at_threshold() {
+        let mut pb = ProgramBuilder::new();
+        let mut b = pb.function("hot", &[Ty::I32], Some(Ty::I32));
+        let x = b.param(0);
+        b.ret(Some(x));
+        let hot = b.finish();
+        let mut vm = vm_for(pb);
+        assert!(!vm.is_compiled(hot));
+        vm.call(hot, &[Value::I32(1)]).unwrap();
+        assert!(!vm.is_compiled(hot), "first call is interpreted");
+        vm.call(hot, &[Value::I32(1)]).unwrap();
+        assert!(vm.is_compiled(hot), "threshold 2 compiles on second call");
+        assert_eq!(vm.stats().methods_compiled, 1);
+        assert!(vm.stats().jit_nanos > 0);
+    }
+
+    #[test]
+    fn interpreted_code_costs_more() {
+        let mut pb = ProgramBuilder::new();
+        let mut b = pb.function("work", &[Ty::I32], Some(Ty::I32));
+        let n = b.param(0);
+        let acc = b.new_reg(Ty::I32);
+        let z = b.const_i32(0);
+        b.move_(acc, z);
+        b.for_i32(0, 1, CmpOp::Lt, |_| n, |b, i| {
+            let s = b.add(acc, i);
+            b.move_(acc, s);
+        });
+        b.ret(Some(acc));
+        let work = b.finish();
+        let mut vm = vm_for(pb);
+        vm.call(work, &[Value::I32(1000)]).unwrap();
+        let interp_cycles = vm.stats().per_method[work.index()].interpreted;
+        vm.reset_measurement();
+        vm.call(work, &[Value::I32(1000)]).unwrap(); // compiled now
+        let compiled_cycles = vm.stats().per_method[work.index()].compiled;
+        assert!(vm.is_compiled(work));
+        assert!(
+            interp_cycles > compiled_cycles * 3,
+            "interp {interp_cycles} vs compiled {compiled_cycles}"
+        );
+    }
+
+    #[test]
+    fn gc_triggers_and_preserves_live_data() {
+        let mut pb = ProgramBuilder::new();
+        let (cls, fs) = pb.add_class("Cell", &[("v", ElemTy::I32)]);
+        // Allocates `n` cells, keeps only one, returns its value.
+        let mut b = pb.function("churn", &[Ty::I32], Some(Ty::I32));
+        let n = b.param(0);
+        let keep = b.new_object(cls);
+        let answer = b.const_i32(99);
+        b.putfield(keep, fs[0], answer);
+        b.for_i32(0, 1, CmpOp::Lt, |_| n, |b, _| {
+            let tmp = b.new_object(cls);
+            let one = b.const_i32(1);
+            b.putfield(tmp, fs[0], one);
+        });
+        let v = b.getfield(keep, fs[0]);
+        b.ret(Some(v));
+        let churn = b.finish();
+        let mut vm = Vm::new(
+            pb.finish(),
+            VmConfig {
+                heap_bytes: 64 << 10, // tiny heap: forces GC
+                ..VmConfig::default()
+            },
+            ProcessorConfig::pentium4(),
+        );
+        let out = vm.call(churn, &[Value::I32(10_000)]).unwrap();
+        assert_eq!(out, Some(Value::I32(99)));
+        assert!(vm.stats().gc_count > 0, "GC must have run");
+    }
+
+    #[test]
+    fn stack_overflow_is_reported() {
+        let mut pb = ProgramBuilder::new();
+        let inf = pb.declare("inf", &[Ty::I32], Some(Ty::I32));
+        {
+            let mut b = pb.define(inf);
+            let n = b.param(0);
+            let r = b.call(inf, &[n]); // unconditional recursion
+            b.ret(Some(r));
+            b.finish();
+        }
+        let mut vm = Vm::new(
+            pb.finish(),
+            VmConfig {
+                max_stack_depth: 64,
+                ..VmConfig::default()
+            },
+            ProcessorConfig::pentium4(),
+        );
+        assert!(matches!(
+            vm.call(inf, &[Value::I32(0)]),
+            Err(VmError::StackOverflow)
+        ));
+        // The VM is usable again after the fault.
+        assert!(vm.call(inf, &[Value::I32(0)]).is_err());
+    }
+
+    #[test]
+    fn statics_round_trip() {
+        let mut pb = ProgramBuilder::new();
+        let sid = pb.add_static("g", ElemTy::I32);
+        let mut b = pb.function("main", &[Ty::I32], Some(Ty::I32));
+        let x = b.param(0);
+        b.putstatic(sid, x);
+        let v = b.getstatic(sid);
+        b.ret(Some(v));
+        let main = b.finish();
+        let mut vm = vm_for(pb);
+        assert_eq!(
+            vm.call(main, &[Value::I32(55)]).unwrap(),
+            Some(Value::I32(55))
+        );
+    }
+
+    #[test]
+    fn offline_profile_collection() {
+        let mut pb = ProgramBuilder::new();
+        let mut b = pb.function("main", &[], Some(Ty::I32));
+        let n = b.const_i32(64);
+        let arr = b.new_array(ElemTy::I32, n);
+        let acc = b.new_reg(Ty::I32);
+        let z = b.const_i32(0);
+        b.move_(acc, z);
+        b.for_i32(0, 1, CmpOp::Lt, |b| b.arraylen(arr), |b, i| {
+            let v = b.aload(arr, i, ElemTy::I32);
+            let s = b.add(acc, v);
+            b.move_(acc, s);
+        });
+        b.ret(Some(acc));
+        let main = b.finish();
+        let mut vm = Vm::new(
+            pb.finish(),
+            VmConfig {
+                collect_offline_profile: true,
+                prefetch: spf_core::PrefetchOptions::off(),
+                ..VmConfig::default()
+            },
+            ProcessorConfig::pentium4(),
+        );
+        vm.call(main, &[]).unwrap();
+        let profiles = vm.offline_profiles();
+        assert!(profiles.contains_key(&main));
+        assert!(profiles[&main].site_count() >= 2); // aload + arraylength
+    }
+
+    use spf_ir::CmpOp;
+}

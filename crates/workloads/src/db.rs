@@ -1,0 +1,334 @@
+//! `_209_db` miniature: a memory-resident database whose time is dominated
+//! by a shell-sort over large records.
+//!
+//! The paper (§4.1): db "spends more than 85% of its execution time in a
+//! shell sort loop that reorders a number of large records and frequently
+//! causes cache misses and DTLB misses. Each record contains a number of
+//! Vector and String objects, and they only have intra-iteration constant
+//! strides between the containing records in the sorting loop", yielding
+//! the headline 18.9% (P4) / 25.1% (Athlon) INTER+INTRA speedups while
+//! INTER alone is ineffective.
+//!
+//! The reproduction:
+//!
+//! * each `Record` is allocated back-to-back with its key (a byte array)
+//!   and payload (an int array) — constructor co-allocation gives the
+//!   *intra-iteration* strides;
+//! * the reference array is shuffled before sorting, so record addresses
+//!   have no *inter-iteration* stride — INTER finds nothing it can use
+//!   (the `v[i]` walk has an 8-byte stride, below half a cache line);
+//! * the record set spans far more pages than the Pentium 4's 64 DTLB
+//!   entries, so the guarded-load mapping (TLB priming) matters;
+//! * the sort's outer loop loads `v[i]` with a constant 8-byte stride —
+//!   the spec-load anchor for dereference-based and intra-iteration
+//!   prefetching of the record and its key.
+
+use spf_ir::{CmpOp, ElemTy, FunctionBuilder, ProgramBuilder, Reg, Ty};
+
+use crate::common::{
+    add_seed, emit_lcg_next, emit_mix, emit_set_seed, emit_shuffle_refs, BuiltWorkload, Size,
+};
+
+/// Key length in bytes (fixed, like db's fixed-format fields).
+const KEY_LEN: i32 = 16;
+
+/// Emits an inline lexicographic compare of two `I8[KEY_LEN]` arrays;
+/// returns a register holding -1, 0, or 1.
+fn emit_compare_keys(b: &mut FunctionBuilder<'_>, ka: Reg, kb: Reg) -> Reg {
+    let cmp = b.new_reg(Ty::I32);
+    let z = b.const_i32(0);
+    b.move_(cmp, z);
+    let len = b.const_i32(KEY_LEN);
+    b.for_i32(0, 1, CmpOp::Lt, |_| len, |b, k| {
+        let x = b.aload(ka, k, ElemTy::I8);
+        let y = b.aload(kb, k, ElemTy::I8);
+        let lt = b.lt(x, y);
+        b.if_(lt, |b| {
+            let m1 = b.const_i32(-1);
+            b.move_(cmp, m1);
+            b.break_(0);
+        });
+        let gt = b.gt(x, y);
+        b.if_(gt, |b| {
+            let p1 = b.const_i32(1);
+            b.move_(cmp, p1);
+            b.break_(0);
+        });
+    });
+    cmp
+}
+
+/// Builds the db workload at `size`.
+pub fn build(size: Size) -> BuiltWorkload {
+    let n = size.scale(10_000);
+    let mut pb = ProgramBuilder::new();
+    let (rec_cls, rf) = pb.add_class(
+        "Record",
+        &[
+            ("key", ElemTy::Ref),
+            ("payload", ElemTy::Ref),
+            ("id", ElemTy::I32),
+            ("pad", ElemTy::I64),
+        ],
+    );
+    let key_f = rf[0];
+    let payload_f = rf[1];
+    let id_f = rf[2];
+    let seed = add_seed(&mut pb, "db_seed");
+
+    // ---- setup(n) -> Ref: records co-allocated with key and payload ----
+    let setup = {
+        let mut b = pb.function("db_setup", &[Ty::I32], Some(Ty::Ref));
+        let n = b.param(0);
+        let v = b.new_array(ElemTy::Ref, n);
+        b.for_i32(0, 1, CmpOp::Lt, |_| n, |b, i| {
+            let rec = b.new_object(rec_cls);
+            let klen = b.const_i32(KEY_LEN);
+            let key = b.new_array(ElemTy::I8, klen);
+            let plen = b.const_i32(12);
+            let payload = b.new_array(ElemTy::I32, plen);
+            b.putfield(rec, key_f, key);
+            b.putfield(rec, payload_f, payload);
+            b.putfield(rec, id_f, i);
+            b.for_i32(0, 1, CmpOp::Lt, |_| klen, |b, k| {
+                let r = emit_lcg_next(b, seed);
+                let byte = {
+                    let m = b.const_i32(127);
+                    b.rem(r, m)
+                };
+                b.astore(key, k, byte, ElemTy::I8);
+            });
+            let zero = b.const_i32(0);
+            b.astore(payload, zero, i, ElemTy::I32);
+            b.astore(v, i, rec, ElemTy::Ref);
+        });
+        b.ret(Some(v));
+        b.finish()
+    };
+
+    // ---- sort(v, n) -> i32: shell sort by key -------------------------
+    let sort = {
+        let mut b = pb.function("db_sort", &[Ty::Ref, Ty::I32], Some(Ty::I32));
+        let v = b.param(0);
+        let n = b.param(1);
+        let gap = b.new_reg(Ty::I32);
+        let two = b.const_i32(2);
+        let g0 = b.div(n, two);
+        b.move_(gap, g0);
+        let zero = b.const_i32(0);
+        b.while_(
+            |b| b.gt(gap, zero),
+            |b| {
+                // for i in gap..n
+                let i = b.new_reg(Ty::I32);
+                b.move_(i, gap);
+                b.while_(
+                    |b| b.lt(i, n),
+                    |b| {
+                        let cur = b.aload(v, i, ElemTy::Ref); // the anchor load
+                        let curkey = b.getfield(cur, key_f); // dereference target
+                        let j = b.new_reg(Ty::I32);
+                        b.move_(j, i);
+                        b.while_(
+                            |b| b.ge(j, gap),
+                            |b| {
+                                let jg = b.sub(j, gap);
+                                let prev = b.aload(v, jg, ElemTy::Ref);
+                                let prevkey = b.getfield(prev, key_f);
+                                let c = emit_compare_keys(b, prevkey, curkey);
+                                let zero2 = b.const_i32(0);
+                                let le = b.le(c, zero2);
+                                b.if_(le, |b| b.break_(0));
+                                b.astore(v, j, prev, ElemTy::Ref);
+                                b.move_(j, jg);
+                            },
+                        );
+                        b.astore(v, j, cur, ElemTy::Ref);
+                        // Per-record bookkeeping (index maintenance,
+                        // format conversion) — cache-resident work that
+                        // dilutes the sort loop's memory stalls, as the
+                        // surrounding database code does in _209_db.
+                        let acct = b.new_reg(Ty::I32);
+                        b.move_(acct, i);
+                        let reps = b.const_i32(16);
+                        b.for_i32(0, 1, CmpOp::Lt, |_| reps, |b, _| {
+                            let k1 = b.const_i32(0x5bd1);
+                            let a1 = b.mul(acct, k1);
+                            let k2 = b.const_i32(0xe995);
+                            let a2 = b.xor(a1, k2);
+                            let sh = b.const_i32(13);
+                            let a3 = b.shr(a2, sh);
+                            let a4 = b.add(a2, a3);
+                            b.move_(acct, a4);
+                        });
+                        b.inc(i, 1);
+                    },
+                );
+                let half = b.div(gap, two);
+                b.move_(gap, half);
+            },
+        );
+        // Verify sortedness cheaply: count adjacent inversions (should be
+        // 0) and fold into the return value.
+        let inv = b.new_reg(Ty::I32);
+        b.move_(inv, zero);
+        let n1 = {
+            let one = b.const_i32(1);
+            b.sub(n, one)
+        };
+        b.for_i32(0, 1, CmpOp::Lt, |_| n1, |b, i| {
+            let a = b.aload(v, i, ElemTy::Ref);
+            let one = b.const_i32(1);
+            let i1 = b.add(i, one);
+            let c2 = b.aload(v, i1, ElemTy::Ref);
+            let ka = b.getfield(a, key_f);
+            let kb = b.getfield(c2, key_f);
+            let c = emit_compare_keys(b, ka, kb);
+            let zero2 = b.const_i32(0);
+            let bad = b.gt(c, zero2);
+            b.if_(bad, |b| b.inc(inv, 1));
+        });
+        b.ret(Some(inv));
+        b.finish()
+    };
+
+    // ---- scan(v, n) -> i32: index-order walk dereferencing records ----
+    let scan = {
+        let mut b = pb.function("db_scan", &[Ty::Ref, Ty::I32], Some(Ty::I32));
+        let v = b.param(0);
+        let n = b.param(1);
+        let acc = b.new_reg(Ty::I32);
+        let z = b.const_i32(0);
+        b.move_(acc, z);
+        b.for_i32(0, 1, CmpOp::Lt, |_| n, |b, i| {
+            let rec = b.aload(v, i, ElemTy::Ref);
+            let key = b.getfield(rec, key_f);
+            let payload = b.getfield(rec, payload_f);
+            let zero = b.const_i32(0);
+            let k0 = b.aload(key, zero, ElemTy::I8);
+            let p0 = b.aload(payload, zero, ElemTy::I32);
+            let s1 = b.add(acc, k0);
+            let s2 = b.add(s1, p0);
+            b.move_(acc, s2);
+        });
+        b.ret(Some(acc));
+        b.finish()
+    };
+
+    // ---- main() --------------------------------------------------------
+    let entry = {
+        let mut b = pb.function("main", &[], Some(Ty::I32));
+        emit_set_seed(&mut b, seed, 20030609);
+        let nreg = b.const_i32(n);
+        let v = b.call(setup, &[nreg]);
+        emit_shuffle_refs(&mut b, v, nreg, seed);
+        let inv = b.call(sort, &[v, nreg]);
+        let sum = b.call(scan, &[v, nreg]);
+        let check = b.new_reg(Ty::I32);
+        b.move_(check, sum);
+        emit_mix(&mut b, check, inv);
+        b.ret(Some(check));
+        b.finish()
+    };
+
+    BuiltWorkload {
+        program: pb.finish(),
+        entry,
+        heap_bytes: 48 << 20,
+        expected: None, // deterministic, asserted equal across configs in tests
+        compile_threshold: 2,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spf_core::PrefetchOptions;
+    use spf_heap::Value;
+    use spf_memsim::ProcessorConfig;
+    use spf_vm::{Vm, VmConfig};
+
+    fn run(mode: PrefetchOptions, runs: usize) -> (i32, u64) {
+        let w = build(Size::Tiny);
+        let mut vm = Vm::new(
+            w.program,
+            VmConfig {
+                heap_bytes: w.heap_bytes,
+                prefetch: mode,
+                ..VmConfig::default()
+            },
+            ProcessorConfig::pentium4(),
+        );
+        let mut out = 0;
+        for _ in 0..runs {
+            out = vm.call(w.entry, &[]).unwrap().unwrap().as_i32();
+        }
+        (out, vm.stats().cycles)
+    }
+
+    #[test]
+    fn sorts_correctly_every_config() {
+        let (base, _) = run(PrefetchOptions::off(), 2);
+        let (inter, _) = run(PrefetchOptions::inter(), 2);
+        let (both, _) = run(PrefetchOptions::inter_intra(), 2);
+        assert_eq!(base, inter, "prefetching must not change results");
+        assert_eq!(base, both, "prefetching must not change results");
+    }
+
+    #[test]
+    fn sort_produces_zero_inversions() {
+        // The sort method returns the inversion count, mixed into the
+        // checksum as `sum * 31 + inv`; run once and check inv == 0 by
+        // reconstructing: check = sum*31 + inv, and inv must be 0 mod the
+        // mix — simpler: run the VM and inspect directly via a variant.
+        let w = build(Size::Tiny);
+        let mut vm = Vm::new(
+            w.program,
+            VmConfig {
+                heap_bytes: w.heap_bytes,
+                ..VmConfig::default()
+            },
+            ProcessorConfig::pentium4(),
+        );
+        let setup = vm.program().method_by_name("db_setup").unwrap();
+        let sort = vm.program().method_by_name("db_sort").unwrap();
+        let n = Size::Tiny.scale(12_000);
+        let v = vm.call(setup, &[Value::I32(n)]).unwrap().unwrap();
+        let inv = vm.call(sort, &[v, Value::I32(n)]).unwrap().unwrap();
+        assert_eq!(inv, Value::I32(0), "array is sorted");
+    }
+
+    #[test]
+    fn inter_intra_prefetches_records() {
+        let w = build(Size::Tiny);
+        let mut vm = Vm::new(
+            w.program,
+            VmConfig {
+                heap_bytes: w.heap_bytes,
+                ..VmConfig::default()
+            },
+            ProcessorConfig::pentium4(),
+        );
+        vm.call(w.entry, &[]).unwrap();
+        vm.call(w.entry, &[]).unwrap(); // compiles db_sort with live data
+        let report = vm
+            .reports()
+            .iter()
+            .find(|r| r.method == "db_sort")
+            .expect("db_sort was compiled");
+        assert!(
+            report.total_prefetches > 0,
+            "sort gets prefetches:\n{}",
+            report.render()
+        );
+        // At least one speculative-load anchor (dereference-based shape).
+        let has_spec = report.loops.iter().flat_map(|l| &l.prefetches).any(|p| {
+            matches!(
+                p.kind,
+                spf_core::report::GeneratedKind::SpeculativeLoad { .. }
+            )
+        });
+        assert!(has_spec, "{}", report.render());
+        assert!(vm.mem_stats().swpf_issued + vm.mem_stats().guarded_loads > 0);
+    }
+}

@@ -1,0 +1,139 @@
+//! `_228_jack` miniature: a parser generator.
+//!
+//! Tokenizes an input buffer (sequential byte loads, no usable strides) and
+//! dispatches to many small, once-per-run "semantic action" methods. With
+//! the raised compile threshold those actions stay interpreted, which is
+//! what gives jack the lowest compiled-code fraction in Table 3 (36.2%).
+
+use spf_ir::{CmpOp, ElemTy, MethodId, ProgramBuilder, Ty};
+
+use crate::common::{add_seed, emit_lcg_next, emit_mix, emit_set_seed, BuiltWorkload, Size};
+
+/// Number of distinct grammar-action methods.
+const ACTIONS: usize = 24;
+
+/// Builds the jack workload.
+pub fn build(size: Size) -> BuiltWorkload {
+    let input_len = size.scale(160_000);
+    let mut pb = ProgramBuilder::new();
+    let seed = add_seed(&mut pb, "jack_seed");
+
+    // Distinct action methods: each does slightly different arithmetic so
+    // they cannot be trivially shared; each is invoked once per entry call
+    // and stays interpreted.
+    let actions: Vec<MethodId> = (0..ACTIONS)
+        .map(|k| {
+            let name = format!("jack_action_{k}");
+            let mut b = pb.function(&name, &[Ty::I32], Some(Ty::I32));
+            let x = b.param(0);
+            let acc = b.new_reg(Ty::I32);
+            let init = b.const_i32(k as i32);
+            b.move_(acc, init);
+            let reps = b.const_i32(600 + 13 * k as i32);
+            b.for_i32(0, 1, CmpOp::Lt, |_| reps, |b, i| {
+                let kc = b.const_i32(k as i32 + 3);
+                let t = b.mul(i, kc);
+                let u = b.xor(t, x);
+                let seven = b.const_i32(7 + k as i32);
+                let m = b.rem(u, seven);
+                let s = b.add(acc, m);
+                b.move_(acc, s);
+            });
+            b.ret(Some(acc));
+            b.finish()
+        })
+        .collect();
+
+    // Hot tokenizer: compiled (called many times per run).
+    let tokenize = {
+        let mut b = pb.function("jack_tokenize", &[Ty::Ref, Ty::I32, Ty::I32], Some(Ty::I32));
+        let buf = b.param(0);
+        let from = b.param(1);
+        let to = b.param(2);
+        let toks = b.new_reg(Ty::I32);
+        let z = b.const_i32(0);
+        b.move_(toks, z);
+        let i = b.new_reg(Ty::I32);
+        b.move_(i, from);
+        b.while_(
+            |b| b.lt(i, to),
+            |b| {
+                let c = b.aload(buf, i, ElemTy::I8);
+                let space = b.const_i32(0);
+                let is_sep = b.eq(c, space);
+                b.if_(is_sep, |b| b.inc(toks, 1));
+                b.inc(i, 1);
+            },
+        );
+        b.ret(Some(toks));
+        b.finish()
+    };
+
+    let entry = {
+        let mut b = pb.function("main", &[], Some(Ty::I32));
+        emit_set_seed(&mut b, seed, 228);
+        let len = b.const_i32(input_len);
+        let buf = b.new_array(ElemTy::I8, len);
+        b.for_i32(0, 1, CmpOp::Lt, |_| len, |b, i| {
+            let r = emit_lcg_next(b, seed);
+            let nine = b.const_i32(9);
+            let v = b.rem(r, nine);
+            b.astore(buf, i, v, ElemTy::I8);
+        });
+        let check = b.new_reg(Ty::I32);
+        let z = b.const_i32(0);
+        b.move_(check, z);
+        // Tokenize in chunks (16 calls -> compiled), then run each action
+        // once (interpreted).
+        let chunks = b.const_i32(16);
+        let chunk_len = b.const_i32(input_len / 16);
+        b.for_i32(0, 1, CmpOp::Lt, |_| chunks, |b, c| {
+            let from = b.mul(c, chunk_len);
+            let to = b.add(from, chunk_len);
+            let t = b.call(tokenize, &[buf, from, to]);
+            emit_mix(b, check, t);
+        });
+        for &a in &actions {
+            let v = b.call(a, &[check]);
+            emit_mix(&mut b, check, v);
+        }
+        b.ret(Some(check));
+        b.finish()
+    };
+
+    BuiltWorkload {
+        program: pb.finish(),
+        entry,
+        heap_bytes: 8 << 20,
+        expected: None,
+        compile_threshold: 8, // actions run once per call -> interpreted
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spf_memsim::ProcessorConfig;
+    use spf_vm::{Vm, VmConfig};
+
+    #[test]
+    fn low_compiled_fraction() {
+        let w = build(Size::Tiny);
+        let mut vm = Vm::new(
+            w.program,
+            VmConfig {
+                heap_bytes: w.heap_bytes,
+                compile_threshold: w.compile_threshold,
+                ..VmConfig::default()
+            },
+            ProcessorConfig::pentium4(),
+        );
+        let a = vm.call(w.entry, &[]).unwrap();
+        let b = vm.call(w.entry, &[]).unwrap();
+        assert_eq!(a, b);
+        vm.reset_measurement();
+        vm.call(w.entry, &[]).unwrap();
+        let frac = vm.stats().compiled_code_fraction();
+        assert!(frac < 0.7, "jack is interpreter-heavy, got {frac:.2}");
+    }
+}

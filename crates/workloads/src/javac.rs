@@ -1,0 +1,157 @@
+//! `_213_javac` miniature: a compiler front end walking an AST.
+//!
+//! Builds pseudo-random expression trees and repeatedly type-checks and
+//! constant-folds them by recursion. All pointer chasing happens through
+//! recursive calls — out-of-loop loads, which the paper's algorithm does
+//! not handle ("handling out-of-loop loads in recursive methods… remains
+//! as an open problem", §6) — so no prefetch code is generated.
+
+use spf_ir::{CmpOp, ElemTy, ProgramBuilder, Ty};
+
+use crate::common::{add_seed, emit_lcg_next, emit_mix, emit_set_seed, BuiltWorkload, Size};
+
+/// Builds the javac workload.
+pub fn build(size: Size) -> BuiltWorkload {
+    let n_trees = size.scale(48);
+    let tree_depth = 11;
+    let walks = 3;
+    let mut pb = ProgramBuilder::new();
+    let (node_cls, nf) = pb.add_class(
+        "AstNode",
+        &[
+            ("left", ElemTy::Ref),
+            ("right", ElemTy::Ref),
+            ("kind", ElemTy::I32),
+            ("value", ElemTy::I32),
+        ],
+    );
+    let (left_, right_, kind_, value_) = (nf[0], nf[1], nf[2], nf[3]);
+    let seed = add_seed(&mut pb, "javac_seed");
+
+    // buildTree(depth) -> node (recursive).
+    let build_tree = pb.declare("javac_build", &[Ty::I32], Some(Ty::Ref));
+    {
+        let mut b = pb.define(build_tree);
+        let depth = b.param(0);
+        let node = b.new_object(node_cls);
+        let r = emit_lcg_next(&mut b, seed);
+        let four = b.const_i32(4);
+        let kind = b.rem(r, four);
+        b.putfield(node, kind_, kind);
+        let r2 = emit_lcg_next(&mut b, seed);
+        let hundred = b.const_i32(100);
+        let v = b.rem(r2, hundred);
+        b.putfield(node, value_, v);
+        let zero = b.const_i32(0);
+        let leaf = b.le(depth, zero);
+        b.if_(leaf, |b| b.ret(Some(node)));
+        let one = b.const_i32(1);
+        let d1 = b.sub(depth, one);
+        let l = b.call(build_tree, &[d1]);
+        b.putfield(node, left_, l);
+        let rr = b.call(build_tree, &[d1]);
+        b.putfield(node, right_, rr);
+        b.ret(Some(node));
+        b.finish();
+    }
+
+    // fold(node) -> i32 (recursive constant folding / type check).
+    let fold = pb.declare("javac_fold", &[Ty::Ref], Some(Ty::I32));
+    {
+        let mut b = pb.define(fold);
+        let node = b.param(0);
+        let l = b.getfield(node, left_);
+        let nullref = b.null();
+        let is_leaf = b.eq(l, nullref);
+        b.if_(is_leaf, |b| {
+            let v = b.getfield(node, value_);
+            b.ret(Some(v));
+        });
+        let lv = b.call(fold, &[l]);
+        let r = b.getfield(node, right_);
+        let rv = b.call(fold, &[r]);
+        let kind = b.getfield(node, kind_);
+        let out = b.new_reg(Ty::I32);
+        let zero = b.const_i32(0);
+        let is_add = b.eq(kind, zero);
+        b.if_else(
+            is_add,
+            |b| {
+                let s = b.add(lv, rv);
+                b.move_(out, s);
+            },
+            |b| {
+                let one = b.const_i32(1);
+                let is_sub = b.eq(kind, one);
+                b.if_else(
+                    is_sub,
+                    |b| {
+                        let s = b.sub(lv, rv);
+                        b.move_(out, s);
+                    },
+                    |b| {
+                        let x = b.xor(lv, rv);
+                        let m = b.const_i32(0xffff);
+                        let s = b.and(x, m);
+                        b.move_(out, s);
+                    },
+                );
+            },
+        );
+        b.ret(Some(out));
+        b.finish();
+    }
+
+    let entry = {
+        let mut b = pb.function("main", &[], Some(Ty::I32));
+        emit_set_seed(&mut b, seed, 213);
+        let check = b.new_reg(Ty::I32);
+        let z = b.const_i32(0);
+        b.move_(check, z);
+        let trees = b.const_i32(n_trees);
+        b.for_i32(0, 1, CmpOp::Lt, |_| trees, |b, _| {
+            let d = b.const_i32(tree_depth);
+            let root = b.call(build_tree, &[d]);
+            let reps = b.const_i32(walks);
+            b.for_i32(0, 1, CmpOp::Lt, |_| reps, |b, _| {
+                let v = b.call(fold, &[root]);
+                emit_mix(b, check, v);
+            });
+        });
+        b.ret(Some(check));
+        b.finish()
+    };
+
+    BuiltWorkload {
+        program: pb.finish(),
+        entry,
+        heap_bytes: 128 << 20,
+        expected: None,
+        compile_threshold: 2,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spf_memsim::ProcessorConfig;
+    use spf_vm::{Vm, VmConfig};
+
+    #[test]
+    fn recursion_generates_no_prefetches() {
+        let w = build(Size::Tiny);
+        let mut vm = Vm::new(
+            w.program,
+            VmConfig {
+                heap_bytes: w.heap_bytes,
+                ..VmConfig::default()
+            },
+            ProcessorConfig::pentium4(),
+        );
+        let a = vm.call(w.entry, &[]).unwrap();
+        let b = vm.call(w.entry, &[]).unwrap();
+        assert_eq!(a, b);
+        let total: usize = vm.reports().iter().map(|r| r.total_prefetches).sum();
+        assert_eq!(total, 0, "out-of-loop loads are future work (paper §6)");
+    }
+}

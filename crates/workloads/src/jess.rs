@@ -1,0 +1,325 @@
+//! `_202_jess` miniature: the paper's motivating example (Figure 1).
+//!
+//! `findInMemory(tv, t)` scans a `TokenVector` in a doubly nested loop,
+//! comparing fact arrays. The token array is *churned* (append plus
+//! swap-removal, like `removeElement` in the paper §2), so `tv.v[i]` points
+//! at tokens in permuted address order: the `aaload` L4 keeps its small
+//! constant stride, but the token loads (L9…) have no inter-iteration
+//! pattern — only the *intra-iteration* stride between a `Token` and its
+//! co-allocated `facts` array survives. INTER+INTRA generates exactly the
+//! paper's Figure 4 code: a speculative load of `&tv.v[i] + c*d`, a
+//! prefetch of the future token, and an intra-stride prefetch of its facts.
+//!
+//! As in the paper, the speedup is small (≈2–3%): `findInMemory` is hot but
+//! not dominant — most cycles go to cache-resident rule evaluation, modeled
+//! by `jess_eval`.
+
+use spf_ir::{CmpOp, ElemTy, ProgramBuilder, Ty};
+
+use crate::common::{add_seed, emit_lcg_next, emit_mix, emit_set_seed, BuiltWorkload, Size};
+
+/// Facts per token (the paper's `new ValueVector[5]`).
+const FACTS: i32 = 5;
+
+/// Builds the jess workload.
+pub fn build(size: Size) -> BuiltWorkload {
+    let n_tokens = size.scale(4_000);
+    let churn_ops = size.scale(8_000);
+    let probes = size.scale(8);
+    let eval_reps = size.scale(26_000);
+    let mut pb = ProgramBuilder::new();
+    let (tok_cls, tf) = pb.add_class(
+        "Token",
+        &[
+            ("size", ElemTy::I32),
+            ("facts", ElemTy::Ref),
+            ("pad0", ElemTy::I64),
+            ("pad1", ElemTy::I64),
+            ("pad2", ElemTy::I64),
+            ("pad3", ElemTy::I64),
+            ("pad4", ElemTy::I64),
+            ("pad5", ElemTy::I64),
+            ("pad6", ElemTy::I64),
+            ("pad7", ElemTy::I64),
+            ("pad8", ElemTy::I64),
+            ("pad9", ElemTy::I64),
+        ],
+    );
+    let size_f = tf[0];
+    let facts_f = tf[1];
+    let (tv_cls, vf) = pb.add_class("TokenVector", &[("v", ElemTy::Ref), ("ptr", ElemTy::I32)]);
+    let v_f = vf[0];
+    let ptr_f = vf[1];
+    let seed = add_seed(&mut pb, "jess_seed");
+
+    // ---- newToken() -> Token: co-allocates the facts array -------------
+    let new_token = {
+        let mut b = pb.function("jess_new_token", &[], Some(Ty::Ref));
+        let t = b.new_object(tok_cls);
+        let nf = b.const_i32(FACTS);
+        let facts = b.new_array(ElemTy::I32, nf);
+        b.putfield(t, facts_f, facts);
+        b.putfield(t, size_f, nf);
+        b.for_i32(0, 1, CmpOp::Lt, |_| nf, |b, j| {
+            let r = emit_lcg_next(b, seed);
+            let sixteen = b.const_i32(16);
+            let val = b.rem(r, sixteen);
+            b.astore(facts, j, val, ElemTy::I32);
+        });
+        b.ret(Some(t));
+        b.finish()
+    };
+
+    // ---- addElement(tv, t) ---------------------------------------------
+    let add_element = {
+        let mut b = pb.function("jess_add", &[Ty::Ref, Ty::Ref], None);
+        let tv = b.param(0);
+        let t = b.param(1);
+        let v = b.getfield(tv, v_f);
+        let ptr = b.getfield(tv, ptr_f);
+        b.astore(v, ptr, t, ElemTy::Ref);
+        let one = b.const_i32(1);
+        let p2 = b.add(ptr, one);
+        b.putfield(tv, ptr_f, p2);
+        b.finish()
+    };
+
+    // ---- removeElement(tv, idx): swap-removal (paper §2) ----------------
+    let remove_element = {
+        let mut b = pb.function("jess_remove", &[Ty::Ref, Ty::I32], None);
+        let tv = b.param(0);
+        let idx = b.param(1);
+        let v = b.getfield(tv, v_f);
+        let ptr = b.getfield(tv, ptr_f);
+        let one = b.const_i32(1);
+        let last = b.sub(ptr, one);
+        let moved = b.aload(v, last, ElemTy::Ref);
+        b.astore(v, idx, moved, ElemTy::Ref);
+        b.putfield(tv, ptr_f, last);
+        b.finish()
+    };
+
+    // ---- findInMemory(tv, probe) -> i32 (paper Figure 1) ----------------
+    let find = {
+        let mut b = pb.function("findInMemory", &[Ty::Ref, Ty::Ref], Some(Ty::I32));
+        let tv = b.param(0);
+        let probe = b.param(1);
+        let found = b.new_reg(Ty::I32);
+        let m1 = b.const_i32(-1);
+        b.move_(found, m1);
+        // TokenLoop: for i in 0..tv.ptr
+        b.for_i32(
+            0,
+            1,
+            CmpOp::Lt,
+            |b| b.getfield(tv, ptr_f), // L1: &tv.ptr (loop-invariant load)
+            |b, i| {
+                let v = b.getfield(tv, v_f); // L2: &tv.v
+                let tmp = b.aload(v, i, ElemTy::Ref); // L4: &tv.v[i]
+                let psize = b.getfield(probe, size_f); // L5: &t.size
+                b.for_i32(
+                    0,
+                    1,
+                    CmpOp::Lt,
+                    |_| psize,
+                    |b, j| {
+                        let pfacts = b.getfield(probe, facts_f); // L6
+                        let pj = b.aload(pfacts, j, ElemTy::I32); // L8
+                        let tfacts = b.getfield(tmp, facts_f); // L9
+                        let tj = b.aload(tfacts, j, ElemTy::I32); // L11
+                        let neq = b.ne(pj, tj);
+                        // Mismatch -> continue TokenLoop (the *then* arm,
+                        // matching the common path in the real jess).
+                        b.if_(neq, |b| b.continue_(1));
+                    },
+                );
+                // All facts equal -> remember and stop.
+                b.move_(found, i);
+                b.break_(0);
+            },
+        );
+        b.ret(Some(found));
+        b.finish()
+    };
+
+    // ---- eval(reps) -> i32: cache-resident rule-evaluation filler -------
+    let eval = {
+        let mut b = pb.function("jess_eval", &[Ty::I32], Some(Ty::I32));
+        let reps = b.param(0);
+        let len = b.const_i32(256);
+        let alpha = b.new_array(ElemTy::I32, len);
+        b.for_i32(0, 1, CmpOp::Lt, |_| len, |b, i| {
+            let three = b.const_i32(3);
+            let x = b.mul(i, three);
+            b.astore(alpha, i, x, ElemTy::I32);
+        });
+        let acc = b.new_reg(Ty::I32);
+        let z = b.const_i32(0);
+        b.move_(acc, z);
+        b.for_i32(0, 1, CmpOp::Lt, |_| reps, |b, r| {
+            b.for_i32(0, 1, CmpOp::Lt, |_| len, |b, i| {
+                let x = b.aload(alpha, i, ElemTy::I32);
+                let y = b.add(x, r);
+                let seven = b.const_i32(7);
+                let m = b.rem(y, seven);
+                let s = b.add(acc, m);
+                b.move_(acc, s);
+            });
+        });
+        b.ret(Some(acc));
+        b.finish()
+    };
+
+    // ---- main ------------------------------------------------------------
+    let entry = {
+        let mut b = pb.function("main", &[], Some(Ty::I32));
+        emit_set_seed(&mut b, seed, 19760423);
+        let tv = b.new_object(tv_cls);
+        let cap = b.const_i32(n_tokens + 8);
+        let v = b.new_array(ElemTy::Ref, cap);
+        b.putfield(tv, v_f, v);
+        let z = b.const_i32(0);
+        b.putfield(tv, ptr_f, z);
+        let n = b.const_i32(n_tokens);
+        b.for_i32(0, 1, CmpOp::Lt, |_| n, |b, _| {
+            let t = b.call(new_token, &[]);
+            b.call_void(add_element, &[tv, t]);
+        });
+        // Churn: remove a pseudo-random token, append a fresh one.
+        let ops = b.const_i32(churn_ops);
+        b.for_i32(0, 1, CmpOp::Lt, |_| ops, |b, _| {
+            let r = emit_lcg_next(b, seed);
+            let ptr = b.getfield(tv, ptr_f);
+            let idx = b.rem(r, ptr);
+            b.call_void(remove_element, &[tv, idx]);
+            let t = b.call(new_token, &[]);
+            b.call_void(add_element, &[tv, t]);
+        });
+        // Probe scans (hot but not dominant) + rule evaluation filler.
+        let check = b.new_reg(Ty::I32);
+        b.move_(check, z);
+        let np = b.const_i32(probes);
+        b.for_i32(0, 1, CmpOp::Lt, |_| np, |b, _| {
+            let probe = b.call(new_token, &[]);
+            let hit = b.call(find, &[tv, probe]);
+            emit_mix(b, check, hit);
+        });
+        let reps = b.const_i32(eval_reps);
+        let e = b.call(eval, &[reps]);
+        emit_mix(&mut b, check, e);
+        b.ret(Some(check));
+        b.finish()
+    };
+
+    BuiltWorkload {
+        program: pb.finish(),
+        entry,
+        heap_bytes: 96 << 20,
+        expected: None,
+        compile_threshold: 2,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spf_core::PrefetchOptions;
+    use spf_memsim::ProcessorConfig;
+    use spf_vm::{Vm, VmConfig};
+
+    #[test]
+    fn deterministic_across_configs() {
+        let mut outs = Vec::new();
+        for opts in [PrefetchOptions::off(), PrefetchOptions::inter_intra()] {
+            let w = build(Size::Tiny);
+            let mut vm = Vm::new(
+                w.program,
+                VmConfig {
+                    heap_bytes: w.heap_bytes,
+                    prefetch: opts,
+                    ..VmConfig::default()
+                },
+                ProcessorConfig::pentium4(),
+            );
+            vm.call(w.entry, &[]).unwrap();
+            outs.push(vm.call(w.entry, &[]).unwrap());
+        }
+        assert_eq!(outs[0], outs[1]);
+    }
+
+    #[test]
+    fn find_in_memory_gets_figure4_prefetches() {
+        // On the Athlon (64-byte lines) the Token and its facts array land
+        // on different lines, so the full Figure 4 sequence is generated.
+        let w = build(Size::Tiny);
+        let mut vm = Vm::new(
+            w.program,
+            VmConfig {
+                heap_bytes: w.heap_bytes,
+                ..VmConfig::default()
+            },
+            ProcessorConfig::athlon_mp(),
+        );
+        vm.call(w.entry, &[]).unwrap();
+        vm.call(w.entry, &[]).unwrap();
+        let report = vm
+            .reports()
+            .iter()
+            .find(|r| r.method == "findInMemory")
+            .expect("findInMemory compiled");
+        let kinds: Vec<_> = report
+            .loops
+            .iter()
+            .flat_map(|l| &l.prefetches)
+            .map(|p| p.kind)
+            .collect();
+        use spf_core::report::GeneratedKind as K;
+        assert!(
+            kinds.iter().any(|k| matches!(k, K::SpeculativeLoad { .. })),
+            "spec_load(&tv.v[i] + c*d): {}",
+            report.render()
+        );
+        assert!(
+            kinds.iter().any(|k| matches!(k, K::Dereference { .. })),
+            "prefetch(tmp_pref + o): {}",
+            report.render()
+        );
+        assert!(
+            kinds.iter().any(|k| matches!(k, K::IntraStride { .. })),
+            "prefetch(tmp_pref + o + s): {}",
+            report.render()
+        );
+    }
+
+    #[test]
+    fn p4_line_sharing_suppresses_the_intra_prefetch() {
+        // Paper §4.1: on the Pentium 4 "the cache line size is sufficiently
+        // large to contain both the Token object and the array object
+        // pointed to by the facts field" — the profitability analysis's
+        // line-sharing rule drops the intra-iteration prefetch there.
+        let w = build(Size::Tiny);
+        let mut vm = Vm::new(
+            w.program,
+            VmConfig {
+                heap_bytes: w.heap_bytes,
+                ..VmConfig::default()
+            },
+            ProcessorConfig::pentium4(),
+        );
+        vm.call(w.entry, &[]).unwrap();
+        vm.call(w.entry, &[]).unwrap();
+        let report = vm
+            .reports()
+            .iter()
+            .find(|r| r.method == "findInMemory")
+            .expect("findInMemory compiled");
+        use spf_core::report::GeneratedKind as K;
+        let intra = report
+            .loops
+            .iter()
+            .flat_map(|l| &l.prefetches)
+            .filter(|p| matches!(p.kind, K::IntraStride { .. }))
+            .count();
+        assert_eq!(intra, 0, "{}", report.render());
+    }
+}

@@ -1,0 +1,189 @@
+//! JavaGrande `MolDyn` miniature: molecular dynamics over "a
+//! one-dimensional array of molecule objects that fits in the L2 cache"
+//! (paper §4.1).
+//!
+//! Molecules are allocated sequentially, so the force loop's field loads
+//! have an 88-byte inter-iteration stride. The working set (~100 KB) fits
+//! the 256 KB L2 but not the Athlon's 64 KB L1 — so on the Pentium 4 (whose
+//! prefetch instruction fills the L2, where the data already resides)
+//! neither algorithm helps, while on the Athlon MP (prefetch into L1) both
+//! achieve small speedups. This is the paper's cleanest demonstration of
+//! the software-prefetch *target level* difference.
+
+use spf_ir::{CmpOp, ElemTy, ProgramBuilder, Ty};
+
+use crate::common::{emit_mix, BuiltWorkload, Size};
+
+/// Builds the MolDyn workload.
+pub fn build(size: Size) -> BuiltWorkload {
+    let n = size.scale(1100);
+    let steps = 2;
+    let mut pb = ProgramBuilder::new();
+    let (mol_cls, mf) = pb.add_class(
+        "Molecule",
+        &[
+            ("x", ElemTy::F64),
+            ("y", ElemTy::F64),
+            ("z", ElemTy::F64),
+            ("vx", ElemTy::F64),
+            ("vy", ElemTy::F64),
+            ("vz", ElemTy::F64),
+            ("fx", ElemTy::F64),
+            ("fy", ElemTy::F64),
+            ("fz", ElemTy::F64),
+        ],
+    );
+    let (fx_, fy_, fz_) = (mf[6], mf[7], mf[8]);
+    let (x_, y_, z_) = (mf[0], mf[1], mf[2]);
+
+    // ---- setup(n) -> Ref -------------------------------------------------
+    let setup = {
+        let mut b = pb.function("moldyn_setup", &[Ty::I32], Some(Ty::Ref));
+        let n = b.param(0);
+        let arr = b.new_array(ElemTy::Ref, n);
+        b.for_i32(0, 1, CmpOp::Lt, |_| n, |b, i| {
+            let m = b.new_object(mol_cls);
+            let seventeen = b.const_i32(17);
+            let xi = b.rem(i, seventeen);
+            let x = b.convert(spf_ir::Conv::I32ToF64, xi);
+            b.putfield(m, x_, x);
+            let thirteen = b.const_i32(13);
+            let yi = b.rem(i, thirteen);
+            let y = b.convert(spf_ir::Conv::I32ToF64, yi);
+            b.putfield(m, y_, y);
+            let seven = b.const_i32(7);
+            let zi = b.rem(i, seven);
+            let z = b.convert(spf_ir::Conv::I32ToF64, zi);
+            b.putfield(m, z_, z);
+            b.astore(arr, i, m, ElemTy::Ref);
+        });
+        b.ret(Some(arr));
+        b.finish()
+    };
+
+    // ---- forces(arr, n) -> i32: O(n^2) pairwise interaction --------------
+    let forces = {
+        let mut b = pb.function("moldyn_forces", &[Ty::Ref, Ty::I32], Some(Ty::I32));
+        let arr = b.param(0);
+        let n = b.param(1);
+        let cutoff = b.const_f64(50.0);
+        b.for_i32(0, 1, CmpOp::Lt, |_| n, |b, i| {
+            let mi = b.aload(arr, i, ElemTy::Ref);
+            let xi = b.getfield(mi, x_);
+            let yi = b.getfield(mi, y_);
+            let zi = b.getfield(mi, z_);
+            let one = b.const_i32(1);
+            let i1 = b.add(i, one);
+            let j = b.new_reg(Ty::I32);
+            b.move_(j, i1);
+            b.while_(
+                |b| b.lt(j, n),
+                |b| {
+                    let mj = b.aload(arr, j, ElemTy::Ref);
+                    let xj = b.getfield(mj, x_);
+                    let yj = b.getfield(mj, y_);
+                    let zj = b.getfield(mj, z_);
+                    let dx = b.sub(xi, xj);
+                    let dy = b.sub(yi, yj);
+                    let dz = b.sub(zi, zj);
+                    let dx2 = b.mul(dx, dx);
+                    let dy2 = b.mul(dy, dy);
+                    let dz2 = b.mul(dz, dz);
+                    let r1 = b.add(dx2, dy2);
+                    let r2 = b.add(r1, dz2);
+                    let close = b.cmp(CmpOp::Lt, r2, cutoff);
+                    b.if_(close, |b| {
+                        let fxi = b.getfield(mi, fx_);
+                        let s1 = b.add(fxi, dx);
+                        b.putfield(mi, fx_, s1);
+                        let fyi = b.getfield(mi, fy_);
+                        let s2 = b.add(fyi, dy);
+                        b.putfield(mi, fy_, s2);
+                        let fzj = b.getfield(mj, fz_);
+                        let s3 = b.sub(fzj, dz);
+                        b.putfield(mj, fz_, s3);
+                    });
+                    b.inc(j, 1);
+                },
+            );
+        });
+        // Fold force of molecule 0 into a checksum.
+        let zero = b.const_i32(0);
+        let m0 = b.aload(arr, zero, ElemTy::Ref);
+        let f0 = b.getfield(m0, fx_);
+        let out = b.convert(spf_ir::Conv::F64ToI32, f0);
+        b.ret(Some(out));
+        b.finish()
+    };
+
+    // ---- main ------------------------------------------------------------
+    let entry = {
+        let mut b = pb.function("main", &[], Some(Ty::I32));
+        let nreg = b.const_i32(n);
+        let arr = b.call(setup, &[nreg]);
+        let check = b.new_reg(Ty::I32);
+        let z = b.const_i32(0);
+        b.move_(check, z);
+        let reps = b.const_i32(steps);
+        b.for_i32(0, 1, CmpOp::Lt, |_| reps, |b, _| {
+            let s = b.call(forces, &[arr, nreg]);
+            emit_mix(b, check, s);
+        });
+        b.ret(Some(check));
+        b.finish()
+    };
+
+    BuiltWorkload {
+        program: pb.finish(),
+        entry,
+        heap_bytes: 16 << 20,
+        expected: None,
+        compile_threshold: 2,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spf_core::PrefetchOptions;
+    use spf_memsim::ProcessorConfig;
+    use spf_vm::{Vm, VmConfig};
+
+    #[test]
+    fn molecule_loads_have_inter_strides() {
+        let w = build(Size::Tiny);
+        let mut vm = Vm::new(
+            w.program,
+            VmConfig {
+                heap_bytes: w.heap_bytes,
+                prefetch: PrefetchOptions::inter(),
+                ..VmConfig::default()
+            },
+            ProcessorConfig::athlon_mp(),
+        );
+        vm.call(w.entry, &[]).unwrap();
+        vm.call(w.entry, &[]).unwrap();
+        let report = vm
+            .reports()
+            .iter()
+            .find(|r| r.method == "moldyn_forces")
+            .expect("forces compiled");
+        assert!(report.total_prefetches > 0, "{}", report.render());
+    }
+
+    #[test]
+    fn deterministic() {
+        let w1 = build(Size::Tiny);
+        let mut vm = Vm::new(
+            w1.program,
+            VmConfig {
+                heap_bytes: w1.heap_bytes,
+                ..VmConfig::default()
+            },
+            ProcessorConfig::pentium4(),
+        );
+        let a = vm.call(w1.entry, &[]).unwrap();
+        let b = vm.call(w1.entry, &[]).unwrap();
+        assert_eq!(a, b, "per-invocation deterministic");
+    }
+}

@@ -1,0 +1,129 @@
+//! JavaGrande `MonteCarlo` miniature: financial Monte Carlo simulation.
+//!
+//! Arithmetic-heavy time-series generation over small `F64` arrays: stride
+//! 8 loads are rejected by profitability and the miss ratios are tiny, so
+//! prefetching neither helps nor hurts much. About half of the execution
+//! stays in interpreted one-shot setup methods, reproducing Table 3's 48%
+//! compiled-code fraction.
+
+use spf_ir::{CmpOp, ElemTy, ProgramBuilder, Ty};
+
+use crate::common::{add_seed, emit_lcg_next, emit_mix, emit_set_seed, BuiltWorkload, Size};
+
+/// Builds the MonteCarlo workload.
+pub fn build(size: Size) -> BuiltWorkload {
+    let paths = size.scale(1200);
+    let path_len = 200;
+    let mut pb = ProgramBuilder::new();
+    let seed = add_seed(&mut pb, "mc_seed");
+
+    // One-shot, stays interpreted (invoked once per entry call, threshold 4).
+    let calibrate = {
+        let mut b = pb.function("mc_calibrate", &[Ty::I32], Some(Ty::F64));
+        let reps = b.param(0);
+        let acc = b.new_reg(Ty::F64);
+        let z = b.const_f64(0.0);
+        b.move_(acc, z);
+        b.for_i32(0, 1, CmpOp::Lt, |_| reps, |b, _| {
+            let r = emit_lcg_next(b, seed);
+            let x = b.convert(spf_ir::Conv::I32ToF64, r);
+            let k = b.const_f64(1.0 / 32768.0);
+            let u = b.mul(x, k);
+            let u2 = b.mul(u, u);
+            let s = b.add(acc, u2);
+            b.move_(acc, s);
+        });
+        b.ret(Some(acc));
+        b.finish()
+    };
+
+    // Hot path kernel: compiled.
+    let simulate = {
+        let mut b = pb.function("mc_simulate", &[Ty::Ref, Ty::I32], Some(Ty::F64));
+        let path = b.param(0);
+        let len = b.param(1);
+        let v = b.new_reg(Ty::F64);
+        let start = b.const_f64(100.0);
+        b.move_(v, start);
+        b.for_i32(0, 1, CmpOp::Lt, |_| len, |b, t| {
+            let r = emit_lcg_next(b, seed);
+            let x = b.convert(spf_ir::Conv::I32ToF64, r);
+            let k = b.const_f64(1.0 / 32768.0);
+            let u = b.mul(x, k);
+            let half = b.const_f64(0.5);
+            let drift = b.sub(u, half);
+            let scale = b.const_f64(0.02);
+            let dv = b.mul(drift, scale);
+            let one = b.const_f64(1.0);
+            let factor = b.add(one, dv);
+            let nv = b.mul(v, factor);
+            b.move_(v, nv);
+            b.astore(path, t, nv, ElemTy::F64);
+        });
+        b.ret(Some(v));
+        b.finish()
+    };
+
+    let entry = {
+        let mut b = pb.function("main", &[], Some(Ty::I32));
+        emit_set_seed(&mut b, seed, 1999);
+        let cal_reps = b.const_i32(paths * 60);
+        let cal = b.call(calibrate, &[cal_reps]);
+        let len = b.const_i32(path_len);
+        let path = b.new_array(ElemTy::F64, len);
+        let acc = b.new_reg(Ty::F64);
+        b.move_(acc, cal);
+        let np = b.const_i32(paths);
+        b.for_i32(0, 1, CmpOp::Lt, |_| np, |b, _| {
+            let last = b.call(simulate, &[path, len]);
+            let s = b.add(acc, last);
+            b.move_(acc, s);
+        });
+        let sum = b.convert(spf_ir::Conv::F64ToI32, acc);
+        let check = b.new_reg(Ty::I32);
+        b.move_(check, sum);
+        let zero = b.const_i32(0);
+        emit_mix(&mut b, check, zero);
+        b.ret(Some(check));
+        b.finish()
+    };
+
+    BuiltWorkload {
+        program: pb.finish(),
+        entry,
+        heap_bytes: 8 << 20,
+        expected: None,
+        compile_threshold: 50, // calibrate (once per run) stays interpreted
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spf_memsim::ProcessorConfig;
+    use spf_vm::{Vm, VmConfig};
+
+    #[test]
+    fn roughly_half_the_cycles_are_interpreted() {
+        let w = build(Size::Tiny);
+        let mut vm = Vm::new(
+            w.program,
+            VmConfig {
+                heap_bytes: w.heap_bytes,
+                compile_threshold: w.compile_threshold,
+                ..VmConfig::default()
+            },
+            ProcessorConfig::pentium4(),
+        );
+        for _ in 0..4 {
+            vm.call(w.entry, &[]).unwrap();
+        }
+        vm.reset_measurement();
+        vm.call(w.entry, &[]).unwrap();
+        let frac = vm.stats().compiled_code_fraction();
+        assert!(
+            (0.2..0.9).contains(&frac),
+            "mixed-mode split, got {frac:.2}"
+        );
+    }
+}

@@ -1,0 +1,214 @@
+//! `_227_mtrt` miniature: ray tracing over a scene of sphere objects.
+//!
+//! The intersection loop walks a window of the sequentially allocated
+//! sphere array (rays have spatial locality), so field loads have constant
+//! 72-byte inter-iteration strides but the touched working set is mostly
+//! cache-resident — the paper reports an L2 MPI reduction for mtrt but
+//! only a small (±1%) run-time effect, and so does this miniature.
+
+use spf_ir::{CmpOp, ElemTy, ProgramBuilder, Ty};
+
+use crate::common::{add_seed, emit_lcg_next, emit_mix, emit_set_seed, BuiltWorkload, Size};
+
+/// Spheres scanned per ray.
+const WINDOW: i32 = 800;
+
+/// Builds the mtrt workload.
+pub fn build(size: Size) -> BuiltWorkload {
+    let n_spheres = size.scale(3600);
+    let n_rays = size.scale(260);
+    let mut pb = ProgramBuilder::new();
+    let (sph_cls, sf) = pb.add_class(
+        "Sphere",
+        &[
+            ("cx", ElemTy::F64),
+            ("cy", ElemTy::F64),
+            ("cz", ElemTy::F64),
+            ("r2", ElemTy::F64),
+            ("color", ElemTy::I32),
+            ("pad", ElemTy::I64),
+            ("pad2", ElemTy::I64),
+        ],
+    );
+    let (cx_, cy_, cz_, r2_, color_) = (sf[0], sf[1], sf[2], sf[3], sf[4]);
+    let seed = add_seed(&mut pb, "mtrt_seed");
+
+    // ---- setup(n) -> Ref -------------------------------------------------
+    let setup = {
+        let mut b = pb.function("mtrt_setup", &[Ty::I32], Some(Ty::Ref));
+        let n = b.param(0);
+        let arr = b.new_array(ElemTy::Ref, n);
+        b.for_i32(0, 1, CmpOp::Lt, |_| n, |b, i| {
+            let s = b.new_object(sph_cls);
+            let r = emit_lcg_next(b, seed);
+            let thousand = b.const_i32(1000);
+            let xi = b.rem(r, thousand);
+            let x = b.convert(spf_ir::Conv::I32ToF64, xi);
+            b.putfield(s, cx_, x);
+            let r2v = emit_lcg_next(b, seed);
+            let yi = b.rem(r2v, thousand);
+            let y = b.convert(spf_ir::Conv::I32ToF64, yi);
+            b.putfield(s, cy_, y);
+            let r3 = emit_lcg_next(b, seed);
+            let zi = b.rem(r3, thousand);
+            let z = b.convert(spf_ir::Conv::I32ToF64, zi);
+            b.putfield(s, cz_, z);
+            let rad = b.const_f64(900.0);
+            b.putfield(s, r2_, rad);
+            let sixteen = b.const_i32(16);
+            let col = b.rem(i, sixteen);
+            b.putfield(s, color_, col);
+            b.astore(arr, i, s, ElemTy::Ref);
+        });
+        b.ret(Some(arr));
+        b.finish()
+    };
+
+    // ---- trace(scene, from, to, ox, oy) -> i32: nearest-hit scan over a
+    // window of the scene (the bounding-volume walk of the original) ------
+    let trace = {
+        let mut b = pb.function(
+            "mtrt_trace",
+            &[Ty::Ref, Ty::I32, Ty::I32, Ty::F64, Ty::F64],
+            Some(Ty::I32),
+        );
+        let scene = b.param(0);
+        let from = b.param(1);
+        let to = b.param(2);
+        let ox = b.param(3);
+        let oy = b.param(4);
+        let best = b.new_reg(Ty::F64);
+        let inf = b.const_f64(1e18);
+        b.move_(best, inf);
+        let hit = b.new_reg(Ty::I32);
+        let m1 = b.const_i32(-1);
+        b.move_(hit, m1);
+        let i = b.new_reg(Ty::I32);
+        b.move_(i, from);
+        b.while_(|b| b.lt(i, to), |b| {
+            let s = b.aload(scene, i, ElemTy::Ref);
+            let cx = b.getfield(s, cx_);
+            let cy = b.getfield(s, cy_);
+            let r2 = b.getfield(s, r2_);
+            let dx = b.sub(cx, ox);
+            let dy = b.sub(cy, oy);
+            let dx2 = b.mul(dx, dx);
+            let dy2 = b.mul(dy, dy);
+            let d2 = b.add(dx2, dy2);
+            // Full 3-D quadratic discriminant (the third axis plus the
+            // normalization real ray-sphere tests perform).
+            let cz = b.getfield(s, cz_);
+            let dz = b.sub(cz, ox);
+            let dz2 = b.mul(dz, dz);
+            let k = b.const_f64(0.015625);
+            let dzn = b.mul(dz2, k);
+            let d3 = b.add(d2, dzn);
+            let kk = b.const_f64(0.996);
+            let d4 = b.mul(d3, kk);
+            let d5 = b.mul(d4, kk);
+            let inside = b.cmp(CmpOp::Lt, d5, r2);
+            b.if_(inside, |b| {
+                let closer = b.cmp(CmpOp::Lt, d5, best);
+                b.if_(closer, |b| {
+                    b.move_(best, d5);
+                    let c = b.getfield(s, color_);
+                    b.move_(hit, c);
+                });
+            });
+            b.inc(i, 1);
+        });
+        b.ret(Some(hit));
+        b.finish()
+    };
+
+    // ---- main ------------------------------------------------------------
+    let entry = {
+        let mut b = pb.function("main", &[], Some(Ty::I32));
+        emit_set_seed(&mut b, seed, 227);
+        let nreg = b.const_i32(n_spheres);
+        let scene = b.call(setup, &[nreg]);
+        let check = b.new_reg(Ty::I32);
+        let z = b.const_i32(0);
+        b.move_(check, z);
+        let rays = b.const_i32(n_rays);
+        b.for_i32(0, 1, CmpOp::Lt, |_| rays, |b, r| {
+            let thousand = b.const_i32(1000);
+            let seven = b.const_i32(7);
+            let rx = b.mul(r, seven);
+            let rxm = b.rem(rx, thousand);
+            let ox = b.convert(spf_ir::Conv::I32ToF64, rxm);
+            let eleven = b.const_i32(11);
+            let ry = b.mul(r, eleven);
+            let rym = b.rem(ry, thousand);
+            let oy = b.convert(spf_ir::Conv::I32ToF64, rym);
+            // Each ray scans a window of spheres starting near its origin
+            // (spatial locality of the scene hierarchy).
+            let from = if n_spheres > WINDOW {
+                let span = b.const_i32(n_spheres - WINDOW);
+                let nineteen = b.const_i32(19);
+                let woff = b.mul(r, nineteen);
+                b.rem(woff, span)
+            } else {
+                b.const_i32(0)
+            };
+            let window = b.const_i32(WINDOW.min(n_spheres));
+            let to = b.add(from, window);
+            let c = b.call(trace, &[scene, from, to, ox, oy]);
+            emit_mix(b, check, c);
+        });
+        b.ret(Some(check));
+        b.finish()
+    };
+
+    BuiltWorkload {
+        program: pb.finish(),
+        entry,
+        heap_bytes: 32 << 20,
+        expected: None,
+        compile_threshold: 2,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spf_memsim::ProcessorConfig;
+    use spf_vm::{Vm, VmConfig};
+
+    #[test]
+    fn runs_and_is_deterministic() {
+        let w = build(Size::Tiny);
+        let mut vm = Vm::new(
+            w.program,
+            VmConfig {
+                heap_bytes: w.heap_bytes,
+                ..VmConfig::default()
+            },
+            ProcessorConfig::pentium4(),
+        );
+        let a = vm.call(w.entry, &[]).unwrap();
+        let b = vm.call(w.entry, &[]).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn trace_gets_prefetches() {
+        let w = build(Size::Tiny);
+        let mut vm = Vm::new(
+            w.program,
+            VmConfig {
+                heap_bytes: w.heap_bytes,
+                ..VmConfig::default()
+            },
+            ProcessorConfig::pentium4(),
+        );
+        vm.call(w.entry, &[]).unwrap();
+        vm.call(w.entry, &[]).unwrap();
+        let report = vm
+            .reports()
+            .iter()
+            .find(|r| r.method == "mtrt_trace")
+            .expect("trace compiled");
+        assert!(report.total_prefetches > 0, "{}", report.render());
+    }
+}

@@ -1,0 +1,231 @@
+//! JavaGrande `RayTracer` miniature: a 3-D ray tracer whose hot loop
+//! *contains an invocation of a recursive method* (paper §4.1).
+//!
+//! The intersection loop walks a *permuted* sphere array (the real
+//! benchmark visits the scene through a spatial hierarchy), so only the
+//! `aaload` of the scene array has an inter-iteration stride — the
+//! spec-load anchor for dereference-based prefetching of the spheres. For
+//! each candidate hit the loop calls a recursive `shade` that re-reads the
+//! same sphere (served on the Pentium 4 by the line the loop prefetched —
+//! the paper's cross-method effect) and churns through a texture table
+//! that fills most of the Athlon's L1, fighting the prefetched lines — the
+//! paper's RayTracer anomaly (P4 improves, Athlon slightly degrades).
+
+use spf_ir::{CmpOp, ElemTy, ProgramBuilder, Ty};
+
+use crate::common::{add_seed, emit_lcg_next, emit_mix, emit_set_seed, emit_shuffle_refs, BuiltWorkload, Size};
+
+/// Builds the RayTracer workload.
+pub fn build(size: Size) -> BuiltWorkload {
+    let n_spheres = size.scale(6000);
+    let n_rays = size.scale(80);
+    let texture_len = 14_336; // 56 KB of i32: nearly all of the Athlon's 64 KB L1
+    let mut pb = ProgramBuilder::new();
+    let (sph_cls, sf) = pb.add_class(
+        "Sphere",
+        &[
+            ("cx", ElemTy::F64),
+            ("cy", ElemTy::F64),
+            ("r2", ElemTy::F64),
+            ("color", ElemTy::I32),
+            ("shine", ElemTy::I32),
+            ("pad0", ElemTy::I64),
+            ("pad1", ElemTy::I64),
+            ("pad2", ElemTy::I64),
+        ],
+    );
+    let (cx_, cy_, r2_, color_, shine_) = (sf[0], sf[1], sf[2], sf[3], sf[4]);
+    let seed = add_seed(&mut pb, "rt_seed");
+    let texture = pb.add_static("rt_texture", ElemTy::Ref);
+
+    // ---- setup(n) -> scene ------------------------------------------------
+    let setup = {
+        let mut b = pb.function("rt_setup", &[Ty::I32], Some(Ty::Ref));
+        let n = b.param(0);
+        let tl = b.const_i32(texture_len);
+        let tex = b.new_array(ElemTy::I32, tl);
+        b.for_i32(0, 1, CmpOp::Lt, |_| tl, |b, i| {
+            let five = b.const_i32(5);
+            let v = b.mul(i, five);
+            b.astore(tex, i, v, ElemTy::I32);
+        });
+        b.putstatic(texture, tex);
+        let arr = b.new_array(ElemTy::Ref, n);
+        b.for_i32(0, 1, CmpOp::Lt, |_| n, |b, i| {
+            let s = b.new_object(sph_cls);
+            let r = emit_lcg_next(b, seed);
+            let thousand = b.const_i32(1000);
+            let xi = b.rem(r, thousand);
+            let x = b.convert(spf_ir::Conv::I32ToF64, xi);
+            b.putfield(s, cx_, x);
+            let r2v = emit_lcg_next(b, seed);
+            let yi = b.rem(r2v, thousand);
+            let y = b.convert(spf_ir::Conv::I32ToF64, yi);
+            b.putfield(s, cy_, y);
+            let rad = b.const_f64(1600.0);
+            b.putfield(s, r2_, rad);
+            let sixteen = b.const_i32(16);
+            let col = b.rem(i, sixteen);
+            b.putfield(s, color_, col);
+            let four = b.const_i32(4);
+            let sh = b.rem(i, four);
+            b.putfield(s, shine_, sh);
+            b.astore(arr, i, s, ElemTy::Ref);
+        });
+        // The render loop visits spheres through a spatial hierarchy in the
+        // real benchmark, i.e. in an order unrelated to allocation order:
+        // model that by shuffling the scene array. The aaload keeps its
+        // 8-byte stride (the spec-load anchor); the sphere loads have no
+        // inter-iteration pattern.
+        emit_shuffle_refs(&mut b, arr, n, seed);
+        b.ret(Some(arr));
+        b.finish()
+    };
+
+    // ---- shade(sphere, color, depth) -> i32: recursive, texture-hungry --
+    //
+    // Re-reads the *same sphere object* at every recursion level (surface
+    // normal, reflectivity, …): on the Pentium 4 those loads hit the L2
+    // line the intersection loop prefetched — the paper's cross-method
+    // effect — while its texture traffic keeps the small L1 churning.
+    let shade = pb.declare("rt_shade", &[Ty::Ref, Ty::I32, Ty::I32], Some(Ty::I32));
+    {
+        let mut b = pb.define(shade);
+        let sphere = b.param(0);
+        let color = b.param(1);
+        let depth = b.param(2);
+        let zero = b.const_i32(0);
+        let stop = b.le(depth, zero);
+        b.if_(stop, |b| b.ret(Some(color)));
+        let tex = b.getstatic(texture);
+        let acc = b.new_reg(Ty::I32);
+        b.move_(acc, color);
+        // Surface computation touching the sphere again.
+        let scx = b.getfield(sphere, cx_);
+        let scy = b.getfield(sphere, cy_);
+        let sprod = b.mul(scx, scy);
+        let sint = b.convert(spf_ir::Conv::F64ToI32, sprod);
+        let mask = b.const_i32(0x3ff);
+        let sbits = b.and(sint, mask);
+        let acc2 = b.add(acc, sbits);
+        b.move_(acc, acc2);
+        // Walk a strided slice of the texture: evicts L1 lines between
+        // intersection-loop iterations.
+        let steps = b.const_i32(224);
+        b.for_i32(0, 1, CmpOp::Lt, |_| steps, |b, k| {
+            let stride = b.const_i32(128);
+            let kk = b.mul(k, stride);
+            let base = b.const_i32(texture_len);
+            let cd = b.mul(color, depth);
+            let off = b.add(kk, cd);
+            let idx = b.rem(off, base);
+            let t = b.aload(tex, idx, ElemTy::I32);
+            let s = b.add(acc, t);
+            b.move_(acc, s);
+        });
+        let one = b.const_i32(1);
+        let d1 = b.sub(depth, one);
+        let fifteen = b.const_i32(15);
+        let nc = b.and(acc, fifteen);
+        let sub = b.call(shade, &[sphere, nc, d1]);
+        let out = b.add(acc, sub);
+        b.ret(Some(out));
+        b.finish();
+    }
+
+    // ---- render(scene, n, ox, oy) -> i32: loop with recursive call ------
+    let render = {
+        let mut b = pb.function(
+            "rt_render",
+            &[Ty::Ref, Ty::I32, Ty::F64, Ty::F64],
+            Some(Ty::I32),
+        );
+        let scene = b.param(0);
+        let n = b.param(1);
+        let ox = b.param(2);
+        let oy = b.param(3);
+        let acc = b.new_reg(Ty::I32);
+        let z = b.const_i32(0);
+        b.move_(acc, z);
+        b.for_i32(0, 1, CmpOp::Lt, |_| n, |b, i| {
+            let s = b.aload(scene, i, ElemTy::Ref);
+            let cx = b.getfield(s, cx_);
+            let cy = b.getfield(s, cy_);
+            let r2 = b.getfield(s, r2_);
+            let dx = b.sub(cx, ox);
+            let dy = b.sub(cy, oy);
+            let dx2 = b.mul(dx, dx);
+            let dy2 = b.mul(dy, dy);
+            let d2 = b.add(dx2, dy2);
+            let hit = b.cmp(CmpOp::Lt, d2, r2);
+            b.if_(hit, |b| {
+                let c = b.getfield(s, color_);
+                let depth = b.getfield(s, shine_);
+                let shaded = b.call(shade, &[s, c, depth]);
+                let a2 = b.add(acc, shaded);
+                b.move_(acc, a2);
+            });
+        });
+        b.ret(Some(acc));
+        b.finish()
+    };
+
+    // ---- main ------------------------------------------------------------
+    let entry = {
+        let mut b = pb.function("main", &[], Some(Ty::I32));
+        emit_set_seed(&mut b, seed, 3001);
+        let nreg = b.const_i32(n_spheres);
+        let scene = b.call(setup, &[nreg]);
+        let check = b.new_reg(Ty::I32);
+        let z = b.const_i32(0);
+        b.move_(check, z);
+        let rays = b.const_i32(n_rays);
+        b.for_i32(0, 1, CmpOp::Lt, |_| rays, |b, r| {
+            let thousand = b.const_i32(1000);
+            let th = b.const_i32(37);
+            let rx = b.mul(r, th);
+            let rxm = b.rem(rx, thousand);
+            let ox = b.convert(spf_ir::Conv::I32ToF64, rxm);
+            let tt = b.const_i32(53);
+            let ry = b.mul(r, tt);
+            let rym = b.rem(ry, thousand);
+            let oy = b.convert(spf_ir::Conv::I32ToF64, rym);
+            let c = b.call(render, &[scene, nreg, ox, oy]);
+            emit_mix(b, check, c);
+        });
+        b.ret(Some(check));
+        b.finish()
+    };
+
+    BuiltWorkload {
+        program: pb.finish(),
+        entry,
+        heap_bytes: 32 << 20,
+        expected: None,
+        compile_threshold: 2,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spf_memsim::ProcessorConfig;
+    use spf_vm::{Vm, VmConfig};
+
+    #[test]
+    fn recursion_works_and_is_deterministic() {
+        let w = build(Size::Tiny);
+        let mut vm = Vm::new(
+            w.program,
+            VmConfig {
+                heap_bytes: w.heap_bytes,
+                ..VmConfig::default()
+            },
+            ProcessorConfig::athlon_mp(),
+        );
+        let a = vm.call(w.entry, &[]).unwrap();
+        let b = vm.call(w.entry, &[]).unwrap();
+        assert_eq!(a, b);
+        assert!(vm.is_compiled(vm.program().method_by_name("rt_shade").unwrap()));
+    }
+}

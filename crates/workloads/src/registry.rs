@@ -1,0 +1,112 @@
+//! The workload registry (the rows of the paper's Table 3).
+
+use crate::common::{Suite, WorkloadSpec};
+
+/// All twelve workloads, in the paper's Table 3 order.
+pub fn all() -> Vec<WorkloadSpec> {
+    vec![
+        WorkloadSpec {
+            name: "mtrt",
+            description: "Two threaded ray tracing",
+            suite: Suite::SpecJvm98,
+            build: crate::mtrt::build,
+        },
+        WorkloadSpec {
+            name: "jess",
+            description: "Java expert shell system",
+            suite: Suite::SpecJvm98,
+            build: crate::jess::build,
+        },
+        WorkloadSpec {
+            name: "compress",
+            description: "Modified Lempel-Ziv method",
+            suite: Suite::SpecJvm98,
+            build: crate::compress::build,
+        },
+        WorkloadSpec {
+            name: "db",
+            description: "Memory resident database",
+            suite: Suite::SpecJvm98,
+            build: crate::db::build,
+        },
+        WorkloadSpec {
+            name: "mpegaudio",
+            description: "MPEG Layer-3 audio decompression",
+            suite: Suite::SpecJvm98,
+            build: crate::mpegaudio::build,
+        },
+        WorkloadSpec {
+            name: "jack",
+            description: "Java parser generator",
+            suite: Suite::SpecJvm98,
+            build: crate::jack::build,
+        },
+        WorkloadSpec {
+            name: "javac",
+            description: "Java compiler from JDK1.0.2",
+            suite: Suite::SpecJvm98,
+            build: crate::javac::build,
+        },
+        WorkloadSpec {
+            name: "Euler",
+            description: "Computational fluid dynamics",
+            suite: Suite::JavaGrande,
+            build: crate::euler::build,
+        },
+        WorkloadSpec {
+            name: "MolDyn",
+            description: "Molecular dynamics simulation",
+            suite: Suite::JavaGrande,
+            build: crate::moldyn::build,
+        },
+        WorkloadSpec {
+            name: "MonteCarlo",
+            description: "Monte Carlo simulation",
+            suite: Suite::JavaGrande,
+            build: crate::montecarlo::build,
+        },
+        WorkloadSpec {
+            name: "RayTracer",
+            description: "3D ray tracer",
+            suite: Suite::JavaGrande,
+            build: crate::raytracer::build,
+        },
+        WorkloadSpec {
+            name: "Search",
+            description: "Alpha-beta pruned search",
+            suite: Suite::JavaGrande,
+            build: crate::search::build,
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn twelve_workloads_in_table3_order() {
+        let specs = all();
+        assert_eq!(specs.len(), 12);
+        assert_eq!(specs[0].name, "mtrt");
+        assert_eq!(specs[3].name, "db");
+        assert_eq!(specs[7].name, "Euler");
+        assert_eq!(
+            specs.iter().filter(|s| s.suite == Suite::SpecJvm98).count(),
+            7
+        );
+        assert_eq!(
+            specs.iter().filter(|s| s.suite == Suite::JavaGrande).count(),
+            5
+        );
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let specs = all();
+        let mut names: Vec<_> = specs.iter().map(|s| s.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), specs.len());
+    }
+}

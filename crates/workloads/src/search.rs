@@ -1,0 +1,154 @@
+//! JavaGrande `Search` miniature: alpha-beta pruned game-tree search.
+//!
+//! The board is a small byte array and the transposition table is probed at
+//! pseudo-random indices; the recursion means most loads are out-of-loop —
+//! the case the paper explicitly leaves as future work. No stride
+//! prefetching is applicable, matching §4.1.
+
+use spf_ir::{CmpOp, ElemTy, ProgramBuilder, Ty};
+
+use crate::common::{emit_mix, BuiltWorkload, Size};
+
+/// Builds the Search workload.
+pub fn build(size: Size) -> BuiltWorkload {
+    let depth = match size {
+        Size::Tiny => 12,
+        Size::Small => 16,
+        Size::Full => 18,
+    };
+    let mut pb = ProgramBuilder::new();
+    let board_static = pb.add_static("search_board", ElemTy::Ref);
+    let ttable_static = pb.add_static("search_ttable", ElemTy::Ref);
+
+    // search(pos, depth, alpha) -> score; recursive alpha-beta-ish walk.
+    let search = pb.declare("search_node", &[Ty::I32, Ty::I32, Ty::I32], Some(Ty::I32));
+    {
+        let mut b = pb.define(search);
+        let pos = b.param(0);
+        let depth = b.param(1);
+        let alpha = b.param(2);
+        let zero = b.const_i32(0);
+        let leaf = b.le(depth, zero);
+        b.if_(leaf, |b| {
+            // Evaluate: a few board loads + arithmetic.
+            let board = b.getstatic(board_static);
+            let len = b.arraylen(board);
+            let mask = b.const_i32(0x7fff_ffff);
+            let posu = b.and(pos, mask);
+            let idx = b.rem(posu, len);
+            let v = b.aload(board, idx, ElemTy::I8);
+            let s = b.add(v, pos);
+            let thirtyone = b.const_i32(31);
+            let e = b.rem(s, thirtyone);
+            b.ret(Some(e));
+        });
+        // Transposition-table probe at a hashed (non-strided) index.
+        let tt = b.getstatic(ttable_static);
+        let magic = b.const_i32(2654435761u32 as i32);
+        let h0 = b.mul(pos, magic);
+        let maskp = b.const_i32(0x7fff_ffff);
+        let h1 = b.and(h0, maskp);
+        let len = b.arraylen(tt);
+        let h2 = b.rem(h1, len);
+        let habs = {
+            let neg = b.lt(h2, zero);
+            let out = b.new_reg(Ty::I32);
+            b.move_(out, h2);
+            b.if_(neg, |b| {
+                let n = b.un(spf_ir::UnOp::Neg, h2);
+                b.move_(out, n);
+            });
+            out
+        };
+        let cached = b.aload(tt, habs, ElemTy::I32);
+        let hitp = b.eq(cached, pos);
+        b.if_(hitp, |b| {
+            let one = b.const_i32(1);
+            b.ret(Some(one));
+        });
+        b.astore(tt, habs, pos, ElemTy::I32);
+        // Expand two children.
+        let best = b.new_reg(Ty::I32);
+        b.move_(best, alpha);
+        let one = b.const_i32(1);
+        let d1 = b.sub(depth, one);
+        let three = b.const_i32(3);
+        let c1 = b.mul(pos, three);
+        let c1 = b.add(c1, one);
+        let s1 = b.call(search, &[c1, d1, best]);
+        let better1 = b.gt(s1, best);
+        b.if_(better1, |b| b.move_(best, s1));
+        // Prune: skip the second child when already good enough.
+        let cut = b.const_i32(29);
+        let prune = b.ge(best, cut);
+        b.if_(prune, |b| b.ret(Some(best)));
+        let two = b.const_i32(2);
+        let c2 = b.mul(pos, three);
+        let c2 = b.add(c2, two);
+        let s2 = b.call(search, &[c2, d1, best]);
+        let better2 = b.gt(s2, best);
+        b.if_(better2, |b| b.move_(best, s2));
+        b.ret(Some(best));
+        b.finish();
+    }
+
+    let entry = {
+        let mut b = pb.function("main", &[], Some(Ty::I32));
+        let blen = b.const_i32(64);
+        let board = b.new_array(ElemTy::I8, blen);
+        b.for_i32(0, 1, CmpOp::Lt, |_| blen, |b, i| {
+            let five = b.const_i32(5);
+            let v = b.rem(i, five);
+            b.astore(board, i, v, ElemTy::I8);
+        });
+        b.putstatic(board_static, board);
+        let tlen = b.const_i32(1 << 14);
+        let tt = b.new_array(ElemTy::I32, tlen);
+        b.putstatic(ttable_static, tt);
+        let check = b.new_reg(Ty::I32);
+        let z = b.const_i32(0);
+        b.move_(check, z);
+        let starts = b.const_i32(12);
+        b.for_i32(0, 1, CmpOp::Lt, |_| starts, |b, s| {
+            let d = b.const_i32(depth);
+            let zero = b.const_i32(0);
+            let v = b.call(search, &[s, d, zero]);
+            emit_mix(b, check, v);
+        });
+        b.ret(Some(check));
+        b.finish()
+    };
+
+    BuiltWorkload {
+        program: pb.finish(),
+        entry,
+        heap_bytes: 8 << 20,
+        expected: None,
+        compile_threshold: 2,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spf_memsim::ProcessorConfig;
+    use spf_vm::{Vm, VmConfig};
+
+    #[test]
+    fn no_prefetch_opportunities() {
+        let w = build(Size::Tiny);
+        let mut vm = Vm::new(
+            w.program,
+            VmConfig {
+                heap_bytes: w.heap_bytes,
+                ..VmConfig::default()
+            },
+            ProcessorConfig::pentium4(),
+        );
+        let a = vm.call(w.entry, &[]).unwrap();
+        let b = vm.call(w.entry, &[]).unwrap();
+        assert_eq!(a, b);
+        let total: usize = vm.reports().iter().map(|r| r.total_prefetches).sum();
+        assert_eq!(total, 0, "recursive search has no in-loop stride loads");
+    }
+}

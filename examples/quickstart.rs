@@ -1,0 +1,122 @@
+//! Quickstart: build a small pointer-chasing program, run it on the VM with
+//! stride prefetching on and off, and compare the simulated memory
+//! behaviour.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use stride_prefetch::ir::{CmpOp, ElemTy, ProgramBuilder, Ty};
+use stride_prefetch::memsim::ProcessorConfig;
+use stride_prefetch::prefetch::PrefetchOptions;
+use stride_prefetch::vm::{Vm, VmConfig};
+
+fn build() -> (stride_prefetch::ir::Program, stride_prefetch::ir::MethodId) {
+    let mut pb = ProgramBuilder::new();
+    // class Particle { double x; ... } — 88 bytes, above half a cache line.
+    let (particle, pf) = pb.add_class(
+        "Particle",
+        &[
+            ("x", ElemTy::F64),
+            ("y", ElemTy::F64),
+            ("z", ElemTy::F64),
+            ("m", ElemTy::F64),
+            ("pad0", ElemTy::I64),
+            ("pad1", ElemTy::I64),
+            ("pad2", ElemTy::I64),
+            ("pad3", ElemTy::I64),
+            ("pad4", ElemTy::I64),
+        ],
+    );
+
+    // setup(n): allocate particles back to back (the co-allocation stride
+    // prefetching exploits) and store them in an array.
+    let setup = {
+        let mut b = pb.function("setup", &[Ty::I32], Some(Ty::Ref));
+        let n = b.param(0);
+        let arr = b.new_array(ElemTy::Ref, n);
+        b.for_i32(0, 1, CmpOp::Lt, |_| n, |b, i| {
+            let p = b.new_object(particle);
+            let x = b.convert(stride_prefetch::ir::Conv::I32ToF64, i);
+            b.putfield(p, pf[0], x);
+            b.astore(arr, i, p, ElemTy::Ref);
+        });
+        b.ret(Some(arr));
+        b.finish()
+    };
+
+    // sum(arr): the hot loop — loads every particle's x field.
+    let sum = {
+        let mut b = pb.function("sum", &[Ty::Ref], Some(Ty::I32));
+        let arr = b.param(0);
+        let acc = b.new_reg(Ty::F64);
+        let z = b.const_f64(0.0);
+        b.move_(acc, z);
+        b.for_i32(0, 1, CmpOp::Lt, |b| b.arraylen(arr), |b, i| {
+            let p = b.aload(arr, i, ElemTy::Ref);
+            let x = b.getfield(p, pf[0]);
+            let s = b.add(acc, x);
+            b.move_(acc, s);
+        });
+        let out = b.convert(stride_prefetch::ir::Conv::F64ToI32, acc);
+        b.ret(Some(out));
+        b.finish()
+    };
+
+    // main(): setup once, sum it a few times.
+    let main = {
+        let mut b = pb.function("main", &[], Some(Ty::I32));
+        let n = b.const_i32(40_000);
+        let arr = b.call(setup, &[n]);
+        let total = b.new_reg(Ty::I32);
+        let z = b.const_i32(0);
+        b.move_(total, z);
+        let reps = b.const_i32(3);
+        b.for_i32(0, 1, CmpOp::Lt, |_| reps, |b, _| {
+            let s = b.call(sum, &[arr]);
+            let t = b.add(total, s);
+            b.move_(total, t);
+        });
+        b.ret(Some(total));
+        b.finish()
+    };
+    (pb.finish(), main)
+}
+
+fn main() {
+    println!("quickstart: 40k particles, sequential field loads (88-byte stride)\n");
+    for options in [PrefetchOptions::off(), PrefetchOptions::inter_intra()] {
+        let (program, main) = build();
+        let mut vm = Vm::new(
+            program,
+            VmConfig {
+                heap_bytes: 16 << 20,
+                prefetch: options.clone(),
+                ..VmConfig::default()
+            },
+            ProcessorConfig::athlon_mp(),
+        );
+        // First call interprets and JIT-compiles; second call is steady
+        // state — measure that one, like the paper's best-run protocol.
+        let out = vm.call(main, &[]).expect("runs");
+        vm.reset_measurement();
+        let out2 = vm.call(main, &[]).expect("runs");
+        assert_eq!(out, out2, "prefetching must not change results");
+        let stats = vm.stats();
+        let mem = vm.mem_stats();
+        println!("mode {:<12}", options.mode.to_string());
+        println!("  cycles            {:>12}", stats.cycles);
+        println!("  retired instrs    {:>12}", stats.retired_instructions);
+        println!("  L1 load misses    {:>12}", mem.l1_load_misses);
+        println!("  prefetches issued {:>12}", mem.swpf_issued);
+        for report in vm.reports() {
+            if report.total_prefetches > 0 {
+                println!("  JIT report:\n{}", report.render());
+            }
+        }
+        println!();
+    }
+    println!("expected: INTER+INTRA cuts L1 misses and cycles on the Athlon MP,");
+    println!("whose prefetch instruction fills the L1 (see DESIGN.md).");
+    println!("result: Some(I32(..)) checksum identical in both configurations.");
+}

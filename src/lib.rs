@@ -1,0 +1,26 @@
+//! Stride Prefetching by Dynamically Inspecting Objects — full reproduction.
+//!
+//! This crate re-exports the workspace's public API in one place:
+//!
+//! * [`ir`] — the typed register IR, builder, and compiler analyses.
+//! * [`heap`] — object model, simulated heap, and compacting GC.
+//! * [`memsim`] — L1/L2/DTLB simulator with the Pentium 4 and Athlon MP
+//!   configurations of the paper's Table 2.
+//! * [`vm`] — the mixed-mode execution engine ("the JVM").
+//! * [`prefetch`] — the paper's contribution: object inspection, the load
+//!   dependence graph, stride detection, and prefetch code generation.
+//! * [`lang`] — a miniature Java-like frontend that lowers to the IR.
+//! * [`workloads`] — the twelve miniature benchmarks of Table 3.
+//! * [`bench`] — the experiment harness regenerating every table and figure.
+//!
+//! See the repository `README.md` for a tour and `EXPERIMENTS.md` for
+//! paper-vs-measured results.
+
+pub use spf_bench as bench;
+pub use spf_core as prefetch;
+pub use spf_heap as heap;
+pub use spf_ir as ir;
+pub use spf_lang as lang;
+pub use spf_memsim as memsim;
+pub use spf_vm as vm;
+pub use spf_workloads as workloads;

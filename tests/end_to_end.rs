@@ -1,0 +1,196 @@
+//! End-to-end correctness: every workload must compute the same checksum
+//! under every prefetch configuration — the optimizer may only change
+//! *when* memory moves, never what the program computes.
+
+use stride_prefetch::memsim::ProcessorConfig;
+use stride_prefetch::prefetch::PrefetchOptions;
+use stride_prefetch::vm::{Vm, VmConfig};
+use stride_prefetch::workloads::{self, Size};
+
+fn checksum(
+    spec: &workloads::WorkloadSpec,
+    options: PrefetchOptions,
+    proc: ProcessorConfig,
+) -> (i32, i32) {
+    let built = (spec.build)(Size::Tiny);
+    let mut vm = Vm::new(
+        built.program,
+        VmConfig {
+            heap_bytes: built.heap_bytes,
+            prefetch: options,
+            compile_threshold: built.compile_threshold,
+            ..VmConfig::default()
+        },
+        proc,
+    );
+    let first = vm
+        .call(built.entry, &[])
+        .unwrap_or_else(|e| panic!("{} faulted: {e}", spec.name))
+        .expect("returns checksum")
+        .as_i32();
+    let second = vm
+        .call(built.entry, &[])
+        .unwrap_or_else(|e| panic!("{} faulted on 2nd run: {e}", spec.name))
+        .expect("returns checksum")
+        .as_i32();
+    (first, second)
+}
+
+#[test]
+fn all_workloads_agree_across_configurations() {
+    for spec in workloads::all() {
+        let (base1, base2) = checksum(
+            &spec,
+            PrefetchOptions::off(),
+            ProcessorConfig::pentium4(),
+        );
+        assert_eq!(
+            base1, base2,
+            "{}: deterministic across repeat invocations",
+            spec.name
+        );
+        for proc in [ProcessorConfig::pentium4(), ProcessorConfig::athlon_mp()] {
+            for options in [PrefetchOptions::inter(), PrefetchOptions::inter_intra()] {
+                let (c1, c2) = checksum(&spec, options.clone(), proc.clone());
+                assert_eq!(
+                    (c1, c2),
+                    (base1, base2),
+                    "{} on {} under {}: prefetching changed the result",
+                    spec.name,
+                    proc.name,
+                    options.mode
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn compiled_code_runs_after_warmup() {
+    for spec in workloads::all() {
+        let built = (spec.build)(Size::Tiny);
+        let entry = built.entry;
+        let mut vm = Vm::new(
+            built.program,
+            VmConfig {
+                heap_bytes: built.heap_bytes,
+                compile_threshold: built.compile_threshold,
+                ..VmConfig::default()
+            },
+            ProcessorConfig::pentium4(),
+        );
+        vm.call(entry, &[]).unwrap();
+        vm.call(entry, &[]).unwrap();
+        assert!(
+            vm.stats().methods_compiled > 0,
+            "{}: nothing was JIT-compiled",
+            spec.name
+        );
+        // Measurement protocol: steady-state run attributes most cycles to
+        // compiled code for the compute-heavy workloads.
+        vm.reset_measurement();
+        vm.call(entry, &[]).unwrap();
+        let frac = vm.stats().compiled_code_fraction();
+        // jack and MonteCarlo are interpreter-heavy by design (Table 3);
+        // everything must at least execute *some* compiled code.
+        assert!(
+            frac > 0.01,
+            "{}: compiled-code fraction suspiciously low ({frac:.2})",
+            spec.name
+        );
+    }
+}
+
+#[test]
+fn reports_are_consistent_with_generated_code() {
+    // For each workload, the number of prefetch/spec-load instructions in
+    // the compiled bodies must equal what the reports claim.
+    for spec in workloads::all() {
+        let built = (spec.build)(Size::Tiny);
+        let entry = built.entry;
+        let mut vm = Vm::new(
+            built.program,
+            VmConfig {
+                heap_bytes: built.heap_bytes,
+                compile_threshold: built.compile_threshold,
+                ..VmConfig::default()
+            },
+            ProcessorConfig::pentium4(),
+        );
+        vm.call(entry, &[]).unwrap();
+        vm.call(entry, &[]).unwrap();
+        let reported: usize = vm.reports().iter().map(|r| r.total_prefetches).sum();
+        let issued = vm.mem_stats().swpf_issued + vm.mem_stats().guarded_loads;
+        if reported == 0 {
+            assert_eq!(
+                issued, 0,
+                "{}: prefetches executed but none reported",
+                spec.name
+            );
+        }
+    }
+}
+
+#[test]
+fn inlining_preserves_every_workload_checksum() {
+    // The paper's JIT inlines (jess's findInMemory "is inlined into" the
+    // hottest method); enabling our inliner must not change any result.
+    for spec in workloads::all() {
+        let reference = checksum(
+            &spec,
+            PrefetchOptions::inter_intra(),
+            ProcessorConfig::pentium4(),
+        );
+        let built = (spec.build)(Size::Tiny);
+        let mut vm = Vm::new(
+            built.program,
+            VmConfig {
+                heap_bytes: built.heap_bytes,
+                compile_threshold: built.compile_threshold,
+                inline_small_methods: true,
+                ..VmConfig::default()
+            },
+            ProcessorConfig::pentium4(),
+        );
+        let c1 = vm.call(built.entry, &[]).unwrap().unwrap().as_i32();
+        let c2 = vm.call(built.entry, &[]).unwrap().unwrap().as_i32();
+        assert_eq!(
+            (c1, c2),
+            reference,
+            "{}: inlining changed the result",
+            spec.name
+        );
+    }
+}
+
+#[test]
+fn unrolling_preserves_every_workload_checksum() {
+    // §3.3: unrolling stretches the effective prefetch distance; it must
+    // never change results, for any workload, combined with prefetching.
+    for spec in workloads::all() {
+        let reference = checksum(
+            &spec,
+            PrefetchOptions::inter_intra(),
+            ProcessorConfig::pentium4(),
+        );
+        let built = (spec.build)(Size::Tiny);
+        let mut vm = Vm::new(
+            built.program,
+            VmConfig {
+                heap_bytes: built.heap_bytes,
+                compile_threshold: built.compile_threshold,
+                unroll_factor: 4,
+                ..VmConfig::default()
+            },
+            ProcessorConfig::pentium4(),
+        );
+        let c1 = vm.call(built.entry, &[]).unwrap().unwrap().as_i32();
+        let c2 = vm.call(built.entry, &[]).unwrap().unwrap().as_i32();
+        assert_eq!(
+            (c1, c2),
+            reference,
+            "{}: unrolling changed the result",
+            spec.name
+        );
+    }
+}

@@ -1,0 +1,104 @@
+//! GC × prefetching interaction: collections move objects (sliding
+//! compaction), which invalidates previously learned absolute addresses —
+//! but never correctness, and the preserved allocation order keeps the
+//! strides the prefetches rely on.
+
+use stride_prefetch::heap::Value;
+use stride_prefetch::ir::{CmpOp, ElemTy, ProgramBuilder, Ty};
+use stride_prefetch::memsim::ProcessorConfig;
+use stride_prefetch::prefetch::PrefetchOptions;
+use stride_prefetch::vm::{Vm, VmConfig};
+
+/// Builds a program that allocates garbage between useful nodes, forcing
+/// collections, then repeatedly walks the surviving structure.
+fn build() -> (stride_prefetch::ir::Program, stride_prefetch::ir::MethodId) {
+    let mut pb = ProgramBuilder::new();
+    let (node, nf) = pb.add_class(
+        "Node",
+        &[
+            ("v", ElemTy::I32),
+            ("data", ElemTy::Ref),
+            ("pad0", ElemTy::I64),
+            ("pad1", ElemTy::I64),
+            ("pad2", ElemTy::I64),
+            ("pad3", ElemTy::I64),
+            ("pad4", ElemTy::I64),
+            ("pad5", ElemTy::I64),
+            ("pad6", ElemTy::I64),
+        ],
+    );
+    let walk = {
+        let mut b = pb.function("walk", &[Ty::Ref], Some(Ty::I32));
+        let arr = b.param(0);
+        let acc = b.new_reg(Ty::I32);
+        let z = b.const_i32(0);
+        b.move_(acc, z);
+        b.for_i32(0, 1, CmpOp::Lt, |b| b.arraylen(arr), |b, i| {
+            let n = b.aload(arr, i, ElemTy::Ref);
+            let v = b.getfield(n, nf[0]);
+            let d = b.getfield(n, nf[1]);
+            let zero = b.const_i32(0);
+            let d0 = b.aload(d, zero, ElemTy::I32);
+            let s1 = b.add(acc, v);
+            let s2 = b.add(s1, d0);
+            b.move_(acc, s2);
+        });
+        b.ret(Some(acc));
+        b.finish()
+    };
+    let main = {
+        let mut b = pb.function("main", &[], Some(Ty::I32));
+        let n = b.const_i32(2000);
+        let arr = b.new_array(ElemTy::Ref, n);
+        b.for_i32(0, 1, CmpOp::Lt, |_| n, |b, i| {
+            // Garbage between live pairs: freed by GC, leaving uniform
+            // gaps that sliding compaction closes.
+            let _garbage = b.new_object(node);
+            let keep = b.new_object(node);
+            let one = b.const_i32(4);
+            let data = b.new_array(ElemTy::I32, one);
+            b.putfield(keep, nf[0], i);
+            b.putfield(keep, nf[1], data);
+            let zero = b.const_i32(0);
+            b.astore(data, zero, i, ElemTy::I32);
+            b.astore(arr, i, keep, ElemTy::Ref);
+        });
+        let acc = b.new_reg(Ty::I32);
+        let z = b.const_i32(0);
+        b.move_(acc, z);
+        let reps = b.const_i32(6);
+        b.for_i32(0, 1, CmpOp::Lt, |_| reps, |b, _| {
+            let s = b.call(walk, &[arr]);
+            let t = b.add(acc, s);
+            b.move_(acc, t);
+        });
+        b.ret(Some(acc));
+        b.finish()
+    };
+    (pb.finish(), main)
+}
+
+#[test]
+fn gc_under_prefetching_is_correct_and_strides_survive() {
+    let mut outs = Vec::new();
+    for options in [PrefetchOptions::off(), PrefetchOptions::inter_intra()] {
+        let (program, main) = build();
+        let mut vm = Vm::new(
+            program,
+            VmConfig {
+                // Small heap: allocation churn forces several collections.
+                heap_bytes: 600 << 10,
+                prefetch: options,
+                ..VmConfig::default()
+            },
+            ProcessorConfig::athlon_mp(),
+        );
+        let a = vm.call(main, &[]).expect("first run");
+        let b = vm.call(main, &[]).expect("second run");
+        assert_eq!(a, b, "deterministic across runs");
+        assert!(vm.stats().gc_count > 0, "collections must have happened");
+        outs.push(a);
+    }
+    assert_eq!(outs[0], outs[1], "GC + prefetching preserve semantics");
+    assert_eq!(outs[0], Some(Value::I32(6 * 2 * (0..2000).sum::<i32>())));
+}

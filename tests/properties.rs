@@ -1,0 +1,184 @@
+//! Property-based tests spanning crates.
+
+use proptest::prelude::*;
+use stride_prefetch::heap::Value;
+use stride_prefetch::memsim::{MemorySystem, ProcessorConfig};
+use stride_prefetch::prefetch::PrefetchOptions;
+use stride_prefetch::vm::{Vm, VmConfig};
+use stride_prefetch::workloads::{self, Size};
+
+// ---------------------------------------------------------------------
+// Language/VM semantics: random integer expression trees evaluated by the
+// whole stack (lexer -> parser -> lowering -> passes -> interpreter) must
+// match a reference evaluation in Rust.
+// ---------------------------------------------------------------------
+
+#[derive(Clone, Debug)]
+enum E {
+    Lit(i32),
+    Var, // the single parameter x
+    Add(Box<E>, Box<E>),
+    Sub(Box<E>, Box<E>),
+    Mul(Box<E>, Box<E>),
+    Lt(Box<E>, Box<E>),
+}
+
+impl E {
+    fn to_src(&self) -> String {
+        match self {
+            E::Lit(v) => {
+                if *v < 0 {
+                    format!("(0 - {})", v.unsigned_abs())
+                } else {
+                    format!("{v}")
+                }
+            }
+            E::Var => "x".to_string(),
+            E::Add(a, b) => format!("({} + {})", a.to_src(), b.to_src()),
+            E::Sub(a, b) => format!("({} - {})", a.to_src(), b.to_src()),
+            E::Mul(a, b) => format!("({} * {})", a.to_src(), b.to_src()),
+            E::Lt(a, b) => format!("({} < {})", a.to_src(), b.to_src()),
+        }
+    }
+
+    fn eval(&self, x: i32) -> i32 {
+        match self {
+            E::Lit(v) => *v,
+            E::Var => x,
+            E::Add(a, b) => a.eval(x).wrapping_add(b.eval(x)),
+            E::Sub(a, b) => a.eval(x).wrapping_sub(b.eval(x)),
+            E::Mul(a, b) => a.eval(x).wrapping_mul(b.eval(x)),
+            E::Lt(a, b) => (a.eval(x) < b.eval(x)) as i32,
+        }
+    }
+}
+
+fn arb_expr() -> impl Strategy<Value = E> {
+    let leaf = prop_oneof![
+        (-1000i32..1000).prop_map(E::Lit),
+        Just(E::Var),
+    ];
+    leaf.prop_recursive(4, 24, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Add(a.into(), b.into())),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Sub(a.into(), b.into())),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Mul(a.into(), b.into())),
+            (inner.clone(), inner).prop_map(|(a, b)| E::Lt(a.into(), b.into())),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn lang_expressions_match_reference(e in arb_expr(), x in -1000i32..1000) {
+        let src = format!("int f(int x) {{ return {}; }}", e.to_src());
+        let program = stride_prefetch::lang::compile(&src)
+            .unwrap_or_else(|err| panic!("compile error {err} in {src}"));
+        let mid = program.method_by_name("f").unwrap();
+        let mut vm = Vm::new(program, VmConfig::default(), ProcessorConfig::pentium4());
+        // Run twice: once interpreted, once JIT-compiled (constant folding,
+        // copy propagation, DCE all run) — both must match the reference.
+        let a = vm.call(mid, &[Value::I32(x)]).unwrap();
+        let b = vm.call(mid, &[Value::I32(x)]).unwrap();
+        prop_assert_eq!(a, Some(Value::I32(e.eval(x))), "interpreted, src={}", src);
+        prop_assert_eq!(b, Some(Value::I32(e.eval(x))), "compiled, src={}", src);
+    }
+
+    // -------------------------------------------------------------------
+    // Memory-system invariants over random access streams.
+    // -------------------------------------------------------------------
+
+    #[test]
+    fn memsim_counters_are_consistent(
+        addrs in prop::collection::vec(0x10_0000u64..0x50_0000, 1..300),
+        prefetch_every in 1usize..8,
+    ) {
+        let mut m = MemorySystem::new(ProcessorConfig::pentium4());
+        let mut now = 0u64;
+        for (i, &a) in addrs.iter().enumerate() {
+            if i % prefetch_every == 0 {
+                now += m.software_prefetch(a ^ 0x40, now);
+            }
+            now += m.load(a, now);
+        }
+        let s = m.stats();
+        prop_assert_eq!(s.loads, addrs.len() as u64);
+        prop_assert!(s.l1_load_misses <= s.loads);
+        prop_assert!(s.l2_load_misses <= s.l1_load_misses,
+            "an L2 miss event implies an L1 miss event");
+        prop_assert!(s.dtlb_load_misses <= s.loads);
+        prop_assert!(s.swpf_dropped_tlb <= s.swpf_issued);
+        prop_assert!(s.swpf_fills <= s.swpf_issued);
+    }
+
+    #[test]
+    fn memsim_second_access_hits(
+        addr in 0x10_0000u64..0x40_0000,
+        gap in 0u64..64,
+    ) {
+        let mut m = MemorySystem::new(ProcessorConfig::athlon_mp());
+        let aligned = addr & !63;
+        let lat1 = m.load(aligned, 0);
+        let lat2 = m.load(aligned + gap, lat1);
+        // Second access to the same line is an L1 hit.
+        prop_assert_eq!(lat2, m.config().l1.hit_latency);
+        prop_assert_eq!(m.stats().l1_load_misses, 1);
+    }
+
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    // -------------------------------------------------------------------
+    // Optimizer fuzz: random configurations never change db's checksum.
+    // -------------------------------------------------------------------
+
+    #[test]
+    fn random_options_preserve_semantics(
+        iterations in 2u32..40,
+        majority in 0.3f64..1.0,
+        distance in 1u32..5,
+        min_samples in 2usize..8,
+        profitability in prop::bool::ANY,
+    ) {
+        let spec = workloads::all().into_iter().find(|s| s.name == "db").unwrap();
+        let reference = {
+            let built = (spec.build)(Size::Tiny);
+            let mut vm = Vm::new(
+                built.program,
+                VmConfig {
+                    heap_bytes: built.heap_bytes,
+                    prefetch: PrefetchOptions::off(),
+                    ..VmConfig::default()
+                },
+                ProcessorConfig::pentium4(),
+            );
+            vm.call(built.entry, &[]).unwrap()
+        };
+        let options = PrefetchOptions {
+            inspect_iterations: iterations,
+            majority,
+            distance,
+            min_samples,
+            profitability,
+            ..PrefetchOptions::inter_intra()
+        };
+        let built = (spec.build)(Size::Tiny);
+        let mut vm = Vm::new(
+            built.program,
+            VmConfig {
+                heap_bytes: built.heap_bytes,
+                prefetch: options,
+                ..VmConfig::default()
+            },
+            ProcessorConfig::pentium4(),
+        );
+        let out1 = vm.call(built.entry, &[]).unwrap();
+        let out2 = vm.call(built.entry, &[]).unwrap();
+        prop_assert_eq!(out1, reference.clone());
+        prop_assert_eq!(out2, reference);
+    }
+}
