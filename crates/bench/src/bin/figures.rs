@@ -1,33 +1,161 @@
 //! Regenerates every table and figure of the paper.
 //!
 //! ```text
-//! cargo run --release -p spf-bench --bin figures            # full size
-//! cargo run --release -p spf-bench --bin figures -- small   # quicker
-//! cargo run --release -p spf-bench --bin figures -- tiny db # one workload
+//! cargo run --release -p spf-bench --bin figures                  # full size
+//! cargo run --release -p spf-bench --bin figures -- small         # quicker
+//! cargo run --release -p spf-bench --bin figures -- tiny db       # one workload
+//! cargo run --release -p spf-bench --bin figures -- small --jobs 8
+//! cargo run --release -p spf-bench --bin figures -- tiny --verify-serial
 //! ```
+//!
+//! The experiment matrix is sharded across worker threads (`--jobs N`,
+//! `$SPF_JOBS`, default: available parallelism); parallelism never alters
+//! the simulated results. Each sweep also writes `BENCH_matrix.json`
+//! (override the path with `--matrix-out PATH`, disable with
+//! `--matrix-out -`) recording per-cell wall-clock and simulated cycles;
+//! compare two such files with the `bench_diff` binary.
+//!
+//! `--verify-serial` runs one cell both through the parallel scheduler and
+//! directly on the main thread, then diffs the two `Measurement`s field by
+//! field and exits (0 = identical).
 
-use spf_bench::figures;
+use std::process::ExitCode;
+use std::time::Instant;
+
 use spf_bench::RunPlan;
+use spf_bench::{figures, matrix, matrix_json};
 use spf_workloads::Size;
 
-fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let size = match args.first().map(String::as_str) {
-        Some("tiny") => Size::Tiny,
-        Some("small") => Size::Small,
-        _ => Size::Full,
+struct Args {
+    size: Size,
+    only: Option<String>,
+    jobs: usize,
+    verify_serial: bool,
+    matrix_out: Option<String>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        size: Size::Full,
+        only: None,
+        jobs: matrix::default_jobs(),
+        verify_serial: false,
+        matrix_out: Some("BENCH_matrix.json".to_string()),
     };
-    let only: Option<&str> = args.get(1).map(String::as_str);
+    let mut it = std::env::args().skip(1);
+    let mut positional: Vec<String> = Vec::new();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--jobs" => {
+                let v = it.next().ok_or("--jobs needs a value")?;
+                args.jobs = match v.parse() {
+                    Ok(n) if n >= 1 => n,
+                    _ => return Err(format!("--jobs needs a positive integer, got {v:?}")),
+                };
+            }
+            "--verify-serial" => args.verify_serial = true,
+            "--matrix-out" => {
+                let v = it
+                    .next()
+                    .ok_or("--matrix-out needs a path (or - to disable)")?;
+                args.matrix_out = if v == "-" { None } else { Some(v) };
+            }
+            _ => positional.push(a),
+        }
+    }
+    if let Some(s) = positional.first() {
+        args.size = match s.as_str() {
+            "tiny" => Size::Tiny,
+            "small" => Size::Small,
+            _ => Size::Full,
+        };
+    }
+    args.only = positional.get(1).cloned();
+    if let Some(only) = &args.only {
+        if !spf_workloads::registry::all()
+            .iter()
+            .any(|s| s.name == *only)
+        {
+            let names: Vec<_> = spf_workloads::registry::all()
+                .iter()
+                .map(|s| s.name)
+                .collect();
+            return Err(format!(
+                "unknown workload {only:?}; known workloads: {}",
+                names.join(", ")
+            ));
+        }
+    }
+    Ok(args)
+}
+
+/// Runs the first kept cell both through the parallel scheduler and
+/// directly, and diffs the resulting `Measurement`s.
+fn verify_serial(plan: &RunPlan, keep: impl Fn(&str) -> bool) -> ExitCode {
+    let cells = matrix::cells(keep);
+    let cell = cells.first().expect("no workload matches the filter");
+    eprintln!(
+        "verify-serial: {} / {} / {}",
+        cell.spec.name, cell.options.mode, cell.proc.name
+    );
+    let threaded = matrix::run_cells(plan, 2, std::slice::from_ref(cell));
+    let direct = spf_bench::run_workload(&cell.spec, &cell.options, &cell.proc, plan);
+    let diff = threaded[0].measurement.simulated_diff(&direct);
+    if diff.is_empty() {
+        println!("verify-serial: OK — parallel and serial measurements are identical");
+        ExitCode::SUCCESS
+    } else {
+        println!("verify-serial: MISMATCH");
+        for d in &diff {
+            println!("  {d}");
+        }
+        ExitCode::FAILURE
+    }
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
     let plan = RunPlan {
-        size,
+        size: args.size,
         ..RunPlan::default()
     };
+    let keep = |n: &str| args.only.as_deref().is_none_or(|o| o == n);
+
+    if args.verify_serial {
+        return verify_serial(&plan, keep);
+    }
 
     println!("{}", figures::table2());
     println!("{}", figures::table1_and_fig5());
 
-    eprintln!("running experiment grid (this takes a few minutes at full size)...");
-    let data = figures::collect_filtered(&plan, |n| only.is_none_or(|o| o == n));
+    eprintln!(
+        "running experiment grid on {} worker(s) (this takes a few minutes at full size)...",
+        args.jobs
+    );
+    let t0 = Instant::now();
+    let results = matrix::run_matrix(&plan, args.jobs, keep);
+    let total_wall = t0.elapsed().as_nanos();
+    eprintln!(
+        "grid done: {} cells in {:.2}s",
+        results.len(),
+        total_wall as f64 / 1e9
+    );
+
+    if let Some(path) = &args.matrix_out {
+        let json = matrix_json::emit(&results, args.size, args.jobs, total_wall);
+        match std::fs::write(path, json) {
+            Ok(()) => eprintln!("wrote {path}"),
+            Err(e) => eprintln!("warning: could not write {path}: {e}"),
+        }
+    }
+
+    let data = figures::from_measurements(results.into_iter().map(|r| r.measurement).collect());
     println!("{}", data.table3());
     println!("{}", data.fig6());
     println!("{}", data.fig7());
@@ -35,4 +163,5 @@ fn main() {
     println!("{}", data.fig9());
     println!("{}", data.fig10());
     println!("{}", data.fig11());
+    ExitCode::SUCCESS
 }

@@ -14,12 +14,12 @@
 
 use std::fmt::Write as _;
 
-use spf_core::{PrefetchMode, PrefetchOptions};
+use spf_core::PrefetchMode;
 use spf_memsim::ProcessorConfig;
 use spf_vm::{Vm, VmConfig};
 use spf_workloads::Size;
 
-use crate::runner::{run_workload, Measurement, RunPlan};
+use crate::runner::{Measurement, RunPlan};
 
 /// All measurements needed for Tables 3 and Figures 6–11.
 #[derive(Clone, Debug)]
@@ -29,38 +29,44 @@ pub struct ExperimentData {
 }
 
 /// Runs the full experiment grid: every workload × {BASELINE, INTER,
-/// INTER+INTRA} × {Pentium 4, Athlon MP}.
+/// INTER+INTRA} × {Pentium 4, Athlon MP}, sequentially.
 pub fn collect(plan: &RunPlan) -> ExperimentData {
     collect_filtered(plan, |_| true)
 }
 
 /// Like [`collect`] but restricted to workloads accepted by `keep` (used by
 /// tests and quick runs).
-pub fn collect_filtered(
+pub fn collect_filtered(plan: &RunPlan, keep: impl Fn(&str) -> bool) -> ExperimentData {
+    collect_filtered_jobs(plan, 1, keep)
+}
+
+/// Like [`collect_filtered`] but sharded across up to `jobs` worker
+/// threads ([`crate::matrix::run_cells`]); results are identical to the
+/// sequential sweep for any worker count.
+pub fn collect_filtered_jobs(
     plan: &RunPlan,
+    jobs: usize,
     keep: impl Fn(&str) -> bool,
 ) -> ExperimentData {
-    let mut measurements = Vec::new();
-    let mut suites = Vec::new();
-    for spec in spf_workloads::all() {
-        if !keep(spec.name) {
-            continue;
-        }
-        suites.push((
-            spec.name.to_string(),
-            spec.description.to_string(),
-            spec.suite.to_string(),
-        ));
-        for proc in [ProcessorConfig::pentium4(), ProcessorConfig::athlon_mp()] {
-            for options in [
-                PrefetchOptions::off(),
-                PrefetchOptions::inter(),
-                PrefetchOptions::inter_intra(),
-            ] {
-                measurements.push(run_workload(&spec, &options, &proc, plan));
-            }
-        }
-    }
+    let results = crate::matrix::run_matrix(plan, jobs, keep);
+    from_measurements(results.into_iter().map(|r| r.measurement).collect())
+}
+
+/// Assembles [`ExperimentData`] from already-collected measurements (e.g.
+/// the parallel matrix runner's output), attaching Table 3 metadata from
+/// the workload registry.
+pub fn from_measurements(measurements: Vec<Measurement>) -> ExperimentData {
+    let suites = spf_workloads::all()
+        .into_iter()
+        .filter(|s| measurements.iter().any(|m| m.name == s.name))
+        .map(|s| {
+            (
+                s.name.to_string(),
+                s.description.to_string(),
+                s.suite.to_string(),
+            )
+        })
+        .collect();
     ExperimentData {
         measurements,
         suites,
@@ -121,11 +127,7 @@ impl ExperimentData {
         )
     }
 
-    fn mpi_figure(
-        &self,
-        title: &str,
-        metric: impl Fn(&Measurement) -> f64,
-    ) -> String {
+    fn mpi_figure(&self, title: &str, metric: impl Fn(&Measurement) -> f64) -> String {
         let mut s = String::new();
         let _ = writeln!(s, "{title}");
         let _ = writeln!(

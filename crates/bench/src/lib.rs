@@ -10,6 +10,8 @@
 //! warm-up phase, where compilation actually happens.
 
 pub mod figures;
+pub mod matrix;
+pub mod matrix_json;
 pub mod runner;
 
 pub use runner::{run_workload, Measurement, RunPlan};

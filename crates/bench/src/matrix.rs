@@ -1,0 +1,218 @@
+//! Parallel execution of the experiment matrix.
+//!
+//! Every (workload, processor, prefetch mode) cell of the paper's grid is
+//! an independent simulation: each cell builds its own [`spf_vm::Vm`],
+//! heap, and memory system, and shares no mutable state with any other
+//! cell. That makes the sweep embarrassingly parallel — cells are handed
+//! to a bounded pool of `std::thread` workers through an atomic cursor and
+//! the results are re-assembled in canonical matrix order, so the output
+//! is identical to a sequential sweep regardless of the worker count or
+//! scheduling. The checksum cross-check at the join point enforces the
+//! other half of the invariant: a workload computes the same answer in
+//! all six of its configurations.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
+
+use spf_core::PrefetchOptions;
+use spf_memsim::ProcessorConfig;
+use spf_workloads::WorkloadSpec;
+
+use crate::runner::{run_workload, Measurement, RunPlan};
+
+/// One matrix cell: a workload under one prefetch configuration on one
+/// simulated processor.
+#[derive(Clone, Debug)]
+pub struct Cell {
+    /// The workload to run.
+    pub spec: WorkloadSpec,
+    /// The simulated processor.
+    pub proc: ProcessorConfig,
+    /// The prefetch configuration.
+    pub options: PrefetchOptions,
+}
+
+/// A completed cell: the measurement plus how long the host spent on it.
+#[derive(Clone, Debug)]
+pub struct CellResult {
+    /// The simulated measurement (independent of scheduling).
+    pub measurement: Measurement,
+    /// Host wall-clock nanoseconds spent simulating this cell.
+    pub wall_nanos: u128,
+}
+
+/// Enumerates the matrix in canonical order — workloads in Table 3
+/// (registry) order × {Pentium 4, Athlon MP} × {BASELINE, INTER,
+/// INTER+INTRA} — restricted to workloads accepted by `keep`.
+pub fn cells(keep: impl Fn(&str) -> bool) -> Vec<Cell> {
+    let mut out = Vec::new();
+    for spec in spf_workloads::all() {
+        if !keep(spec.name) {
+            continue;
+        }
+        for proc in [ProcessorConfig::pentium4(), ProcessorConfig::athlon_mp()] {
+            for options in [
+                PrefetchOptions::off(),
+                PrefetchOptions::inter(),
+                PrefetchOptions::inter_intra(),
+            ] {
+                out.push(Cell {
+                    spec: spec.clone(),
+                    proc: proc.clone(),
+                    options,
+                });
+            }
+        }
+    }
+    out
+}
+
+/// The default worker count: `$SPF_JOBS` when set to a positive integer,
+/// otherwise the host's available parallelism.
+pub fn default_jobs() -> usize {
+    if let Ok(v) = std::env::var("SPF_JOBS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+}
+
+fn run_cell(plan: &RunPlan, cell: &Cell) -> CellResult {
+    let t0 = Instant::now();
+    let measurement = run_workload(&cell.spec, &cell.options, &cell.proc, plan);
+    CellResult {
+        measurement,
+        wall_nanos: t0.elapsed().as_nanos(),
+    }
+}
+
+/// Runs `cells` on up to `jobs` worker threads, returning results in the
+/// same order as the input regardless of scheduling.
+///
+/// # Panics
+///
+/// Panics if a workload faults (propagating the worker's panic).
+pub fn run_cells(plan: &RunPlan, jobs: usize, cells: &[Cell]) -> Vec<CellResult> {
+    let jobs = jobs.clamp(1, cells.len().max(1));
+    if jobs == 1 {
+        return cells.iter().map(|c| run_cell(plan, c)).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let mut slots: Vec<Option<CellResult>> = vec![None; cells.len()];
+    std::thread::scope(|s| {
+        let workers: Vec<_> = (0..jobs)
+            .map(|_| {
+                s.spawn(|| {
+                    // Claim cells through the shared cursor; keep results
+                    // local until the join to avoid any lock on the hot
+                    // path.
+                    let mut done: Vec<(usize, CellResult)> = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= cells.len() {
+                            break;
+                        }
+                        done.push((i, run_cell(plan, &cells[i])));
+                    }
+                    done
+                })
+            })
+            .collect();
+        for w in workers {
+            match w.join() {
+                Ok(done) => {
+                    for (i, r) in done {
+                        slots[i] = Some(r);
+                    }
+                }
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
+        }
+    });
+    slots
+        .into_iter()
+        .map(|r| r.expect("every cell was claimed by a worker"))
+        .collect()
+}
+
+/// Runs the whole (filtered) matrix on up to `jobs` workers and verifies
+/// the cross-configuration checksum invariant at the join point.
+///
+/// # Panics
+///
+/// Panics if a workload faults or if a workload's checksum differs
+/// between any two of its configurations.
+pub fn run_matrix(plan: &RunPlan, jobs: usize, keep: impl Fn(&str) -> bool) -> Vec<CellResult> {
+    let results = run_cells(plan, jobs, &cells(keep));
+    assert_checksums_agree(&results);
+    results
+}
+
+/// Asserts that every workload produced the same checksum in all of its
+/// configurations — prefetching (and parallel scheduling) must never
+/// change what a program computes.
+///
+/// # Panics
+///
+/// Panics on the first disagreement.
+pub fn assert_checksums_agree(results: &[CellResult]) {
+    let mut seen: Vec<(&str, i32)> = Vec::new();
+    for r in results {
+        let m = &r.measurement;
+        match seen.iter().find(|(n, _)| *n == m.name) {
+            Some((_, expected)) => assert_eq!(
+                m.checksum, *expected,
+                "{} checksum differs under {} / {}",
+                m.name, m.mode, m.processor
+            ),
+            None => seen.push((m.name.as_str(), m.checksum)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spf_workloads::Size;
+
+    fn tiny_plan() -> RunPlan {
+        RunPlan {
+            size: Size::Tiny,
+            warmup_runs: 2,
+            measured_runs: 1,
+        }
+    }
+
+    #[test]
+    fn cells_enumerate_in_matrix_order() {
+        let cs = cells(|_| true);
+        assert_eq!(cs.len(), 12 * 2 * 3);
+        // First workload occupies the first six cells: P4 then Athlon,
+        // each OFF/INTER/INTER+INTRA.
+        assert!(cs[..6].iter().all(|c| c.spec.name == cs[0].spec.name));
+        assert_eq!(cs[0].proc.name, "Pentium 4");
+        assert_eq!(cs[3].proc.name, "Athlon MP");
+    }
+
+    #[test]
+    fn parallel_run_is_bit_identical_to_sequential() {
+        let plan = tiny_plan();
+        let keep = |n: &str| n == "db";
+        let seq = run_matrix(&plan, 1, keep);
+        let par = run_matrix(&plan, 4, keep);
+        assert_eq!(seq.len(), 6);
+        assert_eq!(par.len(), 6);
+        for (a, b) in seq.iter().zip(&par) {
+            let diff = a.measurement.simulated_diff(&b.measurement);
+            assert!(diff.is_empty(), "parallel run diverged: {diff:?}");
+        }
+    }
+
+    #[test]
+    fn default_jobs_is_positive() {
+        assert!(default_jobs() >= 1);
+    }
+}

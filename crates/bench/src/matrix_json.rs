@@ -1,0 +1,165 @@
+//! `BENCH_matrix.json` — a machine-readable record of one matrix sweep.
+//!
+//! The emitter writes one JSON object per cell on its own line; the parser
+//! reads exactly that shape back. Both are hand-rolled (the build
+//! environment has no registry access, so serde is not available) and are
+//! only promised to round-trip files produced by [`emit`] — this is a
+//! benchmark log format, not a general JSON library.
+
+use spf_workloads::Size;
+
+use crate::matrix::CellResult;
+
+/// The per-cell numbers recorded in `BENCH_matrix.json`.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct CellSummary {
+    /// Workload name.
+    pub name: String,
+    /// Prefetch mode (display form, e.g. `INTER+INTRA`).
+    pub mode: String,
+    /// Processor name.
+    pub processor: String,
+    /// Best steady-state simulated cycles.
+    pub best_cycles: u64,
+    /// Retired instructions in the best run.
+    pub retired: u64,
+    /// Host wall-clock nanoseconds spent simulating the cell.
+    pub wall_nanos: u128,
+    /// The workload's checksum.
+    pub checksum: i32,
+}
+
+impl CellSummary {
+    /// The (workload, mode, processor) key identifying this cell.
+    pub fn key(&self) -> (String, String, String) {
+        (self.name.clone(), self.mode.clone(), self.processor.clone())
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// Renders a sweep as `BENCH_matrix.json`.
+pub fn emit(results: &[CellResult], size: Size, jobs: usize, total_wall_nanos: u128) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str(&format!("  \"size\": \"{size:?}\",\n"));
+    s.push_str(&format!("  \"jobs\": {jobs},\n"));
+    s.push_str(&format!("  \"total_wall_nanos\": {total_wall_nanos},\n"));
+    s.push_str("  \"cells\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        let m = &r.measurement;
+        s.push_str(&format!(
+            "    {{\"name\": \"{}\", \"mode\": \"{}\", \"processor\": \"{}\", \
+             \"best_cycles\": {}, \"retired\": {}, \"wall_nanos\": {}, \"checksum\": {}}}{}\n",
+            escape(&m.name),
+            escape(&m.mode.to_string()),
+            escape(&m.processor),
+            m.best_cycles,
+            m.retired,
+            r.wall_nanos,
+            m.checksum,
+            if i + 1 == results.len() { "" } else { "," }
+        ));
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+fn field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let pat = format!("\"{key}\": ");
+    let start = line.find(&pat)? + pat.len();
+    let rest = &line[start..];
+    if let Some(stripped) = rest.strip_prefix('"') {
+        stripped.split('"').next()
+    } else {
+        rest.split([',', '}']).next()
+    }
+}
+
+/// Parses a file produced by [`emit`] back into its cells.
+///
+/// # Errors
+///
+/// Returns a message naming the first malformed cell line.
+pub fn parse(text: &str) -> Result<Vec<CellSummary>, String> {
+    let mut cells = Vec::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if !(line.starts_with('{') && line.contains("\"name\"")) {
+            continue;
+        }
+        let get = |key: &str| {
+            field(line, key).ok_or_else(|| format!("missing field {key} in line: {line}"))
+        };
+        cells.push(CellSummary {
+            name: get("name")?.to_string(),
+            mode: get("mode")?.to_string(),
+            processor: get("processor")?.to_string(),
+            best_cycles: get("best_cycles")?
+                .parse()
+                .map_err(|e| format!("bad best_cycles in {line}: {e}"))?,
+            retired: get("retired")?
+                .parse()
+                .map_err(|e| format!("bad retired in {line}: {e}"))?,
+            wall_nanos: get("wall_nanos")?
+                .parse()
+                .map_err(|e| format!("bad wall_nanos in {line}: {e}"))?,
+            checksum: get("checksum")?
+                .parse()
+                .map_err(|e| format!("bad checksum in {line}: {e}"))?,
+        });
+    }
+    Ok(cells)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::Measurement;
+    use spf_core::PrefetchMode;
+    use spf_memsim::MemStats;
+
+    fn sample(name: &str, mode: PrefetchMode, cycles: u64) -> CellResult {
+        CellResult {
+            measurement: Measurement {
+                name: name.to_string(),
+                mode,
+                processor: "Pentium 4".to_string(),
+                best_cycles: cycles,
+                retired: 1000,
+                mem: MemStats::default(),
+                compiled_fraction: 0.5,
+                jit_fraction: 0.1,
+                prefetch_pass_fraction: 0.2,
+                prefetches_inserted: 3,
+                checksum: 42,
+            },
+            wall_nanos: 12_345,
+        }
+    }
+
+    #[test]
+    fn emit_parse_round_trip() {
+        let results = vec![
+            sample("db", PrefetchMode::Off, 100),
+            sample("db", PrefetchMode::InterIntra, 80),
+        ];
+        let text = emit(&results, Size::Tiny, 4, 99_999);
+        let cells = parse(&text).unwrap();
+        assert_eq!(cells.len(), 2);
+        assert_eq!(cells[0].name, "db");
+        assert_eq!(cells[0].mode, "BASELINE");
+        assert_eq!(cells[1].mode, "INTER+INTRA");
+        assert_eq!(cells[1].best_cycles, 80);
+        assert_eq!(cells[0].wall_nanos, 12_345);
+        assert_eq!(cells[0].checksum, 42);
+    }
+
+    #[test]
+    fn parse_rejects_malformed_cells() {
+        let text = "{\"name\": \"db\", \"mode\": \"BASELINE\"}";
+        assert!(parse(text).is_err());
+    }
+}

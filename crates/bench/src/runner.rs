@@ -60,6 +60,40 @@ impl Measurement {
         assert_eq!(self.name, baseline.name);
         baseline.best_cycles as f64 / self.best_cycles as f64
     }
+
+    /// Compares every *simulation-determined* field against `other`,
+    /// returning a description of each difference (empty = identical).
+    ///
+    /// `jit_fraction` and `prefetch_pass_fraction` are excluded on
+    /// purpose: they are ratios of host wall-clock times, which vary from
+    /// run to run even when the simulation is bit-identical. Everything
+    /// the simulator itself computes — cycles, instruction counts, memory
+    /// counters, checksums — must match exactly.
+    pub fn simulated_diff(&self, other: &Measurement) -> Vec<String> {
+        let mut diff = Vec::new();
+        macro_rules! cmp {
+            ($field:ident) => {
+                if self.$field != other.$field {
+                    diff.push(format!(
+                        "{}: {:?} != {:?}",
+                        stringify!($field),
+                        self.$field,
+                        other.$field
+                    ));
+                }
+            };
+        }
+        cmp!(name);
+        cmp!(mode);
+        cmp!(processor);
+        cmp!(best_cycles);
+        cmp!(retired);
+        cmp!(mem);
+        cmp!(compiled_fraction);
+        cmp!(prefetches_inserted);
+        cmp!(checksum);
+        diff
+    }
 }
 
 /// Runs `spec` under `options` on `proc` according to `plan`.
@@ -114,7 +148,7 @@ pub fn run_workload(
             best = Some((
                 s.cycles,
                 s.retired_instructions,
-                vm.mem_stats().clone(),
+                *vm.mem_stats(),
                 s.compiled_code_fraction(),
             ));
         }

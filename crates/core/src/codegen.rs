@@ -198,14 +198,11 @@ impl<'a> PrefetchCodegen<'a> {
                         0x8000_0000 | arr.index() as u32,
                         spf_heap::ARRAY_DATA_OFFSET as i64 + d * c,
                     ),
-                    Instr::ArrayLen { arr, .. } => {
-                        (0x8000_0000 | arr.index() as u32, 8 + d * c)
-                    }
+                    Instr::ArrayLen { arr, .. } => (0x8000_0000 | arr.index() as u32, 8 + d * c),
                     _ => (lx.index() as u32, 0),
                 };
                 if self.options.profitability
-                    && (!stride_is_profitable(d, line)
-                        || !issued.claim(claim_key, claim_off, line))
+                    && (!stride_is_profitable(d, line) || !issued.claim(claim_key, claim_off, line))
                 {
                     continue;
                 }
@@ -241,16 +238,14 @@ impl<'a> PrefetchCodegen<'a> {
             });
             for e in &successors {
                 let ly = e.to;
-                if !deref_worthy(&e) {
+                if !deref_worthy(e) {
                     continue; // covered by its own inter pattern, or cold
                 }
                 let Some(f_off) = self.f_offset(work, ldg.node(ly).site) else {
                     continue;
                 };
                 let anchor_key = lx.index() as u32;
-                if !self.options.profitability
-                    || issued.claim(anchor_key, f_off, line)
-                {
+                if !self.options.profitability || issued.claim(anchor_key, f_off, line) {
                     let kind = self.pick_kind(true, 0);
                     insert.push(Instr::Prefetch {
                         addr: PrefetchAddr::FieldOf {
@@ -279,9 +274,7 @@ impl<'a> PrefetchCodegen<'a> {
                         let total = acc + s;
                         stack.push((e2.to, total));
                         let offset = f_off + total;
-                        if self.options.profitability
-                            && !issued.claim(anchor_key, offset, line)
-                        {
+                        if self.options.profitability && !issued.claim(anchor_key, offset, line) {
                             continue;
                         }
                         let kind = self.pick_kind(true, total);
@@ -307,10 +300,7 @@ impl<'a> PrefetchCodegen<'a> {
 
 /// Applies planned insertions: rebuilds `func`'s blocks with each planned
 /// instruction sequence spliced in immediately after its anchor site.
-pub fn apply_insertions(
-    func: &mut Function,
-    insertions: &HashMap<InstrRef, Vec<Instr>>,
-) {
+pub fn apply_insertions(func: &mut Function, insertions: &HashMap<InstrRef, Vec<Instr>>) {
     if insertions.is_empty() {
         return;
     }

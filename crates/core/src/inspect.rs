@@ -24,7 +24,9 @@ use spf_heap::{
     static_addr, Addr, Heap, HeapRead, Value, ARRAY_DATA_OFFSET, NULL, PRIVATE_HEAP_BASE,
 };
 use spf_ir::loops::{LoopForest, LoopId};
-use spf_ir::{BinOp, BlockId, CmpOp, Conv, ElemTy, Function, Instr, InstrRef, Program, Terminator, UnOp};
+use spf_ir::{
+    BinOp, BlockId, CmpOp, Conv, ElemTy, Function, Instr, InstrRef, Program, Terminator, UnOp,
+};
 
 use crate::options::PrefetchOptions;
 
@@ -143,11 +145,7 @@ impl<'a> Inspector<'a> {
             regs[i] = Some(*a);
         }
         let mut shadow: HashMap<Addr, Option<Value>> = HashMap::new();
-        let mut private = Heap::with_base(
-            self.heap.layout().clone(),
-            1 << 20,
-            PRIVATE_HEAP_BASE,
-        );
+        let mut private = Heap::with_base(self.heap.layout().clone(), 1 << 20, PRIVATE_HEAP_BASE);
         let mut result = InspectionResult::default();
         let mut entries: HashMap<BlockId, u32> = HashMap::new(); // outside loops
         let mut entries_this_iter: HashMap<BlockId, u32> = HashMap::new(); // nested loops
@@ -221,9 +219,7 @@ impl<'a> Inspector<'a> {
         }
         // Iterations were counted on header entry; the last entry that
         // overflowed the budget is not a recorded iteration.
-        result.iterations = result
-            .iterations
-            .min(self.options.inspect_iterations);
+        result.iterations = result.iterations.min(self.options.inspect_iterations);
         result
     }
 
@@ -304,7 +300,12 @@ impl<'a> Inspector<'a> {
             Instr::PutStatic { sid, src } => {
                 shadow.insert(static_addr(*sid), regs[src.index()]);
             }
-            Instr::ALoad { dst, arr, idx, elem } => {
+            Instr::ALoad {
+                dst,
+                arr,
+                idx,
+                elem,
+            } => {
                 regs[dst.index()] = match (regs[arr.index()], regs[idx.index()]) {
                     (Some(Value::Ref(a)), Some(Value::I32(i))) if a != NULL => {
                         let addr = a
@@ -316,7 +317,12 @@ impl<'a> Inspector<'a> {
                     _ => None,
                 };
             }
-            Instr::AStore { arr, idx, src, elem } => {
+            Instr::AStore {
+                arr,
+                idx,
+                src,
+                elem,
+            } => {
                 if let (Some(Value::Ref(a)), Some(Value::I32(i))) =
                     (regs[arr.index()], regs[idx.index()])
                 {
@@ -358,8 +364,7 @@ impl<'a> Inspector<'a> {
                 // instead, still side-effect-free and budget-bounded.
                 let mut ret = None;
                 if self.options.inspect_calls && depth < self.options.max_call_depth {
-                    let argv: Vec<Option<Value>> =
-                        args.iter().map(|r| regs[r.index()]).collect();
+                    let argv: Vec<Option<Value>> = args.iter().map(|r| regs[r.index()]).collect();
                     ret = self.run_callee(*callee, argv, shadow, private, result, depth + 1);
                 }
                 if let Some(d) = dst {
@@ -495,9 +500,7 @@ impl<'a> Inspector<'a> {
                     }
                 }
                 match regs[cond.index()] {
-                    Some(Value::I32(v)) => {
-                        Flow::Goto(if v != 0 { *then_bb } else { *else_bb })
-                    }
+                    Some(Value::I32(v)) => Flow::Goto(if v != 0 { *then_bb } else { *else_bb }),
                     // Unknown condition: take the `then` arm. In the paper's
                     // motivating example the common path (a failed compare
                     // that `continue`s the outer loop) is the taken arm, and
@@ -638,12 +641,18 @@ mod tests {
         let sum = b.new_reg(Ty::I32);
         let z = b.const_i32(0);
         b.move_(sum, z);
-        b.for_i32(0, 1, CmpOp::Lt, |b| b.arraylen(arr), |b, i| {
-            let node = b.aload(arr, i, ElemTy::Ref);
-            let v = b.getfield(node, nf[0]);
-            let s = b.add(sum, v);
-            b.move_(sum, s);
-        });
+        b.for_i32(
+            0,
+            1,
+            CmpOp::Lt,
+            |b| b.arraylen(arr),
+            |b, i| {
+                let node = b.aload(arr, i, ElemTy::Ref);
+                let v = b.getfield(node, nf[0]);
+                let s = b.add(sum, v);
+                b.move_(sum, s);
+            },
+        );
         b.ret(Some(sum));
         let method = b.finish();
         let program = pb.finish();
@@ -745,18 +754,28 @@ mod tests {
         let mut pb = ProgramBuilder::new();
         let mut b = pb.function("clobber", &[Ty::Ref], None);
         let arr = b.param(0);
-        b.for_i32(0, 1, CmpOp::Lt, |b| b.arraylen(arr), |b, i| {
-            let c = b.const_i32(-1);
-            b.astore(arr, i, c, ElemTy::I32);
-        });
+        b.for_i32(
+            0,
+            1,
+            CmpOp::Lt,
+            |b| b.arraylen(arr),
+            |b, i| {
+                let c = b.const_i32(-1);
+                b.astore(arr, i, c, ElemTy::I32);
+            },
+        );
         let m = b.finish();
         let program = pb.finish();
         let layout = Layout::compute(&program);
         let mut heap = Heap::new(layout, 1 << 16);
         let arr_addr = heap.alloc_array(ElemTy::I32, 8).unwrap();
         for i in 0..8u64 {
-            heap.write(arr_addr + ARRAY_DATA_OFFSET + 4 * i, ElemTy::I32, Value::I32(7))
-                .unwrap();
+            heap.write(
+                arr_addr + ARRAY_DATA_OFFSET + 4 * i,
+                ElemTy::I32,
+                Value::I32(7),
+            )
+            .unwrap();
         }
         let func = program.method(m).func();
         let cfg = Cfg::compute(func);
@@ -787,13 +806,19 @@ mod tests {
         let out = b.new_reg(Ty::I32);
         let z = b.const_i32(0);
         b.move_(out, z);
-        b.for_i32(0, 1, CmpOp::Lt, |_| n, |b, _| {
-            let nine = b.const_i32(9);
-            b.putfield(obj, nf[0], nine);
-            let v = b.getfield(obj, nf[0]);
-            let s = b.add(out, v);
-            b.move_(out, s);
-        });
+        b.for_i32(
+            0,
+            1,
+            CmpOp::Lt,
+            |_| n,
+            |b, _| {
+                let nine = b.const_i32(9);
+                b.putfield(obj, nf[0], nine);
+                let v = b.getfield(obj, nf[0]);
+                let s = b.add(out, v);
+                b.move_(out, s);
+            },
+        );
         b.ret(Some(out));
         let m = b.finish();
         let program = pb.finish();
@@ -811,11 +836,7 @@ mod tests {
             .unwrap();
         let set: HashSet<InstrRef> = [gf].into_iter().collect();
         let insp = Inspector::new(&program, func, &heap, &[], &forest, &opts);
-        let res = insp.run(
-            &[Value::Ref(o), Value::I32(5)],
-            forest.roots()[0],
-            &set,
-        );
+        let res = insp.run(&[Value::Ref(o), Value::I32(5)], forest.roots()[0], &set);
         assert_eq!(res.iterations, 5);
         // The real heap still holds 0.
         assert_eq!(
@@ -834,13 +855,19 @@ mod tests {
         let acc = b.new_reg(Ty::I32);
         let z = b.const_i32(0);
         b.move_(acc, z);
-        b.for_i32(0, 1, CmpOp::Lt, |_| n, |b, i| {
-            let o = b.new_object(ncls);
-            b.putfield(o, nf[0], i);
-            let v = b.getfield(o, nf[0]);
-            let s = b.add(acc, v);
-            b.move_(acc, s);
-        });
+        b.for_i32(
+            0,
+            1,
+            CmpOp::Lt,
+            |_| n,
+            |b, i| {
+                let o = b.new_object(ncls);
+                b.putfield(o, nf[0], i);
+                let v = b.getfield(o, nf[0]);
+                let s = b.add(acc, v);
+                b.move_(acc, s);
+            },
+        );
         b.ret(Some(acc));
         let m = b.finish();
         let program = pb.finish();
@@ -867,12 +894,18 @@ mod tests {
         let mut b = pb.function("two_loops", &[Ty::I32], None);
         let n = b.param(0);
         // Pre-loop: count += 1 each iteration.
-        b.for_i32(0, 1, CmpOp::Lt, |_| n, |b, _| {
-            let c = b.getstatic(sid);
-            let one = b.const_i32(1);
-            let c2 = b.add(c, one);
-            b.putstatic(sid, c2);
-        });
+        b.for_i32(
+            0,
+            1,
+            CmpOp::Lt,
+            |_| n,
+            |b, _| {
+                let c = b.getstatic(sid);
+                let one = b.const_i32(1);
+                let c2 = b.add(c, one);
+                b.putstatic(sid, c2);
+            },
+        );
         // Target loop.
         b.for_i32(0, 1, CmpOp::Lt, |_| n, |_, _| {});
         let m = b.finish();
@@ -911,10 +944,16 @@ mod tests {
         cb.finish();
         let mut b = pb.function("u", &[Ty::I32], None);
         let n = b.param(0);
-        b.for_i32(0, 1, CmpOp::Lt, |_| n, |b, _| {
-            let c = b.call(callee, &[]);
-            b.if_else(c, |_| {}, |_| {});
-        });
+        b.for_i32(
+            0,
+            1,
+            CmpOp::Lt,
+            |_| n,
+            |b, _| {
+                let c = b.call(callee, &[]);
+                b.if_else(c, |_| {}, |_| {});
+            },
+        );
         let m = b.finish();
         let program = pb.finish();
         let layout = Layout::compute(&program);
@@ -973,12 +1012,18 @@ mod interprocedural_tests {
         let acc = b.new_reg(Ty::I32);
         let z = b.const_i32(0);
         b.move_(acc, z);
-        b.for_i32(0, 1, CmpOp::Lt, |b| b.arraylen(arr), |b, i| {
-            let node = b.call(get, &[arr, i]);
-            let v = b.getfield(node, nf[0]);
-            let s = b.add(acc, v);
-            b.move_(acc, s);
-        });
+        b.for_i32(
+            0,
+            1,
+            CmpOp::Lt,
+            |b| b.arraylen(arr),
+            |b, i| {
+                let node = b.call(get, &[arr, i]);
+                let v = b.getfield(node, nf[0]);
+                let s = b.add(acc, v);
+                b.move_(acc, s);
+            },
+        );
         b.ret(Some(acc));
         let walk = b.finish();
         let program = pb.finish();
@@ -1013,7 +1058,7 @@ mod interprocedural_tests {
         let opts = PrefetchOptions::default();
         let (res, gf) = inspect(&opts);
         assert!(
-            res.traces.get(&gf.unwrap()).is_none(),
+            !res.traces.contains_key(&gf.unwrap()),
             "call result unknown -> no addresses recorded"
         );
     }
@@ -1052,9 +1097,15 @@ mod interprocedural_tests {
         }
         let mut b = pb.function("driver", &[Ty::I32], None);
         let n = b.param(0);
-        b.for_i32(0, 1, CmpOp::Lt, |_| n, |b, i| {
-            let _ = b.call(rec, &[i]);
-        });
+        b.for_i32(
+            0,
+            1,
+            CmpOp::Lt,
+            |_| n,
+            |b, i| {
+                let _ = b.call(rec, &[i]);
+            },
+        );
         let driver = b.finish();
         let program = pb.finish();
         let layout = Layout::compute(&program);

@@ -9,7 +9,6 @@
 
 use std::collections::HashMap;
 
-
 use spf_ir::defuse::{DefSite, UseDef};
 use spf_ir::loops::{LoopForest, LoopId};
 use spf_ir::{Function, Instr, InstrRef, Program, Reg};
@@ -72,12 +71,7 @@ impl Ldg {
     /// after inspection). Edges are derived from use-def chains, following
     /// `Move` copies; a base whose reaching definition is not unique
     /// contributes no edge, keeping the analysis cheap and conservative.
-    pub fn build(
-        func: &Function,
-        ud: &UseDef,
-        forest: &LoopForest,
-        target: LoopId,
-    ) -> Self {
+    pub fn build(func: &Function, ud: &UseDef, forest: &LoopForest, target: LoopId) -> Self {
         let info = forest.info(target);
         let mut ldg = Ldg::default();
         for b in func.block_ids() {
@@ -282,7 +276,8 @@ mod tests {
         let mut pb = ProgramBuilder::new();
         let (_tok, tok_fields) =
             pb.add_class("Token", &[("size", ElemTy::I32), ("facts", ElemTy::Ref)]);
-        let (_tv, tv_fields) = pb.add_class("TokenVector", &[("v", ElemTy::Ref), ("ptr", ElemTy::I32)]);
+        let (_tv, tv_fields) =
+            pb.add_class("TokenVector", &[("v", ElemTy::Ref), ("ptr", ElemTy::I32)]);
         let mut b = pb.function("find", &[Ty::Ref], Some(Ty::I32));
         let tv = b.param(0);
         let sum = b.new_reg(Ty::I32);
@@ -372,7 +367,10 @@ mod tests {
         // Table 1 style: &tv.ptr, &tv.v, &tv.v[i], &tmp.size (register names
         // stand in for source names).
         assert!(rendered.iter().any(|a| a.ends_with(".ptr")), "{rendered:?}");
-        assert!(rendered.iter().any(|a| a.ends_with(".size")), "{rendered:?}");
+        assert!(
+            rendered.iter().any(|a| a.ends_with(".size")),
+            "{rendered:?}"
+        );
         assert!(rendered.iter().any(|a| a.contains('[')), "{rendered:?}");
     }
 
@@ -382,10 +380,16 @@ mod tests {
         let sid = pb.add_static("g", ElemTy::Ref);
         let mut b = pb.function("s", &[Ty::I32], None);
         let n = b.param(0);
-        b.for_i32(0, 1, CmpOp::Lt, |_| n, |b, _| {
-            let g = b.getstatic(sid);
-            let _len = b.arraylen(g);
-        });
+        b.for_i32(
+            0,
+            1,
+            CmpOp::Lt,
+            |_| n,
+            |b, _| {
+                let g = b.getstatic(sid);
+                let _len = b.arraylen(g);
+            },
+        );
         let m = b.finish();
         let p = pb.finish();
         let (ldg, _) = build_ldg(&p, m);
@@ -410,10 +414,16 @@ mod dot_tests {
         let mut b = pb.function("walk", &[Ty::Ref, Ty::I32], None);
         let arr = b.param(0);
         let n = b.param(1);
-        b.for_i32(0, 1, CmpOp::Lt, |_| n, |b, i| {
-            let node = b.aload(arr, i, ElemTy::Ref);
-            let _next = b.getfield(node, fs[0]);
-        });
+        b.for_i32(
+            0,
+            1,
+            CmpOp::Lt,
+            |_| n,
+            |b, i| {
+                let node = b.aload(arr, i, ElemTy::Ref);
+                let _next = b.getfield(node, fs[0]);
+            },
+        );
         let m = b.finish();
         let p = pb.finish();
         let f = p.method(m).func();

@@ -99,10 +99,8 @@ impl StridePrefetcher {
             if ldg.is_empty() {
                 continue;
             }
-            let record: HashSet<InstrRef> =
-                ldg.node_ids().map(|id| ldg.node(id).site).collect();
-            let inspector =
-                Inspector::new(program, func, heap, statics, &forest, &self.options);
+            let record: HashSet<InstrRef> = ldg.node_ids().map(|id| ldg.node(id).site).collect();
+            let inspector = Inspector::new(program, func, heap, statics, &forest, &self.options);
             let inspection = inspector.run(args, target, &record);
             annotate_ldg(&mut ldg, &inspection.traces, &self.options);
 
@@ -113,17 +111,14 @@ impl StridePrefetcher {
                 if let Some(inner) = ldg.node(id).innermost {
                     if inner != target {
                         let header = forest.info(inner).header;
-                        if inspection.avg_nested_trips(header)
-                            > self.options.small_trip_threshold
-                        {
+                        if inspection.avg_nested_trips(header) > self.options.small_trip_threshold {
                             exclude.insert(id);
                         }
                     }
                 }
             }
 
-            let (insertions, prefetches) =
-                codegen.plan(&mut work, &ldg, &exclude, &mut already);
+            let (insertions, prefetches) = codegen.plan(&mut work, &ldg, &exclude, &mut already);
             for (site, instrs) in insertions {
                 merged.entry(site).or_default().extend(instrs);
             }
@@ -201,14 +196,20 @@ mod tests {
         let sum = b.new_reg(Ty::I32);
         let z = b.const_i32(0);
         b.move_(sum, z);
-        b.for_i32(0, 1, CmpOp::Lt, |b| b.arraylen(arr), |b, i| {
-            let node = b.aload(arr, i, ElemTy::Ref);
-            let data = b.getfield(node, nf[0]);
-            let zero = b.const_i32(0);
-            let v = b.aload(data, zero, ElemTy::I32);
-            let s = b.add(sum, v);
-            b.move_(sum, s);
-        });
+        b.for_i32(
+            0,
+            1,
+            CmpOp::Lt,
+            |b| b.arraylen(arr),
+            |b, i| {
+                let node = b.aload(arr, i, ElemTy::Ref);
+                let data = b.getfield(node, nf[0]);
+                let zero = b.const_i32(0);
+                let v = b.aload(data, zero, ElemTy::I32);
+                let s = b.add(sum, v);
+                b.move_(sum, s);
+            },
+        );
         b.ret(Some(sum));
         let m = b.finish();
         let program = pb.finish();
@@ -291,7 +292,11 @@ mod tests {
         assert!(prefetches > 0, "{}", out.report.render());
         // node getfield has inter stride (nodes sequential) -> the loop has
         // at least one inter pattern.
-        assert!(out.report.loops[0].inter_patterns >= 1, "{}", out.report.render());
+        assert!(
+            out.report.loops[0].inter_patterns >= 1,
+            "{}",
+            out.report.render()
+        );
     }
 
     #[test]
@@ -352,10 +357,7 @@ mod tests {
     fn optimized_function_verifies() {
         let (p, m, heap, arr) = fixture(true);
         for proc in [ProcessorConfig::pentium4(), ProcessorConfig::athlon_mp()] {
-            for opts in [
-                PrefetchOptions::inter(),
-                PrefetchOptions::inter_intra(),
-            ] {
+            for opts in [PrefetchOptions::inter(), PrefetchOptions::inter_intra()] {
                 let opt = StridePrefetcher::new(opts);
                 let out = opt.optimize(
                     &p,

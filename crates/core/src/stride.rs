@@ -87,8 +87,7 @@ pub fn annotate_ldg(
             let samples = inter_iteration_samples(trace);
             let node = ldg.node_mut(id);
             node.samples = trace.len();
-            node.inter_stride =
-                dominant_stride(&samples, options.majority, options.min_samples);
+            node.inter_stride = dominant_stride(&samples, options.majority, options.min_samples);
         }
     }
     let sites: Vec<(InstrRef, InstrRef)> = ldg

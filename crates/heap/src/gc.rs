@@ -90,7 +90,8 @@ impl Heap {
                     }
                 }
             } else {
-                let cid = spf_ir::ClassId::new((w & TAG_MASK & !(crate::layout::MARK_BIT)) as usize);
+                let cid =
+                    spf_ir::ClassId::new((w & TAG_MASK & !(crate::layout::MARK_BIT)) as usize);
                 for off in self.layout.ref_map(cid).to_vec() {
                     let v = self.read_u64(addr + off);
                     if v != NULL {
@@ -244,14 +245,8 @@ mod tests {
         assert_eq!(nb, b - size);
         assert_eq!(nc, c2 - size);
         // Stored references were rewritten.
-        assert_eq!(
-            h.read(na + off_next, ElemTy::Ref).unwrap(),
-            Value::Ref(nb)
-        );
-        assert_eq!(
-            h.read(nb + off_next, ElemTy::Ref).unwrap(),
-            Value::Ref(nc)
-        );
+        assert_eq!(h.read(na + off_next, ElemTy::Ref).unwrap(), Value::Ref(nb));
+        assert_eq!(h.read(nb + off_next, ElemTy::Ref).unwrap(), Value::Ref(nc));
     }
 
     #[test]
@@ -324,7 +319,6 @@ mod proptests {
     use super::*;
     use crate::layout::Layout;
     use crate::value::Value;
-    use proptest::prelude::*;
     use spf_ir::{ElemTy, Program};
 
     // Builds a heap of `n` nodes (`Node { next: Ref, v: i32 }`) whose
@@ -332,15 +326,12 @@ mod proptests {
     // with `roots` and checks that every node reachable from the roots
     // survives with its value and topology intact, in preserved address
     // order.
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(64))]
-
-        #[test]
-        fn gc_preserves_reachable_graphs(
-            n in 1usize..40,
-            edges in prop::collection::vec(prop::option::of(0usize..64), 1..40),
-            root_picks in prop::collection::vec(0usize..64, 0..8),
-        ) {
+    #[test]
+    fn gc_preserves_reachable_graphs() {
+        spf_testkit::cases(64, "gc preserves reachable graphs", |rng| {
+            let n = rng.usize_in(1, 39);
+            let edges = rng.vec(1, 39, |r| r.chance(1, 2).then(|| r.index(64)));
+            let root_picks = rng.vec(0, 7, |r| r.index(64));
             let mut p = Program::new();
             let (cls, fs) = p.add_class("Node", &[("next", ElemTy::Ref), ("v", ElemTy::I32)]);
             let layout = Layout::compute(&p);
@@ -349,9 +340,11 @@ mod proptests {
             let mut heap = Heap::new(layout, 1 << 16);
             let nodes: Vec<Addr> = (0..n).map(|_| heap.alloc_object(cls).unwrap()).collect();
             for (i, &a) in nodes.iter().enumerate() {
-                heap.write(a + off_v, ElemTy::I32, Value::I32(i as i32)).unwrap();
+                heap.write(a + off_v, ElemTy::I32, Value::I32(i as i32))
+                    .unwrap();
                 let next = edges.get(i).copied().flatten().map(|e| nodes[e % n]);
-                heap.write(a + off_next, ElemTy::Ref, Value::Ref(next.unwrap_or(NULL))).unwrap();
+                heap.write(a + off_next, ElemTy::Ref, Value::Ref(next.unwrap_or(NULL)))
+                    .unwrap();
             }
             let roots: Vec<Addr> = root_picks.iter().map(|&r| nodes[r % n]).collect();
 
@@ -360,7 +353,9 @@ mod proptests {
             let mut reach = vec![false; n];
             let mut stack: Vec<usize> = roots.iter().filter_map(|&r| idx_of(r)).collect();
             while let Some(i) = stack.pop() {
-                if reach[i] { continue; }
+                if reach[i] {
+                    continue;
+                }
                 reach[i] = true;
                 if let Some(e) = edges.get(i).copied().flatten() {
                     stack.push(e % n);
@@ -368,22 +363,33 @@ mod proptests {
             }
 
             let (stats, fwd) = heap.collect(&roots);
-            prop_assert_eq!(stats.live_objects as usize, reach.iter().filter(|&&r| r).count());
+            assert_eq!(
+                stats.live_objects as usize,
+                reach.iter().filter(|&&r| r).count()
+            );
 
             // Surviving nodes keep their values and edges; order preserved.
             let mut last_new = 0;
             for (i, &old) in nodes.iter().enumerate() {
-                if !reach[i] { continue; }
+                if !reach[i] {
+                    continue;
+                }
                 let new = fwd.forward(old);
-                prop_assert!(new >= last_new, "sliding preserves order");
+                assert!(new >= last_new, "sliding preserves order");
                 last_new = new;
-                prop_assert_eq!(heap.read(new + off_v, ElemTy::I32).unwrap(), Value::I32(i as i32));
-                let next = heap.read(new + off_next, ElemTy::Ref).unwrap().as_ref_addr();
+                assert_eq!(
+                    heap.read(new + off_v, ElemTy::I32).unwrap(),
+                    Value::I32(i as i32)
+                );
+                let next = heap
+                    .read(new + off_next, ElemTy::Ref)
+                    .unwrap()
+                    .as_ref_addr();
                 match edges.get(i).copied().flatten() {
-                    Some(e) => prop_assert_eq!(next, fwd.forward(nodes[e % n])),
-                    None => prop_assert_eq!(next, NULL),
+                    Some(e) => assert_eq!(next, fwd.forward(nodes[e % n])),
+                    None => assert_eq!(next, NULL),
                 }
             }
-        }
+        });
     }
 }

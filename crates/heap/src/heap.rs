@@ -3,8 +3,7 @@
 use spf_ir::{ClassId, ElemTy};
 
 use crate::layout::{
-    elem_tag, tag_elem, Layout, ARRAY_BIT, ARRAY_LENGTH_OFFSET, MARK_BIT,
-    TAG_MASK,
+    elem_tag, tag_elem, Layout, ARRAY_BIT, ARRAY_LENGTH_OFFSET, MARK_BIT, TAG_MASK,
 };
 use crate::value::{Addr, Value, NULL};
 
@@ -96,7 +95,10 @@ impl Heap {
     ///
     /// Panics if `base` is not 8-byte aligned or is null.
     pub fn with_base(layout: Layout, capacity: usize, base: Addr) -> Self {
-        assert!(base != NULL && base % 8 == 0, "heap base must be aligned and non-null");
+        assert!(
+            base != NULL && base.is_multiple_of(8),
+            "heap base must be aligned and non-null"
+        );
         Heap {
             base,
             data: vec![0; capacity],

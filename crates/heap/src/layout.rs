@@ -157,7 +157,13 @@ mod tests {
 
     #[test]
     fn tags_round_trip() {
-        for e in [ElemTy::I8, ElemTy::I32, ElemTy::I64, ElemTy::F64, ElemTy::Ref] {
+        for e in [
+            ElemTy::I8,
+            ElemTy::I32,
+            ElemTy::I64,
+            ElemTy::F64,
+            ElemTy::Ref,
+        ] {
             assert_eq!(tag_elem(elem_tag(e)), e);
         }
     }

@@ -27,7 +27,11 @@ impl BitSet {
     ///
     /// Panics if `i >= capacity`.
     pub fn insert(&mut self, i: usize) -> bool {
-        assert!(i < self.capacity, "bit {i} out of capacity {}", self.capacity);
+        assert!(
+            i < self.capacity,
+            "bit {i} out of capacity {}",
+            self.capacity
+        );
         let (w, b) = (i / 64, i % 64);
         let fresh = self.words[w] & (1 << b) == 0;
         self.words[w] |= 1 << b;
@@ -116,7 +120,6 @@ impl BitSet {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
 
     #[test]
     fn insert_contains_remove() {
@@ -147,20 +150,24 @@ mod tests {
         assert!(a.is_empty());
     }
 
-    proptest! {
-        #[test]
-        fn matches_reference_hashset(ops in prop::collection::vec((0usize..200, prop::bool::ANY), 0..200)) {
+    #[test]
+    fn matches_reference_hashset() {
+        spf_testkit::cases(256, "bitset matches BTreeSet", |rng| {
+            let ops = rng.vec(0, 200, |r| (r.index(200), r.bool()));
             let mut s = BitSet::new(200);
             let mut r = std::collections::BTreeSet::new();
             for (i, add) in ops {
                 if add {
-                    prop_assert_eq!(s.insert(i), r.insert(i));
+                    assert_eq!(s.insert(i), r.insert(i));
                 } else {
-                    prop_assert_eq!(s.remove(i), r.remove(&i));
+                    assert_eq!(s.remove(i), r.remove(&i));
                 }
             }
-            prop_assert_eq!(s.iter().collect::<Vec<_>>(), r.iter().copied().collect::<Vec<_>>());
-            prop_assert_eq!(s.len(), r.len());
-        }
+            assert_eq!(
+                s.iter().collect::<Vec<_>>(),
+                r.iter().copied().collect::<Vec<_>>()
+            );
+            assert_eq!(s.len(), r.len());
+        });
     }
 }

@@ -458,11 +458,7 @@ impl<'a> FunctionBuilder<'a> {
     /// `while (cond()) { body }`. The condition closure is re-evaluated on
     /// every iteration (so e.g. a `getfield` limit is reloaded each time,
     /// like Java source semantics). `continue_` targets the condition.
-    pub fn while_(
-        &mut self,
-        cond: impl FnOnce(&mut Self) -> Reg,
-        body: impl FnOnce(&mut Self),
-    ) {
+    pub fn while_(&mut self, cond: impl FnOnce(&mut Self) -> Reg, body: impl FnOnce(&mut Self)) {
         let head = self.create_block();
         let body_bb = self.create_block();
         let exit = self.create_block();
@@ -660,14 +656,26 @@ mod tests {
         let total = b.new_reg(Ty::I32);
         let zero = b.const_i32(0);
         b.move_(total, zero);
-        b.for_i32(0, 1, CmpOp::Lt, |_| n, |b, _i| {
-            b.for_i32(0, 1, CmpOp::Lt, |_| n, |b, j| {
-                let two = b.const_i32(2);
-                let c = b.ge(j, two);
-                b.if_(c, |b| b.continue_(1)); // continue the *outer* loop
-                b.inc(total, 1);
-            });
-        });
+        b.for_i32(
+            0,
+            1,
+            CmpOp::Lt,
+            |_| n,
+            |b, _i| {
+                b.for_i32(
+                    0,
+                    1,
+                    CmpOp::Lt,
+                    |_| n,
+                    |b, j| {
+                        let two = b.const_i32(2);
+                        let c = b.ge(j, two);
+                        b.if_(c, |b| b.continue_(1)); // continue the *outer* loop
+                        b.inc(total, 1);
+                    },
+                );
+            },
+        );
         b.ret(Some(total));
         b.finish();
     }

@@ -51,7 +51,8 @@ impl UseDef {
         let mut gen = vec![BitSet::new(ndefs); nblocks];
         let mut kill = vec![BitSet::new(ndefs); nblocks];
         // Map from site to def number for quick lookup.
-        let mut def_no_at: std::collections::HashMap<InstrRef, u32> = std::collections::HashMap::new();
+        let mut def_no_at: std::collections::HashMap<InstrRef, u32> =
+            std::collections::HashMap::new();
         for (no, (site, _)) in defs.iter().enumerate() {
             if let DefSite::Instr(s) = site {
                 def_no_at.insert(*s, no as u32);
@@ -181,10 +182,7 @@ mod tests {
             .instr_sites()
             .find(|&s| matches!(f.instr(s), Instr::Bin { .. }))
             .unwrap();
-        assert_eq!(
-            ud.reaching_defs(f, add_site, x),
-            vec![DefSite::Param(x)]
-        );
+        assert_eq!(ud.reaching_defs(f, add_site, x), vec![DefSite::Param(x)]);
         // The add's use of `one` reaches the const site.
         let const_site = f
             .instr_sites()

@@ -71,8 +71,18 @@ pub fn instr_to_string(program: &Program, _func: &Function, instr: &Instr) -> St
         Instr::PutStatic { sid, src } => {
             format!("putstatic {} = {src}", program.static_def(*sid).name)
         }
-        Instr::ALoad { dst, arr, idx, elem } => format!("{dst} = aload.{elem} {arr}[{idx}]"),
-        Instr::AStore { arr, idx, src, elem } => format!("astore.{elem} {arr}[{idx}] = {src}"),
+        Instr::ALoad {
+            dst,
+            arr,
+            idx,
+            elem,
+        } => format!("{dst} = aload.{elem} {arr}[{idx}]"),
+        Instr::AStore {
+            arr,
+            idx,
+            src,
+            elem,
+        } => format!("astore.{elem} {arr}[{idx}] = {src}"),
         Instr::ArrayLen { dst, arr } => format!("{dst} = arraylength {arr}"),
         Instr::New { dst, class } => format!("{dst} = new {}", program.class(*class).name),
         Instr::NewArray { dst, elem, len } => format!("{dst} = newarray {elem}[{len}]"),

@@ -152,7 +152,7 @@ mod proptests {
     use crate::builder::ProgramBuilder;
     use crate::loops::LoopForest;
     use crate::{CmpOp, Ty};
-    use proptest::prelude::*;
+    use spf_testkit::Rng;
 
     /// A random structured statement tree, realized through the builder.
     #[derive(Clone, Debug)]
@@ -167,22 +167,33 @@ mod proptests {
         Return,
     }
 
-    fn arb_stmt() -> impl Strategy<Value = S> {
-        let leaf = prop_oneof![
-            4 => Just(S::Work),
-            1 => Just(S::Break),
-            1 => Just(S::Continue),
-            1 => Just(S::Return),
-        ];
-        leaf.prop_recursive(3, 16, 3, |inner| {
-            let body = prop::collection::vec(inner.clone(), 0..3);
-            prop_oneof![
-                body.clone().prop_map(S::If),
-                (body.clone(), body.clone()).prop_map(|(a, b)| S::IfElse(a, b)),
-                body.clone().prop_map(S::While),
-                body.prop_map(S::For),
-            ]
-        })
+    /// Draws a statement tree of depth at most `fuel` (mirrors the old
+    /// proptest `prop_recursive(3, ..)` shape: leaves weighted toward
+    /// plain work, compounds only while fuel remains).
+    fn arb_stmt(rng: &mut Rng, fuel: u32) -> S {
+        let leaf = |rng: &mut Rng| match rng.index(7) {
+            0..=3 => S::Work,
+            4 => S::Break,
+            5 => S::Continue,
+            _ => S::Return,
+        };
+        if fuel == 0 || rng.chance(1, 3) {
+            return leaf(rng);
+        }
+        let body = |rng: &mut Rng| {
+            let n = rng.index(3);
+            (0..n).map(|_| arb_stmt(rng, fuel - 1)).collect::<Vec<_>>()
+        };
+        match rng.index(4) {
+            0 => S::If(body(rng)),
+            1 => {
+                let t = body(rng);
+                let e = body(rng);
+                S::IfElse(t, e)
+            }
+            2 => S::While(body(rng)),
+            _ => S::For(body(rng)),
+        }
     }
 
     fn emit(b: &mut crate::FunctionBuilder<'_>, s: &S, depth: usize) {
@@ -207,15 +218,27 @@ mod proptests {
             }
             S::While(body) => {
                 let lim = b.const_i32(3);
-                b.for_i32(0, 1, CmpOp::Lt, |_| lim, |b, _| {
-                    body.iter().for_each(|s| emit(b, s, depth + 1));
-                });
+                b.for_i32(
+                    0,
+                    1,
+                    CmpOp::Lt,
+                    |_| lim,
+                    |b, _| {
+                        body.iter().for_each(|s| emit(b, s, depth + 1));
+                    },
+                );
             }
             S::For(body) => {
                 let lim = b.const_i32(2);
-                b.for_i32(0, 1, CmpOp::Lt, |_| lim, |b, _| {
-                    body.iter().for_each(|s| emit(b, s, depth + 1));
-                });
+                b.for_i32(
+                    0,
+                    1,
+                    CmpOp::Lt,
+                    |_| lim,
+                    |b, _| {
+                        body.iter().for_each(|s| emit(b, s, depth + 1));
+                    },
+                );
             }
             S::Break => {
                 if depth > 0 {
@@ -231,14 +254,16 @@ mod proptests {
         }
     }
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(96))]
-
-        /// For random structured CFGs: the entry dominates every reachable
-        /// block, immediate dominators are themselves dominated by every
-        /// dominator, and loop headers dominate all blocks of their loop.
-        #[test]
-        fn dominator_and_loop_invariants(stmts in prop::collection::vec(arb_stmt(), 0..5)) {
+    /// For random structured CFGs: the entry dominates every reachable
+    /// block, immediate dominators are themselves dominated by every
+    /// dominator, and loop headers dominate all blocks of their loop.
+    #[test]
+    fn dominator_and_loop_invariants() {
+        spf_testkit::cases(96, "dominator/loop invariants", |rng| {
+            let stmts = {
+                let n = rng.index(5);
+                (0..n).map(|_| arb_stmt(rng, 3)).collect::<Vec<_>>()
+            };
             let mut pb = ProgramBuilder::new();
             let mut b = pb.function("f", &[Ty::I32], None);
             for s in &stmts {
@@ -247,34 +272,34 @@ mod proptests {
             let m = b.finish();
             let p = pb.finish();
             let f = p.method(m).func();
-            prop_assert!(crate::verify::verify(&p, f).is_ok());
+            assert!(crate::verify::verify(&p, f).is_ok());
             let cfg = Cfg::compute(f);
             let dom = DomTree::compute(f, &cfg);
             for bb in f.block_ids() {
                 if !cfg.is_reachable(bb) {
                     continue;
                 }
-                prop_assert!(dom.dominates(f.entry(), bb));
+                assert!(dom.dominates(f.entry(), bb));
                 if let Some(idom) = dom.idom(bb) {
-                    prop_assert!(dom.dominates(idom, bb));
-                    prop_assert!(cfg.is_reachable(idom));
+                    assert!(dom.dominates(idom, bb));
+                    assert!(cfg.is_reachable(idom));
                 }
                 // Every CFG predecessor of a reachable non-entry block is
                 // dominated by that block's idom... not in general (join
                 // points) — instead check: bb does not dominate its idom.
                 if let Some(idom) = dom.idom(bb) {
                     if idom != bb {
-                        prop_assert!(!dom.dominates(bb, idom) || bb == f.entry());
+                        assert!(!dom.dominates(bb, idom) || bb == f.entry());
                     }
                 }
             }
             let forest = LoopForest::compute(f, &cfg, &dom);
             for lid in forest.postorder() {
                 let info = forest.info(lid);
-                prop_assert!(info.contains(info.header));
+                assert!(info.contains(info.header));
                 for blk in info.blocks.iter() {
                     let blk = crate::BlockId::new(blk);
-                    prop_assert!(
+                    assert!(
                         dom.dominates(info.header, blk),
                         "header must dominate loop body"
                     );
@@ -282,10 +307,10 @@ mod proptests {
                 if let Some(parent) = info.parent {
                     let pinfo = forest.info(parent);
                     for blk in info.blocks.iter() {
-                        prop_assert!(pinfo.blocks.contains(blk), "nesting is containment");
+                        assert!(pinfo.blocks.contains(blk), "nesting is containment");
                     }
                 }
             }
-        }
+        });
     }
 }

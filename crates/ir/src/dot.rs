@@ -30,18 +30,8 @@ pub fn cfg_to_dot(program: &Program, func: &Function) -> String {
             Terminator::Branch {
                 then_bb, else_bb, ..
             } => {
-                let _ = writeln!(
-                    s,
-                    "  {} -> {} [label=\"T\"];",
-                    b.index(),
-                    then_bb.index()
-                );
-                let _ = writeln!(
-                    s,
-                    "  {} -> {} [label=\"F\"];",
-                    b.index(),
-                    else_bb.index()
-                );
+                let _ = writeln!(s, "  {} -> {} [label=\"T\"];", b.index(), then_bb.index());
+                let _ = writeln!(s, "  {} -> {} [label=\"F\"];", b.index(), else_bb.index());
             }
             Terminator::Return(_) | Terminator::Unreachable => {}
         }
@@ -65,10 +55,16 @@ mod tests {
         let acc = b.new_reg(Ty::I32);
         let z = b.const_i32(0);
         b.move_(acc, z);
-        b.for_i32(0, 1, CmpOp::Lt, |_| n, |b, i| {
-            let s = b.add(acc, i);
-            b.move_(acc, s);
-        });
+        b.for_i32(
+            0,
+            1,
+            CmpOp::Lt,
+            |_| n,
+            |b, i| {
+                let s = b.add(acc, i);
+                b.move_(acc, s);
+            },
+        );
         b.ret(Some(acc));
         let m = b.finish();
         let p = pb.finish();

@@ -150,9 +150,8 @@ impl Function {
 
     /// Iterates over all instruction sites in block order.
     pub fn instr_sites(&self) -> impl Iterator<Item = InstrRef> + '_ {
-        self.block_ids().flat_map(move |b| {
-            (0..self.block(b).instrs.len()).map(move |i| InstrRef::new(b, i))
-        })
+        self.block_ids()
+            .flat_map(move |b| (0..self.block(b).instrs.len()).map(move |i| InstrRef::new(b, i)))
     }
 
     /// Total number of instructions (excluding terminators).
@@ -176,7 +175,10 @@ mod tests {
         let r = f.new_reg(Ty::F64);
         assert_eq!(r, Reg::new(2));
         assert_eq!(f.reg_ty(r), Ty::F64);
-        assert_eq!(f.params().collect::<Vec<_>>(), vec![Reg::new(0), Reg::new(1)]);
+        assert_eq!(
+            f.params().collect::<Vec<_>>(),
+            vec![Reg::new(0), Reg::new(1)]
+        );
     }
 
     #[test]

@@ -423,7 +423,11 @@ impl Instr {
     /// Whether this load can be a *non-leaf* LDG node, i.e. loads a
     /// reference another load can chase (paper §3.1: `getfield`,
     /// `getstatic` yielding references, and `aaload`).
-    pub fn is_ldg_interior(&self, field_ty: impl Fn(FieldId) -> ElemTy, static_ty: impl Fn(StaticId) -> ElemTy) -> bool {
+    pub fn is_ldg_interior(
+        &self,
+        field_ty: impl Fn(FieldId) -> ElemTy,
+        static_ty: impl Fn(StaticId) -> ElemTy,
+    ) -> bool {
         match self {
             Instr::GetField { field, .. } => field_ty(*field) == ElemTy::Ref,
             Instr::GetStatic { sid, .. } => static_ty(*sid) == ElemTy::Ref,
@@ -561,7 +565,9 @@ mod tests {
         assert_eq!(s, vec![BlockId::new(1), BlockId::new(2)]);
         assert_eq!(Terminator::Return(None).successors().count(), 0);
         assert_eq!(
-            Terminator::Jump(BlockId::new(3)).successors().collect::<Vec<_>>(),
+            Terminator::Jump(BlockId::new(3))
+                .successors()
+                .collect::<Vec<_>>(),
             vec![BlockId::new(3)]
         );
     }

@@ -259,9 +259,15 @@ mod tests {
         let mut pb = ProgramBuilder::new();
         let mut b = pb.function("nest", &[Ty::I32], None);
         let n = b.param(0);
-        b.for_i32(0, 1, CmpOp::Lt, |_| n, |b, _| {
-            b.for_i32(0, 1, CmpOp::Lt, |_| n, |_, _| {});
-        });
+        b.for_i32(
+            0,
+            1,
+            CmpOp::Lt,
+            |_| n,
+            |b, _| {
+                b.for_i32(0, 1, CmpOp::Lt, |_| n, |_, _| {});
+            },
+        );
         let m = b.finish();
         let p = pb.finish();
         let (_, _, lf) = analyse(&p, m);

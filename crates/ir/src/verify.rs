@@ -130,12 +130,22 @@ pub fn verify(program: &Program, func: &Function) -> Result<(), VerifyError> {
                         "{at}: putstatic value type"
                     );
                 }
-                Instr::ALoad { dst, arr, idx, elem } => {
+                Instr::ALoad {
+                    dst,
+                    arr,
+                    idx,
+                    elem,
+                } => {
                     check!(ty(*arr) == Ty::Ref, "{at}: aload on non-ref");
                     check!(ty(*idx) == Ty::I32, "{at}: aload index must be i32");
                     check!(ty(*dst) == elem.reg_ty(), "{at}: aload result type");
                 }
-                Instr::AStore { arr, idx, src, elem } => {
+                Instr::AStore {
+                    arr,
+                    idx,
+                    src,
+                    elem,
+                } => {
                     check!(ty(*arr) == Ty::Ref, "{at}: astore on non-ref");
                     check!(ty(*idx) == Ty::I32, "{at}: astore index must be i32");
                     check!(ty(*src) == elem.reg_ty(), "{at}: astore value type");

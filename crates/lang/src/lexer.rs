@@ -30,8 +30,8 @@ pub struct Token {
 
 const PUNCTS2: &[&str] = &["==", "!=", "<=", ">=", "&&", "||", "<<", ">>"];
 const PUNCTS1: &[&str] = &[
-    "+", "-", "*", "/", "%", "<", ">", "=", "!", "&", "|", "^", "(", ")", "{", "}", "[", "]",
-    ";", ",", ".",
+    "+", "-", "*", "/", "%", "<", ">", "=", "!", "&", "|", "^", "(", ")", "{", "}", "[", "]", ";",
+    ",", ".",
 ];
 
 /// Tokenizes `src`.

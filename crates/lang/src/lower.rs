@@ -3,8 +3,8 @@
 use std::collections::HashMap;
 
 use spf_ir::{
-    ClassId, CmpOp, Conv, ElemTy, FieldId, FunctionBuilder, MethodId, Program, ProgramBuilder,
-    Reg, StaticId, Ty,
+    ClassId, CmpOp, Conv, ElemTy, FieldId, FunctionBuilder, MethodId, Program, ProgramBuilder, Reg,
+    StaticId, Ty,
 };
 
 use crate::ast::{self, Expr, ExprKind, FuncDecl, Stmt, TypeExpr, Unit};
@@ -114,8 +114,15 @@ fn declare(pb: &mut ProgramBuilder, unit: &Unit) -> Result<Signatures, LangError
     // Class names first (fields may reference classes declared later).
     let mut class_names: HashMap<String, ClassId> = HashMap::new();
     for (i, c) in unit.classes.iter().enumerate() {
-        if class_names.insert(c.name.clone(), ClassId::new(i)).is_some() {
-            return Err(LangError::new(format!("duplicate class `{}`", c.name), 1, 1));
+        if class_names
+            .insert(c.name.clone(), ClassId::new(i))
+            .is_some()
+        {
+            return Err(LangError::new(
+                format!("duplicate class `{}`", c.name),
+                1,
+                1,
+            ));
         }
     }
     let mut fields = HashMap::new();
@@ -162,11 +169,12 @@ fn declare(pb: &mut ProgramBuilder, unit: &Unit) -> Result<Signatures, LangError
             Some(ret.reg_ty())
         };
         let mid = pb.declare(&f.name, &param_tys, ret_ty);
-        if funcs
-            .insert(f.name.clone(), (mid, params, ret))
-            .is_some()
-        {
-            return Err(LangError::new(format!("duplicate function `{}`", f.name), 1, 1));
+        if funcs.insert(f.name.clone(), (mid, params, ret)).is_some() {
+            return Err(LangError::new(
+                format!("duplicate function `{}`", f.name),
+                1,
+                1,
+            ));
         }
     }
     Ok(Signatures {
@@ -184,11 +192,7 @@ struct Lowerer<'a, 'b> {
     ret: LTy,
 }
 
-fn lower_func(
-    pb: &mut ProgramBuilder,
-    sigs: &Signatures,
-    f: &FuncDecl,
-) -> Result<(), LangError> {
+fn lower_func(pb: &mut ProgramBuilder, sigs: &Signatures, f: &FuncDecl) -> Result<(), LangError> {
     let (mid, params, ret) = sigs.funcs[&f.name].clone();
     let mut b = pb.define(mid);
     let mut scope = HashMap::new();
@@ -215,11 +219,7 @@ impl Lowerer<'_, '_> {
     }
 
     fn lookup(&self, name: &str) -> Option<(Reg, LTy)> {
-        self.scopes
-            .iter()
-            .rev()
-            .find_map(|s| s.get(name))
-            .cloned()
+        self.scopes.iter().rev().find_map(|s| s.get(name)).cloned()
     }
 
     fn stmts(&mut self, body: &[Stmt]) -> Result<(), LangError> {
@@ -232,14 +232,11 @@ impl Lowerer<'_, '_> {
     }
 
     /// Widens `v` from `from` to `to` if needed; errors when incompatible.
-    fn coerce(
-        &mut self,
-        v: Reg,
-        from: &LTy,
-        to: &LTy,
-        at: &Expr,
-    ) -> Result<Reg, LangError> {
-        if from == to || (from == &LTy::Byte && to == &LTy::Int) || (from == &LTy::Int && to == &LTy::Byte) {
+    fn coerce(&mut self, v: Reg, from: &LTy, to: &LTy, at: &Expr) -> Result<Reg, LangError> {
+        if from == to
+            || (from == &LTy::Byte && to == &LTy::Int)
+            || (from == &LTy::Int && to == &LTy::Byte)
+        {
             return Ok(v);
         }
         Ok(match (from, to) {
@@ -488,7 +485,11 @@ impl Lowerer<'_, '_> {
             .ok_or_else(|| self.err(format!("unknown function `{name}`"), e))?;
         if args.len() != params.len() {
             return Err(self.err(
-                format!("`{name}` takes {} arguments, got {}", params.len(), args.len()),
+                format!(
+                    "`{name}` takes {} arguments, got {}",
+                    params.len(),
+                    args.len()
+                ),
                 e,
             ));
         }
@@ -534,9 +535,7 @@ impl Lowerer<'_, '_> {
             ExprKind::Field(obj, fname) => {
                 let (oreg, oty) = self.expr(obj)?;
                 match oty {
-                    LTy::Array(_) if fname == "length" => {
-                        Ok((self.b.arraylen(oreg), LTy::Int))
-                    }
+                    LTy::Array(_) if fname == "length" => Ok((self.b.arraylen(oreg), LTy::Int)),
                     LTy::Class(cid) => {
                         let (fid, fty) = self
                             .sigs
@@ -548,10 +547,7 @@ impl Lowerer<'_, '_> {
                         let fty = if fty == LTy::Byte { LTy::Int } else { fty };
                         Ok((v, fty))
                     }
-                    other => Err(self.err(
-                        format!("field access on {}", other.display()),
-                        e,
-                    )),
+                    other => Err(self.err(format!("field access on {}", other.display()), e)),
                 }
             }
             ExprKind::Index(arr, idx) => {

@@ -1,5 +1,11 @@
 //! A set-associative cache with LRU replacement and per-line fill
 //! timestamps.
+//!
+//! Hot-path layout: all lines live in one contiguous `Vec<Line>`; set `s`
+//! occupies `lines[s * assoc .. (s + 1) * assoc]`. The per-set `Vec<Vec<_>>`
+//! of the original implementation cost a pointer chase per access and
+//! scattered the sets across the allocator; the flat array makes a lookup
+//! a single bounded slice scan over adjacent memory.
 
 use crate::config::CacheParams;
 
@@ -32,8 +38,11 @@ pub enum Lookup {
 #[derive(Clone, Debug)]
 pub struct Cache {
     params: CacheParams,
-    sets: Vec<Vec<Line>>,
+    /// All lines, contiguous; set `s` is `lines[s * assoc..][..assoc]`.
+    lines: Vec<Line>,
+    assoc: usize,
     set_mask: u64,
+    set_shift: u32,
     line_shift: u32,
     tick: u64,
 }
@@ -42,10 +51,13 @@ impl Cache {
     /// Creates a cache with the given geometry.
     pub fn new(params: CacheParams) -> Self {
         let sets = params.sets();
+        let assoc = params.assoc as usize;
         Cache {
             params,
-            sets: vec![vec![Line::default(); params.assoc as usize]; sets as usize],
+            lines: vec![Line::default(); sets as usize * assoc],
+            assoc,
             set_mask: sets - 1,
+            set_shift: (sets - 1).count_ones(),
             line_shift: params.line_bytes.trailing_zeros(),
             tick: 0,
         }
@@ -56,17 +68,22 @@ impl Cache {
         &self.params
     }
 
-    fn set_and_tag(&self, addr: u64) -> (usize, u64) {
+    #[inline(always)]
+    fn set_base_and_tag(&self, addr: u64) -> (usize, u64) {
         let line = addr >> self.line_shift;
-        ((line & self.set_mask) as usize, line >> self.set_mask.count_ones())
+        (
+            (line & self.set_mask) as usize * self.assoc,
+            line >> self.set_shift,
+        )
     }
 
     /// Looks up `addr`, updating LRU state on a hit.
+    #[inline]
     pub fn lookup(&mut self, addr: u64, now: u64) -> Lookup {
         self.tick += 1;
-        let (set, tag) = self.set_and_tag(addr);
+        let (base, tag) = self.set_base_and_tag(addr);
         let tick = self.tick;
-        for line in &mut self.sets[set] {
+        for line in &mut self.lines[base..base + self.assoc] {
             if line.valid && line.tag == tag {
                 line.last_used = tick;
                 return Lookup::Hit {
@@ -78,9 +95,12 @@ impl Cache {
     }
 
     /// Whether the line containing `addr` is present (no LRU update).
+    #[inline]
     pub fn contains(&self, addr: u64) -> bool {
-        let (set, tag) = self.set_and_tag(addr);
-        self.sets[set].iter().any(|l| l.valid && l.tag == tag)
+        let (base, tag) = self.set_base_and_tag(addr);
+        self.lines[base..base + self.assoc]
+            .iter()
+            .any(|l| l.valid && l.tag == tag)
     }
 
     /// Installs the line containing `addr`, evicting the LRU way if needed.
@@ -89,17 +109,15 @@ impl Cache {
     /// in-flight prefetch).
     pub fn install(&mut self, addr: u64, ready_at: u64) {
         self.tick += 1;
-        let (set, tag) = self.set_and_tag(addr);
+        let (base, tag) = self.set_base_and_tag(addr);
         let tick = self.tick;
-        if let Some(line) = self.sets[set]
-            .iter_mut()
-            .find(|l| l.valid && l.tag == tag)
-        {
+        let set = &mut self.lines[base..base + self.assoc];
+        if let Some(line) = set.iter_mut().find(|l| l.valid && l.tag == tag) {
             line.ready_at = line.ready_at.min(ready_at);
             line.last_used = tick;
             return;
         }
-        let victim = self.sets[set]
+        let victim = set
             .iter_mut()
             .min_by_key(|l| if l.valid { l.last_used } else { 0 })
             .expect("associativity is at least 1");
@@ -113,10 +131,8 @@ impl Cache {
 
     /// Invalidates everything (used between benchmark runs).
     pub fn flush(&mut self) {
-        for set in &mut self.sets {
-            for line in set {
-                line.valid = false;
-            }
+        for line in &mut self.lines {
+            line.valid = false;
         }
     }
 }
@@ -182,5 +198,17 @@ mod tests {
         c.install(0x1000, 0);
         c.flush();
         assert_eq!(c.lookup(0x1000, 0), Lookup::Miss);
+    }
+
+    #[test]
+    fn distinct_sets_do_not_interfere() {
+        let mut c = small();
+        // Fill all four sets; each line stays resident.
+        for s in 0..4u64 {
+            c.install(s * 64, 0);
+        }
+        for s in 0..4u64 {
+            assert!(c.contains(s * 64), "set {s}");
+        }
     }
 }

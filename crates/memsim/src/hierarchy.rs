@@ -60,18 +60,52 @@ impl MemorySystem {
         self.stats = MemStats::default();
     }
 
+    /// The demand-access fast path: a DTLB hit followed by a settled L1
+    /// hit — the overwhelmingly common case — takes exactly one
+    /// branch-predictable path with one stall-counter add. Everything else
+    /// (TLB walks, L1/L2 misses, in-flight fills) falls through to the
+    /// outlined [`Self::demand_slow`].
+    #[inline]
     fn demand_access(&mut self, addr: u64, now: u64, is_load: bool) -> u64 {
-        let mut latency = 0;
-        if !self.tlb.lookup(addr) {
+        let tlb_hit = self.tlb.lookup(addr);
+        if !tlb_hit {
             self.tlb.insert(addr);
             if is_load {
                 self.stats.dtlb_load_misses += 1;
             } else {
                 self.stats.dtlb_store_misses += 1;
             }
-            latency += self.cfg.tlb_miss_penalty;
         }
-        match self.l1.lookup(addr, now) {
+        let l1 = self.l1.lookup(addr, now);
+        if tlb_hit {
+            if let Lookup::Hit { wait: 0 } = l1 {
+                let latency = self.cfg.l1.hit_latency;
+                self.stats.stall_cycles += latency;
+                return latency;
+            }
+        }
+        let base = if tlb_hit {
+            0
+        } else {
+            self.cfg.tlb_miss_penalty
+        };
+        self.demand_slow(addr, now, is_load, base, l1)
+    }
+
+    /// The demand-access slow path: everything below a settled L1 hit.
+    /// `latency` carries the TLB-walk penalty (0 on a TLB hit) and `l1`
+    /// the probe result the fast path already obtained — the probe must
+    /// not be repeated, its LRU update has already happened.
+    #[cold]
+    fn demand_slow(
+        &mut self,
+        addr: u64,
+        now: u64,
+        is_load: bool,
+        mut latency: u64,
+        l1: Lookup,
+    ) -> u64 {
+        match l1 {
             Lookup::Hit { wait } => {
                 latency += self.cfg.l1.hit_latency + wait;
             }
@@ -114,12 +148,14 @@ impl MemorySystem {
     }
 
     /// A demand load of any width within one line; returns its latency.
+    #[inline]
     pub fn load(&mut self, addr: u64, now: u64) -> u64 {
         self.stats.loads += 1;
         self.demand_access(addr, now, true)
     }
 
     /// A demand store (write-allocate, treated like a read for fills).
+    #[inline]
     pub fn store(&mut self, addr: u64, now: u64) -> u64 {
         self.stats.stores += 1;
         self.demand_access(addr, now, false)

@@ -1,10 +1,25 @@
 //! A fully associative, LRU data TLB.
+//!
+//! Hot-path layout: entries live in a fixed-capacity boxed slice sized at
+//! construction — lookups and inserts scan `entries[..len]` and never
+//! allocate. (The original kept a growable `Vec` and evicted with
+//! `swap_remove` + `push`; entry order within the array is irrelevant to
+//! behaviour because pages are unique and LRU timestamps strictly
+//! increase, so the in-place replacement used here produces identical
+//! hit/miss/eviction decisions.)
+
+#[derive(Clone, Copy, Debug, Default)]
+struct Entry {
+    page: u64,
+    last_used: u64,
+}
 
 /// A fully associative translation lookaside buffer.
 #[derive(Clone, Debug)]
 pub struct Tlb {
-    entries: Vec<(u64, u64)>, // (page number, last_used)
-    capacity: usize,
+    /// Fixed-capacity storage; only `entries[..len]` is live.
+    entries: Box<[Entry]>,
+    len: usize,
     page_shift: u32,
     tick: u64,
 }
@@ -12,25 +27,30 @@ pub struct Tlb {
 impl Tlb {
     /// Creates a TLB with `entries` slots for pages of `page_bytes`.
     pub fn new(entries: u32, page_bytes: u64) -> Self {
-        assert!(page_bytes.is_power_of_two(), "page size must be a power of two");
+        assert!(
+            page_bytes.is_power_of_two(),
+            "page size must be a power of two"
+        );
         Tlb {
-            entries: Vec::with_capacity(entries as usize),
-            capacity: entries as usize,
+            entries: vec![Entry::default(); entries as usize].into_boxed_slice(),
+            len: 0,
             page_shift: page_bytes.trailing_zeros(),
             tick: 0,
         }
     }
 
+    #[inline(always)]
     fn page(&self, addr: u64) -> u64 {
         addr >> self.page_shift
     }
 
     /// Looks up the page of `addr`; returns whether it hit (updating LRU).
+    #[inline]
     pub fn lookup(&mut self, addr: u64) -> bool {
         self.tick += 1;
         let page = self.page(addr);
-        if let Some(e) = self.entries.iter_mut().find(|e| e.0 == page) {
-            e.1 = self.tick;
+        if let Some(e) = self.entries[..self.len].iter_mut().find(|e| e.page == page) {
+            e.last_used = self.tick;
             true
         } else {
             false
@@ -38,35 +58,42 @@ impl Tlb {
     }
 
     /// Whether the page of `addr` is resident (no LRU update).
+    #[inline]
     pub fn contains(&self, addr: u64) -> bool {
         let page = self.page(addr);
-        self.entries.iter().any(|e| e.0 == page)
+        self.entries[..self.len].iter().any(|e| e.page == page)
     }
 
     /// Inserts the page of `addr`, evicting the LRU entry if full.
     pub fn insert(&mut self, addr: u64) {
         self.tick += 1;
         let page = self.page(addr);
-        if let Some(e) = self.entries.iter_mut().find(|e| e.0 == page) {
-            e.1 = self.tick;
+        let capacity = self.entries.len();
+        let live = &mut self.entries[..self.len];
+        if let Some(e) = live.iter_mut().find(|e| e.page == page) {
+            e.last_used = self.tick;
             return;
         }
-        if self.entries.len() == self.capacity {
-            let lru = self
-                .entries
-                .iter()
+        let slot = if self.len == capacity {
+            // Evict the LRU entry in place.
+            live.iter()
                 .enumerate()
-                .min_by_key(|(_, e)| e.1)
+                .min_by_key(|(_, e)| e.last_used)
                 .map(|(i, _)| i)
-                .expect("tlb has capacity");
-            self.entries.swap_remove(lru);
-        }
-        self.entries.push((page, self.tick));
+                .expect("tlb has capacity")
+        } else {
+            self.len += 1;
+            self.len - 1
+        };
+        self.entries[slot] = Entry {
+            page,
+            last_used: self.tick,
+        };
     }
 
     /// Empties the TLB.
     pub fn flush(&mut self) {
-        self.entries.clear();
+        self.len = 0;
     }
 }
 
@@ -101,5 +128,18 @@ mod tests {
         t.insert(0x0000);
         t.flush();
         assert!(!t.contains(0x0000));
+    }
+
+    #[test]
+    fn insert_never_grows_past_capacity() {
+        let mut t = Tlb::new(3, 4096);
+        for p in 0..32u64 {
+            t.insert(p * 4096);
+        }
+        // Only the three most recent pages are resident.
+        assert!(t.contains(31 * 4096));
+        assert!(t.contains(30 * 4096));
+        assert!(t.contains(29 * 4096));
+        assert!(!t.contains(28 * 4096));
     }
 }

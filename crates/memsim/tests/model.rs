@@ -1,0 +1,221 @@
+//! Model-based property tests: the flat-array [`Cache`] and the
+//! fixed-capacity [`Tlb`] must behave exactly like naive reference models
+//! (recency-ordered lists) on random operation streams — hits, misses,
+//! waits, evictions, and LRU decisions all included.
+
+use spf_memsim::cache::{Cache, Lookup};
+use spf_memsim::config::CacheParams;
+use spf_memsim::Tlb;
+use spf_testkit::{cases, Rng};
+
+// ---------------------------------------------------------------------
+// Reference cache: per-set recency-ordered `Vec`s, most recent at the
+// back. This is an executable restatement of "set-associative LRU with
+// fill timestamps" with none of the production layout tricks.
+// ---------------------------------------------------------------------
+
+struct RefCache {
+    sets: Vec<Vec<(u64, u64)>>, // (tag, ready_at), LRU order per set
+    assoc: usize,
+    line_shift: u32,
+    set_shift: u32,
+    set_mask: u64,
+}
+
+impl RefCache {
+    fn new(p: CacheParams) -> Self {
+        let sets = p.sets();
+        RefCache {
+            sets: vec![Vec::new(); sets as usize],
+            assoc: p.assoc as usize,
+            line_shift: p.line_bytes.trailing_zeros(),
+            set_shift: (sets - 1).count_ones(),
+            set_mask: sets - 1,
+        }
+    }
+
+    fn locate(&self, addr: u64) -> (usize, u64) {
+        let line = addr >> self.line_shift;
+        ((line & self.set_mask) as usize, line >> self.set_shift)
+    }
+
+    fn lookup(&mut self, addr: u64, now: u64) -> Lookup {
+        let (s, tag) = self.locate(addr);
+        let set = &mut self.sets[s];
+        match set.iter().position(|(t, _)| *t == tag) {
+            Some(i) => {
+                let entry = set.remove(i);
+                set.push(entry);
+                Lookup::Hit {
+                    wait: entry.1.saturating_sub(now),
+                }
+            }
+            None => Lookup::Miss,
+        }
+    }
+
+    fn contains(&self, addr: u64) -> bool {
+        let (s, tag) = self.locate(addr);
+        self.sets[s].iter().any(|(t, _)| *t == tag)
+    }
+
+    fn install(&mut self, addr: u64, ready_at: u64) {
+        let (s, tag) = self.locate(addr);
+        let assoc = self.assoc;
+        let set = &mut self.sets[s];
+        match set.iter().position(|(t, _)| *t == tag) {
+            Some(i) => {
+                let (t, r) = set.remove(i);
+                set.push((t, r.min(ready_at)));
+            }
+            None => {
+                if set.len() == assoc {
+                    set.remove(0); // least recently used
+                }
+                set.push((tag, ready_at));
+            }
+        }
+    }
+
+    fn flush(&mut self) {
+        for set in &mut self.sets {
+            set.clear();
+        }
+    }
+}
+
+fn arb_cache_params(rng: &mut Rng) -> CacheParams {
+    let line_bytes = 1u64 << rng.u64_in(5, 7); // 32..128 B
+    let assoc = 1u32 << rng.u64_in(0, 2); // 1..4 ways
+    let sets = 1u64 << rng.u64_in(0, 3); // 1..8 sets
+    CacheParams {
+        size_bytes: sets * assoc as u64 * line_bytes,
+        line_bytes,
+        assoc,
+        hit_latency: 1,
+    }
+}
+
+#[test]
+fn cache_matches_reference_model() {
+    cases(128, "flat cache matches list-LRU reference", |rng| {
+        let params = arb_cache_params(rng);
+        let mut real = Cache::new(params);
+        let mut model = RefCache::new(params);
+        // A small address pool forces set conflicts and evictions.
+        let pool: Vec<u64> = (0..24).map(|_| rng.u64_in(0, 0x2000)).collect();
+        let mut now = 0u64;
+        for _ in 0..rng.usize_in(50, 399) {
+            let addr = pool[rng.index(pool.len())];
+            match rng.index(4) {
+                0 => {
+                    let ready = now + rng.u64_in(0, 99);
+                    real.install(addr, ready);
+                    model.install(addr, ready);
+                }
+                1 => assert_eq!(
+                    real.contains(addr),
+                    model.contains(addr),
+                    "contains({addr:#x}) with {params:?}"
+                ),
+                2 if rng.chance(1, 20) => {
+                    real.flush();
+                    model.flush();
+                }
+                _ => {
+                    assert_eq!(
+                        real.lookup(addr, now),
+                        model.lookup(addr, now),
+                        "lookup({addr:#x}) at {now} with {params:?}"
+                    );
+                }
+            }
+            now += rng.u64_in(0, 9);
+        }
+    });
+}
+
+// ---------------------------------------------------------------------
+// Reference TLB: one recency-ordered list of pages.
+// ---------------------------------------------------------------------
+
+struct RefTlb {
+    pages: Vec<u64>, // LRU order, most recent at the back
+    capacity: usize,
+    page_shift: u32,
+}
+
+impl RefTlb {
+    fn new(entries: usize, page_bytes: u64) -> Self {
+        RefTlb {
+            pages: Vec::new(),
+            capacity: entries,
+            page_shift: page_bytes.trailing_zeros(),
+        }
+    }
+
+    fn lookup(&mut self, addr: u64) -> bool {
+        let page = addr >> self.page_shift;
+        match self.pages.iter().position(|&p| p == page) {
+            Some(i) => {
+                self.pages.remove(i);
+                self.pages.push(page);
+                true
+            }
+            None => false,
+        }
+    }
+
+    fn contains(&self, addr: u64) -> bool {
+        self.pages.contains(&(addr >> self.page_shift))
+    }
+
+    fn insert(&mut self, addr: u64) {
+        let page = addr >> self.page_shift;
+        if let Some(i) = self.pages.iter().position(|&p| p == page) {
+            self.pages.remove(i);
+        } else if self.pages.len() == self.capacity {
+            self.pages.remove(0);
+        }
+        self.pages.push(page);
+    }
+
+    fn flush(&mut self) {
+        self.pages.clear();
+    }
+}
+
+#[test]
+fn tlb_matches_reference_model() {
+    cases(
+        128,
+        "fixed-capacity TLB matches list-LRU reference",
+        |rng| {
+            let entries = rng.u64_in(1, 8) as u32;
+            let page_bytes = 4096u64;
+            let mut real = Tlb::new(entries, page_bytes);
+            let mut model = RefTlb::new(entries as usize, page_bytes);
+            // Few distinct pages so reuse, eviction, and re-insertion all occur.
+            let pages: Vec<u64> = (0..12).map(|_| rng.u64_in(0, 19) * page_bytes).collect();
+            for _ in 0..rng.usize_in(50, 399) {
+                let addr = pages[rng.index(pages.len())] + rng.u64_in(0, page_bytes - 1);
+                match rng.index(4) {
+                    0 => {
+                        real.insert(addr);
+                        model.insert(addr);
+                    }
+                    1 => assert_eq!(
+                        real.contains(addr),
+                        model.contains(addr),
+                        "contains({addr:#x})"
+                    ),
+                    2 if rng.chance(1, 20) => {
+                        real.flush();
+                        model.flush();
+                    }
+                    _ => assert_eq!(real.lookup(addr), model.lookup(addr), "lookup({addr:#x})"),
+                }
+            }
+        },
+    );
+}

@@ -76,8 +76,7 @@ fn inline_one(
     let map = |r: Reg| reg_map[r.index()];
 
     // Map callee blocks to fresh caller blocks.
-    let block_map: Vec<spf_ir::BlockId> =
-        callee.block_ids().map(|_| out.add_block()).collect();
+    let block_map: Vec<spf_ir::BlockId> = callee.block_ids().map(|_| out.add_block()).collect();
     let bmap = |b: spf_ir::BlockId| block_map[b.index()];
 
     // Continuation block: the tail of the split caller block.
@@ -303,13 +302,19 @@ mod tests {
         let acc = b.new_reg(Ty::I32);
         let z = b.const_i32(0);
         b.move_(acc, z);
-        b.for_i32(0, 1, CmpOp::Lt, |_| n, |b, i| {
-            let o = b.new_object(cls);
-            b.putfield(o, vfs[0], i);
-            let v = b.call(get, &[o]);
-            let s = b.add(acc, v);
-            b.move_(acc, s);
-        });
+        b.for_i32(
+            0,
+            1,
+            CmpOp::Lt,
+            |_| n,
+            |b, i| {
+                let o = b.new_object(cls);
+                b.putfield(o, vfs[0], i);
+                let v = b.call(get, &[o]);
+                let s = b.add(acc, v);
+                b.move_(acc, s);
+            },
+        );
         b.ret(Some(acc));
         let main = b.finish();
         (pb.finish(), main, get)
@@ -405,9 +410,15 @@ mod tests {
         };
         let mut b = pb.function("main", &[Ty::I32], Some(Ty::I32));
         let n = b.param(0);
-        b.for_i32(0, 1, CmpOp::Lt, |_| n, |b, i| {
-            b.call_void(bump, &[i]);
-        });
+        b.for_i32(
+            0,
+            1,
+            CmpOp::Lt,
+            |_| n,
+            |b, i| {
+                b.call_void(bump, &[i]);
+            },
+        );
         let out = b.getstatic(sid);
         b.ret(Some(out));
         let main = b.finish();
@@ -426,5 +437,4 @@ mod tests {
             Some(Value::I32(10))
         );
     }
-
 }

@@ -22,8 +22,8 @@ pub mod config;
 pub mod error;
 pub mod inline;
 pub mod passes;
-pub mod unroll;
 pub mod stats;
+pub mod unroll;
 pub mod vm;
 
 pub use config::VmConfig;

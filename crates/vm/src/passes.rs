@@ -57,9 +57,10 @@ pub fn fold_constants(f: &mut Function) -> bool {
                     (Some(&x), Some(&y)) => fold_cmp(*op, x, y).map(|v| (*dst, v)),
                     _ => None,
                 },
-                Instr::Un { dst, op, src } => {
-                    consts.get(src).and_then(|&x| fold_un(*op, x)).map(|v| (*dst, v))
-                }
+                Instr::Un { dst, op, src } => consts
+                    .get(src)
+                    .and_then(|&x| fold_un(*op, x))
+                    .map(|v| (*dst, v)),
                 Instr::Convert { dst, conv, src } => {
                     consts.get(src).map(|&x| (*dst, fold_conv(*conv, x)))
                 }
@@ -401,10 +402,10 @@ mod tests {
 mod proptests {
     use crate::config::VmConfig;
     use crate::vm::Vm;
-    use proptest::prelude::*;
     use spf_heap::Value;
     use spf_ir::{CmpOp, ProgramBuilder, Reg, Ty};
     use spf_memsim::ProcessorConfig;
+    use spf_testkit::Rng;
 
     /// Random straight-line + loop programs over a small register pool.
     #[derive(Clone, Debug)]
@@ -418,29 +419,29 @@ mod proptests {
         Copy(u8),
     }
 
-    fn arb_ops() -> impl Strategy<Value = Vec<Op>> {
-        prop::collection::vec(
-            prop_oneof![
-                (-100i32..100).prop_map(Op::Const),
-                (0u8..8, 0u8..8).prop_map(|(a, b)| Op::Add(a, b)),
-                (0u8..8, 0u8..8).prop_map(|(a, b)| Op::Sub(a, b)),
-                (0u8..8, 0u8..8).prop_map(|(a, b)| Op::Mul(a, b)),
-                (0u8..8, 0u8..8).prop_map(|(a, b)| Op::Xor(a, b)),
-                (0u8..8, 0u8..8).prop_map(|(a, b)| Op::Cmp(a, b)),
-                (0u8..8).prop_map(Op::Copy),
-            ],
-            1..40,
-        )
+    fn arb_ops(rng: &mut Rng) -> Vec<Op> {
+        rng.vec(1, 39, |r| {
+            let reg = |r: &mut Rng| r.index(8) as u8;
+            match r.index(7) {
+                0 => Op::Const(r.i32_in(-100, 99)),
+                1 => Op::Add(reg(r), reg(r)),
+                2 => Op::Sub(reg(r), reg(r)),
+                3 => Op::Mul(reg(r), reg(r)),
+                4 => Op::Xor(reg(r), reg(r)),
+                5 => Op::Cmp(reg(r), reg(r)),
+                _ => Op::Copy(reg(r)),
+            }
+        })
     }
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(48))]
-
-        /// The baseline JIT passes (const folding, copy propagation, DCE)
-        /// must preserve the semantics of arbitrary register programs, both
-        /// in straight-line code and inside a loop.
-        #[test]
-        fn passes_preserve_semantics(ops in arb_ops(), x in -50i32..50) {
+    /// The baseline JIT passes (const folding, copy propagation, DCE)
+    /// must preserve the semantics of arbitrary register programs, both
+    /// in straight-line code and inside a loop.
+    #[test]
+    fn passes_preserve_semantics() {
+        spf_testkit::cases(48, "passes preserve semantics", |rng| {
+            let ops = arb_ops(rng);
+            let x = rng.i32_in(-50, 49);
             let mut pb = ProgramBuilder::new();
             let mut b = pb.function("f", &[Ty::I32], Some(Ty::I32));
             // A pool of 8 mutable locals seeded from the parameter.
@@ -453,43 +454,50 @@ mod proptests {
                     r
                 })
                 .collect();
-            let emit_ops = |b: &mut spf_ir::FunctionBuilder<'_>, ops: &[Op], pool: &[Reg], k: usize| {
-                for (j, op) in ops.iter().enumerate() {
-                    let dst = pool[(j + k) % pool.len()];
-                    match *op {
-                        Op::Const(v) => {
-                            let c = b.const_i32(v);
-                            b.move_(dst, c);
+            let emit_ops =
+                |b: &mut spf_ir::FunctionBuilder<'_>, ops: &[Op], pool: &[Reg], k: usize| {
+                    for (j, op) in ops.iter().enumerate() {
+                        let dst = pool[(j + k) % pool.len()];
+                        match *op {
+                            Op::Const(v) => {
+                                let c = b.const_i32(v);
+                                b.move_(dst, c);
+                            }
+                            Op::Add(a, c) => {
+                                let r = b.add(pool[a as usize], pool[c as usize]);
+                                b.move_(dst, r);
+                            }
+                            Op::Sub(a, c) => {
+                                let r = b.sub(pool[a as usize], pool[c as usize]);
+                                b.move_(dst, r);
+                            }
+                            Op::Mul(a, c) => {
+                                let r = b.mul(pool[a as usize], pool[c as usize]);
+                                b.move_(dst, r);
+                            }
+                            Op::Xor(a, c) => {
+                                let r = b.xor(pool[a as usize], pool[c as usize]);
+                                b.move_(dst, r);
+                            }
+                            Op::Cmp(a, c) => {
+                                let r = b.lt(pool[a as usize], pool[c as usize]);
+                                b.move_(dst, r);
+                            }
+                            Op::Copy(a) => b.move_(dst, pool[a as usize]),
                         }
-                        Op::Add(a, c) => {
-                            let r = b.add(pool[a as usize], pool[c as usize]);
-                            b.move_(dst, r);
-                        }
-                        Op::Sub(a, c) => {
-                            let r = b.sub(pool[a as usize], pool[c as usize]);
-                            b.move_(dst, r);
-                        }
-                        Op::Mul(a, c) => {
-                            let r = b.mul(pool[a as usize], pool[c as usize]);
-                            b.move_(dst, r);
-                        }
-                        Op::Xor(a, c) => {
-                            let r = b.xor(pool[a as usize], pool[c as usize]);
-                            b.move_(dst, r);
-                        }
-                        Op::Cmp(a, c) => {
-                            let r = b.lt(pool[a as usize], pool[c as usize]);
-                            b.move_(dst, r);
-                        }
-                        Op::Copy(a) => b.move_(dst, pool[a as usize]),
                     }
-                }
-            };
+                };
             emit_ops(&mut b, &ops, &pool, 0);
             let three = b.const_i32(3);
-            b.for_i32(0, 1, CmpOp::Lt, |_| three, |b, _| {
-                emit_ops(b, &ops, &pool, 1);
-            });
+            b.for_i32(
+                0,
+                1,
+                CmpOp::Lt,
+                |_| three,
+                |b, _| {
+                    emit_ops(b, &ops, &pool, 1);
+                },
+            );
             // Fold the pool into one result.
             let mut acc = pool[0];
             for &r in &pool[1..] {
@@ -520,7 +528,7 @@ mod proptests {
                 ProcessorConfig::pentium4(),
             );
             let compiled = vm2.call(f, &[Value::I32(x)]).unwrap();
-            prop_assert_eq!(interpreted, compiled);
-        }
+            assert_eq!(interpreted, compiled);
+        });
     }
 }

@@ -80,12 +80,7 @@ fn unroll_one(func: &Function, info: &spf_ir::loops::LoopInfo, factor: u32) -> F
 
     // Allocate blocks for every copy.
     let maps: Vec<std::collections::HashMap<BlockId, BlockId>> = (0..copies)
-        .map(|_| {
-            loop_blocks
-                .iter()
-                .map(|&b| (b, out.add_block()))
-                .collect()
-        })
+        .map(|_| loop_blocks.iter().map(|&b| (b, out.add_block())).collect())
         .collect();
 
     // Retarget a terminator for copy `k` (k == copies means the original).
@@ -197,10 +192,16 @@ mod tests {
         let acc = b.new_reg(Ty::I32);
         let z = b.const_i32(0);
         b.move_(acc, z);
-        b.for_i32(0, 1, CmpOp::Lt, |_| n, |b, i| {
-            let s = b.add(acc, i);
-            b.move_(acc, s);
-        });
+        b.for_i32(
+            0,
+            1,
+            CmpOp::Lt,
+            |_| n,
+            |b, i| {
+                let s = b.add(acc, i);
+                b.move_(acc, s);
+            },
+        );
         b.ret(Some(acc));
         let m = b.finish();
         (pb.finish(), m)
@@ -263,13 +264,25 @@ mod tests {
         let acc = b.new_reg(Ty::I32);
         let z = b.const_i32(0);
         b.move_(acc, z);
-        b.for_i32(0, 1, CmpOp::Lt, |_| n, |b, i| {
-            b.for_i32(0, 1, CmpOp::Lt, |_| n, |b, j| {
-                let x = b.mul(i, j);
-                let s = b.add(acc, x);
-                b.move_(acc, s);
-            });
-        });
+        b.for_i32(
+            0,
+            1,
+            CmpOp::Lt,
+            |_| n,
+            |b, i| {
+                b.for_i32(
+                    0,
+                    1,
+                    CmpOp::Lt,
+                    |_| n,
+                    |b, j| {
+                        let x = b.mul(i, j);
+                        let s = b.add(acc, x);
+                        b.move_(acc, s);
+                    },
+                );
+            },
+        );
         b.ret(Some(acc));
         let m = b.finish();
         let p = pb.finish();

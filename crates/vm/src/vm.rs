@@ -86,8 +86,10 @@ impl Vm {
             .map(|m| Rc::new(program.method(m).func().clone()))
             .collect();
         let n = program.method_count();
-        let mut stats = VmStats::default();
-        stats.per_method = vec![MethodCycles::default(); n];
+        let stats = VmStats {
+            per_method: vec![MethodCycles::default(); n],
+            ..VmStats::default()
+        };
         Vm {
             program,
             heap,
@@ -194,25 +196,6 @@ impl Vm {
             self.frames.clear();
         }
         result
-    }
-
-    fn charge(&mut self, cost: u64) {
-        self.stats.cycles += cost;
-        if let Some(f) = self.frames.last() {
-            let pm = &mut self.stats.per_method[f.method.index()];
-            if f.compiled {
-                pm.compiled += cost;
-            } else {
-                pm.interpreted += cost;
-            }
-        }
-    }
-
-    fn instr_cost(&self) -> u64 {
-        match self.frames.last() {
-            Some(f) if !f.compiled => COMPILED_INSTR_COST * self.config.interp_cost_multiplier,
-            _ => COMPILED_INSTR_COST,
-        }
     }
 
     fn push_frame(
@@ -357,9 +340,11 @@ impl Vm {
             return Ok(a);
         }
         self.gc();
-        self.heap.alloc_array(elem, len).ok_or(VmError::OutOfMemory {
-            requested: Layout::array_size(elem, len),
-        })
+        self.heap
+            .alloc_array(elem, len)
+            .ok_or(VmError::OutOfMemory {
+                requested: Layout::array_size(elem, len),
+            })
     }
 
     fn prefetch_addr(&self, frame: &Frame, addr: &PrefetchAddr) -> Option<Addr> {
@@ -383,34 +368,119 @@ impl Vm {
         }
     }
 
+    /// The dispatch loop.
+    ///
+    /// Hot-path structure: the top frame's code (one `Rc` clone per frame
+    /// switch instead of one `Instr` clone per instruction), block cursor,
+    /// and per-instruction cost are cached in locals, and all counters —
+    /// the simulated clock, retired-instruction counts, and per-method
+    /// attribution — accumulate in registers. They are flushed to
+    /// [`VmStats`] only at call boundaries and on exit. The memory
+    /// simulator still observes the exact simulated clock: `cycles` is the
+    /// live counter and is synchronized with `self.stats.cycles` around
+    /// every operation that charges the clock elsewhere (JIT compilation
+    /// in `push_frame`, GC in the allocators), so every latency and every
+    /// cycle total is bit-identical to the per-instruction bookkeeping
+    /// this replaces.
     #[allow(clippy::too_many_lines)]
     fn run(&mut self) -> Result<Option<Value>, VmError> {
+        // Counter registers, flushed by `finish!`.
+        let mut cycles = self.stats.cycles;
+        let mut retired: u64 = 0;
+        let mut interp_retired: u64 = 0;
+        let mut comp_retired: u64 = 0;
+        // Cycles charged to the current frame, not yet attributed to
+        // `per_method`; flushed by `flush_frame!` at frame switches.
+        let mut frame_acc: u64 = 0;
+        // Top-frame cache, refreshed by `reload!` after push/pop.
+        let (mut code, mut cur_block, mut idx, mut cur_mid, mut cur_compiled) = {
+            let f = self.frames.last().expect("frame");
+            (Rc::clone(&f.code), f.block, f.idx, f.method, f.compiled)
+        };
+        let mut cur_cost = if cur_compiled {
+            COMPILED_INSTR_COST
+        } else {
+            COMPILED_INSTR_COST * self.config.interp_cost_multiplier
+        };
+
+        macro_rules! flush_frame {
+            () => {{
+                let pm = &mut self.stats.per_method[cur_mid.index()];
+                if cur_compiled {
+                    pm.compiled += frame_acc;
+                } else {
+                    pm.interpreted += frame_acc;
+                }
+                frame_acc = 0;
+            }};
+        }
+        macro_rules! reload {
+            () => {{
+                let f = self.frames.last().expect("frame");
+                code = Rc::clone(&f.code);
+                cur_block = f.block;
+                idx = f.idx;
+                cur_mid = f.method;
+                cur_compiled = f.compiled;
+                cur_cost = if cur_compiled {
+                    COMPILED_INSTR_COST
+                } else {
+                    COMPILED_INSTR_COST * self.config.interp_cost_multiplier
+                };
+            }};
+        }
+        macro_rules! finish {
+            ($res:expr) => {{
+                let pm = &mut self.stats.per_method[cur_mid.index()];
+                if cur_compiled {
+                    pm.compiled += frame_acc;
+                } else {
+                    pm.interpreted += frame_acc;
+                }
+                self.stats.cycles = cycles;
+                self.stats.retired_instructions += retired;
+                self.stats.interpreted_instructions += interp_retired;
+                self.stats.compiled_instructions += comp_retired;
+                return $res;
+            }};
+        }
+        macro_rules! frame {
+            () => {
+                self.frames.last().expect("frame")
+            };
+        }
+        macro_rules! set {
+            ($dst:expr, $v:expr) => {{
+                let v = $v;
+                self.frames.last_mut().expect("frame").regs[$dst.index()] = v;
+            }};
+        }
+
         loop {
             // Fetch.
-            let frame = self.frames.last().expect("frame");
-            let block = frame.code.block(frame.block);
-            if frame.idx >= block.instrs.len() {
+            let block = code.block(cur_block);
+            if idx >= block.instrs.len() {
                 // Terminator.
                 let term = block.term.clone();
-                self.charge(self.instr_cost());
-                self.stats.retired_instructions += 1;
+                cycles += cur_cost;
+                frame_acc += cur_cost;
+                retired += 1;
                 match term {
                     Terminator::Jump(t) => {
-                        let f = self.frames.last_mut().expect("frame");
-                        f.block = t;
-                        f.idx = 0;
+                        cur_block = t;
+                        idx = 0;
                     }
                     Terminator::Branch {
                         cond,
                         then_bb,
                         else_bb,
                     } => {
-                        let f = self.frames.last_mut().expect("frame");
-                        let taken = f.regs[cond.index()].as_i32() != 0;
-                        f.block = if taken { then_bb } else { else_bb };
-                        f.idx = 0;
+                        let taken = frame!().regs[cond.index()].as_i32() != 0;
+                        cur_block = if taken { then_bb } else { else_bb };
+                        idx = 0;
                     }
                     Terminator::Return(v) => {
+                        flush_frame!();
                         let f = self.frames.pop().expect("frame");
                         let value = v.map(|r| f.regs[r.index()]);
                         match self.frames.last_mut() {
@@ -419,39 +489,28 @@ impl Vm {
                                     caller.regs[dst.index()] = val;
                                 }
                             }
-                            None => return Ok(value),
+                            None => finish!(Ok(value)),
                         }
+                        reload!();
                     }
-                    Terminator::Unreachable => return Err(VmError::UnreachableExecuted),
+                    Terminator::Unreachable => finish!(Err(VmError::UnreachableExecuted)),
                 }
                 continue;
             }
 
-            let site = InstrRef::new(frame.block, frame.idx);
-            let instr = block.instrs[frame.idx].clone();
-            let base_cost = self.instr_cost();
-            self.charge(base_cost);
-            self.stats.retired_instructions += 1;
-            if self.frames.last().expect("frame").compiled {
-                self.stats.compiled_instructions += 1;
+            let site = InstrRef::new(cur_block, idx);
+            let instr = &block.instrs[idx];
+            cycles += cur_cost;
+            frame_acc += cur_cost;
+            retired += 1;
+            if cur_compiled {
+                comp_retired += 1;
             } else {
-                self.stats.interpreted_instructions += 1;
+                interp_retired += 1;
             }
-            self.frames.last_mut().expect("frame").idx += 1;
+            idx += 1;
 
-            macro_rules! frame {
-                () => {
-                    self.frames.last().expect("frame")
-                };
-            }
-            macro_rules! set {
-                ($dst:expr, $v:expr) => {{
-                    let v = $v;
-                    self.frames.last_mut().expect("frame").regs[$dst.index()] = v;
-                }};
-            }
-
-            match instr {
+            match *instr {
                 Instr::Const { dst, value } => {
                     let v = match value {
                         spf_ir::Const::I32(x) => Value::I32(x),
@@ -467,7 +526,10 @@ impl Vm {
                 }
                 Instr::Bin { dst, op, a, b } => {
                     let (x, y) = (frame!().regs[a.index()], frame!().regs[b.index()]);
-                    let v = exec_bin(op, x, y).ok_or(VmError::DivisionByZero { at: site })?;
+                    let v = match exec_bin(op, x, y) {
+                        Some(v) => v,
+                        None => finish!(Err(VmError::DivisionByZero { at: site })),
+                    };
                     set!(dst, v);
                 }
                 Instr::Un { dst, op, src } => {
@@ -485,160 +547,214 @@ impl Vm {
                 Instr::GetField { dst, obj, field } => {
                     let a = frame!().regs[obj.index()].as_ref_addr();
                     if a == NULL {
-                        return Err(VmError::NullPointer { at: site });
+                        finish!(Err(VmError::NullPointer { at: site }));
                     }
                     let ty = self.program.field(field).ty;
                     let addr = a + self.heap.layout_tables().field_offset(field);
-                    let lat = self.mem.load(addr, self.stats.cycles);
-                    self.charge(lat);
+                    let lat = self.mem.load(addr, cycles);
+                    cycles += lat;
+                    frame_acc += lat;
                     if self.config.collect_offline_profile {
-                        let mid = frame!().method;
-                        self.offline.entry(mid).or_default().record(site, addr);
+                        self.offline.entry(cur_mid).or_default().record(site, addr);
                     }
-                    let v = self
-                        .heap
-                        .read(addr, ty)
-                        .map_err(|_| VmError::BadAccess { addr })?;
+                    let v = match self.heap.read(addr, ty) {
+                        Ok(v) => v,
+                        Err(_) => finish!(Err(VmError::BadAccess { addr })),
+                    };
                     set!(dst, v);
                 }
                 Instr::PutField { obj, field, src } => {
                     let a = frame!().regs[obj.index()].as_ref_addr();
                     if a == NULL {
-                        return Err(VmError::NullPointer { at: site });
+                        finish!(Err(VmError::NullPointer { at: site }));
                     }
                     let ty = self.program.field(field).ty;
                     let addr = a + self.heap.layout_tables().field_offset(field);
-                    let lat = self.mem.store(addr, self.stats.cycles);
-                    self.charge(lat);
+                    let lat = self.mem.store(addr, cycles);
+                    cycles += lat;
+                    frame_acc += lat;
                     let v = frame!().regs[src.index()];
                     let v = coerce_store(v, ty);
-                    self.heap
-                        .write(addr, ty, v)
-                        .map_err(|_| VmError::BadAccess { addr })?;
+                    if self.heap.write(addr, ty, v).is_err() {
+                        finish!(Err(VmError::BadAccess { addr }));
+                    }
                 }
                 Instr::GetStatic { dst, sid } => {
                     let addr = static_addr(sid);
-                    let lat = self.mem.load(addr, self.stats.cycles);
-                    self.charge(lat);
+                    let lat = self.mem.load(addr, cycles);
+                    cycles += lat;
+                    frame_acc += lat;
                     let v = self.statics[sid.index()];
                     set!(dst, v);
                 }
                 Instr::PutStatic { sid, src } => {
                     let addr = static_addr(sid);
-                    let lat = self.mem.store(addr, self.stats.cycles);
-                    self.charge(lat);
+                    let lat = self.mem.store(addr, cycles);
+                    cycles += lat;
+                    frame_acc += lat;
                     self.statics[sid.index()] = frame!().regs[src.index()];
                 }
-                Instr::ALoad { dst, arr, idx, elem } => {
+                Instr::ALoad {
+                    dst,
+                    arr,
+                    idx,
+                    elem,
+                } => {
                     let a = frame!().regs[arr.index()].as_ref_addr();
                     if a == NULL {
-                        return Err(VmError::NullPointer { at: site });
+                        finish!(Err(VmError::NullPointer { at: site }));
                     }
                     let i = frame!().regs[idx.index()].as_i32();
                     let len = self.heap.array_len(a);
                     if i < 0 || i as u64 >= len {
-                        return Err(VmError::IndexOutOfBounds {
+                        finish!(Err(VmError::IndexOutOfBounds {
                             at: site,
                             index: i,
                             len,
-                        });
+                        }));
                     }
                     let addr = a + ARRAY_DATA_OFFSET + i as u64 * elem.size();
-                    let lat = self.mem.load(addr, self.stats.cycles);
-                    self.charge(lat);
+                    let lat = self.mem.load(addr, cycles);
+                    cycles += lat;
+                    frame_acc += lat;
                     if self.config.collect_offline_profile {
-                        let mid = frame!().method;
-                        self.offline.entry(mid).or_default().record(site, addr);
+                        self.offline.entry(cur_mid).or_default().record(site, addr);
                     }
-                    let v = self
-                        .heap
-                        .read(addr, elem)
-                        .map_err(|_| VmError::BadAccess { addr })?;
+                    let v = match self.heap.read(addr, elem) {
+                        Ok(v) => v,
+                        Err(_) => finish!(Err(VmError::BadAccess { addr })),
+                    };
                     set!(dst, v);
                 }
-                Instr::AStore { arr, idx, src, elem } => {
+                Instr::AStore {
+                    arr,
+                    idx,
+                    src,
+                    elem,
+                } => {
                     let a = frame!().regs[arr.index()].as_ref_addr();
                     if a == NULL {
-                        return Err(VmError::NullPointer { at: site });
+                        finish!(Err(VmError::NullPointer { at: site }));
                     }
                     let i = frame!().regs[idx.index()].as_i32();
                     let len = self.heap.array_len(a);
                     if i < 0 || i as u64 >= len {
-                        return Err(VmError::IndexOutOfBounds {
+                        finish!(Err(VmError::IndexOutOfBounds {
                             at: site,
                             index: i,
                             len,
-                        });
+                        }));
                     }
                     let addr = a + ARRAY_DATA_OFFSET + i as u64 * elem.size();
-                    let lat = self.mem.store(addr, self.stats.cycles);
-                    self.charge(lat);
+                    let lat = self.mem.store(addr, cycles);
+                    cycles += lat;
+                    frame_acc += lat;
                     let v = coerce_store(frame!().regs[src.index()], elem);
-                    self.heap
-                        .write(addr, elem, v)
-                        .map_err(|_| VmError::BadAccess { addr })?;
+                    if self.heap.write(addr, elem, v).is_err() {
+                        finish!(Err(VmError::BadAccess { addr }));
+                    }
                 }
                 Instr::ArrayLen { dst, arr } => {
                     let a = frame!().regs[arr.index()].as_ref_addr();
                     if a == NULL {
-                        return Err(VmError::NullPointer { at: site });
+                        finish!(Err(VmError::NullPointer { at: site }));
                     }
-                    let lat = self.mem.load(a + 8, self.stats.cycles);
-                    self.charge(lat);
+                    let lat = self.mem.load(a + 8, cycles);
+                    cycles += lat;
+                    frame_acc += lat;
                     if self.config.collect_offline_profile {
-                        let mid = frame!().method;
-                        self.offline.entry(mid).or_default().record(site, a + 8);
+                        self.offline.entry(cur_mid).or_default().record(site, a + 8);
                     }
                     set!(dst, Value::I32(self.heap.array_len(a) as i32));
                 }
                 Instr::New { dst, class } => {
-                    let a = self.alloc_object(class)?;
+                    // The allocator may GC, which charges the clock.
+                    self.stats.cycles = cycles;
+                    let a = match self.alloc_object(class) {
+                        Ok(a) => a,
+                        Err(e) => {
+                            cycles = self.stats.cycles;
+                            finish!(Err(e));
+                        }
+                    };
+                    cycles = self.stats.cycles;
                     let size = self.heap.layout_tables().class_size(class);
-                    let lat = self.mem.store(a, self.stats.cycles);
-                    self.charge(lat + 4 + size / 32);
+                    let lat = self.mem.store(a, cycles);
+                    let cost = lat + 4 + size / 32;
+                    cycles += cost;
+                    frame_acc += cost;
                     set!(dst, Value::Ref(a));
                 }
                 Instr::NewArray { dst, elem, len } => {
                     let n = frame!().regs[len.index()].as_i32();
                     if n < 0 {
-                        return Err(VmError::IndexOutOfBounds {
+                        finish!(Err(VmError::IndexOutOfBounds {
                             at: site,
                             index: n,
                             len: 0,
-                        });
+                        }));
                     }
-                    let a = self.alloc_array(elem, n as u64)?;
+                    // The allocator may GC, which charges the clock.
+                    self.stats.cycles = cycles;
+                    let a = match self.alloc_array(elem, n as u64) {
+                        Ok(a) => a,
+                        Err(e) => {
+                            cycles = self.stats.cycles;
+                            finish!(Err(e));
+                        }
+                    };
+                    cycles = self.stats.cycles;
                     let size = Layout::array_size(elem, n as u64);
-                    let lat = self.mem.store(a, self.stats.cycles);
-                    self.charge(lat + 4 + size / 32);
+                    let lat = self.mem.store(a, cycles);
+                    let cost = lat + 4 + size / 32;
+                    cycles += cost;
+                    frame_acc += cost;
                     set!(dst, Value::Ref(a));
                 }
-                Instr::Call { dst, callee, args } => {
-                    self.charge(CALL_OVERHEAD);
+                Instr::Call {
+                    dst,
+                    callee,
+                    ref args,
+                } => {
+                    cycles += CALL_OVERHEAD;
+                    frame_acc += CALL_OVERHEAD;
                     let argv: Vec<Value> = {
                         let f = frame!();
                         args.iter().map(|r| f.regs[r.index()]).collect()
                     };
-                    self.push_frame(callee, &argv, dst)?;
+                    flush_frame!();
+                    {
+                        // Persist the cursor so the callee's return resumes
+                        // after this call.
+                        let f = self.frames.last_mut().expect("frame");
+                        f.block = cur_block;
+                        f.idx = idx;
+                    }
+                    // `push_frame` may JIT-compile, which charges the clock.
+                    self.stats.cycles = cycles;
+                    if let Err(e) = self.push_frame(callee, &argv, dst) {
+                        cycles = self.stats.cycles;
+                        finish!(Err(e));
+                    }
+                    cycles = self.stats.cycles;
+                    reload!();
                 }
                 Instr::Prefetch { addr, kind } => {
                     if let Some(target) = self.prefetch_addr(frame!(), &addr) {
                         let cost = match kind {
-                            PrefetchKind::Hardware => {
-                                self.mem.software_prefetch(target, self.stats.cycles)
-                            }
-                            PrefetchKind::GuardedLoad => {
-                                self.mem.guarded_load(target, self.stats.cycles)
-                            }
+                            PrefetchKind::Hardware => self.mem.software_prefetch(target, cycles),
+                            PrefetchKind::GuardedLoad => self.mem.guarded_load(target, cycles),
                         };
-                        self.charge(cost);
+                        cycles += cost;
+                        frame_acc += cost;
                     }
                 }
                 Instr::SpecLoad { dst, addr } => {
                     let v = match self.prefetch_addr(frame!(), &addr) {
                         Some(target) => {
-                            let cost = self.mem.guarded_load(target, self.stats.cycles);
-                            self.charge(cost);
+                            let cost = self.mem.guarded_load(target, cycles);
+                            cycles += cost;
+                            frame_acc += cost;
                             match spf_heap::HeapRead::try_read(&self.heap, target, ElemTy::Ref) {
                                 Some(Value::Ref(a)) => Value::Ref(a),
                                 _ => Value::Ref(NULL),
@@ -748,7 +864,11 @@ mod tests {
     use spf_ir::ProgramBuilder;
 
     fn vm_for(pb: ProgramBuilder) -> Vm {
-        Vm::new(pb.finish(), VmConfig::default(), ProcessorConfig::pentium4())
+        Vm::new(
+            pb.finish(),
+            VmConfig::default(),
+            ProcessorConfig::pentium4(),
+        )
     }
 
     #[test]
@@ -870,10 +990,16 @@ mod tests {
         let acc = b.new_reg(Ty::I32);
         let z = b.const_i32(0);
         b.move_(acc, z);
-        b.for_i32(0, 1, CmpOp::Lt, |_| n, |b, i| {
-            let s = b.add(acc, i);
-            b.move_(acc, s);
-        });
+        b.for_i32(
+            0,
+            1,
+            CmpOp::Lt,
+            |_| n,
+            |b, i| {
+                let s = b.add(acc, i);
+                b.move_(acc, s);
+            },
+        );
         b.ret(Some(acc));
         let work = b.finish();
         let mut vm = vm_for(pb);
@@ -899,11 +1025,17 @@ mod tests {
         let keep = b.new_object(cls);
         let answer = b.const_i32(99);
         b.putfield(keep, fs[0], answer);
-        b.for_i32(0, 1, CmpOp::Lt, |_| n, |b, _| {
-            let tmp = b.new_object(cls);
-            let one = b.const_i32(1);
-            b.putfield(tmp, fs[0], one);
-        });
+        b.for_i32(
+            0,
+            1,
+            CmpOp::Lt,
+            |_| n,
+            |b, _| {
+                let tmp = b.new_object(cls);
+                let one = b.const_i32(1);
+                b.putfield(tmp, fs[0], one);
+            },
+        );
         let v = b.getfield(keep, fs[0]);
         b.ret(Some(v));
         let churn = b.finish();
@@ -973,11 +1105,17 @@ mod tests {
         let acc = b.new_reg(Ty::I32);
         let z = b.const_i32(0);
         b.move_(acc, z);
-        b.for_i32(0, 1, CmpOp::Lt, |b| b.arraylen(arr), |b, i| {
-            let v = b.aload(arr, i, ElemTy::I32);
-            let s = b.add(acc, v);
-            b.move_(acc, s);
-        });
+        b.for_i32(
+            0,
+            1,
+            CmpOp::Lt,
+            |b| b.arraylen(arr),
+            |b, i| {
+                let v = b.aload(arr, i, ElemTy::I32);
+                let s = b.add(acc, v);
+                b.move_(acc, s);
+            },
+        );
         b.ret(Some(acc));
         let main = b.finish();
         let mut vm = Vm::new(

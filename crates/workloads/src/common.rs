@@ -96,14 +96,20 @@ pub fn emit_lcg_next(b: &mut FunctionBuilder<'_>, seed: StaticId) -> Reg {
 pub fn emit_shuffle_refs(b: &mut FunctionBuilder<'_>, arr: Reg, n: Reg, seed: StaticId) {
     // for i in (1..n).rev() { j = rnd % (i+1); swap(arr[i], arr[j]) }
     // Implemented forward for simplicity: for i in 0..n { j = rnd % n; swap }
-    b.for_i32(0, 1, CmpOp::Lt, |_| n, |b, i| {
-        let r = emit_lcg_next(b, seed);
-        let j = b.rem(r, n);
-        let ai = b.aload(arr, i, ElemTy::Ref);
-        let aj = b.aload(arr, j, ElemTy::Ref);
-        b.astore(arr, i, aj, ElemTy::Ref);
-        b.astore(arr, j, ai, ElemTy::Ref);
-    });
+    b.for_i32(
+        0,
+        1,
+        CmpOp::Lt,
+        |_| n,
+        |b, i| {
+            let r = emit_lcg_next(b, seed);
+            let j = b.rem(r, n);
+            let ai = b.aload(arr, i, ElemTy::Ref);
+            let aj = b.aload(arr, j, ElemTy::Ref);
+            b.astore(arr, i, aj, ElemTy::Ref);
+            b.astore(arr, j, ai, ElemTy::Ref);
+        },
+    );
 }
 
 /// Emits `checksum = checksum * 31 + v` and returns the new checksum
@@ -156,17 +162,23 @@ mod tests {
         let z = b.const_i32(0);
         b.move_(acc, z);
         let n = b.const_i32(100);
-        b.for_i32(0, 1, CmpOp::Lt, |_| n, |b, _| {
-            let r = emit_lcg_next(b, seed);
-            // all values in [0, 0x7fff]
-            let neg = b.const_i32(0);
-            let bad = b.lt(r, neg);
-            b.if_(bad, |b| {
-                let m1 = b.const_i32(-1_000_000);
-                b.move_(acc, m1);
-            });
-            emit_mix(b, acc, r);
-        });
+        b.for_i32(
+            0,
+            1,
+            CmpOp::Lt,
+            |_| n,
+            |b, _| {
+                let r = emit_lcg_next(b, seed);
+                // all values in [0, 0x7fff]
+                let neg = b.const_i32(0);
+                let bad = b.lt(r, neg);
+                b.if_(bad, |b| {
+                    let m1 = b.const_i32(-1_000_000);
+                    b.move_(acc, m1);
+                });
+                emit_mix(b, acc, r);
+            },
+        );
         b.ret(Some(acc));
         let main = b.finish();
         let p = pb.finish();
@@ -187,11 +199,17 @@ mod tests {
         emit_set_seed(&mut b, seed, 7);
         let n = b.const_i32(32);
         let arr = b.new_array(ElemTy::Ref, n);
-        b.for_i32(0, 1, CmpOp::Lt, |_| n, |b, i| {
-            let o = b.new_object(cls);
-            b.putfield(o, fs[0], i);
-            b.astore(arr, i, o, ElemTy::Ref);
-        });
+        b.for_i32(
+            0,
+            1,
+            CmpOp::Lt,
+            |_| n,
+            |b, i| {
+                let o = b.new_object(cls);
+                b.putfield(o, fs[0], i);
+                b.astore(arr, i, o, ElemTy::Ref);
+            },
+        );
         emit_shuffle_refs(&mut b, arr, n, seed);
         // Sum of ids must be invariant (0 + 1 + ... + 31 = 496); also count
         // how many stayed in place.
@@ -200,14 +218,20 @@ mod tests {
         let z = b.const_i32(0);
         b.move_(sum, z);
         b.move_(inplace, z);
-        b.for_i32(0, 1, CmpOp::Lt, |_| n, |b, i| {
-            let o = b.aload(arr, i, ElemTy::Ref);
-            let id = b.getfield(o, fs[0]);
-            let s = b.add(sum, id);
-            b.move_(sum, s);
-            let same = b.eq(id, i);
-            b.if_(same, |b| b.inc(inplace, 1));
-        });
+        b.for_i32(
+            0,
+            1,
+            CmpOp::Lt,
+            |_| n,
+            |b, i| {
+                let o = b.aload(arr, i, ElemTy::Ref);
+                let id = b.getfield(o, fs[0]);
+                let s = b.add(sum, id);
+                b.move_(sum, s);
+                let same = b.eq(id, i);
+                b.if_(same, |b| b.inc(inplace, 1));
+            },
+        );
         // return sum * 100 + inplace
         let hundred = b.const_i32(100);
         let scaled = b.mul(sum, hundred);

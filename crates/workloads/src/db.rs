@@ -39,22 +39,28 @@ fn emit_compare_keys(b: &mut FunctionBuilder<'_>, ka: Reg, kb: Reg) -> Reg {
     let z = b.const_i32(0);
     b.move_(cmp, z);
     let len = b.const_i32(KEY_LEN);
-    b.for_i32(0, 1, CmpOp::Lt, |_| len, |b, k| {
-        let x = b.aload(ka, k, ElemTy::I8);
-        let y = b.aload(kb, k, ElemTy::I8);
-        let lt = b.lt(x, y);
-        b.if_(lt, |b| {
-            let m1 = b.const_i32(-1);
-            b.move_(cmp, m1);
-            b.break_(0);
-        });
-        let gt = b.gt(x, y);
-        b.if_(gt, |b| {
-            let p1 = b.const_i32(1);
-            b.move_(cmp, p1);
-            b.break_(0);
-        });
-    });
+    b.for_i32(
+        0,
+        1,
+        CmpOp::Lt,
+        |_| len,
+        |b, k| {
+            let x = b.aload(ka, k, ElemTy::I8);
+            let y = b.aload(kb, k, ElemTy::I8);
+            let lt = b.lt(x, y);
+            b.if_(lt, |b| {
+                let m1 = b.const_i32(-1);
+                b.move_(cmp, m1);
+                b.break_(0);
+            });
+            let gt = b.gt(x, y);
+            b.if_(gt, |b| {
+                let p1 = b.const_i32(1);
+                b.move_(cmp, p1);
+                b.break_(0);
+            });
+        },
+    );
     cmp
 }
 
@@ -81,27 +87,39 @@ pub fn build(size: Size) -> BuiltWorkload {
         let mut b = pb.function("db_setup", &[Ty::I32], Some(Ty::Ref));
         let n = b.param(0);
         let v = b.new_array(ElemTy::Ref, n);
-        b.for_i32(0, 1, CmpOp::Lt, |_| n, |b, i| {
-            let rec = b.new_object(rec_cls);
-            let klen = b.const_i32(KEY_LEN);
-            let key = b.new_array(ElemTy::I8, klen);
-            let plen = b.const_i32(12);
-            let payload = b.new_array(ElemTy::I32, plen);
-            b.putfield(rec, key_f, key);
-            b.putfield(rec, payload_f, payload);
-            b.putfield(rec, id_f, i);
-            b.for_i32(0, 1, CmpOp::Lt, |_| klen, |b, k| {
-                let r = emit_lcg_next(b, seed);
-                let byte = {
-                    let m = b.const_i32(127);
-                    b.rem(r, m)
-                };
-                b.astore(key, k, byte, ElemTy::I8);
-            });
-            let zero = b.const_i32(0);
-            b.astore(payload, zero, i, ElemTy::I32);
-            b.astore(v, i, rec, ElemTy::Ref);
-        });
+        b.for_i32(
+            0,
+            1,
+            CmpOp::Lt,
+            |_| n,
+            |b, i| {
+                let rec = b.new_object(rec_cls);
+                let klen = b.const_i32(KEY_LEN);
+                let key = b.new_array(ElemTy::I8, klen);
+                let plen = b.const_i32(12);
+                let payload = b.new_array(ElemTy::I32, plen);
+                b.putfield(rec, key_f, key);
+                b.putfield(rec, payload_f, payload);
+                b.putfield(rec, id_f, i);
+                b.for_i32(
+                    0,
+                    1,
+                    CmpOp::Lt,
+                    |_| klen,
+                    |b, k| {
+                        let r = emit_lcg_next(b, seed);
+                        let byte = {
+                            let m = b.const_i32(127);
+                            b.rem(r, m)
+                        };
+                        b.astore(key, k, byte, ElemTy::I8);
+                    },
+                );
+                let zero = b.const_i32(0);
+                b.astore(payload, zero, i, ElemTy::I32);
+                b.astore(v, i, rec, ElemTy::Ref);
+            },
+        );
         b.ret(Some(v));
         b.finish()
     };
@@ -151,16 +169,22 @@ pub fn build(size: Size) -> BuiltWorkload {
                         let acct = b.new_reg(Ty::I32);
                         b.move_(acct, i);
                         let reps = b.const_i32(16);
-                        b.for_i32(0, 1, CmpOp::Lt, |_| reps, |b, _| {
-                            let k1 = b.const_i32(0x5bd1);
-                            let a1 = b.mul(acct, k1);
-                            let k2 = b.const_i32(0xe995);
-                            let a2 = b.xor(a1, k2);
-                            let sh = b.const_i32(13);
-                            let a3 = b.shr(a2, sh);
-                            let a4 = b.add(a2, a3);
-                            b.move_(acct, a4);
-                        });
+                        b.for_i32(
+                            0,
+                            1,
+                            CmpOp::Lt,
+                            |_| reps,
+                            |b, _| {
+                                let k1 = b.const_i32(0x5bd1);
+                                let a1 = b.mul(acct, k1);
+                                let k2 = b.const_i32(0xe995);
+                                let a2 = b.xor(a1, k2);
+                                let sh = b.const_i32(13);
+                                let a3 = b.shr(a2, sh);
+                                let a4 = b.add(a2, a3);
+                                b.move_(acct, a4);
+                            },
+                        );
                         b.inc(i, 1);
                     },
                 );
@@ -176,18 +200,24 @@ pub fn build(size: Size) -> BuiltWorkload {
             let one = b.const_i32(1);
             b.sub(n, one)
         };
-        b.for_i32(0, 1, CmpOp::Lt, |_| n1, |b, i| {
-            let a = b.aload(v, i, ElemTy::Ref);
-            let one = b.const_i32(1);
-            let i1 = b.add(i, one);
-            let c2 = b.aload(v, i1, ElemTy::Ref);
-            let ka = b.getfield(a, key_f);
-            let kb = b.getfield(c2, key_f);
-            let c = emit_compare_keys(b, ka, kb);
-            let zero2 = b.const_i32(0);
-            let bad = b.gt(c, zero2);
-            b.if_(bad, |b| b.inc(inv, 1));
-        });
+        b.for_i32(
+            0,
+            1,
+            CmpOp::Lt,
+            |_| n1,
+            |b, i| {
+                let a = b.aload(v, i, ElemTy::Ref);
+                let one = b.const_i32(1);
+                let i1 = b.add(i, one);
+                let c2 = b.aload(v, i1, ElemTy::Ref);
+                let ka = b.getfield(a, key_f);
+                let kb = b.getfield(c2, key_f);
+                let c = emit_compare_keys(b, ka, kb);
+                let zero2 = b.const_i32(0);
+                let bad = b.gt(c, zero2);
+                b.if_(bad, |b| b.inc(inv, 1));
+            },
+        );
         b.ret(Some(inv));
         b.finish()
     };
@@ -200,17 +230,23 @@ pub fn build(size: Size) -> BuiltWorkload {
         let acc = b.new_reg(Ty::I32);
         let z = b.const_i32(0);
         b.move_(acc, z);
-        b.for_i32(0, 1, CmpOp::Lt, |_| n, |b, i| {
-            let rec = b.aload(v, i, ElemTy::Ref);
-            let key = b.getfield(rec, key_f);
-            let payload = b.getfield(rec, payload_f);
-            let zero = b.const_i32(0);
-            let k0 = b.aload(key, zero, ElemTy::I8);
-            let p0 = b.aload(payload, zero, ElemTy::I32);
-            let s1 = b.add(acc, k0);
-            let s2 = b.add(s1, p0);
-            b.move_(acc, s2);
-        });
+        b.for_i32(
+            0,
+            1,
+            CmpOp::Lt,
+            |_| n,
+            |b, i| {
+                let rec = b.aload(v, i, ElemTy::Ref);
+                let key = b.getfield(rec, key_f);
+                let payload = b.getfield(rec, payload_f);
+                let zero = b.const_i32(0);
+                let k0 = b.aload(key, zero, ElemTy::I8);
+                let p0 = b.aload(payload, zero, ElemTy::I32);
+                let s1 = b.add(acc, k0);
+                let s2 = b.add(s1, p0);
+                b.move_(acc, s2);
+            },
+        );
         b.ret(Some(acc));
         b.finish()
     };

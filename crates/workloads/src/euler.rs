@@ -38,23 +38,35 @@ pub fn build(size: Size) -> BuiltWorkload {
         let nx = b.param(0);
         let ny = b.param(1);
         let grid = b.new_array(ElemTy::Ref, nx);
-        b.for_i32(0, 1, CmpOp::Lt, |_| nx, |b, i| {
-            let row = b.new_array(ElemTy::Ref, ny);
-            b.astore(grid, i, row, ElemTy::Ref);
-            b.for_i32(0, 1, CmpOp::Lt, |_| ny, |b, j| {
-                let s = b.new_object(state_cls);
-                let ij = b.mul(i, j);
-                let x = b.convert(spf_ir::Conv::I32ToF64, ij);
-                b.putfield(s, fa, x);
-                let y = b.convert(spf_ir::Conv::I32ToF64, i);
-                b.putfield(s, fb, y);
-                let zc = b.convert(spf_ir::Conv::I32ToF64, j);
-                b.putfield(s, fc, zc);
-                let zero = b.const_f64(1.0);
-                b.putfield(s, fd, zero);
-                b.astore(row, j, s, ElemTy::Ref);
-            });
-        });
+        b.for_i32(
+            0,
+            1,
+            CmpOp::Lt,
+            |_| nx,
+            |b, i| {
+                let row = b.new_array(ElemTy::Ref, ny);
+                b.astore(grid, i, row, ElemTy::Ref);
+                b.for_i32(
+                    0,
+                    1,
+                    CmpOp::Lt,
+                    |_| ny,
+                    |b, j| {
+                        let s = b.new_object(state_cls);
+                        let ij = b.mul(i, j);
+                        let x = b.convert(spf_ir::Conv::I32ToF64, ij);
+                        b.putfield(s, fa, x);
+                        let y = b.convert(spf_ir::Conv::I32ToF64, i);
+                        b.putfield(s, fb, y);
+                        let zc = b.convert(spf_ir::Conv::I32ToF64, j);
+                        b.putfield(s, fc, zc);
+                        let zero = b.const_f64(1.0);
+                        b.putfield(s, fd, zero);
+                        b.astore(row, j, s, ElemTy::Ref);
+                    },
+                );
+            },
+        );
         b.ret(Some(grid));
         b.finish()
     };
@@ -70,48 +82,66 @@ pub fn build(size: Size) -> BuiltWorkload {
         let acc = b.new_reg(Ty::F64);
         let z = b.const_f64(0.0);
         b.move_(acc, z);
-        b.for_i32(1, 1, CmpOp::Lt, |_| nx1, |b, i| {
-            let row = b.aload(grid, i, ElemTy::Ref);
-            let ny1 = b.sub(ny, one);
-            b.for_i32(1, 1, CmpOp::Lt, |_| ny1, |b, j| {
-                let s = b.aload(row, j, ElemTy::Ref);
-                let jm = b.sub(j, one);
-                let jp = b.add(j, one);
-                let left = b.aload(row, jm, ElemTy::Ref);
-                let right = b.aload(row, jp, ElemTy::Ref);
-                let sa = b.getfield(s, fa);
-                let la = b.getfield(left, fb);
-                let ra = b.getfield(right, fc);
-                let sd = b.getfield(s, fd);
-                let t1 = b.add(la, ra);
-                let half = b.const_f64(0.5);
-                let t2 = b.mul(t1, half);
-                let t3 = b.add(sa, t2);
-                let quarter = b.const_f64(0.25);
-                let t4 = b.mul(t3, quarter);
-                let t5 = b.add(t4, sd);
-                // Flux computation: enough arithmetic per cell that the
-                // next iteration's prefetch has time to complete (real CFD
-                // kernels run hundreds of flops per cell).
-                let flux = b.new_reg(Ty::F64);
-                b.move_(flux, t5);
-                let stages = b.const_i32(6);
-                b.for_i32(0, 1, CmpOp::Lt, |_| stages, |b, _| {
-                    let k1 = b.const_f64(0.9921);
-                    let f1 = b.mul(flux, k1);
-                    let k2 = b.const_f64(0.0311);
-                    let f2 = b.add(f1, k2);
-                    let f3 = b.mul(f2, f2);
-                    let k3 = b.const_f64(0.4);
-                    let f4 = b.mul(f3, k3);
-                    let f5 = b.sub(f2, f4);
-                    b.move_(flux, f5);
-                });
-                b.putfield(s, fa, flux);
-                let n = b.add(acc, flux);
-                b.move_(acc, n);
-            });
-        });
+        b.for_i32(
+            1,
+            1,
+            CmpOp::Lt,
+            |_| nx1,
+            |b, i| {
+                let row = b.aload(grid, i, ElemTy::Ref);
+                let ny1 = b.sub(ny, one);
+                b.for_i32(
+                    1,
+                    1,
+                    CmpOp::Lt,
+                    |_| ny1,
+                    |b, j| {
+                        let s = b.aload(row, j, ElemTy::Ref);
+                        let jm = b.sub(j, one);
+                        let jp = b.add(j, one);
+                        let left = b.aload(row, jm, ElemTy::Ref);
+                        let right = b.aload(row, jp, ElemTy::Ref);
+                        let sa = b.getfield(s, fa);
+                        let la = b.getfield(left, fb);
+                        let ra = b.getfield(right, fc);
+                        let sd = b.getfield(s, fd);
+                        let t1 = b.add(la, ra);
+                        let half = b.const_f64(0.5);
+                        let t2 = b.mul(t1, half);
+                        let t3 = b.add(sa, t2);
+                        let quarter = b.const_f64(0.25);
+                        let t4 = b.mul(t3, quarter);
+                        let t5 = b.add(t4, sd);
+                        // Flux computation: enough arithmetic per cell that the
+                        // next iteration's prefetch has time to complete (real CFD
+                        // kernels run hundreds of flops per cell).
+                        let flux = b.new_reg(Ty::F64);
+                        b.move_(flux, t5);
+                        let stages = b.const_i32(6);
+                        b.for_i32(
+                            0,
+                            1,
+                            CmpOp::Lt,
+                            |_| stages,
+                            |b, _| {
+                                let k1 = b.const_f64(0.9921);
+                                let f1 = b.mul(flux, k1);
+                                let k2 = b.const_f64(0.0311);
+                                let f2 = b.add(f1, k2);
+                                let f3 = b.mul(f2, f2);
+                                let k3 = b.const_f64(0.4);
+                                let f4 = b.mul(f3, k3);
+                                let f5 = b.sub(f2, f4);
+                                b.move_(flux, f5);
+                            },
+                        );
+                        b.putfield(s, fa, flux);
+                        let n = b.add(acc, flux);
+                        b.move_(acc, n);
+                    },
+                );
+            },
+        );
         let out = b.convert(spf_ir::Conv::F64ToI32, acc);
         b.ret(Some(out));
         b.finish()
@@ -127,10 +157,16 @@ pub fn build(size: Size) -> BuiltWorkload {
         let z = b.const_i32(0);
         b.move_(check, z);
         let reps = b.const_i32(sweeps);
-        b.for_i32(0, 1, CmpOp::Lt, |_| reps, |b, _| {
-            let s = b.call(sweep, &[grid, nxr, nyr]);
-            emit_mix(b, check, s);
-        });
+        b.for_i32(
+            0,
+            1,
+            CmpOp::Lt,
+            |_| reps,
+            |b, _| {
+                let s = b.call(sweep, &[grid, nxr, nyr]);
+                emit_mix(b, check, s);
+            },
+        );
         b.ret(Some(check));
         b.finish()
     };

@@ -30,15 +30,21 @@ pub fn build(size: Size) -> BuiltWorkload {
             let init = b.const_i32(k as i32);
             b.move_(acc, init);
             let reps = b.const_i32(600 + 13 * k as i32);
-            b.for_i32(0, 1, CmpOp::Lt, |_| reps, |b, i| {
-                let kc = b.const_i32(k as i32 + 3);
-                let t = b.mul(i, kc);
-                let u = b.xor(t, x);
-                let seven = b.const_i32(7 + k as i32);
-                let m = b.rem(u, seven);
-                let s = b.add(acc, m);
-                b.move_(acc, s);
-            });
+            b.for_i32(
+                0,
+                1,
+                CmpOp::Lt,
+                |_| reps,
+                |b, i| {
+                    let kc = b.const_i32(k as i32 + 3);
+                    let t = b.mul(i, kc);
+                    let u = b.xor(t, x);
+                    let seven = b.const_i32(7 + k as i32);
+                    let m = b.rem(u, seven);
+                    let s = b.add(acc, m);
+                    b.move_(acc, s);
+                },
+            );
             b.ret(Some(acc));
             b.finish()
         })
@@ -74,12 +80,18 @@ pub fn build(size: Size) -> BuiltWorkload {
         emit_set_seed(&mut b, seed, 228);
         let len = b.const_i32(input_len);
         let buf = b.new_array(ElemTy::I8, len);
-        b.for_i32(0, 1, CmpOp::Lt, |_| len, |b, i| {
-            let r = emit_lcg_next(b, seed);
-            let nine = b.const_i32(9);
-            let v = b.rem(r, nine);
-            b.astore(buf, i, v, ElemTy::I8);
-        });
+        b.for_i32(
+            0,
+            1,
+            CmpOp::Lt,
+            |_| len,
+            |b, i| {
+                let r = emit_lcg_next(b, seed);
+                let nine = b.const_i32(9);
+                let v = b.rem(r, nine);
+                b.astore(buf, i, v, ElemTy::I8);
+            },
+        );
         let check = b.new_reg(Ty::I32);
         let z = b.const_i32(0);
         b.move_(check, z);
@@ -87,12 +99,18 @@ pub fn build(size: Size) -> BuiltWorkload {
         // once (interpreted).
         let chunks = b.const_i32(16);
         let chunk_len = b.const_i32(input_len / 16);
-        b.for_i32(0, 1, CmpOp::Lt, |_| chunks, |b, c| {
-            let from = b.mul(c, chunk_len);
-            let to = b.add(from, chunk_len);
-            let t = b.call(tokenize, &[buf, from, to]);
-            emit_mix(b, check, t);
-        });
+        b.for_i32(
+            0,
+            1,
+            CmpOp::Lt,
+            |_| chunks,
+            |b, c| {
+                let from = b.mul(c, chunk_len);
+                let to = b.add(from, chunk_len);
+                let t = b.call(tokenize, &[buf, from, to]);
+                emit_mix(b, check, t);
+            },
+        );
         for &a in &actions {
             let v = b.call(a, &[check]);
             emit_mix(&mut b, check, v);

@@ -109,15 +109,27 @@ pub fn build(size: Size) -> BuiltWorkload {
         let z = b.const_i32(0);
         b.move_(check, z);
         let trees = b.const_i32(n_trees);
-        b.for_i32(0, 1, CmpOp::Lt, |_| trees, |b, _| {
-            let d = b.const_i32(tree_depth);
-            let root = b.call(build_tree, &[d]);
-            let reps = b.const_i32(walks);
-            b.for_i32(0, 1, CmpOp::Lt, |_| reps, |b, _| {
-                let v = b.call(fold, &[root]);
-                emit_mix(b, check, v);
-            });
-        });
+        b.for_i32(
+            0,
+            1,
+            CmpOp::Lt,
+            |_| trees,
+            |b, _| {
+                let d = b.const_i32(tree_depth);
+                let root = b.call(build_tree, &[d]);
+                let reps = b.const_i32(walks);
+                b.for_i32(
+                    0,
+                    1,
+                    CmpOp::Lt,
+                    |_| reps,
+                    |b, _| {
+                        let v = b.call(fold, &[root]);
+                        emit_mix(b, check, v);
+                    },
+                );
+            },
+        );
         b.ret(Some(check));
         b.finish()
     };

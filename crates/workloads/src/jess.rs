@@ -60,12 +60,18 @@ pub fn build(size: Size) -> BuiltWorkload {
         let facts = b.new_array(ElemTy::I32, nf);
         b.putfield(t, facts_f, facts);
         b.putfield(t, size_f, nf);
-        b.for_i32(0, 1, CmpOp::Lt, |_| nf, |b, j| {
-            let r = emit_lcg_next(b, seed);
-            let sixteen = b.const_i32(16);
-            let val = b.rem(r, sixteen);
-            b.astore(facts, j, val, ElemTy::I32);
-        });
+        b.for_i32(
+            0,
+            1,
+            CmpOp::Lt,
+            |_| nf,
+            |b, j| {
+                let r = emit_lcg_next(b, seed);
+                let sixteen = b.const_i32(16);
+                let val = b.rem(r, sixteen);
+                b.astore(facts, j, val, ElemTy::I32);
+            },
+        );
         b.ret(Some(t));
         b.finish()
     };
@@ -148,24 +154,42 @@ pub fn build(size: Size) -> BuiltWorkload {
         let reps = b.param(0);
         let len = b.const_i32(256);
         let alpha = b.new_array(ElemTy::I32, len);
-        b.for_i32(0, 1, CmpOp::Lt, |_| len, |b, i| {
-            let three = b.const_i32(3);
-            let x = b.mul(i, three);
-            b.astore(alpha, i, x, ElemTy::I32);
-        });
+        b.for_i32(
+            0,
+            1,
+            CmpOp::Lt,
+            |_| len,
+            |b, i| {
+                let three = b.const_i32(3);
+                let x = b.mul(i, three);
+                b.astore(alpha, i, x, ElemTy::I32);
+            },
+        );
         let acc = b.new_reg(Ty::I32);
         let z = b.const_i32(0);
         b.move_(acc, z);
-        b.for_i32(0, 1, CmpOp::Lt, |_| reps, |b, r| {
-            b.for_i32(0, 1, CmpOp::Lt, |_| len, |b, i| {
-                let x = b.aload(alpha, i, ElemTy::I32);
-                let y = b.add(x, r);
-                let seven = b.const_i32(7);
-                let m = b.rem(y, seven);
-                let s = b.add(acc, m);
-                b.move_(acc, s);
-            });
-        });
+        b.for_i32(
+            0,
+            1,
+            CmpOp::Lt,
+            |_| reps,
+            |b, r| {
+                b.for_i32(
+                    0,
+                    1,
+                    CmpOp::Lt,
+                    |_| len,
+                    |b, i| {
+                        let x = b.aload(alpha, i, ElemTy::I32);
+                        let y = b.add(x, r);
+                        let seven = b.const_i32(7);
+                        let m = b.rem(y, seven);
+                        let s = b.add(acc, m);
+                        b.move_(acc, s);
+                    },
+                );
+            },
+        );
         b.ret(Some(acc));
         b.finish()
     };
@@ -181,29 +205,47 @@ pub fn build(size: Size) -> BuiltWorkload {
         let z = b.const_i32(0);
         b.putfield(tv, ptr_f, z);
         let n = b.const_i32(n_tokens);
-        b.for_i32(0, 1, CmpOp::Lt, |_| n, |b, _| {
-            let t = b.call(new_token, &[]);
-            b.call_void(add_element, &[tv, t]);
-        });
+        b.for_i32(
+            0,
+            1,
+            CmpOp::Lt,
+            |_| n,
+            |b, _| {
+                let t = b.call(new_token, &[]);
+                b.call_void(add_element, &[tv, t]);
+            },
+        );
         // Churn: remove a pseudo-random token, append a fresh one.
         let ops = b.const_i32(churn_ops);
-        b.for_i32(0, 1, CmpOp::Lt, |_| ops, |b, _| {
-            let r = emit_lcg_next(b, seed);
-            let ptr = b.getfield(tv, ptr_f);
-            let idx = b.rem(r, ptr);
-            b.call_void(remove_element, &[tv, idx]);
-            let t = b.call(new_token, &[]);
-            b.call_void(add_element, &[tv, t]);
-        });
+        b.for_i32(
+            0,
+            1,
+            CmpOp::Lt,
+            |_| ops,
+            |b, _| {
+                let r = emit_lcg_next(b, seed);
+                let ptr = b.getfield(tv, ptr_f);
+                let idx = b.rem(r, ptr);
+                b.call_void(remove_element, &[tv, idx]);
+                let t = b.call(new_token, &[]);
+                b.call_void(add_element, &[tv, t]);
+            },
+        );
         // Probe scans (hot but not dominant) + rule evaluation filler.
         let check = b.new_reg(Ty::I32);
         b.move_(check, z);
         let np = b.const_i32(probes);
-        b.for_i32(0, 1, CmpOp::Lt, |_| np, |b, _| {
-            let probe = b.call(new_token, &[]);
-            let hit = b.call(find, &[tv, probe]);
-            emit_mix(b, check, hit);
-        });
+        b.for_i32(
+            0,
+            1,
+            CmpOp::Lt,
+            |_| np,
+            |b, _| {
+                let probe = b.call(new_token, &[]);
+                let hit = b.call(find, &[tv, probe]);
+                emit_mix(b, check, hit);
+            },
+        );
         let reps = b.const_i32(eval_reps);
         let e = b.call(eval, &[reps]);
         emit_mix(&mut b, check, e);

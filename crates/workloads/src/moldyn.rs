@@ -41,22 +41,28 @@ pub fn build(size: Size) -> BuiltWorkload {
         let mut b = pb.function("moldyn_setup", &[Ty::I32], Some(Ty::Ref));
         let n = b.param(0);
         let arr = b.new_array(ElemTy::Ref, n);
-        b.for_i32(0, 1, CmpOp::Lt, |_| n, |b, i| {
-            let m = b.new_object(mol_cls);
-            let seventeen = b.const_i32(17);
-            let xi = b.rem(i, seventeen);
-            let x = b.convert(spf_ir::Conv::I32ToF64, xi);
-            b.putfield(m, x_, x);
-            let thirteen = b.const_i32(13);
-            let yi = b.rem(i, thirteen);
-            let y = b.convert(spf_ir::Conv::I32ToF64, yi);
-            b.putfield(m, y_, y);
-            let seven = b.const_i32(7);
-            let zi = b.rem(i, seven);
-            let z = b.convert(spf_ir::Conv::I32ToF64, zi);
-            b.putfield(m, z_, z);
-            b.astore(arr, i, m, ElemTy::Ref);
-        });
+        b.for_i32(
+            0,
+            1,
+            CmpOp::Lt,
+            |_| n,
+            |b, i| {
+                let m = b.new_object(mol_cls);
+                let seventeen = b.const_i32(17);
+                let xi = b.rem(i, seventeen);
+                let x = b.convert(spf_ir::Conv::I32ToF64, xi);
+                b.putfield(m, x_, x);
+                let thirteen = b.const_i32(13);
+                let yi = b.rem(i, thirteen);
+                let y = b.convert(spf_ir::Conv::I32ToF64, yi);
+                b.putfield(m, y_, y);
+                let seven = b.const_i32(7);
+                let zi = b.rem(i, seven);
+                let z = b.convert(spf_ir::Conv::I32ToF64, zi);
+                b.putfield(m, z_, z);
+                b.astore(arr, i, m, ElemTy::Ref);
+            },
+        );
         b.ret(Some(arr));
         b.finish()
     };
@@ -67,46 +73,52 @@ pub fn build(size: Size) -> BuiltWorkload {
         let arr = b.param(0);
         let n = b.param(1);
         let cutoff = b.const_f64(50.0);
-        b.for_i32(0, 1, CmpOp::Lt, |_| n, |b, i| {
-            let mi = b.aload(arr, i, ElemTy::Ref);
-            let xi = b.getfield(mi, x_);
-            let yi = b.getfield(mi, y_);
-            let zi = b.getfield(mi, z_);
-            let one = b.const_i32(1);
-            let i1 = b.add(i, one);
-            let j = b.new_reg(Ty::I32);
-            b.move_(j, i1);
-            b.while_(
-                |b| b.lt(j, n),
-                |b| {
-                    let mj = b.aload(arr, j, ElemTy::Ref);
-                    let xj = b.getfield(mj, x_);
-                    let yj = b.getfield(mj, y_);
-                    let zj = b.getfield(mj, z_);
-                    let dx = b.sub(xi, xj);
-                    let dy = b.sub(yi, yj);
-                    let dz = b.sub(zi, zj);
-                    let dx2 = b.mul(dx, dx);
-                    let dy2 = b.mul(dy, dy);
-                    let dz2 = b.mul(dz, dz);
-                    let r1 = b.add(dx2, dy2);
-                    let r2 = b.add(r1, dz2);
-                    let close = b.cmp(CmpOp::Lt, r2, cutoff);
-                    b.if_(close, |b| {
-                        let fxi = b.getfield(mi, fx_);
-                        let s1 = b.add(fxi, dx);
-                        b.putfield(mi, fx_, s1);
-                        let fyi = b.getfield(mi, fy_);
-                        let s2 = b.add(fyi, dy);
-                        b.putfield(mi, fy_, s2);
-                        let fzj = b.getfield(mj, fz_);
-                        let s3 = b.sub(fzj, dz);
-                        b.putfield(mj, fz_, s3);
-                    });
-                    b.inc(j, 1);
-                },
-            );
-        });
+        b.for_i32(
+            0,
+            1,
+            CmpOp::Lt,
+            |_| n,
+            |b, i| {
+                let mi = b.aload(arr, i, ElemTy::Ref);
+                let xi = b.getfield(mi, x_);
+                let yi = b.getfield(mi, y_);
+                let zi = b.getfield(mi, z_);
+                let one = b.const_i32(1);
+                let i1 = b.add(i, one);
+                let j = b.new_reg(Ty::I32);
+                b.move_(j, i1);
+                b.while_(
+                    |b| b.lt(j, n),
+                    |b| {
+                        let mj = b.aload(arr, j, ElemTy::Ref);
+                        let xj = b.getfield(mj, x_);
+                        let yj = b.getfield(mj, y_);
+                        let zj = b.getfield(mj, z_);
+                        let dx = b.sub(xi, xj);
+                        let dy = b.sub(yi, yj);
+                        let dz = b.sub(zi, zj);
+                        let dx2 = b.mul(dx, dx);
+                        let dy2 = b.mul(dy, dy);
+                        let dz2 = b.mul(dz, dz);
+                        let r1 = b.add(dx2, dy2);
+                        let r2 = b.add(r1, dz2);
+                        let close = b.cmp(CmpOp::Lt, r2, cutoff);
+                        b.if_(close, |b| {
+                            let fxi = b.getfield(mi, fx_);
+                            let s1 = b.add(fxi, dx);
+                            b.putfield(mi, fx_, s1);
+                            let fyi = b.getfield(mi, fy_);
+                            let s2 = b.add(fyi, dy);
+                            b.putfield(mi, fy_, s2);
+                            let fzj = b.getfield(mj, fz_);
+                            let s3 = b.sub(fzj, dz);
+                            b.putfield(mj, fz_, s3);
+                        });
+                        b.inc(j, 1);
+                    },
+                );
+            },
+        );
         // Fold force of molecule 0 into a checksum.
         let zero = b.const_i32(0);
         let m0 = b.aload(arr, zero, ElemTy::Ref);
@@ -125,10 +137,16 @@ pub fn build(size: Size) -> BuiltWorkload {
         let z = b.const_i32(0);
         b.move_(check, z);
         let reps = b.const_i32(steps);
-        b.for_i32(0, 1, CmpOp::Lt, |_| reps, |b, _| {
-            let s = b.call(forces, &[arr, nreg]);
-            emit_mix(b, check, s);
-        });
+        b.for_i32(
+            0,
+            1,
+            CmpOp::Lt,
+            |_| reps,
+            |b, _| {
+                let s = b.call(forces, &[arr, nreg]);
+                emit_mix(b, check, s);
+            },
+        );
         b.ret(Some(check));
         b.finish()
     };

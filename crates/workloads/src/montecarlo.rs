@@ -24,15 +24,21 @@ pub fn build(size: Size) -> BuiltWorkload {
         let acc = b.new_reg(Ty::F64);
         let z = b.const_f64(0.0);
         b.move_(acc, z);
-        b.for_i32(0, 1, CmpOp::Lt, |_| reps, |b, _| {
-            let r = emit_lcg_next(b, seed);
-            let x = b.convert(spf_ir::Conv::I32ToF64, r);
-            let k = b.const_f64(1.0 / 32768.0);
-            let u = b.mul(x, k);
-            let u2 = b.mul(u, u);
-            let s = b.add(acc, u2);
-            b.move_(acc, s);
-        });
+        b.for_i32(
+            0,
+            1,
+            CmpOp::Lt,
+            |_| reps,
+            |b, _| {
+                let r = emit_lcg_next(b, seed);
+                let x = b.convert(spf_ir::Conv::I32ToF64, r);
+                let k = b.const_f64(1.0 / 32768.0);
+                let u = b.mul(x, k);
+                let u2 = b.mul(u, u);
+                let s = b.add(acc, u2);
+                b.move_(acc, s);
+            },
+        );
         b.ret(Some(acc));
         b.finish()
     };
@@ -45,21 +51,27 @@ pub fn build(size: Size) -> BuiltWorkload {
         let v = b.new_reg(Ty::F64);
         let start = b.const_f64(100.0);
         b.move_(v, start);
-        b.for_i32(0, 1, CmpOp::Lt, |_| len, |b, t| {
-            let r = emit_lcg_next(b, seed);
-            let x = b.convert(spf_ir::Conv::I32ToF64, r);
-            let k = b.const_f64(1.0 / 32768.0);
-            let u = b.mul(x, k);
-            let half = b.const_f64(0.5);
-            let drift = b.sub(u, half);
-            let scale = b.const_f64(0.02);
-            let dv = b.mul(drift, scale);
-            let one = b.const_f64(1.0);
-            let factor = b.add(one, dv);
-            let nv = b.mul(v, factor);
-            b.move_(v, nv);
-            b.astore(path, t, nv, ElemTy::F64);
-        });
+        b.for_i32(
+            0,
+            1,
+            CmpOp::Lt,
+            |_| len,
+            |b, t| {
+                let r = emit_lcg_next(b, seed);
+                let x = b.convert(spf_ir::Conv::I32ToF64, r);
+                let k = b.const_f64(1.0 / 32768.0);
+                let u = b.mul(x, k);
+                let half = b.const_f64(0.5);
+                let drift = b.sub(u, half);
+                let scale = b.const_f64(0.02);
+                let dv = b.mul(drift, scale);
+                let one = b.const_f64(1.0);
+                let factor = b.add(one, dv);
+                let nv = b.mul(v, factor);
+                b.move_(v, nv);
+                b.astore(path, t, nv, ElemTy::F64);
+            },
+        );
         b.ret(Some(v));
         b.finish()
     };
@@ -74,11 +86,17 @@ pub fn build(size: Size) -> BuiltWorkload {
         let acc = b.new_reg(Ty::F64);
         b.move_(acc, cal);
         let np = b.const_i32(paths);
-        b.for_i32(0, 1, CmpOp::Lt, |_| np, |b, _| {
-            let last = b.call(simulate, &[path, len]);
-            let s = b.add(acc, last);
-            b.move_(acc, s);
-        });
+        b.for_i32(
+            0,
+            1,
+            CmpOp::Lt,
+            |_| np,
+            |b, _| {
+                let last = b.call(simulate, &[path, len]);
+                let s = b.add(acc, last);
+                b.move_(acc, s);
+            },
+        );
         let sum = b.convert(spf_ir::Conv::F64ToI32, acc);
         let check = b.new_reg(Ty::I32);
         b.move_(check, sum);

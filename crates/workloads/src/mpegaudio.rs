@@ -43,17 +43,23 @@ pub fn build(size: Size) -> BuiltWorkload {
         let mut b = pb.function("mpeg_setup", &[Ty::I32], Some(Ty::Ref));
         let n = b.param(0);
         let arr = b.new_array(ElemTy::Ref, n);
-        b.for_i32(0, 1, CmpOp::Lt, |_| n, |b, i| {
-            let g = b.new_object(gr_cls);
-            let x = b.convert(spf_ir::Conv::I32ToF64, i);
-            b.putfield(g, s0_, x);
-            let half = b.const_f64(0.5);
-            let y = b.mul(x, half);
-            b.putfield(g, s1_, y);
-            b.putfield(g, s2_, half);
-            b.putfield(g, s3_, y);
-            b.astore(arr, i, g, ElemTy::Ref);
-        });
+        b.for_i32(
+            0,
+            1,
+            CmpOp::Lt,
+            |_| n,
+            |b, i| {
+                let g = b.new_object(gr_cls);
+                let x = b.convert(spf_ir::Conv::I32ToF64, i);
+                b.putfield(g, s0_, x);
+                let half = b.const_f64(0.5);
+                let y = b.mul(x, half);
+                b.putfield(g, s1_, y);
+                b.putfield(g, s2_, half);
+                b.putfield(g, s3_, y);
+                b.astore(arr, i, g, ElemTy::Ref);
+            },
+        );
         b.ret(Some(arr));
         b.finish()
     };
@@ -66,34 +72,46 @@ pub fn build(size: Size) -> BuiltWorkload {
         let acc = b.new_reg(Ty::F64);
         let z = b.const_f64(0.0);
         b.move_(acc, z);
-        b.for_i32(0, 1, CmpOp::Lt, |_| n, |b, i| {
-            let g = b.aload(arr, i, ElemTy::Ref);
-            let a = b.getfield(g, s0_);
-            let bb = b.getfield(g, s1_);
-            let c = b.getfield(g, s2_);
-            let d = b.getfield(g, s3_);
-            let k1 = b.const_f64(0.707);
-            let t1 = b.mul(a, k1);
-            let k2 = b.const_f64(0.382);
-            let t2 = b.mul(bb, k2);
-            let t3 = b.add(t1, t2);
-            let t4 = b.mul(c, d);
-            let t5 = b.add(t3, t4);
-            // The rest of the 32-tap window.
-            let w = b.new_reg(Ty::F64);
-            b.move_(w, t5);
-            let taps = b.const_i32(8);
-            b.for_i32(0, 1, CmpOp::Lt, |_| taps, |b, _| {
-                let k = b.const_f64(0.9063);
-                let w1 = b.mul(w, k);
-                let k2 = b.const_f64(0.0175);
-                let w2 = b.add(w1, k2);
-                b.move_(w, w2);
-            });
-            b.putfield(g, s0_, w);
-            let s = b.add(acc, w);
-            b.move_(acc, s);
-        });
+        b.for_i32(
+            0,
+            1,
+            CmpOp::Lt,
+            |_| n,
+            |b, i| {
+                let g = b.aload(arr, i, ElemTy::Ref);
+                let a = b.getfield(g, s0_);
+                let bb = b.getfield(g, s1_);
+                let c = b.getfield(g, s2_);
+                let d = b.getfield(g, s3_);
+                let k1 = b.const_f64(0.707);
+                let t1 = b.mul(a, k1);
+                let k2 = b.const_f64(0.382);
+                let t2 = b.mul(bb, k2);
+                let t3 = b.add(t1, t2);
+                let t4 = b.mul(c, d);
+                let t5 = b.add(t3, t4);
+                // The rest of the 32-tap window.
+                let w = b.new_reg(Ty::F64);
+                b.move_(w, t5);
+                let taps = b.const_i32(8);
+                b.for_i32(
+                    0,
+                    1,
+                    CmpOp::Lt,
+                    |_| taps,
+                    |b, _| {
+                        let k = b.const_f64(0.9063);
+                        let w1 = b.mul(w, k);
+                        let k2 = b.const_f64(0.0175);
+                        let w2 = b.add(w1, k2);
+                        b.move_(w, w2);
+                    },
+                );
+                b.putfield(g, s0_, w);
+                let s = b.add(acc, w);
+                b.move_(acc, s);
+            },
+        );
         let out = b.convert(spf_ir::Conv::F64ToI32, acc);
         b.ret(Some(out));
         b.finish()
@@ -107,10 +125,16 @@ pub fn build(size: Size) -> BuiltWorkload {
         let z = b.const_i32(0);
         b.move_(check, z);
         let reps = b.const_i32(frames);
-        b.for_i32(0, 1, CmpOp::Lt, |_| reps, |b, _| {
-            let s = b.call(synth, &[arr, nreg]);
-            emit_mix(b, check, s);
-        });
+        b.for_i32(
+            0,
+            1,
+            CmpOp::Lt,
+            |_| reps,
+            |b, _| {
+                let s = b.call(synth, &[arr, nreg]);
+                emit_mix(b, check, s);
+            },
+        );
         b.ret(Some(check));
         b.finish()
     };

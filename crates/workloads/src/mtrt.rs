@@ -38,28 +38,34 @@ pub fn build(size: Size) -> BuiltWorkload {
         let mut b = pb.function("mtrt_setup", &[Ty::I32], Some(Ty::Ref));
         let n = b.param(0);
         let arr = b.new_array(ElemTy::Ref, n);
-        b.for_i32(0, 1, CmpOp::Lt, |_| n, |b, i| {
-            let s = b.new_object(sph_cls);
-            let r = emit_lcg_next(b, seed);
-            let thousand = b.const_i32(1000);
-            let xi = b.rem(r, thousand);
-            let x = b.convert(spf_ir::Conv::I32ToF64, xi);
-            b.putfield(s, cx_, x);
-            let r2v = emit_lcg_next(b, seed);
-            let yi = b.rem(r2v, thousand);
-            let y = b.convert(spf_ir::Conv::I32ToF64, yi);
-            b.putfield(s, cy_, y);
-            let r3 = emit_lcg_next(b, seed);
-            let zi = b.rem(r3, thousand);
-            let z = b.convert(spf_ir::Conv::I32ToF64, zi);
-            b.putfield(s, cz_, z);
-            let rad = b.const_f64(900.0);
-            b.putfield(s, r2_, rad);
-            let sixteen = b.const_i32(16);
-            let col = b.rem(i, sixteen);
-            b.putfield(s, color_, col);
-            b.astore(arr, i, s, ElemTy::Ref);
-        });
+        b.for_i32(
+            0,
+            1,
+            CmpOp::Lt,
+            |_| n,
+            |b, i| {
+                let s = b.new_object(sph_cls);
+                let r = emit_lcg_next(b, seed);
+                let thousand = b.const_i32(1000);
+                let xi = b.rem(r, thousand);
+                let x = b.convert(spf_ir::Conv::I32ToF64, xi);
+                b.putfield(s, cx_, x);
+                let r2v = emit_lcg_next(b, seed);
+                let yi = b.rem(r2v, thousand);
+                let y = b.convert(spf_ir::Conv::I32ToF64, yi);
+                b.putfield(s, cy_, y);
+                let r3 = emit_lcg_next(b, seed);
+                let zi = b.rem(r3, thousand);
+                let z = b.convert(spf_ir::Conv::I32ToF64, zi);
+                b.putfield(s, cz_, z);
+                let rad = b.const_f64(900.0);
+                b.putfield(s, r2_, rad);
+                let sixteen = b.const_i32(16);
+                let col = b.rem(i, sixteen);
+                b.putfield(s, color_, col);
+                b.astore(arr, i, s, ElemTy::Ref);
+            },
+        );
         b.ret(Some(arr));
         b.finish()
     };
@@ -85,38 +91,41 @@ pub fn build(size: Size) -> BuiltWorkload {
         b.move_(hit, m1);
         let i = b.new_reg(Ty::I32);
         b.move_(i, from);
-        b.while_(|b| b.lt(i, to), |b| {
-            let s = b.aload(scene, i, ElemTy::Ref);
-            let cx = b.getfield(s, cx_);
-            let cy = b.getfield(s, cy_);
-            let r2 = b.getfield(s, r2_);
-            let dx = b.sub(cx, ox);
-            let dy = b.sub(cy, oy);
-            let dx2 = b.mul(dx, dx);
-            let dy2 = b.mul(dy, dy);
-            let d2 = b.add(dx2, dy2);
-            // Full 3-D quadratic discriminant (the third axis plus the
-            // normalization real ray-sphere tests perform).
-            let cz = b.getfield(s, cz_);
-            let dz = b.sub(cz, ox);
-            let dz2 = b.mul(dz, dz);
-            let k = b.const_f64(0.015625);
-            let dzn = b.mul(dz2, k);
-            let d3 = b.add(d2, dzn);
-            let kk = b.const_f64(0.996);
-            let d4 = b.mul(d3, kk);
-            let d5 = b.mul(d4, kk);
-            let inside = b.cmp(CmpOp::Lt, d5, r2);
-            b.if_(inside, |b| {
-                let closer = b.cmp(CmpOp::Lt, d5, best);
-                b.if_(closer, |b| {
-                    b.move_(best, d5);
-                    let c = b.getfield(s, color_);
-                    b.move_(hit, c);
+        b.while_(
+            |b| b.lt(i, to),
+            |b| {
+                let s = b.aload(scene, i, ElemTy::Ref);
+                let cx = b.getfield(s, cx_);
+                let cy = b.getfield(s, cy_);
+                let r2 = b.getfield(s, r2_);
+                let dx = b.sub(cx, ox);
+                let dy = b.sub(cy, oy);
+                let dx2 = b.mul(dx, dx);
+                let dy2 = b.mul(dy, dy);
+                let d2 = b.add(dx2, dy2);
+                // Full 3-D quadratic discriminant (the third axis plus the
+                // normalization real ray-sphere tests perform).
+                let cz = b.getfield(s, cz_);
+                let dz = b.sub(cz, ox);
+                let dz2 = b.mul(dz, dz);
+                let k = b.const_f64(0.015625);
+                let dzn = b.mul(dz2, k);
+                let d3 = b.add(d2, dzn);
+                let kk = b.const_f64(0.996);
+                let d4 = b.mul(d3, kk);
+                let d5 = b.mul(d4, kk);
+                let inside = b.cmp(CmpOp::Lt, d5, r2);
+                b.if_(inside, |b| {
+                    let closer = b.cmp(CmpOp::Lt, d5, best);
+                    b.if_(closer, |b| {
+                        b.move_(best, d5);
+                        let c = b.getfield(s, color_);
+                        b.move_(hit, c);
+                    });
                 });
-            });
-            b.inc(i, 1);
-        });
+                b.inc(i, 1);
+            },
+        );
         b.ret(Some(hit));
         b.finish()
     };
@@ -131,31 +140,37 @@ pub fn build(size: Size) -> BuiltWorkload {
         let z = b.const_i32(0);
         b.move_(check, z);
         let rays = b.const_i32(n_rays);
-        b.for_i32(0, 1, CmpOp::Lt, |_| rays, |b, r| {
-            let thousand = b.const_i32(1000);
-            let seven = b.const_i32(7);
-            let rx = b.mul(r, seven);
-            let rxm = b.rem(rx, thousand);
-            let ox = b.convert(spf_ir::Conv::I32ToF64, rxm);
-            let eleven = b.const_i32(11);
-            let ry = b.mul(r, eleven);
-            let rym = b.rem(ry, thousand);
-            let oy = b.convert(spf_ir::Conv::I32ToF64, rym);
-            // Each ray scans a window of spheres starting near its origin
-            // (spatial locality of the scene hierarchy).
-            let from = if n_spheres > WINDOW {
-                let span = b.const_i32(n_spheres - WINDOW);
-                let nineteen = b.const_i32(19);
-                let woff = b.mul(r, nineteen);
-                b.rem(woff, span)
-            } else {
-                b.const_i32(0)
-            };
-            let window = b.const_i32(WINDOW.min(n_spheres));
-            let to = b.add(from, window);
-            let c = b.call(trace, &[scene, from, to, ox, oy]);
-            emit_mix(b, check, c);
-        });
+        b.for_i32(
+            0,
+            1,
+            CmpOp::Lt,
+            |_| rays,
+            |b, r| {
+                let thousand = b.const_i32(1000);
+                let seven = b.const_i32(7);
+                let rx = b.mul(r, seven);
+                let rxm = b.rem(rx, thousand);
+                let ox = b.convert(spf_ir::Conv::I32ToF64, rxm);
+                let eleven = b.const_i32(11);
+                let ry = b.mul(r, eleven);
+                let rym = b.rem(ry, thousand);
+                let oy = b.convert(spf_ir::Conv::I32ToF64, rym);
+                // Each ray scans a window of spheres starting near its origin
+                // (spatial locality of the scene hierarchy).
+                let from = if n_spheres > WINDOW {
+                    let span = b.const_i32(n_spheres - WINDOW);
+                    let nineteen = b.const_i32(19);
+                    let woff = b.mul(r, nineteen);
+                    b.rem(woff, span)
+                } else {
+                    b.const_i32(0)
+                };
+                let window = b.const_i32(WINDOW.min(n_spheres));
+                let to = b.add(from, window);
+                let c = b.call(trace, &[scene, from, to, ox, oy]);
+                emit_mix(b, check, c);
+            },
+        );
         b.ret(Some(check));
         b.finish()
     };

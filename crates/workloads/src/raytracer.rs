@@ -13,7 +13,9 @@
 
 use spf_ir::{CmpOp, ElemTy, ProgramBuilder, Ty};
 
-use crate::common::{add_seed, emit_lcg_next, emit_mix, emit_set_seed, emit_shuffle_refs, BuiltWorkload, Size};
+use crate::common::{
+    add_seed, emit_lcg_next, emit_mix, emit_set_seed, emit_shuffle_refs, BuiltWorkload, Size,
+};
 
 /// Builds the RayTracer workload.
 pub fn build(size: Size) -> BuiltWorkload {
@@ -44,34 +46,46 @@ pub fn build(size: Size) -> BuiltWorkload {
         let n = b.param(0);
         let tl = b.const_i32(texture_len);
         let tex = b.new_array(ElemTy::I32, tl);
-        b.for_i32(0, 1, CmpOp::Lt, |_| tl, |b, i| {
-            let five = b.const_i32(5);
-            let v = b.mul(i, five);
-            b.astore(tex, i, v, ElemTy::I32);
-        });
+        b.for_i32(
+            0,
+            1,
+            CmpOp::Lt,
+            |_| tl,
+            |b, i| {
+                let five = b.const_i32(5);
+                let v = b.mul(i, five);
+                b.astore(tex, i, v, ElemTy::I32);
+            },
+        );
         b.putstatic(texture, tex);
         let arr = b.new_array(ElemTy::Ref, n);
-        b.for_i32(0, 1, CmpOp::Lt, |_| n, |b, i| {
-            let s = b.new_object(sph_cls);
-            let r = emit_lcg_next(b, seed);
-            let thousand = b.const_i32(1000);
-            let xi = b.rem(r, thousand);
-            let x = b.convert(spf_ir::Conv::I32ToF64, xi);
-            b.putfield(s, cx_, x);
-            let r2v = emit_lcg_next(b, seed);
-            let yi = b.rem(r2v, thousand);
-            let y = b.convert(spf_ir::Conv::I32ToF64, yi);
-            b.putfield(s, cy_, y);
-            let rad = b.const_f64(1600.0);
-            b.putfield(s, r2_, rad);
-            let sixteen = b.const_i32(16);
-            let col = b.rem(i, sixteen);
-            b.putfield(s, color_, col);
-            let four = b.const_i32(4);
-            let sh = b.rem(i, four);
-            b.putfield(s, shine_, sh);
-            b.astore(arr, i, s, ElemTy::Ref);
-        });
+        b.for_i32(
+            0,
+            1,
+            CmpOp::Lt,
+            |_| n,
+            |b, i| {
+                let s = b.new_object(sph_cls);
+                let r = emit_lcg_next(b, seed);
+                let thousand = b.const_i32(1000);
+                let xi = b.rem(r, thousand);
+                let x = b.convert(spf_ir::Conv::I32ToF64, xi);
+                b.putfield(s, cx_, x);
+                let r2v = emit_lcg_next(b, seed);
+                let yi = b.rem(r2v, thousand);
+                let y = b.convert(spf_ir::Conv::I32ToF64, yi);
+                b.putfield(s, cy_, y);
+                let rad = b.const_f64(1600.0);
+                b.putfield(s, r2_, rad);
+                let sixteen = b.const_i32(16);
+                let col = b.rem(i, sixteen);
+                b.putfield(s, color_, col);
+                let four = b.const_i32(4);
+                let sh = b.rem(i, four);
+                b.putfield(s, shine_, sh);
+                b.astore(arr, i, s, ElemTy::Ref);
+            },
+        );
         // The render loop visits spheres through a spatial hierarchy in the
         // real benchmark, i.e. in an order unrelated to allocation order:
         // model that by shuffling the scene array. The aaload keeps its
@@ -112,17 +126,23 @@ pub fn build(size: Size) -> BuiltWorkload {
         // Walk a strided slice of the texture: evicts L1 lines between
         // intersection-loop iterations.
         let steps = b.const_i32(224);
-        b.for_i32(0, 1, CmpOp::Lt, |_| steps, |b, k| {
-            let stride = b.const_i32(128);
-            let kk = b.mul(k, stride);
-            let base = b.const_i32(texture_len);
-            let cd = b.mul(color, depth);
-            let off = b.add(kk, cd);
-            let idx = b.rem(off, base);
-            let t = b.aload(tex, idx, ElemTy::I32);
-            let s = b.add(acc, t);
-            b.move_(acc, s);
-        });
+        b.for_i32(
+            0,
+            1,
+            CmpOp::Lt,
+            |_| steps,
+            |b, k| {
+                let stride = b.const_i32(128);
+                let kk = b.mul(k, stride);
+                let base = b.const_i32(texture_len);
+                let cd = b.mul(color, depth);
+                let off = b.add(kk, cd);
+                let idx = b.rem(off, base);
+                let t = b.aload(tex, idx, ElemTy::I32);
+                let s = b.add(acc, t);
+                b.move_(acc, s);
+            },
+        );
         let one = b.const_i32(1);
         let d1 = b.sub(depth, one);
         let fifteen = b.const_i32(15);
@@ -147,25 +167,31 @@ pub fn build(size: Size) -> BuiltWorkload {
         let acc = b.new_reg(Ty::I32);
         let z = b.const_i32(0);
         b.move_(acc, z);
-        b.for_i32(0, 1, CmpOp::Lt, |_| n, |b, i| {
-            let s = b.aload(scene, i, ElemTy::Ref);
-            let cx = b.getfield(s, cx_);
-            let cy = b.getfield(s, cy_);
-            let r2 = b.getfield(s, r2_);
-            let dx = b.sub(cx, ox);
-            let dy = b.sub(cy, oy);
-            let dx2 = b.mul(dx, dx);
-            let dy2 = b.mul(dy, dy);
-            let d2 = b.add(dx2, dy2);
-            let hit = b.cmp(CmpOp::Lt, d2, r2);
-            b.if_(hit, |b| {
-                let c = b.getfield(s, color_);
-                let depth = b.getfield(s, shine_);
-                let shaded = b.call(shade, &[s, c, depth]);
-                let a2 = b.add(acc, shaded);
-                b.move_(acc, a2);
-            });
-        });
+        b.for_i32(
+            0,
+            1,
+            CmpOp::Lt,
+            |_| n,
+            |b, i| {
+                let s = b.aload(scene, i, ElemTy::Ref);
+                let cx = b.getfield(s, cx_);
+                let cy = b.getfield(s, cy_);
+                let r2 = b.getfield(s, r2_);
+                let dx = b.sub(cx, ox);
+                let dy = b.sub(cy, oy);
+                let dx2 = b.mul(dx, dx);
+                let dy2 = b.mul(dy, dy);
+                let d2 = b.add(dx2, dy2);
+                let hit = b.cmp(CmpOp::Lt, d2, r2);
+                b.if_(hit, |b| {
+                    let c = b.getfield(s, color_);
+                    let depth = b.getfield(s, shine_);
+                    let shaded = b.call(shade, &[s, c, depth]);
+                    let a2 = b.add(acc, shaded);
+                    b.move_(acc, a2);
+                });
+            },
+        );
         b.ret(Some(acc));
         b.finish()
     };
@@ -180,19 +206,25 @@ pub fn build(size: Size) -> BuiltWorkload {
         let z = b.const_i32(0);
         b.move_(check, z);
         let rays = b.const_i32(n_rays);
-        b.for_i32(0, 1, CmpOp::Lt, |_| rays, |b, r| {
-            let thousand = b.const_i32(1000);
-            let th = b.const_i32(37);
-            let rx = b.mul(r, th);
-            let rxm = b.rem(rx, thousand);
-            let ox = b.convert(spf_ir::Conv::I32ToF64, rxm);
-            let tt = b.const_i32(53);
-            let ry = b.mul(r, tt);
-            let rym = b.rem(ry, thousand);
-            let oy = b.convert(spf_ir::Conv::I32ToF64, rym);
-            let c = b.call(render, &[scene, nreg, ox, oy]);
-            emit_mix(b, check, c);
-        });
+        b.for_i32(
+            0,
+            1,
+            CmpOp::Lt,
+            |_| rays,
+            |b, r| {
+                let thousand = b.const_i32(1000);
+                let th = b.const_i32(37);
+                let rx = b.mul(r, th);
+                let rxm = b.rem(rx, thousand);
+                let ox = b.convert(spf_ir::Conv::I32ToF64, rxm);
+                let tt = b.const_i32(53);
+                let ry = b.mul(r, tt);
+                let rym = b.rem(ry, thousand);
+                let oy = b.convert(spf_ir::Conv::I32ToF64, rym);
+                let c = b.call(render, &[scene, nreg, ox, oy]);
+                emit_mix(b, check, c);
+            },
+        );
         b.ret(Some(check));
         b.finish()
     };

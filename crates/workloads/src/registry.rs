@@ -7,7 +7,7 @@ pub fn all() -> Vec<WorkloadSpec> {
     vec![
         WorkloadSpec {
             name: "mtrt",
-            description: "Two threaded ray tracing",
+            description: "Two-threaded ray tracer",
             suite: Suite::SpecJvm98,
             build: crate::mtrt::build,
         },
@@ -43,7 +43,7 @@ pub fn all() -> Vec<WorkloadSpec> {
         },
         WorkloadSpec {
             name: "javac",
-            description: "Java compiler from JDK1.0.2",
+            description: "Java compiler from JDK 1.0.2",
             suite: Suite::SpecJvm98,
             build: crate::javac::build,
         },
@@ -96,7 +96,10 @@ mod tests {
             7
         );
         assert_eq!(
-            specs.iter().filter(|s| s.suite == Suite::JavaGrande).count(),
+            specs
+                .iter()
+                .filter(|s| s.suite == Suite::JavaGrande)
+                .count(),
             5
         );
     }
@@ -108,5 +111,48 @@ mod tests {
         names.sort_unstable();
         names.dedup();
         assert_eq!(names.len(), specs.len());
+    }
+
+    #[test]
+    fn metadata_matches_table3() {
+        let specs = all();
+        let expected = [
+            ("mtrt", "Two-threaded ray tracer"),
+            ("jess", "Java expert shell system"),
+            ("compress", "Modified Lempel-Ziv method"),
+            ("db", "Memory resident database"),
+            ("mpegaudio", "MPEG Layer-3 audio decompression"),
+            ("jack", "Java parser generator"),
+            ("javac", "Java compiler from JDK 1.0.2"),
+            ("Euler", "Computational fluid dynamics"),
+            ("MolDyn", "Molecular dynamics simulation"),
+            ("MonteCarlo", "Monte Carlo simulation"),
+            ("RayTracer", "3D ray tracer"),
+            ("Search", "Alpha-beta pruned search"),
+        ];
+        assert_eq!(specs.len(), expected.len());
+        for (spec, (name, desc)) in specs.iter().zip(expected) {
+            assert_eq!(spec.name, name);
+            assert_eq!(spec.description, desc, "{name} description");
+            // Descriptions must fit Table 3's 36-character column.
+            assert!(spec.description.len() <= 36, "{name} description width");
+        }
+    }
+
+    #[test]
+    fn every_spec_builds_a_runnable_workload() {
+        for spec in all() {
+            let built = (spec.build)(crate::Size::Tiny);
+            assert!(built.heap_bytes > 0, "{}", spec.name);
+            assert!(built.compile_threshold >= 1, "{}", spec.name);
+            // The registry name must resolve inside the built program: the
+            // entry method exists and belongs to it.
+            let entry_name = built.program.method(built.entry).name();
+            assert!(
+                built.program.method_by_name(entry_name) == Some(built.entry),
+                "{}: entry method {entry_name} not resolvable",
+                spec.name
+            );
+        }
     }
 }

@@ -96,11 +96,17 @@ pub fn build(size: Size) -> BuiltWorkload {
         let mut b = pb.function("main", &[], Some(Ty::I32));
         let blen = b.const_i32(64);
         let board = b.new_array(ElemTy::I8, blen);
-        b.for_i32(0, 1, CmpOp::Lt, |_| blen, |b, i| {
-            let five = b.const_i32(5);
-            let v = b.rem(i, five);
-            b.astore(board, i, v, ElemTy::I8);
-        });
+        b.for_i32(
+            0,
+            1,
+            CmpOp::Lt,
+            |_| blen,
+            |b, i| {
+                let five = b.const_i32(5);
+                let v = b.rem(i, five);
+                b.astore(board, i, v, ElemTy::I8);
+            },
+        );
         b.putstatic(board_static, board);
         let tlen = b.const_i32(1 << 14);
         let tt = b.new_array(ElemTy::I32, tlen);
@@ -109,12 +115,18 @@ pub fn build(size: Size) -> BuiltWorkload {
         let z = b.const_i32(0);
         b.move_(check, z);
         let starts = b.const_i32(12);
-        b.for_i32(0, 1, CmpOp::Lt, |_| starts, |b, s| {
-            let d = b.const_i32(depth);
-            let zero = b.const_i32(0);
-            let v = b.call(search, &[s, d, zero]);
-            emit_mix(b, check, v);
-        });
+        b.for_i32(
+            0,
+            1,
+            CmpOp::Lt,
+            |_| starts,
+            |b, s| {
+                let d = b.const_i32(depth);
+                let zero = b.const_i32(0);
+                let v = b.call(search, &[s, d, zero]);
+                emit_mix(b, check, v);
+            },
+        );
         b.ret(Some(check));
         b.finish()
     };

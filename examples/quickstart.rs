@@ -35,12 +35,18 @@ fn build() -> (stride_prefetch::ir::Program, stride_prefetch::ir::MethodId) {
         let mut b = pb.function("setup", &[Ty::I32], Some(Ty::Ref));
         let n = b.param(0);
         let arr = b.new_array(ElemTy::Ref, n);
-        b.for_i32(0, 1, CmpOp::Lt, |_| n, |b, i| {
-            let p = b.new_object(particle);
-            let x = b.convert(stride_prefetch::ir::Conv::I32ToF64, i);
-            b.putfield(p, pf[0], x);
-            b.astore(arr, i, p, ElemTy::Ref);
-        });
+        b.for_i32(
+            0,
+            1,
+            CmpOp::Lt,
+            |_| n,
+            |b, i| {
+                let p = b.new_object(particle);
+                let x = b.convert(stride_prefetch::ir::Conv::I32ToF64, i);
+                b.putfield(p, pf[0], x);
+                b.astore(arr, i, p, ElemTy::Ref);
+            },
+        );
         b.ret(Some(arr));
         b.finish()
     };
@@ -52,12 +58,18 @@ fn build() -> (stride_prefetch::ir::Program, stride_prefetch::ir::MethodId) {
         let acc = b.new_reg(Ty::F64);
         let z = b.const_f64(0.0);
         b.move_(acc, z);
-        b.for_i32(0, 1, CmpOp::Lt, |b| b.arraylen(arr), |b, i| {
-            let p = b.aload(arr, i, ElemTy::Ref);
-            let x = b.getfield(p, pf[0]);
-            let s = b.add(acc, x);
-            b.move_(acc, s);
-        });
+        b.for_i32(
+            0,
+            1,
+            CmpOp::Lt,
+            |b| b.arraylen(arr),
+            |b, i| {
+                let p = b.aload(arr, i, ElemTy::Ref);
+                let x = b.getfield(p, pf[0]);
+                let s = b.add(acc, x);
+                b.move_(acc, s);
+            },
+        );
         let out = b.convert(stride_prefetch::ir::Conv::F64ToI32, acc);
         b.ret(Some(out));
         b.finish()
@@ -72,11 +84,17 @@ fn build() -> (stride_prefetch::ir::Program, stride_prefetch::ir::MethodId) {
         let z = b.const_i32(0);
         b.move_(total, z);
         let reps = b.const_i32(3);
-        b.for_i32(0, 1, CmpOp::Lt, |_| reps, |b, _| {
-            let s = b.call(sum, &[arr]);
-            let t = b.add(total, s);
-            b.move_(total, t);
-        });
+        b.for_i32(
+            0,
+            1,
+            CmpOp::Lt,
+            |_| reps,
+            |b, _| {
+                let s = b.call(sum, &[arr]);
+                let t = b.add(total, s);
+                b.move_(total, t);
+            },
+        );
         b.ret(Some(total));
         b.finish()
     };

@@ -39,11 +39,7 @@ fn checksum(
 #[test]
 fn all_workloads_agree_across_configurations() {
     for spec in workloads::all() {
-        let (base1, base2) = checksum(
-            &spec,
-            PrefetchOptions::off(),
-            ProcessorConfig::pentium4(),
-        );
+        let (base1, base2) = checksum(&spec, PrefetchOptions::off(), ProcessorConfig::pentium4());
         assert_eq!(
             base1, base2,
             "{}: deterministic across repeat invocations",

@@ -33,16 +33,22 @@ fn build() -> (stride_prefetch::ir::Program, stride_prefetch::ir::MethodId) {
         let acc = b.new_reg(Ty::I32);
         let z = b.const_i32(0);
         b.move_(acc, z);
-        b.for_i32(0, 1, CmpOp::Lt, |b| b.arraylen(arr), |b, i| {
-            let n = b.aload(arr, i, ElemTy::Ref);
-            let v = b.getfield(n, nf[0]);
-            let d = b.getfield(n, nf[1]);
-            let zero = b.const_i32(0);
-            let d0 = b.aload(d, zero, ElemTy::I32);
-            let s1 = b.add(acc, v);
-            let s2 = b.add(s1, d0);
-            b.move_(acc, s2);
-        });
+        b.for_i32(
+            0,
+            1,
+            CmpOp::Lt,
+            |b| b.arraylen(arr),
+            |b, i| {
+                let n = b.aload(arr, i, ElemTy::Ref);
+                let v = b.getfield(n, nf[0]);
+                let d = b.getfield(n, nf[1]);
+                let zero = b.const_i32(0);
+                let d0 = b.aload(d, zero, ElemTy::I32);
+                let s1 = b.add(acc, v);
+                let s2 = b.add(s1, d0);
+                b.move_(acc, s2);
+            },
+        );
         b.ret(Some(acc));
         b.finish()
     };
@@ -50,28 +56,40 @@ fn build() -> (stride_prefetch::ir::Program, stride_prefetch::ir::MethodId) {
         let mut b = pb.function("main", &[], Some(Ty::I32));
         let n = b.const_i32(2000);
         let arr = b.new_array(ElemTy::Ref, n);
-        b.for_i32(0, 1, CmpOp::Lt, |_| n, |b, i| {
-            // Garbage between live pairs: freed by GC, leaving uniform
-            // gaps that sliding compaction closes.
-            let _garbage = b.new_object(node);
-            let keep = b.new_object(node);
-            let one = b.const_i32(4);
-            let data = b.new_array(ElemTy::I32, one);
-            b.putfield(keep, nf[0], i);
-            b.putfield(keep, nf[1], data);
-            let zero = b.const_i32(0);
-            b.astore(data, zero, i, ElemTy::I32);
-            b.astore(arr, i, keep, ElemTy::Ref);
-        });
+        b.for_i32(
+            0,
+            1,
+            CmpOp::Lt,
+            |_| n,
+            |b, i| {
+                // Garbage between live pairs: freed by GC, leaving uniform
+                // gaps that sliding compaction closes.
+                let _garbage = b.new_object(node);
+                let keep = b.new_object(node);
+                let one = b.const_i32(4);
+                let data = b.new_array(ElemTy::I32, one);
+                b.putfield(keep, nf[0], i);
+                b.putfield(keep, nf[1], data);
+                let zero = b.const_i32(0);
+                b.astore(data, zero, i, ElemTy::I32);
+                b.astore(arr, i, keep, ElemTy::Ref);
+            },
+        );
         let acc = b.new_reg(Ty::I32);
         let z = b.const_i32(0);
         b.move_(acc, z);
         let reps = b.const_i32(6);
-        b.for_i32(0, 1, CmpOp::Lt, |_| reps, |b, _| {
-            let s = b.call(walk, &[arr]);
-            let t = b.add(acc, s);
-            b.move_(acc, t);
-        });
+        b.for_i32(
+            0,
+            1,
+            CmpOp::Lt,
+            |_| reps,
+            |b, _| {
+                let s = b.call(walk, &[arr]);
+                let t = b.add(acc, s);
+                b.move_(acc, t);
+            },
+        );
         b.ret(Some(acc));
         b.finish()
     };

@@ -68,7 +68,11 @@ fn euler_inter_equals_inter_intra() {
     let both = run_workload(&spec, &PrefetchOptions::inter_intra(), &amp, &plan);
     let gi = inter.speedup_vs(&base) - 1.0;
     let gb = both.speedup_vs(&base) - 1.0;
-    assert!(gi > 0.0, "INTER helps Euler on the Athlon: {:+.2}%", gi * 100.0);
+    assert!(
+        gi > 0.0,
+        "INTER helps Euler on the Athlon: {:+.2}%",
+        gi * 100.0
+    );
     assert!(
         (gi - gb).abs() < 0.03,
         "both configurations alike on Euler: {:+.2}% vs {:+.2}%",
@@ -167,8 +171,7 @@ fn prefetch_pass_is_ultra_lightweight() {
             for lr in &report.loops {
                 assert!(
                     lr.inspected_steps
-                        <= stride_prefetch::prefetch::PrefetchOptions::default()
-                            .max_inspect_steps,
+                        <= stride_prefetch::prefetch::PrefetchOptions::default().max_inspect_steps,
                     "{name}/{}: inspection exceeded its step budget",
                     report.method
                 );

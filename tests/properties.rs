@@ -1,6 +1,8 @@
-//! Property-based tests spanning crates.
+//! Property-based tests spanning crates (self-contained harness: the
+//! build environment has no crates.io access, so `spf-testkit` replaces
+//! proptest).
 
-use proptest::prelude::*;
+use spf_testkit::{cases, Rng};
 use stride_prefetch::heap::Value;
 use stride_prefetch::memsim::{MemorySystem, ProcessorConfig};
 use stride_prefetch::prefetch::PrefetchOptions;
@@ -53,26 +55,29 @@ impl E {
     }
 }
 
-fn arb_expr() -> impl Strategy<Value = E> {
-    let leaf = prop_oneof![
-        (-1000i32..1000).prop_map(E::Lit),
-        Just(E::Var),
-    ];
-    leaf.prop_recursive(4, 24, 2, |inner| {
-        prop_oneof![
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Add(a.into(), b.into())),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Sub(a.into(), b.into())),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Mul(a.into(), b.into())),
-            (inner.clone(), inner).prop_map(|(a, b)| E::Lt(a.into(), b.into())),
-        ]
-    })
+fn arb_expr(rng: &mut Rng, fuel: u32) -> E {
+    if fuel == 0 || rng.chance(1, 3) {
+        return if rng.bool() {
+            E::Lit(rng.i32_in(-1000, 999))
+        } else {
+            E::Var
+        };
+    }
+    let a = Box::new(arb_expr(rng, fuel - 1));
+    let b = Box::new(arb_expr(rng, fuel - 1));
+    match rng.index(4) {
+        0 => E::Add(a, b),
+        1 => E::Sub(a, b),
+        2 => E::Mul(a, b),
+        _ => E::Lt(a, b),
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn lang_expressions_match_reference(e in arb_expr(), x in -1000i32..1000) {
+#[test]
+fn lang_expressions_match_reference() {
+    cases(64, "lang expressions match reference", |rng| {
+        let e = arb_expr(rng, 4);
+        let x = rng.i32_in(-1000, 999);
         let src = format!("int f(int x) {{ return {}; }}", e.to_src());
         let program = stride_prefetch::lang::compile(&src)
             .unwrap_or_else(|err| panic!("compile error {err} in {src}"));
@@ -82,19 +87,20 @@ proptest! {
         // copy propagation, DCE all run) — both must match the reference.
         let a = vm.call(mid, &[Value::I32(x)]).unwrap();
         let b = vm.call(mid, &[Value::I32(x)]).unwrap();
-        prop_assert_eq!(a, Some(Value::I32(e.eval(x))), "interpreted, src={}", src);
-        prop_assert_eq!(b, Some(Value::I32(e.eval(x))), "compiled, src={}", src);
-    }
+        assert_eq!(a, Some(Value::I32(e.eval(x))), "interpreted, src={src}");
+        assert_eq!(b, Some(Value::I32(e.eval(x))), "compiled, src={src}");
+    });
+}
 
-    // -------------------------------------------------------------------
-    // Memory-system invariants over random access streams.
-    // -------------------------------------------------------------------
+// -------------------------------------------------------------------
+// Memory-system invariants over random access streams.
+// -------------------------------------------------------------------
 
-    #[test]
-    fn memsim_counters_are_consistent(
-        addrs in prop::collection::vec(0x10_0000u64..0x50_0000, 1..300),
-        prefetch_every in 1usize..8,
-    ) {
+#[test]
+fn memsim_counters_are_consistent() {
+    cases(64, "memsim counters are consistent", |rng| {
+        let addrs = rng.vec(1, 299, |r| r.u64_in(0x10_0000, 0x50_0000 - 1));
+        let prefetch_every = rng.usize_in(1, 7);
         let mut m = MemorySystem::new(ProcessorConfig::pentium4());
         let mut now = 0u64;
         for (i, &a) in addrs.iter().enumerate() {
@@ -104,66 +110,63 @@ proptest! {
             now += m.load(a, now);
         }
         let s = m.stats();
-        prop_assert_eq!(s.loads, addrs.len() as u64);
-        prop_assert!(s.l1_load_misses <= s.loads);
-        prop_assert!(s.l2_load_misses <= s.l1_load_misses,
-            "an L2 miss event implies an L1 miss event");
-        prop_assert!(s.dtlb_load_misses <= s.loads);
-        prop_assert!(s.swpf_dropped_tlb <= s.swpf_issued);
-        prop_assert!(s.swpf_fills <= s.swpf_issued);
-    }
+        assert_eq!(s.loads, addrs.len() as u64);
+        assert!(s.l1_load_misses <= s.loads);
+        assert!(
+            s.l2_load_misses <= s.l1_load_misses,
+            "an L2 miss event implies an L1 miss event"
+        );
+        assert!(s.dtlb_load_misses <= s.loads);
+        assert!(s.swpf_dropped_tlb <= s.swpf_issued);
+        assert!(s.swpf_fills <= s.swpf_issued);
+    });
+}
 
-    #[test]
-    fn memsim_second_access_hits(
-        addr in 0x10_0000u64..0x40_0000,
-        gap in 0u64..64,
-    ) {
+#[test]
+fn memsim_second_access_hits() {
+    cases(64, "memsim second access hits", |rng| {
+        let addr = rng.u64_in(0x10_0000, 0x40_0000 - 1);
+        let gap = rng.u64_in(0, 63);
         let mut m = MemorySystem::new(ProcessorConfig::athlon_mp());
         let aligned = addr & !63;
         let lat1 = m.load(aligned, 0);
         let lat2 = m.load(aligned + gap, lat1);
         // Second access to the same line is an L1 hit.
-        prop_assert_eq!(lat2, m.config().l1.hit_latency);
-        prop_assert_eq!(m.stats().l1_load_misses, 1);
-    }
-
+        assert_eq!(lat2, m.config().l1.hit_latency);
+        assert_eq!(m.stats().l1_load_misses, 1);
+    });
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(8))]
+// -------------------------------------------------------------------
+// Optimizer fuzz: random configurations never change db's checksum.
+// -------------------------------------------------------------------
 
-    // -------------------------------------------------------------------
-    // Optimizer fuzz: random configurations never change db's checksum.
-    // -------------------------------------------------------------------
-
-    #[test]
-    fn random_options_preserve_semantics(
-        iterations in 2u32..40,
-        majority in 0.3f64..1.0,
-        distance in 1u32..5,
-        min_samples in 2usize..8,
-        profitability in prop::bool::ANY,
-    ) {
-        let spec = workloads::all().into_iter().find(|s| s.name == "db").unwrap();
-        let reference = {
-            let built = (spec.build)(Size::Tiny);
-            let mut vm = Vm::new(
-                built.program,
-                VmConfig {
-                    heap_bytes: built.heap_bytes,
-                    prefetch: PrefetchOptions::off(),
-                    ..VmConfig::default()
-                },
-                ProcessorConfig::pentium4(),
-            );
-            vm.call(built.entry, &[]).unwrap()
-        };
+#[test]
+fn random_options_preserve_semantics() {
+    let spec = workloads::all()
+        .into_iter()
+        .find(|s| s.name == "db")
+        .unwrap();
+    let reference = {
+        let built = (spec.build)(Size::Tiny);
+        let mut vm = Vm::new(
+            built.program,
+            VmConfig {
+                heap_bytes: built.heap_bytes,
+                prefetch: PrefetchOptions::off(),
+                ..VmConfig::default()
+            },
+            ProcessorConfig::pentium4(),
+        );
+        vm.call(built.entry, &[]).unwrap()
+    };
+    cases(8, "random options preserve semantics", |rng| {
         let options = PrefetchOptions {
-            inspect_iterations: iterations,
-            majority,
-            distance,
-            min_samples,
-            profitability,
+            inspect_iterations: rng.u64_in(2, 39) as u32,
+            majority: rng.f64_in(0.3, 1.0),
+            distance: rng.u64_in(1, 4) as u32,
+            min_samples: rng.usize_in(2, 7),
+            profitability: rng.bool(),
             ..PrefetchOptions::inter_intra()
         };
         let built = (spec.build)(Size::Tiny);
@@ -178,7 +181,7 @@ proptest! {
         );
         let out1 = vm.call(built.entry, &[]).unwrap();
         let out2 = vm.call(built.entry, &[]).unwrap();
-        prop_assert_eq!(out1, reference.clone());
-        prop_assert_eq!(out2, reference);
-    }
+        assert_eq!(out1, reference);
+        assert_eq!(out2, reference);
+    });
 }
