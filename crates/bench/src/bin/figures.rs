@@ -6,6 +6,7 @@
 //! cargo run --release -p spf-bench --bin figures -- tiny db       # one workload
 //! cargo run --release -p spf-bench --bin figures -- small --jobs 8
 //! cargo run --release -p spf-bench --bin figures -- tiny --verify-serial
+//! cargo run --release -p spf-bench --bin figures -- tiny --trace
 //! ```
 //!
 //! The experiment matrix is sharded across worker threads (`--jobs N`,
@@ -18,12 +19,22 @@
 //! `--verify-serial` runs one cell both through the parallel scheduler and
 //! directly on the main thread, then diffs the two `Measurement`s field by
 //! field and exits (0 = identical).
+//!
+//! `--trace` re-runs the matrix with event tracing after the untraced
+//! sweep, asserts the traced simulated numbers are bit-identical to the
+//! untraced ones, reconciles every cell's per-site prefetch classification
+//! against its aggregate memory counters, and writes the per-site
+//! effectiveness record to `TRACE_summary.jsonl` (override with
+//! `--trace-out PATH`, disable the file with `--trace-out -`; render or
+//! diff it with the `spf-trace-report` binary).
 
+use std::io::Write as _;
 use std::process::ExitCode;
 use std::time::Instant;
 
 use spf_bench::RunPlan;
 use spf_bench::{figures, matrix, matrix_json};
+use spf_trace::summary;
 use spf_workloads::Size;
 
 struct Args {
@@ -32,6 +43,8 @@ struct Args {
     jobs: usize,
     verify_serial: bool,
     matrix_out: Option<String>,
+    trace: bool,
+    trace_out: Option<String>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -41,6 +54,8 @@ fn parse_args() -> Result<Args, String> {
         jobs: matrix::default_jobs(),
         verify_serial: false,
         matrix_out: Some("BENCH_matrix.json".to_string()),
+        trace: false,
+        trace_out: Some("TRACE_summary.jsonl".to_string()),
     };
     let mut it = std::env::args().skip(1);
     let mut positional: Vec<String> = Vec::new();
@@ -59,6 +74,14 @@ fn parse_args() -> Result<Args, String> {
                     .next()
                     .ok_or("--matrix-out needs a path (or - to disable)")?;
                 args.matrix_out = if v == "-" { None } else { Some(v) };
+            }
+            "--trace" => args.trace = true,
+            "--trace-out" => {
+                let v = it
+                    .next()
+                    .ok_or("--trace-out needs a path (or - to disable)")?;
+                args.trace = true;
+                args.trace_out = if v == "-" { None } else { Some(v) };
             }
             _ => positional.push(a),
         }
@@ -89,6 +112,14 @@ fn parse_args() -> Result<Args, String> {
     Ok(args)
 }
 
+/// Prints to stdout without panicking when the pipe closes early (e.g.
+/// `figures | head`) — same pattern as `bench_diff`.
+fn emit(text: &str) {
+    let mut out = std::io::stdout().lock();
+    let _ = out.write_all(text.as_bytes());
+    let _ = out.write_all(b"\n");
+}
+
 /// Runs the first kept cell both through the parallel scheduler and
 /// directly, and diffs the resulting `Measurement`s.
 fn verify_serial(plan: &RunPlan, keep: impl Fn(&str) -> bool) -> ExitCode {
@@ -102,15 +133,75 @@ fn verify_serial(plan: &RunPlan, keep: impl Fn(&str) -> bool) -> ExitCode {
     let direct = spf_bench::run_workload(&cell.spec, &cell.options, &cell.proc, plan);
     let diff = threaded[0].measurement.simulated_diff(&direct);
     if diff.is_empty() {
-        println!("verify-serial: OK — parallel and serial measurements are identical");
+        emit("verify-serial: OK — parallel and serial measurements are identical");
         ExitCode::SUCCESS
     } else {
-        println!("verify-serial: MISMATCH");
+        emit("verify-serial: MISMATCH");
         for d in &diff {
-            println!("  {d}");
+            emit(&format!("  {d}"));
         }
         ExitCode::FAILURE
     }
+}
+
+/// Re-runs the matrix with tracing, asserts the traced numbers are
+/// bit-identical to the untraced `results`, reconciles each cell's
+/// per-site classification against its aggregate counters, and writes the
+/// per-site summary. Returns `false` on any violation.
+fn traced_sweep(
+    plan: &RunPlan,
+    jobs: usize,
+    cells: &[matrix::Cell],
+    results: &[matrix::CellResult],
+    trace_out: Option<&str>,
+) -> bool {
+    eprintln!("re-running the grid with event tracing...");
+    let traced = matrix::run_cells_traced(plan, jobs, cells);
+    let mut ok = true;
+    let mut rows = Vec::new();
+    for (t, u) in traced.iter().zip(results) {
+        let m = &t.measurement;
+        let run = format!("{}/{}/{}", m.name, m.mode, m.processor);
+        let diff = m.simulated_diff(&u.measurement);
+        if !diff.is_empty() {
+            ok = false;
+            emit(&format!("trace: {run}: traced run DIVERGED:"));
+            for d in &diff {
+                emit(&format!("  {d}"));
+            }
+        }
+        let issued = m.mem.swpf_issued + m.mem.guarded_loads;
+        let attr = &t.trace.attribution;
+        let classified = attr.total(|e| e.useful() + e.too_early() + e.too_late() + e.dropped());
+        if t.trace.lost > 0 {
+            eprintln!(
+                "trace: {run}: ring dropped {} event(s); classification is partial",
+                t.trace.lost
+            );
+        } else if classified != issued {
+            ok = false;
+            emit(&format!(
+                "trace: {run}: {classified} classified != {issued} issued \
+                 (swpf {} + guarded {})",
+                m.mem.swpf_issued, m.mem.guarded_loads
+            ));
+        }
+        rows.extend(summary::rows(&run, attr, &t.trace.sites));
+    }
+    let issued: u64 = rows.iter().map(|r| r.issued).sum();
+    let useful: u64 = rows.iter().map(|r| r.useful).sum();
+    eprintln!(
+        "trace: {} cell(s), {} site(s), {issued} prefetches issued ({useful} useful)",
+        traced.len(),
+        rows.len(),
+    );
+    if let Some(path) = trace_out {
+        match std::fs::write(path, summary::emit(&rows)) {
+            Ok(()) => eprintln!("wrote {path}"),
+            Err(e) => eprintln!("warning: could not write {path}: {e}"),
+        }
+    }
+    ok
 }
 
 fn main() -> ExitCode {
@@ -131,15 +222,17 @@ fn main() -> ExitCode {
         return verify_serial(&plan, keep);
     }
 
-    println!("{}", figures::table2());
-    println!("{}", figures::table1_and_fig5());
+    emit(&figures::table2());
+    emit(&figures::table1_and_fig5());
 
     eprintln!(
         "running experiment grid on {} worker(s) (this takes a few minutes at full size)...",
         args.jobs
     );
+    let cells = matrix::cells(keep);
     let t0 = Instant::now();
-    let results = matrix::run_matrix(&plan, args.jobs, keep);
+    let results = matrix::run_cells(&plan, args.jobs, &cells);
+    matrix::assert_checksums_agree(&results);
     let total_wall = t0.elapsed().as_nanos();
     eprintln!(
         "grid done: {} cells in {:.2}s",
@@ -155,13 +248,29 @@ fn main() -> ExitCode {
         }
     }
 
+    let traced_ok = if args.trace {
+        traced_sweep(
+            &plan,
+            args.jobs,
+            &cells,
+            &results,
+            args.trace_out.as_deref(),
+        )
+    } else {
+        true
+    };
+
     let data = figures::from_measurements(results.into_iter().map(|r| r.measurement).collect());
-    println!("{}", data.table3());
-    println!("{}", data.fig6());
-    println!("{}", data.fig7());
-    println!("{}", data.fig8());
-    println!("{}", data.fig9());
-    println!("{}", data.fig10());
-    println!("{}", data.fig11());
-    ExitCode::SUCCESS
+    emit(&data.table3());
+    emit(&data.fig6());
+    emit(&data.fig7());
+    emit(&data.fig8());
+    emit(&data.fig9());
+    emit(&data.fig10());
+    emit(&data.fig11());
+    if traced_ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
 }

@@ -14,4 +14,4 @@ pub mod matrix;
 pub mod matrix_json;
 pub mod runner;
 
-pub use runner::{run_workload, Measurement, RunPlan};
+pub use runner::{run_workload, run_workload_traced, Measurement, RunPlan, WorkloadTrace};

@@ -18,7 +18,7 @@ use spf_core::PrefetchOptions;
 use spf_memsim::ProcessorConfig;
 use spf_workloads::WorkloadSpec;
 
-use crate::runner::{run_workload, Measurement, RunPlan};
+use crate::runner::{run_workload, run_workload_traced, Measurement, RunPlan, WorkloadTrace};
 
 /// One matrix cell: a workload under one prefetch configuration on one
 /// simulated processor.
@@ -80,6 +80,17 @@ pub fn default_jobs() -> usize {
     std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
 }
 
+/// A completed traced cell: the measurement plus its trace artifacts.
+#[derive(Clone, Debug)]
+pub struct TracedCellResult {
+    /// The simulated measurement (bit-identical to the untraced one).
+    pub measurement: Measurement,
+    /// Events, site table, and per-site attribution of the best run.
+    pub trace: WorkloadTrace,
+    /// Host wall-clock nanoseconds spent simulating this cell.
+    pub wall_nanos: u128,
+}
+
 fn run_cell(plan: &RunPlan, cell: &Cell) -> CellResult {
     let t0 = Instant::now();
     let measurement = run_workload(&cell.spec, &cell.options, &cell.proc, plan);
@@ -89,33 +100,40 @@ fn run_cell(plan: &RunPlan, cell: &Cell) -> CellResult {
     }
 }
 
-/// Runs `cells` on up to `jobs` worker threads, returning results in the
-/// same order as the input regardless of scheduling.
-///
-/// # Panics
-///
-/// Panics if a workload faults (propagating the worker's panic).
-pub fn run_cells(plan: &RunPlan, jobs: usize, cells: &[Cell]) -> Vec<CellResult> {
-    let jobs = jobs.clamp(1, cells.len().max(1));
+fn run_cell_traced(plan: &RunPlan, cell: &Cell) -> TracedCellResult {
+    let t0 = Instant::now();
+    let (measurement, trace) = run_workload_traced(&cell.spec, &cell.options, &cell.proc, plan);
+    TracedCellResult {
+        measurement,
+        trace,
+        wall_nanos: t0.elapsed().as_nanos(),
+    }
+}
+
+/// Runs `count` independent tasks on up to `jobs` worker threads through
+/// an atomic cursor, returning results in task order regardless of
+/// scheduling. Worker panics are propagated.
+fn run_pool<R: Send>(jobs: usize, count: usize, task: impl Fn(usize) -> R + Sync) -> Vec<R> {
+    let jobs = jobs.clamp(1, count.max(1));
     if jobs == 1 {
-        return cells.iter().map(|c| run_cell(plan, c)).collect();
+        return (0..count).map(task).collect();
     }
     let next = AtomicUsize::new(0);
-    let mut slots: Vec<Option<CellResult>> = vec![None; cells.len()];
+    let mut slots: Vec<Option<R>> = (0..count).map(|_| None).collect();
     std::thread::scope(|s| {
         let workers: Vec<_> = (0..jobs)
             .map(|_| {
                 s.spawn(|| {
-                    // Claim cells through the shared cursor; keep results
+                    // Claim tasks through the shared cursor; keep results
                     // local until the join to avoid any lock on the hot
                     // path.
-                    let mut done: Vec<(usize, CellResult)> = Vec::new();
+                    let mut done: Vec<(usize, R)> = Vec::new();
                     loop {
                         let i = next.fetch_add(1, Ordering::Relaxed);
-                        if i >= cells.len() {
+                        if i >= count {
                             break;
                         }
-                        done.push((i, run_cell(plan, &cells[i])));
+                        done.push((i, task(i)));
                     }
                     done
                 })
@@ -134,8 +152,28 @@ pub fn run_cells(plan: &RunPlan, jobs: usize, cells: &[Cell]) -> Vec<CellResult>
     });
     slots
         .into_iter()
-        .map(|r| r.expect("every cell was claimed by a worker"))
+        .map(|r| r.expect("every task was claimed by a worker"))
         .collect()
+}
+
+/// Runs `cells` on up to `jobs` worker threads, returning results in the
+/// same order as the input regardless of scheduling.
+///
+/// # Panics
+///
+/// Panics if a workload faults (propagating the worker's panic).
+pub fn run_cells(plan: &RunPlan, jobs: usize, cells: &[Cell]) -> Vec<CellResult> {
+    run_pool(jobs, cells.len(), |i| run_cell(plan, &cells[i]))
+}
+
+/// [`run_cells`] with event tracing: every cell runs with a recording
+/// sink and returns its trace artifacts alongside the measurement.
+///
+/// # Panics
+///
+/// Panics if a workload faults (propagating the worker's panic).
+pub fn run_cells_traced(plan: &RunPlan, jobs: usize, cells: &[Cell]) -> Vec<TracedCellResult> {
+    run_pool(jobs, cells.len(), |i| run_cell_traced(plan, &cells[i]))
 }
 
 /// Runs the whole (filtered) matrix on up to `jobs` workers and verifies

@@ -2,6 +2,7 @@
 
 use spf_core::{PrefetchMode, PrefetchOptions};
 use spf_memsim::{MemStats, ProcessorConfig};
+use spf_trace::{attribute, Attribution, NoopSink, RingSink, SiteTable, TraceEvent, TraceSink};
 use spf_vm::{Vm, VmConfig};
 use spf_workloads::{Size, WorkloadSpec};
 
@@ -96,6 +97,24 @@ impl Measurement {
     }
 }
 
+/// The trace artifacts of one traced workload run.
+#[derive(Clone, Debug)]
+pub struct WorkloadTrace {
+    /// Compile-time events from the warm-up phase: JIT begin, LDG
+    /// construction, inspection, suppressions, planning, and site
+    /// registration.
+    pub compile_events: Vec<TraceEvent>,
+    /// Runtime events of the best (reported) measured run.
+    pub events: Vec<TraceEvent>,
+    /// The prefetch-site table the JIT registered during warm-up.
+    pub sites: SiteTable,
+    /// Per-site effectiveness derived from [`events`](Self::events).
+    pub attribution: Attribution,
+    /// Events the sink dropped for capacity in the best run (non-zero
+    /// means the attribution undercounts).
+    pub lost: u64,
+}
+
 /// Runs `spec` under `options` on `proc` according to `plan`.
 ///
 /// # Panics
@@ -109,8 +128,37 @@ pub fn run_workload(
     proc: &ProcessorConfig,
     plan: &RunPlan,
 ) -> Measurement {
+    run_workload_sink(spec, options, proc, plan, NoopSink).0
+}
+
+/// [`run_workload`] with event tracing into a default-capacity
+/// [`RingSink`]. The measurement is produced by the *same* code path as
+/// the untraced one — the harness asserts the two are bit-identical.
+///
+/// # Panics
+///
+/// Panics under the same conditions as [`run_workload`].
+pub fn run_workload_traced(
+    spec: &WorkloadSpec,
+    options: &PrefetchOptions,
+    proc: &ProcessorConfig,
+    plan: &RunPlan,
+) -> (Measurement, WorkloadTrace) {
+    let (m, t) = run_workload_sink(spec, options, proc, plan, RingSink::default());
+    (m, t.expect("ring sink is enabled"))
+}
+
+/// The shared measurement protocol, generic over the trace sink so the
+/// traced and untraced entry points cannot drift apart.
+fn run_workload_sink<S: TraceSink>(
+    spec: &WorkloadSpec,
+    options: &PrefetchOptions,
+    proc: &ProcessorConfig,
+    plan: &RunPlan,
+    sink: S,
+) -> (Measurement, Option<WorkloadTrace>) {
     let built = (spec.build)(plan.size);
-    let mut vm = Vm::new(
+    let mut vm = Vm::with_sink(
         built.program,
         VmConfig {
             heap_bytes: built.heap_bytes,
@@ -119,6 +167,7 @@ pub fn run_workload(
             ..VmConfig::default()
         },
         proc.clone(),
+        sink,
     );
     let mut checksum = 0;
     for _ in 0..plan.warmup_runs {
@@ -133,9 +182,18 @@ pub fn run_workload(
     }
     let warm_stats = vm.stats().clone();
     let prefetches_inserted = vm.reports().iter().map(|r| r.total_prefetches).sum();
+    let compile_events = if S::ENABLED {
+        vm.sink().snapshot()
+    } else {
+        Vec::new()
+    };
 
     let mut best: Option<(u64, u64, MemStats, f64)> = None;
+    let mut best_events: Vec<TraceEvent> = Vec::new();
+    let mut best_lost = 0u64;
     for _ in 0..plan.measured_runs {
+        // Clears counters, caches, and the trace sink: the captured events
+        // are exactly the reported run's.
         vm.reset_measurement();
         let out = vm
             .call(built.entry, &[])
@@ -151,10 +209,21 @@ pub fn run_workload(
                 *vm.mem_stats(),
                 s.compiled_code_fraction(),
             ));
+            if S::ENABLED {
+                best_events = vm.sink().snapshot();
+                best_lost = vm.sink().lost();
+            }
         }
     }
     let (best_cycles, retired, mem, compiled_fraction) = best.expect("at least one measured run");
-    Measurement {
+    let trace = S::ENABLED.then(|| WorkloadTrace {
+        attribution: attribute(&best_events),
+        compile_events,
+        events: best_events,
+        sites: vm.sites().clone(),
+        lost: best_lost,
+    });
+    let measurement = Measurement {
         name: spec.name.to_string(),
         mode: options.mode,
         processor: proc.name.clone(),
@@ -166,5 +235,6 @@ pub fn run_workload(
         prefetch_pass_fraction: warm_stats.prefetch_pass_fraction(),
         prefetches_inserted,
         checksum,
-    }
+    };
+    (measurement, trace)
 }

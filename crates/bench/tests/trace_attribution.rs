@@ -1,0 +1,163 @@
+//! End-to-end tracing invariants, from workload execution through
+//! per-site attribution:
+//!
+//! 1. Tracing must never change the simulation — traced and untraced
+//!    measurements are bit-identical.
+//! 2. Every issued software prefetch is classified into exactly one
+//!    bucket, and the per-site totals reconcile with the memory system's
+//!    aggregate counters.
+//! 3. Every prefetch site of the compiled code appears exactly once in
+//!    the attribution table, and every runtime event resolves to a
+//!    registered site.
+
+use spf_bench::{run_workload, run_workload_traced, RunPlan};
+use spf_core::PrefetchOptions;
+use spf_memsim::ProcessorConfig;
+use spf_trace::{summary, TraceEvent};
+use spf_workloads::Size;
+
+fn tiny_plan() -> RunPlan {
+    RunPlan {
+        size: Size::Tiny,
+        warmup_runs: 2,
+        measured_runs: 2,
+    }
+}
+
+/// The cells the invariants are checked on: one pointer-chasing workload
+/// on both processors under both prefetching configurations.
+fn traced_cells() -> Vec<(PrefetchOptions, ProcessorConfig)> {
+    let mut out = Vec::new();
+    for proc in [ProcessorConfig::pentium4(), ProcessorConfig::athlon_mp()] {
+        for options in [PrefetchOptions::inter(), PrefetchOptions::inter_intra()] {
+            out.push((options, proc.clone()));
+        }
+    }
+    out
+}
+
+fn db_spec() -> spf_workloads::WorkloadSpec {
+    spf_workloads::all()
+        .into_iter()
+        .find(|s| s.name == "db")
+        .expect("db workload exists")
+}
+
+#[test]
+fn tracing_never_changes_the_measurement() {
+    let plan = tiny_plan();
+    let spec = db_spec();
+    for (options, proc) in traced_cells() {
+        let untraced = run_workload(&spec, &options, &proc, &plan);
+        let (traced, _) = run_workload_traced(&spec, &options, &proc, &plan);
+        let diff = traced.simulated_diff(&untraced);
+        assert!(
+            diff.is_empty(),
+            "{}/{}: traced run diverged: {diff:?}",
+            options.mode,
+            proc.name
+        );
+    }
+}
+
+#[test]
+fn every_issued_prefetch_is_classified_exactly_once() {
+    let plan = tiny_plan();
+    let spec = db_spec();
+    let mut nonvacuous = false;
+    for (options, proc) in traced_cells() {
+        let (m, t) = run_workload_traced(&spec, &options, &proc, &plan);
+        if t.lost > 0 {
+            // A truncated ring cannot reconcile; the default capacity is
+            // sized so this does not happen at tiny size.
+            panic!(
+                "{}/{}: ring dropped {} events",
+                options.mode, proc.name, t.lost
+            );
+        }
+        let attr = &t.attribution;
+        let issued = m.mem.swpf_issued + m.mem.guarded_loads;
+        let classified = attr.total(|e| e.useful() + e.too_early() + e.too_late() + e.dropped());
+        assert_eq!(
+            classified, issued,
+            "{}/{}: classification must partition issued prefetches",
+            options.mode, proc.name
+        );
+        assert_eq!(
+            attr.total(|e| e.issued()),
+            issued,
+            "{}/{}: per-site issue counts must sum to the aggregate",
+            options.mode,
+            proc.name
+        );
+        assert_eq!(
+            attr.total(|e| e.dropped()),
+            m.mem.swpf_dropped_tlb,
+            "{}/{}: dropped bucket equals the DTLB-cancel counter",
+            options.mode,
+            proc.name
+        );
+        assert_eq!(
+            attr.total(|e| e.guarded_issued),
+            m.mem.guarded_loads,
+            "{}/{}: guarded issues must sum to the aggregate",
+            options.mode,
+            proc.name
+        );
+        assert_eq!(
+            attr.hw_prefetch_fills, m.mem.hw_prefetch_fills,
+            "{}/{}: hardware prefetch fills must agree",
+            options.mode, proc.name
+        );
+        if issued > 0 {
+            nonvacuous = true;
+        }
+    }
+    assert!(nonvacuous, "no cell issued any prefetch — test is vacuous");
+}
+
+#[test]
+fn every_prefetch_site_appears_exactly_once() {
+    let plan = tiny_plan();
+    let spec = db_spec();
+    let (m, t) = run_workload_traced(
+        &spec,
+        &PrefetchOptions::inter_intra(),
+        &ProcessorConfig::pentium4(),
+        &plan,
+    );
+    assert!(!t.sites.is_empty(), "db compiles prefetch sites");
+
+    // Exactly one SiteRegistered compile-time event per table entry.
+    let registered = t
+        .compile_events
+        .iter()
+        .filter(|e| matches!(e, TraceEvent::SiteRegistered { .. }))
+        .count();
+    assert_eq!(registered, t.sites.len());
+    assert!(t
+        .compile_events
+        .iter()
+        .any(|e| matches!(e, TraceEvent::JitBegin { .. })));
+
+    // The summary lists each site exactly once, keyed by position.
+    let run = format!("{}/{}/{}", m.name, m.mode, m.processor);
+    let rows = summary::rows(&run, &t.attribution, &t.sites);
+    let mut keys: Vec<_> = rows.iter().map(summary::SummaryRow::key).collect();
+    keys.sort();
+    let before = keys.len();
+    keys.dedup();
+    assert_eq!(keys.len(), before, "duplicate site rows in the summary");
+
+    // Every runtime event resolved to a registered site: no synthetic
+    // `?` rows, and the summary covers the whole site table.
+    assert!(
+        rows.iter().all(|r| r.method != "?"),
+        "runtime events fell outside the registered site table"
+    );
+    assert_eq!(rows.len(), t.sites.len());
+
+    // The summary round-trips through its JSONL encoding.
+    let parsed = summary::parse(&summary::emit(&rows)).unwrap();
+    assert_eq!(parsed, rows);
+}

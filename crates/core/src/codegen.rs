@@ -26,6 +26,7 @@ use std::collections::{HashMap, HashSet};
 use spf_heap::Layout;
 use spf_ir::{Function, Instr, InstrRef, PrefetchAddr, PrefetchKind, Ty};
 use spf_memsim::ProcessorConfig;
+use spf_trace::{PlannedShape, SuppressReason, TraceEvent, TraceSink};
 
 use crate::ldg::{Ldg, LdgNodeId};
 use crate::options::{PrefetchMode, PrefetchOptions};
@@ -45,6 +46,23 @@ pub enum GuardedPolicy {
     AlwaysHardware,
     /// Always use guarded loads (ablation).
     AlwaysGuarded,
+}
+
+fn suppressed(site: InstrRef, reason: SuppressReason) -> TraceEvent {
+    TraceEvent::Suppressed {
+        block: site.block.index() as u32,
+        index: site.index,
+        reason,
+    }
+}
+
+fn planned(site: InstrRef, shape: PlannedShape, param: i64) -> TraceEvent {
+    TraceEvent::Planned {
+        block: site.block.index() as u32,
+        index: site.index,
+        shape,
+        param,
+    }
 }
 
 /// Plans and applies prefetch insertions for one method.
@@ -124,14 +142,17 @@ impl<'a> PrefetchCodegen<'a> {
     /// `work` is the function being optimized (new registers for spec-loads
     /// are allocated on it); `exclude` are nodes folded out because their
     /// nested loop has a large trip count; `already` are anchor sites
-    /// handled by an inner loop's pass. Returns `(site → instructions to
-    /// insert after it, report entries)`.
-    pub fn plan(
+    /// handled by an inner loop's pass; `sink` receives a
+    /// [`TraceEvent::Suppressed`] / [`TraceEvent::Planned`] for every
+    /// profitability decision (pass a `NoopSink` to compile them out).
+    /// Returns `(site → instructions to insert after it, report entries)`.
+    pub fn plan<S: TraceSink>(
         &self,
         work: &mut Function,
         ldg: &Ldg,
         exclude: &HashSet<LdgNodeId>,
         already: &mut HashSet<InstrRef>,
+        sink: &mut S,
     ) -> (HashMap<InstrRef, Vec<Instr>>, Vec<GeneratedPrefetch>) {
         let mut insertions: HashMap<InstrRef, Vec<Instr>> = HashMap::new();
         let mut report = Vec::new();
@@ -154,9 +175,15 @@ impl<'a> PrefetchCodegen<'a> {
                 continue;
             };
             if d == 0 {
+                if S::ENABLED {
+                    sink.emit(suppressed(node.site, SuppressReason::ZeroStride));
+                }
                 continue; // loop-invariant address
             }
             if self.options.profitability && !has_dependent(work, node.site) {
+                if S::ENABLED {
+                    sink.emit(suppressed(node.site, SuppressReason::NoDependent));
+                }
                 continue; // condition 1
             }
             let Some(anchor_addr) = self.addr_of(work, node.site, d * c) else {
@@ -201,10 +228,19 @@ impl<'a> PrefetchCodegen<'a> {
                     Instr::ArrayLen { arr, .. } => (0x8000_0000 | arr.index() as u32, 8 + d * c),
                     _ => (lx.index() as u32, 0),
                 };
-                if self.options.profitability
-                    && (!stride_is_profitable(d, line) || !issued.claim(claim_key, claim_off, line))
-                {
-                    continue;
+                if self.options.profitability {
+                    if !stride_is_profitable(d, line) {
+                        if S::ENABLED {
+                            sink.emit(suppressed(node.site, SuppressReason::StrideTooSmall));
+                        }
+                        continue;
+                    }
+                    if !issued.claim(claim_key, claim_off, line) {
+                        if S::ENABLED {
+                            sink.emit(suppressed(node.site, SuppressReason::LineShared));
+                        }
+                        continue;
+                    }
                 }
                 let kind = self.pick_kind(false, d * c);
                 insertions
@@ -215,6 +251,9 @@ impl<'a> PrefetchCodegen<'a> {
                         kind,
                     });
                 already.insert(node.site);
+                if S::ENABLED {
+                    sink.emit(planned(node.site, PlannedShape::InterStride, d));
+                }
                 report.push(GeneratedPrefetch {
                     anchor: node.site,
                     kind: GeneratedKind::InterStride { stride: d },
@@ -231,6 +270,9 @@ impl<'a> PrefetchCodegen<'a> {
                 addr: anchor_addr,
             });
             already.insert(node.site);
+            if S::ENABLED {
+                sink.emit(planned(node.site, PlannedShape::SpeculativeLoad, d));
+            }
             report.push(GeneratedPrefetch {
                 anchor: node.site,
                 kind: GeneratedKind::SpeculativeLoad { stride: d },
@@ -254,11 +296,16 @@ impl<'a> PrefetchCodegen<'a> {
                         },
                         kind,
                     });
+                    if S::ENABLED {
+                        sink.emit(planned(ldg.node(ly).site, PlannedShape::Dereference, f_off));
+                    }
                     report.push(GeneratedPrefetch {
                         anchor: ldg.node(ly).site,
                         kind: GeneratedKind::Dereference { offset: f_off },
                         mapped: kind,
                     });
+                } else if S::ENABLED {
+                    sink.emit(suppressed(ldg.node(ly).site, SuppressReason::LineShared));
                 }
                 // Intra-iteration stride prefetching: Lz reachable from Ly
                 // through edges with intra patterns, directly or
@@ -275,6 +322,12 @@ impl<'a> PrefetchCodegen<'a> {
                         stack.push((e2.to, total));
                         let offset = f_off + total;
                         if self.options.profitability && !issued.claim(anchor_key, offset, line) {
+                            if S::ENABLED {
+                                sink.emit(suppressed(
+                                    ldg.node(e2.to).site,
+                                    SuppressReason::LineShared,
+                                ));
+                            }
                             continue;
                         }
                         let kind = self.pick_kind(true, total);
@@ -285,6 +338,13 @@ impl<'a> PrefetchCodegen<'a> {
                             },
                             kind,
                         });
+                        if S::ENABLED {
+                            sink.emit(planned(
+                                ldg.node(e2.to).site,
+                                PlannedShape::IntraStride,
+                                total,
+                            ));
+                        }
                         report.push(GeneratedPrefetch {
                             anchor: ldg.node(e2.to).site,
                             kind: GeneratedKind::IntraStride { stride: total },

@@ -102,7 +102,13 @@ pub fn optimize_with_profile(
             let site = ldg.node(id).site;
             ldg.node_mut(id).inter_stride = profile.stride_of(site, options);
         }
-        let (insertions, prefetches) = codegen.plan(&mut work, &ldg, &HashSet::new(), &mut already);
+        let (insertions, prefetches) = codegen.plan(
+            &mut work,
+            &ldg,
+            &HashSet::new(),
+            &mut already,
+            &mut spf_trace::NoopSink,
+        );
         for (site, instrs) in insertions {
             merged.entry(site).or_default().extend(instrs);
         }

@@ -11,6 +11,7 @@ use spf_ir::dom::DomTree;
 use spf_ir::loops::LoopForest;
 use spf_ir::{Function, InstrRef, Program};
 use spf_memsim::ProcessorConfig;
+use spf_trace::{NoopSink, SuppressReason, TraceEvent, TraceSink};
 
 use crate::codegen::{apply_insertions, PrefetchCodegen};
 use crate::inspect::Inspector;
@@ -65,6 +66,24 @@ impl StridePrefetcher {
         args: &[Value],
         proc: &ProcessorConfig,
     ) -> OptimizeOutcome {
+        self.optimize_traced(program, func, heap, statics, args, proc, &mut NoopSink)
+    }
+
+    /// [`Self::optimize`], emitting one compile-time trace event per LDG
+    /// built, loop inspected, candidate suppressed, and prefetch planned.
+    /// With a `NoopSink` the instrumentation compiles out and this *is*
+    /// `optimize`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn optimize_traced<S: TraceSink>(
+        &self,
+        program: &Program,
+        func: &Function,
+        heap: &dyn HeapRead,
+        statics: &[Value],
+        args: &[Value],
+        proc: &ProcessorConfig,
+        sink: &mut S,
+    ) -> OptimizeOutcome {
         let start = Instant::now();
         let mut report = MethodReport {
             method: func.name().to_string(),
@@ -99,10 +118,34 @@ impl StridePrefetcher {
             if ldg.is_empty() {
                 continue;
             }
+            let header = forest.info(target).header;
+            if S::ENABLED {
+                sink.emit(TraceEvent::LdgBuilt {
+                    loop_header: header.index() as u32,
+                    nodes: ldg.len() as u32,
+                    edges: ldg.edges().len() as u32,
+                });
+            }
             let record: HashSet<InstrRef> = ldg.node_ids().map(|id| ldg.node(id).site).collect();
             let inspector = Inspector::new(program, func, heap, statics, &forest, &self.options);
             let inspection = inspector.run(args, target, &record);
             annotate_ldg(&mut ldg, &inspection.traces, &self.options);
+            if S::ENABLED {
+                sink.emit(TraceEvent::Inspected {
+                    loop_header: header.index() as u32,
+                    iterations: inspection.iterations,
+                    steps: inspection.steps,
+                    inter_patterns: ldg
+                        .node_ids()
+                        .filter(|&id| ldg.node(id).inter_stride.is_some())
+                        .count() as u32,
+                    intra_patterns: ldg
+                        .edges()
+                        .iter()
+                        .filter(|e| e.intra_stride.is_some())
+                        .count() as u32,
+                });
+            }
 
             // Fold-in rule (§3): loads in nested loops participate only if
             // the nested loop's measured trip count is small.
@@ -110,15 +153,26 @@ impl StridePrefetcher {
             for id in ldg.node_ids() {
                 if let Some(inner) = ldg.node(id).innermost {
                     if inner != target {
-                        let header = forest.info(inner).header;
-                        if inspection.avg_nested_trips(header) > self.options.small_trip_threshold {
+                        let nested_header = forest.info(inner).header;
+                        if inspection.avg_nested_trips(nested_header)
+                            > self.options.small_trip_threshold
+                        {
                             exclude.insert(id);
+                            if S::ENABLED {
+                                let site = ldg.node(id).site;
+                                sink.emit(TraceEvent::Suppressed {
+                                    block: site.block.index() as u32,
+                                    index: site.index,
+                                    reason: SuppressReason::NestedTripCount,
+                                });
+                            }
                         }
                     }
                 }
             }
 
-            let (insertions, prefetches) = codegen.plan(&mut work, &ldg, &exclude, &mut already);
+            let (insertions, prefetches) =
+                codegen.plan(&mut work, &ldg, &exclude, &mut already, sink);
             for (site, instrs) in insertions {
                 merged.entry(site).or_default().extend(instrs);
             }
@@ -351,6 +405,62 @@ mod tests {
         let (prefetches, specs) = count_kinds(&out.func);
         assert_eq!(out.report.total_prefetches, prefetches + specs);
         assert!(out.report.pass_nanos > 0);
+    }
+
+    #[test]
+    fn traced_optimize_mirrors_report() {
+        use spf_trace::{RingSink, TraceEvent};
+        let (p, m, heap, arr) = fixture(true);
+        let opt = StridePrefetcher::new(PrefetchOptions::inter_intra());
+        let mut sink = RingSink::default();
+        let out = opt.optimize_traced(
+            &p,
+            p.method(m).func(),
+            &heap,
+            &[],
+            &[Value::Ref(arr)],
+            &ProcessorConfig::pentium4(),
+            &mut sink,
+        );
+        // The untraced pass produces the identical function and report.
+        let plain = opt.optimize(
+            &p,
+            p.method(m).func(),
+            &heap,
+            &[],
+            &[Value::Ref(arr)],
+            &ProcessorConfig::pentium4(),
+        );
+        assert_eq!(out.func, plain.func);
+
+        let events = sink.events();
+        let planned: Vec<(u32, u32)> = events
+            .iter()
+            .filter_map(|e| match e {
+                TraceEvent::Planned { block, index, .. } => Some((*block, *index)),
+                _ => None,
+            })
+            .collect();
+        let reported: Vec<(u32, u32)> = out
+            .report
+            .loops
+            .iter()
+            .flat_map(|l| &l.prefetches)
+            .map(|g| (g.anchor.block.index() as u32, g.anchor.index))
+            .collect();
+        assert_eq!(planned, reported, "one Planned event per report entry");
+        assert!(
+            events
+                .iter()
+                .any(|e| matches!(e, TraceEvent::LdgBuilt { .. })),
+            "LDG construction traced"
+        );
+        assert!(
+            events
+                .iter()
+                .any(|e| matches!(e, TraceEvent::Inspected { .. })),
+            "inspection traced"
+        );
     }
 
     #[test]

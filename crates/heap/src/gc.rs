@@ -27,6 +27,8 @@ pub struct CollectStats {
     pub live_objects: u64,
     /// Number of reclaimed allocations.
     pub freed_objects: u64,
+    /// Live allocations whose address changed during sliding.
+    pub moved_objects: u64,
 }
 
 /// Maps pre-collection addresses of live allocations to their post-sliding
@@ -142,10 +144,12 @@ impl Heap {
 
         // --- slide (in increasing address order; overlaps are safe because
         // destinations never exceed sources) and clear marks ---------------
+        let mut moved_objects = 0u64;
         for &(old, size) in &live {
             self.set_mark(old, false);
             let new = forwarding.forward(old);
             if new != old {
+                moved_objects += 1;
                 let src = (old - self.base) as usize;
                 let dst = (new - self.base) as usize;
                 self.data.copy_within(src..src + size as usize, dst);
@@ -158,6 +162,7 @@ impl Heap {
             freed_bytes,
             live_objects: marked,
             freed_objects,
+            moved_objects,
         };
         (stats, forwarding)
     }

@@ -106,8 +106,10 @@ impl Cache {
     /// Installs the line containing `addr`, evicting the LRU way if needed.
     /// `ready_at` is the cycle its fill completes. Re-installing an already
     /// present line only tightens its `ready_at` (a demand fill of an
-    /// in-flight prefetch).
-    pub fn install(&mut self, addr: u64, ready_at: u64) {
+    /// in-flight prefetch). Returns the line-aligned address of the valid
+    /// line evicted to make room, if any (used for prefetch-eviction
+    /// attribution).
+    pub fn install(&mut self, addr: u64, ready_at: u64) -> Option<u64> {
         self.tick += 1;
         let (base, tag) = self.set_base_and_tag(addr);
         let tick = self.tick;
@@ -115,18 +117,23 @@ impl Cache {
         if let Some(line) = set.iter_mut().find(|l| l.valid && l.tag == tag) {
             line.ready_at = line.ready_at.min(ready_at);
             line.last_used = tick;
-            return;
+            return None;
         }
         let victim = set
             .iter_mut()
             .min_by_key(|l| if l.valid { l.last_used } else { 0 })
             .expect("associativity is at least 1");
+        let evicted = victim.valid.then(|| {
+            let set_index = (base / self.assoc) as u64;
+            ((victim.tag << self.set_shift) | set_index) << self.line_shift
+        });
         *victim = Line {
             tag,
             valid: true,
             ready_at,
             last_used: tick,
         };
+        evicted
     }
 
     /// Invalidates everything (used between benchmark runs).
@@ -175,13 +182,24 @@ mod tests {
     fn lru_eviction() {
         let mut c = small();
         // Three lines mapping to the same set (stride = sets * line = 256).
-        c.install(0x0000, 0);
-        c.install(0x0100, 0);
+        assert_eq!(c.install(0x0000, 0), None);
+        assert_eq!(c.install(0x0100, 0), None);
         let _ = c.lookup(0x0000, 1); // make 0x0000 most recent
-        c.install(0x0200, 0); // evicts 0x0100 (LRU)
+        let victim = c.install(0x0200, 0); // evicts 0x0100 (LRU)
+        assert_eq!(victim, Some(0x0100), "victim line address is returned");
         assert!(c.contains(0x0000));
         assert!(!c.contains(0x0100));
         assert!(c.contains(0x0200));
+    }
+
+    #[test]
+    fn eviction_reports_line_aligned_victim() {
+        let mut c = small();
+        // Offsets within the line must not leak into the victim address.
+        c.install(0x0011, 0);
+        c.install(0x0108, 0);
+        let victim = c.install(0x0207, 0);
+        assert_eq!(victim, Some(0x0000));
     }
 
     #[test]

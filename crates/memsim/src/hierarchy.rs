@@ -1,5 +1,9 @@
 //! The two-level memory hierarchy with DTLB and prefetch semantics.
 
+use std::collections::HashMap;
+
+use spf_trace::{MissLevel, NoopSink, SiteId, TraceEvent, TraceSink};
+
 use crate::cache::{Cache, Lookup};
 use crate::config::{CacheLevel, ProcessorConfig};
 use crate::stats::MemStats;
@@ -21,23 +25,54 @@ pub const GUARDED_LOAD_COST: u64 = 2;
 /// non-blocking: they initiate fills whose completion times are tracked per
 /// line, so a demand access arriving before the fill completes waits only
 /// for the remainder.
+///
+/// The sink type parameter selects tracing. With the default [`NoopSink`]
+/// every `if S::ENABLED` guard below is compile-time false, so the traced
+/// instrumentation — event construction, pending-fill bookkeeping, the
+/// site register — vanishes at monomorphization and the simulator is
+/// bit-identical to the untraced build. With an enabled sink (e.g.
+/// `RingSink`), every miss, prefetch issue/drop/fill, first use or
+/// eviction of a prefetched line, and hardware-prefetch fill is emitted,
+/// attributed to the prefetch site last set via [`Self::set_site`].
 #[derive(Clone, Debug)]
-pub struct MemorySystem {
+pub struct MemorySystem<S: TraceSink = NoopSink> {
     cfg: ProcessorConfig,
     l1: Cache,
     l2: Cache,
     tlb: Tlb,
     stats: MemStats,
+    sink: S,
+    /// Site of the prefetch instruction currently executing (attribution
+    /// register; [`SiteId::UNKNOWN`] outside prefetch dispatch).
+    cur_site: SiteId,
+    /// Prefetch fills resident in L1 and not yet demanded, by line-aligned
+    /// address. Only populated when `S::ENABLED`.
+    pending_l1: HashMap<u64, SiteId>,
+    /// Prefetch fills resident in L2 and not yet demanded (Pentium 4
+    /// software prefetches target the L2). Only populated when
+    /// `S::ENABLED`.
+    pending_l2: HashMap<u64, SiteId>,
 }
 
 impl MemorySystem {
-    /// Creates a memory system for `cfg`.
+    /// Creates an untraced memory system for `cfg`.
     pub fn new(cfg: ProcessorConfig) -> Self {
+        MemorySystem::with_sink(cfg, NoopSink)
+    }
+}
+
+impl<S: TraceSink> MemorySystem<S> {
+    /// Creates a memory system for `cfg` emitting into `sink`.
+    pub fn with_sink(cfg: ProcessorConfig, sink: S) -> Self {
         MemorySystem {
             l1: Cache::new(cfg.l1),
             l2: Cache::new(cfg.l2),
             tlb: Tlb::new(cfg.dtlb_entries, cfg.page_bytes),
             stats: MemStats::default(),
+            sink,
+            cur_site: SiteId::UNKNOWN,
+            pending_l1: HashMap::new(),
+            pending_l2: HashMap::new(),
             cfg,
         }
     }
@@ -52,12 +87,109 @@ impl MemorySystem {
         &self.stats
     }
 
-    /// Clears caches, TLB, and counters (between benchmark runs).
+    /// The trace sink.
+    pub fn sink(&self) -> &S {
+        &self.sink
+    }
+
+    /// The trace sink, mutably (the VM emits compile-time and GC events
+    /// through the memory system's sink so one stream orders everything).
+    pub fn sink_mut(&mut self) -> &mut S {
+        &mut self.sink
+    }
+
+    /// Sets the prefetch site the next [`Self::software_prefetch`] /
+    /// [`Self::guarded_load`] calls are attributed to. A no-op (and
+    /// compiled out) when tracing is disabled.
+    #[inline]
+    pub fn set_site(&mut self, site: SiteId) {
+        if S::ENABLED {
+            self.cur_site = site;
+        }
+    }
+
+    /// Clears caches, TLB, counters, pending attributions, and the trace
+    /// sink (between benchmark runs — events must not leak from one matrix
+    /// cell into the next).
     pub fn reset(&mut self) {
         self.l1.flush();
         self.l2.flush();
         self.tlb.flush();
         self.stats = MemStats::default();
+        if S::ENABLED {
+            self.sink.clear();
+            self.cur_site = SiteId::UNKNOWN;
+            self.pending_l1.clear();
+            self.pending_l2.clear();
+        }
+    }
+
+    /// Line-aligned address at `level`.
+    fn line_of(&self, level: CacheLevel, addr: u64) -> u64 {
+        let bytes = match level {
+            CacheLevel::L1 => self.cfg.l1.line_bytes,
+            CacheLevel::L2 => self.cfg.l2.line_bytes,
+        };
+        addr & !(bytes - 1)
+    }
+
+    /// Records the first demand use of a pending prefetched line (if
+    /// `addr`'s line is one) at `level`.
+    #[cold]
+    fn note_use(&mut self, level: CacheLevel, addr: u64, now: u64, wait: u64) {
+        let line = self.line_of(level, addr);
+        let pending = match level {
+            CacheLevel::L1 => &mut self.pending_l1,
+            CacheLevel::L2 => &mut self.pending_l2,
+        };
+        if let Some(site) = pending.remove(&line) {
+            self.sink.emit(TraceEvent::PrefetchUsed {
+                site,
+                line,
+                now,
+                wait,
+            });
+        }
+    }
+
+    /// Records the eviction of a pending prefetched line, given the victim
+    /// address an install at `level` reported.
+    #[cold]
+    fn note_evict(&mut self, level: CacheLevel, victim: Option<u64>, now: u64) {
+        let Some(line) = victim else { return };
+        let pending = match level {
+            CacheLevel::L1 => &mut self.pending_l1,
+            CacheLevel::L2 => &mut self.pending_l2,
+        };
+        if let Some(site) = pending.remove(&line) {
+            self.sink
+                .emit(TraceEvent::PrefetchEvicted { site, line, now });
+        }
+    }
+
+    /// Registers a prefetch fill at `level` as pending first use.
+    fn note_fill(&mut self, level: CacheLevel, addr: u64) {
+        let line = self.line_of(level, addr);
+        let site = self.cur_site;
+        match level {
+            CacheLevel::L1 => self.pending_l1.insert(line, site),
+            CacheLevel::L2 => self.pending_l2.insert(line, site),
+        };
+    }
+
+    #[cold]
+    fn emit_demand_miss(&mut self, level: MissLevel, addr: u64, now: u64, store: bool) {
+        let line = match level {
+            MissLevel::L1 => self.line_of(CacheLevel::L1, addr),
+            MissLevel::L2 => self.line_of(CacheLevel::L2, addr),
+            MissLevel::Dtlb => addr & !(self.cfg.page_bytes - 1),
+        };
+        self.sink.emit(TraceEvent::DemandMiss {
+            level,
+            line,
+            now,
+            store,
+        });
     }
 
     /// The demand-access fast path: a DTLB hit followed by a settled L1
@@ -75,10 +207,16 @@ impl MemorySystem {
             } else {
                 self.stats.dtlb_store_misses += 1;
             }
+            if S::ENABLED {
+                self.emit_demand_miss(MissLevel::Dtlb, addr, now, !is_load);
+            }
         }
         let l1 = self.l1.lookup(addr, now);
         if tlb_hit {
             if let Lookup::Hit { wait: 0 } = l1 {
+                if S::ENABLED && !self.pending_l1.is_empty() {
+                    self.note_use(CacheLevel::L1, addr, now, 0);
+                }
                 let latency = self.cfg.l1.hit_latency;
                 self.stats.stall_cycles += latency;
                 return latency;
@@ -107,6 +245,9 @@ impl MemorySystem {
     ) -> u64 {
         match l1 {
             Lookup::Hit { wait } => {
+                if S::ENABLED {
+                    self.note_use(CacheLevel::L1, addr, now, wait);
+                }
                 latency += self.cfg.l1.hit_latency + wait;
             }
             Lookup::Miss => {
@@ -115,11 +256,20 @@ impl MemorySystem {
                 } else {
                     self.stats.l1_store_misses += 1;
                 }
+                if S::ENABLED {
+                    self.emit_demand_miss(MissLevel::L1, addr, now, !is_load);
+                }
                 match self.l2.lookup(addr, now) {
                     Lookup::Hit { wait } => {
+                        if S::ENABLED {
+                            self.note_use(CacheLevel::L2, addr, now, wait);
+                        }
                         let lat = self.cfg.l2.hit_latency + wait;
                         latency += lat;
-                        self.l1.install(addr, now + lat);
+                        let victim = self.l1.install(addr, now + lat);
+                        if S::ENABLED {
+                            self.note_evict(CacheLevel::L1, victim, now);
+                        }
                     }
                     Lookup::Miss => {
                         if is_load {
@@ -127,16 +277,32 @@ impl MemorySystem {
                         } else {
                             self.stats.l2_store_misses += 1;
                         }
+                        if S::ENABLED {
+                            self.emit_demand_miss(MissLevel::L2, addr, now, !is_load);
+                        }
                         let lat = self.cfg.mem_latency;
                         latency += lat;
-                        self.l2.install(addr, now + lat);
-                        self.l1.install(addr, now + lat);
+                        let v2 = self.l2.install(addr, now + lat);
+                        let v1 = self.l1.install(addr, now + lat);
+                        if S::ENABLED {
+                            self.note_evict(CacheLevel::L2, v2, now);
+                            self.note_evict(CacheLevel::L1, v1, now);
+                        }
                         if self.cfg.hw_prefetch {
                             // Simple next-line hardware prefetcher into L2.
                             let next = addr + self.cfg.l2.line_bytes;
                             if !self.l2.contains(next) && self.tlb.contains(next) {
-                                self.l2.install(next, now + lat + self.cfg.mem_latency);
+                                let ready = now + lat + self.cfg.mem_latency;
+                                let victim = self.l2.install(next, ready);
                                 self.stats.hw_prefetch_fills += 1;
+                                if S::ENABLED {
+                                    self.sink.emit(TraceEvent::HwPrefetchFill {
+                                        line: self.line_of(CacheLevel::L2, next),
+                                        now,
+                                        ready_at: ready,
+                                    });
+                                    self.note_evict(CacheLevel::L2, victim, now);
+                                }
                             }
                         }
                     }
@@ -180,9 +346,17 @@ impl MemorySystem {
     /// Returns the issue cost in cycles.
     pub fn software_prefetch(&mut self, addr: u64, now: u64) -> u64 {
         self.stats.swpf_issued += 1;
+        let site = self.cur_site;
+        let line = self.line_of(self.cfg.swpf_target, addr);
+        if S::ENABLED {
+            self.sink.emit(TraceEvent::SwpfIssued { site, line, now });
+        }
         if !self.tlb.contains(addr) {
             if self.cfg.swpf_drops_on_tlb_miss {
                 self.stats.swpf_dropped_tlb += 1;
+                if S::ENABLED {
+                    self.sink.emit(TraceEvent::SwpfDropped { site, line, now });
+                }
                 return SWPF_ISSUE_COST;
             }
             self.tlb.insert(addr);
@@ -193,15 +367,45 @@ impl MemorySystem {
                     self.stats.swpf_fills += 1;
                     let ready = now + self.fill_latency(addr);
                     if !self.l2.contains(addr) {
-                        self.l2.install(addr, ready);
+                        let victim = self.l2.install(addr, ready);
+                        if S::ENABLED {
+                            self.note_evict(CacheLevel::L2, victim, now);
+                        }
                     }
-                    self.l1.install(addr, ready);
+                    let victim = self.l1.install(addr, ready);
+                    if S::ENABLED {
+                        self.note_evict(CacheLevel::L1, victim, now);
+                        self.note_fill(CacheLevel::L1, addr);
+                        self.sink.emit(TraceEvent::SwpfFill {
+                            site,
+                            line,
+                            now,
+                            ready_at: ready,
+                        });
+                    }
+                } else if S::ENABLED {
+                    self.sink
+                        .emit(TraceEvent::SwpfRedundant { site, line, now });
                 }
             }
             CacheLevel::L2 => {
                 if !self.l2.contains(addr) {
                     self.stats.swpf_fills += 1;
-                    self.l2.install(addr, now + self.cfg.mem_latency);
+                    let ready = now + self.cfg.mem_latency;
+                    let victim = self.l2.install(addr, ready);
+                    if S::ENABLED {
+                        self.note_evict(CacheLevel::L2, victim, now);
+                        self.note_fill(CacheLevel::L2, addr);
+                        self.sink.emit(TraceEvent::SwpfFill {
+                            site,
+                            line,
+                            now,
+                            ready_at: ready,
+                        });
+                    }
+                } else if S::ENABLED {
+                    self.sink
+                        .emit(TraceEvent::SwpfRedundant { site, line, now });
                 }
             }
         }
@@ -214,17 +418,42 @@ impl MemorySystem {
     /// (§3.3). Returns the issue cost; the fill is overlapped.
     pub fn guarded_load(&mut self, addr: u64, now: u64) -> u64 {
         self.stats.guarded_loads += 1;
+        let site = self.cur_site;
+        let line = self.line_of(CacheLevel::L1, addr);
+        let mut tlb_primed = false;
         if !self.tlb.lookup(addr) {
             self.tlb.insert(addr);
             self.stats.guarded_load_tlb_fills += 1;
+            tlb_primed = true;
+        }
+        if S::ENABLED {
+            self.sink.emit(TraceEvent::GuardedIssued {
+                site,
+                line,
+                now,
+                tlb_primed,
+            });
         }
         if !self.l1.contains(addr) {
             self.stats.guarded_load_fills += 1;
             let ready = now + self.fill_latency(addr);
             if !self.l2.contains(addr) {
-                self.l2.install(addr, ready);
+                let victim = self.l2.install(addr, ready);
+                if S::ENABLED {
+                    self.note_evict(CacheLevel::L2, victim, now);
+                }
             }
-            self.l1.install(addr, ready);
+            let victim = self.l1.install(addr, ready);
+            if S::ENABLED {
+                self.note_evict(CacheLevel::L1, victim, now);
+                self.note_fill(CacheLevel::L1, addr);
+                self.sink.emit(TraceEvent::GuardedFill {
+                    site,
+                    line,
+                    now,
+                    ready_at: ready,
+                });
+            }
         }
         GUARDED_LOAD_COST
     }
@@ -241,6 +470,7 @@ impl MemorySystem {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use spf_trace::{attribute, RingSink};
 
     fn p4() -> MemorySystem {
         MemorySystem::new(ProcessorConfig::pentium4())
@@ -364,5 +594,136 @@ mod tests {
         m.reset();
         assert_eq!(m.stats().loads, 0);
         assert!(!m.line_present(CacheLevel::L2, 0x10_0000));
+    }
+
+    // ---- tracing ------------------------------------------------------
+
+    fn traced_p4() -> MemorySystem<RingSink> {
+        MemorySystem::with_sink(ProcessorConfig::pentium4(), RingSink::default())
+    }
+
+    /// Replays the same access sequence against a traced and an untraced
+    /// system and asserts identical latencies and stats.
+    #[test]
+    fn tracing_never_changes_simulated_numbers() {
+        let mut plain = p4();
+        let mut traced = traced_p4();
+        let mut now = [0u64; 2];
+        for i in 0..2_000u64 {
+            let addr = 0x10_0000 + (i % 97) * 1_037;
+            for (k, lat) in [plain.load(addr, now[0]), traced.load(addr, now[1])]
+                .into_iter()
+                .enumerate()
+            {
+                now[k] += lat;
+            }
+            if i % 7 == 0 {
+                now[0] += plain.software_prefetch(addr + 4096, now[0]);
+                now[1] += traced.software_prefetch(addr + 4096, now[1]);
+            }
+            if i % 13 == 0 {
+                now[0] += plain.guarded_load(addr + 8192, now[0]);
+                now[1] += traced.guarded_load(addr + 8192, now[1]);
+            }
+        }
+        assert_eq!(now[0], now[1], "latency streams diverged");
+        assert_eq!(plain.stats(), traced.stats(), "counters diverged");
+        assert!(traced.sink().total() > 0, "traced run emitted events");
+    }
+
+    /// The traced counters reconcile with `MemStats`: every issued
+    /// software prefetch is classified exactly once.
+    #[test]
+    fn attribution_reconciles_with_stats() {
+        let mut m = traced_p4();
+        let mut now = 0u64;
+        m.set_site(SiteId(1));
+        for i in 0..600u64 {
+            let addr = 0x20_0000 + (i % 53) * 911;
+            now += m.load(addr, now);
+            now += m.software_prefetch(addr + 2048, now);
+            if i % 5 == 0 {
+                now += m.guarded_load(addr + 16384, now);
+            }
+        }
+        let events = m.sink().events();
+        assert_eq!(m.sink().overwritten(), 0, "ring must not truncate here");
+        let attr = attribute(&events);
+        let stats = m.stats();
+        assert_eq!(
+            attr.total(|e| e.swpf_issued),
+            stats.swpf_issued,
+            "issue events match the counter"
+        );
+        assert_eq!(attr.total(|e| e.swpf_dropped), stats.swpf_dropped_tlb);
+        assert_eq!(attr.total(|e| e.swpf_fills), stats.swpf_fills);
+        assert_eq!(attr.total(|e| e.guarded_issued), stats.guarded_loads);
+        assert_eq!(attr.total(|e| e.guarded_fills), stats.guarded_load_fills);
+        assert_eq!(
+            attr.total(|e| e.guarded_tlb_primed),
+            stats.guarded_load_tlb_fills
+        );
+        assert_eq!(attr.hw_prefetch_fills, stats.hw_prefetch_fills);
+        assert_eq!(attr.l1_misses, stats.l1_load_misses + stats.l1_store_misses);
+        // Exhaustive classification: the four buckets partition issues.
+        let classified = attr.total(|e| e.useful())
+            + attr.total(|e| e.too_early())
+            + attr.total(|e| e.too_late())
+            + attr.total(|e| e.dropped());
+        assert_eq!(
+            classified,
+            stats.swpf_issued + stats.guarded_loads,
+            "every issued prefetch classified exactly once"
+        );
+    }
+
+    #[test]
+    fn events_attribute_to_the_set_site() {
+        let mut m = traced_p4();
+        m.load(0x10_0000, 0); // prime page
+        m.set_site(SiteId(7));
+        m.software_prefetch(0x10_0400, 10);
+        m.load(0x10_0400, 10_000); // settled use
+        let attr = attribute(&m.sink().events());
+        let e = attr.site(SiteId(7));
+        assert_eq!(e.swpf_issued, 1);
+        assert_eq!(e.useful(), 1);
+    }
+
+    #[test]
+    fn eviction_classifies_too_early() {
+        // Athlon: its prefetch instruction page-walks instead of dropping,
+        // and fills the (small) L1, so prefetches to a region that is
+        // never demand-accessed conflict each other out before any use.
+        let mut m = MemorySystem::with_sink(ProcessorConfig::athlon_mp(), RingSink::default());
+        m.set_site(SiteId(3));
+        let mut now = 0;
+        for i in 0..4_000u64 {
+            let addr = 0x100_0000 + i * 64;
+            now += m.load(addr, now);
+            now += m.software_prefetch(0x500_0000 + i * 64, now);
+        }
+        let attr = attribute(&m.sink().events());
+        let e = attr.site(SiteId(3));
+        assert!(e.evicted > 0, "expected evictions, got {e:?}");
+        assert!(e.too_early() > 0);
+        assert_eq!(e.used_settled + e.used_waited, 0, "never demanded");
+    }
+
+    #[test]
+    fn reset_clears_sink_and_pending() {
+        let mut m = traced_p4();
+        m.load(0x10_0000, 0);
+        m.set_site(SiteId(2));
+        m.software_prefetch(0x10_0400, 10);
+        assert!(m.sink().total() > 0);
+        m.reset();
+        assert_eq!(m.sink().total(), 0, "reset clears the sink");
+        m.load(0x10_0400, 0);
+        let attr = attribute(&m.sink().events());
+        assert!(
+            attr.per_site.is_empty(),
+            "no stale pending attribution survives reset: {attr:?}"
+        );
     }
 }

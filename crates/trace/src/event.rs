@@ -1,0 +1,354 @@
+//! The trace event vocabulary.
+//!
+//! Events are small `Copy` values so the ring buffer is a flat array and
+//! emission is a couple of stores. Compile-time events are ordered with
+//! respect to the [`TraceEvent::JitBegin`] of the method they belong to;
+//! runtime events carry the simulated cycle at which they occurred.
+
+/// Identifies one prefetch site: a `Prefetch` or `SpecLoad` instruction in
+/// a compiled method body. Allocated by [`crate::SiteTable`]; ties every
+/// runtime event back to the IR instruction (and loop) that generated it.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct SiteId(pub u32);
+
+impl SiteId {
+    /// Events emitted by a memory system whose driver never attributed the
+    /// access to a site (e.g. a hand-driven simulator in a test).
+    pub const UNKNOWN: SiteId = SiteId(u32::MAX);
+}
+
+impl std::fmt::Display for SiteId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if *self == SiteId::UNKNOWN {
+            f.write_str("?")
+        } else {
+            write!(f, "s{}", self.0)
+        }
+    }
+}
+
+/// Which structure missed on a demand access.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum MissLevel {
+    /// L1 data cache.
+    L1,
+    /// L2 unified cache.
+    L2,
+    /// Data TLB.
+    Dtlb,
+}
+
+/// Why the optimizer declined to generate a prefetch for a candidate.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SuppressReason {
+    /// The anchor's address is loop-invariant (stride 0).
+    ZeroStride,
+    /// No instruction depends on the load (paper §3.3, condition 1).
+    NoDependent,
+    /// The inter-iteration stride is within half a prefetched cache line
+    /// (§3.3, condition 3 — covered by the hardware prefetcher).
+    StrideTooSmall,
+    /// A prefetch for the same cache line was already issued (§3.3,
+    /// condition 2).
+    LineShared,
+    /// The load sits in a nested loop whose measured trip count is too
+    /// large for the fold-in rule (§3).
+    NestedTripCount,
+}
+
+impl std::fmt::Display for SuppressReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            SuppressReason::ZeroStride => "zero-stride",
+            SuppressReason::NoDependent => "no-dependent",
+            SuppressReason::StrideTooSmall => "stride-too-small",
+            SuppressReason::LineShared => "line-shared",
+            SuppressReason::NestedTripCount => "nested-trip-count",
+        })
+    }
+}
+
+/// The code shape of a planned prefetch (mirrors the report's
+/// `GeneratedKind` without depending on `spf-core`).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum PlannedShape {
+    /// `prefetch(A(Lx) + d*c)`.
+    InterStride,
+    /// `a = spec_load(A(Lx) + d*c)`.
+    SpeculativeLoad,
+    /// `prefetch(F[Lx,Ly](a))`.
+    Dereference,
+    /// `prefetch(F[Lx,Ly](a) + S[Ly,Lz])`.
+    IntraStride,
+}
+
+impl std::fmt::Display for PlannedShape {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            PlannedShape::InterStride => "inter-stride",
+            PlannedShape::SpeculativeLoad => "spec-load",
+            PlannedShape::Dereference => "dereference",
+            PlannedShape::IntraStride => "intra-stride",
+        })
+    }
+}
+
+/// One trace event. `line` fields are line-aligned simulated addresses;
+/// `now` is the simulated cycle of the event; `ready_at` the cycle an
+/// initiated fill completes.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum TraceEvent {
+    // ---- compile time -------------------------------------------------
+    /// JIT compilation of a method begins; subsequent compile-time events
+    /// belong to it until the next `JitBegin`.
+    JitBegin {
+        /// Method index in the program.
+        method: u32,
+    },
+    /// A load dependence graph was built for one loop.
+    LdgBuilt {
+        /// The loop's header block index.
+        loop_header: u32,
+        /// LDG node count.
+        nodes: u32,
+        /// LDG edge count.
+        edges: u32,
+    },
+    /// Object inspection ran for one loop.
+    Inspected {
+        /// The loop's header block index.
+        loop_header: u32,
+        /// Target-loop iterations interpreted.
+        iterations: u32,
+        /// Instructions interpreted.
+        steps: u64,
+        /// Nodes with an inter-iteration stride pattern.
+        inter_patterns: u32,
+        /// Edges with an intra-iteration stride pattern.
+        intra_patterns: u32,
+    },
+    /// The profitability analysis suppressed a candidate prefetch.
+    Suppressed {
+        /// Anchor load's block index.
+        block: u32,
+        /// Anchor load's instruction index within the block.
+        index: u32,
+        /// Why it was suppressed.
+        reason: SuppressReason,
+    },
+    /// The code generator planned one prefetch (or speculative load).
+    Planned {
+        /// Anchor load's block index.
+        block: u32,
+        /// Anchor load's instruction index within the block.
+        index: u32,
+        /// Code shape.
+        shape: PlannedShape,
+        /// Shape parameter: the stride `d`, offset `F`, or accumulated
+        /// intra stride `S`.
+        param: i64,
+    },
+    /// A prefetch site in a freshly compiled body was assigned an ID.
+    SiteRegistered {
+        /// The new site ID.
+        site: SiteId,
+        /// Method index in the program.
+        method: u32,
+        /// Block index of the site.
+        block: u32,
+        /// Instruction index within the block.
+        index: u32,
+    },
+
+    // ---- runtime ------------------------------------------------------
+    /// A demand access missed in `level`.
+    DemandMiss {
+        /// Which structure missed.
+        level: MissLevel,
+        /// Line-aligned address.
+        line: u64,
+        /// Simulated cycle.
+        now: u64,
+        /// Whether the access was a store.
+        store: bool,
+    },
+    /// A software prefetch instruction was issued.
+    SwpfIssued {
+        /// Issuing site.
+        site: SiteId,
+        /// Line-aligned address.
+        line: u64,
+        /// Simulated cycle.
+        now: u64,
+    },
+    /// A software prefetch was cancelled by a DTLB miss (Pentium 4).
+    SwpfDropped {
+        /// Issuing site.
+        site: SiteId,
+        /// Line-aligned address.
+        line: u64,
+        /// Simulated cycle.
+        now: u64,
+    },
+    /// A software prefetch initiated a fill of its target level.
+    SwpfFill {
+        /// Issuing site.
+        site: SiteId,
+        /// Line-aligned address.
+        line: u64,
+        /// Simulated cycle.
+        now: u64,
+        /// Cycle at which the fill completes.
+        ready_at: u64,
+    },
+    /// A software prefetch found its line already resident (no fill).
+    SwpfRedundant {
+        /// Issuing site.
+        site: SiteId,
+        /// Line-aligned address.
+        line: u64,
+        /// Simulated cycle.
+        now: u64,
+    },
+    /// A guarded prefetch load was issued.
+    GuardedIssued {
+        /// Issuing site.
+        site: SiteId,
+        /// Line-aligned address.
+        line: u64,
+        /// Simulated cycle.
+        now: u64,
+        /// Whether it primed a missing DTLB entry (§3.3 "TLB priming").
+        tlb_primed: bool,
+    },
+    /// A guarded prefetch load initiated a fill.
+    GuardedFill {
+        /// Issuing site.
+        site: SiteId,
+        /// Line-aligned address.
+        line: u64,
+        /// Simulated cycle.
+        now: u64,
+        /// Cycle at which the fill completes.
+        ready_at: u64,
+    },
+    /// The hardware next-line prefetcher filled a line.
+    HwPrefetchFill {
+        /// Line-aligned address.
+        line: u64,
+        /// Simulated cycle.
+        now: u64,
+        /// Cycle at which the fill completes.
+        ready_at: u64,
+    },
+    /// A demand access used a line that a software prefetch or guarded
+    /// load had filled (first use only).
+    PrefetchUsed {
+        /// The site whose fill was used.
+        site: SiteId,
+        /// Line-aligned address.
+        line: u64,
+        /// Simulated cycle of the demand access.
+        now: u64,
+        /// Cycles the demand access still had to wait for the in-flight
+        /// fill: 0 means the prefetch was timely (useful), >0 means it
+        /// was issued too late.
+        wait: u64,
+    },
+    /// A prefetched line was evicted from its target level before any
+    /// demand access used it — the prefetch was issued too early.
+    PrefetchEvicted {
+        /// The site whose fill was evicted.
+        site: SiteId,
+        /// Line-aligned address.
+        line: u64,
+        /// Simulated cycle of the eviction.
+        now: u64,
+    },
+    /// The garbage collector ran a sliding compaction.
+    GcSlide {
+        /// Simulated cycle.
+        now: u64,
+        /// Bytes live after compaction.
+        live_bytes: u64,
+        /// Bytes reclaimed.
+        freed_bytes: u64,
+        /// Live allocations whose address changed.
+        moved_objects: u64,
+    },
+}
+
+impl TraceEvent {
+    /// A short machine-friendly tag naming the variant.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            TraceEvent::JitBegin { .. } => "jit_begin",
+            TraceEvent::LdgBuilt { .. } => "ldg_built",
+            TraceEvent::Inspected { .. } => "inspected",
+            TraceEvent::Suppressed { .. } => "suppressed",
+            TraceEvent::Planned { .. } => "planned",
+            TraceEvent::SiteRegistered { .. } => "site_registered",
+            TraceEvent::DemandMiss { .. } => "demand_miss",
+            TraceEvent::SwpfIssued { .. } => "swpf_issued",
+            TraceEvent::SwpfDropped { .. } => "swpf_dropped",
+            TraceEvent::SwpfFill { .. } => "swpf_fill",
+            TraceEvent::SwpfRedundant { .. } => "swpf_redundant",
+            TraceEvent::GuardedIssued { .. } => "guarded_issued",
+            TraceEvent::GuardedFill { .. } => "guarded_fill",
+            TraceEvent::HwPrefetchFill { .. } => "hw_prefetch_fill",
+            TraceEvent::PrefetchUsed { .. } => "prefetch_used",
+            TraceEvent::PrefetchEvicted { .. } => "prefetch_evicted",
+            TraceEvent::GcSlide { .. } => "gc_slide",
+        }
+    }
+
+    /// The simulated cycle of a runtime event (`None` for compile-time
+    /// events, which are not on the simulated clock).
+    pub fn now(&self) -> Option<u64> {
+        match *self {
+            TraceEvent::DemandMiss { now, .. }
+            | TraceEvent::SwpfIssued { now, .. }
+            | TraceEvent::SwpfDropped { now, .. }
+            | TraceEvent::SwpfFill { now, .. }
+            | TraceEvent::SwpfRedundant { now, .. }
+            | TraceEvent::GuardedIssued { now, .. }
+            | TraceEvent::GuardedFill { now, .. }
+            | TraceEvent::HwPrefetchFill { now, .. }
+            | TraceEvent::PrefetchUsed { now, .. }
+            | TraceEvent::PrefetchEvicted { now, .. }
+            | TraceEvent::GcSlide { now, .. } => Some(now),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn site_id_display() {
+        assert_eq!(SiteId(3).to_string(), "s3");
+        assert_eq!(SiteId::UNKNOWN.to_string(), "?");
+    }
+
+    #[test]
+    fn events_stay_small() {
+        // The ring buffer stores events by value; keep them cache-friendly.
+        const { assert!(std::mem::size_of::<TraceEvent>() <= 40) };
+    }
+
+    #[test]
+    fn now_distinguishes_compile_and_runtime() {
+        assert_eq!(TraceEvent::JitBegin { method: 0 }.now(), None);
+        assert_eq!(
+            TraceEvent::SwpfIssued {
+                site: SiteId(0),
+                line: 0,
+                now: 7
+            }
+            .now(),
+            Some(7)
+        );
+    }
+}

@@ -1,0 +1,325 @@
+//! Trace exporters: JSONL and Chrome `trace_event`.
+//!
+//! Both are hand-rolled (the build environment has no registry access, so
+//! serde is not available) and only promise to produce valid output for
+//! the event vocabulary of this crate.
+//!
+//! * [`events_jsonl`] writes one JSON object per event per line — the
+//!   archival format, trivially greppable and `jq`-able.
+//! * [`chrome_trace`] writes a JSON array in the Chrome `trace_event`
+//!   format (load `chrome://tracing` or Perfetto and drop the file in).
+//!   Runtime events become instant events on the simulated-cycle
+//!   timeline; fills become duration events spanning issue→ready;
+//!   compile-time events sit on their own track at timestamp 0.
+
+use std::fmt::Write as _;
+
+use crate::event::TraceEvent;
+use crate::site::SiteTable;
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// Appends the variant-specific fields of `ev` as `"key": value` pairs.
+fn fields(out: &mut String, ev: &TraceEvent) {
+    match *ev {
+        TraceEvent::JitBegin { method } => {
+            let _ = write!(out, "\"method\": {method}");
+        }
+        TraceEvent::LdgBuilt {
+            loop_header,
+            nodes,
+            edges,
+        } => {
+            let _ = write!(
+                out,
+                "\"loop_header\": {loop_header}, \"nodes\": {nodes}, \"edges\": {edges}"
+            );
+        }
+        TraceEvent::Inspected {
+            loop_header,
+            iterations,
+            steps,
+            inter_patterns,
+            intra_patterns,
+        } => {
+            let _ = write!(
+                out,
+                "\"loop_header\": {loop_header}, \"iterations\": {iterations}, \
+                 \"steps\": {steps}, \"inter_patterns\": {inter_patterns}, \
+                 \"intra_patterns\": {intra_patterns}"
+            );
+        }
+        TraceEvent::Suppressed {
+            block,
+            index,
+            reason,
+        } => {
+            let _ = write!(
+                out,
+                "\"block\": {block}, \"index\": {index}, \"reason\": \"{reason}\""
+            );
+        }
+        TraceEvent::Planned {
+            block,
+            index,
+            shape,
+            param,
+        } => {
+            let _ = write!(
+                out,
+                "\"block\": {block}, \"index\": {index}, \"shape\": \"{shape}\", \
+                 \"param\": {param}"
+            );
+        }
+        TraceEvent::SiteRegistered {
+            site,
+            method,
+            block,
+            index,
+        } => {
+            let _ = write!(
+                out,
+                "\"site\": {}, \"method\": {method}, \"block\": {block}, \"index\": {index}",
+                site.0
+            );
+        }
+        TraceEvent::DemandMiss {
+            level,
+            line,
+            now,
+            store,
+        } => {
+            let _ = write!(
+                out,
+                "\"level\": \"{level:?}\", \"line\": {line}, \"now\": {now}, \"store\": {store}"
+            );
+        }
+        TraceEvent::SwpfIssued { site, line, now }
+        | TraceEvent::SwpfDropped { site, line, now }
+        | TraceEvent::SwpfRedundant { site, line, now } => {
+            let _ = write!(
+                out,
+                "\"site\": {}, \"line\": {line}, \"now\": {now}",
+                site.0
+            );
+        }
+        TraceEvent::SwpfFill {
+            site,
+            line,
+            now,
+            ready_at,
+        }
+        | TraceEvent::GuardedFill {
+            site,
+            line,
+            now,
+            ready_at,
+        } => {
+            let _ = write!(
+                out,
+                "\"site\": {}, \"line\": {line}, \"now\": {now}, \"ready_at\": {ready_at}",
+                site.0
+            );
+        }
+        TraceEvent::GuardedIssued {
+            site,
+            line,
+            now,
+            tlb_primed,
+        } => {
+            let _ = write!(
+                out,
+                "\"site\": {}, \"line\": {line}, \"now\": {now}, \"tlb_primed\": {tlb_primed}",
+                site.0
+            );
+        }
+        TraceEvent::HwPrefetchFill {
+            line,
+            now,
+            ready_at,
+        } => {
+            let _ = write!(
+                out,
+                "\"line\": {line}, \"now\": {now}, \"ready_at\": {ready_at}"
+            );
+        }
+        TraceEvent::PrefetchUsed {
+            site,
+            line,
+            now,
+            wait,
+        } => {
+            let _ = write!(
+                out,
+                "\"site\": {}, \"line\": {line}, \"now\": {now}, \"wait\": {wait}",
+                site.0
+            );
+        }
+        TraceEvent::PrefetchEvicted { site, line, now } => {
+            let _ = write!(
+                out,
+                "\"site\": {}, \"line\": {line}, \"now\": {now}",
+                site.0
+            );
+        }
+        TraceEvent::GcSlide {
+            now,
+            live_bytes,
+            freed_bytes,
+            moved_objects,
+        } => {
+            let _ = write!(
+                out,
+                "\"now\": {now}, \"live_bytes\": {live_bytes}, \"freed_bytes\": {freed_bytes}, \
+                 \"moved_objects\": {moved_objects}"
+            );
+        }
+    }
+}
+
+/// The site's human-readable location, if the table resolves it.
+fn site_location(ev: &TraceEvent, sites: Option<&SiteTable>) -> Option<String> {
+    let site = match *ev {
+        TraceEvent::SwpfIssued { site, .. }
+        | TraceEvent::SwpfDropped { site, .. }
+        | TraceEvent::SwpfFill { site, .. }
+        | TraceEvent::SwpfRedundant { site, .. }
+        | TraceEvent::GuardedIssued { site, .. }
+        | TraceEvent::GuardedFill { site, .. }
+        | TraceEvent::PrefetchUsed { site, .. }
+        | TraceEvent::PrefetchEvicted { site, .. } => site,
+        _ => return None,
+    };
+    sites?.get(site).map(|info| info.location())
+}
+
+/// Renders events as JSONL, one object per line, oldest first. When a
+/// [`SiteTable`] is supplied, site-carrying events gain a resolved
+/// `"at"` location field.
+pub fn events_jsonl(events: &[TraceEvent], sites: Option<&SiteTable>) -> String {
+    let mut out = String::new();
+    for ev in events {
+        let _ = write!(out, "{{\"tag\": \"{}\", ", ev.tag());
+        fields(&mut out, ev);
+        if let Some(at) = site_location(ev, sites) {
+            let _ = write!(out, ", \"at\": \"{}\"", escape(&at));
+        }
+        out.push_str("}\n");
+    }
+    out
+}
+
+/// Renders events in the Chrome `trace_event` JSON array format.
+///
+/// Simulated cycles are mapped 1:1 to trace microseconds. Fill events get
+/// a duration (`ph: "X"`) spanning issue to completion; other runtime
+/// events are instants (`ph: "i"`); compile-time events are instants at
+/// timestamp 0 on a separate "compile" thread.
+pub fn chrome_trace(events: &[TraceEvent], sites: Option<&SiteTable>) -> String {
+    let mut out = String::from("[\n");
+    for (i, ev) in events.iter().enumerate() {
+        let name = match site_location(ev, sites) {
+            Some(at) => format!("{} {}", ev.tag(), at),
+            None => ev.tag().to_string(),
+        };
+        let (ph, ts, dur, tid) = match *ev {
+            TraceEvent::SwpfFill { now, ready_at, .. }
+            | TraceEvent::GuardedFill { now, ready_at, .. }
+            | TraceEvent::HwPrefetchFill { now, ready_at, .. } => {
+                ("X", now, Some(ready_at.saturating_sub(now)), 0)
+            }
+            _ => match ev.now() {
+                Some(now) => ("i", now, None, 0),
+                None => ("i", 0, None, 1),
+            },
+        };
+        let _ = write!(
+            out,
+            "  {{\"name\": \"{}\", \"ph\": \"{ph}\", \"ts\": {ts}, ",
+            escape(&name)
+        );
+        if let Some(dur) = dur {
+            let _ = write!(out, "\"dur\": {dur}, ");
+        }
+        if ph == "i" {
+            out.push_str("\"s\": \"t\", ");
+        }
+        let _ = write!(out, "\"pid\": 0, \"tid\": {tid}, \"args\": {{");
+        fields(&mut out, ev);
+        out.push_str("}}");
+        out.push_str(if i + 1 == events.len() { "\n" } else { ",\n" });
+    }
+    out.push_str("]\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{MissLevel, SiteId, SuppressReason};
+    use crate::site::SiteKind;
+
+    fn sample() -> Vec<TraceEvent> {
+        vec![
+            TraceEvent::JitBegin { method: 2 },
+            TraceEvent::Suppressed {
+                block: 4,
+                index: 1,
+                reason: SuppressReason::StrideTooSmall,
+            },
+            TraceEvent::SwpfIssued {
+                site: SiteId(0),
+                line: 0x1c0,
+                now: 10,
+            },
+            TraceEvent::SwpfFill {
+                site: SiteId(0),
+                line: 0x1c0,
+                now: 10,
+                ready_at: 210,
+            },
+            TraceEvent::DemandMiss {
+                level: MissLevel::L1,
+                line: 0x200,
+                now: 20,
+                store: false,
+            },
+        ]
+    }
+
+    #[test]
+    fn jsonl_one_object_per_line() {
+        let text = events_jsonl(&sample(), None);
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 5);
+        for line in &lines {
+            assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
+        }
+        assert!(lines[2].contains("\"tag\": \"swpf_issued\""));
+        assert!(lines[4].contains("\"level\": \"L1\""));
+    }
+
+    #[test]
+    fn jsonl_resolves_sites() {
+        let mut sites = SiteTable::new();
+        sites.register("findInMemory", 2, 4, 1, Some(4), SiteKind::Swpf);
+        let text = events_jsonl(&sample(), Some(&sites));
+        assert!(text.contains("\"at\": \"findInMemory@b4.1\""));
+    }
+
+    #[test]
+    fn chrome_trace_shape() {
+        let text = chrome_trace(&sample(), None);
+        assert!(text.starts_with("[\n") && text.ends_with("]\n"));
+        assert!(text.contains("\"ph\": \"X\""), "fills become durations");
+        assert!(text.contains("\"dur\": 200"));
+        assert!(text.contains("\"tid\": 1"), "compile events on own track");
+        // Every event line but the last must end with a comma.
+        let body: Vec<&str> = text.lines().filter(|l| l.contains("\"ph\"")).collect();
+        assert_eq!(body.len(), 5);
+        assert!(body[..4].iter().all(|l| l.ends_with(',')));
+        assert!(!body[4].ends_with(','));
+    }
+}

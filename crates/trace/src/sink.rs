@@ -1,0 +1,214 @@
+//! Trace sinks: where events go.
+//!
+//! The sink is a *type parameter* of every traced component, not a trait
+//! object: the instrumentation hot paths are written as
+//! `if S::ENABLED { sink.emit(…) }`, so instantiating a component with
+//! [`NoopSink`] (the default everywhere) erases both the branch and the
+//! event construction at monomorphization time. Tracing off therefore
+//! costs literally zero instructions — the hard invariant the bench
+//! harness asserts by diffing traced against untraced simulated numbers.
+
+use crate::event::TraceEvent;
+
+/// Receives trace events.
+pub trait TraceSink {
+    /// Whether this sink records anything. Emission sites are guarded by
+    /// `if S::ENABLED`, so a `false` here removes the instrumentation at
+    /// compile time.
+    const ENABLED: bool;
+
+    /// Records one event.
+    fn emit(&mut self, event: TraceEvent);
+
+    /// Discards all recorded events (called by `MemorySystem::reset`
+    /// between benchmark runs so no events leak across matrix cells).
+    fn clear(&mut self);
+
+    /// A copy of the held events, oldest first. Empty for sinks that keep
+    /// nothing; lets generic harnesses read a trace back without naming
+    /// the concrete sink type.
+    fn snapshot(&self) -> Vec<TraceEvent> {
+        Vec::new()
+    }
+
+    /// Events lost to capacity since the last [`clear`](Self::clear)
+    /// (non-zero means [`snapshot`](Self::snapshot) is truncated).
+    fn lost(&self) -> u64 {
+        0
+    }
+}
+
+/// The default sink: drops everything, compiles to nothing.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct NoopSink;
+
+impl TraceSink for NoopSink {
+    const ENABLED: bool = false;
+
+    #[inline(always)]
+    fn emit(&mut self, _event: TraceEvent) {}
+
+    #[inline(always)]
+    fn clear(&mut self) {}
+}
+
+/// A fixed-capacity flight recorder: keeps the most recent `capacity`
+/// events, overwriting the oldest once full. [`RingSink::overwritten`]
+/// reports how many were lost, so consumers can tell a complete trace
+/// from a truncated one.
+#[derive(Clone, Debug)]
+pub struct RingSink {
+    buf: Vec<TraceEvent>,
+    capacity: usize,
+    /// Index of the oldest event once the buffer has wrapped.
+    head: usize,
+    /// Total events ever emitted (including overwritten ones).
+    total: u64,
+}
+
+/// Default ring capacity: enough for the tiny/small experiment sizes the
+/// tracing harness targets (~10 MB of events).
+pub const DEFAULT_RING_CAPACITY: usize = 1 << 18;
+
+impl Default for RingSink {
+    fn default() -> Self {
+        RingSink::with_capacity(DEFAULT_RING_CAPACITY)
+    }
+}
+
+impl RingSink {
+    /// Creates a ring holding at most `capacity` events.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn with_capacity(capacity: usize) -> Self {
+        assert!(capacity > 0, "ring capacity must be positive");
+        RingSink {
+            buf: Vec::new(),
+            capacity,
+            head: 0,
+            total: 0,
+        }
+    }
+
+    /// Number of events currently held.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether no events are held.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Total events emitted since creation or the last [`clear`], including
+    /// ones that have since been overwritten.
+    ///
+    /// [`clear`]: TraceSink::clear
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Events lost to capacity (oldest-first overwrites).
+    pub fn overwritten(&self) -> u64 {
+        self.total - self.buf.len() as u64
+    }
+
+    /// The held events, oldest first.
+    pub fn events(&self) -> Vec<TraceEvent> {
+        let mut out = Vec::with_capacity(self.buf.len());
+        out.extend_from_slice(&self.buf[self.head..]);
+        out.extend_from_slice(&self.buf[..self.head]);
+        out
+    }
+}
+
+impl TraceSink for RingSink {
+    const ENABLED: bool = true;
+
+    #[inline]
+    fn emit(&mut self, event: TraceEvent) {
+        self.total += 1;
+        if self.buf.len() < self.capacity {
+            self.buf.push(event);
+        } else {
+            self.buf[self.head] = event;
+            self.head = (self.head + 1) % self.capacity;
+        }
+    }
+
+    fn clear(&mut self) {
+        self.buf.clear();
+        self.head = 0;
+        self.total = 0;
+    }
+
+    fn snapshot(&self) -> Vec<TraceEvent> {
+        self.events()
+    }
+
+    fn lost(&self) -> u64 {
+        self.overwritten()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::SiteId;
+
+    fn ev(n: u64) -> TraceEvent {
+        TraceEvent::SwpfIssued {
+            site: SiteId(0),
+            line: 0,
+            now: n,
+        }
+    }
+
+    #[test]
+    fn ring_keeps_most_recent() {
+        let mut r = RingSink::with_capacity(3);
+        for n in 0..5 {
+            r.emit(ev(n));
+        }
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.total(), 5);
+        assert_eq!(r.overwritten(), 2);
+        let nows: Vec<u64> = r.events().iter().filter_map(|e| e.now()).collect();
+        assert_eq!(nows, vec![2, 3, 4], "oldest events were overwritten");
+    }
+
+    #[test]
+    fn ring_below_capacity_is_in_order() {
+        let mut r = RingSink::with_capacity(8);
+        for n in 0..3 {
+            r.emit(ev(n));
+        }
+        let nows: Vec<u64> = r.events().iter().filter_map(|e| e.now()).collect();
+        assert_eq!(nows, vec![0, 1, 2]);
+        assert_eq!(r.overwritten(), 0);
+    }
+
+    #[test]
+    fn clear_resets_everything() {
+        let mut r = RingSink::with_capacity(2);
+        for n in 0..5 {
+            r.emit(ev(n));
+        }
+        r.clear();
+        assert!(r.is_empty());
+        assert_eq!(r.total(), 0);
+        r.emit(ev(9));
+        assert_eq!(r.events().len(), 1);
+    }
+
+    #[test]
+    fn noop_is_disabled() {
+        const { assert!(!NoopSink::ENABLED) };
+        const { assert!(RingSink::ENABLED) };
+        let mut n = NoopSink;
+        n.emit(ev(0)); // must be a no-op, not a panic
+        n.clear();
+    }
+}

@@ -1,0 +1,158 @@
+//! The site table: stable IDs for prefetch instructions.
+//!
+//! Runtime events carry only a [`SiteId`]; this table maps the ID back to
+//! the IR instruction — method, block, index — the loop it sits in, and
+//! the kind of prefetch the code generator emitted there. The VM owns one
+//! table per execution and registers every `Prefetch`/`SpecLoad`
+//! instruction of each freshly compiled body.
+
+use crate::event::SiteId;
+
+/// What kind of instruction a site is.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SiteKind {
+    /// A software prefetch instruction (`Prefetch` mapped to hardware).
+    Swpf,
+    /// A guarded prefetch load (`Prefetch` mapped to a guarded load).
+    Guarded,
+    /// A speculative load anchor (`SpecLoad`).
+    SpecLoad,
+    /// Registered on demand without compile-time metadata.
+    Unknown,
+}
+
+impl std::fmt::Display for SiteKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            SiteKind::Swpf => "swpf",
+            SiteKind::Guarded => "guarded",
+            SiteKind::SpecLoad => "spec-load",
+            SiteKind::Unknown => "unknown",
+        })
+    }
+}
+
+impl SiteKind {
+    /// Parses the display form back (for summary round-trips).
+    pub fn parse(s: &str) -> SiteKind {
+        match s {
+            "swpf" => SiteKind::Swpf,
+            "guarded" => SiteKind::Guarded,
+            "spec-load" => SiteKind::SpecLoad,
+            _ => SiteKind::Unknown,
+        }
+    }
+}
+
+/// Everything known about one prefetch site.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct SiteInfo {
+    /// The site's ID.
+    pub id: SiteId,
+    /// Name of the method containing the site.
+    pub method: String,
+    /// Method index in the program.
+    pub method_index: u32,
+    /// Block index of the instruction.
+    pub block: u32,
+    /// Instruction index within the block.
+    pub index: u32,
+    /// Header block index of the innermost loop containing the site, if
+    /// any.
+    pub loop_header: Option<u32>,
+    /// Kind of prefetch instruction.
+    pub kind: SiteKind,
+}
+
+impl SiteInfo {
+    /// `method@bN.i` — the site's position, human-readable.
+    pub fn location(&self) -> String {
+        format!("{}@b{}.{}", self.method, self.block, self.index)
+    }
+}
+
+/// Allocates and resolves [`SiteId`]s.
+#[derive(Clone, Debug, Default)]
+pub struct SiteTable {
+    sites: Vec<SiteInfo>,
+}
+
+impl SiteTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        SiteTable::default()
+    }
+
+    /// Registers a site and returns its fresh ID.
+    pub fn register(
+        &mut self,
+        method: &str,
+        method_index: u32,
+        block: u32,
+        index: u32,
+        loop_header: Option<u32>,
+        kind: SiteKind,
+    ) -> SiteId {
+        let id = SiteId(self.sites.len() as u32);
+        self.sites.push(SiteInfo {
+            id,
+            method: method.to_string(),
+            method_index,
+            block,
+            index,
+            loop_header,
+            kind,
+        });
+        id
+    }
+
+    /// Resolves an ID ([`SiteId::UNKNOWN`] and out-of-range IDs yield
+    /// `None`).
+    pub fn get(&self, id: SiteId) -> Option<&SiteInfo> {
+        self.sites.get(id.0 as usize)
+    }
+
+    /// All sites, in registration (ID) order.
+    pub fn iter(&self) -> impl Iterator<Item = &SiteInfo> {
+        self.sites.iter()
+    }
+
+    /// Number of registered sites.
+    pub fn len(&self) -> usize {
+        self.sites.len()
+    }
+
+    /// Whether no site is registered.
+    pub fn is_empty(&self) -> bool {
+        self.sites.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_and_resolve() {
+        let mut t = SiteTable::new();
+        let a = t.register("findInMemory", 2, 4, 1, Some(4), SiteKind::SpecLoad);
+        let b = t.register("findInMemory", 2, 4, 2, Some(4), SiteKind::Guarded);
+        assert_eq!(a, SiteId(0));
+        assert_eq!(b, SiteId(1));
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.get(a).unwrap().location(), "findInMemory@b4.1");
+        assert_eq!(t.get(SiteId::UNKNOWN), None);
+    }
+
+    #[test]
+    fn kind_round_trips() {
+        for k in [
+            SiteKind::Swpf,
+            SiteKind::Guarded,
+            SiteKind::SpecLoad,
+            SiteKind::Unknown,
+        ] {
+            assert_eq!(SiteKind::parse(&k.to_string()), k);
+        }
+    }
+}

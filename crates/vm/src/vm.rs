@@ -13,6 +13,7 @@ use spf_ir::{
     PrefetchKind, Program, Reg, Terminator, Ty, UnOp,
 };
 use spf_memsim::{MemorySystem, ProcessorConfig};
+use spf_trace::{NoopSink, SiteId, SiteKind, SiteTable, TraceEvent, TraceSink};
 
 use crate::config::{VmConfig, CALL_OVERHEAD, COMPILED_INSTR_COST, CYCLES_PER_NANO};
 use crate::error::VmError;
@@ -48,22 +49,24 @@ struct Frame {
 /// let out = vm.call(main, &[spf_heap::Value::I32(21)]).unwrap();
 /// assert_eq!(out, Some(spf_heap::Value::I32(42)));
 /// ```
-pub struct Vm {
+pub struct Vm<S: TraceSink = NoopSink> {
     program: Program,
     config: VmConfig,
     heap: Heap,
     statics: Vec<Value>,
-    mem: MemorySystem,
+    mem: MemorySystem<S>,
     originals: Vec<Rc<Function>>,
     compiled: Vec<Option<Rc<Function>>>,
     invocations: Vec<u32>,
     reports: Vec<MethodReport>,
     stats: VmStats,
     offline: HashMap<MethodId, OfflineProfile>,
+    sites: SiteTable,
+    site_ids: HashMap<(MethodId, InstrRef), SiteId>,
     frames: Vec<Frame>,
 }
 
-impl std::fmt::Debug for Vm {
+impl<S: TraceSink> std::fmt::Debug for Vm<S> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Vm")
             .field("methods", &self.program.method_count())
@@ -73,8 +76,17 @@ impl std::fmt::Debug for Vm {
 }
 
 impl Vm {
-    /// Creates a VM for `program` on the processor `proc`.
+    /// Creates an untraced VM for `program` on the processor `proc`.
     pub fn new(program: Program, config: VmConfig, proc: ProcessorConfig) -> Self {
+        Vm::with_sink(program, config, proc, NoopSink)
+    }
+}
+
+impl<S: TraceSink> Vm<S> {
+    /// Creates a VM for `program` on the processor `proc`, emitting trace
+    /// events into `sink`. With [`NoopSink`] every emission site compiles
+    /// out and this is exactly [`Vm::new`].
+    pub fn with_sink(program: Program, config: VmConfig, proc: ProcessorConfig, sink: S) -> Self {
         let layout = Layout::compute(&program);
         let heap = Heap::new(layout, config.heap_bytes);
         let statics = program
@@ -94,16 +106,29 @@ impl Vm {
             program,
             heap,
             statics,
-            mem: MemorySystem::new(proc),
+            mem: MemorySystem::with_sink(proc, sink),
             originals,
             compiled: vec![None; n],
             invocations: vec![0; n],
             reports: Vec::new(),
             stats,
             offline: HashMap::new(),
+            sites: SiteTable::new(),
+            site_ids: HashMap::new(),
             frames: Vec::new(),
             config,
         }
+    }
+
+    /// The trace sink (read access, e.g. to drain collected events).
+    pub fn sink(&self) -> &S {
+        self.mem.sink()
+    }
+
+    /// The table of prefetch sites registered by JIT compilations so far.
+    /// Empty while tracing is disabled.
+    pub fn sites(&self) -> &SiteTable {
+        &self.sites
     }
 
     /// The program being executed.
@@ -145,7 +170,52 @@ impl Vm {
     /// Installs a pre-optimized body for `mid`, bypassing the JIT trigger
     /// (used by the off-line profiling ablation).
     pub fn install_compiled(&mut self, mid: MethodId, func: Function) {
-        self.compiled[mid.index()] = Some(Rc::new(func));
+        let func = Rc::new(func);
+        if S::ENABLED {
+            self.register_sites(mid, &func);
+        }
+        self.compiled[mid.index()] = Some(func);
+    }
+
+    /// Registers every `Prefetch`/`SpecLoad` instruction of a freshly
+    /// installed body so runtime events can be attributed back to the IR
+    /// site and its loop. Only called when tracing is enabled.
+    fn register_sites(&mut self, mid: MethodId, func: &Function) {
+        let cfg = spf_ir::cfg::Cfg::compute(func);
+        let dom = spf_ir::dom::DomTree::compute(func, &cfg);
+        let forest = spf_ir::loops::LoopForest::compute(func, &cfg, &dom);
+        for site in func.instr_sites() {
+            let kind = match func.instr(site) {
+                Instr::Prefetch {
+                    kind: PrefetchKind::Hardware,
+                    ..
+                } => SiteKind::Swpf,
+                Instr::Prefetch {
+                    kind: PrefetchKind::GuardedLoad,
+                    ..
+                } => SiteKind::Guarded,
+                Instr::SpecLoad { .. } => SiteKind::SpecLoad,
+                _ => continue,
+            };
+            let loop_header = forest
+                .innermost(site.block)
+                .map(|l| forest.info(l).header.index() as u32);
+            let id = self.sites.register(
+                func.name(),
+                mid.index() as u32,
+                site.block.index() as u32,
+                site.index,
+                loop_header,
+                kind,
+            );
+            self.site_ids.insert((mid, site), id);
+            self.mem.sink_mut().emit(TraceEvent::SiteRegistered {
+                site: id,
+                method: mid.index() as u32,
+                block: site.block.index() as u32,
+                index: site.index,
+            });
+        }
     }
 
     /// Whether `mid` has been JIT-compiled.
@@ -239,6 +309,11 @@ impl Vm {
     /// pass with the actual `args` of the pending invocation.
     fn jit_compile(&mut self, mid: MethodId, args: &[Value]) {
         let t0 = Instant::now();
+        if S::ENABLED {
+            self.mem.sink_mut().emit(TraceEvent::JitBegin {
+                method: mid.index() as u32,
+            });
+        }
         let original = Rc::clone(&self.originals[mid.index()]);
         let pre_inlined;
         let input: &Function = if self.config.inline_small_methods {
@@ -267,13 +342,17 @@ impl Vm {
         };
         let base = passes::optimize(&self.program, input);
         let prefetcher = StridePrefetcher::new(self.config.prefetch.clone());
-        let outcome = prefetcher.optimize(
+        // Clone the processor description so the optimizer can borrow the
+        // memory system's sink mutably at the same time.
+        let proc = self.mem.config().clone();
+        let outcome = prefetcher.optimize_traced(
             &self.program,
             &base,
             &self.heap,
             &self.statics,
             args,
-            self.mem.config(),
+            &proc,
+            self.mem.sink_mut(),
         );
         let total_nanos = t0.elapsed().as_nanos();
         self.stats.jit_nanos += total_nanos;
@@ -282,7 +361,11 @@ impl Vm {
         self.stats.jit_cycles += jit_cycles;
         self.stats.cycles += jit_cycles;
         self.stats.methods_compiled += 1;
-        self.compiled[mid.index()] = Some(Rc::new(outcome.func));
+        let func = Rc::new(outcome.func);
+        if S::ENABLED {
+            self.register_sites(mid, &func);
+        }
+        self.compiled[mid.index()] = Some(func);
         self.reports.push(outcome.report);
     }
 
@@ -307,6 +390,14 @@ impl Vm {
             }
         }
         let (cstats, fwd) = self.heap.collect(&roots);
+        if S::ENABLED {
+            self.mem.sink_mut().emit(TraceEvent::GcSlide {
+                now: self.stats.cycles,
+                live_bytes: cstats.live_bytes,
+                freed_bytes: cstats.freed_bytes,
+                moved_objects: cstats.moved_objects,
+            });
+        }
         for f in &mut self.frames {
             for v in f.regs.iter_mut() {
                 if let Value::Ref(a) = v {
@@ -741,6 +832,10 @@ impl Vm {
                 }
                 Instr::Prefetch { addr, kind } => {
                     if let Some(target) = self.prefetch_addr(frame!(), &addr) {
+                        if S::ENABLED {
+                            let id = self.site_ids.get(&(cur_mid, site));
+                            self.mem.set_site(id.copied().unwrap_or(SiteId::UNKNOWN));
+                        }
                         let cost = match kind {
                             PrefetchKind::Hardware => self.mem.software_prefetch(target, cycles),
                             PrefetchKind::GuardedLoad => self.mem.guarded_load(target, cycles),
@@ -752,6 +847,10 @@ impl Vm {
                 Instr::SpecLoad { dst, addr } => {
                     let v = match self.prefetch_addr(frame!(), &addr) {
                         Some(target) => {
+                            if S::ENABLED {
+                                let id = self.site_ids.get(&(cur_mid, site));
+                                self.mem.set_site(id.copied().unwrap_or(SiteId::UNKNOWN));
+                            }
                             let cost = self.mem.guarded_load(target, cycles);
                             cycles += cost;
                             frame_acc += cost;
