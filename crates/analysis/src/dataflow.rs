@@ -1,0 +1,212 @@
+//! A small forward-dataflow engine shared by the analyses in this crate.
+//!
+//! The engine iterates block transfer functions to a fixpoint over the
+//! reverse postorder of the CFG, joining predecessor out-states with either
+//! set union (may-analyses such as taint propagation) or set intersection
+//! (must-analyses such as definite initialization). States are dense
+//! [`BitSet`]s; the meaning of each bit is up to the client.
+
+use spf_ir::bitset::BitSet;
+use spf_ir::cfg::Cfg;
+use spf_ir::entities::BlockId;
+use spf_ir::func::Function;
+
+/// How predecessor states are combined at a block entry.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Join {
+    /// May-analysis: a bit holds if it holds on *some* path (set union).
+    /// Unknown states start empty (bottom = ∅).
+    Union,
+    /// Must-analysis: a bit holds only if it holds on *every* path (set
+    /// intersection). Unknown states start full (top = the universe), so
+    /// that unvisited paths do not spuriously kill facts.
+    Intersect,
+}
+
+/// Per-block fixpoint states computed by [`forward`].
+pub struct BlockStates {
+    /// State at each block's entry (indexed by block id).
+    pub block_in: Vec<BitSet>,
+    /// State at each block's exit (indexed by block id).
+    pub block_out: Vec<BitSet>,
+}
+
+/// Runs a forward dataflow analysis to fixpoint.
+///
+/// `bits` is the size of the state sets, `entry_state` the facts holding on
+/// function entry (e.g. parameter registers for definite initialization),
+/// and `transfer` applies one whole block to a state in place. Unreachable
+/// blocks keep their initial state (`∅` for [`Join::Union`], the full set
+/// for [`Join::Intersect`]) and are excluded from joins, mirroring how the
+/// executing VM never observes them.
+pub fn forward(
+    func: &Function,
+    cfg: &Cfg,
+    bits: usize,
+    join: Join,
+    entry_state: &BitSet,
+    transfer: impl Fn(&mut BitSet, BlockId),
+) -> BlockStates {
+    assert_eq!(entry_state.capacity(), bits, "entry state capacity");
+    let nblocks = func.block_count();
+    let top = || match join {
+        Join::Union => BitSet::new(bits),
+        Join::Intersect => {
+            let mut s = BitSet::new(bits);
+            for i in 0..bits {
+                s.insert(i);
+            }
+            s
+        }
+    };
+    let mut block_in: Vec<BitSet> = (0..nblocks).map(|_| top()).collect();
+    let mut block_out: Vec<BitSet> = (0..nblocks).map(|_| top()).collect();
+    let entry = func.entry();
+
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for &b in cfg.rpo() {
+            let bi = b.index();
+            // Entry state of the block: the join over reachable predecessors,
+            // seeded with `entry_state` for the function entry (which may
+            // itself be a loop header with predecessors).
+            let mut inset = if b == entry {
+                entry_state.clone()
+            } else {
+                top()
+            };
+            let mut joined = b == entry;
+            for &p in cfg.preds(b) {
+                if !cfg.is_reachable(p) {
+                    continue;
+                }
+                match join {
+                    Join::Union => {
+                        inset.union_with(&block_out[p.index()]);
+                    }
+                    Join::Intersect => {
+                        if joined {
+                            inset.intersect_with(&block_out[p.index()]);
+                        } else {
+                            inset = block_out[p.index()].clone();
+                        }
+                    }
+                }
+                joined = true;
+            }
+            if !joined {
+                // Reachable block with no reachable predecessor can only be
+                // the entry (handled above); keep the seed for safety.
+                inset = entry_state.clone();
+            }
+            let mut outset = inset.clone();
+            transfer(&mut outset, b);
+            if inset != block_in[bi] || outset != block_out[bi] {
+                block_in[bi] = inset;
+                block_out[bi] = outset;
+                changed = true;
+            }
+        }
+    }
+    BlockStates {
+        block_in,
+        block_out,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spf_ir::builder::ProgramBuilder;
+    use spf_ir::types::Ty;
+    use spf_ir::Instr;
+
+    /// Definite-init-shaped must-analysis over a diamond: a register
+    /// assigned on only one arm is not definite at the join.
+    #[test]
+    fn intersect_join_diamond() {
+        let mut pb = ProgramBuilder::new();
+        let mut b = pb.function("d", &[Ty::I32], Some(Ty::I32));
+        let x = b.param(0);
+        let zero = b.const_i32(0);
+        let c = b.gt(x, zero);
+        let only_then = b.new_reg(Ty::I32);
+        b.if_else(c, |b| b.move_(only_then, x), |_| {});
+        b.ret(Some(x));
+        let m = b.finish();
+        let p = pb.finish();
+        let f = p.method(m).func();
+        let cfg = Cfg::compute(f);
+        let bits = f.reg_count();
+        let mut entry = BitSet::new(bits);
+        for pr in f.params() {
+            entry.insert(pr.index());
+        }
+        let states = forward(f, &cfg, bits, Join::Intersect, &entry, |state, blk| {
+            for instr in &f.block(blk).instrs {
+                if let Some(dst) = instr.dst() {
+                    state.insert(dst.index());
+                }
+            }
+        });
+        // Find the join block: the reachable block whose preds are the two arms.
+        let join_blk = f
+            .block_ids()
+            .find(|&blk| cfg.is_reachable(blk) && cfg.preds(blk).len() == 2)
+            .expect("join block");
+        let at_join = &states.block_in[join_blk.index()];
+        assert!(at_join.contains(x.index()), "param is definite everywhere");
+        assert!(
+            !at_join.contains(only_then.index()),
+            "one-armed assignment must not be definite at the join"
+        );
+    }
+
+    /// Taint-shaped may-analysis around a loop: a fact generated in the
+    /// body flows back to the header through the latch.
+    #[test]
+    fn union_join_loop_carried() {
+        let mut pb = ProgramBuilder::new();
+        let mut b = pb.function("l", &[Ty::I32], None);
+        let n = b.param(0);
+        let i = b.new_reg(Ty::I32);
+        let z = b.const_i32(0);
+        b.move_(i, z);
+        let body_def = b.new_reg(Ty::I32);
+        b.while_(
+            |b| b.lt(i, n),
+            |b| {
+                b.move_(body_def, i);
+                b.inc(i, 1);
+            },
+        );
+        let m = b.finish();
+        let p = pb.finish();
+        let f = p.method(m).func();
+        let cfg = Cfg::compute(f);
+        let bits = f.reg_count();
+        let entry = BitSet::new(bits);
+        let states = forward(f, &cfg, bits, Join::Union, &entry, |state, blk| {
+            for instr in &f.block(blk).instrs {
+                if matches!(instr, Instr::Move { .. }) {
+                    if let Some(dst) = instr.dst() {
+                        state.insert(dst.index());
+                    }
+                }
+            }
+        });
+        // The loop header sees the body's def via the back edge.
+        let header = f
+            .block_ids()
+            .find(|&blk| {
+                cfg.is_reachable(blk)
+                    && cfg
+                        .preds(blk)
+                        .iter()
+                        .any(|&pr| cfg.rpo_index(pr) > cfg.rpo_index(blk))
+            })
+            .expect("loop header");
+        assert!(states.block_in[header.index()].contains(body_def.index()));
+    }
+}

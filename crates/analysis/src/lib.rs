@@ -1,0 +1,108 @@
+//! Static analyses over the stride-prefetch IR.
+//!
+//! The paper derives strides *dynamically* by inspecting objects (§3.2)
+//! exactly where static analysis is weak, but cites Wu et al. (PLDI'02) for
+//! the many loops whose inter-iteration strides a compiler can prove
+//! statically. This crate is that static counterpoint, three analyses on
+//! one forward-dataflow engine over `spf-ir`'s CFG/dominator/def-use
+//! infrastructure:
+//!
+//! - [`definite_init`] — a must-analysis proving every register use is
+//!   assigned on all paths (the structural verifier only checks ranges);
+//! - [`speclint`] — a taint analysis proving `SpecLoad` speculation never
+//!   leaks into architectural state, plus prefetch-placement and
+//!   guarded-policy conformance checks;
+//! - [`scev`] — SCEV-lite induction-variable and affine-recurrence
+//!   analysis producing statically-proven inter-iteration strides, which
+//!   the pipeline cross-checks against object inspection.
+//!
+//! The crate deliberately depends only on `spf-ir`: both the prefetch
+//! pipeline (`spf-core`) and the VM (`spf-vm`) call into it.
+
+pub mod dataflow;
+pub mod definite_init;
+pub mod scev;
+pub mod speclint;
+
+use spf_ir::cfg::Cfg;
+use spf_ir::dom::DomTree;
+use spf_ir::entities::BlockId;
+use spf_ir::func::Function;
+use spf_ir::loops::LoopForest;
+
+/// One lint violation, anchored to an instruction site (or a block's
+/// terminator when `index` is `None`).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Finding {
+    /// Block containing the offending instruction or terminator.
+    pub block: BlockId,
+    /// Instruction index within the block; `None` for the terminator.
+    pub index: Option<u32>,
+    /// Human-readable description of the violation.
+    pub message: String,
+}
+
+impl Finding {
+    pub(crate) fn at(block: BlockId, index: Option<usize>, message: String) -> Self {
+        Finding {
+            block,
+            index: index.map(|i| u32::try_from(i).expect("instruction index overflow")),
+            message,
+        }
+    }
+}
+
+impl std::fmt::Display for Finding {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.index {
+            Some(i) => write!(f, "{}:{}: {}", self.block, i, self.message),
+            None => write!(f, "{}:term: {}", self.block, self.message),
+        }
+    }
+}
+
+/// The prefetch-kind discipline the speculation lint checks generated code
+/// against. Mirrors `spf-core`'s `GuardedPolicy` resolved against the
+/// simulated processor (this crate cannot depend on `spf-core` without a
+/// cycle, so the caller maps policy + processor to one of these).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum PolicyCheck {
+    /// Every `Prefetch` must map to the hardware instruction.
+    AllHardware,
+    /// Every `Prefetch` must be a guarded load.
+    AllGuarded,
+    /// Auto policy on a processor that drops prefetches on TLB misses
+    /// (paper §3.3, Pentium 4): dereference-based prefetches — those whose
+    /// address comes from a speculative load — must be guarded.
+    AutoDrops,
+    /// Auto policy on a processor that keeps prefetches on TLB misses
+    /// (Athlon MP): no static constraint on the chosen kind.
+    AutoKeeps,
+}
+
+/// Configuration for [`lint`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct LintConfig {
+    /// Prefetch-kind discipline to enforce.
+    pub policy: PolicyCheck,
+}
+
+impl Default for LintConfig {
+    fn default() -> Self {
+        LintConfig {
+            policy: PolicyCheck::AutoKeeps,
+        }
+    }
+}
+
+/// Runs the full lint over one function: definite initialization plus the
+/// speculation-safety and placement checks. Returns every violation found;
+/// an empty vector means the function is clean.
+pub fn lint(func: &Function, config: &LintConfig) -> Vec<Finding> {
+    let cfg = Cfg::compute(func);
+    let dom = DomTree::compute(func, &cfg);
+    let forest = LoopForest::compute(func, &cfg, &dom);
+    let mut findings = definite_init::check(func, &cfg);
+    findings.extend(speclint::check(func, &cfg, &forest, config));
+    findings
+}

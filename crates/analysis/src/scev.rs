@@ -1,0 +1,433 @@
+//! Static affine stride analysis ("SCEV-lite").
+//!
+//! The paper derives strides by *inspecting objects at run time* (§3.2)
+//! because "static analysis is weak" for pointer-based structures, but it
+//! cites Wu et al. (PLDI'02) for the many loops whose inter-iteration
+//! strides a compiler can prove without profiling: affine index
+//! recurrences over arrays. This module proves exactly those — it detects
+//! basic induction variables (`i = i + c` once per iteration) and
+//! evaluates the per-iteration delta of address computations as closed-form
+//! affine expressions over them. The pipeline cross-checks the result
+//! against inspection-derived strides; a pointer chase (`n = n.next`)
+//! deliberately comes back unproven, which is the paper's motivating case
+//! for dynamic inspection.
+
+use std::collections::HashMap;
+
+use spf_ir::cfg::Cfg;
+use spf_ir::defuse::{DefSite, UseDef};
+use spf_ir::dom::DomTree;
+use spf_ir::entities::{BlockId, InstrRef, Reg};
+use spf_ir::func::Function;
+use spf_ir::loops::{LoopForest, LoopId, LoopInfo};
+use spf_ir::{BinOp, Const, Instr};
+
+/// Recursion budget for expression chasing; deep chains are given up on
+/// rather than risking pathological walks through move webs.
+const MAX_DEPTH: u32 = 16;
+
+struct Ctx<'a> {
+    func: &'a Function,
+    ud: &'a UseDef,
+    info: &'a LoopInfo,
+    /// Basic induction variables of the target loop and their per-iteration
+    /// steps.
+    ivs: HashMap<Reg, i64>,
+}
+
+/// Computes statically-proven inter-iteration address strides (in bytes)
+/// for the LDG candidate loads of `target`.
+///
+/// Only loads that execute exactly once per iteration are considered:
+/// their block must belong to `target` as its innermost loop and dominate
+/// every latch. The returned map is keyed by instruction site; absence
+/// means the stride could not be proven statically (e.g. a pointer chase),
+/// which is precisely where object inspection earns its keep.
+pub fn loop_static_strides(
+    func: &Function,
+    cfg: &Cfg,
+    dom: &DomTree,
+    forest: &LoopForest,
+    ud: &UseDef,
+    target: LoopId,
+) -> HashMap<InstrRef, i64> {
+    let info = forest.info(target);
+    let header = info.header;
+    let latches: Vec<BlockId> = func
+        .block_ids()
+        .filter(|&b| info.contains(b) && cfg.is_reachable(b) && cfg.succs(b).contains(&header))
+        .collect();
+    if latches.is_empty() {
+        return HashMap::new();
+    }
+
+    let mut ctx = Ctx {
+        func,
+        ud,
+        info,
+        ivs: HashMap::new(),
+    };
+
+    // Basic induction variables: exactly one in-loop definition, sitting
+    // directly in the target loop (not a nested one) on every path to the
+    // latches, whose assigned value is `old + step`.
+    for r in 0..func.reg_count() {
+        let reg = Reg::new(r);
+        let mut in_loop_defs = ud.defs_of(reg).filter_map(|d| match d {
+            DefSite::Instr(s) if info.contains(s.block) => Some(s),
+            _ => None,
+        });
+        let (Some(d), None) = (in_loop_defs.next(), in_loop_defs.next()) else {
+            continue;
+        };
+        if forest.innermost(d.block) != Some(target) {
+            continue;
+        }
+        if !latches.iter().all(|&l| dom.dominates(d.block, l)) {
+            continue;
+        }
+        if let Some((1, step)) = eval_update(&ctx, reg, d, MAX_DEPTH) {
+            ctx.ivs.insert(reg, step);
+        }
+    }
+
+    // Stride of each once-per-iteration candidate load.
+    let mut out = HashMap::new();
+    for b in func.block_ids() {
+        if forest.innermost(b) != Some(target)
+            || !cfg.is_reachable(b)
+            || !latches.iter().all(|&l| dom.dominates(b, l))
+        {
+            continue;
+        }
+        for (i, instr) in func.block(b).instrs.iter().enumerate() {
+            let site = InstrRef::new(b, i);
+            let stride = match instr {
+                Instr::GetStatic { .. } => Some(0),
+                Instr::GetField { obj, .. } => delta(&ctx, site, *obj, MAX_DEPTH),
+                Instr::ArrayLen { arr, .. } => delta(&ctx, site, *arr, MAX_DEPTH),
+                Instr::ALoad { arr, idx, elem, .. } => (|| {
+                    let base = delta(&ctx, site, *arr, MAX_DEPTH)?;
+                    let step = delta(&ctx, site, *idx, MAX_DEPTH)?;
+                    base.checked_add(step.checked_mul(elem.size() as i64)?)
+                })(),
+                _ => continue,
+            };
+            if let Some(s) = stride {
+                out.insert(site, s);
+            }
+        }
+    }
+    out
+}
+
+/// Evaluates the value assigned by `iv`'s unique in-loop definition `d` as
+/// an affine expression `coeff * old_iv + offset`; `(1, step)` identifies a
+/// basic induction variable.
+fn eval_update(ctx: &Ctx, iv: Reg, d: InstrRef, depth: u32) -> Option<(i64, i64)> {
+    match ctx.func.instr(d) {
+        Instr::Move { src, .. } => affine(ctx, iv, d, d, *src, depth),
+        Instr::Bin { op, a, b, .. } => {
+            let ea = affine(ctx, iv, d, d, *a, depth)?;
+            let eb = affine(ctx, iv, d, d, *b, depth)?;
+            combine(*op, ea, eb)
+        }
+        _ => None,
+    }
+}
+
+/// Affine value `coeff * old_iv + offset` of register `r` read at `site`,
+/// where `old_iv` is the value `iv` had when the current iteration started.
+/// `iv_def` is the IV's unique in-loop definition; a read of `iv` itself
+/// only denotes `old_iv` if it cannot observe that definition within the
+/// current iteration, which we approximate by requiring the read to sit in
+/// the definition's block at or before it (the shape `t = iv + c; iv = t`
+/// the builder and optimizer emit).
+fn affine(
+    ctx: &Ctx,
+    iv: Reg,
+    iv_def: InstrRef,
+    site: InstrRef,
+    r: Reg,
+    depth: u32,
+) -> Option<(i64, i64)> {
+    if depth == 0 {
+        return None;
+    }
+    if r == iv {
+        return if site.block == iv_def.block && site.index <= iv_def.index {
+            Some((1, 0))
+        } else {
+            None
+        };
+    }
+    match ctx.ud.unique_reaching_def(ctx.func, site, r)? {
+        DefSite::Param(_) => None,
+        DefSite::Instr(s) => match ctx.func.instr(s) {
+            Instr::Const { value, .. } => const_as_i64(*value).map(|v| (0, v)),
+            Instr::Move { src, .. } => affine(ctx, iv, iv_def, s, *src, depth - 1),
+            Instr::Bin { op, a, b, .. } => {
+                let ea = affine(ctx, iv, iv_def, s, *a, depth - 1)?;
+                let eb = affine(ctx, iv, iv_def, s, *b, depth - 1)?;
+                combine(*op, ea, eb)
+            }
+            _ => None,
+        },
+    }
+}
+
+fn combine(op: BinOp, (ca, ka): (i64, i64), (cb, kb): (i64, i64)) -> Option<(i64, i64)> {
+    match op {
+        BinOp::Add => Some((ca.checked_add(cb)?, ka.checked_add(kb)?)),
+        BinOp::Sub => Some((ca.checked_sub(cb)?, ka.checked_sub(kb)?)),
+        // A product is affine only when one side is a pure constant.
+        BinOp::Mul if ca == 0 => Some((ka.checked_mul(cb)?, ka.checked_mul(kb)?)),
+        BinOp::Mul if cb == 0 => Some((kb.checked_mul(ca)?, kb.checked_mul(ka)?)),
+        BinOp::Shl if cb == 0 && (0..63).contains(&kb) => {
+            let f = 1i64.checked_shl(kb as u32)?;
+            Some((ca.checked_mul(f)?, ka.checked_mul(f)?))
+        }
+        _ => None,
+    }
+}
+
+fn const_as_i64(c: Const) -> Option<i64> {
+    match c {
+        Const::I32(v) => Some(v as i64),
+        Const::I64(v) => Some(v),
+        _ => None,
+    }
+}
+
+/// Per-iteration delta of the value of `r` read at `site`: how much the
+/// value changes between two consecutive iterations of the target loop.
+/// Loop-invariant values have delta 0, a basic IV its step; everything else
+/// is chased through its unique reaching definition.
+fn delta(ctx: &Ctx, site: InstrRef, r: Reg, depth: u32) -> Option<i64> {
+    if depth == 0 {
+        return None;
+    }
+    if let Some(&step) = ctx.ivs.get(&r) {
+        return Some(step);
+    }
+    if ctx.ud.defs_of(r).all(|d| match d {
+        DefSite::Param(_) => true,
+        DefSite::Instr(s) => !ctx.info.contains(s.block),
+    }) {
+        return Some(0); // never written inside the loop
+    }
+    match ctx.ud.unique_reaching_def(ctx.func, site, r)? {
+        DefSite::Param(_) => Some(0),
+        // A unique def outside the loop reaching an in-loop read means the
+        // value is set once before entry: invariant along this chain.
+        DefSite::Instr(s) if !ctx.info.contains(s.block) => Some(0),
+        DefSite::Instr(s) => match ctx.func.instr(s) {
+            Instr::Const { .. } => Some(0), // reassigned to the same constant
+            Instr::Move { src, .. } => delta(ctx, s, *src, depth - 1),
+            Instr::Convert { src, .. } => delta(ctx, s, *src, depth - 1),
+            Instr::Bin { op, a, b, .. } => {
+                let op = *op;
+                let (a, b) = (*a, *b);
+                match op {
+                    BinOp::Add => {
+                        let da = delta(ctx, s, a, depth - 1)?;
+                        let db = delta(ctx, s, b, depth - 1)?;
+                        da.checked_add(db)
+                    }
+                    BinOp::Sub => {
+                        let da = delta(ctx, s, a, depth - 1)?;
+                        let db = delta(ctx, s, b, depth - 1)?;
+                        da.checked_sub(db)
+                    }
+                    BinOp::Mul => {
+                        if let Some(c) = const_value(ctx, s, a, depth - 1) {
+                            delta(ctx, s, b, depth - 1)?.checked_mul(c)
+                        } else if let Some(c) = const_value(ctx, s, b, depth - 1) {
+                            delta(ctx, s, a, depth - 1)?.checked_mul(c)
+                        } else {
+                            None
+                        }
+                    }
+                    BinOp::Shl => {
+                        let c = const_value(ctx, s, b, depth - 1)?;
+                        if !(0..63).contains(&c) {
+                            return None;
+                        }
+                        delta(ctx, s, a, depth - 1)?.checked_mul(1i64.checked_shl(c as u32)?)
+                    }
+                    _ => None,
+                }
+            }
+            _ => None,
+        },
+    }
+}
+
+/// Compile-time constant value of `r` read at `site`, chased through moves.
+fn const_value(ctx: &Ctx, site: InstrRef, r: Reg, depth: u32) -> Option<i64> {
+    if depth == 0 {
+        return None;
+    }
+    match ctx.ud.unique_reaching_def(ctx.func, site, r)? {
+        DefSite::Param(_) => None,
+        DefSite::Instr(s) => match ctx.func.instr(s) {
+            Instr::Const { value, .. } => const_as_i64(*value),
+            Instr::Move { src, .. } => const_value(ctx, s, *src, depth - 1),
+            _ => None,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spf_ir::builder::ProgramBuilder;
+    use spf_ir::types::{ElemTy, Ty};
+    use spf_ir::{CmpOp, MethodId, Program};
+
+    fn strides_of(p: &Program, m: MethodId) -> (HashMap<InstrRef, i64>, &Function) {
+        let f = p.method(m).func();
+        let cfg = Cfg::compute(f);
+        let dom = DomTree::compute(f, &cfg);
+        let forest = LoopForest::compute(f, &cfg, &dom);
+        let ud = UseDef::compute(f, &cfg);
+        assert_eq!(forest.len(), 1, "tests use single-loop functions");
+        let target = forest.roots()[0];
+        (loop_static_strides(f, &cfg, &dom, &forest, &ud, target), f)
+    }
+
+    fn load_site(f: &Function, pred: impl Fn(&Instr) -> bool) -> InstrRef {
+        f.instr_sites()
+            .find(|&s| pred(f.instr(s)))
+            .expect("load site")
+    }
+
+    #[test]
+    fn unit_stride_array_walk() {
+        let mut pb = ProgramBuilder::new();
+        let mut b = pb.function("aw", &[Ty::Ref, Ty::I32], None);
+        let arr = b.param(0);
+        let n = b.param(1);
+        b.for_i32(
+            0,
+            1,
+            CmpOp::Lt,
+            |_| n,
+            |b, i| {
+                let _ = b.aload(arr, i, ElemTy::I64);
+            },
+        );
+        let m = b.finish();
+        let p = pb.finish();
+        let (strides, f) = strides_of(&p, m);
+        let site = load_site(f, |i| matches!(i, Instr::ALoad { .. }));
+        assert_eq!(strides.get(&site), Some(&8), "i += 1 over i64[] is 8B");
+    }
+
+    #[test]
+    fn stepped_and_scaled_strides() {
+        let mut pb = ProgramBuilder::new();
+        let mut b = pb.function("sw", &[Ty::Ref, Ty::I32], None);
+        let arr = b.param(0);
+        let n = b.param(1);
+        b.for_i32(
+            0,
+            2,
+            CmpOp::Lt,
+            |_| n,
+            |b, i| {
+                let three = b.const_i32(3);
+                let j = b.mul(i, three);
+                let _ = b.aload(arr, j, ElemTy::I32);
+            },
+        );
+        let m = b.finish();
+        let p = pb.finish();
+        let (strides, f) = strides_of(&p, m);
+        let site = load_site(f, |i| matches!(i, Instr::ALoad { .. }));
+        // idx = 3i, i += 2 → idx delta 6 elements of 4 bytes.
+        assert_eq!(strides.get(&site), Some(&24));
+    }
+
+    #[test]
+    fn pointer_chase_is_not_proven() {
+        let mut pb = ProgramBuilder::new();
+        let (_, fields) = pb.add_class("node", &[("next", ElemTy::Ref)]);
+        let mut b = pb.function("pc", &[Ty::Ref], None);
+        let head = b.param(0);
+        let cur = b.new_reg(Ty::Ref);
+        b.move_(cur, head);
+        b.while_(
+            |b| {
+                let nil = b.null();
+                b.ne(cur, nil)
+            },
+            |b| {
+                let nx = b.getfield(cur, fields[0]);
+                b.move_(cur, nx);
+            },
+        );
+        let m = b.finish();
+        let p = pb.finish();
+        let (strides, f) = strides_of(&p, m);
+        let site = load_site(f, |i| matches!(i, Instr::GetField { .. }));
+        assert_eq!(
+            strides.get(&site),
+            None,
+            "linked-list chase needs dynamic inspection"
+        );
+    }
+
+    #[test]
+    fn invariant_field_access_is_zero() {
+        let mut pb = ProgramBuilder::new();
+        let (_, fields) = pb.add_class("box", &[("v", ElemTy::I64)]);
+        let mut b = pb.function("inv", &[Ty::Ref, Ty::I32], None);
+        let obj = b.param(0);
+        let n = b.param(1);
+        b.for_i32(
+            0,
+            1,
+            CmpOp::Lt,
+            |_| n,
+            |b, _| {
+                let _ = b.getfield(obj, fields[0]);
+            },
+        );
+        let m = b.finish();
+        let p = pb.finish();
+        let (strides, f) = strides_of(&p, m);
+        let site = load_site(f, |i| matches!(i, Instr::GetField { .. }));
+        assert_eq!(strides.get(&site), Some(&0));
+    }
+
+    #[test]
+    fn conditional_load_is_skipped() {
+        // A load that only executes on some iterations is not once-per-
+        // iteration; the analysis must not claim a stride for it.
+        let mut pb = ProgramBuilder::new();
+        let mut b = pb.function("cond", &[Ty::Ref, Ty::I32], None);
+        let arr = b.param(0);
+        let n = b.param(1);
+        b.for_i32(
+            0,
+            1,
+            CmpOp::Lt,
+            |_| n,
+            |b, i| {
+                let two = b.const_i32(2);
+                let r = b.rem(i, two);
+                let zero = b.const_i32(0);
+                let c = b.eq(r, zero);
+                b.if_(c, |b| {
+                    let _ = b.aload(arr, i, ElemTy::I64);
+                });
+            },
+        );
+        let m = b.finish();
+        let p = pb.finish();
+        let (strides, f) = strides_of(&p, m);
+        let site = load_site(f, |i| matches!(i, Instr::ALoad { .. }));
+        assert_eq!(strides.get(&site), None);
+    }
+}

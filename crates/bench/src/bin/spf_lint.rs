@@ -1,0 +1,242 @@
+//! `spf-lint` — runs the static analyses over every registry workload.
+//!
+//! ```text
+//! cargo run --release -p spf-bench --bin spf-lint                 # full size
+//! cargo run --release -p spf-bench --bin spf-lint -- tiny         # quicker
+//! cargo run --release -p spf-bench --bin spf-lint -- tiny db      # one workload
+//! cargo run -p spf-bench --bin spf-lint -- tiny --agreement-out -
+//! ```
+//!
+//! For each workload the original (pre-JIT) method bodies are checked
+//! against the structural verifier ([`spf_ir::verify::verify_all`]) and the
+//! full static lint. Then, for every prefetch mode × simulated processor,
+//! the workload is warmed up so the JIT compiles its hot methods, and each
+//! *compiled* body — after inlining, unrolling, DCE, and prefetch insertion
+//! — is linted again with the guarded-policy discipline resolved for that
+//! processor. Any violation is printed and makes the process exit nonzero.
+//!
+//! Unless disabled with `--agreement-out -`, the static-vs-inspected stride
+//! cross-check totals of each (workload, processor, mode) cell are written
+//! as JSON lines to `STRIDE_agreement.jsonl`.
+
+use std::fmt::Write as _;
+use std::io::Write as _;
+use std::process::ExitCode;
+
+use spf_analysis::{lint, LintConfig};
+use spf_core::{PrefetchOptions, StrideCrossCheck};
+use spf_memsim::ProcessorConfig;
+use spf_vm::{Vm, VmConfig};
+use spf_workloads::Size;
+
+struct Args {
+    size: Size,
+    only: Option<String>,
+    agreement_out: Option<String>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        size: Size::Full,
+        only: None,
+        agreement_out: Some("STRIDE_agreement.jsonl".to_string()),
+    };
+    let mut it = std::env::args().skip(1);
+    let mut positional: Vec<String> = Vec::new();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--agreement-out" => {
+                let v = it
+                    .next()
+                    .ok_or("--agreement-out needs a path (or - to disable)")?;
+                args.agreement_out = if v == "-" { None } else { Some(v) };
+            }
+            _ => positional.push(a),
+        }
+    }
+    if let Some(s) = positional.first() {
+        args.size = match s.as_str() {
+            "tiny" => Size::Tiny,
+            "small" => Size::Small,
+            _ => Size::Full,
+        };
+    }
+    args.only = positional.get(1).cloned();
+    if let Some(only) = &args.only {
+        if !spf_workloads::all().iter().any(|s| s.name == *only) {
+            let names: Vec<_> = spf_workloads::all().iter().map(|s| s.name).collect();
+            return Err(format!(
+                "unknown workload {only:?}; known workloads: {}",
+                names.join(", ")
+            ));
+        }
+    }
+    Ok(args)
+}
+
+/// Prints to stdout without panicking when the pipe closes early.
+fn emit(text: &str) {
+    let mut out = std::io::stdout().lock();
+    let _ = out.write_all(text.as_bytes());
+    let _ = out.write_all(b"\n");
+}
+
+/// Checks a workload's original (pre-optimization) method bodies: the
+/// structural verifier plus the full lint with no policy constraint.
+/// Returns the number of violations.
+fn check_originals(name: &str, program: &spf_ir::program::Program) -> usize {
+    let mut violations = 0;
+    for mid in program.method_ids() {
+        let func = program.method(mid).func();
+        for e in spf_ir::verify::verify_all(program, func) {
+            violations += 1;
+            emit(&format!("{name}: {}: verify: {e}", func.name()));
+        }
+        for f in lint(func, &LintConfig::default()) {
+            violations += 1;
+            emit(&format!("{name}: {}: lint: {f}", func.name()));
+        }
+    }
+    violations
+}
+
+/// Warms one (workload, processor, mode) cell until the JIT has compiled
+/// its hot methods, lints every compiled body under the policy discipline
+/// resolved for `proc`, and returns the violation count plus the cell's
+/// stride cross-check totals.
+fn check_cell(
+    spec: &spf_workloads::WorkloadSpec,
+    options: &PrefetchOptions,
+    proc: &ProcessorConfig,
+    size: Size,
+) -> (usize, StrideCrossCheck, usize) {
+    let built = (spec.build)(size);
+    let mut vm = Vm::new(
+        built.program,
+        VmConfig {
+            heap_bytes: built.heap_bytes,
+            prefetch: options.clone(),
+            compile_threshold: built.compile_threshold,
+            ..VmConfig::default()
+        },
+        proc.clone(),
+    );
+    let mut checksum = 0;
+    for _ in 0..2 {
+        checksum = vm
+            .call(built.entry, &[])
+            .unwrap_or_else(|e| panic!("{} faulted: {e}", spec.name))
+            .expect("entry returns a checksum")
+            .as_i32();
+    }
+    if let Some(expected) = built.expected {
+        assert_eq!(checksum, expected, "{} checksum", spec.name);
+    }
+
+    let policy = options
+        .guarded_policy
+        .lint_check(proc.swpf_drops_on_tlb_miss);
+    let config = LintConfig { policy };
+    let mut violations = 0;
+    let mut compiled = 0;
+    for mid in vm.program().method_ids() {
+        let Some(func) = vm.compiled_body(mid) else {
+            continue;
+        };
+        compiled += 1;
+        for e in spf_ir::verify::verify_all(vm.program(), func) {
+            violations += 1;
+            emit(&format!(
+                "{}/{}/{}: {}: verify: {e}",
+                spec.name,
+                options.mode,
+                proc.name,
+                func.name()
+            ));
+        }
+        for f in lint(func, &config) {
+            violations += 1;
+            emit(&format!(
+                "{}/{}/{}: {}: lint: {f}",
+                spec.name,
+                options.mode,
+                proc.name,
+                func.name()
+            ));
+        }
+    }
+
+    let mut strides = StrideCrossCheck::default();
+    for r in vm.reports() {
+        strides.add(&r.stride_check_totals());
+    }
+    (violations, strides, compiled)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let keep = |n: &str| args.only.as_deref().is_none_or(|o| o == n);
+
+    let mut violations = 0;
+    let mut cells = 0;
+    let mut compiled_total = 0;
+    let mut grand = StrideCrossCheck::default();
+    let mut agreement = String::new();
+    for spec in spf_workloads::all() {
+        if !keep(spec.name) {
+            continue;
+        }
+        // Original bodies are mode- and processor-independent: check once.
+        let built = (spec.build)(args.size);
+        violations += check_originals(spec.name, &built.program);
+
+        for proc in [ProcessorConfig::pentium4(), ProcessorConfig::athlon_mp()] {
+            for options in [
+                PrefetchOptions::off(),
+                PrefetchOptions::inter(),
+                PrefetchOptions::inter_intra(),
+            ] {
+                let (v, strides, compiled) = check_cell(&spec, &options, &proc, args.size);
+                violations += v;
+                cells += 1;
+                compiled_total += compiled;
+                grand.add(&strides);
+                let _ = writeln!(
+                    agreement,
+                    "{{\"name\": \"{}\", \"mode\": \"{}\", \"processor\": \"{}\", \
+                     \"agree\": {}, \"disagree\": {}, \"static_only\": {}, \
+                     \"dynamic_only\": {}}}",
+                    spec.name,
+                    options.mode,
+                    proc.name,
+                    strides.agree,
+                    strides.disagree,
+                    strides.static_only,
+                    strides.dynamic_only
+                );
+            }
+        }
+    }
+
+    if let Some(path) = &args.agreement_out {
+        match std::fs::write(path, &agreement) {
+            Ok(()) => eprintln!("wrote {path}"),
+            Err(e) => eprintln!("warning: could not write {path}: {e}"),
+        }
+    }
+    emit(&format!(
+        "spf-lint: {cells} cell(s), {compiled_total} compiled method(s), \
+         strides[{grand}], {violations} violation(s)"
+    ));
+    if violations == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -134,6 +134,7 @@ mod tests {
                 jit_fraction: 0.1,
                 prefetch_pass_fraction: 0.2,
                 prefetches_inserted: 3,
+                stride_check: Default::default(),
                 checksum: 42,
             },
             wall_nanos: 12_345,

@@ -1,6 +1,6 @@
 //! Workload runner: warm-up, steady-state measurement, counter capture.
 
-use spf_core::{PrefetchMode, PrefetchOptions};
+use spf_core::{PrefetchMode, PrefetchOptions, StrideCrossCheck};
 use spf_memsim::{MemStats, ProcessorConfig};
 use spf_trace::{attribute, Attribution, NoopSink, RingSink, SiteTable, TraceEvent, TraceSink};
 use spf_vm::{Vm, VmConfig};
@@ -50,6 +50,9 @@ pub struct Measurement {
     pub prefetch_pass_fraction: f64,
     /// Total prefetches the JIT inserted across all methods.
     pub prefetches_inserted: usize,
+    /// Static-vs-inspected stride comparison summed over all compiled
+    /// methods (zero under `PrefetchMode::Off`, where no analysis runs).
+    pub stride_check: StrideCrossCheck,
     /// The workload's checksum (must agree across configurations).
     pub checksum: i32,
 }
@@ -92,6 +95,7 @@ impl Measurement {
         cmp!(mem);
         cmp!(compiled_fraction);
         cmp!(prefetches_inserted);
+        cmp!(stride_check);
         cmp!(checksum);
         diff
     }
@@ -182,6 +186,13 @@ fn run_workload_sink<S: TraceSink>(
     }
     let warm_stats = vm.stats().clone();
     let prefetches_inserted = vm.reports().iter().map(|r| r.total_prefetches).sum();
+    let stride_check = {
+        let mut total = StrideCrossCheck::default();
+        for r in vm.reports() {
+            total.add(&r.stride_check_totals());
+        }
+        total
+    };
     let compile_events = if S::ENABLED {
         vm.sink().snapshot()
     } else {
@@ -234,6 +245,7 @@ fn run_workload_sink<S: TraceSink>(
         jit_fraction: warm_stats.jit_time_fraction(),
         prefetch_pass_fraction: warm_stats.prefetch_pass_fraction(),
         prefetches_inserted,
+        stride_check,
         checksum,
     };
     (measurement, trace)

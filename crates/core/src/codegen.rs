@@ -48,6 +48,21 @@ pub enum GuardedPolicy {
     AlwaysGuarded,
 }
 
+impl GuardedPolicy {
+    /// The discipline the speculation lint should enforce for code
+    /// generated under this policy on a processor that does (or does not)
+    /// drop software prefetches on DTLB misses. `spf-analysis` cannot
+    /// depend on this crate, so the mapping lives here.
+    pub fn lint_check(self, swpf_drops_on_tlb_miss: bool) -> spf_analysis::PolicyCheck {
+        match self {
+            GuardedPolicy::AlwaysHardware => spf_analysis::PolicyCheck::AllHardware,
+            GuardedPolicy::AlwaysGuarded => spf_analysis::PolicyCheck::AllGuarded,
+            GuardedPolicy::Auto if swpf_drops_on_tlb_miss => spf_analysis::PolicyCheck::AutoDrops,
+            GuardedPolicy::Auto => spf_analysis::PolicyCheck::AutoKeeps,
+        }
+    }
+}
+
 fn suppressed(site: InstrRef, reason: SuppressReason) -> TraceEvent {
     TraceEvent::Suppressed {
         block: site.block.index() as u32,

@@ -92,4 +92,4 @@ pub use inspect::{InspectionResult, Inspector};
 pub use ldg::{Ldg, LdgNodeId};
 pub use options::{PrefetchMode, PrefetchOptions};
 pub use pipeline::{OptimizeOutcome, StridePrefetcher};
-pub use report::{LoopReport, MethodReport};
+pub use report::{LoopReport, MethodReport, StrideCrossCheck};

@@ -126,6 +126,8 @@ pub fn optimize_with_profile(
                 .count(),
             intra_patterns: 0,
             prefetches,
+            // Offline profiling has no inspection step to cross-check.
+            stride_check: Default::default(),
         });
     }
     apply_insertions(&mut work, &merged);

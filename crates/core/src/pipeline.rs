@@ -17,7 +17,7 @@ use crate::codegen::{apply_insertions, PrefetchCodegen};
 use crate::inspect::Inspector;
 use crate::ldg::{Ldg, LdgNodeId};
 use crate::options::{PrefetchMode, PrefetchOptions};
-use crate::report::{LoopReport, MethodReport};
+use crate::report::{LoopReport, MethodReport, StrideCrossCheck};
 use crate::stride::annotate_ldg;
 
 /// Result of optimizing one method.
@@ -130,6 +130,16 @@ impl StridePrefetcher {
             let inspector = Inspector::new(program, func, heap, statics, &forest, &self.options);
             let inspection = inspector.run(args, target, &record);
             annotate_ldg(&mut ldg, &inspection.traces, &self.options);
+            // Record-only cross-check of inspection against the static
+            // affine stride analysis; it must not influence codegen, so the
+            // simulated numbers stay bit-identical with it disabled.
+            let static_strides =
+                spf_analysis::scev::loop_static_strides(func, &cfg, &dom, &forest, &ud, target);
+            let mut stride_check = StrideCrossCheck::default();
+            for id in ldg.node_ids() {
+                let node = ldg.node(id);
+                stride_check.record(static_strides.get(&node.site).copied(), node.inter_stride);
+            }
             if S::ENABLED {
                 sink.emit(TraceEvent::Inspected {
                     loop_header: header.index() as u32,
@@ -194,15 +204,15 @@ impl StridePrefetcher {
                     .filter(|e| e.intra_stride.is_some())
                     .count(),
                 prefetches,
+                stride_check,
             });
         }
 
         apply_insertions(&mut work, &merged);
-        debug_assert!(
-            spf_ir::verify::verify(program, &work).is_ok(),
-            "prefetch insertion produced invalid IR: {:?}",
-            spf_ir::verify::verify(program, &work)
-        );
+        #[cfg(debug_assertions)]
+        if let Err(e) = spf_ir::verify::verify(program, &work) {
+            panic!("prefetch insertion produced invalid IR: {e}");
+        }
         report.total_prefetches = report.count_prefetches();
         report.pass_nanos = start.elapsed().as_nanos();
         OptimizeOutcome { func: work, report }
@@ -461,6 +471,49 @@ mod tests {
                 .any(|e| matches!(e, TraceEvent::Inspected { .. })),
             "inspection traced"
         );
+    }
+
+    #[test]
+    fn stride_cross_check_classifies_fixture_loads() {
+        // arr[i] is an affine walk: both static analysis and inspection see
+        // stride 8 (agree). node.data is a pointer dereference: only
+        // inspection can say anything about it.
+        let (p, m, heap, arr) = fixture(false);
+        let opt = StridePrefetcher::new(PrefetchOptions::inter_intra());
+        let out = opt.optimize(
+            &p,
+            p.method(m).func(),
+            &heap,
+            &[],
+            &[Value::Ref(arr)],
+            &ProcessorConfig::pentium4(),
+        );
+        let totals = out.report.stride_check_totals();
+        assert!(totals.agree >= 1, "{}", out.report.render());
+        assert!(totals.dynamic_only >= 1, "{}", out.report.render());
+        assert_eq!(totals.disagree, 0, "{}", out.report.render());
+        assert_eq!(totals.agreement_rate(), Some(1.0));
+    }
+
+    #[test]
+    fn optimized_function_passes_speculation_lint() {
+        let (p, m, heap, arr) = fixture(true);
+        for proc in [ProcessorConfig::pentium4(), ProcessorConfig::athlon_mp()] {
+            for opts in [PrefetchOptions::inter(), PrefetchOptions::inter_intra()] {
+                let policy = opts.guarded_policy.lint_check(proc.swpf_drops_on_tlb_miss);
+                let opt = StridePrefetcher::new(opts);
+                let out = opt.optimize(
+                    &p,
+                    p.method(m).func(),
+                    &heap,
+                    &[],
+                    &[Value::Ref(arr)],
+                    &proc,
+                );
+                let findings = spf_analysis::lint(&out.func, &spf_analysis::LintConfig { policy });
+                assert!(findings.is_empty(), "{findings:?}");
+            }
+        }
     }
 
     #[test]

@@ -53,6 +53,77 @@ pub struct GeneratedPrefetch {
     pub mapped: PrefetchKind,
 }
 
+/// How statically-proven strides compare with inspection-derived ones for
+/// the LDG candidates of one loop (or, summed, one method).
+///
+/// The static side comes from `spf-analysis`'s affine stride analysis
+/// (SCEV-lite), the dynamic side from object inspection (§3.2). The
+/// cross-check is record-only: it never changes what the code generator
+/// emits, it just measures where each technique sees strides the other
+/// cannot.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct StrideCrossCheck {
+    /// Both sides proved the same stride.
+    pub agree: usize,
+    /// Both sides produced a stride, but different ones (e.g. inspection
+    /// saw a data-dependent pattern the affine model cannot express).
+    pub disagree: usize,
+    /// Only the static analysis proved a stride (inspection saw too few
+    /// samples or no dominant pattern).
+    pub static_only: usize,
+    /// Only inspection derived a stride — the paper's motivating case
+    /// (pointer chases and other non-affine address streams).
+    pub dynamic_only: usize,
+}
+
+impl StrideCrossCheck {
+    /// Classifies one candidate given both sides' verdicts.
+    pub fn record(&mut self, statically: Option<i64>, inspected: Option<i64>) {
+        match (statically, inspected) {
+            (Some(s), Some(d)) if s == d => self.agree += 1,
+            (Some(_), Some(_)) => self.disagree += 1,
+            (Some(_), None) => self.static_only += 1,
+            (None, Some(_)) => self.dynamic_only += 1,
+            (None, None) => {}
+        }
+    }
+
+    /// Accumulates another tally into this one.
+    pub fn add(&mut self, other: &StrideCrossCheck) {
+        self.agree += other.agree;
+        self.disagree += other.disagree;
+        self.static_only += other.static_only;
+        self.dynamic_only += other.dynamic_only;
+    }
+
+    /// Candidates the static analysis proved a stride for.
+    pub fn static_total(&self) -> usize {
+        self.agree + self.disagree + self.static_only
+    }
+
+    /// Candidates object inspection derived a stride for.
+    pub fn inspected_total(&self) -> usize {
+        self.agree + self.disagree + self.dynamic_only
+    }
+
+    /// Fraction of both-sided candidates where the strides match; `None`
+    /// when no candidate was seen by both sides.
+    pub fn agreement_rate(&self) -> Option<f64> {
+        let both = self.agree + self.disagree;
+        (both > 0).then(|| self.agree as f64 / both as f64)
+    }
+}
+
+impl std::fmt::Display for StrideCrossCheck {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "agree={} disagree={} static-only={} dyn-only={}",
+            self.agree, self.disagree, self.static_only, self.dynamic_only
+        )
+    }
+}
+
 /// Per-loop findings.
 #[derive(Clone, Debug)]
 pub struct LoopReport {
@@ -76,6 +147,8 @@ pub struct LoopReport {
     pub intra_patterns: usize,
     /// Prefetches generated for this loop.
     pub prefetches: Vec<GeneratedPrefetch>,
+    /// Static-vs-inspected stride comparison over this loop's candidates.
+    pub stride_check: StrideCrossCheck,
 }
 
 /// Per-method findings plus compile-time accounting.
@@ -98,6 +171,15 @@ impl MethodReport {
         self.loops.iter().map(|l| l.prefetches.len()).sum()
     }
 
+    /// Sums the static-vs-inspected stride tallies over all loops.
+    pub fn stride_check_totals(&self) -> StrideCrossCheck {
+        let mut total = StrideCrossCheck::default();
+        for l in &self.loops {
+            total.add(&l.stride_check);
+        }
+        total
+    }
+
     /// Human-readable multi-line summary.
     pub fn render(&self) -> String {
         use std::fmt::Write;
@@ -107,7 +189,7 @@ impl MethodReport {
             let _ = writeln!(
                 s,
                 "  loop@{} depth={} ldg={}n/{}e inspected {} iters ({} steps) \
-                 patterns inter={} intra={} prefetches={}",
+                 patterns inter={} intra={} prefetches={} strides[{}]",
                 lr.header,
                 lr.depth,
                 lr.ldg_nodes,
@@ -116,7 +198,8 @@ impl MethodReport {
                 lr.inspected_steps,
                 lr.inter_patterns,
                 lr.intra_patterns,
-                lr.prefetches.len()
+                lr.prefetches.len(),
+                lr.stride_check
             );
             for p in &lr.prefetches {
                 let _ = writeln!(s, "    {} @{} [{}]", p.kind, p.anchor, p.mapped);
@@ -157,6 +240,7 @@ mod tests {
                 inter_patterns: 1,
                 intra_patterns: 2,
                 prefetches: vec![],
+                stride_check: StrideCrossCheck::default(),
             }],
             pass_nanos: 1000,
             total_prefetches: 0,
@@ -164,5 +248,26 @@ mod tests {
         let text = r.render();
         assert!(text.contains("findInMemory"));
         assert!(text.contains("ldg=11n/8e"));
+        assert!(text.contains("strides[agree=0"));
+    }
+
+    #[test]
+    fn stride_cross_check_tally() {
+        let mut c = StrideCrossCheck::default();
+        c.record(Some(8), Some(8)); // agree
+        c.record(Some(8), Some(16)); // disagree
+        c.record(Some(4), None); // static only
+        c.record(None, Some(160)); // dynamic only
+        c.record(None, None); // neither side: not a candidate
+        assert_eq!(c.agree, 1);
+        assert_eq!(c.disagree, 1);
+        assert_eq!(c.static_total(), 3);
+        assert_eq!(c.inspected_total(), 3);
+        assert_eq!(c.agreement_rate(), Some(0.5));
+        let mut t = StrideCrossCheck::default();
+        t.add(&c);
+        t.add(&c);
+        assert_eq!(t.dynamic_only, 2);
+        assert_eq!(StrideCrossCheck::default().agreement_rate(), None);
     }
 }

@@ -73,6 +73,22 @@ impl BitSet {
         changed
     }
 
+    /// Intersects `self` with `other`; returns whether `self` changed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if capacities differ.
+    pub fn intersect_with(&mut self, other: &BitSet) -> bool {
+        assert_eq!(self.capacity, other.capacity, "capacity mismatch");
+        let mut changed = false;
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            let next = *a & *b;
+            changed |= next != *a;
+            *a = next;
+        }
+        changed
+    }
+
     /// Removes all elements of `other` from `self`.
     ///
     /// # Panics
@@ -148,6 +164,19 @@ mod tests {
         assert_eq!(a.iter().collect::<Vec<_>>(), vec![1, 2]);
         a.subtract(&b);
         assert!(a.is_empty());
+    }
+
+    #[test]
+    fn intersect() {
+        let mut a = BitSet::new(100);
+        let mut b = BitSet::new(100);
+        a.insert(1);
+        a.insert(65);
+        b.insert(65);
+        b.insert(70);
+        assert!(a.intersect_with(&b));
+        assert!(!a.intersect_with(&b));
+        assert_eq!(a.iter().collect::<Vec<_>>(), vec![65]);
     }
 
     #[test]

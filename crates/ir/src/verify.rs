@@ -45,185 +45,225 @@ macro_rules! check {
 ///
 /// Returns the first violation found.
 pub fn verify(program: &Program, func: &Function) -> Result<(), VerifyError> {
+    for b in func.block_ids() {
+        for (i, instr) in func.block(b).instrs.iter().enumerate() {
+            check_instr(program, func, b, i, instr)?;
+        }
+        check_term(func, b)?;
+    }
+    Ok(())
+}
+
+/// [`verify`] in collecting mode: instead of stopping at the first
+/// violation, checks every instruction and terminator and returns all
+/// findings (at most one per site — a site's remaining checks are skipped
+/// once it fails, since they may depend on the violated invariant). An
+/// empty vector means the function verifies.
+pub fn verify_all(program: &Program, func: &Function) -> Vec<VerifyError> {
+    let mut errors = Vec::new();
+    for b in func.block_ids() {
+        for (i, instr) in func.block(b).instrs.iter().enumerate() {
+            if let Err(e) = check_instr(program, func, b, i, instr) {
+                errors.push(e);
+            }
+        }
+        if let Err(e) = check_term(func, b) {
+            errors.push(e);
+        }
+    }
+    errors
+}
+
+/// Checks one instruction; at most one error is reported per site because
+/// later checks depend on earlier ones (e.g. register types are only
+/// consulted once the registers are known to be in range).
+fn check_instr(
+    program: &Program,
+    func: &Function,
+    b: BlockId,
+    i: usize,
+    instr: &Instr,
+) -> Result<(), VerifyError> {
+    let nregs = func.reg_count();
+    let reg_ok = |r: Reg| r.index() < nregs;
+    let at = format!("{} {b}:{i}", func.name());
+    let mut used = Vec::new();
+    instr.uses(&mut used);
+    for r in used.iter().chain(instr.dst().iter()) {
+        check!(reg_ok(*r), "{at}: register {r} out of range");
+    }
+    let ty = |r: Reg| func.reg_ty(r);
+    match instr {
+        Instr::Const { dst, value } => {
+            check!(
+                ty(*dst) == value.ty(),
+                "{at}: const type mismatch ({} vs {})",
+                ty(*dst),
+                value.ty()
+            );
+        }
+        Instr::Move { dst, src } => {
+            check!(
+                ty(*dst) == ty(*src),
+                "{at}: move type mismatch ({} <- {})",
+                ty(*dst),
+                ty(*src)
+            );
+        }
+        Instr::Bin { dst, op, a, b: rb } => {
+            check!(ty(*a) == ty(*rb), "{at}: binop operand types differ");
+            check!(ty(*dst) == ty(*a), "{at}: binop result type differs");
+            check!(ty(*a) != Ty::Ref, "{at}: binop on references");
+            if op.int_only() {
+                check!(ty(*a).is_int(), "{at}: {op:?} requires integers");
+            }
+        }
+        Instr::Un { dst, op, src } => {
+            check!(ty(*dst) == ty(*src), "{at}: unop type mismatch");
+            check!(ty(*src) != Ty::Ref, "{at}: unop on reference");
+            if *op == crate::instr::UnOp::Not {
+                check!(ty(*src).is_int(), "{at}: Not requires integers");
+            }
+        }
+        Instr::Cmp { dst, a, b: rb, .. } => {
+            check!(ty(*a) == ty(*rb), "{at}: cmp operand types differ");
+            check!(ty(*dst) == Ty::I32, "{at}: cmp result must be i32");
+        }
+        Instr::Convert { dst, conv, src } => {
+            let (from, to) = conv.signature();
+            check!(ty(*src) == from, "{at}: convert source type");
+            check!(ty(*dst) == to, "{at}: convert result type");
+        }
+        Instr::GetField { dst, obj, field } => {
+            check!(ty(*obj) == Ty::Ref, "{at}: getfield on non-ref");
+            check!(field.index() < program.field_count(), "{at}: bad field id");
+            check!(
+                ty(*dst) == program.field(*field).ty.reg_ty(),
+                "{at}: getfield result type"
+            );
+        }
+        Instr::PutField { obj, field, src } => {
+            check!(ty(*obj) == Ty::Ref, "{at}: putfield on non-ref");
+            check!(field.index() < program.field_count(), "{at}: bad field id");
+            check!(
+                ty(*src) == program.field(*field).ty.reg_ty(),
+                "{at}: putfield value type"
+            );
+        }
+        Instr::GetStatic { dst, sid } => {
+            check!(sid.index() < program.static_count(), "{at}: bad static id");
+            check!(
+                ty(*dst) == program.static_def(*sid).ty.reg_ty(),
+                "{at}: getstatic result type"
+            );
+        }
+        Instr::PutStatic { sid, src } => {
+            check!(sid.index() < program.static_count(), "{at}: bad static id");
+            check!(
+                ty(*src) == program.static_def(*sid).ty.reg_ty(),
+                "{at}: putstatic value type"
+            );
+        }
+        Instr::ALoad {
+            dst,
+            arr,
+            idx,
+            elem,
+        } => {
+            check!(ty(*arr) == Ty::Ref, "{at}: aload on non-ref");
+            check!(ty(*idx) == Ty::I32, "{at}: aload index must be i32");
+            check!(ty(*dst) == elem.reg_ty(), "{at}: aload result type");
+        }
+        Instr::AStore {
+            arr,
+            idx,
+            src,
+            elem,
+        } => {
+            check!(ty(*arr) == Ty::Ref, "{at}: astore on non-ref");
+            check!(ty(*idx) == Ty::I32, "{at}: astore index must be i32");
+            check!(ty(*src) == elem.reg_ty(), "{at}: astore value type");
+        }
+        Instr::ArrayLen { dst, arr } => {
+            check!(ty(*arr) == Ty::Ref, "{at}: arraylength on non-ref");
+            check!(ty(*dst) == Ty::I32, "{at}: arraylength result type");
+        }
+        Instr::New { dst, class } => {
+            check!(class.index() < program.class_count(), "{at}: bad class id");
+            check!(ty(*dst) == Ty::Ref, "{at}: new result type");
+        }
+        Instr::NewArray { dst, len, .. } => {
+            check!(ty(*len) == Ty::I32, "{at}: newarray length must be i32");
+            check!(ty(*dst) == Ty::Ref, "{at}: newarray result type");
+        }
+        Instr::Call { dst, callee, args } => {
+            check!(
+                callee.index() < program.method_count(),
+                "{at}: bad method id"
+            );
+            let callee_fn = program.method(*callee).func();
+            check!(
+                args.len() == callee_fn.param_count(),
+                "{at}: call to {} with {} args, expected {}",
+                callee_fn.name(),
+                args.len(),
+                callee_fn.param_count()
+            );
+            for (i, (a, p)) in args.iter().zip(callee_fn.params()).enumerate() {
+                check!(
+                    ty(*a) == callee_fn.reg_ty(p),
+                    "{at}: call arg {i} type mismatch"
+                );
+            }
+            match (dst, callee_fn.ret_ty()) {
+                (Some(d), Some(rt)) => {
+                    check!(ty(*d) == rt, "{at}: call result type mismatch")
+                }
+                (Some(_), None) => {
+                    check!(false, "{at}: call captures result of void method")
+                }
+                _ => {}
+            }
+        }
+        Instr::Prefetch { addr, .. } => verify_addr(func, addr, &at)?,
+        Instr::SpecLoad { dst, addr } => {
+            check!(ty(*dst) == Ty::Ref, "{at}: spec_load result must be ref");
+            verify_addr(func, addr, &at)?;
+        }
+    }
+    Ok(())
+}
+
+fn check_term(func: &Function, b: BlockId) -> Result<(), VerifyError> {
     let nregs = func.reg_count();
     let nblocks = func.block_count();
     let reg_ok = |r: Reg| r.index() < nregs;
-    let block_ok = |b: BlockId| b.index() < nblocks;
-
-    for b in func.block_ids() {
-        for (i, instr) in func.block(b).instrs.iter().enumerate() {
-            let at = format!("{} {b}:{i}", func.name());
-            let mut used = Vec::new();
-            instr.uses(&mut used);
-            for r in used.iter().chain(instr.dst().iter()) {
-                check!(reg_ok(*r), "{at}: register {r} out of range");
-            }
-            let ty = |r: Reg| func.reg_ty(r);
-            match instr {
-                Instr::Const { dst, value } => {
-                    check!(
-                        ty(*dst) == value.ty(),
-                        "{at}: const type mismatch ({} vs {})",
-                        ty(*dst),
-                        value.ty()
-                    );
-                }
-                Instr::Move { dst, src } => {
-                    check!(
-                        ty(*dst) == ty(*src),
-                        "{at}: move type mismatch ({} <- {})",
-                        ty(*dst),
-                        ty(*src)
-                    );
-                }
-                Instr::Bin { dst, op, a, b: rb } => {
-                    check!(ty(*a) == ty(*rb), "{at}: binop operand types differ");
-                    check!(ty(*dst) == ty(*a), "{at}: binop result type differs");
-                    check!(ty(*a) != Ty::Ref, "{at}: binop on references");
-                    if op.int_only() {
-                        check!(ty(*a).is_int(), "{at}: {op:?} requires integers");
-                    }
-                }
-                Instr::Un { dst, op, src } => {
-                    check!(ty(*dst) == ty(*src), "{at}: unop type mismatch");
-                    check!(ty(*src) != Ty::Ref, "{at}: unop on reference");
-                    if *op == crate::instr::UnOp::Not {
-                        check!(ty(*src).is_int(), "{at}: Not requires integers");
-                    }
-                }
-                Instr::Cmp { dst, a, b: rb, .. } => {
-                    check!(ty(*a) == ty(*rb), "{at}: cmp operand types differ");
-                    check!(ty(*dst) == Ty::I32, "{at}: cmp result must be i32");
-                }
-                Instr::Convert { dst, conv, src } => {
-                    let (from, to) = conv.signature();
-                    check!(ty(*src) == from, "{at}: convert source type");
-                    check!(ty(*dst) == to, "{at}: convert result type");
-                }
-                Instr::GetField { dst, obj, field } => {
-                    check!(ty(*obj) == Ty::Ref, "{at}: getfield on non-ref");
-                    check!(field.index() < program.field_count(), "{at}: bad field id");
-                    check!(
-                        ty(*dst) == program.field(*field).ty.reg_ty(),
-                        "{at}: getfield result type"
-                    );
-                }
-                Instr::PutField { obj, field, src } => {
-                    check!(ty(*obj) == Ty::Ref, "{at}: putfield on non-ref");
-                    check!(field.index() < program.field_count(), "{at}: bad field id");
-                    check!(
-                        ty(*src) == program.field(*field).ty.reg_ty(),
-                        "{at}: putfield value type"
-                    );
-                }
-                Instr::GetStatic { dst, sid } => {
-                    check!(sid.index() < program.static_count(), "{at}: bad static id");
-                    check!(
-                        ty(*dst) == program.static_def(*sid).ty.reg_ty(),
-                        "{at}: getstatic result type"
-                    );
-                }
-                Instr::PutStatic { sid, src } => {
-                    check!(sid.index() < program.static_count(), "{at}: bad static id");
-                    check!(
-                        ty(*src) == program.static_def(*sid).ty.reg_ty(),
-                        "{at}: putstatic value type"
-                    );
-                }
-                Instr::ALoad {
-                    dst,
-                    arr,
-                    idx,
-                    elem,
-                } => {
-                    check!(ty(*arr) == Ty::Ref, "{at}: aload on non-ref");
-                    check!(ty(*idx) == Ty::I32, "{at}: aload index must be i32");
-                    check!(ty(*dst) == elem.reg_ty(), "{at}: aload result type");
-                }
-                Instr::AStore {
-                    arr,
-                    idx,
-                    src,
-                    elem,
-                } => {
-                    check!(ty(*arr) == Ty::Ref, "{at}: astore on non-ref");
-                    check!(ty(*idx) == Ty::I32, "{at}: astore index must be i32");
-                    check!(ty(*src) == elem.reg_ty(), "{at}: astore value type");
-                }
-                Instr::ArrayLen { dst, arr } => {
-                    check!(ty(*arr) == Ty::Ref, "{at}: arraylength on non-ref");
-                    check!(ty(*dst) == Ty::I32, "{at}: arraylength result type");
-                }
-                Instr::New { dst, class } => {
-                    check!(class.index() < program.class_count(), "{at}: bad class id");
-                    check!(ty(*dst) == Ty::Ref, "{at}: new result type");
-                }
-                Instr::NewArray { dst, len, .. } => {
-                    check!(ty(*len) == Ty::I32, "{at}: newarray length must be i32");
-                    check!(ty(*dst) == Ty::Ref, "{at}: newarray result type");
-                }
-                Instr::Call { dst, callee, args } => {
-                    check!(
-                        callee.index() < program.method_count(),
-                        "{at}: bad method id"
-                    );
-                    let callee_fn = program.method(*callee).func();
-                    check!(
-                        args.len() == callee_fn.param_count(),
-                        "{at}: call to {} with {} args, expected {}",
-                        callee_fn.name(),
-                        args.len(),
-                        callee_fn.param_count()
-                    );
-                    for (i, (a, p)) in args.iter().zip(callee_fn.params()).enumerate() {
-                        check!(
-                            ty(*a) == callee_fn.reg_ty(p),
-                            "{at}: call arg {i} type mismatch"
-                        );
-                    }
-                    match (dst, callee_fn.ret_ty()) {
-                        (Some(d), Some(rt)) => {
-                            check!(ty(*d) == rt, "{at}: call result type mismatch")
-                        }
-                        (Some(_), None) => {
-                            check!(false, "{at}: call captures result of void method")
-                        }
-                        _ => {}
-                    }
-                }
-                Instr::Prefetch { addr, .. } => verify_addr(func, addr, &at)?,
-                Instr::SpecLoad { dst, addr } => {
-                    check!(ty(*dst) == Ty::Ref, "{at}: spec_load result must be ref");
-                    verify_addr(func, addr, &at)?;
-                }
-            }
+    let block_ok = |t: BlockId| t.index() < nblocks;
+    match &func.block(b).term {
+        Terminator::Jump(t) => check!(block_ok(*t), "{b}: jump target out of range"),
+        Terminator::Branch {
+            cond,
+            then_bb,
+            else_bb,
+        } => {
+            check!(reg_ok(*cond), "{b}: branch cond out of range");
+            check!(
+                func.reg_ty(*cond) == Ty::I32,
+                "{b}: branch cond must be i32"
+            );
+            check!(block_ok(*then_bb), "{b}: then target out of range");
+            check!(block_ok(*else_bb), "{b}: else target out of range");
         }
-        match &func.block(b).term {
-            Terminator::Jump(t) => check!(block_ok(*t), "{b}: jump target out of range"),
-            Terminator::Branch {
-                cond,
-                then_bb,
-                else_bb,
-            } => {
-                check!(reg_ok(*cond), "{b}: branch cond out of range");
-                check!(
-                    func.reg_ty(*cond) == Ty::I32,
-                    "{b}: branch cond must be i32"
-                );
-                check!(block_ok(*then_bb), "{b}: then target out of range");
-                check!(block_ok(*else_bb), "{b}: else target out of range");
+        Terminator::Return(v) => match (v, func.ret_ty()) {
+            (Some(r), Some(rt)) => {
+                check!(reg_ok(*r), "{b}: return reg out of range");
+                check!(func.reg_ty(*r) == rt, "{b}: return type mismatch");
             }
-            Terminator::Return(v) => match (v, func.ret_ty()) {
-                (Some(r), Some(rt)) => {
-                    check!(reg_ok(*r), "{b}: return reg out of range");
-                    check!(func.reg_ty(*r) == rt, "{b}: return type mismatch");
-                }
-                (Some(_), None) => check!(false, "{b}: returning value from void function"),
-                (None, Some(_)) => check!(false, "{b}: missing return value"),
-                (None, None) => {}
-            },
-            Terminator::Unreachable => {}
-        }
+            (Some(_), None) => check!(false, "{b}: returning value from void function"),
+            (None, Some(_)) => check!(false, "{b}: missing return value"),
+            (None, None) => {}
+        },
+        Terminator::Unreachable => {}
     }
     Ok(())
 }
@@ -317,5 +357,42 @@ mod tests {
         let entry = f.entry();
         f.block_mut(entry).term = Terminator::Return(None);
         assert!(verify(&p, &f).is_err());
+    }
+
+    #[test]
+    fn verify_all_collects_every_site() {
+        let p = Program::new();
+        let mut f = Function::with_signature("multi", &[Ty::I32], Some(Ty::I32));
+        let r = f.new_reg(Ty::F64);
+        let entry = f.entry();
+        // Two independent violations in one block, plus a bad terminator.
+        f.block_mut(entry).instrs.push(Instr::Const {
+            dst: r,
+            value: Const::I32(1),
+        });
+        f.block_mut(entry).instrs.push(Instr::Move {
+            dst: Reg::new(9),
+            src: Reg::new(9),
+        });
+        f.block_mut(entry).term = Terminator::Return(None);
+        let errors = verify_all(&p, &f);
+        assert_eq!(errors.len(), 3, "{errors:?}");
+        // The first collected error is what `verify` reports.
+        assert_eq!(verify(&p, &f).unwrap_err(), errors[0]);
+        assert!(errors[0].to_string().contains("const type mismatch"));
+        assert!(errors[1].to_string().contains("out of range"));
+        assert!(errors[2].to_string().contains("missing return value"));
+    }
+
+    #[test]
+    fn verify_all_empty_on_valid_function() {
+        let mut pb = ProgramBuilder::new();
+        let mut b = pb.function("ok2", &[Ty::I32], Some(Ty::I32));
+        let x = b.param(0);
+        let y = b.add(x, x);
+        b.ret(Some(y));
+        let m = b.finish();
+        let p = pb.finish();
+        assert!(verify_all(&p, p.method(m).func()).is_empty());
     }
 }

@@ -223,6 +223,12 @@ impl<S: TraceSink> Vm<S> {
         self.compiled[mid.index()].is_some()
     }
 
+    /// The installed compiled body of `mid`, if any (for external analyses
+    /// such as the `spf-lint` tool).
+    pub fn compiled_body(&self, mid: MethodId) -> Option<&Function> {
+        self.compiled[mid.index()].as_deref()
+    }
+
     /// Clears the memory system and measurement counters while keeping
     /// compiled code, the heap, and statics — the "steady state" protocol:
     /// the paper reports best run times under continuous execution, where
@@ -354,6 +360,25 @@ impl<S: TraceSink> Vm<S> {
             &proc,
             self.mem.sink_mut(),
         );
+        // Debug builds run the static lint over every JIT output: nothing
+        // the pipeline emits after inline/unroll/DCE may use a register
+        // before assignment, leak a speculative value, or break the
+        // prefetch-kind policy. (Kept out of release builds and of
+        // `pass_nanos`, so measured numbers are untouched.)
+        #[cfg(debug_assertions)]
+        {
+            let policy = self
+                .config
+                .prefetch
+                .guarded_policy
+                .lint_check(self.mem.config().swpf_drops_on_tlb_miss);
+            let findings = spf_analysis::lint(&outcome.func, &spf_analysis::LintConfig { policy });
+            assert!(
+                findings.is_empty(),
+                "JIT output for {} fails the static lint: {findings:?}",
+                outcome.func.name()
+            );
+        }
         let total_nanos = t0.elapsed().as_nanos();
         self.stats.jit_nanos += total_nanos;
         self.stats.prefetch_pass_nanos += outcome.report.pass_nanos;

@@ -3,6 +3,8 @@
 //! This crate re-exports the workspace's public API in one place:
 //!
 //! * [`ir`] — the typed register IR, builder, and compiler analyses.
+//! * [`analysis`] — static analyses over the IR: definite initialization,
+//!   speculation-safety linting, and SCEV-lite affine stride analysis.
 //! * [`heap`] — object model, simulated heap, and compacting GC.
 //! * [`memsim`] — L1/L2/DTLB simulator with the Pentium 4 and Athlon MP
 //!   configurations of the paper's Table 2.
@@ -16,6 +18,7 @@
 //! See the repository `README.md` for a tour and `EXPERIMENTS.md` for
 //! paper-vs-measured results.
 
+pub use spf_analysis as analysis;
 pub use spf_bench as bench;
 pub use spf_core as prefetch;
 pub use spf_heap as heap;

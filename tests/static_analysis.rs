@@ -1,0 +1,233 @@
+//! Cross-crate tests for the static-analysis layer (`spf-analysis`).
+//!
+//! Two directions: every method body the JIT produces — after lowering,
+//! inlining, unrolling, DCE, and prefetch insertion — must pass the
+//! structural verifier and the full lint under the policy discipline of the
+//! simulated processor; and deliberately broken IR (use-before-def,
+//! speculation leaking into a store) must be caught, including shapes the
+//! structural verifier alone cannot see.
+
+use spf_testkit::cases;
+use stride_prefetch::analysis::{self, LintConfig, PolicyCheck};
+use stride_prefetch::ir::verify::verify_all;
+use stride_prefetch::ir::{
+    BinOp, CmpOp, Const, ElemTy, Function, Instr, PrefetchAddr, ProgramBuilder, Terminator, Ty,
+};
+use stride_prefetch::memsim::ProcessorConfig;
+use stride_prefetch::prefetch::{GuardedPolicy, PrefetchMode, PrefetchOptions};
+use stride_prefetch::vm::{Vm, VmConfig};
+use stride_prefetch::workloads::{self, Size};
+
+/// Verifies and lints every compiled body in `vm`, returning how many
+/// methods were compiled.
+fn lint_compiled(vm: &Vm, policy: PolicyCheck, label: &str) -> usize {
+    let config = LintConfig { policy };
+    let mut compiled = 0;
+    for mid in vm.program().method_ids() {
+        let Some(func) = vm.compiled_body(mid) else {
+            continue;
+        };
+        compiled += 1;
+        let errors = verify_all(vm.program(), func);
+        assert!(errors.is_empty(), "{label}: {}: {errors:?}", func.name());
+        let findings = analysis::lint(func, &config);
+        assert!(
+            findings.is_empty(),
+            "{label}: {}: {findings:?}",
+            func.name()
+        );
+    }
+    compiled
+}
+
+/// Builds, warms up (so the JIT runs), and checks one workload
+/// configuration end to end.
+fn run_and_lint(spec: &workloads::WorkloadSpec, options: PrefetchOptions, config: VmConfig) {
+    for proc in [ProcessorConfig::pentium4(), ProcessorConfig::athlon_mp()] {
+        let built = (spec.build)(Size::Tiny);
+        let policy = options
+            .guarded_policy
+            .lint_check(proc.swpf_drops_on_tlb_miss);
+        let label = format!("{}/{}/{}", spec.name, options.mode, proc.name);
+        let mut vm = Vm::new(
+            built.program,
+            VmConfig {
+                heap_bytes: built.heap_bytes,
+                prefetch: options.clone(),
+                compile_threshold: built.compile_threshold,
+                ..config.clone()
+            },
+            proc,
+        );
+        let mut checksum = 0;
+        for _ in 0..2 {
+            checksum = vm
+                .call(built.entry, &[])
+                .unwrap_or_else(|e| panic!("{label} faulted: {e}"))
+                .expect("entry returns a checksum")
+                .as_i32();
+        }
+        if let Some(expected) = built.expected {
+            assert_eq!(checksum, expected, "{label} checksum");
+        }
+        let compiled = lint_compiled(&vm, policy, &label);
+        assert!(compiled > 0, "{label}: the JIT compiled no methods");
+    }
+}
+
+// -------------------------------------------------------------------
+// Every registry workload, with the whole optimizer enabled (inline +
+// unroll + DCE + prefetch insertion), produces lint-clean compiled code.
+// -------------------------------------------------------------------
+
+#[test]
+fn optimized_workloads_pass_lint_and_verifier() {
+    for spec in workloads::all() {
+        run_and_lint(
+            &spec,
+            PrefetchOptions::inter_intra(),
+            VmConfig {
+                inline_small_methods: true,
+                unroll_factor: 2,
+                ..VmConfig::default()
+            },
+        );
+    }
+}
+
+// -------------------------------------------------------------------
+// Randomized configurations: mode, guarded policy, inline, and unroll
+// factor never produce a compiled body the lint rejects.
+// -------------------------------------------------------------------
+
+#[test]
+fn random_jit_configs_pass_lint() {
+    let specs = workloads::all();
+    cases(10, "random jit configs pass lint", |rng| {
+        let spec = &specs[rng.index(specs.len())];
+        let options = PrefetchOptions {
+            mode: if rng.bool() {
+                PrefetchMode::Inter
+            } else {
+                PrefetchMode::InterIntra
+            },
+            guarded_policy: match rng.index(3) {
+                0 => GuardedPolicy::AlwaysHardware,
+                1 => GuardedPolicy::AlwaysGuarded,
+                _ => GuardedPolicy::Auto,
+            },
+            inspect_iterations: rng.u64_in(4, 30) as u32,
+            distance: rng.u64_in(1, 3) as u32,
+            ..PrefetchOptions::default()
+        };
+        run_and_lint(
+            spec,
+            options,
+            VmConfig {
+                inline_small_methods: rng.bool(),
+                unroll_factor: rng.u64_in(1, 3) as u32,
+                ..VmConfig::default()
+            },
+        );
+    });
+}
+
+// -------------------------------------------------------------------
+// Mutation tests: IR broken in ways the VM would silently tolerate (it
+// zero-initializes frames; stores through speculative null go through the
+// heap's fault path only at runtime) must be rejected statically.
+// -------------------------------------------------------------------
+
+#[test]
+fn mutation_one_armed_initialization_is_caught() {
+    let mut pb = ProgramBuilder::new();
+    let mut b = pb.function("mutant", &[Ty::I32], Some(Ty::I32));
+    let x = b.param(0);
+    let zero = b.const_i32(0);
+    let c = b.gt(x, zero);
+    let v = b.new_reg(Ty::I32);
+    b.if_else(c, |b| b.move_(v, x), |_| {});
+    let out = b.add(v, x); // v is unassigned when the else arm ran
+    b.ret(Some(out));
+    let m = b.finish();
+    let p = pb.finish();
+    let func = p.method(m).func();
+    // Structurally valid — only the dataflow analysis sees the hole.
+    assert!(verify_all(&p, func).is_empty());
+    let findings = analysis::lint(func, &LintConfig::default());
+    assert_eq!(findings.len(), 1, "{findings:?}");
+    assert!(findings[0].message.contains("before definite assignment"));
+}
+
+#[test]
+fn mutation_speculative_store_is_caught() {
+    // A counted loop whose body spec-loads a link and then *stores* through
+    // the speculative reference — the leak the codegen discipline forbids.
+    let mut f = Function::with_signature("mutant", &[Ty::Ref, Ty::I32], None);
+    let head = f.params().next().unwrap();
+    let n = f.params().nth(1).unwrap();
+    let i = f.new_reg(Ty::I32);
+    let one = f.new_reg(Ty::I32);
+    let cond = f.new_reg(Ty::I32);
+    let spec = f.new_reg(Ty::Ref);
+    let entry = f.entry();
+    let header = f.add_block();
+    let body = f.add_block();
+    let exit = f.add_block();
+    {
+        let blk = f.block_mut(entry);
+        blk.instrs.push(Instr::Const {
+            dst: i,
+            value: Const::I32(0),
+        });
+        blk.instrs.push(Instr::Const {
+            dst: one,
+            value: Const::I32(1),
+        });
+        blk.term = Terminator::Jump(header);
+    }
+    {
+        let blk = f.block_mut(header);
+        blk.instrs.push(Instr::Cmp {
+            dst: cond,
+            op: CmpOp::Lt,
+            a: i,
+            b: n,
+        });
+        blk.term = Terminator::Branch {
+            cond,
+            then_bb: body,
+            else_bb: exit,
+        };
+    }
+    {
+        let blk = f.block_mut(body);
+        blk.instrs.push(Instr::SpecLoad {
+            dst: spec,
+            addr: PrefetchAddr::FieldOf {
+                base: head,
+                delta: 8,
+            },
+        });
+        blk.instrs.push(Instr::AStore {
+            arr: spec,
+            idx: i,
+            src: one,
+            elem: ElemTy::I32,
+        });
+        blk.instrs.push(Instr::Bin {
+            dst: i,
+            op: BinOp::Add,
+            a: i,
+            b: one,
+        });
+        blk.term = Terminator::Jump(header);
+    }
+    f.block_mut(exit).term = Terminator::Return(None);
+
+    let findings = analysis::lint(&f, &LintConfig::default());
+    assert_eq!(findings.len(), 1, "{findings:?}");
+    assert!(findings[0]
+        .message
+        .contains("leaks into non-speculative use"));
+}
