@@ -1,0 +1,329 @@
+//! Adaptive reprofiling: deciding *when* the strides learned by one-shot
+//! object inspection stop being trustworthy, and *whether* recompiling is
+//! still worth it.
+//!
+//! The paper compiles prefetches from a single inspection at JIT time and
+//! trusts them forever. That is sound only while the heap keeps the shape
+//! the inspector saw: a sliding compaction can change inter-object
+//! distances, and later program phases can walk the same loop over
+//! differently laid-out data. This crate holds the policy half of the
+//! adaptive loop; the mechanism (deopt, re-inspection, recompile) lives in
+//! `spf-vm`:
+//!
+//! * every compiled method with prefetch sites gets a [`MethodGuard`]
+//!   stamping the GC epoch at compile time and counting per-site
+//!   useless-prefetch issues (issues that found their line already
+//!   resident);
+//! * [`AdaptState::check_stale`] turns those observations into a
+//!   [`StaleReason`] verdict: the epoch moved, or the useless ratio
+//!   crossed the threshold after enough samples;
+//! * a bounded recompile budget and exponential backoff
+//!   ([`AdaptState::on_deopt`] / [`AdaptState::may_recompile`]) prevent a
+//!   method whose heap churns every run from oscillating between deopt
+//!   and recompile forever — once the budget is spent the guards disarm
+//!   and the last compiled body is kept.
+//!
+//! The state machine is deterministic and lives entirely on simulated
+//! counters (GC epochs, invocation counts, issue counts), so adaptive
+//! runs are bit-identical across hosts and across traced/untraced
+//! execution.
+
+use std::collections::HashMap;
+
+use spf_trace::StaleReason;
+
+/// Tuning knobs of the adaptive-reprofiling policy.
+#[derive(Clone, Copy, Debug)]
+pub struct AdaptConfig {
+    /// A method is stale when `useless / issued` exceeds this fraction
+    /// (with at least [`AdaptConfig::min_samples`] issues observed).
+    pub useless_threshold: f64,
+    /// Minimum prefetch issues before the useless ratio is trusted.
+    pub min_samples: u64,
+    /// Total adaptive recompilations allowed per method; once spent, the
+    /// guards disarm and the current body is kept.
+    pub max_recompiles: u32,
+    /// Invocations to wait before the first recompile after a deopt;
+    /// doubles with every recompile already used (exponential backoff).
+    pub backoff_base: u64,
+}
+
+impl Default for AdaptConfig {
+    fn default() -> Self {
+        AdaptConfig {
+            useless_threshold: 0.5,
+            min_samples: 64,
+            max_recompiles: 4,
+            backoff_base: 2,
+        }
+    }
+}
+
+/// Per-site issue counters, keyed by the site's (block, index) position —
+/// stable across recompilations, unlike trace-level site IDs.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct SiteCounters {
+    /// Prefetches issued from this site in the current generation.
+    pub issued: u64,
+    /// Issues that found the line already resident (useless work).
+    pub useless: u64,
+}
+
+/// Guard state of one compiled method.
+#[derive(Clone, Debug)]
+pub struct MethodGuard {
+    /// GC epoch stamped when the current generation was compiled.
+    pub epoch_at_compile: u64,
+    /// Compilation generation: 0 for the first JIT, +1 per adaptive
+    /// recompile.
+    pub generation: u32,
+    /// Per-site counters for the current generation.
+    pub sites: HashMap<(u32, u32), SiteCounters>,
+    /// Aggregate issues across the method's sites (current generation).
+    pub issued: u64,
+    /// Aggregate useless issues (current generation).
+    pub useless: u64,
+    /// Invocation count before which a recompile is not allowed (backoff).
+    resume_at: u64,
+    /// Whether the method currently has an installed compiled body.
+    compiled: bool,
+    /// Whether the guards disarmed after spending the recompile budget.
+    disabled: bool,
+}
+
+impl MethodGuard {
+    /// The useless-prefetch ratio of the current generation (0 when
+    /// nothing was issued).
+    pub fn useless_ratio(&self) -> f64 {
+        if self.issued == 0 {
+            0.0
+        } else {
+            self.useless as f64 / self.issued as f64
+        }
+    }
+}
+
+/// Guard state for every method of one VM, plus the adaptive counters the
+/// experiment report exposes.
+#[derive(Clone, Debug, Default)]
+pub struct AdaptState {
+    cfg: AdaptConfig,
+    guards: HashMap<usize, MethodGuard>,
+}
+
+impl AdaptState {
+    /// Creates guard state with the given policy.
+    pub fn new(cfg: AdaptConfig) -> Self {
+        AdaptState {
+            cfg,
+            guards: HashMap::new(),
+        }
+    }
+
+    /// The policy in effect.
+    pub fn config(&self) -> &AdaptConfig {
+        &self.cfg
+    }
+
+    /// The guard of `method`, if it was ever compiled under guards.
+    pub fn guard(&self, method: usize) -> Option<&MethodGuard> {
+        self.guards.get(&method)
+    }
+
+    /// Records a (re)compilation of `method` at GC epoch `epoch` and
+    /// returns the new generation number: 0 for the first compile, +1 per
+    /// recompile. Resets the generation's counters.
+    pub fn on_compile(&mut self, method: usize, epoch: u64) -> u32 {
+        match self.guards.get_mut(&method) {
+            // A guard already exists, so a compile already happened: this
+            // install is an adaptive recompile.
+            Some(g) => {
+                g.generation += 1;
+                g.epoch_at_compile = epoch;
+                g.sites.clear();
+                g.issued = 0;
+                g.useless = 0;
+                g.compiled = true;
+                g.generation
+            }
+            None => {
+                self.guards.insert(
+                    method,
+                    MethodGuard {
+                        epoch_at_compile: epoch,
+                        generation: 0,
+                        sites: HashMap::new(),
+                        issued: 0,
+                        useless: 0,
+                        resume_at: 0,
+                        compiled: true,
+                        disabled: false,
+                    },
+                );
+                0
+            }
+        }
+    }
+
+    /// Records one prefetch issue from `method` at site `(block, index)`;
+    /// `useless` means the line was already resident when issued.
+    pub fn record_issue(&mut self, method: usize, site: (u32, u32), useless: bool) {
+        if let Some(g) = self.guards.get_mut(&method) {
+            let s = g.sites.entry(site).or_default();
+            s.issued += 1;
+            s.useless += u64::from(useless);
+            g.issued += 1;
+            g.useless += u64::from(useless);
+        }
+    }
+
+    /// Evaluates the guards of a compiled `method` against the current GC
+    /// `epoch`. Returns the staleness verdict, or `None` when the method
+    /// is fresh, unguarded, or its guards disarmed. Spending the last
+    /// budget slot disarms the guards instead of reporting stale.
+    pub fn check_stale(&mut self, method: usize, epoch: u64) -> Option<StaleReason> {
+        let cfg = self.cfg;
+        let g = self.guards.get_mut(&method)?;
+        if !g.compiled || g.disabled {
+            return None;
+        }
+        let reason = if g.epoch_at_compile != epoch {
+            StaleReason::GcMoved
+        } else if g.issued >= cfg.min_samples && g.useless_ratio() > cfg.useless_threshold {
+            StaleReason::UselessRatio
+        } else {
+            return None;
+        };
+        if g.generation >= cfg.max_recompiles {
+            // Budget spent: keep the current body and stop watching.
+            g.disabled = true;
+            return None;
+        }
+        Some(reason)
+    }
+
+    /// Records a deoptimization of `method` at `invocations` total
+    /// invocations: the next recompile is gated behind an exponentially
+    /// growing backoff window.
+    pub fn on_deopt(&mut self, method: usize, invocations: u64) {
+        let cfg = self.cfg;
+        if let Some(g) = self.guards.get_mut(&method) {
+            g.compiled = false;
+            let backoff = cfg.backoff_base << g.generation.min(32);
+            g.resume_at = invocations + backoff;
+        }
+    }
+
+    /// Whether `method` may be (re)compiled at `invocations` total
+    /// invocations. Always true for methods never deoptimized.
+    pub fn may_recompile(&self, method: usize, invocations: u64) -> bool {
+        self.guards
+            .get(&method)
+            .is_none_or(|g| invocations >= g.resume_at)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_compile_is_generation_zero() {
+        let mut a = AdaptState::new(AdaptConfig::default());
+        assert_eq!(a.on_compile(3, 0), 0);
+        assert_eq!(a.guard(3).unwrap().generation, 0);
+    }
+
+    #[test]
+    fn epoch_bump_marks_stale_once() {
+        let mut a = AdaptState::new(AdaptConfig::default());
+        a.on_compile(0, 0);
+        assert_eq!(a.check_stale(0, 0), None, "same epoch is fresh");
+        assert_eq!(a.check_stale(0, 1), Some(StaleReason::GcMoved));
+        a.on_deopt(0, 10);
+        assert_eq!(a.check_stale(0, 1), None, "deopted method has no body");
+        assert_eq!(a.on_compile(0, 1), 1, "recompile bumps the generation");
+        assert_eq!(a.check_stale(0, 1), None, "fresh at the new epoch");
+    }
+
+    #[test]
+    fn useless_ratio_needs_samples_and_threshold() {
+        let cfg = AdaptConfig {
+            useless_threshold: 0.5,
+            min_samples: 4,
+            ..AdaptConfig::default()
+        };
+        let mut a = AdaptState::new(cfg);
+        a.on_compile(0, 0);
+        a.record_issue(0, (2, 1), true);
+        a.record_issue(0, (2, 1), true);
+        assert_eq!(a.check_stale(0, 0), None, "below min_samples");
+        a.record_issue(0, (2, 1), true);
+        a.record_issue(0, (2, 1), false);
+        assert_eq!(a.check_stale(0, 0), Some(StaleReason::UselessRatio));
+        assert_eq!(a.guard(0).unwrap().sites[&(2, 1)].issued, 4);
+        assert_eq!(a.guard(0).unwrap().sites[&(2, 1)].useless, 3);
+    }
+
+    #[test]
+    fn exactly_half_useless_is_not_stale() {
+        let cfg = AdaptConfig {
+            useless_threshold: 0.5,
+            min_samples: 2,
+            ..AdaptConfig::default()
+        };
+        let mut a = AdaptState::new(cfg);
+        a.on_compile(0, 0);
+        a.record_issue(0, (0, 0), true);
+        a.record_issue(0, (0, 0), false);
+        assert_eq!(a.check_stale(0, 0), None, "threshold is strict");
+    }
+
+    #[test]
+    fn backoff_grows_exponentially() {
+        let cfg = AdaptConfig {
+            backoff_base: 2,
+            max_recompiles: 8,
+            ..AdaptConfig::default()
+        };
+        let mut a = AdaptState::new(cfg);
+        a.on_compile(0, 0);
+        a.on_deopt(0, 100);
+        assert!(!a.may_recompile(0, 101));
+        assert!(a.may_recompile(0, 102), "gen 0 waits backoff_base");
+        a.on_compile(0, 1);
+        a.on_deopt(0, 200);
+        assert!(!a.may_recompile(0, 203));
+        assert!(a.may_recompile(0, 204), "gen 1 waits 2*backoff_base");
+    }
+
+    #[test]
+    fn budget_disarms_guards_instead_of_looping() {
+        let cfg = AdaptConfig {
+            max_recompiles: 2,
+            backoff_base: 0,
+            ..AdaptConfig::default()
+        };
+        let mut a = AdaptState::new(cfg);
+        let mut epoch = 0;
+        a.on_compile(0, epoch);
+        for expect_gen in 1..=2 {
+            epoch += 1;
+            assert_eq!(a.check_stale(0, epoch), Some(StaleReason::GcMoved));
+            a.on_deopt(0, 0);
+            assert_eq!(a.on_compile(0, epoch), expect_gen);
+        }
+        // Budget (2 recompiles) spent: a further epoch bump disarms.
+        epoch += 1;
+        assert_eq!(a.check_stale(0, epoch), None);
+        assert_eq!(a.check_stale(0, epoch + 1), None, "stays disarmed");
+        assert_eq!(a.guard(0).unwrap().generation, 2);
+    }
+
+    #[test]
+    fn unguarded_methods_are_never_stale_and_always_compilable() {
+        let mut a = AdaptState::new(AdaptConfig::default());
+        assert_eq!(a.check_stale(7, 99), None);
+        assert!(a.may_recompile(7, 0));
+    }
+}

@@ -6,8 +6,9 @@
 //!
 //! For every (workload, mode, processor) cell present in both files it
 //! prints the wall-clock speedup and flags any drift in the *simulated*
-//! numbers (cycles, retired instructions, checksum), which must be
-//! invariant across hosts, worker counts, and host-side optimisations.
+//! numbers (cycles, retired instructions, adaptive deopt/recompile
+//! counters, checksum), which must be invariant across hosts, worker
+//! counts, and host-side optimisations.
 //! Exit code: 0 if no simulated number drifted, 1 otherwise (or on usage
 //! and parse errors).
 
@@ -54,14 +55,18 @@ fn main() -> ExitCode {
         matched += 1;
         old_total += o.wall_nanos;
         new_total += n.wall_nanos;
-        let cycles_note =
-            if o.best_cycles == n.best_cycles && o.retired == n.retired && o.checksum == n.checksum
-            {
-                "same"
-            } else {
-                drift += 1;
-                "DRIFT"
-            };
+        let cycles_note = if o.best_cycles == n.best_cycles
+            && o.retired == n.retired
+            && o.deopts == n.deopts
+            && o.recompiles == n.recompiles
+            && o.reagreed == n.reagreed
+            && o.checksum == n.checksum
+        {
+            "same"
+        } else {
+            drift += 1;
+            "DRIFT"
+        };
         let _ = writeln!(
             out,
             "{:<12} {:<12} {:<10} {:>14.2} {:>14.2} {:>8.2}x {:>8}",

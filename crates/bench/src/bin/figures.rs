@@ -14,7 +14,9 @@
 //! the simulated results. Each sweep also writes `BENCH_matrix.json`
 //! (override the path with `--matrix-out PATH`, disable with
 //! `--matrix-out -`) recording per-cell wall-clock and simulated cycles;
-//! compare two such files with the `bench_diff` binary.
+//! compare two such files with the `bench_diff` binary. `--out-dir DIR`
+//! redirects every relative artifact path into `DIR` (created if
+//! missing).
 //!
 //! `--verify-serial` runs one cell both through the parallel scheduler and
 //! directly on the main thread, then diffs the two `Measurement`s field by
@@ -33,8 +35,8 @@ use std::process::ExitCode;
 use std::time::Instant;
 
 use spf_bench::RunPlan;
-use spf_bench::{figures, matrix, matrix_json};
-use spf_trace::summary;
+use spf_bench::{figures, matrix, matrix_json, out_dir};
+use spf_trace::{summary, TraceEvent};
 use spf_workloads::Size;
 
 struct Args {
@@ -57,10 +59,14 @@ fn parse_args() -> Result<Args, String> {
         trace: false,
         trace_out: Some("TRACE_summary.jsonl".to_string()),
     };
+    let mut dir_flag: Option<String> = None;
     let mut it = std::env::args().skip(1);
     let mut positional: Vec<String> = Vec::new();
     while let Some(a) = it.next() {
         match a.as_str() {
+            "--out-dir" => {
+                dir_flag = Some(it.next().ok_or("--out-dir needs a directory")?);
+            }
             "--jobs" => {
                 let v = it.next().ok_or("--jobs needs a value")?;
                 args.jobs = match v.parse() {
@@ -85,6 +91,10 @@ fn parse_args() -> Result<Args, String> {
             }
             _ => positional.push(a),
         }
+    }
+    if let Some(dir) = &dir_flag {
+        args.matrix_out = args.matrix_out.map(|p| out_dir::join(dir, &p));
+        args.trace_out = args.trace_out.map(|p| out_dir::join(dir, &p));
     }
     if let Some(s) = positional.first() {
         args.size = match s.as_str() {
@@ -186,6 +196,31 @@ fn traced_sweep(
                 m.mem.swpf_issued, m.mem.guarded_loads
             ));
         }
+        // Adaptive counters must reconcile exactly with the trace: every
+        // deopt/recompile the VM counted (warm-up plus best run) has a
+        // matching event (compile_events plus best-run attribution) —
+        // unless the ring dropped events in either phase.
+        if t.trace.lost == 0 && t.trace.warm_lost == 0 {
+            let count = |evs: &[TraceEvent], deopt: bool| {
+                evs.iter()
+                    .filter(|e| match e {
+                        TraceEvent::Deopt { .. } => deopt,
+                        TraceEvent::Recompile { .. } => !deopt,
+                        _ => false,
+                    })
+                    .count() as u64
+            };
+            let ev_deopts = count(&t.trace.compile_events, true) + attr.deopts;
+            let ev_recompiles = count(&t.trace.compile_events, false) + attr.recompiles;
+            if ev_deopts != m.deopts || ev_recompiles != m.recompiles {
+                ok = false;
+                emit(&format!(
+                    "trace: {run}: adaptive counters diverge from events: \
+                     deopts {} != {ev_deopts}, recompiles {} != {ev_recompiles}",
+                    m.deopts, m.recompiles
+                ));
+            }
+        }
         rows.extend(summary::rows(&run, attr, &t.trace.sites));
     }
     let issued: u64 = rows.iter().map(|r| r.issued).sum();
@@ -196,6 +231,7 @@ fn traced_sweep(
         rows.len(),
     );
     if let Some(path) = trace_out {
+        out_dir::ensure_parent(path);
         match std::fs::write(path, summary::emit(&rows)) {
             Ok(()) => eprintln!("wrote {path}"),
             Err(e) => eprintln!("warning: could not write {path}: {e}"),
@@ -242,6 +278,7 @@ fn main() -> ExitCode {
 
     if let Some(path) = &args.matrix_out {
         let json = matrix_json::emit(&results, args.size, args.jobs, total_wall);
+        out_dir::ensure_parent(path);
         match std::fs::write(path, json) {
             Ok(()) => eprintln!("wrote {path}"),
             Err(e) => eprintln!("warning: could not write {path}: {e}"),
@@ -263,6 +300,7 @@ fn main() -> ExitCode {
     let data = figures::from_measurements(results.into_iter().map(|r| r.measurement).collect());
     emit(&data.table3());
     emit(&data.stride_table());
+    emit(&data.adaptive_table());
     emit(&data.fig6());
     emit(&data.fig7());
     emit(&data.fig8());

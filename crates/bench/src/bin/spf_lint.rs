@@ -13,11 +13,14 @@
 //! the workload is warmed up so the JIT compiles its hot methods, and each
 //! *compiled* body — after inlining, unrolling, DCE, and prefetch insertion
 //! — is linted again with the guarded-policy discipline resolved for that
-//! processor. Any violation is printed and makes the process exit nonzero.
+//! processor. Under ADAPTIVE mode every compilation *generation* is linted
+//! (deoptimized-and-recompiled bodies included), not just the bodies still
+//! installed. Any violation is printed and makes the process exit nonzero.
 //!
 //! Unless disabled with `--agreement-out -`, the static-vs-inspected stride
 //! cross-check totals of each (workload, processor, mode) cell are written
-//! as JSON lines to `STRIDE_agreement.jsonl`.
+//! as JSON lines to `STRIDE_agreement.jsonl`. `--out-dir DIR` redirects
+//! every relative artifact path into `DIR` (created if missing).
 
 use std::fmt::Write as _;
 use std::io::Write as _;
@@ -41,6 +44,7 @@ fn parse_args() -> Result<Args, String> {
         only: None,
         agreement_out: Some("STRIDE_agreement.jsonl".to_string()),
     };
+    let mut out_dir: Option<String> = None;
     let mut it = std::env::args().skip(1);
     let mut positional: Vec<String> = Vec::new();
     while let Some(a) = it.next() {
@@ -51,8 +55,16 @@ fn parse_args() -> Result<Args, String> {
                     .ok_or("--agreement-out needs a path (or - to disable)")?;
                 args.agreement_out = if v == "-" { None } else { Some(v) };
             }
+            "--out-dir" => {
+                out_dir = Some(it.next().ok_or("--out-dir needs a directory")?);
+            }
             _ => positional.push(a),
         }
+    }
+    if let Some(dir) = &out_dir {
+        args.agreement_out = args
+            .agreement_out
+            .map(|p| spf_bench::out_dir::join(dir, &p));
     }
     if let Some(s) = positional.first() {
         args.size = match s.as_str() {
@@ -139,15 +151,15 @@ fn check_cell(
     let config = LintConfig { policy };
     let mut violations = 0;
     let mut compiled = 0;
-    for mid in vm.program().method_ids() {
-        let Some(func) = vm.compiled_body(mid) else {
-            continue;
-        };
+    // Every compilation the VM ever installed: under ADAPTIVE this
+    // includes deoptimized-and-recompiled generations, not just the
+    // bodies currently live.
+    for (_mid, generation, func) in vm.compiled_generations() {
         compiled += 1;
         for e in spf_ir::verify::verify_all(vm.program(), func) {
             violations += 1;
             emit(&format!(
-                "{}/{}/{}: {}: verify: {e}",
+                "{}/{}/{}: {} g{generation}: verify: {e}",
                 spec.name,
                 options.mode,
                 proc.name,
@@ -157,7 +169,7 @@ fn check_cell(
         for f in lint(func, &config) {
             violations += 1;
             emit(&format!(
-                "{}/{}/{}: {}: lint: {f}",
+                "{}/{}/{}: {} g{generation}: lint: {f}",
                 spec.name,
                 options.mode,
                 proc.name,
@@ -201,6 +213,7 @@ fn main() -> ExitCode {
                 PrefetchOptions::off(),
                 PrefetchOptions::inter(),
                 PrefetchOptions::inter_intra(),
+                PrefetchOptions::adaptive(),
             ] {
                 let (v, strides, compiled) = check_cell(&spec, &options, &proc, args.size);
                 violations += v;
@@ -225,6 +238,7 @@ fn main() -> ExitCode {
     }
 
     if let Some(path) = &args.agreement_out {
+        spf_bench::out_dir::ensure_parent(path);
         match std::fs::write(path, &agreement) {
             Ok(()) => eprintln!("wrote {path}"),
             Err(e) => eprintln!("warning: could not write {path}: {e}"),

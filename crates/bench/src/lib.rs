@@ -12,6 +12,7 @@
 pub mod figures;
 pub mod matrix;
 pub mod matrix_json;
+pub mod out_dir;
 pub mod runner;
 
 pub use runner::{run_workload, run_workload_traced, Measurement, RunPlan, WorkloadTrace};

@@ -9,7 +9,7 @@
 //! is identical to a sequential sweep regardless of the worker count or
 //! scheduling. The checksum cross-check at the join point enforces the
 //! other half of the invariant: a workload computes the same answer in
-//! all six of its configurations.
+//! all eight of its configurations.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Instant;
@@ -43,7 +43,7 @@ pub struct CellResult {
 
 /// Enumerates the matrix in canonical order — workloads in Table 3
 /// (registry) order × {Pentium 4, Athlon MP} × {BASELINE, INTER,
-/// INTER+INTRA} — restricted to workloads accepted by `keep`.
+/// INTER+INTRA, ADAPTIVE} — restricted to workloads accepted by `keep`.
 pub fn cells(keep: impl Fn(&str) -> bool) -> Vec<Cell> {
     let mut out = Vec::new();
     for spec in spf_workloads::all() {
@@ -55,6 +55,7 @@ pub fn cells(keep: impl Fn(&str) -> bool) -> Vec<Cell> {
                 PrefetchOptions::off(),
                 PrefetchOptions::inter(),
                 PrefetchOptions::inter_intra(),
+                PrefetchOptions::adaptive(),
             ] {
                 out.push(Cell {
                     spec: spec.clone(),
@@ -227,12 +228,12 @@ mod tests {
     #[test]
     fn cells_enumerate_in_matrix_order() {
         let cs = cells(|_| true);
-        assert_eq!(cs.len(), 12 * 2 * 3);
-        // First workload occupies the first six cells: P4 then Athlon,
-        // each OFF/INTER/INTER+INTRA.
-        assert!(cs[..6].iter().all(|c| c.spec.name == cs[0].spec.name));
+        assert_eq!(cs.len(), 12 * 2 * 4);
+        // First workload occupies the first eight cells: P4 then Athlon,
+        // each OFF/INTER/INTER+INTRA/ADAPTIVE.
+        assert!(cs[..8].iter().all(|c| c.spec.name == cs[0].spec.name));
         assert_eq!(cs[0].proc.name, "Pentium 4");
-        assert_eq!(cs[3].proc.name, "Athlon MP");
+        assert_eq!(cs[4].proc.name, "Athlon MP");
     }
 
     #[test]
@@ -241,8 +242,8 @@ mod tests {
         let keep = |n: &str| n == "db";
         let seq = run_matrix(&plan, 1, keep);
         let par = run_matrix(&plan, 4, keep);
-        assert_eq!(seq.len(), 6);
-        assert_eq!(par.len(), 6);
+        assert_eq!(seq.len(), 8);
+        assert_eq!(par.len(), 8);
         for (a, b) in seq.iter().zip(&par) {
             let diff = a.measurement.simulated_diff(&b.measurement);
             assert!(diff.is_empty(), "parallel run diverged: {diff:?}");

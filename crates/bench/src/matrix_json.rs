@@ -25,6 +25,12 @@ pub struct CellSummary {
     pub retired: u64,
     /// Host wall-clock nanoseconds spent simulating the cell.
     pub wall_nanos: u128,
+    /// Adaptive deoptimizations (zero outside ADAPTIVE mode).
+    pub deopts: u64,
+    /// Adaptive recompilations (zero outside ADAPTIVE mode).
+    pub recompiles: u64,
+    /// Recompilations that re-agreed on prefetchable strides.
+    pub reagreed: u64,
     /// The workload's checksum.
     pub checksum: i32,
 }
@@ -52,13 +58,17 @@ pub fn emit(results: &[CellResult], size: Size, jobs: usize, total_wall_nanos: u
         let m = &r.measurement;
         s.push_str(&format!(
             "    {{\"name\": \"{}\", \"mode\": \"{}\", \"processor\": \"{}\", \
-             \"best_cycles\": {}, \"retired\": {}, \"wall_nanos\": {}, \"checksum\": {}}}{}\n",
+             \"best_cycles\": {}, \"retired\": {}, \"wall_nanos\": {}, \
+             \"deopts\": {}, \"recompiles\": {}, \"reagreed\": {}, \"checksum\": {}}}{}\n",
             escape(&m.name),
             escape(&m.mode.to_string()),
             escape(&m.processor),
             m.best_cycles,
             m.retired,
             r.wall_nanos,
+            m.deopts,
+            m.recompiles,
+            m.reagreed,
             m.checksum,
             if i + 1 == results.len() { "" } else { "," }
         ));
@@ -106,6 +116,16 @@ pub fn parse(text: &str) -> Result<Vec<CellSummary>, String> {
             wall_nanos: get("wall_nanos")?
                 .parse()
                 .map_err(|e| format!("bad wall_nanos in {line}: {e}"))?,
+            // Tolerate files emitted before the adaptive counters existed.
+            deopts: field(line, "deopts")
+                .map_or(Ok(0), str::parse)
+                .map_err(|e| format!("bad deopts in {line}: {e}"))?,
+            recompiles: field(line, "recompiles")
+                .map_or(Ok(0), str::parse)
+                .map_err(|e| format!("bad recompiles in {line}: {e}"))?,
+            reagreed: field(line, "reagreed")
+                .map_or(Ok(0), str::parse)
+                .map_err(|e| format!("bad reagreed in {line}: {e}"))?,
             checksum: get("checksum")?
                 .parse()
                 .map_err(|e| format!("bad checksum in {line}: {e}"))?,
@@ -135,6 +155,9 @@ mod tests {
                 prefetch_pass_fraction: 0.2,
                 prefetches_inserted: 3,
                 stride_check: Default::default(),
+                deopts: 0,
+                recompiles: 0,
+                reagreed: 0,
                 checksum: 42,
             },
             wall_nanos: 12_345,

@@ -1,0 +1,51 @@
+//! `--out-dir` support shared by the artifact-writing binaries.
+//!
+//! The `figures` and `spf-lint` binaries write their artifacts
+//! (`BENCH_matrix.json`, `TRACE_summary.jsonl`, `STRIDE_agreement.jsonl`)
+//! to the working directory by default; `--out-dir DIR` redirects every
+//! *relative* artifact path into `DIR` without renaming it. Absolute
+//! paths are left untouched so explicit `--matrix-out /tmp/x.json`-style
+//! overrides keep working alongside the flag.
+
+use std::path::Path;
+
+/// Joins `path` onto `dir` unless `path` is absolute.
+pub fn join(dir: &str, path: &str) -> String {
+    if Path::new(path).is_absolute() {
+        path.to_string()
+    } else {
+        Path::new(dir).join(path).to_string_lossy().into_owned()
+    }
+}
+
+/// Creates the parent directory of `path` if it does not exist, so a
+/// subsequent `std::fs::write(path, ..)` cannot fail on a missing
+/// `--out-dir` target.
+pub fn ensure_parent(path: &str) {
+    if let Some(parent) = Path::new(path).parent() {
+        if !parent.as_os_str().is_empty() {
+            let _ = std::fs::create_dir_all(parent);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn join_respects_absolute_paths() {
+        assert_eq!(join("out", "BENCH_matrix.json"), "out/BENCH_matrix.json");
+        assert_eq!(join("out", "/tmp/x.json"), "/tmp/x.json");
+    }
+
+    #[test]
+    fn ensure_parent_creates_directories() {
+        let dir = std::env::temp_dir().join("spf-out-dir-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let path = dir.join("nested").join("x.json");
+        ensure_parent(path.to_str().unwrap());
+        assert!(path.parent().unwrap().is_dir());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

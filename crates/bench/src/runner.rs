@@ -53,6 +53,14 @@ pub struct Measurement {
     /// Static-vs-inspected stride comparison summed over all compiled
     /// methods (zero under `PrefetchMode::Off`, where no analysis runs).
     pub stride_check: StrideCrossCheck,
+    /// Adaptive deoptimizations: warm-up plus the best measured run.
+    /// Zero outside [`PrefetchMode::Adaptive`].
+    pub deopts: u64,
+    /// Adaptive recompilations: warm-up plus the best measured run.
+    pub recompiles: u64,
+    /// Recompilations whose re-inspection re-agreed on prefetchable
+    /// strides.
+    pub reagreed: u64,
     /// The workload's checksum (must agree across configurations).
     pub checksum: i32,
 }
@@ -96,6 +104,9 @@ impl Measurement {
         cmp!(compiled_fraction);
         cmp!(prefetches_inserted);
         cmp!(stride_check);
+        cmp!(deopts);
+        cmp!(recompiles);
+        cmp!(reagreed);
         cmp!(checksum);
         diff
     }
@@ -117,6 +128,9 @@ pub struct WorkloadTrace {
     /// Events the sink dropped for capacity in the best run (non-zero
     /// means the attribution undercounts).
     pub lost: u64,
+    /// Events the sink dropped during the warm-up phase (non-zero means
+    /// [`compile_events`](Self::compile_events) is incomplete).
+    pub warm_lost: u64,
 }
 
 /// Runs `spec` under `options` on `proc` according to `plan`.
@@ -193,13 +207,22 @@ fn run_workload_sink<S: TraceSink>(
         }
         total
     };
-    let compile_events = if S::ENABLED {
-        vm.sink().snapshot()
+    let (compile_events, warm_lost) = if S::ENABLED {
+        (vm.sink().snapshot(), vm.sink().lost())
     } else {
-        Vec::new()
+        (Vec::new(), 0)
     };
 
-    let mut best: Option<(u64, u64, MemStats, f64)> = None;
+    struct BestRun {
+        cycles: u64,
+        retired: u64,
+        mem: MemStats,
+        compiled_fraction: f64,
+        deopts: u64,
+        recompiles: u64,
+        reagreed: u64,
+    }
+    let mut best: Option<BestRun> = None;
     let mut best_events: Vec<TraceEvent> = Vec::new();
     let mut best_lost = 0u64;
     for _ in 0..plan.measured_runs {
@@ -213,39 +236,46 @@ fn run_workload_sink<S: TraceSink>(
             .as_i32();
         assert_eq!(out, checksum, "{} is deterministic across runs", spec.name);
         let s = vm.stats();
-        if best.as_ref().is_none_or(|(c, ..)| s.cycles < *c) {
-            best = Some((
-                s.cycles,
-                s.retired_instructions,
-                *vm.mem_stats(),
-                s.compiled_code_fraction(),
-            ));
+        if best.as_ref().is_none_or(|b| s.cycles < b.cycles) {
+            best = Some(BestRun {
+                cycles: s.cycles,
+                retired: s.retired_instructions,
+                mem: *vm.mem_stats(),
+                compiled_fraction: s.compiled_code_fraction(),
+                deopts: s.deopts,
+                recompiles: s.recompiles,
+                reagreed: s.reagreed,
+            });
             if S::ENABLED {
                 best_events = vm.sink().snapshot();
                 best_lost = vm.sink().lost();
             }
         }
     }
-    let (best_cycles, retired, mem, compiled_fraction) = best.expect("at least one measured run");
+    let best = best.expect("at least one measured run");
     let trace = S::ENABLED.then(|| WorkloadTrace {
         attribution: attribute(&best_events),
         compile_events,
         events: best_events,
         sites: vm.sites().clone(),
         lost: best_lost,
+        warm_lost,
     });
     let measurement = Measurement {
         name: spec.name.to_string(),
         mode: options.mode,
         processor: proc.name.clone(),
-        best_cycles,
-        retired,
-        mem,
-        compiled_fraction,
+        best_cycles: best.cycles,
+        retired: best.retired,
+        mem: best.mem,
+        compiled_fraction: best.compiled_fraction,
         jit_fraction: warm_stats.jit_time_fraction(),
         prefetch_pass_fraction: warm_stats.prefetch_pass_fraction(),
         prefetches_inserted,
         stride_check,
+        deopts: warm_stats.deopts + best.deopts,
+        recompiles: warm_stats.recompiles + best.recompiles,
+        reagreed: warm_stats.reagreed + best.reagreed,
         checksum,
     };
     (measurement, trace)

@@ -217,8 +217,8 @@ impl<'a> PrefetchCodegen<'a> {
                 let to = ldg.node(e.to);
                 to.inter_stride.is_none() && to.samples >= self.options.min_samples
             };
-            let needs_deref = self.options.mode == PrefetchMode::InterIntra
-                && successors.iter().any(deref_worthy);
+            let needs_deref =
+                self.options.mode.intra_patterns() && successors.iter().any(deref_worthy);
 
             if !needs_deref {
                 // Plain inter-iteration stride prefetching. Condition 3

@@ -14,6 +14,20 @@ pub enum PrefetchMode {
     /// Inter- and intra-iteration stride prefetching (INTER+INTRA).
     #[default]
     InterIntra,
+    /// INTER+INTRA code generation plus adaptive reprofiling: compiled
+    /// prefetch sites carry runtime guards (GC epoch stamp and
+    /// useless-prefetch counters); stale methods are deoptimized,
+    /// re-inspected, and recompiled with fresh strides (ADAPTIVE).
+    Adaptive,
+}
+
+impl PrefetchMode {
+    /// Whether the code generator exploits intra-iteration (dereference
+    /// based) patterns in this mode. Adaptive generates the same code as
+    /// INTER+INTRA; it differs only in when methods are (re)compiled.
+    pub fn intra_patterns(self) -> bool {
+        matches!(self, PrefetchMode::InterIntra | PrefetchMode::Adaptive)
+    }
 }
 
 impl std::fmt::Display for PrefetchMode {
@@ -22,6 +36,7 @@ impl std::fmt::Display for PrefetchMode {
             PrefetchMode::Off => f.write_str("BASELINE"),
             PrefetchMode::Inter => f.write_str("INTER"),
             PrefetchMode::InterIntra => f.write_str("INTER+INTRA"),
+            PrefetchMode::Adaptive => f.write_str("ADAPTIVE"),
         }
     }
 }
@@ -102,6 +117,15 @@ impl PrefetchOptions {
             ..Self::default()
         }
     }
+
+    /// INTER+INTRA plus adaptive reprofiling guards (GC-staleness
+    /// detection, deopt, and re-inspection).
+    pub fn adaptive() -> Self {
+        PrefetchOptions {
+            mode: PrefetchMode::Adaptive,
+            ..Self::default()
+        }
+    }
 }
 
 #[cfg(test)]
@@ -122,5 +146,17 @@ mod tests {
         assert_eq!(PrefetchMode::Off.to_string(), "BASELINE");
         assert_eq!(PrefetchMode::Inter.to_string(), "INTER");
         assert_eq!(PrefetchMode::InterIntra.to_string(), "INTER+INTRA");
+        assert_eq!(PrefetchMode::Adaptive.to_string(), "ADAPTIVE");
+    }
+
+    #[test]
+    fn adaptive_generates_like_inter_intra() {
+        // Adaptive changes *when* methods are (re)compiled, not what the
+        // code generator emits; everything else matches the default.
+        let a = PrefetchOptions::adaptive();
+        assert_eq!(a.mode, PrefetchMode::Adaptive);
+        let d = PrefetchOptions::default();
+        assert_eq!(a.inspect_iterations, d.inspect_iterations);
+        assert_eq!(a.guarded_policy, d.guarded_policy);
     }
 }

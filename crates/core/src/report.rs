@@ -163,6 +163,9 @@ pub struct MethodReport {
     pub pass_nanos: u128,
     /// Total prefetches inserted.
     pub total_prefetches: usize,
+    /// Compilation generation that produced this report: 0 for the first
+    /// JIT of the method, +1 for every adaptive recompilation.
+    pub generation: u32,
 }
 
 impl MethodReport {
@@ -244,6 +247,7 @@ mod tests {
             }],
             pass_nanos: 1000,
             total_prefetches: 0,
+            generation: 0,
         };
         let text = r.render();
         assert!(text.contains("findInMemory"));

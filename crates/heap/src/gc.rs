@@ -156,6 +156,9 @@ impl Heap {
             }
         }
         self.top = (new_cursor - self.base) as usize;
+        if moved_objects > 0 {
+            self.gc_epoch += 1;
+        }
 
         let stats = CollectStats {
             live_bytes: self.top as u64,
@@ -302,6 +305,23 @@ mod tests {
         assert_eq!(stats.live_objects, 0);
         assert_eq!(stats.freed_objects, 2);
         assert_eq!(h.used(), 0);
+    }
+
+    #[test]
+    fn epoch_bumps_only_when_objects_move() {
+        let (mut h, c, _) = setup();
+        assert_eq!(h.gc_epoch(), 0);
+        // Only live objects, nothing slides: epoch unchanged.
+        let a = h.alloc_object(c).unwrap();
+        let b = h.alloc_object(c).unwrap();
+        h.collect(&[a, b]);
+        assert_eq!(h.gc_epoch(), 0, "no movement, no staleness");
+        // A dead gap before a survivor forces sliding: epoch bumps.
+        let _dead = h.alloc_object(c).unwrap();
+        let keep = h.alloc_object(c).unwrap();
+        let (stats, _) = h.collect(&[a, b, keep]);
+        assert!(stats.moved_objects > 0);
+        assert_eq!(h.gc_epoch(), 1, "compaction invalidates strides");
     }
 
     #[test]

@@ -80,6 +80,7 @@ pub struct Heap {
     pub(crate) layout: Layout,
     pub(crate) allocated_bytes_total: u64,
     pub(crate) allocation_count: u64,
+    pub(crate) gc_epoch: u64,
 }
 
 impl Heap {
@@ -106,6 +107,7 @@ impl Heap {
             layout,
             allocated_bytes_total: 0,
             allocation_count: 0,
+            gc_epoch: 0,
         }
     }
 
@@ -133,6 +135,15 @@ impl Heap {
     /// Number of allocations performed.
     pub fn allocation_count(&self) -> u64 {
         self.allocation_count
+    }
+
+    /// The GC epoch: incremented by every collection that moves at least
+    /// one live allocation. Strides learned by object inspection are only
+    /// trustworthy within a single epoch — a bumped epoch means compaction
+    /// may have changed inter-object distances, so compiled prefetch sites
+    /// stamped with an older epoch are stale.
+    pub fn gc_epoch(&self) -> u64 {
+        self.gc_epoch
     }
 
     /// The layout tables.

@@ -107,6 +107,12 @@ pub struct Attribution {
     pub gc_slides: u64,
     /// Compile-time suppression events observed.
     pub suppressions: u64,
+    /// Adaptive staleness verdicts observed.
+    pub site_stales: u64,
+    /// Adaptive deoptimizations observed.
+    pub deopts: u64,
+    /// Adaptive recompilations observed.
+    pub recompiles: u64,
 }
 
 impl Attribution {
@@ -170,6 +176,9 @@ pub fn attribute(events: &[TraceEvent]) -> Attribution {
             TraceEvent::HwPrefetchFill { .. } => out.hw_prefetch_fills += 1,
             TraceEvent::GcSlide { .. } => out.gc_slides += 1,
             TraceEvent::Suppressed { .. } => out.suppressions += 1,
+            TraceEvent::SiteStale { .. } => out.site_stales += 1,
+            TraceEvent::Deopt { .. } => out.deopts += 1,
+            TraceEvent::Recompile { .. } => out.recompiles += 1,
             TraceEvent::JitBegin { .. }
             | TraceEvent::LdgBuilt { .. }
             | TraceEvent::Inspected { .. }
@@ -378,5 +387,32 @@ mod tests {
         assert_eq!(a.dtlb_misses, 1);
         assert_eq!(a.hw_prefetch_fills, 1);
         assert_eq!(a.gc_slides, 1);
+    }
+
+    #[test]
+    fn adaptive_events_count_at_run_level() {
+        let evs = vec![
+            TraceEvent::SiteStale {
+                method: 3,
+                generation: 0,
+                reason: crate::event::StaleReason::GcMoved,
+                now: 100,
+            },
+            TraceEvent::Deopt {
+                method: 3,
+                generation: 0,
+                now: 100,
+            },
+            TraceEvent::Recompile {
+                method: 3,
+                generation: 1,
+                now: 250,
+            },
+        ];
+        let a = attribute(&evs);
+        assert_eq!(a.site_stales, 1);
+        assert_eq!(a.deopts, 1);
+        assert_eq!(a.recompiles, 1);
+        assert!(a.per_site.is_empty(), "adaptive events are run-level");
     }
 }

@@ -68,6 +68,27 @@ impl std::fmt::Display for SuppressReason {
     }
 }
 
+/// Why the adaptive-reprofiling guards declared a compiled method's
+/// prefetch sites stale.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum StaleReason {
+    /// A sliding compaction moved objects since the method was compiled,
+    /// so the inspected strides may no longer hold.
+    GcMoved,
+    /// The method's useless-prefetch ratio (issues finding the line
+    /// already resident) crossed the staleness threshold.
+    UselessRatio,
+}
+
+impl std::fmt::Display for StaleReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            StaleReason::GcMoved => "gc-moved",
+            StaleReason::UselessRatio => "useless-ratio",
+        })
+    }
+}
+
 /// The code shape of a planned prefetch (mirrors the report's
 /// `GeneratedKind` without depending on `spf-core`).
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -158,6 +179,9 @@ pub enum TraceEvent {
         block: u32,
         /// Instruction index within the block.
         index: u32,
+        /// Compilation generation of the body containing the site (0 for
+        /// the first compilation, +1 per adaptive recompilation).
+        generation: u32,
     },
 
     // ---- runtime ------------------------------------------------------
@@ -265,6 +289,38 @@ pub enum TraceEvent {
         /// Simulated cycle of the eviction.
         now: u64,
     },
+    // ---- adaptive reprofiling -----------------------------------------
+    /// The guards of a compiled method declared its prefetch sites stale.
+    SiteStale {
+        /// Method index in the program.
+        method: u32,
+        /// Generation that went stale.
+        generation: u32,
+        /// Why.
+        reason: StaleReason,
+        /// Simulated cycle.
+        now: u64,
+    },
+    /// The VM deoptimized a stale method back to the unprefetched
+    /// (interpreted) body.
+    Deopt {
+        /// Method index in the program.
+        method: u32,
+        /// Generation that was discarded.
+        generation: u32,
+        /// Simulated cycle.
+        now: u64,
+    },
+    /// A previously deoptimized method was recompiled after re-inspection.
+    Recompile {
+        /// Method index in the program.
+        method: u32,
+        /// The new generation (≥ 1).
+        generation: u32,
+        /// Simulated cycle.
+        now: u64,
+    },
+
     /// The garbage collector ran a sliding compaction.
     GcSlide {
         /// Simulated cycle.
@@ -298,6 +354,9 @@ impl TraceEvent {
             TraceEvent::HwPrefetchFill { .. } => "hw_prefetch_fill",
             TraceEvent::PrefetchUsed { .. } => "prefetch_used",
             TraceEvent::PrefetchEvicted { .. } => "prefetch_evicted",
+            TraceEvent::SiteStale { .. } => "site_stale",
+            TraceEvent::Deopt { .. } => "deopt",
+            TraceEvent::Recompile { .. } => "recompile",
             TraceEvent::GcSlide { .. } => "gc_slide",
         }
     }
@@ -316,6 +375,9 @@ impl TraceEvent {
             | TraceEvent::HwPrefetchFill { now, .. }
             | TraceEvent::PrefetchUsed { now, .. }
             | TraceEvent::PrefetchEvicted { now, .. }
+            | TraceEvent::SiteStale { now, .. }
+            | TraceEvent::Deopt { now, .. }
+            | TraceEvent::Recompile { now, .. }
             | TraceEvent::GcSlide { now, .. } => Some(now),
             _ => None,
         }

@@ -78,10 +78,12 @@ fn fields(out: &mut String, ev: &TraceEvent) {
             method,
             block,
             index,
+            generation,
         } => {
             let _ = write!(
                 out,
-                "\"site\": {}, \"method\": {method}, \"block\": {block}, \"index\": {index}",
+                "\"site\": {}, \"method\": {method}, \"block\": {block}, \"index\": {index}, \
+                 \"generation\": {generation}",
                 site.0
             );
         }
@@ -162,6 +164,33 @@ fn fields(out: &mut String, ev: &TraceEvent) {
                 out,
                 "\"site\": {}, \"line\": {line}, \"now\": {now}",
                 site.0
+            );
+        }
+        TraceEvent::SiteStale {
+            method,
+            generation,
+            reason,
+            now,
+        } => {
+            let _ = write!(
+                out,
+                "\"method\": {method}, \"generation\": {generation}, \"reason\": \"{reason}\", \
+                 \"now\": {now}"
+            );
+        }
+        TraceEvent::Deopt {
+            method,
+            generation,
+            now,
+        }
+        | TraceEvent::Recompile {
+            method,
+            generation,
+            now,
+        } => {
+            let _ = write!(
+                out,
+                "\"method\": {method}, \"generation\": {generation}, \"now\": {now}"
             );
         }
         TraceEvent::GcSlide {
@@ -259,7 +288,7 @@ pub fn chrome_trace(events: &[TraceEvent], sites: Option<&SiteTable>) -> String 
 mod tests {
     use super::*;
     use crate::event::{MissLevel, SiteId, SuppressReason};
-    use crate::site::SiteKind;
+    use crate::site::{SiteInfo, SiteKind};
 
     fn sample() -> Vec<TraceEvent> {
         vec![
@@ -304,7 +333,15 @@ mod tests {
     #[test]
     fn jsonl_resolves_sites() {
         let mut sites = SiteTable::new();
-        sites.register("findInMemory", 2, 4, 1, Some(4), SiteKind::Swpf);
+        sites.register(SiteInfo::new(
+            "findInMemory",
+            2,
+            4,
+            1,
+            Some(4),
+            SiteKind::Swpf,
+            0,
+        ));
         let text = events_jsonl(&sample(), Some(&sites));
         assert!(text.contains("\"at\": \"findInMemory@b4.1\""));
     }

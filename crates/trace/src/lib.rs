@@ -43,7 +43,7 @@ pub mod site;
 pub mod summary;
 
 pub use attribution::{attribute, Attribution, SiteEffect};
-pub use event::{MissLevel, PlannedShape, SiteId, SuppressReason, TraceEvent};
+pub use event::{MissLevel, PlannedShape, SiteId, StaleReason, SuppressReason, TraceEvent};
 pub use sink::{NoopSink, RingSink, TraceSink};
 pub use site::{SiteInfo, SiteKind, SiteTable};
 pub use summary::SummaryRow;

@@ -62,9 +62,36 @@ pub struct SiteInfo {
     pub loop_header: Option<u32>,
     /// Kind of prefetch instruction.
     pub kind: SiteKind,
+    /// Compilation generation of the body containing the site: 0 for the
+    /// first compilation, incremented every time adaptive reprofiling
+    /// recompiles the method. Recompilation registers fresh sites, so the
+    /// generation keys attribution to one compiled body.
+    pub generation: u32,
 }
 
 impl SiteInfo {
+    /// A site awaiting registration (the table allocates the real ID).
+    pub fn new(
+        method: &str,
+        method_index: u32,
+        block: u32,
+        index: u32,
+        loop_header: Option<u32>,
+        kind: SiteKind,
+        generation: u32,
+    ) -> SiteInfo {
+        SiteInfo {
+            id: SiteId::UNKNOWN,
+            method: method.to_string(),
+            method_index,
+            block,
+            index,
+            loop_header,
+            kind,
+            generation,
+        }
+    }
+
     /// `method@bN.i` — the site's position, human-readable.
     pub fn location(&self) -> String {
         format!("{}@b{}.{}", self.method, self.block, self.index)
@@ -83,26 +110,11 @@ impl SiteTable {
         SiteTable::default()
     }
 
-    /// Registers a site and returns its fresh ID.
-    pub fn register(
-        &mut self,
-        method: &str,
-        method_index: u32,
-        block: u32,
-        index: u32,
-        loop_header: Option<u32>,
-        kind: SiteKind,
-    ) -> SiteId {
+    /// Registers a site and returns its fresh ID (the `id` field of the
+    /// passed-in info is overwritten with the allocated one).
+    pub fn register(&mut self, info: SiteInfo) -> SiteId {
         let id = SiteId(self.sites.len() as u32);
-        self.sites.push(SiteInfo {
-            id,
-            method: method.to_string(),
-            method_index,
-            block,
-            index,
-            loop_header,
-            kind,
-        });
+        self.sites.push(SiteInfo { id, ..info });
         id
     }
 
@@ -132,15 +144,29 @@ impl SiteTable {
 mod tests {
     use super::*;
 
+    fn site(index: u32, kind: SiteKind, generation: u32) -> SiteInfo {
+        SiteInfo {
+            id: SiteId::UNKNOWN,
+            method: "findInMemory".to_string(),
+            method_index: 2,
+            block: 4,
+            index,
+            loop_header: Some(4),
+            kind,
+            generation,
+        }
+    }
+
     #[test]
     fn register_and_resolve() {
         let mut t = SiteTable::new();
-        let a = t.register("findInMemory", 2, 4, 1, Some(4), SiteKind::SpecLoad);
-        let b = t.register("findInMemory", 2, 4, 2, Some(4), SiteKind::Guarded);
+        let a = t.register(site(1, SiteKind::SpecLoad, 0));
+        let b = t.register(site(2, SiteKind::Guarded, 1));
         assert_eq!(a, SiteId(0));
         assert_eq!(b, SiteId(1));
         assert_eq!(t.len(), 2);
         assert_eq!(t.get(a).unwrap().location(), "findInMemory@b4.1");
+        assert_eq!(t.get(b).unwrap().generation, 1);
         assert_eq!(t.get(SiteId::UNKNOWN), None);
     }
 

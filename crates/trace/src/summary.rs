@@ -27,6 +27,9 @@ pub struct SummaryRow {
     pub loop_header: i64,
     /// Site kind (display form of [`SiteKind`]).
     pub kind: String,
+    /// Compilation generation of the body containing the site (0 unless
+    /// adaptive reprofiling recompiled the method).
+    pub generation: u32,
     /// Prefetches issued (software + guarded).
     pub issued: u64,
     /// Useful: settled before first use, or line already resident.
@@ -44,14 +47,16 @@ pub struct SummaryRow {
 }
 
 impl SummaryRow {
-    /// The (run, method, block, index) key identifying this site across
-    /// runs (site IDs are allocation-order-dependent; positions are not).
-    pub fn key(&self) -> (String, String, u32, u32) {
+    /// The (run, method, block, index, generation) key identifying this
+    /// site across runs (site IDs are allocation-order-dependent;
+    /// positions and generations are not).
+    pub fn key(&self) -> (String, String, u32, u32, u32) {
         (
             self.run.clone(),
             self.method.clone(),
             self.block,
             self.index,
+            self.generation,
         )
     }
 
@@ -64,7 +69,7 @@ impl SummaryRow {
 /// Builds the per-site rows for one run from its attribution and site
 /// table. Sites that never fired are included with zero counters so the
 /// report shows planned-but-idle sites; events attributed to
-/// [`SiteId::UNKNOWN`] get a synthetic `?` row.
+/// [`SiteId::UNKNOWN`](crate::SiteId::UNKNOWN) get a synthetic `?` row.
 pub fn rows(run: &str, attr: &Attribution, sites: &SiteTable) -> Vec<SummaryRow> {
     let mut out: Vec<SummaryRow> = sites
         .iter()
@@ -78,6 +83,7 @@ pub fn rows(run: &str, attr: &Attribution, sites: &SiteTable) -> Vec<SummaryRow>
                 index: info.index,
                 loop_header: info.loop_header.map_or(-1, i64::from),
                 kind: info.kind.to_string(),
+                generation: info.generation,
                 issued: e.issued(),
                 useful: e.useful(),
                 too_early: e.too_early(),
@@ -98,6 +104,7 @@ pub fn rows(run: &str, attr: &Attribution, sites: &SiteTable) -> Vec<SummaryRow>
                 index: 0,
                 loop_header: -1,
                 kind: SiteKind::Unknown.to_string(),
+                generation: 0,
                 issued: e.issued(),
                 useful: e.useful(),
                 too_early: e.too_early(),
@@ -122,7 +129,8 @@ pub fn emit(rows: &[SummaryRow]) -> String {
         let _ = writeln!(
             s,
             "{{\"run\": \"{}\", \"site\": {}, \"method\": \"{}\", \"block\": {}, \
-             \"index\": {}, \"loop_header\": {}, \"kind\": \"{}\", \"issued\": {}, \
+             \"index\": {}, \"loop_header\": {}, \"kind\": \"{}\", \"generation\": {}, \
+             \"issued\": {}, \
              \"useful\": {}, \"too_early\": {}, \"too_late\": {}, \"dropped\": {}, \
              \"guarded_issued\": {}, \"guarded_tlb_primed\": {}}}",
             escape(&r.run),
@@ -132,6 +140,7 @@ pub fn emit(rows: &[SummaryRow]) -> String {
             r.index,
             r.loop_header,
             escape(&r.kind),
+            r.generation,
             r.issued,
             r.useful,
             r.too_early,
@@ -185,6 +194,10 @@ pub fn parse(text: &str) -> Result<Vec<SummaryRow>, String> {
                 .parse()
                 .map_err(|e| format!("bad loop_header in {line}: {e}"))?,
             kind: get("kind")?.to_string(),
+            // Absent in summaries written before adaptive reprofiling.
+            generation: field(line, "generation")
+                .map_or(Ok(0), |v| v.parse())
+                .map_err(|e| format!("bad generation in {line}: {e}"))?,
             issued: num("issued")?,
             useful: num("useful")?,
             too_early: num("too_early")?,
@@ -228,10 +241,15 @@ pub fn render(rows: &[SummaryRow]) -> String {
         } else {
             format!("b{}", r.loop_header)
         };
+        let gen_col = if r.generation == 0 {
+            String::new()
+        } else {
+            format!(" g{}", r.generation)
+        };
         let _ = writeln!(
             out,
             "{:<28} {:<10} {:>7} {:>8} {:>4} {:>5} {:>4} {:>4} {:>4} {:>3} {:>4} {:>3}",
-            format!("s{} {}", r.site, r.location()),
+            format!("s{} {}{}", r.site, r.location(), gen_col),
             r.kind,
             loop_col,
             r.issued,
@@ -326,11 +344,28 @@ mod tests {
     use super::*;
     use crate::attribution::attribute;
     use crate::event::{SiteId, TraceEvent};
+    use crate::site::SiteInfo;
 
     fn sample_rows() -> Vec<SummaryRow> {
         let mut sites = SiteTable::new();
-        sites.register("findInMemory", 2, 4, 1, Some(4), SiteKind::Swpf);
-        sites.register("findInMemory", 2, 4, 2, None, SiteKind::Guarded);
+        sites.register(SiteInfo::new(
+            "findInMemory",
+            2,
+            4,
+            1,
+            Some(4),
+            SiteKind::Swpf,
+            0,
+        ));
+        sites.register(SiteInfo::new(
+            "findInMemory",
+            2,
+            4,
+            2,
+            None,
+            SiteKind::Guarded,
+            1,
+        ));
         let evs = vec![
             TraceEvent::SwpfIssued {
                 site: SiteId(0),

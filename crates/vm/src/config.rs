@@ -1,5 +1,6 @@
 //! VM configuration.
 
+use spf_adapt::AdaptConfig;
 use spf_core::PrefetchOptions;
 
 /// Cycle cost of executing one instruction in compiled code (memory
@@ -13,6 +14,17 @@ pub const CALL_OVERHEAD: u64 = 5;
 /// compilation time to the simulated clock (a 2 GHz machine, like the
 /// paper's Pentium 4).
 pub const CYCLES_PER_NANO: f64 = 2.0;
+
+/// Base cycle cost charged for an adaptive recompilation (generation at
+/// least 1). Unlike first-time JIT compilations — which happen during
+/// warm-up, outside the measurement window — recompilations occur during
+/// measured steady-state runs, so their cost must be a deterministic
+/// function of the simulation, never of host wall-clock time.
+pub const RECOMPILE_BASE_CYCLES: u64 = 1_000;
+
+/// Per-instruction cycle cost added to [`RECOMPILE_BASE_CYCLES`] for an
+/// adaptive recompilation.
+pub const RECOMPILE_CYCLES_PER_INSTR: u64 = 20;
 
 /// Configuration of a [`crate::Vm`].
 #[derive(Clone, Debug)]
@@ -38,6 +50,9 @@ pub struct VmConfig {
     /// The paper's §3.3 suggests unrolling to stretch the effective
     /// prefetch scheduling distance; an ablation knob here.
     pub unroll_factor: u32,
+    /// Adaptive-reprofiling thresholds (only consulted when
+    /// `prefetch.mode` is [`spf_core::PrefetchMode::Adaptive`]).
+    pub adapt: AdaptConfig,
 }
 
 impl Default for VmConfig {
@@ -51,6 +66,7 @@ impl Default for VmConfig {
             max_stack_depth: 4096,
             inline_small_methods: false,
             unroll_factor: 1,
+            adapt: AdaptConfig::default(),
         }
     }
 }

@@ -35,6 +35,15 @@ pub struct VmStats {
     pub gc_count: u64,
     /// Cycles charged for garbage collection.
     pub gc_cycles: u64,
+    /// Adaptive deoptimizations: compiled methods whose guards went stale
+    /// and were dropped back to the interpreter (Adaptive mode only).
+    pub deopts: u64,
+    /// Adaptive recompilations after a deopt (each re-inspects the live
+    /// heap and produces the next compilation generation).
+    pub recompiles: u64,
+    /// Recompilations whose re-inspection re-agreed on prefetchable
+    /// strides (the fresh body contains at least one prefetch site).
+    pub reagreed: u64,
     /// Per-method cycles, indexed by method id.
     pub per_method: Vec<MethodCycles>,
 }

@@ -5,17 +5,21 @@ use std::collections::HashMap;
 use std::rc::Rc;
 use std::time::Instant;
 
+use spf_adapt::AdaptState;
 use spf_core::offline::OfflineProfile;
-use spf_core::{MethodReport, StridePrefetcher};
+use spf_core::{MethodReport, PrefetchMode, StridePrefetcher};
 use spf_heap::{static_addr, Addr, Heap, Layout, Value, ARRAY_DATA_OFFSET, NULL};
 use spf_ir::{
     BinOp, BlockId, CmpOp, Conv, ElemTy, Function, Instr, InstrRef, MethodId, PrefetchAddr,
     PrefetchKind, Program, Reg, Terminator, Ty, UnOp,
 };
-use spf_memsim::{MemorySystem, ProcessorConfig};
-use spf_trace::{NoopSink, SiteId, SiteKind, SiteTable, TraceEvent, TraceSink};
+use spf_memsim::{CacheLevel, MemorySystem, ProcessorConfig};
+use spf_trace::{NoopSink, SiteId, SiteInfo, SiteKind, SiteTable, TraceEvent, TraceSink};
 
-use crate::config::{VmConfig, CALL_OVERHEAD, COMPILED_INSTR_COST, CYCLES_PER_NANO};
+use crate::config::{
+    VmConfig, CALL_OVERHEAD, COMPILED_INSTR_COST, CYCLES_PER_NANO, RECOMPILE_BASE_CYCLES,
+    RECOMPILE_CYCLES_PER_INSTR,
+};
 use crate::error::VmError;
 use crate::passes;
 use crate::stats::{MethodCycles, VmStats};
@@ -64,6 +68,9 @@ pub struct Vm<S: TraceSink = NoopSink> {
     sites: SiteTable,
     site_ids: HashMap<(MethodId, InstrRef), SiteId>,
     frames: Vec<Frame>,
+    adapt: AdaptState,
+    adaptive: bool,
+    history: Vec<(MethodId, u32, Rc<Function>)>,
 }
 
 impl<S: TraceSink> std::fmt::Debug for Vm<S> {
@@ -102,6 +109,8 @@ impl<S: TraceSink> Vm<S> {
             per_method: vec![MethodCycles::default(); n],
             ..VmStats::default()
         };
+        let adaptive = config.prefetch.mode == PrefetchMode::Adaptive;
+        let adapt = AdaptState::new(config.adapt);
         Vm {
             program,
             heap,
@@ -116,6 +125,9 @@ impl<S: TraceSink> Vm<S> {
             sites: SiteTable::new(),
             site_ids: HashMap::new(),
             frames: Vec::new(),
+            adapt,
+            adaptive,
+            history: Vec::new(),
             config,
         }
     }
@@ -172,15 +184,32 @@ impl<S: TraceSink> Vm<S> {
     pub fn install_compiled(&mut self, mid: MethodId, func: Function) {
         let func = Rc::new(func);
         if S::ENABLED {
-            self.register_sites(mid, &func);
+            self.register_sites(mid, &func, 0);
         }
+        self.history.push((mid, 0, Rc::clone(&func)));
         self.compiled[mid.index()] = Some(func);
+    }
+
+    /// The adaptive-reprofiling guard state (per-method generations,
+    /// per-site useless counters). Inert unless the VM runs in
+    /// [`PrefetchMode::Adaptive`].
+    pub fn adapt_state(&self) -> &AdaptState {
+        &self.adapt
+    }
+
+    /// Every compiled body installed so far, as `(method, generation,
+    /// body)` in installation order. Adaptive recompilations append one
+    /// entry per generation, so external analyses (e.g. `spf-lint`) can
+    /// check every compilation the VM ever ran, not just the bodies still
+    /// installed.
+    pub fn compiled_generations(&self) -> impl Iterator<Item = (MethodId, u32, &Function)> {
+        self.history.iter().map(|(m, g, f)| (*m, *g, f.as_ref()))
     }
 
     /// Registers every `Prefetch`/`SpecLoad` instruction of a freshly
     /// installed body so runtime events can be attributed back to the IR
     /// site and its loop. Only called when tracing is enabled.
-    fn register_sites(&mut self, mid: MethodId, func: &Function) {
+    fn register_sites(&mut self, mid: MethodId, func: &Function, generation: u32) {
         let cfg = spf_ir::cfg::Cfg::compute(func);
         let dom = spf_ir::dom::DomTree::compute(func, &cfg);
         let forest = spf_ir::loops::LoopForest::compute(func, &cfg, &dom);
@@ -200,20 +229,23 @@ impl<S: TraceSink> Vm<S> {
             let loop_header = forest
                 .innermost(site.block)
                 .map(|l| forest.info(l).header.index() as u32);
-            let id = self.sites.register(
-                func.name(),
-                mid.index() as u32,
-                site.block.index() as u32,
-                site.index,
+            let id = self.sites.register(SiteInfo {
+                id: SiteId::UNKNOWN,
+                method: func.name().to_string(),
+                method_index: mid.index() as u32,
+                block: site.block.index() as u32,
+                index: site.index,
                 loop_header,
                 kind,
-            );
+                generation,
+            });
             self.site_ids.insert((mid, site), id);
             self.mem.sink_mut().emit(TraceEvent::SiteRegistered {
                 site: id,
                 method: mid.index() as u32,
                 block: site.block.index() as u32,
                 index: site.index,
+                generation,
             });
         }
     }
@@ -285,8 +317,37 @@ impl<S: TraceSink> Vm<S> {
         }
         self.invocations[mid.index()] += 1;
         self.stats.per_method[mid.index()].invocations += 1;
+        if self.adaptive && self.compiled[mid.index()].is_some() {
+            if let Some(reason) = self.adapt.check_stale(mid.index(), self.heap.gc_epoch()) {
+                let generation = self.adapt.guard(mid.index()).map_or(0, |g| g.generation);
+                if S::ENABLED {
+                    let now = self.stats.cycles;
+                    self.mem.sink_mut().emit(TraceEvent::SiteStale {
+                        method: mid.index() as u32,
+                        generation,
+                        reason,
+                        now,
+                    });
+                    self.mem.sink_mut().emit(TraceEvent::Deopt {
+                        method: mid.index() as u32,
+                        generation,
+                        now,
+                    });
+                }
+                // Deopt: drop back to the unprefetched original body (the
+                // interpreter runs it) until the backoff window elapses.
+                self.compiled[mid.index()] = None;
+                self.stats.deopts += 1;
+                self.adapt
+                    .on_deopt(mid.index(), u64::from(self.invocations[mid.index()]));
+            }
+        }
         if self.compiled[mid.index()].is_none()
             && self.invocations[mid.index()] >= self.config.compile_threshold
+            && (!self.adaptive
+                || self
+                    .adapt
+                    .may_recompile(mid.index(), u64::from(self.invocations[mid.index()])))
         {
             self.jit_compile(mid, args);
         }
@@ -351,7 +412,7 @@ impl<S: TraceSink> Vm<S> {
         // Clone the processor description so the optimizer can borrow the
         // memory system's sink mutably at the same time.
         let proc = self.mem.config().clone();
-        let outcome = prefetcher.optimize_traced(
+        let mut outcome = prefetcher.optimize_traced(
             &self.program,
             &base,
             &self.heap,
@@ -360,6 +421,15 @@ impl<S: TraceSink> Vm<S> {
             &proc,
             self.mem.sink_mut(),
         );
+        // Stamp the compilation generation and the GC epoch the inspected
+        // strides belong to (no GC can run inside `jit_compile`, so the
+        // epoch read here is the one inspection saw).
+        let generation = if self.adaptive {
+            self.adapt.on_compile(mid.index(), self.heap.gc_epoch())
+        } else {
+            0
+        };
+        outcome.report.generation = generation;
         // Debug builds run the static lint over every JIT output: nothing
         // the pipeline emits after inline/unroll/DCE may use a register
         // before assignment, leak a speculative value, or break the
@@ -382,14 +452,37 @@ impl<S: TraceSink> Vm<S> {
         let total_nanos = t0.elapsed().as_nanos();
         self.stats.jit_nanos += total_nanos;
         self.stats.prefetch_pass_nanos += outcome.report.pass_nanos;
-        let jit_cycles = (total_nanos as f64 * CYCLES_PER_NANO) as u64;
+        let jit_cycles = if generation > 0 {
+            // Adaptive recompilations run inside measured steady-state
+            // windows; charge a size-proportional deterministic cost so
+            // the simulated clock never depends on host wall-clock time.
+            RECOMPILE_BASE_CYCLES
+                + RECOMPILE_CYCLES_PER_INSTR * outcome.func.instr_sites().count() as u64
+        } else {
+            (total_nanos as f64 * CYCLES_PER_NANO) as u64
+        };
         self.stats.jit_cycles += jit_cycles;
         self.stats.cycles += jit_cycles;
         self.stats.methods_compiled += 1;
+        if generation > 0 {
+            self.stats.recompiles += 1;
+            if outcome.report.total_prefetches > 0 {
+                // Re-inspection re-agreed on prefetchable strides.
+                self.stats.reagreed += 1;
+            }
+            if S::ENABLED {
+                self.mem.sink_mut().emit(TraceEvent::Recompile {
+                    method: mid.index() as u32,
+                    generation,
+                    now: self.stats.cycles,
+                });
+            }
+        }
         let func = Rc::new(outcome.func);
         if S::ENABLED {
-            self.register_sites(mid, &func);
+            self.register_sites(mid, &func, generation);
         }
+        self.history.push((mid, generation, Rc::clone(&func)));
         self.compiled[mid.index()] = Some(func);
         self.reports.push(outcome.report);
     }
@@ -861,6 +954,23 @@ impl<S: TraceSink> Vm<S> {
                             let id = self.site_ids.get(&(cur_mid, site));
                             self.mem.set_site(id.copied().unwrap_or(SiteId::UNKNOWN));
                         }
+                        if self.adaptive {
+                            // A prefetch whose line is already cached at
+                            // the fill target is useless — the same test
+                            // the memory system applies internally, probed
+                            // non-mutatingly so simulated numbers are
+                            // untouched.
+                            let level = match kind {
+                                PrefetchKind::Hardware => self.mem.config().swpf_target,
+                                PrefetchKind::GuardedLoad => CacheLevel::L1,
+                            };
+                            let useless = self.mem.line_present(level, target);
+                            self.adapt.record_issue(
+                                cur_mid.index(),
+                                (site.block.index() as u32, site.index),
+                                useless,
+                            );
+                        }
                         let cost = match kind {
                             PrefetchKind::Hardware => self.mem.software_prefetch(target, cycles),
                             PrefetchKind::GuardedLoad => self.mem.guarded_load(target, cycles),
@@ -875,6 +985,14 @@ impl<S: TraceSink> Vm<S> {
                             if S::ENABLED {
                                 let id = self.site_ids.get(&(cur_mid, site));
                                 self.mem.set_site(id.copied().unwrap_or(SiteId::UNKNOWN));
+                            }
+                            if self.adaptive {
+                                let useless = self.mem.line_present(CacheLevel::L1, target);
+                                self.adapt.record_issue(
+                                    cur_mid.index(),
+                                    (site.block.index() as u32, site.index),
+                                    useless,
+                                );
                             }
                             let cost = self.mem.guarded_load(target, cycles);
                             cycles += cost;

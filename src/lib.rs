@@ -11,13 +11,17 @@
 //! * [`vm`] — the mixed-mode execution engine ("the JVM").
 //! * [`prefetch`] — the paper's contribution: object inspection, the load
 //!   dependence graph, stride detection, and prefetch code generation.
+//! * [`adapt`] — adaptive reprofiling policy: GC-staleness guards, deopt
+//!   decisions, and recompile backoff.
+//! * [`trace`] — structured event tracing and per-site attribution.
 //! * [`lang`] — a miniature Java-like frontend that lowers to the IR.
 //! * [`workloads`] — the twelve miniature benchmarks of Table 3.
-//! * [`bench`] — the experiment harness regenerating every table and figure.
+//! * [`mod@bench`] — the experiment harness regenerating every table and figure.
 //!
 //! See the repository `README.md` for a tour and `EXPERIMENTS.md` for
 //! paper-vs-measured results.
 
+pub use spf_adapt as adapt;
 pub use spf_analysis as analysis;
 pub use spf_bench as bench;
 pub use spf_core as prefetch;
@@ -25,5 +29,6 @@ pub use spf_heap as heap;
 pub use spf_ir as ir;
 pub use spf_lang as lang;
 pub use spf_memsim as memsim;
+pub use spf_trace as trace;
 pub use spf_vm as vm;
 pub use spf_workloads as workloads;

@@ -1,0 +1,272 @@
+//! Adaptive reprofiling end to end: a workload whose strides change when
+//! a GC slide compacts the heap must trigger guard-detected staleness, a
+//! deopt back to the interpreter, and a recompilation whose re-inspection
+//! re-agrees on the (new) strides — with every compilation generation
+//! passing the static lint and the trace events reconciling exactly with
+//! the VM's counters.
+
+use stride_prefetch::analysis::{lint, LintConfig};
+use stride_prefetch::heap::Value;
+use stride_prefetch::ir::{CmpOp, ElemTy, MethodId, Program, ProgramBuilder, Ty};
+use stride_prefetch::memsim::ProcessorConfig;
+use stride_prefetch::prefetch::PrefetchOptions;
+use stride_prefetch::trace::{RingSink, TraceEvent, TraceSink};
+use stride_prefetch::vm::{Vm, VmConfig};
+
+const ELEMS: i32 = 1500;
+const WALKS_BEFORE_GC: i32 = 3;
+const WALKS_AFTER_GC: i32 = 5;
+const CHURN: i32 = 40_000;
+
+/// Builds a program in three phases: construct an array of nodes with a
+/// dead "garbage twin" allocated before each live node (so live nodes sit
+/// two allocations apart), walk it enough times for the JIT to compile
+/// `walk` against that gapped layout, churn allocations until GC slides
+/// the survivors together (halving the stride), then walk again so the
+/// stale compiled prefetches are detected, deoptimized, and recompiled.
+fn build() -> (Program, MethodId) {
+    let mut pb = ProgramBuilder::new();
+    let (node, nf) = pb.add_class(
+        "Node",
+        &[
+            ("v", ElemTy::I32),
+            ("data", ElemTy::Ref),
+            ("pad0", ElemTy::I64),
+            ("pad1", ElemTy::I64),
+            ("pad2", ElemTy::I64),
+            ("pad3", ElemTy::I64),
+            ("pad4", ElemTy::I64),
+            ("pad5", ElemTy::I64),
+            ("pad6", ElemTy::I64),
+        ],
+    );
+    let walk = {
+        let mut b = pb.function("walk", &[Ty::Ref], Some(Ty::I32));
+        let arr = b.param(0);
+        let acc = b.new_reg(Ty::I32);
+        let z = b.const_i32(0);
+        b.move_(acc, z);
+        b.for_i32(
+            0,
+            1,
+            CmpOp::Lt,
+            |b| b.arraylen(arr),
+            |b, i| {
+                let n = b.aload(arr, i, ElemTy::Ref);
+                let v = b.getfield(n, nf[0]);
+                let d = b.getfield(n, nf[1]);
+                let zero = b.const_i32(0);
+                let d0 = b.aload(d, zero, ElemTy::I32);
+                let s1 = b.add(acc, v);
+                let s2 = b.add(s1, d0);
+                b.move_(acc, s2);
+            },
+        );
+        b.ret(Some(acc));
+        b.finish()
+    };
+    let main = {
+        let mut b = pb.function("main", &[], Some(Ty::I32));
+        let n = b.const_i32(ELEMS);
+        let arr = b.new_array(ElemTy::Ref, n);
+        b.for_i32(
+            0,
+            1,
+            CmpOp::Lt,
+            |_| n,
+            |b, i| {
+                let _garbage = b.new_object(node);
+                let keep = b.new_object(node);
+                let four = b.const_i32(4);
+                let data = b.new_array(ElemTy::I32, four);
+                b.putfield(keep, nf[0], i);
+                b.putfield(keep, nf[1], data);
+                let zero = b.const_i32(0);
+                b.astore(data, zero, i, ElemTy::I32);
+                b.astore(arr, i, keep, ElemTy::Ref);
+            },
+        );
+        let acc = b.new_reg(Ty::I32);
+        let z = b.const_i32(0);
+        b.move_(acc, z);
+        // Phase A: the JIT compiles `walk` against the gapped layout.
+        let pre = b.const_i32(WALKS_BEFORE_GC);
+        b.for_i32(
+            0,
+            1,
+            CmpOp::Lt,
+            |_| pre,
+            |b, _| {
+                let s = b.call(walk, &[arr]);
+                let t = b.add(acc, s);
+                b.move_(acc, t);
+            },
+        );
+        // Phase B: allocation churn forces collections; the first one
+        // frees the garbage twins and slides the survivors together.
+        let churn = b.const_i32(CHURN);
+        b.for_i32(
+            0,
+            1,
+            CmpOp::Lt,
+            |_| churn,
+            |b, _| {
+                let _tmp = b.new_object(node);
+            },
+        );
+        // Phase C: the compiled strides are stale; guards must notice.
+        let post = b.const_i32(WALKS_AFTER_GC);
+        b.for_i32(
+            0,
+            1,
+            CmpOp::Lt,
+            |_| post,
+            |b, _| {
+                let s = b.call(walk, &[arr]);
+                let t = b.add(acc, s);
+                b.move_(acc, t);
+            },
+        );
+        b.ret(Some(acc));
+        b.finish()
+    };
+    (pb.finish(), main)
+}
+
+fn config() -> VmConfig {
+    VmConfig {
+        // Large enough that phase A runs without GC (the compiled strides
+        // reflect the gapped layout), small enough that phase B collects.
+        heap_bytes: 1200 << 10,
+        prefetch: PrefetchOptions::adaptive(),
+        ..VmConfig::default()
+    }
+}
+
+fn expected_checksum() -> i32 {
+    (WALKS_BEFORE_GC + WALKS_AFTER_GC) * 2 * (0..ELEMS).sum::<i32>()
+}
+
+#[test]
+fn gc_slide_triggers_deopt_and_reagreeing_recompile() {
+    let (program, main) = build();
+    let mut vm = Vm::new(program, config(), ProcessorConfig::athlon_mp());
+    let out = vm.call(main, &[]).expect("adaptive run");
+    assert_eq!(out, Some(Value::I32(expected_checksum())));
+
+    assert!(vm.stats().gc_count > 0, "churn must force collections");
+    assert!(vm.heap().gc_epoch() >= 1, "a collection must move objects");
+    assert!(
+        vm.stats().deopts >= 1,
+        "the GC slide must deoptimize the stale walk"
+    );
+    assert!(vm.stats().recompiles >= 1, "walk must be recompiled");
+    assert!(
+        vm.stats().reagreed >= 1,
+        "re-inspection must re-agree on the compacted strides"
+    );
+
+    // The recompiled generation re-derived prefetchable strides.
+    assert!(
+        vm.reports()
+            .iter()
+            .any(|r| r.generation > 0 && r.total_prefetches > 0),
+        "no generation > 0 report with prefetches: {:?}",
+        vm.reports()
+            .iter()
+            .map(|r| (r.method.clone(), r.generation, r.total_prefetches))
+            .collect::<Vec<_>>()
+    );
+
+    // Every compilation generation — including the deoptimized one —
+    // passes the structural verifier and the full static lint.
+    let policy = vm
+        .config()
+        .prefetch
+        .guarded_policy
+        .lint_check(ProcessorConfig::athlon_mp().swpf_drops_on_tlb_miss);
+    let lint_config = LintConfig { policy };
+    let mut walk_generations = 0;
+    for (_mid, generation, func) in vm.compiled_generations() {
+        if func.name() == "walk" {
+            walk_generations += 1;
+        }
+        let errors = stride_prefetch::ir::verify::verify_all(vm.program(), func);
+        assert!(
+            errors.is_empty(),
+            "{} g{generation} fails verify: {errors:?}",
+            func.name()
+        );
+        let findings = lint(func, &lint_config);
+        assert!(
+            findings.is_empty(),
+            "{} g{generation} fails lint: {findings:?}",
+            func.name()
+        );
+    }
+    assert!(
+        walk_generations >= 2,
+        "walk must have a generation-0 and a recompiled body, got {walk_generations}"
+    );
+}
+
+#[test]
+fn adaptive_counters_reconcile_with_trace_events() {
+    let (program, main) = build();
+    let mut vm = Vm::with_sink(
+        program,
+        config(),
+        ProcessorConfig::athlon_mp(),
+        RingSink::with_capacity(1 << 19),
+    );
+    let out = vm.call(main, &[]).expect("traced adaptive run");
+    assert_eq!(out, Some(Value::I32(expected_checksum())));
+    assert_eq!(vm.sink().lost(), 0, "ring must hold the complete trace");
+
+    let events = vm.sink().snapshot();
+    let count = |f: fn(&TraceEvent) -> bool| events.iter().filter(|e| f(e)).count() as u64;
+    let stales = count(|e| matches!(e, TraceEvent::SiteStale { .. }));
+    let deopts = count(|e| matches!(e, TraceEvent::Deopt { .. }));
+    let recompiles = count(|e| matches!(e, TraceEvent::Recompile { .. }));
+    assert_eq!(
+        deopts,
+        vm.stats().deopts,
+        "one Deopt event per counted deopt"
+    );
+    assert_eq!(
+        recompiles,
+        vm.stats().recompiles,
+        "one Recompile event per counted recompile"
+    );
+    assert_eq!(
+        stales, deopts,
+        "every staleness verdict deopts exactly once"
+    );
+    assert!(deopts >= 1 && recompiles >= 1);
+
+    // Recompiled generations register fresh sites tagged with their
+    // generation, so later runtime events attribute to the newest body.
+    assert!(
+        events
+            .iter()
+            .any(|e| matches!(e, TraceEvent::SiteRegistered { generation, .. } if *generation > 0)),
+        "recompilation must re-register its sites under the new generation"
+    );
+}
+
+#[test]
+fn adaptive_preserves_semantics_vs_baseline() {
+    let (program, main) = build();
+    let mut vm = Vm::new(
+        program,
+        VmConfig {
+            prefetch: PrefetchOptions::off(),
+            ..config()
+        },
+        ProcessorConfig::athlon_mp(),
+    );
+    let out = vm.call(main, &[]).expect("baseline run");
+    assert_eq!(out, Some(Value::I32(expected_checksum())));
+    assert_eq!(vm.stats().deopts, 0, "guards are inert outside Adaptive");
+    assert_eq!(vm.stats().recompiles, 0);
+}
