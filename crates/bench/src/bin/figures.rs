@@ -7,6 +7,7 @@
 //! cargo run --release -p spf-bench --bin figures -- small --jobs 8
 //! cargo run --release -p spf-bench --bin figures -- tiny --verify-serial
 //! cargo run --release -p spf-bench --bin figures -- tiny --trace
+//! cargo run --release -p spf-bench --bin figures -- tiny --timing-runs 3
 //! ```
 //!
 //! The experiment matrix is sharded across worker threads (`--jobs N`,
@@ -14,7 +15,10 @@
 //! the simulated results. Each sweep also writes `BENCH_matrix.json`
 //! (override the path with `--matrix-out PATH`, disable with
 //! `--matrix-out -`) recording per-cell wall-clock and simulated cycles;
-//! compare two such files with the `bench_diff` binary. `--out-dir DIR`
+//! compare two such files with the `bench_diff` binary (simulated
+//! numbers) or the `host_check` binary (host throughput).
+//! `--timing-runs N` re-runs each cell N times (asserted bit-identical)
+//! and records the median host wall-clock as the cell's `host_wall_ns`. `--out-dir DIR`
 //! redirects every relative artifact path into `DIR` (created if
 //! missing).
 //!
@@ -43,6 +47,7 @@ struct Args {
     size: Size,
     only: Option<String>,
     jobs: usize,
+    timing_runs: u32,
     verify_serial: bool,
     matrix_out: Option<String>,
     trace: bool,
@@ -54,6 +59,7 @@ fn parse_args() -> Result<Args, String> {
         size: Size::Full,
         only: None,
         jobs: matrix::default_jobs(),
+        timing_runs: 1,
         verify_serial: false,
         matrix_out: Some("BENCH_matrix.json".to_string()),
         trace: false,
@@ -72,6 +78,13 @@ fn parse_args() -> Result<Args, String> {
                 args.jobs = match v.parse() {
                     Ok(n) if n >= 1 => n,
                     _ => return Err(format!("--jobs needs a positive integer, got {v:?}")),
+                };
+            }
+            "--timing-runs" => {
+                let v = it.next().ok_or("--timing-runs needs a value")?;
+                args.timing_runs = match v.parse() {
+                    Ok(n) if n >= 1 => n,
+                    _ => return Err(format!("--timing-runs needs a positive integer, got {v:?}")),
                 };
             }
             "--verify-serial" => args.verify_serial = true,
@@ -250,6 +263,7 @@ fn main() -> ExitCode {
     };
     let plan = RunPlan {
         size: args.size,
+        timing_runs: args.timing_runs,
         ..RunPlan::default()
     };
     let keep = |n: &str| args.only.as_deref().is_none_or(|o| o == n);
@@ -270,10 +284,15 @@ fn main() -> ExitCode {
     let results = matrix::run_cells(&plan, args.jobs, &cells);
     matrix::assert_checksums_agree(&results);
     let total_wall = t0.elapsed().as_nanos();
+    let host_total: u128 = results.iter().map(|r| r.host_wall_ns).sum();
     eprintln!(
-        "grid done: {} cells in {:.2}s",
+        "grid done: {} cells in {:.2}s \
+         (host throughput: {:.1} ms summed per-cell median wall-clock, \
+         {} timing run(s) per cell)",
         results.len(),
-        total_wall as f64 / 1e9
+        total_wall as f64 / 1e9,
+        host_total as f64 / 1e6,
+        plan.timing_runs.max(1),
     );
 
     if let Some(path) = &args.matrix_out {

@@ -1,0 +1,88 @@
+//! Compares host throughput between two `BENCH_matrix.json` files.
+//!
+//! ```text
+//! cargo run -p spf-bench --bin host_check -- HOST_baseline.json BENCH_matrix.json
+//! cargo run -p spf-bench --bin host_check -- old.json new.json --threshold 1.5
+//! ```
+//!
+//! Sums `host_wall_ns` (falling back to `wall_nanos` for files emitted
+//! before timing repetitions existed) over the cells present in both
+//! files and prints the ratio `new / old`. Exit code 1 if the ratio
+//! exceeds `--threshold` (default 1.5) — i.e. the new sweep is more than
+//! `threshold`× slower than the recorded baseline — or if no cells match;
+//! 0 otherwise.
+//!
+//! This is a *soft* throughput tripwire, not a precision benchmark: CI
+//! hosts vary in speed and load, so the default threshold is deliberately
+//! loose. It exists to catch order-of-magnitude interpreter regressions
+//! (a lost superinstruction pass, an accidental debug build), while
+//! simulated-number regressions are `bench_diff`'s job.
+
+use std::io::Write as _;
+use std::process::ExitCode;
+
+use spf_bench::matrix_json::{self, CellSummary};
+
+fn load(path: &str) -> Result<Vec<CellSummary>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    matrix_json::parse(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+fn main() -> ExitCode {
+    let mut threshold = 1.5f64;
+    let mut paths: Vec<String> = Vec::new();
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--threshold" => {
+                let Some(v) = it.next().and_then(|v| v.parse::<f64>().ok()) else {
+                    eprintln!("host_check: --threshold needs a number");
+                    return ExitCode::FAILURE;
+                };
+                threshold = v;
+            }
+            _ => paths.push(a),
+        }
+    }
+    let [old_path, new_path] = paths.as_slice() else {
+        eprintln!("usage: host_check OLD.json NEW.json [--threshold RATIO]");
+        return ExitCode::FAILURE;
+    };
+    let (old, new) = match (load(old_path), load(new_path)) {
+        (Ok(o), Ok(n)) => (o, n),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("host_check: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let mut matched = 0usize;
+    let (mut old_total, mut new_total) = (0u128, 0u128);
+    for o in &old {
+        let Some(n) = new.iter().find(|n| n.key() == o.key()) else {
+            continue;
+        };
+        matched += 1;
+        old_total += o.host_wall_ns;
+        new_total += n.host_wall_ns;
+    }
+    let mut out = std::io::stdout().lock();
+    if matched == 0 || old_total == 0 {
+        let _ = writeln!(out, "host_check: no comparable cells");
+        return ExitCode::FAILURE;
+    }
+    let ratio = new_total as f64 / old_total as f64;
+    let verdict = if ratio > threshold { "FAIL" } else { "ok" };
+    let _ = writeln!(
+        out,
+        "host_check: {matched} cell(s), {:.1} ms -> {:.1} ms, ratio {ratio:.2} \
+         (threshold {threshold:.2}): {verdict}",
+        old_total as f64 / 1e6,
+        new_total as f64 / 1e6,
+    );
+    if ratio > threshold {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -404,6 +404,7 @@ mod tests {
             size: Size::Tiny,
             warmup_runs: 2,
             measured_runs: 1,
+            timing_runs: 1,
         };
         let data = collect_filtered(&plan, |n| n == "db" || n == "compress");
         let f6 = data.fig6();

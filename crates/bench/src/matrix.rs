@@ -12,13 +12,17 @@
 //! all eight of its configurations.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 use std::time::Instant;
 
 use spf_core::PrefetchOptions;
 use spf_memsim::ProcessorConfig;
-use spf_workloads::WorkloadSpec;
+use spf_trace::{NoopSink, RingSink, TraceSink};
+use spf_workloads::{Size, WorkloadSpec};
 
-use crate::runner::{run_workload, run_workload_traced, Measurement, RunPlan, WorkloadTrace};
+use crate::runner::{
+    run_prepared, run_prepared_traced, Measurement, PreparedWorkload, RunPlan, WorkloadTrace,
+};
 
 /// One matrix cell: a workload under one prefetch configuration on one
 /// simulated processor.
@@ -37,8 +41,15 @@ pub struct Cell {
 pub struct CellResult {
     /// The simulated measurement (independent of scheduling).
     pub measurement: Measurement,
-    /// Host wall-clock nanoseconds spent simulating this cell.
+    /// Host wall-clock nanoseconds of the run that produced
+    /// [`measurement`](Self::measurement).
     pub wall_nanos: u128,
+    /// Median host wall-clock nanoseconds over
+    /// [`RunPlan::timing_runs`] complete, bit-identical runs of the cell
+    /// (equal to [`wall_nanos`](Self::wall_nanos) when `timing_runs` is 1).
+    /// This is the number host-throughput comparisons should use: the
+    /// median suppresses scheduler noise a single sample is exposed to.
+    pub host_wall_ns: u128,
 }
 
 /// Enumerates the matrix in canonical order — workloads in Table 3
@@ -92,23 +103,62 @@ pub struct TracedCellResult {
     pub wall_nanos: u128,
 }
 
-fn run_cell(plan: &RunPlan, cell: &Cell) -> CellResult {
+fn run_cell(plan: &RunPlan, cell: &Cell, prep: &PreparedWorkload) -> CellResult {
     let t0 = Instant::now();
-    let measurement = run_workload(&cell.spec, &cell.options, &cell.proc, plan);
+    let measurement = run_prepared(prep, &cell.options, &cell.proc, plan);
+    let wall_nanos = t0.elapsed().as_nanos();
+    let mut times = vec![wall_nanos];
+    for _ in 1..plan.timing_runs.max(1) {
+        let t = Instant::now();
+        let repeat = run_prepared(prep, &cell.options, &cell.proc, plan);
+        times.push(t.elapsed().as_nanos());
+        let diff = measurement.simulated_diff(&repeat);
+        assert!(
+            diff.is_empty(),
+            "{}/{}/{}: timing repetition diverged from the first run: {diff:?}",
+            measurement.name,
+            measurement.mode,
+            measurement.processor
+        );
+    }
+    times.sort_unstable();
     CellResult {
         measurement,
-        wall_nanos: t0.elapsed().as_nanos(),
+        wall_nanos,
+        host_wall_ns: times[times.len() / 2],
     }
 }
 
-fn run_cell_traced(plan: &RunPlan, cell: &Cell) -> TracedCellResult {
+fn run_cell_traced(
+    plan: &RunPlan,
+    cell: &Cell,
+    prep: &PreparedWorkload<RingSink>,
+) -> TracedCellResult {
     let t0 = Instant::now();
-    let (measurement, trace) = run_workload_traced(&cell.spec, &cell.options, &cell.proc, plan);
+    let (measurement, trace) = run_prepared_traced(prep, &cell.options, &cell.proc, plan);
     TracedCellResult {
         measurement,
         trace,
         wall_nanos: t0.elapsed().as_nanos(),
     }
+}
+
+/// Builds one [`PreparedWorkload`] per distinct workload in `cells` and
+/// hands every cell an `Arc` to its workload's instance, so the pool
+/// decodes each program once instead of once per cell.
+fn prepare_cells<S: TraceSink>(size: Size, cells: &[Cell]) -> Vec<Arc<PreparedWorkload<S>>> {
+    let mut by_name: Vec<Arc<PreparedWorkload<S>>> = Vec::new();
+    cells
+        .iter()
+        .map(|c| match by_name.iter().find(|p| p.name() == c.spec.name) {
+            Some(p) => Arc::clone(p),
+            None => {
+                let p = Arc::new(PreparedWorkload::new(&c.spec, size));
+                by_name.push(Arc::clone(&p));
+                p
+            }
+        })
+        .collect()
 }
 
 /// Runs `count` independent tasks on up to `jobs` worker threads through
@@ -164,7 +214,8 @@ fn run_pool<R: Send>(jobs: usize, count: usize, task: impl Fn(usize) -> R + Sync
 ///
 /// Panics if a workload faults (propagating the worker's panic).
 pub fn run_cells(plan: &RunPlan, jobs: usize, cells: &[Cell]) -> Vec<CellResult> {
-    run_pool(jobs, cells.len(), |i| run_cell(plan, &cells[i]))
+    let preps = prepare_cells::<NoopSink>(plan.size, cells);
+    run_pool(jobs, cells.len(), |i| run_cell(plan, &cells[i], &preps[i]))
 }
 
 /// [`run_cells`] with event tracing: every cell runs with a recording
@@ -174,7 +225,10 @@ pub fn run_cells(plan: &RunPlan, jobs: usize, cells: &[Cell]) -> Vec<CellResult>
 ///
 /// Panics if a workload faults (propagating the worker's panic).
 pub fn run_cells_traced(plan: &RunPlan, jobs: usize, cells: &[Cell]) -> Vec<TracedCellResult> {
-    run_pool(jobs, cells.len(), |i| run_cell_traced(plan, &cells[i]))
+    let preps = prepare_cells::<RingSink>(plan.size, cells);
+    run_pool(jobs, cells.len(), |i| {
+        run_cell_traced(plan, &cells[i], &preps[i])
+    })
 }
 
 /// Runs the whole (filtered) matrix on up to `jobs` workers and verifies
@@ -222,6 +276,7 @@ mod tests {
             size: Size::Tiny,
             warmup_runs: 2,
             measured_runs: 1,
+            timing_runs: 1,
         }
     }
 

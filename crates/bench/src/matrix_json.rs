@@ -25,6 +25,10 @@ pub struct CellSummary {
     pub retired: u64,
     /// Host wall-clock nanoseconds spent simulating the cell.
     pub wall_nanos: u128,
+    /// Median host wall-clock nanoseconds over the plan's timing
+    /// repetitions (equals `wall_nanos` in files emitted before the field
+    /// existed, or when `timing_runs` was 1).
+    pub host_wall_ns: u128,
     /// Adaptive deoptimizations (zero outside ADAPTIVE mode).
     pub deopts: u64,
     /// Adaptive recompilations (zero outside ADAPTIVE mode).
@@ -59,6 +63,7 @@ pub fn emit(results: &[CellResult], size: Size, jobs: usize, total_wall_nanos: u
         s.push_str(&format!(
             "    {{\"name\": \"{}\", \"mode\": \"{}\", \"processor\": \"{}\", \
              \"best_cycles\": {}, \"retired\": {}, \"wall_nanos\": {}, \
+             \"host_wall_ns\": {}, \
              \"deopts\": {}, \"recompiles\": {}, \"reagreed\": {}, \"checksum\": {}}}{}\n",
             escape(&m.name),
             escape(&m.mode.to_string()),
@@ -66,6 +71,7 @@ pub fn emit(results: &[CellResult], size: Size, jobs: usize, total_wall_nanos: u
             m.best_cycles,
             m.retired,
             r.wall_nanos,
+            r.host_wall_ns,
             m.deopts,
             m.recompiles,
             m.reagreed,
@@ -116,6 +122,16 @@ pub fn parse(text: &str) -> Result<Vec<CellSummary>, String> {
             wall_nanos: get("wall_nanos")?
                 .parse()
                 .map_err(|e| format!("bad wall_nanos in {line}: {e}"))?,
+            // Tolerate files emitted before host timing repetitions
+            // existed: fall back to the single wall-clock sample.
+            host_wall_ns: match field(line, "host_wall_ns") {
+                Some(v) => v
+                    .parse()
+                    .map_err(|e| format!("bad host_wall_ns in {line}: {e}"))?,
+                None => get("wall_nanos")?
+                    .parse()
+                    .map_err(|e| format!("bad wall_nanos in {line}: {e}"))?,
+            },
             // Tolerate files emitted before the adaptive counters existed.
             deopts: field(line, "deopts")
                 .map_or(Ok(0), str::parse)
@@ -161,6 +177,7 @@ mod tests {
                 checksum: 42,
             },
             wall_nanos: 12_345,
+            host_wall_ns: 23_456,
         }
     }
 
@@ -178,7 +195,17 @@ mod tests {
         assert_eq!(cells[1].mode, "INTER+INTRA");
         assert_eq!(cells[1].best_cycles, 80);
         assert_eq!(cells[0].wall_nanos, 12_345);
+        assert_eq!(cells[0].host_wall_ns, 23_456);
         assert_eq!(cells[0].checksum, 42);
+    }
+
+    #[test]
+    fn parse_defaults_host_wall_ns_to_wall_nanos() {
+        // A file emitted before the field existed.
+        let text = emit(&[sample("db", PrefetchMode::Off, 100)], Size::Tiny, 1, 9)
+            .replace(", \"host_wall_ns\": 23456", "");
+        let cells = parse(&text).unwrap();
+        assert_eq!(cells[0].host_wall_ns, 12_345);
     }
 
     #[test]

@@ -1,9 +1,12 @@
 //! Workload runner: warm-up, steady-state measurement, counter capture.
 
+use std::sync::Arc;
+
 use spf_core::{PrefetchMode, PrefetchOptions, StrideCrossCheck};
+use spf_ir::MethodId;
 use spf_memsim::{MemStats, ProcessorConfig};
 use spf_trace::{attribute, Attribution, NoopSink, RingSink, SiteTable, TraceEvent, TraceSink};
-use spf_vm::{Vm, VmConfig};
+use spf_vm::{Predecoded, Vm, VmConfig};
 use spf_workloads::{Size, WorkloadSpec};
 
 /// How a workload is run.
@@ -15,6 +18,12 @@ pub struct RunPlan {
     pub warmup_runs: u32,
     /// Measured invocations; the best (fewest cycles) is reported.
     pub measured_runs: u32,
+    /// Timed repetitions of each matrix cell; a cell's `host_wall_ns` is
+    /// the median over this many complete runs (1 = time the single run).
+    /// Every repetition is asserted bit-identical to the first, so the
+    /// extra runs only tighten host timing, never change a simulated
+    /// number.
+    pub timing_runs: u32,
 }
 
 impl Default for RunPlan {
@@ -23,6 +32,7 @@ impl Default for RunPlan {
             size: Size::Full,
             warmup_runs: 2,
             measured_runs: 2,
+            timing_runs: 1,
         }
     }
 }
@@ -133,6 +143,40 @@ pub struct WorkloadTrace {
     pub warm_lost: u64,
 }
 
+/// A workload built and pre-decoded once, sharable (via `Arc`) by every
+/// matrix cell — each (processor × mode) configuration — that runs it.
+/// Cells construct their VMs with [`Vm::from_predecoded`], so the
+/// program's method bodies are decoded into threaded code exactly once
+/// per workload instead of once per cell.
+pub struct PreparedWorkload<S: TraceSink = NoopSink> {
+    name: &'static str,
+    pre: Arc<Predecoded<S>>,
+    entry: MethodId,
+    heap_bytes: usize,
+    expected: Option<i32>,
+    compile_threshold: u32,
+}
+
+impl<S: TraceSink> PreparedWorkload<S> {
+    /// Builds `spec` at `size` and pre-decodes its method bodies.
+    pub fn new(spec: &WorkloadSpec, size: Size) -> Self {
+        let built = (spec.build)(size);
+        PreparedWorkload {
+            name: spec.name,
+            pre: Arc::new(Predecoded::new(built.program)),
+            entry: built.entry,
+            heap_bytes: built.heap_bytes,
+            expected: built.expected,
+            compile_threshold: built.compile_threshold,
+        }
+    }
+
+    /// The workload's name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+}
+
 /// Runs `spec` under `options` on `proc` according to `plan`.
 ///
 /// # Panics
@@ -146,7 +190,21 @@ pub fn run_workload(
     proc: &ProcessorConfig,
     plan: &RunPlan,
 ) -> Measurement {
-    run_workload_sink(spec, options, proc, plan, NoopSink).0
+    run_prepared(&PreparedWorkload::new(spec, plan.size), options, proc, plan)
+}
+
+/// [`run_workload`] against an already [`PreparedWorkload`].
+///
+/// # Panics
+///
+/// Panics under the same conditions as [`run_workload`].
+pub fn run_prepared(
+    prep: &PreparedWorkload,
+    options: &PrefetchOptions,
+    proc: &ProcessorConfig,
+    plan: &RunPlan,
+) -> Measurement {
+    run_prepared_sink(prep, options, proc, plan, NoopSink).0
 }
 
 /// [`run_workload`] with event tracing into a default-capacity
@@ -162,26 +220,39 @@ pub fn run_workload_traced(
     proc: &ProcessorConfig,
     plan: &RunPlan,
 ) -> (Measurement, WorkloadTrace) {
-    let (m, t) = run_workload_sink(spec, options, proc, plan, RingSink::default());
+    run_prepared_traced(&PreparedWorkload::new(spec, plan.size), options, proc, plan)
+}
+
+/// [`run_workload_traced`] against an already [`PreparedWorkload`].
+///
+/// # Panics
+///
+/// Panics under the same conditions as [`run_workload`].
+pub fn run_prepared_traced(
+    prep: &PreparedWorkload<RingSink>,
+    options: &PrefetchOptions,
+    proc: &ProcessorConfig,
+    plan: &RunPlan,
+) -> (Measurement, WorkloadTrace) {
+    let (m, t) = run_prepared_sink(prep, options, proc, plan, RingSink::default());
     (m, t.expect("ring sink is enabled"))
 }
 
 /// The shared measurement protocol, generic over the trace sink so the
 /// traced and untraced entry points cannot drift apart.
-fn run_workload_sink<S: TraceSink>(
-    spec: &WorkloadSpec,
+fn run_prepared_sink<S: TraceSink>(
+    prep: &PreparedWorkload<S>,
     options: &PrefetchOptions,
     proc: &ProcessorConfig,
     plan: &RunPlan,
     sink: S,
 ) -> (Measurement, Option<WorkloadTrace>) {
-    let built = (spec.build)(plan.size);
-    let mut vm = Vm::with_sink(
-        built.program,
+    let mut vm = Vm::from_predecoded(
+        &prep.pre,
         VmConfig {
-            heap_bytes: built.heap_bytes,
+            heap_bytes: prep.heap_bytes,
             prefetch: options.clone(),
-            compile_threshold: built.compile_threshold,
+            compile_threshold: prep.compile_threshold,
             ..VmConfig::default()
         },
         proc.clone(),
@@ -190,13 +261,13 @@ fn run_workload_sink<S: TraceSink>(
     let mut checksum = 0;
     for _ in 0..plan.warmup_runs {
         checksum = vm
-            .call(built.entry, &[])
-            .unwrap_or_else(|e| panic!("{} faulted: {e}", spec.name))
+            .call(prep.entry, &[])
+            .unwrap_or_else(|e| panic!("{} faulted: {e}", prep.name))
             .expect("entry returns a checksum")
             .as_i32();
     }
-    if let Some(expected) = built.expected {
-        assert_eq!(checksum, expected, "{} checksum", spec.name);
+    if let Some(expected) = prep.expected {
+        assert_eq!(checksum, expected, "{} checksum", prep.name);
     }
     let warm_stats = vm.stats().clone();
     let prefetches_inserted = vm.reports().iter().map(|r| r.total_prefetches).sum();
@@ -230,11 +301,11 @@ fn run_workload_sink<S: TraceSink>(
         // are exactly the reported run's.
         vm.reset_measurement();
         let out = vm
-            .call(built.entry, &[])
-            .unwrap_or_else(|e| panic!("{} faulted: {e}", spec.name))
+            .call(prep.entry, &[])
+            .unwrap_or_else(|e| panic!("{} faulted: {e}", prep.name))
             .expect("entry returns a checksum")
             .as_i32();
-        assert_eq!(out, checksum, "{} is deterministic across runs", spec.name);
+        assert_eq!(out, checksum, "{} is deterministic across runs", prep.name);
         let s = vm.stats();
         if best.as_ref().is_none_or(|b| s.cycles < b.cycles) {
             best = Some(BestRun {
@@ -262,7 +333,7 @@ fn run_workload_sink<S: TraceSink>(
         warm_lost,
     });
     let measurement = Measurement {
-        name: spec.name.to_string(),
+        name: prep.name.to_string(),
         mode: options.mode,
         processor: proc.name.clone(),
         best_cycles: best.cycles,

@@ -21,6 +21,7 @@ fn tiny_plan() -> RunPlan {
         size: Size::Tiny,
         warmup_runs: 2,
         measured_runs: 2,
+        timing_runs: 1,
     }
 }
 

@@ -41,6 +41,7 @@ pub mod entities;
 pub mod func;
 pub mod instr;
 pub mod loops;
+pub mod packed;
 pub mod program;
 pub mod types;
 pub mod verify;
@@ -49,5 +50,6 @@ pub use builder::{FunctionBuilder, ProgramBuilder};
 pub use entities::{BlockId, ClassId, FieldId, InstrRef, MethodId, Reg, StaticId};
 pub use func::{Block, Function};
 pub use instr::{BinOp, CmpOp, Conv, Instr, PrefetchAddr, PrefetchKind, Terminator, UnOp};
+pub use packed::{pack_reg_pair, unpack_reg_pair};
 pub use program::{ClassDef, FieldDef, MethodDef, Program, StaticDef};
 pub use types::{Const, ElemTy, Ty};

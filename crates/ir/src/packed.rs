@@ -1,0 +1,188 @@
+//! Dense operand encodings for pre-decoded (threaded) code.
+//!
+//! The direct-threaded interpreter in `spf-vm` flattens every instruction
+//! into a fixed-size op word; enum operands travel as small integer codes
+//! and register pairs are packed into a single `u32`. The encodings here are
+//! the single source of truth for that packing so the decoder and the
+//! handlers cannot drift apart.
+
+use crate::entities::{BlockId, InstrRef, Reg};
+use crate::instr::{BinOp, CmpOp, Conv, UnOp};
+use crate::types::ElemTy;
+
+/// Implements `code`/`from_code` for a C-like enum with a stable numbering.
+macro_rules! packable_enum {
+    ($ty:ty, $($variant:ident = $code:expr),+ $(,)?) => {
+        impl $ty {
+            /// Stable small-integer code for packed operand words.
+            #[inline(always)]
+            pub fn code(self) -> u8 {
+                match self {
+                    $(<$ty>::$variant => $code,)+
+                }
+            }
+
+            /// Inverse of [`Self::code`]. Panics on an unknown code, which
+            /// can only happen if a decoder packs with a different table.
+            #[inline(always)]
+            pub fn from_code(code: u8) -> Self {
+                match code {
+                    $($code => <$ty>::$variant,)+
+                    _ => panic!(concat!("invalid ", stringify!($ty), " code: {}"), code),
+                }
+            }
+        }
+    };
+}
+
+packable_enum!(
+    BinOp,
+    Add = 0,
+    Sub = 1,
+    Mul = 2,
+    Div = 3,
+    Rem = 4,
+    And = 5,
+    Or = 6,
+    Xor = 7,
+    Shl = 8,
+    Shr = 9,
+    UShr = 10,
+);
+
+packable_enum!(CmpOp, Eq = 0, Ne = 1, Lt = 2, Le = 3, Gt = 4, Ge = 5);
+
+packable_enum!(UnOp, Neg = 0, Not = 1);
+
+packable_enum!(
+    Conv,
+    I32ToI64 = 0,
+    I64ToI32 = 1,
+    I32ToF64 = 2,
+    F64ToI32 = 3,
+    I64ToF64 = 4,
+    F64ToI64 = 5,
+);
+
+packable_enum!(ElemTy, I8 = 0, I32 = 1, I64 = 2, F64 = 3, Ref = 4);
+
+/// Packed kind code for [`crate::Const::I32`].
+pub const CONST_I32: u8 = 0;
+/// Packed kind code for [`crate::Const::I64`].
+pub const CONST_I64: u8 = 1;
+/// Packed kind code for [`crate::Const::F64`].
+pub const CONST_F64: u8 = 2;
+/// Packed kind code for [`crate::Const::Null`].
+pub const CONST_NULL: u8 = 3;
+
+impl InstrRef {
+    /// Packs the site into one `u64` (`block << 32 | index`) so threaded ops
+    /// can carry error/profile attribution without widening the op word.
+    #[inline(always)]
+    pub fn pack(self) -> u64 {
+        ((self.block.index() as u64) << 32) | self.index as u64
+    }
+
+    /// Inverse of [`Self::pack`].
+    #[inline(always)]
+    pub fn unpack(packed: u64) -> Self {
+        InstrRef {
+            block: BlockId::new((packed >> 32) as usize),
+            index: packed as u32,
+        }
+    }
+}
+
+/// Packs two registers into one `u32` (`a << 16 | b`), or `None` if either
+/// index does not fit in 16 bits (the decoder then skips fusion for that
+/// pair rather than miscompiling it).
+#[inline(always)]
+pub fn pack_reg_pair(a: Reg, b: Reg) -> Option<u32> {
+    if a.index() <= u16::MAX as usize && b.index() <= u16::MAX as usize {
+        Some(((a.index() as u32) << 16) | b.index() as u32)
+    } else {
+        None
+    }
+}
+
+/// Inverse of [`pack_reg_pair`].
+#[inline(always)]
+pub fn unpack_reg_pair(packed: u32) -> (Reg, Reg) {
+    (
+        Reg::new((packed >> 16) as usize),
+        Reg::new((packed & 0xffff) as usize),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn enum_codes_round_trip() {
+        for op in [
+            BinOp::Add,
+            BinOp::Sub,
+            BinOp::Mul,
+            BinOp::Div,
+            BinOp::Rem,
+            BinOp::And,
+            BinOp::Or,
+            BinOp::Xor,
+            BinOp::Shl,
+            BinOp::Shr,
+            BinOp::UShr,
+        ] {
+            assert_eq!(BinOp::from_code(op.code()), op);
+        }
+        for op in [
+            CmpOp::Eq,
+            CmpOp::Ne,
+            CmpOp::Lt,
+            CmpOp::Le,
+            CmpOp::Gt,
+            CmpOp::Ge,
+        ] {
+            assert_eq!(CmpOp::from_code(op.code()), op);
+        }
+        for op in [UnOp::Neg, UnOp::Not] {
+            assert_eq!(UnOp::from_code(op.code()), op);
+        }
+        for c in [
+            Conv::I32ToI64,
+            Conv::I64ToI32,
+            Conv::I32ToF64,
+            Conv::F64ToI32,
+            Conv::I64ToF64,
+            Conv::F64ToI64,
+        ] {
+            assert_eq!(Conv::from_code(c.code()), c);
+        }
+        for e in [
+            ElemTy::I8,
+            ElemTy::I32,
+            ElemTy::I64,
+            ElemTy::F64,
+            ElemTy::Ref,
+        ] {
+            assert_eq!(ElemTy::from_code(e.code()), e);
+        }
+    }
+
+    #[test]
+    fn site_packing_round_trips() {
+        let site = InstrRef::new(BlockId::new(7), 123);
+        assert_eq!(InstrRef::unpack(site.pack()), site);
+        let wide = InstrRef::new(BlockId::new(0xabcdef), u32::MAX as usize);
+        assert_eq!(InstrRef::unpack(wide.pack()), wide);
+    }
+
+    #[test]
+    fn reg_pair_packing() {
+        let (a, b) = (Reg::new(3), Reg::new(65535));
+        let packed = pack_reg_pair(a, b).unwrap();
+        assert_eq!(unpack_reg_pair(packed), (a, b));
+        assert_eq!(pack_reg_pair(Reg::new(65536), b), None);
+        assert_eq!(pack_reg_pair(a, Reg::new(70000)), None);
+    }
+}

@@ -45,6 +45,11 @@ pub struct Cache {
     set_shift: u32,
     line_shift: u32,
     tick: u64,
+    /// Index (into `lines`) of the most recently hit line. Pure lookup
+    /// accelerator: a hit through `mru` performs the same tick/`last_used`
+    /// update the way scan would, so hit/miss/eviction decisions are
+    /// unchanged — consecutive accesses to the same line skip the scan.
+    mru: usize,
 }
 
 impl Cache {
@@ -60,6 +65,7 @@ impl Cache {
             set_shift: (sets - 1).count_ones(),
             line_shift: params.line_bytes.trailing_zeros(),
             tick: 0,
+            mru: 0,
         }
     }
 
@@ -83,7 +89,10 @@ impl Cache {
         self.tick += 1;
         let (base, tag) = self.set_base_and_tag(addr);
         let tick = self.tick;
-        for line in &mut self.lines[base..base + self.assoc] {
+        // Fast path: consecutive accesses overwhelmingly touch the line
+        // hit last time.
+        if self.mru.wrapping_sub(base) < self.assoc {
+            let line = &mut self.lines[self.mru];
             if line.valid && line.tag == tag {
                 line.last_used = tick;
                 return Lookup::Hit {
@@ -91,7 +100,27 @@ impl Cache {
                 };
             }
         }
+        for (i, line) in self.lines[base..base + self.assoc].iter_mut().enumerate() {
+            if line.valid && line.tag == tag {
+                line.last_used = tick;
+                self.mru = base + i;
+                return Lookup::Hit {
+                    wait: line.ready_at.saturating_sub(now),
+                };
+            }
+        }
         Lookup::Miss
+    }
+
+    /// Re-touches the line hit by the immediately preceding lookup:
+    /// exactly the `lookup` MRU fast path (tick advance + `last_used`
+    /// refresh) for a caller that has already proven the same line is
+    /// accessed again. Caller contract: no install/flush since that
+    /// lookup, so validity, tag, and `ready_at` are unchanged.
+    #[inline(always)]
+    pub(crate) fn touch_mru(&mut self) {
+        self.tick += 1;
+        self.lines[self.mru].last_used = self.tick;
     }
 
     /// Whether the line containing `addr` is present (no LRU update).
@@ -114,14 +143,20 @@ impl Cache {
         let (base, tag) = self.set_base_and_tag(addr);
         let tick = self.tick;
         let set = &mut self.lines[base..base + self.assoc];
-        if let Some(line) = set.iter_mut().find(|l| l.valid && l.tag == tag) {
+        if let Some((i, line)) = set
+            .iter_mut()
+            .enumerate()
+            .find(|(_, l)| l.valid && l.tag == tag)
+        {
             line.ready_at = line.ready_at.min(ready_at);
             line.last_used = tick;
+            self.mru = base + i;
             return None;
         }
-        let victim = set
+        let (way, victim) = set
             .iter_mut()
-            .min_by_key(|l| if l.valid { l.last_used } else { 0 })
+            .enumerate()
+            .min_by_key(|(_, l)| if l.valid { l.last_used } else { 0 })
             .expect("associativity is at least 1");
         let evicted = victim.valid.then(|| {
             let set_index = (base / self.assoc) as u64;
@@ -133,6 +168,7 @@ impl Cache {
             ready_at,
             last_used: tick,
         };
+        self.mru = base + way;
         evicted
     }
 

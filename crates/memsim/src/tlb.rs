@@ -22,6 +22,11 @@ pub struct Tlb {
     len: usize,
     page_shift: u32,
     tick: u64,
+    /// Index of the most recently hit entry. Pure lookup accelerator: a
+    /// hit through `mru` performs the same tick/`last_used` update the
+    /// full scan would, so hit/miss/eviction decisions are unchanged —
+    /// only the O(entries) scan is skipped on page-local access runs.
+    mru: usize,
 }
 
 impl Tlb {
@@ -36,6 +41,7 @@ impl Tlb {
             len: 0,
             page_shift: page_bytes.trailing_zeros(),
             tick: 0,
+            mru: 0,
         }
     }
 
@@ -49,12 +55,33 @@ impl Tlb {
     pub fn lookup(&mut self, addr: u64) -> bool {
         self.tick += 1;
         let page = self.page(addr);
-        if let Some(e) = self.entries[..self.len].iter_mut().find(|e| e.page == page) {
+        // Fast path: consecutive accesses overwhelmingly translate the
+        // same page as the last hit.
+        if self.mru < self.len && self.entries[self.mru].page == page {
+            self.entries[self.mru].last_used = self.tick;
+            return true;
+        }
+        if let Some((i, e)) = self.entries[..self.len]
+            .iter_mut()
+            .enumerate()
+            .find(|(_, e)| e.page == page)
+        {
             e.last_used = self.tick;
+            self.mru = i;
             true
         } else {
             false
         }
+    }
+
+    /// Re-touches the entry hit by the immediately preceding lookup:
+    /// exactly the `lookup` MRU fast path (tick advance + `last_used`
+    /// refresh) for a caller that has already proven the page matches.
+    /// Caller contract: no insert/flush since that lookup.
+    #[inline(always)]
+    pub(crate) fn touch_mru(&mut self) {
+        self.tick += 1;
+        self.entries[self.mru].last_used = self.tick;
     }
 
     /// Whether the page of `addr` is resident (no LRU update).
@@ -89,11 +116,13 @@ impl Tlb {
             page,
             last_used: self.tick,
         };
+        self.mru = slot;
     }
 
     /// Empties the TLB.
     pub fn flush(&mut self) {
         self.len = 0;
+        self.mru = 0;
     }
 }
 

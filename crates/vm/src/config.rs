@@ -53,6 +53,12 @@ pub struct VmConfig {
     /// Adaptive-reprofiling thresholds (only consulted when
     /// `prefetch.mode` is [`spf_core::PrefetchMode::Adaptive`]).
     pub adapt: AdaptConfig,
+    /// Fuse hot adjacent opcode pairs into superinstruction handlers when
+    /// pre-decoding bodies for the threaded interpreter. Superinstructions
+    /// execute the exact per-component cost/counter sequence of their
+    /// unfused forms, so simulated numbers are identical either way; the
+    /// knob exists for differential testing and host-perf triage.
+    pub fuse_superinstructions: bool,
 }
 
 impl Default for VmConfig {
@@ -67,6 +73,7 @@ impl Default for VmConfig {
             inline_small_methods: false,
             unroll_factor: 1,
             adapt: AdaptConfig::default(),
+            fuse_superinstructions: true,
         }
     }
 }

@@ -1,0 +1,1480 @@
+//! Direct-threaded dispatch: the execution context, the handler functions
+//! the decoder threads function bodies onto, and the shared component
+//! bodies both singleton and superinstruction handlers are built from.
+//!
+//! Every handler charges the simulated clock and touches the memory system
+//! in exactly the order the old `match *instr` interpreter did; fused
+//! handlers are literal concatenations of the same `#[inline(always)]`
+//! components, so the cycle/counter/memory-op sequence of a fused pair is
+//! bit-identical to executing the two ops singly. The only thing that
+//! changes is host-side work per simulated instruction.
+
+use spf_heap::{Value, ARRAY_DATA_OFFSET, NULL};
+use spf_ir::{
+    packed::{self as packed, unpack_reg_pair},
+    BinOp, CmpOp, Conv, ElemTy, InstrRef, MethodId, PrefetchKind, Reg, UnOp,
+};
+use spf_memsim::CacheLevel;
+use spf_trace::{SiteId, TraceSink};
+
+use crate::config::{CALL_OVERHEAD, COMPILED_INSTR_COST};
+use crate::decode::{Op, ThreadedCode};
+use crate::error::VmError;
+use crate::vm::Vm;
+
+/// What the main loop does after a handler returns.
+pub(crate) enum Step {
+    /// Keep dispatching from the (already advanced or redirected) `pc`.
+    Next,
+    /// The top frame changed (call or return): re-fetch the threaded code.
+    Switch,
+    /// Execution finished; the result is in [`Ctx::halt`].
+    Halt,
+}
+
+/// Handler signature: the op is a borrow into the current frame's threaded
+/// code, passed alongside so variable-length operands (call argument lists)
+/// can live in the code's side pool.
+pub(crate) type Handler<S> = fn(&mut Vm<S>, &mut Ctx, &Op<S>, &ThreadedCode<S>) -> Step;
+
+/// Register-resident interpreter state: the live counters the old loop kept
+/// in locals, plus the top frame's registers (taken out of the frame while
+/// it is topmost so the hot path never chases `frames.last_mut()`).
+pub(crate) struct Ctx {
+    /// Index of the next op in the current threaded code.
+    pub pc: usize,
+    /// Live simulated clock (authoritative; `stats.cycles` is synchronized
+    /// at call/alloc boundaries exactly as the old loop did).
+    pub cycles: u64,
+    /// Value of `cycles` at the last per-method flush; the cycles accrued
+    /// by the current frame segment are `cycles - frame_start` (every
+    /// charge adds to `cycles`, so the delta needs no second accumulator
+    /// on the hot path). Allocation/GC charges, which the old loop kept
+    /// out of the frame attribution, advance `frame_start` in lockstep
+    /// (`unsync_for_alloc`).
+    pub frame_start: u64,
+    /// Terminators retired (instructions are counted via `seg_retired`;
+    /// the total retired count is derived as interpreted + compiled +
+    /// terminators when the counters are written back at halt).
+    pub term_retired: u64,
+    /// Non-terminator instructions retired since the last per-method
+    /// flush; folded into `comp_retired`/`interp_retired` there (the
+    /// compiled/interpreted split is constant between frame switches, so
+    /// the hot path skips the per-instruction branch).
+    pub seg_retired: u64,
+    /// Instructions retired while interpreting (terminators excluded).
+    pub interp_retired: u64,
+    /// Instructions retired in compiled code (terminators excluded).
+    pub comp_retired: u64,
+    /// Cycle cost per instruction in the current frame.
+    pub cur_cost: u64,
+    /// Whether the current frame runs compiled code.
+    pub cur_compiled: bool,
+    /// Method of the current frame.
+    pub cur_mid: MethodId,
+    /// First global PIC slot of the current frame's code.
+    pub cur_pic_base: u32,
+    /// The current frame's registers (owned here while the frame is on top).
+    pub regs: Vec<Value>,
+    /// Set when execution halts (normal return from the entry frame or a
+    /// fault).
+    pub halt: Option<Result<Option<Value>, VmError>>,
+}
+
+impl Ctx {
+    /// Reads a register without a bounds check.
+    ///
+    /// SAFETY: every register operand packed into an op is validated
+    /// against the function's register count by `decode::lower`, and every
+    /// frame's register file is allocated at exactly
+    /// `reg_template.len() == reg_count`, so a decoded operand can never be
+    /// out of range. The debug assertion re-checks the contract in debug
+    /// builds.
+    #[inline(always)]
+    pub(crate) fn reg(&self, i: u32) -> Value {
+        debug_assert!((i as usize) < self.regs.len());
+        unsafe { *self.regs.get_unchecked(i as usize) }
+    }
+
+    /// Writes a register without a bounds check (safety as for [`Ctx::reg`]).
+    #[inline(always)]
+    pub(crate) fn set_reg(&mut self, i: u32, v: Value) {
+        debug_assert!((i as usize) < self.regs.len());
+        unsafe { *self.regs.get_unchecked_mut(i as usize) = v }
+    }
+}
+
+/// Charges one instruction: clock, frame attribution, retired counters.
+#[inline(always)]
+fn charge_instr(ctx: &mut Ctx) {
+    ctx.cycles += ctx.cur_cost;
+    ctx.seg_retired += 1;
+}
+
+/// Charges one terminator: like an instruction but without the
+/// compiled/interpreted retirement split (matching the old loop).
+#[inline(always)]
+fn charge_term(ctx: &mut Ctx) {
+    ctx.cycles += ctx.cur_cost;
+    ctx.term_retired += 1;
+}
+
+/// Flushes `frame_acc` into the current method's per-method attribution
+/// (the old `flush_frame!`).
+#[inline(always)]
+pub(crate) fn flush_frame_acc<S: TraceSink>(vm: &mut Vm<S>, ctx: &mut Ctx) {
+    let acc = ctx.cycles - ctx.frame_start;
+    let pm = &mut vm.stats.per_method[ctx.cur_mid.index()];
+    if ctx.cur_compiled {
+        pm.compiled += acc;
+        ctx.comp_retired += ctx.seg_retired;
+    } else {
+        pm.interpreted += acc;
+        ctx.interp_retired += ctx.seg_retired;
+    }
+    ctx.frame_start = ctx.cycles;
+    ctx.seg_retired = 0;
+}
+
+/// Halts execution with `res`, flushing the pending frame attribution (the
+/// old `finish!`; the run loop writes the global counters on `Step::Halt`).
+#[cold]
+pub(crate) fn halt<S: TraceSink>(
+    vm: &mut Vm<S>,
+    ctx: &mut Ctx,
+    res: Result<Option<Value>, VmError>,
+) -> Step {
+    flush_frame_acc(vm, ctx);
+    ctx.halt = Some(res);
+    Step::Halt
+}
+
+/// Faulting component exit: records the error and reports failure.
+#[cold]
+fn fail<S: TraceSink>(vm: &mut Vm<S>, ctx: &mut Ctx, e: VmError) -> bool {
+    halt(vm, ctx, Err(e));
+    false
+}
+
+/// Refreshes `ctx` from the (new) top frame after a push or pop, taking
+/// ownership of its registers (the old `reload!`).
+#[inline]
+pub(crate) fn reload_ctx<S: TraceSink>(vm: &mut Vm<S>, ctx: &mut Ctx) {
+    let interp_mult = vm.config.interp_cost_multiplier;
+    let f = vm.frames.last_mut().expect("frame");
+    ctx.regs = std::mem::take(&mut f.regs);
+    ctx.pc = f.pc;
+    ctx.frame_start = ctx.cycles;
+    ctx.cur_mid = f.method;
+    ctx.cur_compiled = f.code.compiled;
+    ctx.cur_pic_base = f.code.pic_base;
+    ctx.cur_cost = if f.code.compiled {
+        COMPILED_INSTR_COST
+    } else {
+        COMPILED_INSTR_COST * interp_mult
+    };
+}
+
+// ---------------------------------------------------------------------------
+// Component bodies. Each mirrors one arm of the old `match *instr` exactly
+// (same clock charges, same memory-system calls, same error order) and is
+// shared between its singleton handler and every superinstruction that
+// includes it.
+// ---------------------------------------------------------------------------
+
+#[inline(always)]
+fn do_bin<S: TraceSink>(
+    vm: &mut Vm<S>,
+    ctx: &mut Ctx,
+    dst: u32,
+    code: u8,
+    ra: u32,
+    rb: u32,
+    site: u64,
+) -> bool {
+    let (x, y) = (ctx.reg(ra), ctx.reg(rb));
+    match exec_bin(BinOp::from_code(code), x, y) {
+        Some(v) => {
+            ctx.set_reg(dst, v);
+            true
+        }
+        None => fail(
+            vm,
+            ctx,
+            VmError::DivisionByZero {
+                at: InstrRef::unpack(site),
+            },
+        ),
+    }
+}
+
+#[inline(always)]
+fn do_cmp(ctx: &mut Ctx, dst: u32, code: u8, ra: u32, rb: u32) -> i32 {
+    let (x, y) = (ctx.reg(ra), ctx.reg(rb));
+    let flag = exec_cmp(CmpOp::from_code(code), x, y);
+    ctx.set_reg(dst, Value::I32(flag));
+    flag
+}
+
+/// Materializes a constant from its packed kind code and payload.
+#[inline(always)]
+fn const_value(kind: u8, imm: i64) -> Value {
+    match kind {
+        packed::CONST_I32 => Value::I32(imm as i32),
+        packed::CONST_I64 => Value::I64(imm),
+        packed::CONST_F64 => Value::F64(f64::from_bits(imm as u64)),
+        _ => Value::Ref(NULL),
+    }
+}
+
+#[inline(always)]
+fn do_getfield<S: TraceSink>(
+    vm: &mut Vm<S>,
+    ctx: &mut Ctx,
+    dst: u32,
+    obj: u32,
+    off: u64,
+    ty: ElemTy,
+    site: u64,
+) -> bool {
+    let a = ctx.reg(obj).as_ref_addr();
+    if a == NULL {
+        return fail(
+            vm,
+            ctx,
+            VmError::NullPointer {
+                at: InstrRef::unpack(site),
+            },
+        );
+    }
+    let addr = a + off;
+    let lat = vm.mem.load(addr, ctx.cycles);
+    ctx.cycles += lat;
+    if vm.config.collect_offline_profile {
+        vm.offline
+            .entry(ctx.cur_mid)
+            .or_default()
+            .record(InstrRef::unpack(site), addr);
+    }
+    let v = match vm.heap.read(addr, ty) {
+        Ok(v) => v,
+        Err(_) => return fail(vm, ctx, VmError::BadAccess { addr }),
+    };
+    ctx.set_reg(dst, v);
+    true
+}
+
+#[inline(always)]
+fn do_aload<S: TraceSink>(
+    vm: &mut Vm<S>,
+    ctx: &mut Ctx,
+    dst: u32,
+    arr: u32,
+    idx: u32,
+    elem: ElemTy,
+    site: u64,
+) -> bool {
+    let a = ctx.reg(arr).as_ref_addr();
+    if a == NULL {
+        return fail(
+            vm,
+            ctx,
+            VmError::NullPointer {
+                at: InstrRef::unpack(site),
+            },
+        );
+    }
+    let i = ctx.reg(idx).as_i32();
+    let len = vm.heap.array_len(a);
+    if i < 0 || i as u64 >= len {
+        return fail(
+            vm,
+            ctx,
+            VmError::IndexOutOfBounds {
+                at: InstrRef::unpack(site),
+                index: i,
+                len,
+            },
+        );
+    }
+    let addr = a + ARRAY_DATA_OFFSET + i as u64 * elem.size();
+    let lat = vm.mem.load(addr, ctx.cycles);
+    ctx.cycles += lat;
+    if vm.config.collect_offline_profile {
+        vm.offline
+            .entry(ctx.cur_mid)
+            .or_default()
+            .record(InstrRef::unpack(site), addr);
+    }
+    let v = match vm.heap.read(addr, elem) {
+        Ok(v) => v,
+        Err(_) => return fail(vm, ctx, VmError::BadAccess { addr }),
+    };
+    ctx.set_reg(dst, v);
+    true
+}
+
+/// Shared prefetch-issue tail: site attribution for tracing, adaptive
+/// usefulness probing, then the actual memory-system prefetch.
+#[inline(always)]
+fn prefetch_issue<S: TraceSink>(
+    vm: &mut Vm<S>,
+    ctx: &mut Ctx,
+    site: u64,
+    target: spf_heap::Addr,
+    kind: PrefetchKind,
+) {
+    if S::ENABLED {
+        let site_ref = InstrRef::unpack(site);
+        let id = vm.site_ids.get(&(ctx.cur_mid, site_ref));
+        vm.mem.set_site(id.copied().unwrap_or(SiteId::UNKNOWN));
+    }
+    if vm.adaptive {
+        // A prefetch whose line is already cached at the fill target is
+        // useless — the same test the memory system applies internally,
+        // probed non-mutatingly so simulated numbers are untouched.
+        let level = match kind {
+            PrefetchKind::Hardware => vm.mem.config().swpf_target,
+            PrefetchKind::GuardedLoad => CacheLevel::L1,
+        };
+        let useless = vm.mem.line_present(level, target);
+        let s = InstrRef::unpack(site);
+        vm.adapt.record_issue(
+            ctx.cur_mid.index(),
+            (s.block.index() as u32, s.index),
+            useless,
+        );
+    }
+    let cost = match kind {
+        PrefetchKind::Hardware => vm.mem.software_prefetch(target, ctx.cycles),
+        PrefetchKind::GuardedLoad => vm.mem.guarded_load(target, ctx.cycles),
+    };
+    ctx.cycles += cost;
+}
+
+/// `FieldOf { base, delta }` address computation; `None` when the base is
+/// not a non-null reference (the prefetch is then silently skipped).
+#[inline(always)]
+fn field_addr(ctx: &Ctx, base: u32, delta: i64) -> Option<spf_heap::Addr> {
+    match ctx.reg(base) {
+        Value::Ref(a) if a != NULL => Some(a.wrapping_add(delta as u64)),
+        _ => None,
+    }
+}
+
+/// `ArrayElem { arr, idx, scale, delta }` address computation.
+#[inline(always)]
+fn elem_addr(ctx: &Ctx, arr: u32, idx: u32, scale: u32, delta: i64) -> Option<spf_heap::Addr> {
+    match (ctx.reg(arr), ctx.reg(idx)) {
+        (Value::Ref(a), Value::I32(i)) if a != NULL => Some(
+            a.wrapping_add((i as i64).wrapping_mul(scale as i64) as u64)
+                .wrapping_add(delta as u64),
+        ),
+        _ => None,
+    }
+}
+
+#[inline(always)]
+fn do_specload<S: TraceSink>(
+    vm: &mut Vm<S>,
+    ctx: &mut Ctx,
+    dst: u32,
+    site: u64,
+    target: Option<spf_heap::Addr>,
+) {
+    let v = match target {
+        Some(target) => {
+            prefetch_issue(vm, ctx, site, target, PrefetchKind::GuardedLoad);
+            match spf_heap::HeapRead::try_read(&vm.heap, target, ElemTy::Ref) {
+                Some(Value::Ref(a)) => Value::Ref(a),
+                _ => Value::Ref(NULL),
+            }
+        }
+        None => Value::Ref(NULL),
+    };
+    ctx.set_reg(dst, v);
+}
+
+// ---------------------------------------------------------------------------
+// Singleton handlers, one per decoded opcode.
+// Operand packing per handler is documented in `decode::lower`.
+// ---------------------------------------------------------------------------
+
+pub(crate) fn h_const_i32<S: TraceSink>(
+    _vm: &mut Vm<S>,
+    ctx: &mut Ctx,
+    op: &Op<S>,
+    _tc: &ThreadedCode<S>,
+) -> Step {
+    charge_instr(ctx);
+    ctx.set_reg(op.a, Value::I32(op.imm as i32));
+    Step::Next
+}
+
+pub(crate) fn h_const_i64<S: TraceSink>(
+    _vm: &mut Vm<S>,
+    ctx: &mut Ctx,
+    op: &Op<S>,
+    _tc: &ThreadedCode<S>,
+) -> Step {
+    charge_instr(ctx);
+    ctx.set_reg(op.a, Value::I64(op.imm));
+    Step::Next
+}
+
+pub(crate) fn h_const_f64<S: TraceSink>(
+    _vm: &mut Vm<S>,
+    ctx: &mut Ctx,
+    op: &Op<S>,
+    _tc: &ThreadedCode<S>,
+) -> Step {
+    charge_instr(ctx);
+    ctx.set_reg(op.a, Value::F64(f64::from_bits(op.imm as u64)));
+    Step::Next
+}
+
+pub(crate) fn h_const_null<S: TraceSink>(
+    _vm: &mut Vm<S>,
+    ctx: &mut Ctx,
+    op: &Op<S>,
+    _tc: &ThreadedCode<S>,
+) -> Step {
+    charge_instr(ctx);
+    ctx.set_reg(op.a, Value::Ref(NULL));
+    Step::Next
+}
+
+pub(crate) fn h_move<S: TraceSink>(
+    _vm: &mut Vm<S>,
+    ctx: &mut Ctx,
+    op: &Op<S>,
+    _tc: &ThreadedCode<S>,
+) -> Step {
+    charge_instr(ctx);
+    let v = ctx.reg(op.b);
+    ctx.set_reg(op.a, v);
+    Step::Next
+}
+
+pub(crate) fn h_bin<S: TraceSink, const B: u8>(
+    vm: &mut Vm<S>,
+    ctx: &mut Ctx,
+    op: &Op<S>,
+    _tc: &ThreadedCode<S>,
+) -> Step {
+    charge_instr(ctx);
+    if do_bin(vm, ctx, op.a, B, op.b, op.c, op.site) {
+        Step::Next
+    } else {
+        Step::Halt
+    }
+}
+
+pub(crate) fn h_un<S: TraceSink, const U: u8>(
+    _vm: &mut Vm<S>,
+    ctx: &mut Ctx,
+    op: &Op<S>,
+    _tc: &ThreadedCode<S>,
+) -> Step {
+    charge_instr(ctx);
+    let v = exec_un(UnOp::from_code(U), ctx.reg(op.b));
+    ctx.set_reg(op.a, v);
+    Step::Next
+}
+
+pub(crate) fn h_cmp<S: TraceSink, const C: u8>(
+    _vm: &mut Vm<S>,
+    ctx: &mut Ctx,
+    op: &Op<S>,
+    _tc: &ThreadedCode<S>,
+) -> Step {
+    charge_instr(ctx);
+    do_cmp(ctx, op.a, C, op.b, op.c);
+    Step::Next
+}
+
+pub(crate) fn h_convert<S: TraceSink, const C: u8>(
+    _vm: &mut Vm<S>,
+    ctx: &mut Ctx,
+    op: &Op<S>,
+    _tc: &ThreadedCode<S>,
+) -> Step {
+    charge_instr(ctx);
+    let v = exec_conv(Conv::from_code(C), ctx.reg(op.b));
+    ctx.set_reg(op.a, v);
+    Step::Next
+}
+
+pub(crate) fn h_getfield<S: TraceSink, const TY: u8>(
+    vm: &mut Vm<S>,
+    ctx: &mut Ctx,
+    op: &Op<S>,
+    _tc: &ThreadedCode<S>,
+) -> Step {
+    charge_instr(ctx);
+    if do_getfield(
+        vm,
+        ctx,
+        op.a,
+        op.b,
+        op.imm as u64,
+        ElemTy::from_code(TY),
+        op.site,
+    ) {
+        Step::Next
+    } else {
+        Step::Halt
+    }
+}
+
+pub(crate) fn h_putfield<S: TraceSink, const TY: u8>(
+    vm: &mut Vm<S>,
+    ctx: &mut Ctx,
+    op: &Op<S>,
+    _tc: &ThreadedCode<S>,
+) -> Step {
+    charge_instr(ctx);
+    let a = ctx.reg(op.a).as_ref_addr();
+    if a == NULL {
+        return halt(
+            vm,
+            ctx,
+            Err(VmError::NullPointer {
+                at: InstrRef::unpack(op.site),
+            }),
+        );
+    }
+    let ty = ElemTy::from_code(TY);
+    let addr = a + op.imm as u64;
+    let lat = vm.mem.store(addr, ctx.cycles);
+    ctx.cycles += lat;
+    let v = coerce_store(ctx.reg(op.b), ty);
+    if vm.heap.write(addr, ty, v).is_err() {
+        return halt(vm, ctx, Err(VmError::BadAccess { addr }));
+    }
+    Step::Next
+}
+
+pub(crate) fn h_getstatic<S: TraceSink>(
+    vm: &mut Vm<S>,
+    ctx: &mut Ctx,
+    op: &Op<S>,
+    _tc: &ThreadedCode<S>,
+) -> Step {
+    charge_instr(ctx);
+    let lat = vm.mem.load(op.imm as u64, ctx.cycles);
+    ctx.cycles += lat;
+    ctx.set_reg(op.a, vm.statics[op.b as usize]);
+    Step::Next
+}
+
+pub(crate) fn h_putstatic<S: TraceSink>(
+    vm: &mut Vm<S>,
+    ctx: &mut Ctx,
+    op: &Op<S>,
+    _tc: &ThreadedCode<S>,
+) -> Step {
+    charge_instr(ctx);
+    let lat = vm.mem.store(op.imm as u64, ctx.cycles);
+    ctx.cycles += lat;
+    vm.statics[op.b as usize] = ctx.reg(op.a);
+    Step::Next
+}
+
+pub(crate) fn h_aload<S: TraceSink, const TY: u8>(
+    vm: &mut Vm<S>,
+    ctx: &mut Ctx,
+    op: &Op<S>,
+    _tc: &ThreadedCode<S>,
+) -> Step {
+    charge_instr(ctx);
+    if do_aload(vm, ctx, op.a, op.b, op.c, ElemTy::from_code(TY), op.site) {
+        Step::Next
+    } else {
+        Step::Halt
+    }
+}
+
+/// The AStore component: null/bounds checks, the store access, and the
+/// element write. Shared verbatim between the singleton and fused forms.
+#[inline(always)]
+fn do_astore<S: TraceSink>(
+    vm: &mut Vm<S>,
+    ctx: &mut Ctx,
+    arr: u32,
+    idx: u32,
+    src: u32,
+    elem: ElemTy,
+    site: u64,
+) -> bool {
+    let a = ctx.reg(arr).as_ref_addr();
+    if a == NULL {
+        return fail(
+            vm,
+            ctx,
+            VmError::NullPointer {
+                at: InstrRef::unpack(site),
+            },
+        );
+    }
+    let i = ctx.reg(idx).as_i32();
+    let len = vm.heap.array_len(a);
+    if i < 0 || i as u64 >= len {
+        return fail(
+            vm,
+            ctx,
+            VmError::IndexOutOfBounds {
+                at: InstrRef::unpack(site),
+                index: i,
+                len,
+            },
+        );
+    }
+    let addr = a + ARRAY_DATA_OFFSET + i as u64 * elem.size();
+    let lat = vm.mem.store(addr, ctx.cycles);
+    ctx.cycles += lat;
+    let v = coerce_store(ctx.reg(src), elem);
+    if vm.heap.write(addr, elem, v).is_err() {
+        return fail(vm, ctx, VmError::BadAccess { addr });
+    }
+    true
+}
+
+pub(crate) fn h_astore<S: TraceSink, const TY: u8>(
+    vm: &mut Vm<S>,
+    ctx: &mut Ctx,
+    op: &Op<S>,
+    _tc: &ThreadedCode<S>,
+) -> Step {
+    charge_instr(ctx);
+    if do_astore(vm, ctx, op.a, op.b, op.c, ElemTy::from_code(TY), op.site) {
+        Step::Next
+    } else {
+        Step::Halt
+    }
+}
+
+pub(crate) fn h_arraylen<S: TraceSink>(
+    vm: &mut Vm<S>,
+    ctx: &mut Ctx,
+    op: &Op<S>,
+    _tc: &ThreadedCode<S>,
+) -> Step {
+    charge_instr(ctx);
+    let a = ctx.reg(op.b).as_ref_addr();
+    if a == NULL {
+        return halt(
+            vm,
+            ctx,
+            Err(VmError::NullPointer {
+                at: InstrRef::unpack(op.site),
+            }),
+        );
+    }
+    let lat = vm.mem.load(a + 8, ctx.cycles);
+    ctx.cycles += lat;
+    if vm.config.collect_offline_profile {
+        vm.offline
+            .entry(ctx.cur_mid)
+            .or_default()
+            .record(InstrRef::unpack(op.site), a + 8);
+    }
+    ctx.set_reg(op.a, Value::I32(vm.heap.array_len(a) as i32));
+    Step::Next
+}
+
+/// Syncs the live clock and the top frame's registers back into the VM so
+/// the allocator (which may GC: roots, forwarding, clock charges) sees
+/// consistent state; inverse of `unsync_for_alloc`.
+#[inline(always)]
+fn sync_for_alloc<S: TraceSink>(vm: &mut Vm<S>, ctx: &mut Ctx) {
+    let f = vm.frames.last_mut().expect("frame");
+    f.regs = std::mem::take(&mut ctx.regs);
+    vm.stats.cycles = ctx.cycles;
+}
+
+#[inline(always)]
+fn unsync_for_alloc<S: TraceSink>(vm: &mut Vm<S>, ctx: &mut Ctx) {
+    // Allocation/GC cycles stay out of the per-method frame attribution
+    // (as in the old loop): advance `frame_start` by the same amount the
+    // allocator advanced the clock.
+    ctx.frame_start += vm.stats.cycles - ctx.cycles;
+    ctx.cycles = vm.stats.cycles;
+    let f = vm.frames.last_mut().expect("frame");
+    ctx.regs = std::mem::take(&mut f.regs);
+}
+
+pub(crate) fn h_new<S: TraceSink>(
+    vm: &mut Vm<S>,
+    ctx: &mut Ctx,
+    op: &Op<S>,
+    _tc: &ThreadedCode<S>,
+) -> Step {
+    charge_instr(ctx);
+    // The allocator may GC, which charges the clock and moves objects.
+    sync_for_alloc(vm, ctx);
+    let res = vm.alloc_object(spf_ir::ClassId::new(op.b as usize));
+    unsync_for_alloc(vm, ctx);
+    let a = match res {
+        Ok(a) => a,
+        Err(e) => return halt(vm, ctx, Err(e)),
+    };
+    let size = op.imm as u64;
+    let lat = vm.mem.store(a, ctx.cycles);
+    let cost = lat + 4 + size / 32;
+    ctx.cycles += cost;
+    ctx.set_reg(op.a, Value::Ref(a));
+    Step::Next
+}
+
+pub(crate) fn h_newarray<S: TraceSink>(
+    vm: &mut Vm<S>,
+    ctx: &mut Ctx,
+    op: &Op<S>,
+    _tc: &ThreadedCode<S>,
+) -> Step {
+    charge_instr(ctx);
+    let n = ctx.reg(op.b).as_i32();
+    if n < 0 {
+        return halt(
+            vm,
+            ctx,
+            Err(VmError::IndexOutOfBounds {
+                at: InstrRef::unpack(op.site),
+                index: n,
+                len: 0,
+            }),
+        );
+    }
+    let elem = ElemTy::from_code(op.ext as u8);
+    // The allocator may GC, which charges the clock and moves objects.
+    sync_for_alloc(vm, ctx);
+    let res = vm.alloc_array(elem, n as u64);
+    unsync_for_alloc(vm, ctx);
+    let a = match res {
+        Ok(a) => a,
+        Err(e) => return halt(vm, ctx, Err(e)),
+    };
+    let size = spf_heap::Layout::array_size(elem, n as u64);
+    let lat = vm.mem.store(a, ctx.cycles);
+    let cost = lat + 4 + size / 32;
+    ctx.cycles += cost;
+    ctx.set_reg(op.a, Value::Ref(a));
+    Step::Next
+}
+
+pub(crate) fn h_call<S: TraceSink>(
+    vm: &mut Vm<S>,
+    ctx: &mut Ctx,
+    op: &Op<S>,
+    tc: &ThreadedCode<S>,
+) -> Step {
+    charge_instr(ctx);
+    ctx.cycles += CALL_OVERHEAD;
+    let mut argv = std::mem::take(&mut vm.argv_scratch);
+    argv.clear();
+    argv.extend(
+        tc.arg_pool[op.c as usize..(op.c + op.d) as usize]
+            .iter()
+            .map(|&r| ctx.reg(r)),
+    );
+    flush_frame_acc(vm, ctx);
+    {
+        // Persist the cursor (and registers) so the callee's return resumes
+        // after this call.
+        let f = vm.frames.last_mut().expect("frame");
+        f.pc = ctx.pc;
+        f.regs = std::mem::take(&mut ctx.regs);
+    }
+    // `call_into` may JIT-compile, which charges the clock.
+    vm.stats.cycles = ctx.cycles;
+    let callee = MethodId::new(op.b as usize);
+    let ret_dst = if op.a == 0 {
+        None
+    } else {
+        Some(Reg::new((op.a - 1) as usize))
+    };
+    let slot = ctx.cur_pic_base + op.ext;
+    let res = vm.call_into(callee, &argv, ret_dst, Some(slot));
+    vm.argv_scratch = argv;
+    match res {
+        Ok(()) => {
+            ctx.cycles = vm.stats.cycles;
+            reload_ctx(vm, ctx);
+            Step::Switch
+        }
+        Err(e) => {
+            // The clock grew by the (failed) resolution's charges after the
+            // flush above; keep them out of the frame attribution, exactly
+            // as the old loop's zeroed accumulator did.
+            ctx.cycles = vm.stats.cycles;
+            ctx.frame_start = ctx.cycles;
+            halt(vm, ctx, Err(e))
+        }
+    }
+}
+
+pub(crate) fn h_prefetch_field<S: TraceSink, const GUARDED: bool>(
+    vm: &mut Vm<S>,
+    ctx: &mut Ctx,
+    op: &Op<S>,
+    _tc: &ThreadedCode<S>,
+) -> Step {
+    charge_instr(ctx);
+    if let Some(target) = field_addr(ctx, op.b, op.imm) {
+        let kind = if GUARDED {
+            PrefetchKind::GuardedLoad
+        } else {
+            PrefetchKind::Hardware
+        };
+        prefetch_issue(vm, ctx, op.site, target, kind);
+    }
+    Step::Next
+}
+
+pub(crate) fn h_prefetch_elem<S: TraceSink, const GUARDED: bool>(
+    vm: &mut Vm<S>,
+    ctx: &mut Ctx,
+    op: &Op<S>,
+    _tc: &ThreadedCode<S>,
+) -> Step {
+    charge_instr(ctx);
+    if let Some(target) = elem_addr(ctx, op.b, op.c, op.d, op.imm) {
+        let kind = if GUARDED {
+            PrefetchKind::GuardedLoad
+        } else {
+            PrefetchKind::Hardware
+        };
+        prefetch_issue(vm, ctx, op.site, target, kind);
+    }
+    Step::Next
+}
+
+pub(crate) fn h_specload_field<S: TraceSink>(
+    vm: &mut Vm<S>,
+    ctx: &mut Ctx,
+    op: &Op<S>,
+    _tc: &ThreadedCode<S>,
+) -> Step {
+    charge_instr(ctx);
+    let target = field_addr(ctx, op.b, op.imm);
+    do_specload(vm, ctx, op.a, op.site, target);
+    Step::Next
+}
+
+pub(crate) fn h_specload_elem<S: TraceSink>(
+    vm: &mut Vm<S>,
+    ctx: &mut Ctx,
+    op: &Op<S>,
+    _tc: &ThreadedCode<S>,
+) -> Step {
+    charge_instr(ctx);
+    let target = elem_addr(ctx, op.b, op.c, op.d, op.imm);
+    do_specload(vm, ctx, op.a, op.site, target);
+    Step::Next
+}
+
+// --------------------------------- Terminators -----------------------------
+
+pub(crate) fn h_jump<S: TraceSink>(
+    _vm: &mut Vm<S>,
+    ctx: &mut Ctx,
+    op: &Op<S>,
+    _tc: &ThreadedCode<S>,
+) -> Step {
+    charge_term(ctx);
+    ctx.pc = op.a as usize;
+    Step::Next
+}
+
+pub(crate) fn h_branch<S: TraceSink>(
+    _vm: &mut Vm<S>,
+    ctx: &mut Ctx,
+    op: &Op<S>,
+    _tc: &ThreadedCode<S>,
+) -> Step {
+    charge_term(ctx);
+    let taken = ctx.reg(op.a).as_i32() != 0;
+    ctx.pc = (if taken { op.b } else { op.c }) as usize;
+    Step::Next
+}
+
+pub(crate) fn h_ret<S: TraceSink>(
+    vm: &mut Vm<S>,
+    ctx: &mut Ctx,
+    op: &Op<S>,
+    _tc: &ThreadedCode<S>,
+) -> Step {
+    charge_term(ctx);
+    flush_frame_acc(vm, ctx);
+    let f = vm.frames.pop().expect("frame");
+    let value = if op.a == 0 {
+        None
+    } else {
+        Some(ctx.reg(op.a - 1))
+    };
+    // Recycle the returning frame's register buffer.
+    let buf = std::mem::take(&mut ctx.regs);
+    if buf.capacity() > 0 {
+        vm.reg_pool.push(buf);
+    }
+    match vm.frames.last_mut() {
+        Some(caller) => {
+            if let (Some(dst), Some(val)) = (f.ret_dst, value) {
+                caller.regs[dst.index()] = val;
+            }
+        }
+        None => {
+            ctx.halt = Some(Ok(value));
+            return Step::Halt;
+        }
+    }
+    reload_ctx(vm, ctx);
+    Step::Switch
+}
+
+pub(crate) fn h_unreachable<S: TraceSink>(
+    vm: &mut Vm<S>,
+    ctx: &mut Ctx,
+    _op: &Op<S>,
+    _tc: &ThreadedCode<S>,
+) -> Step {
+    charge_term(ctx);
+    halt(vm, ctx, Err(VmError::UnreachableExecuted))
+}
+
+// ------------------------------ Superinstructions --------------------------
+//
+// Each fused handler is the exact concatenation of its components,
+// including both charge steps, so counters and memory-op interleavings are
+// bit-identical to the unfused pair. Operand packings are documented in
+// `fuse`.
+
+/// `Cmp` + `Branch` on the comparison result (the loop back-edge pattern).
+pub(crate) fn h_cmp_branch<S: TraceSink, const C: u8>(
+    _vm: &mut Vm<S>,
+    ctx: &mut Ctx,
+    op: &Op<S>,
+    _tc: &ThreadedCode<S>,
+) -> Step {
+    charge_instr(ctx);
+    let (ra, rb) = unpack_reg_pair(op.c);
+    let flag = do_cmp(ctx, op.a, C, ra.index() as u32, rb.index() as u32);
+    charge_term(ctx);
+    ctx.pc = (if flag != 0 { op.b } else { op.d }) as usize;
+    Step::Next
+}
+
+/// `Const` + `Bin` (constant-operand arithmetic).
+pub(crate) fn h_const_bin<S: TraceSink, const K: u8, const B: u8>(
+    vm: &mut Vm<S>,
+    ctx: &mut Ctx,
+    op: &Op<S>,
+    _tc: &ThreadedCode<S>,
+) -> Step {
+    charge_instr(ctx);
+    ctx.set_reg(op.a, const_value(K, op.imm));
+    charge_instr(ctx);
+    if do_bin(vm, ctx, op.b, B, op.c, op.d, op.site2) {
+        Step::Next
+    } else {
+        Step::Halt
+    }
+}
+
+/// `GetField` + `Bin` (load-then-compute).
+pub(crate) fn h_getfield_bin<S: TraceSink, const TY: u8, const B: u8>(
+    vm: &mut Vm<S>,
+    ctx: &mut Ctx,
+    op: &Op<S>,
+    _tc: &ThreadedCode<S>,
+) -> Step {
+    charge_instr(ctx);
+    if !do_getfield(
+        vm,
+        ctx,
+        op.a,
+        op.b,
+        op.imm as u64,
+        ElemTy::from_code(TY),
+        op.site,
+    ) {
+        return Step::Halt;
+    }
+    charge_instr(ctx);
+    let (ra, rb) = unpack_reg_pair(op.d);
+    if do_bin(
+        vm,
+        ctx,
+        op.c,
+        B,
+        ra.index() as u32,
+        rb.index() as u32,
+        op.site2,
+    ) {
+        Step::Next
+    } else {
+        Step::Halt
+    }
+}
+
+/// `Bin` + `ALoad` (index-then-load).
+pub(crate) fn h_bin_aload<S: TraceSink, const TY: u8, const B: u8>(
+    vm: &mut Vm<S>,
+    ctx: &mut Ctx,
+    op: &Op<S>,
+    _tc: &ThreadedCode<S>,
+) -> Step {
+    charge_instr(ctx);
+    let (ra, rb) = unpack_reg_pair(op.d);
+    if !do_bin(
+        vm,
+        ctx,
+        op.a,
+        B,
+        ra.index() as u32,
+        rb.index() as u32,
+        op.site,
+    ) {
+        return Step::Halt;
+    }
+    charge_instr(ctx);
+    let (dst, arr) = unpack_reg_pair(op.b);
+    if do_aload(
+        vm,
+        ctx,
+        dst.index() as u32,
+        arr.index() as u32,
+        op.c,
+        ElemTy::from_code(TY),
+        op.site2,
+    ) {
+        Step::Next
+    } else {
+        Step::Halt
+    }
+}
+
+/// Fused Bin + Move: a=bin dst, b=bin lhs, c=bin rhs, ext=binop,
+/// d=pack(move dst, move src), site=bin's, site2=move's.
+pub(crate) fn h_bin_move<S: TraceSink, const B: u8>(
+    vm: &mut Vm<S>,
+    ctx: &mut Ctx,
+    op: &Op<S>,
+    _tc: &ThreadedCode<S>,
+) -> Step {
+    charge_instr(ctx);
+    if !do_bin(vm, ctx, op.a, B, op.b, op.c, op.site) {
+        return Step::Halt;
+    }
+    charge_instr(ctx);
+    let (dst, src) = unpack_reg_pair(op.d);
+    let v = ctx.reg(src.index() as u32);
+    ctx.set_reg(dst.index() as u32, v);
+    Step::Next
+}
+
+/// Fused Move + Jump terminator: b=move dst, c=move src, a=jump target
+/// (block id until the flattener patches it — the merged op keeps
+/// `Kind::Jump`), site=move's.
+pub(crate) fn h_move_jump<S: TraceSink>(
+    _vm: &mut Vm<S>,
+    ctx: &mut Ctx,
+    op: &Op<S>,
+    _tc: &ThreadedCode<S>,
+) -> Step {
+    charge_instr(ctx);
+    let v = ctx.reg(op.c);
+    ctx.set_reg(op.b, v);
+    charge_term(ctx);
+    ctx.pc = op.a as usize;
+    Step::Next
+}
+
+/// Fused ALoad + Bin: a=aload dst, b=pack(arr, idx), c=bin dst,
+/// d=pack(bin lhs, bin rhs), ext=elem | binop<<8, site=aload's,
+/// site2=bin's.
+pub(crate) fn h_aload_bin<S: TraceSink, const TY: u8, const B: u8>(
+    vm: &mut Vm<S>,
+    ctx: &mut Ctx,
+    op: &Op<S>,
+    _tc: &ThreadedCode<S>,
+) -> Step {
+    charge_instr(ctx);
+    let (arr, idx) = unpack_reg_pair(op.b);
+    if !do_aload(
+        vm,
+        ctx,
+        op.a,
+        arr.index() as u32,
+        idx.index() as u32,
+        ElemTy::from_code(TY),
+        op.site,
+    ) {
+        return Step::Halt;
+    }
+    charge_instr(ctx);
+    let (ra, rb) = unpack_reg_pair(op.d);
+    if do_bin(
+        vm,
+        ctx,
+        op.c,
+        B,
+        ra.index() as u32,
+        rb.index() as u32,
+        op.site2,
+    ) {
+        Step::Next
+    } else {
+        Step::Halt
+    }
+}
+
+/// Fused Bin + Jump terminator: a=bin dst, b=bin lhs, c=bin rhs,
+/// ext=binop, d=jump target (block id until patched — `Kind::BinJump`),
+/// site=bin's.
+pub(crate) fn h_bin_jump<S: TraceSink, const B: u8>(
+    vm: &mut Vm<S>,
+    ctx: &mut Ctx,
+    op: &Op<S>,
+    _tc: &ThreadedCode<S>,
+) -> Step {
+    charge_instr(ctx);
+    if !do_bin(vm, ctx, op.a, B, op.b, op.c, op.site) {
+        return Step::Halt;
+    }
+    charge_term(ctx);
+    ctx.pc = op.d as usize;
+    Step::Next
+}
+
+/// Fused Move + ALoad: c=pack(move dst, move src), a=aload dst,
+/// b=pack(arr, idx), ext=elem, site=move's, site2=aload's.
+pub(crate) fn h_move_aload<S: TraceSink, const TY: u8>(
+    vm: &mut Vm<S>,
+    ctx: &mut Ctx,
+    op: &Op<S>,
+    _tc: &ThreadedCode<S>,
+) -> Step {
+    charge_instr(ctx);
+    let (dst, src) = unpack_reg_pair(op.c);
+    let v = ctx.reg(src.index() as u32);
+    ctx.set_reg(dst.index() as u32, v);
+    charge_instr(ctx);
+    let (arr, idx) = unpack_reg_pair(op.b);
+    if do_aload(
+        vm,
+        ctx,
+        op.a,
+        arr.index() as u32,
+        idx.index() as u32,
+        ElemTy::from_code(TY),
+        op.site2,
+    ) {
+        Step::Next
+    } else {
+        Step::Halt
+    }
+}
+
+/// Second-round fusion of [`h_bin_move`] + Jump terminator: the operand
+/// layout of `h_bin_move` unchanged, with the jump target (block id until
+/// patched — `Kind::BinMoveJump`) in `imm`.
+pub(crate) fn h_bin_move_jump<S: TraceSink, const B: u8>(
+    vm: &mut Vm<S>,
+    ctx: &mut Ctx,
+    op: &Op<S>,
+    _tc: &ThreadedCode<S>,
+) -> Step {
+    charge_instr(ctx);
+    if !do_bin(vm, ctx, op.a, B, op.b, op.c, op.site) {
+        return Step::Halt;
+    }
+    charge_instr(ctx);
+    let (dst, src) = unpack_reg_pair(op.d);
+    let v = ctx.reg(src.index() as u32);
+    ctx.set_reg(dst.index() as u32, v);
+    charge_term(ctx);
+    ctx.pc = op.imm as usize;
+    Step::Next
+}
+
+// ------------------------ Decode-time specialization ------------------------
+//
+// The decoder picks a handler instance with the operation / element-type
+// code baked in as a const generic, so `from_code` and the operation match
+// const-fold into straight-line code per opcode. The generic bodies above
+// remain the single source of semantics; these selectors only enumerate
+// the (small, closed) code spaces.
+
+/// Selects the [`h_bin`] instance for a `BinOp` code.
+pub(crate) fn bin_handler<S: TraceSink>(code: u8) -> Handler<S> {
+    match code {
+        0 => h_bin::<S, 0>,
+        1 => h_bin::<S, 1>,
+        2 => h_bin::<S, 2>,
+        3 => h_bin::<S, 3>,
+        4 => h_bin::<S, 4>,
+        5 => h_bin::<S, 5>,
+        6 => h_bin::<S, 6>,
+        7 => h_bin::<S, 7>,
+        8 => h_bin::<S, 8>,
+        9 => h_bin::<S, 9>,
+        _ => h_bin::<S, 10>,
+    }
+}
+
+/// Selects the [`h_cmp`] instance for a `CmpOp` code.
+pub(crate) fn cmp_handler<S: TraceSink>(code: u8) -> Handler<S> {
+    match code {
+        0 => h_cmp::<S, 0>,
+        1 => h_cmp::<S, 1>,
+        2 => h_cmp::<S, 2>,
+        3 => h_cmp::<S, 3>,
+        4 => h_cmp::<S, 4>,
+        _ => h_cmp::<S, 5>,
+    }
+}
+
+/// Selects the [`h_un`] instance for a `UnOp` code.
+pub(crate) fn un_handler<S: TraceSink>(code: u8) -> Handler<S> {
+    match code {
+        0 => h_un::<S, 0>,
+        _ => h_un::<S, 1>,
+    }
+}
+
+/// Selects the [`h_convert`] instance for a `Conv` code.
+pub(crate) fn conv_handler<S: TraceSink>(code: u8) -> Handler<S> {
+    match code {
+        0 => h_convert::<S, 0>,
+        1 => h_convert::<S, 1>,
+        2 => h_convert::<S, 2>,
+        3 => h_convert::<S, 3>,
+        4 => h_convert::<S, 4>,
+        _ => h_convert::<S, 5>,
+    }
+}
+
+/// Expands a 5-way `ElemTy`-code match selecting `$h::<S, TY>`.
+macro_rules! elem_select {
+    ($code:expr, $h:ident) => {
+        match $code {
+            0 => $h::<S, 0>,
+            1 => $h::<S, 1>,
+            2 => $h::<S, 2>,
+            3 => $h::<S, 3>,
+            _ => $h::<S, 4>,
+        }
+    };
+}
+
+/// Selects the [`h_getfield`] instance for an `ElemTy` code.
+pub(crate) fn getfield_handler<S: TraceSink>(code: u8) -> Handler<S> {
+    elem_select!(code, h_getfield)
+}
+
+/// Selects the [`h_putfield`] instance for an `ElemTy` code.
+pub(crate) fn putfield_handler<S: TraceSink>(code: u8) -> Handler<S> {
+    elem_select!(code, h_putfield)
+}
+
+/// Selects the [`h_aload`] instance for an `ElemTy` code.
+pub(crate) fn aload_handler<S: TraceSink>(code: u8) -> Handler<S> {
+    elem_select!(code, h_aload)
+}
+
+/// Selects the [`h_astore`] instance for an `ElemTy` code.
+pub(crate) fn astore_handler<S: TraceSink>(code: u8) -> Handler<S> {
+    elem_select!(code, h_astore)
+}
+
+/// Selects the [`h_cmp_branch`] instance for a `CmpOp` code.
+pub(crate) fn cmp_branch_handler<S: TraceSink>(code: u8) -> Handler<S> {
+    match code {
+        0 => h_cmp_branch::<S, 0>,
+        1 => h_cmp_branch::<S, 1>,
+        2 => h_cmp_branch::<S, 2>,
+        3 => h_cmp_branch::<S, 3>,
+        4 => h_cmp_branch::<S, 4>,
+        _ => h_cmp_branch::<S, 5>,
+    }
+}
+
+/// Expands an 11-way `BinOp`-code match selecting `$h::<S, $($pre,)* B>`.
+macro_rules! bin_select {
+    ($code:expr, $h:ident $(, $pre:literal)*) => {
+        match $code {
+            0 => $h::<S, $($pre,)* 0>,
+            1 => $h::<S, $($pre,)* 1>,
+            2 => $h::<S, $($pre,)* 2>,
+            3 => $h::<S, $($pre,)* 3>,
+            4 => $h::<S, $($pre,)* 4>,
+            5 => $h::<S, $($pre,)* 5>,
+            6 => $h::<S, $($pre,)* 6>,
+            7 => $h::<S, $($pre,)* 7>,
+            8 => $h::<S, $($pre,)* 8>,
+            9 => $h::<S, $($pre,)* 9>,
+            _ => $h::<S, $($pre,)* 10>,
+        }
+    };
+}
+
+/// Selects the [`h_const_bin`] instance for a const-kind and `BinOp` code.
+pub(crate) fn const_bin_handler<S: TraceSink>(kind: u8, bop: u8) -> Handler<S> {
+    match kind {
+        0 => bin_select!(bop, h_const_bin, 0),
+        1 => bin_select!(bop, h_const_bin, 1),
+        2 => bin_select!(bop, h_const_bin, 2),
+        _ => bin_select!(bop, h_const_bin, 3),
+    }
+}
+
+/// Selects the [`h_getfield_bin`] instance for an `ElemTy` and `BinOp` code.
+pub(crate) fn getfield_bin_handler<S: TraceSink>(elem: u8, bop: u8) -> Handler<S> {
+    match elem {
+        0 => bin_select!(bop, h_getfield_bin, 0),
+        1 => bin_select!(bop, h_getfield_bin, 1),
+        2 => bin_select!(bop, h_getfield_bin, 2),
+        3 => bin_select!(bop, h_getfield_bin, 3),
+        _ => bin_select!(bop, h_getfield_bin, 4),
+    }
+}
+
+/// Selects the [`h_bin_aload`] instance for an `ElemTy` and `BinOp` code.
+pub(crate) fn bin_aload_handler<S: TraceSink>(elem: u8, bop: u8) -> Handler<S> {
+    match elem {
+        0 => bin_select!(bop, h_bin_aload, 0),
+        1 => bin_select!(bop, h_bin_aload, 1),
+        2 => bin_select!(bop, h_bin_aload, 2),
+        3 => bin_select!(bop, h_bin_aload, 3),
+        _ => bin_select!(bop, h_bin_aload, 4),
+    }
+}
+
+/// Selects the [`h_bin_move`] instance for a `BinOp` code.
+pub(crate) fn bin_move_handler<S: TraceSink>(bop: u8) -> Handler<S> {
+    bin_select!(bop, h_bin_move)
+}
+
+/// Selects the [`h_aload_bin`] instance for an `ElemTy` and `BinOp` code.
+pub(crate) fn aload_bin_handler<S: TraceSink>(elem: u8, bop: u8) -> Handler<S> {
+    match elem {
+        0 => bin_select!(bop, h_aload_bin, 0),
+        1 => bin_select!(bop, h_aload_bin, 1),
+        2 => bin_select!(bop, h_aload_bin, 2),
+        3 => bin_select!(bop, h_aload_bin, 3),
+        _ => bin_select!(bop, h_aload_bin, 4),
+    }
+}
+
+/// Selects the [`h_bin_jump`] instance for a `BinOp` code.
+pub(crate) fn bin_jump_handler<S: TraceSink>(bop: u8) -> Handler<S> {
+    bin_select!(bop, h_bin_jump)
+}
+
+/// Selects the [`h_move_aload`] instance for an `ElemTy` code.
+pub(crate) fn move_aload_handler<S: TraceSink>(elem: u8) -> Handler<S> {
+    elem_select!(elem, h_move_aload)
+}
+
+/// Selects the [`h_bin_move_jump`] instance for a `BinOp` code.
+pub(crate) fn bin_move_jump_handler<S: TraceSink>(bop: u8) -> Handler<S> {
+    bin_select!(bop, h_bin_move_jump)
+}
+
+// ------------------------------- Pure helpers ------------------------------
+
+#[inline(always)]
+pub(crate) fn coerce_store(v: Value, _ty: ElemTy) -> Value {
+    v
+}
+
+#[inline(always)]
+pub(crate) fn exec_bin(op: BinOp, a: Value, b: Value) -> Option<Value> {
+    Some(match (a, b) {
+        (Value::I32(x), Value::I32(y)) => Value::I32(match op {
+            BinOp::Add => x.wrapping_add(y),
+            BinOp::Sub => x.wrapping_sub(y),
+            BinOp::Mul => x.wrapping_mul(y),
+            BinOp::Div => x.checked_div(y)?,
+            BinOp::Rem => x.checked_rem(y)?,
+            BinOp::And => x & y,
+            BinOp::Or => x | y,
+            BinOp::Xor => x ^ y,
+            BinOp::Shl => x.wrapping_shl(y as u32),
+            BinOp::Shr => x.wrapping_shr(y as u32),
+            BinOp::UShr => ((x as u32).wrapping_shr(y as u32)) as i32,
+        }),
+        (Value::I64(x), Value::I64(y)) => Value::I64(match op {
+            BinOp::Add => x.wrapping_add(y),
+            BinOp::Sub => x.wrapping_sub(y),
+            BinOp::Mul => x.wrapping_mul(y),
+            BinOp::Div => x.checked_div(y)?,
+            BinOp::Rem => x.checked_rem(y)?,
+            BinOp::And => x & y,
+            BinOp::Or => x | y,
+            BinOp::Xor => x ^ y,
+            BinOp::Shl => x.wrapping_shl(y as u32),
+            BinOp::Shr => x.wrapping_shr(y as u32),
+            BinOp::UShr => ((x as u64).wrapping_shr(y as u32)) as i64,
+        }),
+        (Value::F64(x), Value::F64(y)) => Value::F64(match op {
+            BinOp::Add => x + y,
+            BinOp::Sub => x - y,
+            BinOp::Mul => x * y,
+            BinOp::Div => x / y,
+            _ => unreachable!("verifier rejects float bit-ops"),
+        }),
+        _ => unreachable!("verifier rejects mixed-type binops"),
+    })
+}
+
+#[inline(always)]
+pub(crate) fn exec_un(op: UnOp, v: Value) -> Value {
+    match (op, v) {
+        (UnOp::Neg, Value::I32(x)) => Value::I32(x.wrapping_neg()),
+        (UnOp::Neg, Value::I64(x)) => Value::I64(x.wrapping_neg()),
+        (UnOp::Neg, Value::F64(x)) => Value::F64(-x),
+        (UnOp::Not, Value::I32(x)) => Value::I32(!x),
+        (UnOp::Not, Value::I64(x)) => Value::I64(!x),
+        _ => unreachable!("verifier rejects other unops"),
+    }
+}
+
+#[inline(always)]
+pub(crate) fn exec_cmp(op: CmpOp, a: Value, b: Value) -> i32 {
+    let ord = match (a, b) {
+        (Value::I32(x), Value::I32(y)) => x.partial_cmp(&y),
+        (Value::I64(x), Value::I64(y)) => x.partial_cmp(&y),
+        (Value::F64(x), Value::F64(y)) => x.partial_cmp(&y),
+        (Value::Ref(x), Value::Ref(y)) => x.partial_cmp(&y),
+        _ => unreachable!("verifier rejects mixed-type compares"),
+    };
+    let Some(ord) = ord else {
+        // NaN comparisons are all false except Ne.
+        return matches!(op, CmpOp::Ne) as i32;
+    };
+    use std::cmp::Ordering::*;
+    (match op {
+        CmpOp::Eq => ord == Equal,
+        CmpOp::Ne => ord != Equal,
+        CmpOp::Lt => ord == Less,
+        CmpOp::Le => ord != Greater,
+        CmpOp::Gt => ord == Greater,
+        CmpOp::Ge => ord != Less,
+    }) as i32
+}
+
+#[inline(always)]
+pub(crate) fn exec_conv(conv: Conv, v: Value) -> Value {
+    match (conv, v) {
+        (Conv::I32ToI64, Value::I32(x)) => Value::I64(x as i64),
+        (Conv::I64ToI32, Value::I64(x)) => Value::I32(x as i32),
+        (Conv::I32ToF64, Value::I32(x)) => Value::F64(x as f64),
+        (Conv::F64ToI32, Value::F64(x)) => Value::I32(x as i32),
+        (Conv::I64ToF64, Value::I64(x)) => Value::F64(x as f64),
+        (Conv::F64ToI64, Value::F64(x)) => Value::I64(x as i64),
+        _ => unreachable!("verifier rejects other conversions"),
+    }
+}

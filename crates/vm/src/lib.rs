@@ -19,14 +19,21 @@
 //!   ablation.
 
 pub mod config;
+pub(crate) mod decode;
+pub(crate) mod dispatch;
 pub mod error;
+pub(crate) mod fuse;
 pub mod inline;
 pub mod passes;
+pub mod pic;
+pub mod predecode;
 pub mod stats;
 pub mod unroll;
 pub mod vm;
 
 pub use config::VmConfig;
 pub use error::VmError;
+pub use pic::PicStats;
+pub use predecode::Predecoded;
 pub use stats::VmStats;
 pub use vm::Vm;

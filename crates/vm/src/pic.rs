@@ -1,0 +1,98 @@
+//! Polymorphic inline caches for call-site body resolution.
+//!
+//! This IR has direct calls only, so the polymorphism a call site sees is
+//! not receiver classes but *code revisions*: each method's installed body
+//! changes over time (interpreted original → JIT generation 0 → adaptive
+//! deopt back to the original → generation 1 → …). Every mutation of the
+//! installed body bumps the method's revision counter, and a PIC way is a
+//! `(revision, resolved activation target)` pair — so a hit can skip the
+//! `compiled[mid]` lookup and the body selection entirely, while any stale
+//! way misses by construction.
+//!
+//! Caches are 2-way with a move-to-front monomorphic fast path (way 0);
+//! overflowing the second way marks the site megamorphic, which disables
+//! the cache and routes every call through the full resolution slow path.
+//! PIC state is host-only: hits and misses resolve to the identical body
+//! the slow path would pick, so simulated numbers never depend on cache
+//! state.
+
+use spf_trace::TraceSink;
+
+use crate::vm::Installed;
+
+/// One cache way: the resolved target for a method code revision.
+pub(crate) struct PicWay<S: TraceSink> {
+    pub rev: u32,
+    pub target: Installed<S>,
+}
+
+/// A per-call-site inline cache.
+pub(crate) struct CallPic<S: TraceSink> {
+    pub ways: [Option<PicWay<S>>; 2],
+    pub megamorphic: bool,
+}
+
+impl<S: TraceSink> Default for CallPic<S> {
+    fn default() -> Self {
+        CallPic {
+            ways: [None, None],
+            megamorphic: false,
+        }
+    }
+}
+
+impl<S: TraceSink> CallPic<S> {
+    /// Looks up the target cached for `rev`. A hit in way 1 swaps it to
+    /// way 0, keeping the monomorphic common case a single compare.
+    #[inline(always)]
+    pub fn lookup(&mut self, rev: u32) -> Option<Installed<S>> {
+        if self.megamorphic {
+            return None;
+        }
+        if let Some(w) = &self.ways[0] {
+            if w.rev == rev {
+                return Some(w.target.clone());
+            }
+        }
+        if let Some(w) = &self.ways[1] {
+            if w.rev == rev {
+                let t = w.target.clone();
+                self.ways.swap(0, 1);
+                return Some(t);
+            }
+        }
+        None
+    }
+
+    /// Records the slow path's resolution for `rev`. With both ways full of
+    /// other revisions the site goes megamorphic and the cache is dropped.
+    pub fn insert(&mut self, rev: u32, target: Installed<S>) {
+        if self.megamorphic {
+            return;
+        }
+        let way = PicWay { rev, target };
+        if self.ways[0].is_none() {
+            self.ways[0] = Some(way);
+        } else if self.ways[1].is_none() {
+            // New entry becomes the monomorphic way.
+            self.ways.swap(0, 1);
+            self.ways[0] = Some(way);
+        } else {
+            self.megamorphic = true;
+            self.ways = [None, None];
+        }
+    }
+}
+
+/// Host-side PIC effectiveness counters (see [`crate::Vm::pic_stats`]).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct PicStats {
+    /// Calls resolved by a cache hit.
+    pub hits: u64,
+    /// Calls that took the full resolution slow path.
+    pub misses: u64,
+    /// Call sites with PIC slots allocated.
+    pub sites: usize,
+    /// Sites that overflowed both ways and disabled their cache.
+    pub megamorphic_sites: usize,
+}

@@ -12,7 +12,12 @@ pub struct MethodCycles {
 }
 
 /// Counters accumulated by a [`crate::Vm`] run.
-#[derive(Clone, Debug, Default)]
+///
+/// `PartialEq` compares every field, including the host-time fields
+/// (`jit_nanos`, `prefetch_pass_nanos`); differential tests that only care
+/// about simulated numbers should compare after `reset_measurement`, where
+/// both are zero.
+#[derive(Clone, PartialEq, Debug, Default)]
 pub struct VmStats {
     /// Simulated cycles elapsed (execution + memory stalls + GC + charged
     /// JIT time).

@@ -1,37 +1,63 @@
-//! The virtual machine: iterative interpreter with JIT hook, GC glue, and
-//! cycle accounting.
+//! The virtual machine: direct-threaded interpreter with JIT hook, GC
+//! glue, and cycle accounting.
+//!
+//! Function bodies are pre-decoded (the `decode` module) into flat arrays of
+//! handler `fn`-pointers with packed operands, optionally peephole-fused
+//! into superinstructions (the `fuse` module); the run loop is one indirect
+//! call per op. Call sites resolve their target bodies through 2-way
+//! polymorphic inline caches keyed by code revision ([`crate::pic`]). All
+//! of this is host-side machinery only: every simulated number — cycles,
+//! memory latencies, retired counts, per-method attribution — is computed
+//! by the same component sequences the old `match *instr` interpreter
+//! ran, in the same order, and is bit-identical to it.
 
 use std::collections::HashMap;
-use std::rc::Rc;
+use std::sync::Arc;
 use std::time::Instant;
 
 use spf_adapt::AdaptState;
 use spf_core::offline::OfflineProfile;
 use spf_core::{MethodReport, PrefetchMode, StridePrefetcher};
-use spf_heap::{static_addr, Addr, Heap, Layout, Value, ARRAY_DATA_OFFSET, NULL};
-use spf_ir::{
-    BinOp, BlockId, CmpOp, Conv, ElemTy, Function, Instr, InstrRef, MethodId, PrefetchAddr,
-    PrefetchKind, Program, Reg, Terminator, Ty, UnOp,
-};
-use spf_memsim::{CacheLevel, MemorySystem, ProcessorConfig};
+use spf_heap::{Addr, Heap, Layout, Value, NULL};
+use spf_ir::{ElemTy, Function, Instr, InstrRef, MethodId, PrefetchKind, Program, Reg};
+use spf_memsim::{MemorySystem, ProcessorConfig};
 use spf_trace::{NoopSink, SiteId, SiteInfo, SiteKind, SiteTable, TraceEvent, TraceSink};
 
-use crate::config::{
-    VmConfig, CALL_OVERHEAD, COMPILED_INSTR_COST, CYCLES_PER_NANO, RECOMPILE_BASE_CYCLES,
-    RECOMPILE_CYCLES_PER_INSTR,
-};
+use crate::config::{VmConfig, CYCLES_PER_NANO, RECOMPILE_BASE_CYCLES, RECOMPILE_CYCLES_PER_INSTR};
+use crate::decode::{decode, ThreadedCode};
+use crate::dispatch::{self, Ctx, Step};
 use crate::error::VmError;
 use crate::passes;
+use crate::pic::{CallPic, PicStats};
+use crate::predecode::Predecoded;
 use crate::stats::{MethodCycles, VmStats};
 
-struct Frame {
-    method: MethodId,
-    code: Rc<Function>,
-    compiled: bool,
-    regs: Vec<Value>,
-    block: BlockId,
-    idx: usize,
-    ret_dst: Option<Reg>,
+/// An installed, executable body: shared threaded code plus this VM's PIC
+/// slot allocation for its call sites.
+pub(crate) struct Installed<S: TraceSink> {
+    pub tcode: Arc<ThreadedCode<S>>,
+    pub pic_base: u32,
+    pub compiled: bool,
+}
+
+impl<S: TraceSink> Clone for Installed<S> {
+    fn clone(&self) -> Self {
+        Installed {
+            tcode: Arc::clone(&self.tcode),
+            pic_base: self.pic_base,
+            compiled: self.compiled,
+        }
+    }
+}
+
+pub(crate) struct Frame<S: TraceSink> {
+    pub method: MethodId,
+    pub code: Installed<S>,
+    /// Registers; empty while the frame is topmost (the run loop owns them
+    /// in its [`Ctx`], and syncs them back at call/alloc boundaries).
+    pub regs: Vec<Value>,
+    pub pc: usize,
+    pub ret_dst: Option<Reg>,
 }
 
 /// The mixed-mode virtual machine.
@@ -54,23 +80,36 @@ struct Frame {
 /// assert_eq!(out, Some(spf_heap::Value::I32(42)));
 /// ```
 pub struct Vm<S: TraceSink = NoopSink> {
-    program: Program,
-    config: VmConfig,
-    heap: Heap,
-    statics: Vec<Value>,
-    mem: MemorySystem<S>,
-    originals: Vec<Rc<Function>>,
-    compiled: Vec<Option<Rc<Function>>>,
+    pub(crate) program: Arc<Program>,
+    pub(crate) config: VmConfig,
+    pub(crate) heap: Heap,
+    pub(crate) statics: Vec<Value>,
+    pub(crate) mem: MemorySystem<S>,
+    originals: Vec<Installed<S>>,
+    compiled: Vec<Option<Installed<S>>>,
+    /// Per-method code revision; bumped on every mutation of the installed
+    /// body (JIT install, external install, deopt). PIC ways are keyed by
+    /// it, so stale cache entries miss by construction.
+    code_rev: Vec<u32>,
     invocations: Vec<u32>,
     reports: Vec<MethodReport>,
-    stats: VmStats,
-    offline: HashMap<MethodId, OfflineProfile>,
+    pub(crate) stats: VmStats,
+    pub(crate) offline: HashMap<MethodId, OfflineProfile>,
     sites: SiteTable,
-    site_ids: HashMap<(MethodId, InstrRef), SiteId>,
-    frames: Vec<Frame>,
-    adapt: AdaptState,
-    adaptive: bool,
-    history: Vec<(MethodId, u32, Rc<Function>)>,
+    pub(crate) site_ids: HashMap<(MethodId, InstrRef), SiteId>,
+    pub(crate) frames: Vec<Frame<S>>,
+    pub(crate) adapt: AdaptState,
+    pub(crate) adaptive: bool,
+    history: Vec<(MethodId, u32, Arc<Function>)>,
+    /// Whether installed bodies are decoded with superinstruction fusion.
+    fuse: bool,
+    pics: Vec<CallPic<S>>,
+    pic_hits: u64,
+    pic_misses: u64,
+    /// Recycled register buffers (frame pop → next frame push).
+    pub(crate) reg_pool: Vec<Vec<Value>>,
+    /// Reused call-argument buffer for the call handler.
+    pub(crate) argv_scratch: Vec<Value>,
 }
 
 impl<S: TraceSink> std::fmt::Debug for Vm<S> {
@@ -94,15 +133,29 @@ impl<S: TraceSink> Vm<S> {
     /// events into `sink`. With [`NoopSink`] every emission site compiles
     /// out and this is exactly [`Vm::new`].
     pub fn with_sink(program: Program, config: VmConfig, proc: ProcessorConfig, sink: S) -> Self {
-        let layout = Layout::compute(&program);
-        let heap = Heap::new(layout, config.heap_bytes);
+        let pre = Arc::new(Predecoded::with_fusion(
+            program,
+            config.fuse_superinstructions,
+        ));
+        Vm::from_predecoded(&pre, config, proc, sink)
+    }
+
+    /// Creates a VM from a shared pre-decoded program, skipping per-VM
+    /// body cloning and decoding entirely (the benchmark matrix builds one
+    /// [`Predecoded`] per workload and all cells from it). The
+    /// `Predecoded`'s fusion setting applies to bodies this VM JIT-installs
+    /// later, superseding [`VmConfig::fuse_superinstructions`].
+    pub fn from_predecoded(
+        pre: &Arc<Predecoded<S>>,
+        config: VmConfig,
+        proc: ProcessorConfig,
+        sink: S,
+    ) -> Self {
+        let program = Arc::clone(pre.program_arc());
+        let heap = Heap::new(pre.layout().clone(), config.heap_bytes);
         let statics = program
             .static_ids()
             .map(|sid| Value::zero_of(program.static_def(sid).ty.reg_ty()))
-            .collect();
-        let originals: Vec<Rc<Function>> = program
-            .method_ids()
-            .map(|m| Rc::new(program.method(m).func().clone()))
             .collect();
         let n = program.method_count();
         let stats = VmStats {
@@ -111,13 +164,28 @@ impl<S: TraceSink> Vm<S> {
         };
         let adaptive = config.prefetch.mode == PrefetchMode::Adaptive;
         let adapt = AdaptState::new(config.adapt);
+        let mut pics: Vec<CallPic<S>> = Vec::new();
+        let originals = pre
+            .bodies()
+            .iter()
+            .map(|t| {
+                let pic_base = pics.len() as u32;
+                pics.extend((0..t.call_sites).map(|_| CallPic::default()));
+                Installed {
+                    tcode: Arc::clone(t),
+                    pic_base,
+                    compiled: false,
+                }
+            })
+            .collect();
         Vm {
             program,
             heap,
             statics,
             mem: MemorySystem::with_sink(proc, sink),
             originals,
-            compiled: vec![None; n],
+            compiled: (0..n).map(|_| None).collect(),
+            code_rev: vec![0; n],
             invocations: vec![0; n],
             reports: Vec::new(),
             stats,
@@ -128,6 +196,12 @@ impl<S: TraceSink> Vm<S> {
             adapt,
             adaptive,
             history: Vec::new(),
+            fuse: pre.fused(),
+            pics,
+            pic_hits: 0,
+            pic_misses: 0,
+            reg_pool: Vec::new(),
+            argv_scratch: Vec::new(),
             config,
         }
     }
@@ -182,12 +256,20 @@ impl<S: TraceSink> Vm<S> {
     /// Installs a pre-optimized body for `mid`, bypassing the JIT trigger
     /// (used by the off-line profiling ablation).
     pub fn install_compiled(&mut self, mid: MethodId, func: Function) {
-        let func = Rc::new(func);
+        let func = Arc::new(func);
         if S::ENABLED {
             self.register_sites(mid, &func, 0);
         }
-        self.history.push((mid, 0, Rc::clone(&func)));
-        self.compiled[mid.index()] = Some(func);
+        let tcode = Arc::new(decode(
+            &self.program,
+            self.heap.layout_tables(),
+            &func,
+            self.fuse,
+        ));
+        let installed = self.register_installed(tcode, true);
+        self.history.push((mid, 0, func));
+        self.compiled[mid.index()] = Some(installed);
+        self.code_rev[mid.index()] = self.code_rev[mid.index()].wrapping_add(1);
     }
 
     /// The adaptive-reprofiling guard state (per-method generations,
@@ -204,6 +286,35 @@ impl<S: TraceSink> Vm<S> {
     /// installed.
     pub fn compiled_generations(&self) -> impl Iterator<Item = (MethodId, u32, &Function)> {
         self.history.iter().map(|(m, g, f)| (*m, *g, f.as_ref()))
+    }
+
+    /// Host-side inline-cache effectiveness counters: call-site PIC hits,
+    /// misses, and megamorphic overflows. Purely observational — cache
+    /// state never affects simulated numbers.
+    pub fn pic_stats(&self) -> PicStats {
+        PicStats {
+            hits: self.pic_hits,
+            misses: self.pic_misses,
+            sites: self.pics.len(),
+            megamorphic_sites: self.pics.iter().filter(|p| p.megamorphic).count(),
+        }
+    }
+
+    /// Total superinstructions across all currently installed bodies
+    /// (host-side statistic, for tests and diagnostics).
+    pub fn fused_op_count(&self) -> u64 {
+        let originals: u64 = self
+            .originals
+            .iter()
+            .map(|i| u64::from(i.tcode.fused))
+            .sum();
+        let compiled: u64 = self
+            .compiled
+            .iter()
+            .flatten()
+            .map(|i| u64::from(i.tcode.fused))
+            .sum();
+        originals + compiled
     }
 
     /// Registers every `Prefetch`/`SpecLoad` instruction of a freshly
@@ -258,7 +369,9 @@ impl<S: TraceSink> Vm<S> {
     /// The installed compiled body of `mid`, if any (for external analyses
     /// such as the `spf-lint` tool).
     pub fn compiled_body(&self, mid: MethodId) -> Option<&Function> {
-        self.compiled[mid.index()].as_deref()
+        self.compiled[mid.index()]
+            .as_ref()
+            .map(|c| c.tcode.src.as_ref())
     }
 
     /// Clears the memory system and measurement counters while keeping
@@ -298,7 +411,7 @@ impl<S: TraceSink> Vm<S> {
     /// [`VmError`] on runtime faults.
     pub fn call(&mut self, mid: MethodId, args: &[Value]) -> Result<Option<Value>, VmError> {
         assert!(self.frames.is_empty(), "vm is not reentrant");
-        self.push_frame(mid, args, None)?;
+        self.call_into(mid, args, None, None)?;
         let result = self.run();
         if result.is_err() {
             self.frames.clear();
@@ -306,41 +419,66 @@ impl<S: TraceSink> Vm<S> {
         result
     }
 
-    fn push_frame(
+    /// Invokes `mid`: depth check, invocation accounting, body resolution
+    /// (through the call site's PIC when `pic` names a slot), frame push.
+    /// The check/JIT/resolve order matches the old `push_frame` exactly;
+    /// PIC hits resolve to the identical body the slow path would pick.
+    pub(crate) fn call_into(
         &mut self,
         mid: MethodId,
         args: &[Value],
         ret_dst: Option<Reg>,
+        pic: Option<u32>,
     ) -> Result<(), VmError> {
         if self.frames.len() >= self.config.max_stack_depth {
             return Err(VmError::StackOverflow);
         }
         self.invocations[mid.index()] += 1;
         self.stats.per_method[mid.index()].invocations += 1;
-        if self.adaptive && self.compiled[mid.index()].is_some() {
-            if let Some(reason) = self.adapt.check_stale(mid.index(), self.heap.gc_epoch()) {
-                let generation = self.adapt.guard(mid.index()).map_or(0, |g| g.generation);
-                if S::ENABLED {
-                    let now = self.stats.cycles;
-                    self.mem.sink_mut().emit(TraceEvent::SiteStale {
-                        method: mid.index() as u32,
-                        generation,
-                        reason,
-                        now,
-                    });
-                    self.mem.sink_mut().emit(TraceEvent::Deopt {
-                        method: mid.index() as u32,
-                        generation,
-                        now,
-                    });
+        if let Some(slot) = pic {
+            let rev = self.code_rev[mid.index()];
+            if let Some(target) = self.pics[slot as usize].lookup(rev) {
+                if target.compiled {
+                    // Cached compiled body. In adaptive mode the staleness
+                    // check still runs on every invocation, exactly as the
+                    // slow path does; a deopt bumps the revision, so the
+                    // way dies and resolution falls through (with the
+                    // stale check already consumed).
+                    if !self.adaptive || !self.maybe_deopt(mid) {
+                        self.pic_hits += 1;
+                        self.activate(target, mid, args, ret_dst);
+                        return Ok(());
+                    }
+                    self.pic_misses += 1;
+                    return self.resolve_and_push(mid, args, ret_dst, Some(slot), true);
                 }
-                // Deopt: drop back to the unprefetched original body (the
-                // interpreter runs it) until the backoff window elapses.
-                self.compiled[mid.index()] = None;
-                self.stats.deopts += 1;
-                self.adapt
-                    .on_deopt(mid.index(), u64::from(self.invocations[mid.index()]));
+                // Cached interpreted body: only valid while the method
+                // stays under the compile threshold (adaptive backoff can
+                // hold it there arbitrarily long, so re-check per call).
+                if self.invocations[mid.index()] < self.config.compile_threshold {
+                    self.pic_hits += 1;
+                    self.activate(target, mid, args, ret_dst);
+                    return Ok(());
+                }
             }
+            self.pic_misses += 1;
+            return self.resolve_and_push(mid, args, ret_dst, Some(slot), false);
+        }
+        self.resolve_and_push(mid, args, ret_dst, None, false)
+    }
+
+    /// Slow-path resolution: adaptive staleness check (unless the caller
+    /// already ran it), JIT trigger, body selection, PIC fill, activation.
+    fn resolve_and_push(
+        &mut self,
+        mid: MethodId,
+        args: &[Value],
+        ret_dst: Option<Reg>,
+        pic: Option<u32>,
+        deopt_checked: bool,
+    ) -> Result<(), VmError> {
+        if !deopt_checked && self.adaptive && self.compiled[mid.index()].is_some() {
+            self.maybe_deopt(mid);
         }
         if self.compiled[mid.index()].is_none()
             && self.invocations[mid.index()] >= self.config.compile_threshold
@@ -351,25 +489,83 @@ impl<S: TraceSink> Vm<S> {
         {
             self.jit_compile(mid, args);
         }
-        let (code, compiled) = match &self.compiled[mid.index()] {
-            Some(c) => (Rc::clone(c), true),
-            None => (Rc::clone(&self.originals[mid.index()]), false),
+        let installed = match &self.compiled[mid.index()] {
+            Some(c) => c.clone(),
+            None => self.originals[mid.index()].clone(),
         };
-        let mut regs: Vec<Value> = (0..code.reg_count())
-            .map(|i| Value::zero_of(code.reg_ty(Reg::new(i))))
-            .collect();
+        if let Some(slot) = pic {
+            self.pics[slot as usize].insert(self.code_rev[mid.index()], installed.clone());
+        }
+        self.activate(installed, mid, args, ret_dst);
+        Ok(())
+    }
+
+    /// Runs the adaptive staleness check for `mid` (which must have a
+    /// compiled body installed) and deopts if a guard went stale; returns
+    /// whether a deopt happened.
+    fn maybe_deopt(&mut self, mid: MethodId) -> bool {
+        let Some(reason) = self.adapt.check_stale(mid.index(), self.heap.gc_epoch()) else {
+            return false;
+        };
+        let generation = self.adapt.guard(mid.index()).map_or(0, |g| g.generation);
+        if S::ENABLED {
+            let now = self.stats.cycles;
+            self.mem.sink_mut().emit(TraceEvent::SiteStale {
+                method: mid.index() as u32,
+                generation,
+                reason,
+                now,
+            });
+            self.mem.sink_mut().emit(TraceEvent::Deopt {
+                method: mid.index() as u32,
+                generation,
+                now,
+            });
+        }
+        // Deopt: drop back to the unprefetched original body (the
+        // interpreter runs it) until the backoff window elapses.
+        self.compiled[mid.index()] = None;
+        self.code_rev[mid.index()] = self.code_rev[mid.index()].wrapping_add(1);
+        self.stats.deopts += 1;
+        self.adapt
+            .on_deopt(mid.index(), u64::from(self.invocations[mid.index()]));
+        true
+    }
+
+    /// Pushes a frame executing `code`, copying `args` over the zeroed
+    /// register template.
+    fn activate(
+        &mut self,
+        code: Installed<S>,
+        mid: MethodId,
+        args: &[Value],
+        ret_dst: Option<Reg>,
+    ) {
+        let mut regs = self.reg_pool.pop().unwrap_or_default();
+        regs.clear();
+        regs.extend_from_slice(&code.tcode.reg_template);
         regs[..args.len()].copy_from_slice(args);
-        let entry = code.entry();
+        let pc = code.tcode.entry_pc as usize;
         self.frames.push(Frame {
             method: mid,
             code,
-            compiled,
             regs,
-            block: entry,
-            idx: 0,
+            pc,
             ret_dst,
         });
-        Ok(())
+    }
+
+    /// Wraps freshly decoded threaded code as an installed body, giving
+    /// its call sites dense PIC slots in this VM.
+    fn register_installed(&mut self, tcode: Arc<ThreadedCode<S>>, compiled: bool) -> Installed<S> {
+        let pic_base = self.pics.len() as u32;
+        self.pics
+            .extend((0..tcode.call_sites).map(|_| CallPic::default()));
+        Installed {
+            tcode,
+            pic_base,
+            compiled,
+        }
     }
 
     /// JIT-compiles `mid`: baseline passes, then the stride-prefetching
@@ -381,7 +577,7 @@ impl<S: TraceSink> Vm<S> {
                 method: mid.index() as u32,
             });
         }
-        let original = Rc::clone(&self.originals[mid.index()]);
+        let original = Arc::clone(&self.originals[mid.index()].tcode.src);
         let pre_inlined;
         let input: &Function = if self.config.inline_small_methods {
             pre_inlined = crate::inline::inline_small_calls(
@@ -478,24 +674,33 @@ impl<S: TraceSink> Vm<S> {
                 });
             }
         }
-        let func = Rc::new(outcome.func);
+        let func = Arc::new(outcome.func);
         if S::ENABLED {
             self.register_sites(mid, &func, generation);
         }
-        self.history.push((mid, generation, Rc::clone(&func)));
-        self.compiled[mid.index()] = Some(func);
+        // Decode strictly after the elapsed-time capture: generation-0
+        // compilations charge host nanos to the simulated clock, and
+        // decode time must not leak into simulated numbers.
+        let tcode = Arc::new(decode(
+            &self.program,
+            self.heap.layout_tables(),
+            &func,
+            self.fuse,
+        ));
+        let installed = self.register_installed(tcode, true);
+        self.history.push((mid, generation, func));
+        self.compiled[mid.index()] = Some(installed);
+        self.code_rev[mid.index()] = self.code_rev[mid.index()].wrapping_add(1);
         self.reports.push(outcome.report);
     }
 
     fn gc(&mut self) {
         let mut roots: Vec<Addr> = Vec::new();
         for f in &self.frames {
-            for (i, v) in f.regs.iter().enumerate() {
-                if f.code.reg_ty(Reg::new(i)) == Ty::Ref {
-                    if let Value::Ref(a) = v {
-                        if *a != NULL && self.heap.contains(*a) {
-                            roots.push(*a);
-                        }
+            for &i in f.code.tcode.ref_regs.iter() {
+                if let Value::Ref(a) = f.regs[i as usize] {
+                    if a != NULL && self.heap.contains(a) {
+                        roots.push(a);
                     }
                 }
             }
@@ -534,7 +739,7 @@ impl<S: TraceSink> Vm<S> {
         self.stats.gc_count += 1;
     }
 
-    fn alloc_object(&mut self, class: spf_ir::ClassId) -> Result<Addr, VmError> {
+    pub(crate) fn alloc_object(&mut self, class: spf_ir::ClassId) -> Result<Addr, VmError> {
         if let Some(a) = self.heap.alloc_object(class) {
             return Ok(a);
         }
@@ -544,7 +749,7 @@ impl<S: TraceSink> Vm<S> {
         })
     }
 
-    fn alloc_array(&mut self, elem: ElemTy, len: u64) -> Result<Addr, VmError> {
+    pub(crate) fn alloc_array(&mut self, elem: ElemTy, len: u64) -> Result<Addr, VmError> {
         if let Some(a) = self.heap.alloc_array(elem, len) {
             return Ok(a);
         }
@@ -556,554 +761,80 @@ impl<S: TraceSink> Vm<S> {
             })
     }
 
-    fn prefetch_addr(&self, frame: &Frame, addr: &PrefetchAddr) -> Option<Addr> {
-        match *addr {
-            PrefetchAddr::FieldOf { base, delta } => match frame.regs[base.index()] {
-                Value::Ref(a) if a != NULL => Some(a.wrapping_add(delta as u64)),
-                _ => None,
-            },
-            PrefetchAddr::ArrayElem {
-                arr,
-                idx,
-                scale,
-                delta,
-            } => match (frame.regs[arr.index()], frame.regs[idx.index()]) {
-                (Value::Ref(a), Value::I32(i)) if a != NULL => Some(
-                    a.wrapping_add((i as i64).wrapping_mul(scale as i64) as u64)
-                        .wrapping_add(delta as u64),
-                ),
-                _ => None,
-            },
-        }
-    }
-
-    /// The dispatch loop.
-    ///
-    /// Hot-path structure: the top frame's code (one `Rc` clone per frame
-    /// switch instead of one `Instr` clone per instruction), block cursor,
-    /// and per-instruction cost are cached in locals, and all counters —
-    /// the simulated clock, retired-instruction counts, and per-method
-    /// attribution — accumulate in registers. They are flushed to
-    /// [`VmStats`] only at call boundaries and on exit. The memory
-    /// simulator still observes the exact simulated clock: `cycles` is the
-    /// live counter and is synchronized with `self.stats.cycles` around
-    /// every operation that charges the clock elsewhere (JIT compilation
-    /// in `push_frame`, GC in the allocators), so every latency and every
-    /// cycle total is bit-identical to the per-instruction bookkeeping
-    /// this replaces.
-    #[allow(clippy::too_many_lines)]
+    /// The dispatch loop: fetch the op at `pc`, advance, indirect-call the
+    /// handler. Counters live in the [`Ctx`] (register-resident, flushed
+    /// to [`VmStats`] at frame switches and on halt, exactly as the old
+    /// loop's locals were), and the top frame's registers are owned by the
+    /// `Ctx` while it runs.
     fn run(&mut self) -> Result<Option<Value>, VmError> {
-        // Counter registers, flushed by `finish!`.
-        let mut cycles = self.stats.cycles;
-        let mut retired: u64 = 0;
-        let mut interp_retired: u64 = 0;
-        let mut comp_retired: u64 = 0;
-        // Cycles charged to the current frame, not yet attributed to
-        // `per_method`; flushed by `flush_frame!` at frame switches.
-        let mut frame_acc: u64 = 0;
-        // Top-frame cache, refreshed by `reload!` after push/pop.
-        let (mut code, mut cur_block, mut idx, mut cur_mid, mut cur_compiled) = {
-            let f = self.frames.last().expect("frame");
-            (Rc::clone(&f.code), f.block, f.idx, f.method, f.compiled)
+        let mut ctx = Ctx {
+            pc: 0,
+            cycles: self.stats.cycles,
+            frame_start: self.stats.cycles,
+            term_retired: 0,
+            seg_retired: 0,
+            interp_retired: 0,
+            comp_retired: 0,
+            cur_cost: 0,
+            cur_compiled: false,
+            cur_mid: MethodId::new(0),
+            cur_pic_base: 0,
+            regs: Vec::new(),
+            halt: None,
         };
-        let mut cur_cost = if cur_compiled {
-            COMPILED_INSTR_COST
-        } else {
-            COMPILED_INSTR_COST * self.config.interp_cost_multiplier
-        };
-
-        macro_rules! flush_frame {
-            () => {{
-                let pm = &mut self.stats.per_method[cur_mid.index()];
-                if cur_compiled {
-                    pm.compiled += frame_acc;
-                } else {
-                    pm.interpreted += frame_acc;
-                }
-                frame_acc = 0;
-            }};
-        }
-        macro_rules! reload {
-            () => {{
-                let f = self.frames.last().expect("frame");
-                code = Rc::clone(&f.code);
-                cur_block = f.block;
-                idx = f.idx;
-                cur_mid = f.method;
-                cur_compiled = f.compiled;
-                cur_cost = if cur_compiled {
-                    COMPILED_INSTR_COST
-                } else {
-                    COMPILED_INSTR_COST * self.config.interp_cost_multiplier
-                };
-            }};
-        }
-        macro_rules! finish {
-            ($res:expr) => {{
-                let pm = &mut self.stats.per_method[cur_mid.index()];
-                if cur_compiled {
-                    pm.compiled += frame_acc;
-                } else {
-                    pm.interpreted += frame_acc;
-                }
-                self.stats.cycles = cycles;
-                self.stats.retired_instructions += retired;
-                self.stats.interpreted_instructions += interp_retired;
-                self.stats.compiled_instructions += comp_retired;
-                return $res;
-            }};
-        }
-        macro_rules! frame {
-            () => {
-                self.frames.last().expect("frame")
-            };
-        }
-        macro_rules! set {
-            ($dst:expr, $v:expr) => {{
-                let v = $v;
-                self.frames.last_mut().expect("frame").regs[$dst.index()] = v;
-            }};
-        }
-
+        dispatch::reload_ctx(self, &mut ctx);
+        // The threaded code is accessed through a raw pointer instead of
+        // cloning the `Arc` on every frame switch (two atomic RMWs per
+        // call/return otherwise). SAFETY: the pointer is only dereferenced
+        // while the frame it was fetched from is the top frame, and that
+        // frame's own `Installed.tcode` Arc keeps the allocation alive
+        // (pushing frames may reallocate the frame vec, but never moves the
+        // Arc'd `ThreadedCode`); every handler that pushes or pops a frame
+        // returns `Step::Switch`, which re-fetches the pointer before the
+        // next dereference. `ThreadedCode` is immutable once built.
+        let mut tcode_ptr: *const ThreadedCode<S> =
+            Arc::as_ptr(&self.frames.last().expect("frame").code.tcode);
         loop {
-            // Fetch.
-            let block = code.block(cur_block);
-            if idx >= block.instrs.len() {
-                // Terminator.
-                let term = block.term.clone();
-                cycles += cur_cost;
-                frame_acc += cur_cost;
-                retired += 1;
-                match term {
-                    Terminator::Jump(t) => {
-                        cur_block = t;
-                        idx = 0;
-                    }
-                    Terminator::Branch {
-                        cond,
-                        then_bb,
-                        else_bb,
-                    } => {
-                        let taken = frame!().regs[cond.index()].as_i32() != 0;
-                        cur_block = if taken { then_bb } else { else_bb };
-                        idx = 0;
-                    }
-                    Terminator::Return(v) => {
-                        flush_frame!();
-                        let f = self.frames.pop().expect("frame");
-                        let value = v.map(|r| f.regs[r.index()]);
-                        match self.frames.last_mut() {
-                            Some(caller) => {
-                                if let (Some(dst), Some(val)) = (f.ret_dst, value) {
-                                    caller.regs[dst.index()] = val;
-                                }
-                            }
-                            None => finish!(Ok(value)),
-                        }
-                        reload!();
-                    }
-                    Terminator::Unreachable => finish!(Err(VmError::UnreachableExecuted)),
+            let step = {
+                let tcode = unsafe { &*tcode_ptr };
+                // SAFETY: `pc` is always in range: decode guarantees every
+                // block ends in a terminator whose handler either redirects
+                // `pc` to a patched (valid) block entry or leaves the frame,
+                // so sequential `pc + 1` never walks past the last op.
+                debug_assert!(ctx.pc < tcode.ops.len());
+                let op = unsafe { tcode.ops.get_unchecked(ctx.pc) };
+                ctx.pc += 1;
+                (op.handler)(self, &mut ctx, op, tcode)
+            };
+            match step {
+                Step::Next => {}
+                Step::Switch => {
+                    tcode_ptr = Arc::as_ptr(&self.frames.last().expect("frame").code.tcode);
                 }
-                continue;
-            }
-
-            let site = InstrRef::new(cur_block, idx);
-            let instr = &block.instrs[idx];
-            cycles += cur_cost;
-            frame_acc += cur_cost;
-            retired += 1;
-            if cur_compiled {
-                comp_retired += 1;
-            } else {
-                interp_retired += 1;
-            }
-            idx += 1;
-
-            match *instr {
-                Instr::Const { dst, value } => {
-                    let v = match value {
-                        spf_ir::Const::I32(x) => Value::I32(x),
-                        spf_ir::Const::I64(x) => Value::I64(x),
-                        spf_ir::Const::F64(x) => Value::F64(x),
-                        spf_ir::Const::Null => Value::Ref(NULL),
-                    };
-                    set!(dst, v);
-                }
-                Instr::Move { dst, src } => {
-                    let v = frame!().regs[src.index()];
-                    set!(dst, v);
-                }
-                Instr::Bin { dst, op, a, b } => {
-                    let (x, y) = (frame!().regs[a.index()], frame!().regs[b.index()]);
-                    let v = match exec_bin(op, x, y) {
-                        Some(v) => v,
-                        None => finish!(Err(VmError::DivisionByZero { at: site })),
-                    };
-                    set!(dst, v);
-                }
-                Instr::Un { dst, op, src } => {
-                    let v = exec_un(op, frame!().regs[src.index()]);
-                    set!(dst, v);
-                }
-                Instr::Cmp { dst, op, a, b } => {
-                    let (x, y) = (frame!().regs[a.index()], frame!().regs[b.index()]);
-                    set!(dst, Value::I32(exec_cmp(op, x, y)));
-                }
-                Instr::Convert { dst, conv, src } => {
-                    let v = exec_conv(conv, frame!().regs[src.index()]);
-                    set!(dst, v);
-                }
-                Instr::GetField { dst, obj, field } => {
-                    let a = frame!().regs[obj.index()].as_ref_addr();
-                    if a == NULL {
-                        finish!(Err(VmError::NullPointer { at: site }));
+                Step::Halt => {
+                    self.stats.cycles = ctx.cycles;
+                    // `halt`/`flush_frame_acc` has folded the last segment,
+                    // so the split counters are complete and the total is
+                    // their sum plus terminators.
+                    self.stats.retired_instructions +=
+                        ctx.interp_retired + ctx.comp_retired + ctx.term_retired;
+                    self.stats.interpreted_instructions += ctx.interp_retired;
+                    self.stats.compiled_instructions += ctx.comp_retired;
+                    let buf = std::mem::take(&mut ctx.regs);
+                    if buf.capacity() > 0 {
+                        self.reg_pool.push(buf);
                     }
-                    let ty = self.program.field(field).ty;
-                    let addr = a + self.heap.layout_tables().field_offset(field);
-                    let lat = self.mem.load(addr, cycles);
-                    cycles += lat;
-                    frame_acc += lat;
-                    if self.config.collect_offline_profile {
-                        self.offline.entry(cur_mid).or_default().record(site, addr);
-                    }
-                    let v = match self.heap.read(addr, ty) {
-                        Ok(v) => v,
-                        Err(_) => finish!(Err(VmError::BadAccess { addr })),
-                    };
-                    set!(dst, v);
-                }
-                Instr::PutField { obj, field, src } => {
-                    let a = frame!().regs[obj.index()].as_ref_addr();
-                    if a == NULL {
-                        finish!(Err(VmError::NullPointer { at: site }));
-                    }
-                    let ty = self.program.field(field).ty;
-                    let addr = a + self.heap.layout_tables().field_offset(field);
-                    let lat = self.mem.store(addr, cycles);
-                    cycles += lat;
-                    frame_acc += lat;
-                    let v = frame!().regs[src.index()];
-                    let v = coerce_store(v, ty);
-                    if self.heap.write(addr, ty, v).is_err() {
-                        finish!(Err(VmError::BadAccess { addr }));
-                    }
-                }
-                Instr::GetStatic { dst, sid } => {
-                    let addr = static_addr(sid);
-                    let lat = self.mem.load(addr, cycles);
-                    cycles += lat;
-                    frame_acc += lat;
-                    let v = self.statics[sid.index()];
-                    set!(dst, v);
-                }
-                Instr::PutStatic { sid, src } => {
-                    let addr = static_addr(sid);
-                    let lat = self.mem.store(addr, cycles);
-                    cycles += lat;
-                    frame_acc += lat;
-                    self.statics[sid.index()] = frame!().regs[src.index()];
-                }
-                Instr::ALoad {
-                    dst,
-                    arr,
-                    idx,
-                    elem,
-                } => {
-                    let a = frame!().regs[arr.index()].as_ref_addr();
-                    if a == NULL {
-                        finish!(Err(VmError::NullPointer { at: site }));
-                    }
-                    let i = frame!().regs[idx.index()].as_i32();
-                    let len = self.heap.array_len(a);
-                    if i < 0 || i as u64 >= len {
-                        finish!(Err(VmError::IndexOutOfBounds {
-                            at: site,
-                            index: i,
-                            len,
-                        }));
-                    }
-                    let addr = a + ARRAY_DATA_OFFSET + i as u64 * elem.size();
-                    let lat = self.mem.load(addr, cycles);
-                    cycles += lat;
-                    frame_acc += lat;
-                    if self.config.collect_offline_profile {
-                        self.offline.entry(cur_mid).or_default().record(site, addr);
-                    }
-                    let v = match self.heap.read(addr, elem) {
-                        Ok(v) => v,
-                        Err(_) => finish!(Err(VmError::BadAccess { addr })),
-                    };
-                    set!(dst, v);
-                }
-                Instr::AStore {
-                    arr,
-                    idx,
-                    src,
-                    elem,
-                } => {
-                    let a = frame!().regs[arr.index()].as_ref_addr();
-                    if a == NULL {
-                        finish!(Err(VmError::NullPointer { at: site }));
-                    }
-                    let i = frame!().regs[idx.index()].as_i32();
-                    let len = self.heap.array_len(a);
-                    if i < 0 || i as u64 >= len {
-                        finish!(Err(VmError::IndexOutOfBounds {
-                            at: site,
-                            index: i,
-                            len,
-                        }));
-                    }
-                    let addr = a + ARRAY_DATA_OFFSET + i as u64 * elem.size();
-                    let lat = self.mem.store(addr, cycles);
-                    cycles += lat;
-                    frame_acc += lat;
-                    let v = coerce_store(frame!().regs[src.index()], elem);
-                    if self.heap.write(addr, elem, v).is_err() {
-                        finish!(Err(VmError::BadAccess { addr }));
-                    }
-                }
-                Instr::ArrayLen { dst, arr } => {
-                    let a = frame!().regs[arr.index()].as_ref_addr();
-                    if a == NULL {
-                        finish!(Err(VmError::NullPointer { at: site }));
-                    }
-                    let lat = self.mem.load(a + 8, cycles);
-                    cycles += lat;
-                    frame_acc += lat;
-                    if self.config.collect_offline_profile {
-                        self.offline.entry(cur_mid).or_default().record(site, a + 8);
-                    }
-                    set!(dst, Value::I32(self.heap.array_len(a) as i32));
-                }
-                Instr::New { dst, class } => {
-                    // The allocator may GC, which charges the clock.
-                    self.stats.cycles = cycles;
-                    let a = match self.alloc_object(class) {
-                        Ok(a) => a,
-                        Err(e) => {
-                            cycles = self.stats.cycles;
-                            finish!(Err(e));
-                        }
-                    };
-                    cycles = self.stats.cycles;
-                    let size = self.heap.layout_tables().class_size(class);
-                    let lat = self.mem.store(a, cycles);
-                    let cost = lat + 4 + size / 32;
-                    cycles += cost;
-                    frame_acc += cost;
-                    set!(dst, Value::Ref(a));
-                }
-                Instr::NewArray { dst, elem, len } => {
-                    let n = frame!().regs[len.index()].as_i32();
-                    if n < 0 {
-                        finish!(Err(VmError::IndexOutOfBounds {
-                            at: site,
-                            index: n,
-                            len: 0,
-                        }));
-                    }
-                    // The allocator may GC, which charges the clock.
-                    self.stats.cycles = cycles;
-                    let a = match self.alloc_array(elem, n as u64) {
-                        Ok(a) => a,
-                        Err(e) => {
-                            cycles = self.stats.cycles;
-                            finish!(Err(e));
-                        }
-                    };
-                    cycles = self.stats.cycles;
-                    let size = Layout::array_size(elem, n as u64);
-                    let lat = self.mem.store(a, cycles);
-                    let cost = lat + 4 + size / 32;
-                    cycles += cost;
-                    frame_acc += cost;
-                    set!(dst, Value::Ref(a));
-                }
-                Instr::Call {
-                    dst,
-                    callee,
-                    ref args,
-                } => {
-                    cycles += CALL_OVERHEAD;
-                    frame_acc += CALL_OVERHEAD;
-                    let argv: Vec<Value> = {
-                        let f = frame!();
-                        args.iter().map(|r| f.regs[r.index()]).collect()
-                    };
-                    flush_frame!();
-                    {
-                        // Persist the cursor so the callee's return resumes
-                        // after this call.
-                        let f = self.frames.last_mut().expect("frame");
-                        f.block = cur_block;
-                        f.idx = idx;
-                    }
-                    // `push_frame` may JIT-compile, which charges the clock.
-                    self.stats.cycles = cycles;
-                    if let Err(e) = self.push_frame(callee, &argv, dst) {
-                        cycles = self.stats.cycles;
-                        finish!(Err(e));
-                    }
-                    cycles = self.stats.cycles;
-                    reload!();
-                }
-                Instr::Prefetch { addr, kind } => {
-                    if let Some(target) = self.prefetch_addr(frame!(), &addr) {
-                        if S::ENABLED {
-                            let id = self.site_ids.get(&(cur_mid, site));
-                            self.mem.set_site(id.copied().unwrap_or(SiteId::UNKNOWN));
-                        }
-                        if self.adaptive {
-                            // A prefetch whose line is already cached at
-                            // the fill target is useless — the same test
-                            // the memory system applies internally, probed
-                            // non-mutatingly so simulated numbers are
-                            // untouched.
-                            let level = match kind {
-                                PrefetchKind::Hardware => self.mem.config().swpf_target,
-                                PrefetchKind::GuardedLoad => CacheLevel::L1,
-                            };
-                            let useless = self.mem.line_present(level, target);
-                            self.adapt.record_issue(
-                                cur_mid.index(),
-                                (site.block.index() as u32, site.index),
-                                useless,
-                            );
-                        }
-                        let cost = match kind {
-                            PrefetchKind::Hardware => self.mem.software_prefetch(target, cycles),
-                            PrefetchKind::GuardedLoad => self.mem.guarded_load(target, cycles),
-                        };
-                        cycles += cost;
-                        frame_acc += cost;
-                    }
-                }
-                Instr::SpecLoad { dst, addr } => {
-                    let v = match self.prefetch_addr(frame!(), &addr) {
-                        Some(target) => {
-                            if S::ENABLED {
-                                let id = self.site_ids.get(&(cur_mid, site));
-                                self.mem.set_site(id.copied().unwrap_or(SiteId::UNKNOWN));
-                            }
-                            if self.adaptive {
-                                let useless = self.mem.line_present(CacheLevel::L1, target);
-                                self.adapt.record_issue(
-                                    cur_mid.index(),
-                                    (site.block.index() as u32, site.index),
-                                    useless,
-                                );
-                            }
-                            let cost = self.mem.guarded_load(target, cycles);
-                            cycles += cost;
-                            frame_acc += cost;
-                            match spf_heap::HeapRead::try_read(&self.heap, target, ElemTy::Ref) {
-                                Some(Value::Ref(a)) => Value::Ref(a),
-                                _ => Value::Ref(NULL),
-                            }
-                        }
-                        None => Value::Ref(NULL),
-                    };
-                    set!(dst, v);
+                    return ctx.halt.take().expect("halt result");
                 }
             }
         }
-    }
-}
-
-fn coerce_store(v: Value, _ty: ElemTy) -> Value {
-    v
-}
-
-fn exec_bin(op: BinOp, a: Value, b: Value) -> Option<Value> {
-    Some(match (a, b) {
-        (Value::I32(x), Value::I32(y)) => Value::I32(match op {
-            BinOp::Add => x.wrapping_add(y),
-            BinOp::Sub => x.wrapping_sub(y),
-            BinOp::Mul => x.wrapping_mul(y),
-            BinOp::Div => x.checked_div(y)?,
-            BinOp::Rem => x.checked_rem(y)?,
-            BinOp::And => x & y,
-            BinOp::Or => x | y,
-            BinOp::Xor => x ^ y,
-            BinOp::Shl => x.wrapping_shl(y as u32),
-            BinOp::Shr => x.wrapping_shr(y as u32),
-            BinOp::UShr => ((x as u32).wrapping_shr(y as u32)) as i32,
-        }),
-        (Value::I64(x), Value::I64(y)) => Value::I64(match op {
-            BinOp::Add => x.wrapping_add(y),
-            BinOp::Sub => x.wrapping_sub(y),
-            BinOp::Mul => x.wrapping_mul(y),
-            BinOp::Div => x.checked_div(y)?,
-            BinOp::Rem => x.checked_rem(y)?,
-            BinOp::And => x & y,
-            BinOp::Or => x | y,
-            BinOp::Xor => x ^ y,
-            BinOp::Shl => x.wrapping_shl(y as u32),
-            BinOp::Shr => x.wrapping_shr(y as u32),
-            BinOp::UShr => ((x as u64).wrapping_shr(y as u32)) as i64,
-        }),
-        (Value::F64(x), Value::F64(y)) => Value::F64(match op {
-            BinOp::Add => x + y,
-            BinOp::Sub => x - y,
-            BinOp::Mul => x * y,
-            BinOp::Div => x / y,
-            _ => unreachable!("verifier rejects float bit-ops"),
-        }),
-        _ => unreachable!("verifier rejects mixed-type binops"),
-    })
-}
-
-fn exec_un(op: UnOp, v: Value) -> Value {
-    match (op, v) {
-        (UnOp::Neg, Value::I32(x)) => Value::I32(x.wrapping_neg()),
-        (UnOp::Neg, Value::I64(x)) => Value::I64(x.wrapping_neg()),
-        (UnOp::Neg, Value::F64(x)) => Value::F64(-x),
-        (UnOp::Not, Value::I32(x)) => Value::I32(!x),
-        (UnOp::Not, Value::I64(x)) => Value::I64(!x),
-        _ => unreachable!("verifier rejects other unops"),
-    }
-}
-
-fn exec_cmp(op: CmpOp, a: Value, b: Value) -> i32 {
-    let ord = match (a, b) {
-        (Value::I32(x), Value::I32(y)) => x.partial_cmp(&y),
-        (Value::I64(x), Value::I64(y)) => x.partial_cmp(&y),
-        (Value::F64(x), Value::F64(y)) => x.partial_cmp(&y),
-        (Value::Ref(x), Value::Ref(y)) => x.partial_cmp(&y),
-        _ => unreachable!("verifier rejects mixed-type compares"),
-    };
-    let Some(ord) = ord else {
-        // NaN comparisons are all false except Ne.
-        return matches!(op, CmpOp::Ne) as i32;
-    };
-    use std::cmp::Ordering::*;
-    (match op {
-        CmpOp::Eq => ord == Equal,
-        CmpOp::Ne => ord != Equal,
-        CmpOp::Lt => ord == Less,
-        CmpOp::Le => ord != Greater,
-        CmpOp::Gt => ord == Greater,
-        CmpOp::Ge => ord != Less,
-    }) as i32
-}
-
-fn exec_conv(conv: Conv, v: Value) -> Value {
-    match (conv, v) {
-        (Conv::I32ToI64, Value::I32(x)) => Value::I64(x as i64),
-        (Conv::I64ToI32, Value::I64(x)) => Value::I32(x as i32),
-        (Conv::I32ToF64, Value::I32(x)) => Value::F64(x as f64),
-        (Conv::F64ToI32, Value::F64(x)) => Value::I32(x as i32),
-        (Conv::I64ToF64, Value::I64(x)) => Value::F64(x as f64),
-        (Conv::F64ToI64, Value::F64(x)) => Value::I64(x as i64),
-        _ => unreachable!("verifier rejects other conversions"),
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use spf_ir::ProgramBuilder;
+    use spf_ir::{ProgramBuilder, Ty};
 
     fn vm_for(pb: ProgramBuilder) -> Vm {
         Vm::new(
@@ -1373,6 +1104,76 @@ mod tests {
         let profiles = vm.offline_profiles();
         assert!(profiles.contains_key(&main));
         assert!(profiles[&main].site_count() >= 2); // aload + arraylength
+    }
+
+    #[test]
+    fn loop_bodies_get_fused_superinstructions() {
+        let mut pb = ProgramBuilder::new();
+        let mut b = pb.function("work", &[Ty::I32], Some(Ty::I32));
+        let n = b.param(0);
+        let acc = b.new_reg(Ty::I32);
+        let z = b.const_i32(0);
+        b.move_(acc, z);
+        b.for_i32(
+            0,
+            1,
+            CmpOp::Lt,
+            |_| n,
+            |b, i| {
+                let s = b.add(acc, i);
+                b.move_(acc, s);
+            },
+        );
+        b.ret(Some(acc));
+        let work = b.finish();
+        let mut vm = vm_for(pb);
+        assert!(
+            vm.fused_op_count() > 0,
+            "for-loops must fuse at least the Cmp+Branch back edge"
+        );
+        assert_eq!(
+            vm.call(work, &[Value::I32(10)]).unwrap(),
+            Some(Value::I32(45))
+        );
+    }
+
+    #[test]
+    fn call_sites_hit_their_inline_caches() {
+        let mut pb = ProgramBuilder::new();
+        let sq = {
+            let mut b = pb.function("sq", &[Ty::I32], Some(Ty::I32));
+            let x = b.param(0);
+            let y = b.mul(x, x);
+            b.ret(Some(y));
+            b.finish()
+        };
+        let mut b = pb.function("main", &[Ty::I32], Some(Ty::I32));
+        let n = b.param(0);
+        let acc = b.new_reg(Ty::I32);
+        let z = b.const_i32(0);
+        b.move_(acc, z);
+        b.for_i32(
+            0,
+            1,
+            CmpOp::Lt,
+            |_| n,
+            |b, i| {
+                let s = b.call(sq, &[i]);
+                let t = b.add(acc, s);
+                b.move_(acc, t);
+            },
+        );
+        b.ret(Some(acc));
+        let main = b.finish();
+        let mut vm = vm_for(pb);
+        vm.call(main, &[Value::I32(100)]).unwrap();
+        let pic = vm.pic_stats();
+        assert!(pic.sites > 0);
+        assert!(
+            pic.hits > pic.misses,
+            "a hot monomorphic call site must mostly hit: {pic:?}"
+        );
+        assert_eq!(pic.megamorphic_sites, 0);
     }
 
     use spf_ir::CmpOp;

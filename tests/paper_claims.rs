@@ -19,6 +19,7 @@ fn plan(size: Size) -> RunPlan {
         size,
         warmup_runs: 2,
         measured_runs: 1,
+        timing_runs: 1,
     }
 }
 

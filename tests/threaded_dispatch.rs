@@ -1,0 +1,259 @@
+//! Differential tests for the direct-threaded interpreter: superinstruction
+//! fusion must be a pure dispatch-count optimization (bit-identical
+//! semantics and simulated numbers with fusion on or off), and the call-site
+//! inline caches must degrade gracefully when a site sees too many code
+//! revisions.
+
+use spf_testkit::{cases, Rng};
+use stride_prefetch::heap::Value;
+use stride_prefetch::ir::{CmpOp, ProgramBuilder, Ty};
+use stride_prefetch::memsim::ProcessorConfig;
+use stride_prefetch::prefetch::PrefetchOptions;
+use stride_prefetch::vm::{Vm, VmConfig, VmStats};
+
+// ---------------------------------------------------------------------
+// Fusion equivalence: random programs exercising every fusable pattern
+// (const/bin/move chains, array stores and loads, field access, statics,
+// compare-and-branch back edges) must produce the same values and the
+// same simulated counters with `fuse_superinstructions` on and off.
+// ---------------------------------------------------------------------
+
+/// A random arithmetic expression over the in-scope `int` variables.
+/// Division and remainder only ever see literal non-zero divisors, so no
+/// random program traps.
+fn arb_expr(rng: &mut Rng, vars: &[&str], fuel: u32) -> String {
+    if fuel == 0 || rng.chance(1, 3) {
+        return if rng.bool() {
+            let v = rng.i32_in(-100, 100);
+            if v < 0 {
+                format!("(0 - {})", v.unsigned_abs())
+            } else {
+                format!("{v}")
+            }
+        } else {
+            (*rng.pick(vars)).to_string()
+        };
+    }
+    let a = arb_expr(rng, vars, fuel - 1);
+    match rng.index(5) {
+        0 => format!("({a} + {})", arb_expr(rng, vars, fuel - 1)),
+        1 => format!("({a} - {})", arb_expr(rng, vars, fuel - 1)),
+        2 => format!("({a} * {})", arb_expr(rng, vars, fuel - 1)),
+        3 => format!("({a} / {})", rng.i32_in(1, 9)),
+        _ => format!("({a} % {})", rng.i32_in(2, 9)),
+    }
+}
+
+/// A random kernel touching arrays (astore/aload), object fields
+/// (getfield/putfield), statics, and both loop shapes, parameterized on
+/// `x` so the interpreted and compiled activations see live input.
+fn arb_kernel(rng: &mut Rng) -> String {
+    let n = rng.usize_in(4, 24);
+    let body_stores = arb_expr(rng, &["i", "acc", "x"], 2);
+    let body_acc = arb_expr(rng, &["acc", "x", "t"], 2);
+    let body_field = arb_expr(rng, &["i", "acc"], 1);
+    let body_static = arb_expr(rng, &["acc", "x"], 1);
+    let tail_step = rng.usize_in(1, 3);
+    let tail_bound = rng.usize_in(1, 30);
+    format!(
+        "static int g;
+         class P {{ int a; int b; }}
+         int f(int x) {{
+             int[] arr = new int[{n}];
+             P p = new P();
+             p.a = x;
+             p.b = {init_b};
+             int acc = x;
+             for (int i = 0; i < {n}; i = i + 1) {{
+                 arr[i] = {body_stores};
+                 acc = acc + arr[i] + p.a;
+                 p.b = p.b + {body_field};
+                 g = g + {body_static};
+             }}
+             int t = 0;
+             while (t < {tail_bound}) {{
+                 t = t + {tail_step};
+                 acc = acc + arr[t % {n}];
+             }}
+             return acc + t + p.b + g + {body_acc};
+         }}",
+        init_b = rng.i32_in(-50, 50),
+    )
+}
+
+/// Runs `src` under the steady-state protocol the benchmarks use: two
+/// warmup calls (the second triggers the JIT at the default threshold),
+/// `reset_measurement`, then two measured calls. Generation-0 JIT
+/// compilation is charged from host wall-clock time, so counters are only
+/// comparable across VMs after the reset.
+fn run(
+    src: &str,
+    fuse: bool,
+    prefetch: PrefetchOptions,
+) -> (
+    Vec<Option<Value>>,
+    VmStats,
+    stride_prefetch::memsim::MemStats,
+) {
+    let program = stride_prefetch::lang::compile(src)
+        .unwrap_or_else(|err| panic!("compile error {err} in {src}"));
+    let mid = program.method_by_name("f").unwrap();
+    let mut vm = Vm::new(
+        program,
+        VmConfig {
+            fuse_superinstructions: fuse,
+            prefetch,
+            ..VmConfig::default()
+        },
+        ProcessorConfig::pentium4(),
+    );
+    let mut outs: Vec<Option<Value>> = Vec::new();
+    for i in 0..2 {
+        outs.push(
+            vm.call(mid, &[Value::I32(7 + i)])
+                .unwrap_or_else(|e| panic!("warmup {i} trapped: {e} in {src}")),
+        );
+    }
+    vm.reset_measurement();
+    for i in 2..4 {
+        outs.push(
+            vm.call(mid, &[Value::I32(7 + i)])
+                .unwrap_or_else(|e| panic!("measured run {i} trapped: {e} in {src}")),
+        );
+    }
+    (outs, vm.stats().clone(), *vm.mem_stats())
+}
+
+/// Field-by-field equality on everything except the host wall-clock
+/// counters (`jit_nanos`, `prefetch_pass_nanos`): fusion changes how long
+/// the host takes, never what the simulation computes.
+fn assert_simulated_match(fused: &VmStats, unfused: &VmStats, ctx: &str) {
+    assert_eq!(fused.cycles, unfused.cycles, "cycles: {ctx}");
+    assert_eq!(
+        fused.retired_instructions, unfused.retired_instructions,
+        "retired_instructions: {ctx}"
+    );
+    assert_eq!(
+        fused.interpreted_instructions, unfused.interpreted_instructions,
+        "interpreted_instructions: {ctx}"
+    );
+    assert_eq!(
+        fused.compiled_instructions, unfused.compiled_instructions,
+        "compiled_instructions: {ctx}"
+    );
+    assert_eq!(
+        fused.methods_compiled, unfused.methods_compiled,
+        "methods_compiled: {ctx}"
+    );
+    assert_eq!(fused.jit_cycles, unfused.jit_cycles, "jit_cycles: {ctx}");
+    assert_eq!(fused.gc_count, unfused.gc_count, "gc_count: {ctx}");
+    assert_eq!(fused.gc_cycles, unfused.gc_cycles, "gc_cycles: {ctx}");
+    assert_eq!(fused.deopts, unfused.deopts, "deopts: {ctx}");
+    assert_eq!(fused.recompiles, unfused.recompiles, "recompiles: {ctx}");
+    assert_eq!(fused.reagreed, unfused.reagreed, "reagreed: {ctx}");
+    assert_eq!(fused.per_method, unfused.per_method, "per_method: {ctx}");
+}
+
+#[test]
+fn fused_dispatch_is_bit_identical_to_unfused() {
+    cases(48, "fused dispatch is bit-identical to unfused", |rng| {
+        let src = arb_kernel(rng);
+        for prefetch in [PrefetchOptions::off(), PrefetchOptions::inter_intra()] {
+            let mode = prefetch.mode;
+            let (vals_f, stats_f, mem_f) = run(&src, true, prefetch.clone());
+            let (vals_u, stats_u, mem_u) = run(&src, false, prefetch);
+            assert_eq!(vals_f, vals_u, "returned values, mode={mode}, src={src}");
+            let ctx = format!("mode={mode}, src={src}");
+            assert_simulated_match(&stats_f, &stats_u, &ctx);
+            assert_eq!(mem_f, mem_u, "memory-system stats: {ctx}");
+        }
+    });
+}
+
+#[test]
+fn fusion_actually_fires_on_the_random_kernels() {
+    // Guard against the equivalence test passing vacuously: the generated
+    // kernels must contain fusable patterns.
+    cases(16, "fusion fires on the random kernels", |rng| {
+        let src = arb_kernel(rng);
+        let program = stride_prefetch::lang::compile(&src).unwrap();
+        let vm: Vm = Vm::new(program, VmConfig::default(), ProcessorConfig::pentium4());
+        assert!(vm.fused_op_count() > 0, "no superinstructions in {src}");
+    });
+}
+
+// ---------------------------------------------------------------------
+// PIC overflow: a call site that keeps seeing new code revisions of its
+// callee must go megamorphic (cache disabled) instead of thrashing, and
+// the program must keep computing the same answer through the slow path.
+// ---------------------------------------------------------------------
+
+#[test]
+fn call_site_overflows_to_megamorphic_after_many_revisions() {
+    let mut pb = ProgramBuilder::new();
+    let sq = {
+        let mut b = pb.function("sq", &[Ty::I32], Some(Ty::I32));
+        let x = b.param(0);
+        let y = b.mul(x, x);
+        b.ret(Some(y));
+        b.finish()
+    };
+    let mut b = pb.function("main", &[Ty::I32], Some(Ty::I32));
+    let n = b.param(0);
+    let acc = b.new_reg(Ty::I32);
+    let z = b.const_i32(0);
+    b.move_(acc, z);
+    b.for_i32(
+        0,
+        1,
+        CmpOp::Lt,
+        |_| n,
+        |b, i| {
+            let s = b.call(sq, &[i]);
+            let t = b.add(acc, s);
+            b.move_(acc, t);
+        },
+    );
+    b.ret(Some(acc));
+    let main = b.finish();
+    let program = pb.finish();
+    let sq_body = program.method(sq).func().clone();
+
+    let mut vm = Vm::new(
+        program,
+        VmConfig {
+            // Never JIT on its own: every revision change below is ours.
+            compile_threshold: u32::MAX,
+            ..VmConfig::default()
+        },
+        ProcessorConfig::pentium4(),
+    );
+    let expected = vm.call(main, &[Value::I32(50)]).unwrap();
+    let warm = vm.pic_stats();
+    assert!(warm.sites > 0);
+    assert!(
+        warm.hits > warm.misses,
+        "warm monomorphic site must mostly hit: {warm:?}"
+    );
+    assert_eq!(warm.megamorphic_sites, 0);
+
+    // Install the same body repeatedly: each install bumps `sq`'s code
+    // revision, so main's call site sees rev 1, 2, 3, ... — more distinct
+    // revisions than a 2-way cache can hold.
+    for _ in 0..3 {
+        vm.install_compiled(sq, sq_body.clone());
+        assert_eq!(
+            vm.call(main, &[Value::I32(50)]).unwrap(),
+            expected,
+            "revision churn must not change the computed value"
+        );
+    }
+    let churned = vm.pic_stats();
+    assert!(
+        churned.megamorphic_sites >= 1,
+        "three revisions through a 2-way PIC must overflow: {churned:?}"
+    );
+    // The megamorphic slow path still resolves calls (the loop above kept
+    // returning the right answer), and the warm hits were not forgotten.
+    assert!(churned.hits >= warm.hits);
+}
