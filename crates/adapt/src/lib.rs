@@ -89,9 +89,19 @@ pub struct MethodGuard {
     compiled: bool,
     /// Whether the guards disarmed after spending the recompile budget.
     disabled: bool,
+    /// Times the shared code cache evicted this method's compiled body.
+    /// Each eviction forces a recompile that is *not* an adaptive
+    /// staleness decision, so these recompiles are credited back when the
+    /// budget is checked.
+    cache_evictions: u32,
 }
 
 impl MethodGuard {
+    /// Times the shared code cache evicted this method's compiled body.
+    pub fn cache_evictions(&self) -> u32 {
+        self.cache_evictions
+    }
+
     /// The useless-prefetch ratio of the current generation (0 when
     /// nothing was issued).
     pub fn useless_ratio(&self) -> f64 {
@@ -158,6 +168,7 @@ impl AdaptState {
                         resume_at: 0,
                         compiled: true,
                         disabled: false,
+                        cache_evictions: 0,
                     },
                 );
                 0
@@ -194,12 +205,26 @@ impl AdaptState {
         } else {
             return None;
         };
-        if g.generation >= cfg.max_recompiles {
+        if g.generation.saturating_sub(g.cache_evictions) >= cfg.max_recompiles {
             // Budget spent: keep the current body and stop watching.
+            // Recompiles forced by code-cache eviction are credited back —
+            // they were capacity decisions, not adaptive staleness ones.
             g.disabled = true;
             return None;
         }
         Some(reason)
+    }
+
+    /// Records that the shared code cache evicted `method`'s compiled
+    /// body. The method falls back to the interpreter (no body to guard)
+    /// and earns one recompile credit: the eviction-forced recompile will
+    /// bump the generation without burning the adaptive staleness budget.
+    /// No backoff applies — the body was healthy, just cold.
+    pub fn on_evicted(&mut self, method: usize) {
+        if let Some(g) = self.guards.get_mut(&method) {
+            g.compiled = false;
+            g.cache_evictions += 1;
+        }
     }
 
     /// Records a deoptimization of `method` at `invocations` total
@@ -318,6 +343,58 @@ mod tests {
         assert_eq!(a.check_stale(0, epoch), None);
         assert_eq!(a.check_stale(0, epoch + 1), None, "stays disarmed");
         assert_eq!(a.guard(0).unwrap().generation, 2);
+    }
+
+    #[test]
+    fn eviction_recompiles_do_not_burn_the_staleness_budget() {
+        let cfg = AdaptConfig {
+            max_recompiles: 2,
+            backoff_base: 0,
+            ..AdaptConfig::default()
+        };
+        let mut a = AdaptState::new(cfg);
+        a.on_compile(0, 0);
+        // Two cache evictions, each followed by the forced recompile.
+        for _ in 0..2 {
+            a.on_evicted(0);
+            assert_eq!(a.check_stale(0, 0), None, "no body to guard");
+            assert!(a.may_recompile(0, 0), "eviction applies no backoff");
+            a.on_compile(0, 0);
+        }
+        assert_eq!(a.guard(0).unwrap().generation, 2);
+        assert_eq!(a.guard(0).unwrap().cache_evictions(), 2);
+        // The full adaptive budget (2) is still available: two GC-staleness
+        // recompiles fire before the guards disarm.
+        let mut epoch = 0;
+        for expect_gen in 3..=4 {
+            epoch += 1;
+            assert_eq!(a.check_stale(0, epoch), Some(StaleReason::GcMoved));
+            a.on_deopt(0, 0);
+            assert_eq!(a.on_compile(0, epoch), expect_gen);
+        }
+        epoch += 1;
+        assert_eq!(a.check_stale(0, epoch), None, "budget now spent");
+    }
+
+    #[test]
+    fn evicted_method_is_not_checked_until_recompiled() {
+        let mut a = AdaptState::new(AdaptConfig::default());
+        a.on_compile(3, 0);
+        a.on_evicted(3);
+        assert_eq!(
+            a.check_stale(3, 99),
+            None,
+            "evicted body cannot be stale: there is nothing installed"
+        );
+        a.on_compile(3, 99);
+        assert_eq!(a.check_stale(3, 100), Some(StaleReason::GcMoved));
+    }
+
+    #[test]
+    fn eviction_of_unguarded_method_is_a_noop() {
+        let mut a = AdaptState::new(AdaptConfig::default());
+        a.on_evicted(11);
+        assert!(a.guard(11).is_none());
     }
 
     #[test]

@@ -20,7 +20,12 @@ use spf_bench::matrix_json::{self, CellSummary};
 
 fn load(path: &str) -> Result<Vec<CellSummary>, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
-    matrix_json::parse(&text).map_err(|e| format!("{path}: {e}"))
+    let (cells, warnings) =
+        matrix_json::parse_with_warnings(&text).map_err(|e| format!("{path}: {e}"))?;
+    for w in warnings {
+        eprintln!("bench_diff: {path}: {w}");
+    }
+    Ok(cells)
 }
 
 fn main() -> ExitCode {

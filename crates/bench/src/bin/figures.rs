@@ -32,7 +32,10 @@
 //! against its aggregate memory counters, and writes the per-site
 //! effectiveness record to `TRACE_summary.jsonl` (override with
 //! `--trace-out PATH`, disable the file with `--trace-out -`; render or
-//! diff it with the `spf-trace-report` binary).
+//! diff it with the `spf-trace-report` binary). The adaptive-reprofiling
+//! events of every cell additionally land in `DEOPT_events.jsonl` next to
+//! the site summary; aggregate them per cell with
+//! `spf-trace-report deopt-summary DEOPT_events.jsonl`.
 
 use std::io::Write as _;
 use std::process::ExitCode;
@@ -40,7 +43,7 @@ use std::time::Instant;
 
 use spf_bench::RunPlan;
 use spf_bench::{figures, matrix, matrix_json, out_dir};
-use spf_trace::{summary, TraceEvent};
+use spf_trace::{deopt, summary, TraceEvent};
 use spf_workloads::Size;
 
 struct Args {
@@ -182,6 +185,7 @@ fn traced_sweep(
     let traced = matrix::run_cells_traced(plan, jobs, cells);
     let mut ok = true;
     let mut rows = Vec::new();
+    let mut deopt_rows = Vec::new();
     for (t, u) in traced.iter().zip(results) {
         let m = &t.measurement;
         let run = format!("{}/{}/{}", m.name, m.mode, m.processor);
@@ -235,6 +239,11 @@ fn traced_sweep(
             }
         }
         rows.extend(summary::rows(&run, attr, &t.trace.sites));
+        // Adaptive-reprofiling events land in both phases: deopts and
+        // recompiles during warm-up go to `compile_events`, steady-state
+        // ones to the best run's stream.
+        deopt_rows.extend(deopt::rows(&run, &t.trace.compile_events));
+        deopt_rows.extend(deopt::rows(&run, &t.trace.events));
     }
     let issued: u64 = rows.iter().map(|r| r.issued).sum();
     let useful: u64 = rows.iter().map(|r| r.useful).sum();
@@ -248,6 +257,19 @@ fn traced_sweep(
         match std::fs::write(path, summary::emit(&rows)) {
             Ok(()) => eprintln!("wrote {path}"),
             Err(e) => eprintln!("warning: could not write {path}: {e}"),
+        }
+        // The adaptive-event record rides along next to the site summary;
+        // aggregate it with `spf-trace-report deopt-summary`.
+        let deopt_path = match path.rsplit_once('/') {
+            Some((dir, _)) => format!("{dir}/DEOPT_events.jsonl"),
+            None => "DEOPT_events.jsonl".to_string(),
+        };
+        match std::fs::write(&deopt_path, deopt::emit(&deopt_rows)) {
+            Ok(()) => eprintln!(
+                "wrote {deopt_path} ({} adaptive event(s))",
+                deopt_rows.len()
+            ),
+            Err(e) => eprintln!("warning: could not write {deopt_path}: {e}"),
         }
     }
     ok

@@ -5,9 +5,10 @@
 //! cargo run -p spf-bench --bin host_check -- old.json new.json --threshold 1.5
 //! ```
 //!
-//! Sums `host_wall_ns` (falling back to `wall_nanos` for files emitted
-//! before timing repetitions existed) over the cells present in both
-//! files and prints the ratio `new / old`. Exit code 1 if the ratio
+//! Prints each common cell's wall-clock regression percentage (worst
+//! first), then sums `host_wall_ns` (falling back to `wall_nanos` for
+//! files emitted before timing repetitions existed) over the cells
+//! present in both files and prints the ratio `new / old`. Exit code 1 if the ratio
 //! exceeds `--threshold` (default 1.5) — i.e. the new sweep is more than
 //! `threshold`× slower than the recorded baseline — or if no cells match;
 //! 0 otherwise.
@@ -25,7 +26,12 @@ use spf_bench::matrix_json::{self, CellSummary};
 
 fn load(path: &str) -> Result<Vec<CellSummary>, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
-    matrix_json::parse(&text).map_err(|e| format!("{path}: {e}"))
+    let (cells, warnings) =
+        matrix_json::parse_with_warnings(&text).map_err(|e| format!("{path}: {e}"))?;
+    for w in warnings {
+        eprintln!("host_check: {path}: {w}");
+    }
+    Ok(cells)
 }
 
 fn main() -> ExitCode {
@@ -58,6 +64,9 @@ fn main() -> ExitCode {
 
     let mut matched = 0usize;
     let (mut old_total, mut new_total) = (0u128, 0u128);
+    // (regression %, description) per matched cell, worst first, so the
+    // CI log names the offenders instead of a bare pass/fail verdict.
+    let mut per_cell: Vec<(f64, String)> = Vec::new();
     for o in &old {
         let Some(n) = new.iter().find(|n| n.key() == o.key()) else {
             continue;
@@ -65,11 +74,30 @@ fn main() -> ExitCode {
         matched += 1;
         old_total += o.host_wall_ns;
         new_total += n.host_wall_ns;
+        if o.host_wall_ns > 0 {
+            let delta = (n.host_wall_ns as f64 / o.host_wall_ns as f64 - 1.0) * 100.0;
+            per_cell.push((
+                delta,
+                format!(
+                    "  {:<12} {:<12} {:<10} {:>10.2} ms -> {:>10.2} ms  {:>+7.1}%",
+                    o.name,
+                    o.mode,
+                    o.processor,
+                    o.host_wall_ns as f64 / 1e6,
+                    n.host_wall_ns as f64 / 1e6,
+                    delta
+                ),
+            ));
+        }
     }
     let mut out = std::io::stdout().lock();
     if matched == 0 || old_total == 0 {
         let _ = writeln!(out, "host_check: no comparable cells");
         return ExitCode::FAILURE;
+    }
+    per_cell.sort_by(|a, b| b.0.total_cmp(&a.0));
+    for (_, line) in &per_cell {
+        let _ = writeln!(out, "{line}");
     }
     let ratio = new_total as f64 / old_total as f64;
     let verdict = if ratio > threshold { "FAIL" } else { "ok" };

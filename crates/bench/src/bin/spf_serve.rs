@@ -1,0 +1,203 @@
+//! Multi-tenant serving simulation driver.
+//!
+//! ```text
+//! cargo run --release -p spf-bench --bin spf-serve
+//! cargo run --release -p spf-bench --bin spf-serve -- --tenants 200 --requests 1000
+//! cargo run --release -p spf-bench --bin spf-serve -- --jobs 1 --verify-jobs 4
+//! ```
+//!
+//! Runs the `spf-serve` fleet simulation — hundreds of tenant VMs over
+//! sharded heaps, a background compilation queue, and a bounded shared
+//! code cache — once per prefetch mode (BASELINE, INTER, INTER+INTRA,
+//! ADAPTIVE), prints the latency table, and writes `SERVE_summary.json`.
+//!
+//! The simulation is bit-identical across `--jobs` values; passing
+//! `--verify-jobs N` re-runs the whole sweep with `N` host workers and
+//! fails (exit 1) if any number differs — the serving analogue of the
+//! matrix's `--verify-serial`. CI additionally byte-compares the emitted
+//! file across two `--jobs` runs with `cmp`.
+
+use std::process::ExitCode;
+
+use spf_bench::{matrix, out_dir};
+use spf_core::PrefetchOptions;
+use spf_memsim::ProcessorConfig;
+use spf_serve::{report, sim, ModeReport, ServeConfig, ServeSummary};
+use spf_trace::export;
+use spf_workloads::Size;
+
+struct Args {
+    cfg: ServeConfig,
+    proc: ProcessorConfig,
+    jobs: usize,
+    verify_jobs: Option<usize>,
+    out: Option<String>,
+    events_out: Option<String>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        cfg: ServeConfig::default(),
+        proc: ProcessorConfig::pentium4(),
+        jobs: matrix::default_jobs(),
+        verify_jobs: None,
+        out: Some("SERVE_summary.json".to_string()),
+        events_out: None,
+    };
+    let mut dir_flag: Option<String> = None;
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        let mut num = |name: &str| -> Result<u64, String> {
+            let v = it.next().ok_or(format!("{name} needs a value"))?;
+            v.parse()
+                .map_err(|_| format!("{name} needs a non-negative integer, got {v:?}"))
+        };
+        match a.as_str() {
+            "--tenants" => args.cfg.tenants = num("--tenants")?.max(1) as usize,
+            "--requests" => args.cfg.requests = num("--requests")?.max(1) as u32,
+            "--mean-interarrival" => args.cfg.mean_interarrival = num("--mean-interarrival")?,
+            "--seed" => args.cfg.seed = num("--seed")?,
+            "--slot-cycles" => args.cfg.slot_cycles = num("--slot-cycles")?.max(1),
+            "--compile-workers" => {
+                args.cfg.compile_workers = num("--compile-workers")?.max(1) as usize;
+            }
+            "--cache-instrs" => args.cfg.cache_capacity_instrs = num("--cache-instrs")?,
+            "--jobs" => args.jobs = num("--jobs")?.max(1) as usize,
+            "--verify-jobs" => args.verify_jobs = Some(num("--verify-jobs")?.max(1) as usize),
+            "--processor" => {
+                let v = it.next().ok_or("--processor needs a name")?;
+                args.proc = match v.as_str() {
+                    "pentium4" | "p4" => ProcessorConfig::pentium4(),
+                    "athlon" | "athlonmp" => ProcessorConfig::athlon_mp(),
+                    other => return Err(format!("unknown processor {other:?}")),
+                };
+            }
+            "--out" => {
+                let v = it.next().ok_or("--out needs a path (or - to disable)")?;
+                args.out = if v == "-" { None } else { Some(v) };
+            }
+            "--events-out" => {
+                args.events_out = Some(it.next().ok_or("--events-out needs a path")?);
+            }
+            "--out-dir" => {
+                dir_flag = Some(it.next().ok_or("--out-dir needs a directory")?);
+            }
+            "tiny" => args.cfg.size = Size::Tiny,
+            "small" => args.cfg.size = Size::Small,
+            "full" => args.cfg.size = Size::Full,
+            other => return Err(format!("unknown argument {other:?}")),
+        }
+    }
+    if let Some(dir) = &dir_flag {
+        args.out = args.out.map(|p| out_dir::join(dir, &p));
+        args.events_out = args.events_out.map(|p| out_dir::join(dir, &p));
+    }
+    Ok(args)
+}
+
+/// The four matrix modes, in the paper's order.
+fn modes() -> [PrefetchOptions; 4] {
+    [
+        PrefetchOptions::off(),
+        PrefetchOptions::inter(),
+        PrefetchOptions::inter_intra(),
+        PrefetchOptions::adaptive(),
+    ]
+}
+
+fn sweep(args: &Args, jobs: usize) -> (ServeSummary, String) {
+    let mut rows = Vec::new();
+    let mut events_text = String::new();
+    for opts in modes() {
+        eprintln!(
+            "serve: {} tenants x {} requests, mode {}, {} job(s)...",
+            args.cfg.tenants, args.cfg.requests, opts.mode, jobs
+        );
+        let out = sim::run(&args.cfg, &opts, &args.proc, jobs);
+        if args.events_out.is_some() {
+            events_text.push_str(&export::events_jsonl(&out.events, None));
+        }
+        rows.push(ModeReport::from_outcome(&opts.mode.to_string(), &out));
+    }
+    let summary = ServeSummary {
+        processor: args.proc.name.clone(),
+        tenants: args.cfg.tenants as u64,
+        requests: u64::from(args.cfg.requests),
+        mean_interarrival: args.cfg.mean_interarrival,
+        seed: args.cfg.seed,
+        slot_cycles: args.cfg.slot_cycles,
+        compile_workers: args.cfg.compile_workers as u64,
+        cache_capacity_instrs: args.cfg.cache_capacity_instrs,
+        modes: rows,
+    };
+    (summary, events_text)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!(
+                "usage: spf-serve [tiny|small|full] [--tenants N] [--requests N] \
+                 [--mean-interarrival CYCLES] [--seed N] [--slot-cycles N] \
+                 [--compile-workers N] [--cache-instrs N] [--processor pentium4|athlonmp] \
+                 [--jobs N] [--verify-jobs N] [--out PATH|-] [--events-out PATH] [--out-dir DIR]"
+            );
+            return ExitCode::FAILURE;
+        }
+    };
+    let (summary, events_text) = sweep(&args, args.jobs);
+    print!("{}", report::render(&summary));
+
+    // Checksums must agree across modes: prefetching may only change
+    // timing, never results.
+    let first = summary.modes.first().map(|m| m.checksum);
+    if summary.modes.iter().any(|m| Some(m.checksum) != first) {
+        eprintln!("serve: FLEET CHECKSUM DIVERGED ACROSS MODES");
+        return ExitCode::FAILURE;
+    }
+
+    if let Some(verify_jobs) = args.verify_jobs {
+        eprintln!("serve: verifying determinism with {verify_jobs} job(s)...");
+        let (again, _) = sweep(&args, verify_jobs);
+        if again != summary {
+            eprintln!(
+                "serve: MISMATCH between --jobs {} and --jobs {verify_jobs}:",
+                args.jobs
+            );
+            for (a, b) in summary.modes.iter().zip(&again.modes) {
+                if a != b {
+                    eprintln!("  {}: {a:?}\n  != {b:?}", a.mode);
+                }
+            }
+            return ExitCode::FAILURE;
+        }
+        eprintln!(
+            "serve: bit-identical across jobs ({} == {verify_jobs})",
+            args.jobs
+        );
+    }
+
+    if let Some(path) = &args.out {
+        out_dir::ensure_parent(path);
+        match std::fs::write(path, report::emit(&summary)) {
+            Ok(()) => eprintln!("wrote {path}"),
+            Err(e) => {
+                eprintln!("error: could not write {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if let Some(path) = &args.events_out {
+        out_dir::ensure_parent(path);
+        match std::fs::write(path, events_text) {
+            Ok(()) => eprintln!("wrote {path}"),
+            Err(e) => {
+                eprintln!("error: could not write {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -100,10 +100,32 @@ fn field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
 ///
 /// Returns a message naming the first malformed cell line.
 pub fn parse(text: &str) -> Result<Vec<CellSummary>, String> {
+    parse_with_warnings(text).map(|(cells, _)| cells)
+}
+
+/// [`parse`], also reporting unknown *top-level* fields. Newer emitters
+/// (e.g. one that folds serve metrics into the sweep record) may add
+/// fields this reader does not know; those are ignored — the committed
+/// baselines stay comparable — but surfaced as warnings so the skew is
+/// visible in CI logs.
+///
+/// # Errors
+///
+/// Returns a message naming the first malformed cell line.
+pub fn parse_with_warnings(text: &str) -> Result<(Vec<CellSummary>, Vec<String>), String> {
+    const KNOWN_TOP_LEVEL: [&str; 4] = ["size", "jobs", "total_wall_nanos", "cells"];
     let mut cells = Vec::new();
+    let mut warnings = Vec::new();
     for line in text.lines() {
         let line = line.trim();
         if !(line.starts_with('{') && line.contains("\"name\"")) {
+            // Not a cell line. If it introduces a top-level key we do not
+            // know, warn; structural lines and known keys pass silently.
+            if let Some(key) = line.strip_prefix('"').and_then(|r| r.split('"').next()) {
+                if !KNOWN_TOP_LEVEL.contains(&key) {
+                    warnings.push(format!("ignoring unknown top-level field \"{key}\""));
+                }
+            }
             continue;
         }
         let get = |key: &str| {
@@ -147,7 +169,7 @@ pub fn parse(text: &str) -> Result<Vec<CellSummary>, String> {
                 .map_err(|e| format!("bad checksum in {line}: {e}"))?,
         });
     }
-    Ok(cells)
+    Ok((cells, warnings))
 }
 
 #[cfg(test)]
@@ -212,5 +234,28 @@ mod tests {
     fn parse_rejects_malformed_cells() {
         let text = "{\"name\": \"db\", \"mode\": \"BASELINE\"}";
         assert!(parse(text).is_err());
+    }
+
+    #[test]
+    fn unknown_top_level_fields_warn_but_parse() {
+        let text = emit(&[sample("db", PrefetchMode::Off, 100)], Size::Tiny, 1, 9).replace(
+            "  \"jobs\": 1,",
+            "  \"jobs\": 1,\n  \"serve_summary\": \"SERVE_summary.json\",",
+        );
+        let (cells, warnings) = parse_with_warnings(&text).unwrap();
+        assert_eq!(cells.len(), 1, "unknown fields must not drop cells");
+        assert_eq!(
+            warnings,
+            vec!["ignoring unknown top-level field \"serve_summary\"".to_string()]
+        );
+        // The plain entry point still accepts the file silently.
+        assert_eq!(parse(&text).unwrap(), cells);
+    }
+
+    #[test]
+    fn known_top_level_fields_do_not_warn() {
+        let text = emit(&[sample("db", PrefetchMode::Off, 100)], Size::Tiny, 1, 9);
+        let (_, warnings) = parse_with_warnings(&text).unwrap();
+        assert!(warnings.is_empty(), "{warnings:?}");
     }
 }

@@ -83,6 +83,18 @@ pub struct Heap {
     pub(crate) gc_epoch: u64,
 }
 
+/// Splits a workload's configured heap budget across `shards` tenant VMs:
+/// `full / shards`, clamped to at least `floor` (a tenant must still fit
+/// its live set) and at most `full`, rounded up to 8-byte granularity.
+/// Backing stores are allocated eagerly, so a serving fleet of hundreds of
+/// tenants *must* shard — and the small shards are the point: they produce
+/// the per-tenant GC churn (sliding compactions bump `gc_epoch`) that
+/// exercises adaptive reprofiling under serving load.
+pub fn shard_bytes(full: usize, shards: usize, floor: usize) -> usize {
+    let per = full / shards.max(1);
+    per.clamp(floor.min(full), full).next_multiple_of(8)
+}
+
 impl Heap {
     /// Creates a heap of `capacity` bytes at the default base address.
     pub fn new(layout: Layout, capacity: usize) -> Self {
@@ -448,6 +460,22 @@ mod tests {
         ));
         assert_eq!(h.try_read(12, ElemTy::I32), None);
         assert_eq!(h.try_read(NULL, ElemTy::Ref), None);
+    }
+
+    #[test]
+    fn shard_bytes_divides_clamps_and_aligns() {
+        // 128 MB across 50 tenants, 2 MB floor: plain division (aligned).
+        assert_eq!(
+            shard_bytes(128 << 20, 50, 2 << 20),
+            ((128 << 20) / 50usize).next_multiple_of(8)
+        );
+        // Floor kicks in when the division goes below the live set.
+        assert_eq!(shard_bytes(8 << 20, 100, 2 << 20), 2 << 20);
+        // Never exceeds the full budget, even with a silly floor.
+        assert_eq!(shard_bytes(1 << 20, 1, 64 << 20), 1 << 20);
+        // Zero shards is treated as one; result stays 8-byte aligned.
+        assert_eq!(shard_bytes(4096, 0, 0), 4096);
+        assert_eq!(shard_bytes(1000, 3, 0) % 8, 0);
     }
 
     #[test]

@@ -48,7 +48,8 @@ pub mod value;
 
 pub use gc::{CollectStats, Forwarding};
 pub use heap::{
-    static_addr, Heap, HeapError, HeapRead, DEFAULT_HEAP_BASE, PRIVATE_HEAP_BASE, STATICS_BASE,
+    shard_bytes, static_addr, Heap, HeapError, HeapRead, DEFAULT_HEAP_BASE, PRIVATE_HEAP_BASE,
+    STATICS_BASE,
 };
 pub use layout::{Layout, ARRAY_DATA_OFFSET, OBJECT_HEADER_SIZE};
 pub use value::{Addr, Value, NULL};

@@ -1,0 +1,201 @@
+//! The bounded shared code cache.
+//!
+//! Production JVMs give all compiler threads one fixed-size code cache;
+//! when it fills, cold compiled methods are flushed and their owners fall
+//! back to lower tiers until recompiled. This model does the same over the
+//! serving fleet: capacity is measured in compiled-body *instructions*
+//! (the simulator's notion of code size), eviction is LRU with a
+//! deterministic tie-break, and the victim's tenant VM is told via
+//! [`spf_vm::Vm::evict_compiled`] by the simulation loop — which also
+//! credits the adaptive guards so a capacity eviction never burns the
+//! staleness recompile budget.
+//!
+//! All mutations happen at simulation barriers on one thread, so the
+//! cache needs no interior synchronization.
+
+/// One resident compiled body.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct CacheEntry {
+    /// Owning tenant index.
+    pub tenant: u32,
+    /// Method index within the tenant's program.
+    pub method: u32,
+    /// Code size in instructions.
+    pub instrs: u64,
+    /// Serving-clock cycle of the last touch (insert or tenant activity).
+    pub last_touch: u64,
+    /// Monotone insertion/touch sequence number — breaks `last_touch`
+    /// ties deterministically (many touches happen at the same barrier).
+    seq: u64,
+}
+
+/// A bounded, LRU-evicting code cache shared by every tenant.
+#[derive(Clone, Debug)]
+pub struct CodeCache {
+    capacity: u64,
+    used: u64,
+    seq: u64,
+    entries: Vec<CacheEntry>,
+}
+
+impl CodeCache {
+    /// Creates a cache holding at most `capacity` compiled instructions.
+    pub fn new(capacity: u64) -> Self {
+        CodeCache {
+            capacity,
+            used: 0,
+            seq: 0,
+            entries: Vec::new(),
+        }
+    }
+
+    /// Instructions currently resident.
+    pub fn used(&self) -> u64 {
+        self.used
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    /// Number of resident bodies.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Marks every resident body of `tenant` as used at `now` (the tenant
+    /// just ran a request through its compiled code).
+    pub fn touch_tenant(&mut self, tenant: u32, now: u64) {
+        for e in &mut self.entries {
+            if e.tenant == tenant {
+                e.last_touch = now;
+                self.seq += 1;
+                e.seq = self.seq;
+            }
+        }
+    }
+
+    /// Removes `tenant`'s entry for `method` (the VM dropped the body on
+    /// its own, e.g. an adaptive deopt). Returns the freed instructions.
+    pub fn remove(&mut self, tenant: u32, method: u32) -> Option<u64> {
+        let i = self
+            .entries
+            .iter()
+            .position(|e| e.tenant == tenant && e.method == method)?;
+        let e = self.entries.swap_remove(i);
+        self.used -= e.instrs;
+        Some(e.instrs)
+    }
+
+    /// Inserts a freshly compiled body, evicting least-recently-used
+    /// entries of *other* bodies until it fits. Returns the victims in
+    /// eviction order. A body larger than the whole capacity is admitted
+    /// alone (the alternative — refusing to cache — would recompile it
+    /// forever).
+    pub fn insert(&mut self, tenant: u32, method: u32, instrs: u64, now: u64) -> Vec<CacheEntry> {
+        debug_assert!(
+            !self
+                .entries
+                .iter()
+                .any(|e| e.tenant == tenant && e.method == method),
+            "double insert of t{tenant}/m{method}"
+        );
+        let mut evicted = Vec::new();
+        while self.used + instrs > self.capacity && !self.entries.is_empty() {
+            let victim = self
+                .entries
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, e)| (e.last_touch, e.seq))
+                .map(|(i, _)| i)
+                .expect("non-empty");
+            let e = self.entries.swap_remove(victim);
+            self.used -= e.instrs;
+            evicted.push(e);
+        }
+        self.seq += 1;
+        self.entries.push(CacheEntry {
+            tenant,
+            method,
+            instrs,
+            last_touch: now,
+            seq: self.seq,
+        });
+        self.used += instrs;
+        evicted
+    }
+
+    /// The resident bodies of `tenant`, in insertion order.
+    pub fn tenant_entries(&self, tenant: u32) -> impl Iterator<Item = &CacheEntry> {
+        self.entries.iter().filter(move |e| e.tenant == tenant)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fills_then_evicts_lru() {
+        let mut c = CodeCache::new(100);
+        assert!(c.insert(0, 0, 40, 10).is_empty());
+        assert!(c.insert(1, 0, 40, 20).is_empty());
+        assert_eq!(c.used(), 80);
+        // Touch tenant 0 so tenant 1 becomes the LRU victim.
+        c.touch_tenant(0, 30);
+        let evicted = c.insert(2, 0, 40, 40);
+        assert_eq!(evicted.len(), 1);
+        assert_eq!((evicted[0].tenant, evicted[0].method), (1, 0));
+        assert_eq!(c.used(), 80);
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn ties_break_by_sequence() {
+        let mut c = CodeCache::new(100);
+        c.insert(0, 0, 50, 5);
+        c.insert(1, 0, 50, 5); // same touch time, later seq
+        let evicted = c.insert(2, 0, 50, 5);
+        assert_eq!(evicted[0].tenant, 0, "earlier seq is the LRU");
+    }
+
+    #[test]
+    fn oversized_body_is_admitted_alone() {
+        let mut c = CodeCache::new(10);
+        c.insert(0, 0, 5, 1);
+        let evicted = c.insert(1, 0, 99, 2);
+        assert_eq!(evicted.len(), 1, "everything else is flushed");
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.used(), 99, "over capacity, by design");
+        // The next insert flushes the giant.
+        let evicted = c.insert(2, 0, 5, 3);
+        assert_eq!(evicted[0].instrs, 99);
+    }
+
+    #[test]
+    fn remove_frees_space() {
+        let mut c = CodeCache::new(100);
+        c.insert(0, 3, 60, 1);
+        assert_eq!(c.remove(0, 3), Some(60));
+        assert_eq!(c.remove(0, 3), None);
+        assert_eq!(c.used(), 0);
+        assert!(c.is_empty());
+        assert_eq!(c.capacity(), 100);
+    }
+
+    #[test]
+    fn tenant_entries_filters() {
+        let mut c = CodeCache::new(100);
+        c.insert(0, 1, 10, 1);
+        c.insert(1, 1, 10, 1);
+        c.insert(0, 2, 10, 1);
+        assert_eq!(c.tenant_entries(0).count(), 2);
+        assert_eq!(c.tenant_entries(1).count(), 1);
+    }
+}

@@ -1,0 +1,36 @@
+//! Multi-tenant serving simulation for the stride-prefetching VM.
+//!
+//! The paper measures one workload at a time on an otherwise idle
+//! machine. Production JITs live a harder life: hundreds of VM instances
+//! share a box, compilation happens on background threads while the
+//! application keeps interpreting, and compiled code competes for a
+//! bounded shared code cache. This crate simulates that regime on top of
+//! the existing deterministic VM:
+//!
+//! - [`traffic`] — a seeded open-loop request generator: each request is
+//!   one workload invocation on one tenant's VM.
+//! - [`cache`] — the bounded shared code cache with LRU eviction;
+//!   capacity evictions force interpreter fallback and eventual
+//!   recompilation, and credit spf-adapt's guards so they never burn the
+//!   adaptive staleness budget.
+//! - [`sim`] — the epoch-barrier fleet simulation: a work-stealing host
+//!   pool executes requests in parallel, but every shared-state mutation
+//!   happens at serial barriers in canonical order, so results are
+//!   bit-identical across `--jobs` values and host machines.
+//! - [`report`] — integer-only latency percentiles (p50/p99/p999) and
+//!   compilation-queue statistics, emitted as `SERVE_summary.json` and
+//!   gated in CI by byte comparison, exactly like `bench_diff` gates the
+//!   96-cell matrix.
+//!
+//! The `spf-serve` binary in `spf-bench` drives [`sim::run`] over the
+//! four prefetch modes and writes the artifact.
+
+pub mod cache;
+pub mod report;
+pub mod sim;
+pub mod traffic;
+
+pub use cache::{CacheEntry, CodeCache};
+pub use report::{percentile, ModeReport, ServeSummary};
+pub use sim::{run, ServeConfig, ServeOutcome};
+pub use traffic::{generate, Request, TrafficConfig};

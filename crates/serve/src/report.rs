@@ -1,0 +1,401 @@
+//! `SERVE_summary.json` — the serving simulation's latency and
+//! compilation-queue report.
+//!
+//! Every statistic is an integer computed from simulated quantities
+//! (nearest-rank percentiles, floored means, milli-scaled queue depth), so
+//! the emitted file is byte-identical for byte-identical simulations —
+//! CI compares two `--jobs` runs with `cmp`, no tolerance needed. Like the
+//! rest of the repo's artifacts, emitter and parser are hand-rolled (no
+//! JSON dependency) and promise only to round-trip each other's output.
+
+use std::fmt::Write as _;
+
+use crate::sim::ServeOutcome;
+
+/// One prefetch mode's serving statistics. All latency fields are in
+/// simulated cycles.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ModeReport {
+    /// Prefetch mode (display form, e.g. `BASELINE` or `ADAPTIVE`).
+    pub mode: String,
+    /// Requests served.
+    pub completed: u64,
+    /// Median request latency.
+    pub p50: u64,
+    /// 99th-percentile request latency.
+    pub p99: u64,
+    /// 99.9th-percentile request latency.
+    pub p999: u64,
+    /// Worst request latency.
+    pub max: u64,
+    /// Mean request latency, floored.
+    pub mean: u64,
+    /// Deepest compilation queue observed at any epoch.
+    pub queue_depth_max: u32,
+    /// Mean compilation-queue depth × 1000, floored (integer so the file
+    /// stays byte-comparable).
+    pub queue_depth_mean_milli: u64,
+    /// Background compilations installed.
+    pub compiles: u64,
+    /// Code-cache capacity evictions.
+    pub evictions: u64,
+    /// Adaptive deoptimizations across the fleet.
+    pub deopts: u64,
+    /// Adaptive recompilations across the fleet.
+    pub recompiles: u64,
+    /// Fleet checksum (must agree across modes).
+    pub checksum: i64,
+}
+
+/// Nearest-rank percentile: the smallest element with at least
+/// `num/den` of the distribution at or below it. `sorted` must be
+/// ascending.
+pub fn percentile(sorted: &[u64], num: u64, den: u64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let n = sorted.len() as u64;
+    let rank = (num * n).div_ceil(den).max(1);
+    sorted[(rank - 1) as usize]
+}
+
+impl ModeReport {
+    /// Condenses one simulation run into its report row.
+    pub fn from_outcome(mode: &str, out: &ServeOutcome) -> ModeReport {
+        let mut sorted = out.latencies.clone();
+        sorted.sort_unstable();
+        let depth_sum: u64 = out.queue_depth_samples.iter().map(|&d| u64::from(d)).sum();
+        ModeReport {
+            mode: mode.to_string(),
+            completed: sorted.len() as u64,
+            p50: percentile(&sorted, 50, 100),
+            p99: percentile(&sorted, 99, 100),
+            p999: percentile(&sorted, 999, 1000),
+            max: sorted.last().copied().unwrap_or(0),
+            mean: if sorted.is_empty() {
+                0
+            } else {
+                sorted.iter().sum::<u64>() / sorted.len() as u64
+            },
+            queue_depth_max: out.queue_depth_samples.iter().copied().max().unwrap_or(0),
+            queue_depth_mean_milli: if out.queue_depth_samples.is_empty() {
+                0
+            } else {
+                depth_sum * 1000 / out.queue_depth_samples.len() as u64
+            },
+            compiles: out.compiles,
+            evictions: out.evictions,
+            deopts: out.deopts,
+            recompiles: out.recompiles,
+            checksum: out.checksum,
+        }
+    }
+}
+
+/// The full `SERVE_summary.json`: the configuration that produced the
+/// numbers plus one row per mode. Host-only facts (`--jobs`, wall-clock)
+/// are deliberately absent — two runs that should be bit-identical
+/// produce byte-identical files.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ServeSummary {
+    /// Processor model name.
+    pub processor: String,
+    /// Tenant VM count.
+    pub tenants: u64,
+    /// Requests in the stream.
+    pub requests: u64,
+    /// Mean inter-arrival gap in cycles.
+    pub mean_interarrival: u64,
+    /// Traffic seed.
+    pub seed: u64,
+    /// Epoch length in cycles.
+    pub slot_cycles: u64,
+    /// Background compiler workers.
+    pub compile_workers: u64,
+    /// Shared code-cache capacity in instructions.
+    pub cache_capacity_instrs: u64,
+    /// One row per prefetch mode, in run order.
+    pub modes: Vec<ModeReport>,
+}
+
+/// Renders the summary as `SERVE_summary.json`.
+pub fn emit(s: &ServeSummary) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"schema\": \"spf-serve-summary-v1\",");
+    let _ = writeln!(out, "  \"processor\": \"{}\",", s.processor);
+    let _ = writeln!(out, "  \"tenants\": {},", s.tenants);
+    let _ = writeln!(out, "  \"requests\": {},", s.requests);
+    let _ = writeln!(out, "  \"mean_interarrival\": {},", s.mean_interarrival);
+    let _ = writeln!(out, "  \"seed\": {},", s.seed);
+    let _ = writeln!(out, "  \"slot_cycles\": {},", s.slot_cycles);
+    let _ = writeln!(out, "  \"compile_workers\": {},", s.compile_workers);
+    let _ = writeln!(
+        out,
+        "  \"cache_capacity_instrs\": {},",
+        s.cache_capacity_instrs
+    );
+    out.push_str("  \"modes\": [\n");
+    for (i, m) in s.modes.iter().enumerate() {
+        let comma = if i + 1 == s.modes.len() { "" } else { "," };
+        let _ = writeln!(
+            out,
+            "    {{\"mode\": \"{}\", \"completed\": {}, \"p50\": {}, \"p99\": {}, \
+             \"p999\": {}, \"max\": {}, \"mean\": {}, \"queue_depth_max\": {}, \
+             \"queue_depth_mean_milli\": {}, \"compiles\": {}, \"evictions\": {}, \
+             \"deopts\": {}, \"recompiles\": {}, \"checksum\": {}}}{comma}",
+            m.mode,
+            m.completed,
+            m.p50,
+            m.p99,
+            m.p999,
+            m.max,
+            m.mean,
+            m.queue_depth_max,
+            m.queue_depth_mean_milli,
+            m.compiles,
+            m.evictions,
+            m.deopts,
+            m.recompiles,
+            m.checksum,
+        );
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let pat = format!("\"{key}\": ");
+    let start = line.find(&pat)? + pat.len();
+    let rest = &line[start..];
+    if let Some(stripped) = rest.strip_prefix('"') {
+        stripped.split('"').next()
+    } else {
+        rest.split([',', '}']).next()
+    }
+}
+
+/// Parses a file produced by [`emit`]. Unknown keys are ignored, so
+/// future writers can add fields without breaking old readers.
+///
+/// # Errors
+///
+/// Returns a message naming the first missing or malformed field.
+pub fn parse(text: &str) -> Result<ServeSummary, String> {
+    let mut top = ServeSummary {
+        processor: String::new(),
+        tenants: 0,
+        requests: 0,
+        mean_interarrival: 0,
+        seed: 0,
+        slot_cycles: 0,
+        compile_workers: 0,
+        cache_capacity_instrs: 0,
+        modes: Vec::new(),
+    };
+    let mut seen_processor = false;
+    for line in text.lines() {
+        let line = line.trim();
+        if line.contains("\"mode\"") {
+            let get = |key: &str| {
+                field(line, key).ok_or_else(|| format!("missing field {key} in line: {line}"))
+            };
+            let num = |key: &str| -> Result<u64, String> {
+                get(key)?
+                    .parse()
+                    .map_err(|e| format!("bad {key} in {line}: {e}"))
+            };
+            top.modes.push(ModeReport {
+                mode: get("mode")?.to_string(),
+                completed: num("completed")?,
+                p50: num("p50")?,
+                p99: num("p99")?,
+                p999: num("p999")?,
+                max: num("max")?,
+                mean: num("mean")?,
+                queue_depth_max: num("queue_depth_max")? as u32,
+                queue_depth_mean_milli: num("queue_depth_mean_milli")?,
+                compiles: num("compiles")?,
+                evictions: num("evictions")?,
+                deopts: num("deopts")?,
+                recompiles: num("recompiles")?,
+                checksum: get("checksum")?
+                    .parse()
+                    .map_err(|e| format!("bad checksum in {line}: {e}"))?,
+            });
+            continue;
+        }
+        let tnum = |key: &str, dst: &mut u64| -> Result<(), String> {
+            if let Some(v) = field(line, key) {
+                *dst = v.parse().map_err(|e| format!("bad {key}: {e}"))?;
+            }
+            Ok(())
+        };
+        if let Some(p) = field(line, "processor") {
+            top.processor = p.to_string();
+            seen_processor = true;
+        }
+        tnum("tenants", &mut top.tenants)?;
+        tnum("requests", &mut top.requests)?;
+        tnum("mean_interarrival", &mut top.mean_interarrival)?;
+        tnum("seed", &mut top.seed)?;
+        tnum("slot_cycles", &mut top.slot_cycles)?;
+        tnum("compile_workers", &mut top.compile_workers)?;
+        tnum("cache_capacity_instrs", &mut top.cache_capacity_instrs)?;
+    }
+    if !seen_processor {
+        return Err("not a SERVE_summary.json: no processor field".to_string());
+    }
+    if top.modes.is_empty() {
+        return Err("not a SERVE_summary.json: no mode rows".to_string());
+    }
+    Ok(top)
+}
+
+/// Renders the human-readable latency table.
+pub fn render(s: &ServeSummary) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "serve: {} tenants, {} requests, mean gap {} cycles, {} compile workers, \
+         cache {} instrs, {}",
+        s.tenants,
+        s.requests,
+        s.mean_interarrival,
+        s.compile_workers,
+        s.cache_capacity_instrs,
+        s.processor
+    );
+    let _ = writeln!(
+        out,
+        "{:<12} {:>10} {:>12} {:>12} {:>12} {:>10} {:>7} {:>9} {:>8} {:>6} {:>7}",
+        "mode",
+        "p50",
+        "p99",
+        "p999",
+        "mean",
+        "qdepth",
+        "qmax",
+        "compiles",
+        "evicted",
+        "deopt",
+        "recomp"
+    );
+    for m in &s.modes {
+        let _ = writeln!(
+            out,
+            "{:<12} {:>10} {:>12} {:>12} {:>12} {:>10} {:>7} {:>9} {:>8} {:>6} {:>7}",
+            m.mode,
+            m.p50,
+            m.p99,
+            m.p999,
+            m.mean,
+            format!(
+                "{}.{:03}",
+                m.queue_depth_mean_milli / 1000,
+                m.queue_depth_mean_milli % 1000
+            ),
+            m.queue_depth_max,
+            m.compiles,
+            m.evictions,
+            m.deopts,
+            m.recompiles,
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ServeSummary {
+        ServeSummary {
+            processor: "Pentium 4".to_string(),
+            tenants: 120,
+            requests: 600,
+            mean_interarrival: 20_000,
+            seed: 99,
+            slot_cycles: 100_000,
+            compile_workers: 2,
+            cache_capacity_instrs: 4096,
+            modes: vec![
+                ModeReport {
+                    mode: "BASELINE".to_string(),
+                    completed: 600,
+                    p50: 1_000,
+                    p99: 9_000,
+                    p999: 20_000,
+                    max: 30_000,
+                    mean: 2_000,
+                    queue_depth_max: 7,
+                    queue_depth_mean_milli: 1_250,
+                    compiles: 40,
+                    evictions: 3,
+                    deopts: 0,
+                    recompiles: 0,
+                    checksum: -12345,
+                },
+                ModeReport {
+                    mode: "ADAPTIVE".to_string(),
+                    completed: 600,
+                    p50: 900,
+                    p99: 8_000,
+                    p999: 18_000,
+                    max: 28_000,
+                    mean: 1_800,
+                    queue_depth_max: 9,
+                    queue_depth_mean_milli: 1_500,
+                    compiles: 55,
+                    evictions: 6,
+                    deopts: 4,
+                    recompiles: 4,
+                    checksum: -12345,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn nearest_rank_percentiles() {
+        let v: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile(&v, 50, 100), 50);
+        assert_eq!(percentile(&v, 99, 100), 99);
+        assert_eq!(percentile(&v, 999, 1000), 100);
+        assert_eq!(percentile(&v, 100, 100), 100);
+        assert_eq!(percentile(&[42], 50, 100), 42);
+        assert_eq!(percentile(&[], 50, 100), 0);
+    }
+
+    #[test]
+    fn emit_parse_round_trip() {
+        let s = sample();
+        let text = emit(&s);
+        let back = parse(&text).expect("round trip");
+        assert_eq!(s, back);
+    }
+
+    #[test]
+    fn unknown_fields_are_ignored() {
+        let text = emit(&sample()).replace(
+            "\"tenants\": 120,",
+            "\"tenants\": 120,\n  \"novel_future_field\": 7,",
+        );
+        let back = parse(&text).expect("forward compatible");
+        assert_eq!(back, sample());
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(parse("hello world").is_err());
+        assert!(parse("{\"processor\": \"x\"}").is_err(), "no mode rows");
+    }
+
+    #[test]
+    fn render_mentions_every_mode() {
+        let table = render(&sample());
+        assert!(table.contains("BASELINE"));
+        assert!(table.contains("ADAPTIVE"));
+        assert!(table.contains("120 tenants"));
+    }
+}

@@ -1,0 +1,524 @@
+//! The epoch-barrier serving simulation.
+//!
+//! Hundreds of tenant VMs — each a full mixed-mode [`spf_vm::Vm`] over its
+//! own heap shard — serve an open-loop request stream. Time advances in
+//! *epochs*: at each epoch barrier the single-threaded coordinator absorbs
+//! arrivals, completes and schedules background compilations, evicts from
+//! the shared code cache, and dispatches at most one request per idle
+//! tenant; the dispatched requests then execute host-parallel, each worker
+//! thread owning its tenant VM exclusively for the duration of the call.
+//!
+//! Because every shared-state mutation (compile install, cache eviction,
+//! queue push) happens at a barrier in canonical tenant/worker order, and
+//! the parallel phase touches only per-tenant state, the simulation is a
+//! pure function of [`ServeConfig`] — bit-identical across host machines
+//! and `jobs` values. That property is what lets CI gate serving latency
+//! numbers the same way `bench_diff` gates the matrix.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+use spf_core::PrefetchOptions;
+use spf_heap::shard_bytes;
+use spf_ir::MethodId;
+use spf_memsim::ProcessorConfig;
+use spf_trace::{NoopSink, TraceEvent};
+use spf_vm::{Predecoded, Vm, VmConfig};
+use spf_workloads::{all, Size};
+
+use crate::cache::CodeCache;
+use crate::traffic::{self, Request, TrafficConfig};
+
+/// Serving-simulation configuration. Everything that influences a
+/// simulated number lives here; host parallelism (`jobs`) is passed to
+/// [`run`] separately because it must never change the outcome.
+#[derive(Clone, Copy, Debug)]
+pub struct ServeConfig {
+    /// Number of tenant VMs. Tenant `i` runs workload `i % 12` from the
+    /// Table 3 registry.
+    pub tenants: usize,
+    /// Total requests in the open-loop stream.
+    pub requests: u32,
+    /// Mean request inter-arrival gap in cycles.
+    pub mean_interarrival: u64,
+    /// Traffic seed.
+    pub seed: u64,
+    /// Epoch length: barriers land on multiples of this many cycles.
+    pub slot_cycles: u64,
+    /// Dedicated background compiler workers draining the shared queue.
+    pub compile_workers: usize,
+    /// Shared code-cache capacity in compiled instructions.
+    pub cache_capacity_instrs: u64,
+    /// Per-tenant heap = `shard_bytes(workload_heap, heap_shard_div,
+    /// heap_floor_bytes)` — tenants get a slice of the standalone heap,
+    /// bounded below so small workloads still fit.
+    pub heap_shard_div: usize,
+    /// Lower bound on a tenant heap shard, in bytes.
+    pub heap_floor_bytes: usize,
+    /// Workload problem size.
+    pub size: Size,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            tenants: 120,
+            requests: 600,
+            mean_interarrival: 300_000,
+            seed: 0x5EED_5E17,
+            slot_cycles: 100_000,
+            compile_workers: 2,
+            cache_capacity_instrs: 8_192,
+            heap_shard_div: 32,
+            heap_floor_bytes: 2 << 20,
+            size: Size::Tiny,
+        }
+    }
+}
+
+/// What one [`run`] produced.
+#[derive(Clone, Debug)]
+pub struct ServeOutcome {
+    /// Per-request latency (completion − arrival) in cycles, indexed by
+    /// request id.
+    pub latencies: Vec<u64>,
+    /// Compilation-queue depth (waiting + in service) sampled once per
+    /// epoch.
+    pub queue_depth_samples: Vec<u32>,
+    /// Serve-level trace events (enqueues, installs, evictions, request
+    /// completions) in simulation order.
+    pub events: Vec<TraceEvent>,
+    /// Background compilations installed.
+    pub compiles: u64,
+    /// Code-cache capacity evictions.
+    pub evictions: u64,
+    /// Adaptive deoptimizations summed over all tenant VMs.
+    pub deopts: u64,
+    /// Adaptive recompilations summed over all tenant VMs.
+    pub recompiles: u64,
+    /// Order-sensitive fold of every tenant's workload checksum — equal
+    /// across modes and `jobs` values, or the fleet diverged.
+    pub checksum: i64,
+    /// Number of epoch barriers executed.
+    pub epochs: u64,
+}
+
+/// One tenant: a VM plus its request queue and serving clock.
+struct Tenant {
+    vm: Vm,
+    entry: MethodId,
+    expected: Option<i32>,
+    /// First observed checksum; later requests must reproduce it.
+    checksum: Option<i32>,
+    name: &'static str,
+    queue: VecDeque<Request>,
+    /// Serving-clock cycle at which the tenant finishes its current
+    /// request (idle when `<= now`).
+    free_at: u64,
+}
+
+/// A background compile request waiting in, or being served by, the
+/// shared compilation queue.
+#[derive(Clone, Copy)]
+struct CompileJob {
+    tenant: u32,
+    method: MethodId,
+    cost: u64,
+    enqueued_at: u64,
+}
+
+/// Runs the serving simulation: `cfg.requests` requests over
+/// `cfg.tenants` VMs under `options`, with `jobs` host worker threads.
+///
+/// # Panics
+///
+/// Panics if a tenant workload faults, produces inconsistent checksums
+/// across requests, or the simulation stalls (no future event while
+/// requests remain — a scheduler bug).
+pub fn run(
+    cfg: &ServeConfig,
+    options: &PrefetchOptions,
+    proc: &ProcessorConfig,
+    jobs: usize,
+) -> ServeOutcome {
+    assert!(cfg.tenants > 0, "need at least one tenant");
+    assert!(cfg.compile_workers > 0, "need at least one compiler worker");
+    assert!(cfg.slot_cycles > 0, "epochs must advance");
+
+    let specs = all();
+    // Build and pre-decode each distinct workload once; tenants share the
+    // decoded bodies via `Arc` exactly like the benchmark matrix does.
+    struct Blueprint {
+        pre: Arc<Predecoded>,
+        entry: MethodId,
+        heap: usize,
+        expected: Option<i32>,
+        threshold: u32,
+        name: &'static str,
+    }
+    let blueprints: Vec<Blueprint> = specs
+        .iter()
+        .take(cfg.tenants.min(specs.len()))
+        .map(|spec| {
+            let built = (spec.build)(cfg.size);
+            Blueprint {
+                pre: Arc::new(Predecoded::new(built.program)),
+                entry: built.entry,
+                heap: shard_bytes(built.heap_bytes, cfg.heap_shard_div, cfg.heap_floor_bytes),
+                expected: built.expected,
+                threshold: built.compile_threshold,
+                name: spec.name,
+            }
+        })
+        .collect();
+
+    let mut tenants: Vec<Mutex<Tenant>> = (0..cfg.tenants)
+        .map(|i| {
+            let b = &blueprints[i % blueprints.len()];
+            let vm = Vm::from_predecoded(
+                &b.pre,
+                VmConfig {
+                    heap_bytes: b.heap,
+                    prefetch: options.clone(),
+                    compile_threshold: b.threshold,
+                    async_compile: true,
+                    ..VmConfig::default()
+                },
+                proc.clone(),
+                NoopSink,
+            );
+            Mutex::new(Tenant {
+                vm,
+                entry: b.entry,
+                expected: b.expected,
+                checksum: None,
+                name: b.name,
+                queue: VecDeque::new(),
+                free_at: 0,
+            })
+        })
+        .collect();
+
+    let requests = traffic::generate(&TrafficConfig {
+        tenants: cfg.tenants,
+        requests: cfg.requests,
+        mean_interarrival: cfg.mean_interarrival,
+        seed: cfg.seed,
+    });
+
+    let mut cache = CodeCache::new(cfg.cache_capacity_instrs);
+    let mut queue: VecDeque<CompileJob> = VecDeque::new();
+    // `workers[w]` holds the job worker `w` finishes at `finish_at`.
+    let mut workers: Vec<Option<(u64, CompileJob)>> = vec![None; cfg.compile_workers];
+
+    let mut out = ServeOutcome {
+        latencies: vec![0; requests.len()],
+        queue_depth_samples: Vec::new(),
+        events: Vec::new(),
+        compiles: 0,
+        evictions: 0,
+        deopts: 0,
+        recompiles: 0,
+        checksum: 0,
+        epochs: 0,
+    };
+
+    let mut now = 0u64;
+    let mut next_arrival = 0usize; // first not-yet-absorbed request
+    let mut completed = 0usize;
+    while completed < requests.len() {
+        out.epochs += 1;
+
+        // 1. Absorb arrivals up to the barrier into per-tenant queues.
+        while next_arrival < requests.len() && requests[next_arrival].arrival <= now {
+            let r = requests[next_arrival];
+            tenants[r.tenant as usize]
+                .get_mut()
+                .unwrap()
+                .queue
+                .push_back(r);
+            next_arrival += 1;
+        }
+
+        // 2. Complete finished background compiles, in worker order:
+        //    install into the owning VM, charge the shared code cache, and
+        //    evict LRU victims from their VMs.
+        for slot in workers.iter_mut() {
+            let Some((finish_at, job)) = *slot else {
+                continue;
+            };
+            if finish_at > now {
+                continue;
+            }
+            *slot = None;
+            let t = tenants[job.tenant as usize].get_mut().unwrap();
+            let Some(instrs) = t.vm.compile_pending(job.method) else {
+                continue; // request withdrawn (method no longer pending)
+            };
+            out.compiles += 1;
+            out.events.push(TraceEvent::CompileInstalled {
+                tenant: job.tenant,
+                method: job.method.index() as u32,
+                wait: now - job.enqueued_at,
+                now,
+            });
+            for victim in cache.insert(job.tenant, job.method.index() as u32, instrs, now) {
+                let vt = tenants[victim.tenant as usize].get_mut().unwrap();
+                vt.vm.evict_compiled(MethodId::new(victim.method as usize));
+                out.evictions += 1;
+                out.events.push(TraceEvent::CodeCacheEvicted {
+                    tenant: victim.tenant,
+                    method: victim.method,
+                    instrs: victim.instrs as u32,
+                    now,
+                });
+            }
+        }
+
+        // 3. Hand waiting jobs to idle compiler workers (FIFO).
+        for slot in workers.iter_mut() {
+            if slot.is_none() {
+                if let Some(job) = queue.pop_front() {
+                    *slot = Some((now + job.cost, job));
+                }
+            }
+        }
+
+        // 4. Dispatch one queued request per idle tenant, in tenant order.
+        let mut dispatched: Vec<(usize, Request)> = Vec::new();
+        for (i, slot) in tenants.iter_mut().enumerate() {
+            let t = slot.get_mut().unwrap();
+            if t.free_at <= now {
+                if let Some(r) = t.queue.pop_front() {
+                    dispatched.push((i, r));
+                }
+            }
+        }
+
+        // 5. Execute dispatched requests host-parallel. Each closure owns
+        //    exactly one tenant VM (distinct indices), so the lock is
+        //    uncontended and the work is embarrassingly parallel.
+        let results: Vec<(u64, i32, Vec<MethodId>)> = run_each(jobs, dispatched.len(), |k| {
+            let (ti, _) = dispatched[k];
+            let t = &mut *tenants[ti].lock().unwrap();
+            let before = t.vm.stats().cycles;
+            let value =
+                t.vm.call(t.entry, &[])
+                    .unwrap_or_else(|e| panic!("tenant {ti} ({}) faulted: {e}", t.name))
+                    .expect("entry returns a checksum")
+                    .as_i32();
+            let service = t.vm.stats().cycles - before;
+            (service, value, t.vm.take_compile_requests())
+        });
+
+        // 6. Barrier: fold results back into shared state, in tenant
+        //    order.
+        for (&(ti, req), (service, value, compile_reqs)) in dispatched.iter().zip(results) {
+            let t = tenants[ti].get_mut().unwrap();
+            match t.checksum {
+                None => {
+                    if let Some(exp) = t.expected {
+                        assert_eq!(value, exp, "tenant {ti} ({}) checksum", t.name);
+                    }
+                    t.checksum = Some(value);
+                }
+                Some(c) => assert_eq!(
+                    value, c,
+                    "tenant {ti} ({}) diverged between requests",
+                    t.name
+                ),
+            }
+            let completion = now + service;
+            t.free_at = completion;
+            out.latencies[req.id as usize] = completion - req.arrival;
+            completed += 1;
+            out.events.push(TraceEvent::RequestCompleted {
+                tenant: ti as u32,
+                request: req.id,
+                latency: completion - req.arrival,
+                now,
+            });
+            for mid in compile_reqs {
+                let cost = t.vm.compile_cost_estimate(mid);
+                queue.push_back(CompileJob {
+                    tenant: ti as u32,
+                    method: mid,
+                    cost,
+                    enqueued_at: now,
+                });
+                let busy = workers.iter().filter(|w| w.is_some()).count();
+                out.events.push(TraceEvent::CompileEnqueued {
+                    tenant: ti as u32,
+                    method: mid.index() as u32,
+                    depth: (queue.len() + busy) as u32,
+                    now,
+                });
+            }
+            // The tenant just ran: refresh its cache entries' recency and
+            // drop entries whose body the VM deopted away on its own.
+            cache.touch_tenant(ti as u32, now);
+            let dead: Vec<u32> = cache
+                .tenant_entries(ti as u32)
+                .filter(|e| !t.vm.is_compiled(MethodId::new(e.method as usize)))
+                .map(|e| e.method)
+                .collect();
+            for m in dead {
+                cache.remove(ti as u32, m);
+            }
+        }
+
+        // 7. Sample the compilation-queue depth.
+        let busy = workers.iter().filter(|w| w.is_some()).count();
+        out.queue_depth_samples.push((queue.len() + busy) as u32);
+
+        // 8. Advance to the next epoch barrier: at least one slot, or
+        //    straight to the next interesting time (rounded up to a slot
+        //    multiple) when the fleet is idle.
+        if completed == requests.len() {
+            break;
+        }
+        let mut next_event = u64::MAX;
+        if next_arrival < requests.len() {
+            next_event = next_event.min(requests[next_arrival].arrival);
+        }
+        for w in workers.iter().flatten() {
+            next_event = next_event.min(w.0);
+        }
+        for slot in tenants.iter_mut() {
+            let t = slot.get_mut().unwrap();
+            if !t.queue.is_empty() {
+                next_event = next_event.min(t.free_at);
+            }
+        }
+        assert!(
+            next_event != u64::MAX,
+            "serve simulation stalled at cycle {now} with {} requests outstanding",
+            requests.len() - completed
+        );
+        now = (now + cfg.slot_cycles).max(next_event.next_multiple_of(cfg.slot_cycles));
+    }
+
+    for slot in tenants.iter_mut() {
+        let t = slot.get_mut().unwrap();
+        let s = t.vm.stats();
+        out.deopts += s.deopts;
+        out.recompiles += s.recompiles;
+        out.checksum = out
+            .checksum
+            .wrapping_mul(31)
+            .wrapping_add(i64::from(t.checksum.unwrap_or(0)));
+    }
+    out
+}
+
+/// Runs `f(0..n)` with up to `jobs` worker threads, returning results in
+/// index order. The work-stealing cursor only affects which host thread
+/// computes which index, never the result — `f` must be index-pure.
+fn run_each<R: Send>(jobs: usize, n: usize, f: impl Fn(usize) -> R + Sync) -> Vec<R> {
+    if jobs <= 1 || n <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let cursor = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..jobs.min(n) {
+            scope.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let r = f(i);
+                *slots[i].lock().unwrap() = Some(r);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|m| m.into_inner().unwrap().expect("every slot filled"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_cfg() -> ServeConfig {
+        ServeConfig {
+            tenants: 8,
+            requests: 40,
+            mean_interarrival: 50_000,
+            ..ServeConfig::default()
+        }
+    }
+
+    #[test]
+    fn run_each_preserves_order() {
+        for jobs in [1, 2, 7] {
+            let r = run_each(jobs, 20, |i| i * i);
+            assert_eq!(r, (0..20).map(|i| i * i).collect::<Vec<_>>(), "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn serves_every_request_and_is_job_invariant() {
+        let cfg = tiny_cfg();
+        let opts = PrefetchOptions::inter_intra();
+        let proc = ProcessorConfig::pentium4();
+        let a = run(&cfg, &opts, &proc, 1);
+        let b = run(&cfg, &opts, &proc, 3);
+        assert_eq!(a.latencies.len(), 40);
+        assert!(a.latencies.iter().all(|&l| l > 0));
+        assert_eq!(a.latencies, b.latencies, "latencies depend on --jobs");
+        assert_eq!(a.events, b.events, "event stream depends on --jobs");
+        assert_eq!(a.queue_depth_samples, b.queue_depth_samples);
+        assert_eq!(a.checksum, b.checksum);
+        assert_eq!((a.compiles, a.evictions), (b.compiles, b.evictions));
+    }
+
+    #[test]
+    fn background_compilation_happens() {
+        let cfg = tiny_cfg();
+        let out = run(
+            &cfg,
+            &PrefetchOptions::inter_intra(),
+            &ProcessorConfig::pentium4(),
+            2,
+        );
+        assert!(out.compiles > 0, "hot entries must get compiled");
+        assert!(
+            out.events
+                .iter()
+                .any(|e| matches!(e, TraceEvent::CompileEnqueued { .. })),
+            "compiles must pass through the queue"
+        );
+    }
+
+    #[test]
+    fn tiny_cache_forces_evictions() {
+        let cfg = ServeConfig {
+            cache_capacity_instrs: 64,
+            ..tiny_cfg()
+        };
+        let out = run(
+            &cfg,
+            &PrefetchOptions::inter_intra(),
+            &ProcessorConfig::pentium4(),
+            2,
+        );
+        assert!(out.evictions > 0, "a 64-instr cache cannot hold the fleet");
+    }
+
+    #[test]
+    fn checksum_is_mode_invariant() {
+        let cfg = tiny_cfg();
+        let proc = ProcessorConfig::pentium4();
+        let off = run(&cfg, &PrefetchOptions::off(), &proc, 2);
+        let ada = run(&cfg, &PrefetchOptions::adaptive(), &proc, 2);
+        assert_eq!(
+            off.checksum, ada.checksum,
+            "prefetching must never change results"
+        );
+        assert_eq!(off.latencies.len(), ada.latencies.len());
+    }
+}

@@ -183,7 +183,11 @@ pub fn attribute(events: &[TraceEvent]) -> Attribution {
             | TraceEvent::LdgBuilt { .. }
             | TraceEvent::Inspected { .. }
             | TraceEvent::Planned { .. }
-            | TraceEvent::SiteRegistered { .. } => {}
+            | TraceEvent::SiteRegistered { .. }
+            | TraceEvent::CompileEnqueued { .. }
+            | TraceEvent::CompileInstalled { .. }
+            | TraceEvent::CodeCacheEvicted { .. }
+            | TraceEvent::RequestCompleted { .. } => {}
         }
     }
     let mut per_site: Vec<(SiteId, SiteEffect)> = sites.into_iter().collect();

@@ -3,16 +3,21 @@
 //! ```text
 //! cargo run -p spf-trace --bin spf-trace-report -- TRACE_summary.jsonl
 //! cargo run -p spf-trace --bin spf-trace-report -- OLD.jsonl NEW.jsonl
+//! cargo run -p spf-trace --bin spf-trace-report -- deopt-summary DEOPT_events.jsonl
 //! ```
 //!
 //! With one file, prints the per-site effectiveness table. With two,
 //! diffs them site by site (matched on run + site position) and exits 1
 //! if any site's classification changed, 0 otherwise — the same
-//! conventions as `bench_diff`.
+//! conventions as `bench_diff`. `deopt-summary` aggregates the
+//! Deopt/Recompile/SiteStale events of a `DEOPT_events.jsonl` (written by
+//! `figures --trace`) per cell — the diagnostic entry point for
+//! adaptive-mode cycle blow-ups such as db/ADAPTIVE.
 
 use std::io::Write as _;
 use std::process::ExitCode;
 
+use spf_trace::deopt;
 use spf_trace::summary::{self, SummaryRow};
 
 fn load(path: &str) -> Result<Vec<SummaryRow>, String> {
@@ -25,6 +30,18 @@ fn main() -> ExitCode {
     // Render into a buffer and write it in one shot, ignoring EPIPE, so
     // `spf-trace-report ... | head` still yields the right exit code.
     let (out, code) = match args.as_slice() {
+        [cmd, path] if cmd == "deopt-summary" => {
+            let rows = std::fs::read_to_string(path)
+                .map_err(|e| format!("{path}: {e}"))
+                .and_then(|text| deopt::parse(&text).map_err(|e| format!("{path}: {e}")));
+            match rows {
+                Ok(rows) => (deopt::render(&deopt::aggregate(&rows)), ExitCode::SUCCESS),
+                Err(e) => {
+                    eprintln!("spf-trace-report: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
         [path] => match load(path) {
             Ok(rows) => (summary::render(&rows), ExitCode::SUCCESS),
             Err(e) => {
@@ -48,7 +65,10 @@ fn main() -> ExitCode {
             }
         },
         _ => {
-            eprintln!("usage: spf-trace-report SUMMARY.jsonl [NEW.jsonl]");
+            eprintln!(
+                "usage: spf-trace-report SUMMARY.jsonl [NEW.jsonl]\n\
+                 \x20      spf-trace-report deopt-summary DEOPT_events.jsonl"
+            );
             return ExitCode::FAILURE;
         }
     };

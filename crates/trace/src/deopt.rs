@@ -1,0 +1,383 @@
+//! `DEOPT_events.jsonl` — the per-cell adaptive-reprofiling event record,
+//! and the aggregation behind `spf-trace-report deopt-summary`.
+//!
+//! ROADMAP open item 1 is a diagnosis problem: db/ADAPTIVE blows up to
+//! ~16.5M cycles because a single deopt with zero recompiles strands the
+//! cell in the interpreter. The raw evidence is already in the trace
+//! stream ([`TraceEvent::SiteStale`], [`TraceEvent::Deopt`],
+//! [`TraceEvent::Recompile`]), but scattered across per-run JSONL dumps.
+//! This module extracts those events per cell, round-trips them through a
+//! JSONL file, and aggregates them into one row per cell with a
+//! `stranded` column: methods that deopted more often than they
+//! recompiled, i.e. methods currently stuck in the interpreter.
+//!
+//! Emitter and parser are hand-rolled like `summary` (no serde in this
+//! build environment) and only promise to round-trip each other's output.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use crate::event::TraceEvent;
+
+/// One adaptive-reprofiling event of one cell (run).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct DeoptRow {
+    /// The run key, `workload/mode/processor`.
+    pub run: String,
+    /// Event tag: `site_stale`, `deopt`, or `recompile`.
+    pub tag: String,
+    /// Method index in the program.
+    pub method: u32,
+    /// Compilation generation the event refers to.
+    pub generation: u32,
+    /// Staleness reason for `site_stale` rows, `-` otherwise.
+    pub reason: String,
+    /// Simulated cycle of the event.
+    pub now: u64,
+}
+
+/// Extracts the adaptive-reprofiling rows of one run from its event
+/// stream, in stream order.
+pub fn rows(run: &str, events: &[TraceEvent]) -> Vec<DeoptRow> {
+    events
+        .iter()
+        .filter_map(|ev| {
+            let (tag, method, generation, reason, now) = match *ev {
+                TraceEvent::SiteStale {
+                    method,
+                    generation,
+                    reason,
+                    now,
+                } => ("site_stale", method, generation, reason.to_string(), now),
+                TraceEvent::Deopt {
+                    method,
+                    generation,
+                    now,
+                } => ("deopt", method, generation, "-".to_string(), now),
+                TraceEvent::Recompile {
+                    method,
+                    generation,
+                    now,
+                } => ("recompile", method, generation, "-".to_string(), now),
+                _ => return None,
+            };
+            Some(DeoptRow {
+                run: run.to_string(),
+                tag: tag.to_string(),
+                method,
+                generation,
+                reason,
+                now,
+            })
+        })
+        .collect()
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// Renders rows as `DEOPT_events.jsonl` (one object per line).
+pub fn emit(rows: &[DeoptRow]) -> String {
+    let mut s = String::new();
+    for r in rows {
+        let _ = writeln!(
+            s,
+            "{{\"run\": \"{}\", \"tag\": \"{}\", \"method\": {}, \"generation\": {}, \
+             \"reason\": \"{}\", \"now\": {}}}",
+            escape(&r.run),
+            escape(&r.tag),
+            r.method,
+            r.generation,
+            escape(&r.reason),
+            r.now,
+        );
+    }
+    s
+}
+
+fn field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let pat = format!("\"{key}\": ");
+    let start = line.find(&pat)? + pat.len();
+    let rest = &line[start..];
+    if let Some(stripped) = rest.strip_prefix('"') {
+        stripped.split('"').next()
+    } else {
+        rest.split([',', '}']).next()
+    }
+}
+
+/// Parses a file produced by [`emit`] back into its rows. Lines whose tag
+/// is not an adaptive-reprofiling event are skipped, so a full
+/// `events.jsonl` dump also parses (its rows get run key `-`).
+///
+/// # Errors
+///
+/// Returns a message naming the first malformed line.
+pub fn parse(text: &str) -> Result<Vec<DeoptRow>, String> {
+    let mut out = Vec::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if !(line.starts_with('{') && line.contains("\"tag\"")) {
+            continue;
+        }
+        let tag = field(line, "tag").ok_or_else(|| format!("missing tag in line: {line}"))?;
+        if !matches!(tag, "site_stale" | "deopt" | "recompile") {
+            continue;
+        }
+        let num = |key: &str| -> Result<u64, String> {
+            field(line, key)
+                .ok_or_else(|| format!("missing field {key} in line: {line}"))?
+                .parse()
+                .map_err(|e| format!("bad {key} in {line}: {e}"))
+        };
+        out.push(DeoptRow {
+            run: field(line, "run").unwrap_or("-").to_string(),
+            tag: tag.to_string(),
+            method: num("method")? as u32,
+            generation: num("generation")? as u32,
+            reason: field(line, "reason").unwrap_or("-").to_string(),
+            now: num("now")?,
+        });
+    }
+    Ok(out)
+}
+
+/// One cell's aggregated adaptive-reprofiling activity.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct DeoptSummary {
+    /// The run key, `workload/mode/processor`.
+    pub run: String,
+    /// `SiteStale` verdicts observed.
+    pub site_stale: u64,
+    /// Staleness verdicts caused by a GC moving objects.
+    pub gc_moved: u64,
+    /// Staleness verdicts caused by the useless-prefetch ratio.
+    pub useless_ratio: u64,
+    /// Deoptimizations (compiled body discarded).
+    pub deopts: u64,
+    /// Recompilations after re-inspection.
+    pub recompiles: u64,
+    /// Distinct methods with at least one event.
+    pub methods: u64,
+    /// Methods with more deopts than recompiles — currently stranded in
+    /// the interpreter. A nonzero count on a slow ADAPTIVE cell is the
+    /// db-blow-up signature.
+    pub stranded: u64,
+    /// Simulated cycle of the cell's first event.
+    pub first_now: u64,
+    /// Simulated cycle of the cell's last event.
+    pub last_now: u64,
+}
+
+/// Aggregates rows into one summary per run, in first-seen run order.
+pub fn aggregate(rows: &[DeoptRow]) -> Vec<DeoptSummary> {
+    let mut order: Vec<String> = Vec::new();
+    let mut by_run: BTreeMap<String, Vec<&DeoptRow>> = BTreeMap::new();
+    for r in rows {
+        if !by_run.contains_key(&r.run) {
+            order.push(r.run.clone());
+        }
+        by_run.entry(r.run.clone()).or_default().push(r);
+    }
+    order
+        .into_iter()
+        .map(|run| {
+            let rs = &by_run[&run];
+            let mut s = DeoptSummary {
+                run,
+                site_stale: 0,
+                gc_moved: 0,
+                useless_ratio: 0,
+                deopts: 0,
+                recompiles: 0,
+                methods: 0,
+                stranded: 0,
+                first_now: u64::MAX,
+                last_now: 0,
+            };
+            // (deopts, recompiles) per method, in method order.
+            let mut per_method: BTreeMap<u32, (u64, u64)> = BTreeMap::new();
+            for r in rs {
+                match r.tag.as_str() {
+                    "site_stale" => {
+                        s.site_stale += 1;
+                        match r.reason.as_str() {
+                            "gc-moved" => s.gc_moved += 1,
+                            "useless-ratio" => s.useless_ratio += 1,
+                            _ => {}
+                        }
+                        per_method.entry(r.method).or_default();
+                    }
+                    "deopt" => {
+                        s.deopts += 1;
+                        per_method.entry(r.method).or_default().0 += 1;
+                    }
+                    "recompile" => {
+                        s.recompiles += 1;
+                        per_method.entry(r.method).or_default().1 += 1;
+                    }
+                    _ => {}
+                }
+                s.first_now = s.first_now.min(r.now);
+                s.last_now = s.last_now.max(r.now);
+            }
+            s.methods = per_method.len() as u64;
+            s.stranded = per_method.values().filter(|(d, rc)| d > rc).count() as u64;
+            if s.first_now == u64::MAX {
+                s.first_now = 0;
+            }
+            s
+        })
+        .collect()
+}
+
+/// Renders the per-cell table (one line per run plus a grand total).
+pub fn render(summaries: &[DeoptSummary]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<36} {:>6} {:>9} {:>8} {:>7} {:>10} {:>8} {:>9}",
+        "run", "stale", "gc-moved", "useless", "deopts", "recompiles", "methods", "stranded"
+    );
+    let mut t = [0u64; 6];
+    for s in summaries {
+        let _ = writeln!(
+            out,
+            "{:<36} {:>6} {:>9} {:>8} {:>7} {:>10} {:>8} {:>9}{}",
+            s.run,
+            s.site_stale,
+            s.gc_moved,
+            s.useless_ratio,
+            s.deopts,
+            s.recompiles,
+            s.methods,
+            s.stranded,
+            if s.stranded > 0 { "  <- stranded" } else { "" },
+        );
+        t[0] += s.site_stale;
+        t[1] += s.gc_moved;
+        t[2] += s.useless_ratio;
+        t[3] += s.deopts;
+        t[4] += s.recompiles;
+        t[5] += s.stranded;
+    }
+    let _ = writeln!(
+        out,
+        "\ntotal: {} cell(s), {} stale ({} gc-moved, {} useless-ratio), \
+         {} deopt(s), {} recompile(s), {} stranded method(s)",
+        summaries.len(),
+        t[0],
+        t[1],
+        t[2],
+        t[3],
+        t[4],
+        t[5],
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{SiteId, StaleReason};
+
+    fn sample_events() -> Vec<TraceEvent> {
+        vec![
+            TraceEvent::SiteStale {
+                method: 2,
+                generation: 0,
+                reason: StaleReason::GcMoved,
+                now: 100,
+            },
+            TraceEvent::Deopt {
+                method: 2,
+                generation: 0,
+                now: 101,
+            },
+            TraceEvent::Recompile {
+                method: 2,
+                generation: 1,
+                now: 500,
+            },
+            TraceEvent::SiteStale {
+                method: 5,
+                generation: 0,
+                reason: StaleReason::UselessRatio,
+                now: 900,
+            },
+            TraceEvent::Deopt {
+                method: 5,
+                generation: 0,
+                now: 901,
+            },
+            // An unrelated runtime event that must be filtered out.
+            TraceEvent::SwpfIssued {
+                site: SiteId(0),
+                line: 0x40,
+                now: 950,
+            },
+        ]
+    }
+
+    #[test]
+    fn rows_filter_the_adaptive_events() {
+        let rs = rows("db/ADAPTIVE/Pentium 4", &sample_events());
+        assert_eq!(rs.len(), 5);
+        assert_eq!(rs[0].tag, "site_stale");
+        assert_eq!(rs[0].reason, "gc-moved");
+        assert_eq!(rs[2].tag, "recompile");
+        assert_eq!(rs[2].generation, 1);
+    }
+
+    #[test]
+    fn emit_parse_round_trip() {
+        let rs = rows("db/ADAPTIVE/Athlon MP", &sample_events());
+        let parsed = parse(&emit(&rs)).unwrap();
+        assert_eq!(parsed, rs);
+    }
+
+    #[test]
+    fn parse_skips_foreign_tags_and_flags_bad_rows() {
+        let text = "{\"tag\": \"swpf_issued\", \"site\": 0, \"line\": 64, \"now\": 1}\n\
+                    {\"tag\": \"deopt\", \"method\": 1, \"generation\": 0, \"now\": 9}\n";
+        let rs = parse(text).unwrap();
+        assert_eq!(rs.len(), 1);
+        assert_eq!(rs[0].run, "-", "events.jsonl rows have no run key");
+        assert!(parse("{\"tag\": \"deopt\", \"method\": 1}").is_err());
+    }
+
+    #[test]
+    fn aggregate_counts_stranded_methods() {
+        let rs = rows("db/ADAPTIVE/Pentium 4", &sample_events());
+        let sums = aggregate(&rs);
+        assert_eq!(sums.len(), 1);
+        let s = &sums[0];
+        assert_eq!(s.site_stale, 2);
+        assert_eq!(s.gc_moved, 1);
+        assert_eq!(s.useless_ratio, 1);
+        assert_eq!(s.deopts, 2);
+        assert_eq!(s.recompiles, 1);
+        assert_eq!(s.methods, 2);
+        assert_eq!(s.stranded, 1, "method 5 deopted and never came back");
+        assert_eq!(s.first_now, 100);
+        assert_eq!(s.last_now, 901);
+    }
+
+    #[test]
+    fn aggregate_keeps_first_seen_run_order() {
+        let mut rs = rows("b", &sample_events());
+        rs.extend(rows("a", &sample_events()));
+        let sums = aggregate(&rs);
+        assert_eq!(sums[0].run, "b");
+        assert_eq!(sums[1].run, "a");
+    }
+
+    #[test]
+    fn render_marks_stranded_cells() {
+        let rs = rows("db/ADAPTIVE/Pentium 4", &sample_events());
+        let table = render(&aggregate(&rs));
+        assert!(table.contains("<- stranded"), "{table}");
+        assert!(table.contains("1 stranded method(s)"), "{table}");
+    }
+}

@@ -321,6 +321,58 @@ pub enum TraceEvent {
         now: u64,
     },
 
+    // ---- serving ------------------------------------------------------
+    /// The serving layer enqueued a background compilation request for a
+    /// tenant's hot method (the tenant keeps interpreting meanwhile).
+    CompileEnqueued {
+        /// Tenant (VM instance) index in the serving fleet.
+        tenant: u32,
+        /// Method index in the tenant's program.
+        method: u32,
+        /// Compilation-queue depth *after* this enqueue.
+        depth: u32,
+        /// Simulated serving-clock cycle.
+        now: u64,
+    },
+    /// A background compilation finished and its body was installed into
+    /// the tenant's VM (and the shared code cache).
+    CompileInstalled {
+        /// Tenant (VM instance) index in the serving fleet.
+        tenant: u32,
+        /// Method index in the tenant's program.
+        method: u32,
+        /// Simulated cycles between enqueue and install.
+        wait: u64,
+        /// Simulated serving-clock cycle.
+        now: u64,
+    },
+    /// The bounded shared code cache evicted a tenant's compiled body to
+    /// make room; the tenant falls back to the interpreter until a forced
+    /// recompile lands.
+    CodeCacheEvicted {
+        /// Tenant (VM instance) index in the serving fleet.
+        tenant: u32,
+        /// Method index in the tenant's program.
+        method: u32,
+        /// Compiled-body size (instruction count) released.
+        instrs: u32,
+        /// Simulated serving-clock cycle.
+        now: u64,
+    },
+    /// A served request (one workload invocation on a tenant's VM)
+    /// completed.
+    RequestCompleted {
+        /// Tenant (VM instance) index in the serving fleet.
+        tenant: u32,
+        /// Request sequence number in arrival order.
+        request: u32,
+        /// Simulated cycles from arrival to completion (queueing +
+        /// service).
+        latency: u64,
+        /// Simulated serving-clock cycle of completion.
+        now: u64,
+    },
+
     /// The garbage collector ran a sliding compaction.
     GcSlide {
         /// Simulated cycle.
@@ -357,6 +409,10 @@ impl TraceEvent {
             TraceEvent::SiteStale { .. } => "site_stale",
             TraceEvent::Deopt { .. } => "deopt",
             TraceEvent::Recompile { .. } => "recompile",
+            TraceEvent::CompileEnqueued { .. } => "compile_enqueued",
+            TraceEvent::CompileInstalled { .. } => "compile_installed",
+            TraceEvent::CodeCacheEvicted { .. } => "code_cache_evicted",
+            TraceEvent::RequestCompleted { .. } => "request_completed",
             TraceEvent::GcSlide { .. } => "gc_slide",
         }
     }
@@ -378,6 +434,10 @@ impl TraceEvent {
             | TraceEvent::SiteStale { now, .. }
             | TraceEvent::Deopt { now, .. }
             | TraceEvent::Recompile { now, .. }
+            | TraceEvent::CompileEnqueued { now, .. }
+            | TraceEvent::CompileInstalled { now, .. }
+            | TraceEvent::CodeCacheEvicted { now, .. }
+            | TraceEvent::RequestCompleted { now, .. }
             | TraceEvent::GcSlide { now, .. } => Some(now),
             _ => None,
         }

@@ -193,6 +193,51 @@ fn fields(out: &mut String, ev: &TraceEvent) {
                 "\"method\": {method}, \"generation\": {generation}, \"now\": {now}"
             );
         }
+        TraceEvent::CompileEnqueued {
+            tenant,
+            method,
+            depth,
+            now,
+        } => {
+            let _ = write!(
+                out,
+                "\"tenant\": {tenant}, \"method\": {method}, \"depth\": {depth}, \"now\": {now}"
+            );
+        }
+        TraceEvent::CompileInstalled {
+            tenant,
+            method,
+            wait,
+            now,
+        } => {
+            let _ = write!(
+                out,
+                "\"tenant\": {tenant}, \"method\": {method}, \"wait\": {wait}, \"now\": {now}"
+            );
+        }
+        TraceEvent::CodeCacheEvicted {
+            tenant,
+            method,
+            instrs,
+            now,
+        } => {
+            let _ = write!(
+                out,
+                "\"tenant\": {tenant}, \"method\": {method}, \"instrs\": {instrs}, \"now\": {now}"
+            );
+        }
+        TraceEvent::RequestCompleted {
+            tenant,
+            request,
+            latency,
+            now,
+        } => {
+            let _ = write!(
+                out,
+                "\"tenant\": {tenant}, \"request\": {request}, \"latency\": {latency}, \
+                 \"now\": {now}"
+            );
+        }
         TraceEvent::GcSlide {
             now,
             live_bytes,

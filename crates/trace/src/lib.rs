@@ -31,11 +31,15 @@
 //! * [`summary`] — a per-site summary record that round-trips through a
 //!   JSONL file, with a renderer and a differ (the `spf-trace-report`
 //!   CLI).
+//! * [`deopt`] — the per-cell Deopt/Recompile/SiteStale aggregation
+//!   (`spf-trace-report deopt-summary`), the diagnostic entry point for
+//!   adaptive-mode cycle blow-ups.
 //!
 //! The crate is dependency-free on purpose: it sits below `spf-memsim` in
 //! the workspace graph, so events name IR entities by their raw indices.
 
 pub mod attribution;
+pub mod deopt;
 pub mod event;
 pub mod export;
 pub mod sink;

@@ -59,6 +59,13 @@ pub struct VmConfig {
     /// unfused forms, so simulated numbers are identical either way; the
     /// knob exists for differential testing and host-perf triage.
     pub fuse_superinstructions: bool,
+    /// Decouple compilation from execution, production-JVM style: when a
+    /// method crosses the compile threshold the VM *enqueues* a compile
+    /// request (drained via [`crate::Vm::take_compile_requests`]) and keeps
+    /// interpreting until an external driver — the `spf-serve` compilation
+    /// queue — calls [`crate::Vm::compile_pending`]. Off by default: the
+    /// matrix's synchronous JIT-at-threshold behavior is untouched.
+    pub async_compile: bool,
 }
 
 impl Default for VmConfig {
@@ -74,6 +81,7 @@ impl Default for VmConfig {
             unroll_factor: 1,
             adapt: AdaptConfig::default(),
             fuse_superinstructions: true,
+            async_compile: false,
         }
     }
 }

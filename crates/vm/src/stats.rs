@@ -49,6 +49,9 @@ pub struct VmStats {
     /// Recompilations whose re-inspection re-agreed on prefetchable
     /// strides (the fresh body contains at least one prefetch site).
     pub reagreed: u64,
+    /// Compiled bodies evicted by an external code cache
+    /// ([`crate::Vm::evict_compiled`]; only the serving layer evicts).
+    pub code_evictions: u64,
     /// Per-method cycles, indexed by method id.
     pub per_method: Vec<MethodCycles>,
 }

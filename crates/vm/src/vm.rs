@@ -110,6 +110,15 @@ pub struct Vm<S: TraceSink = NoopSink> {
     pub(crate) reg_pool: Vec<Vec<Value>>,
     /// Reused call-argument buffer for the call handler.
     pub(crate) argv_scratch: Vec<Value>,
+    /// Async-compile mode: methods awaiting background compilation, with
+    /// the arguments of the invocation that crossed the threshold (the
+    /// inspector will run with them). Args may hold heap references, so
+    /// [`Vm::gc`] treats them as roots. A `Vec` (not a map) so iteration
+    /// order is insertion order — deterministic across runs.
+    pending: Vec<(MethodId, Vec<Value>)>,
+    /// Async-compile mode: requests enqueued since the last
+    /// [`Vm::take_compile_requests`] drain.
+    fresh_requests: Vec<MethodId>,
 }
 
 impl<S: TraceSink> std::fmt::Debug for Vm<S> {
@@ -202,6 +211,8 @@ impl<S: TraceSink> Vm<S> {
             pic_misses: 0,
             reg_pool: Vec::new(),
             argv_scratch: Vec::new(),
+            pending: Vec::new(),
+            fresh_requests: Vec::new(),
             config,
         }
     }
@@ -487,7 +498,13 @@ impl<S: TraceSink> Vm<S> {
                     .adapt
                     .may_recompile(mid.index(), u64::from(self.invocations[mid.index()])))
         {
-            self.jit_compile(mid, args);
+            if self.config.async_compile {
+                // Production-JVM style: request a background compile and
+                // keep interpreting until the driver installs it.
+                self.enqueue_compile(mid, args);
+            } else {
+                self.jit_compile(mid, args, false);
+            }
         }
         let installed = match &self.compiled[mid.index()] {
             Some(c) => c.clone(),
@@ -568,9 +585,76 @@ impl<S: TraceSink> Vm<S> {
         }
     }
 
+    /// Records a background-compile request for `mid` (at most one
+    /// outstanding per method), remembering the triggering invocation's
+    /// arguments for the eventual inspection.
+    fn enqueue_compile(&mut self, mid: MethodId, args: &[Value]) {
+        if self.pending.iter().any(|(m, _)| *m == mid) {
+            return;
+        }
+        self.pending.push((mid, args.to_vec()));
+        self.fresh_requests.push(mid);
+    }
+
+    /// Drains the compile requests enqueued since the last drain, in
+    /// request order. Only ever non-empty with
+    /// [`VmConfig::async_compile`] set.
+    pub fn take_compile_requests(&mut self) -> Vec<MethodId> {
+        std::mem::take(&mut self.fresh_requests)
+    }
+
+    /// Number of methods awaiting background compilation.
+    pub fn pending_compile_count(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Deterministic cycle cost of compiling `mid` on a background
+    /// compiler worker, derived from the *original* body's size — known
+    /// before the compile runs, so a compilation queue can schedule the
+    /// job's completion time up front.
+    pub fn compile_cost_estimate(&self, mid: MethodId) -> u64 {
+        let instrs = self.originals[mid.index()].tcode.src.instr_sites().count() as u64;
+        RECOMPILE_BASE_CYCLES + RECOMPILE_CYCLES_PER_INSTR * instrs
+    }
+
+    /// Runs the pending background compilation of `mid` and installs the
+    /// result, charging *nothing* to this VM's simulated clock (the
+    /// compilation queue accounts for compile latency on its own clock).
+    /// Returns the installed body's instruction count (the code-cache
+    /// footprint), or `None` when no request is pending or the method got
+    /// compiled some other way in the meantime.
+    pub fn compile_pending(&mut self, mid: MethodId) -> Option<u64> {
+        let idx = self.pending.iter().position(|(m, _)| *m == mid)?;
+        let (_, args) = self.pending.remove(idx);
+        if self.compiled[mid.index()].is_some() {
+            return None;
+        }
+        Some(self.jit_compile(mid, &args, true))
+    }
+
+    /// Evicts `mid`'s compiled body (shared code cache capacity decision):
+    /// the method falls back to the interpreted original and will re-cross
+    /// the compile threshold naturally, re-enqueueing a compile request.
+    /// Returns the evicted body's instruction count, or `None` if nothing
+    /// was installed. In adaptive mode the guard earns an eviction credit
+    /// so the forced recompile does not burn the staleness budget.
+    pub fn evict_compiled(&mut self, mid: MethodId) -> Option<u64> {
+        let installed = self.compiled[mid.index()].take()?;
+        let instrs = installed.tcode.src.instr_sites().count() as u64;
+        self.code_rev[mid.index()] = self.code_rev[mid.index()].wrapping_add(1);
+        self.stats.code_evictions += 1;
+        if self.adaptive {
+            self.adapt.on_evicted(mid.index());
+        }
+        Some(instrs)
+    }
+
     /// JIT-compiles `mid`: baseline passes, then the stride-prefetching
-    /// pass with the actual `args` of the pending invocation.
-    fn jit_compile(&mut self, mid: MethodId, args: &[Value]) {
+    /// pass with the actual `args` of the pending invocation. In
+    /// `background` mode (the serving layer's compiler workers) no cycles
+    /// are charged to this VM's simulated clock. Returns the compiled
+    /// body's instruction count.
+    fn jit_compile(&mut self, mid: MethodId, args: &[Value], background: bool) -> u64 {
         let t0 = Instant::now();
         if S::ENABLED {
             self.mem.sink_mut().emit(TraceEvent::JitBegin {
@@ -648,17 +732,19 @@ impl<S: TraceSink> Vm<S> {
         let total_nanos = t0.elapsed().as_nanos();
         self.stats.jit_nanos += total_nanos;
         self.stats.prefetch_pass_nanos += outcome.report.pass_nanos;
-        let jit_cycles = if generation > 0 {
-            // Adaptive recompilations run inside measured steady-state
-            // windows; charge a size-proportional deterministic cost so
-            // the simulated clock never depends on host wall-clock time.
-            RECOMPILE_BASE_CYCLES
-                + RECOMPILE_CYCLES_PER_INSTR * outcome.func.instr_sites().count() as u64
-        } else {
-            (total_nanos as f64 * CYCLES_PER_NANO) as u64
-        };
-        self.stats.jit_cycles += jit_cycles;
-        self.stats.cycles += jit_cycles;
+        if !background {
+            let jit_cycles = if generation > 0 {
+                // Adaptive recompilations run inside measured steady-state
+                // windows; charge a size-proportional deterministic cost so
+                // the simulated clock never depends on host wall-clock time.
+                RECOMPILE_BASE_CYCLES
+                    + RECOMPILE_CYCLES_PER_INSTR * outcome.func.instr_sites().count() as u64
+            } else {
+                (total_nanos as f64 * CYCLES_PER_NANO) as u64
+            };
+            self.stats.jit_cycles += jit_cycles;
+            self.stats.cycles += jit_cycles;
+        }
         self.stats.methods_compiled += 1;
         if generation > 0 {
             self.stats.recompiles += 1;
@@ -688,10 +774,12 @@ impl<S: TraceSink> Vm<S> {
             self.fuse,
         ));
         let installed = self.register_installed(tcode, true);
+        let instrs = func.instr_sites().count() as u64;
         self.history.push((mid, generation, func));
         self.compiled[mid.index()] = Some(installed);
         self.code_rev[mid.index()] = self.code_rev[mid.index()].wrapping_add(1);
         self.reports.push(outcome.report);
+        instrs
     }
 
     fn gc(&mut self) {
@@ -709,6 +797,17 @@ impl<S: TraceSink> Vm<S> {
             if let Value::Ref(a) = v {
                 if *a != NULL && self.heap.contains(*a) {
                     roots.push(*a);
+                }
+            }
+        }
+        // Arguments held for pending background compiles stay live until
+        // the compile runs (the inspector dereferences them).
+        for (_, args) in &self.pending {
+            for v in args {
+                if let Value::Ref(a) = v {
+                    if *a != NULL && self.heap.contains(*a) {
+                        roots.push(*a);
+                    }
                 }
             }
         }
@@ -731,6 +830,13 @@ impl<S: TraceSink> Vm<S> {
         for v in &mut self.statics {
             if let Value::Ref(a) = v {
                 *a = fwd.forward(*a);
+            }
+        }
+        for (_, args) in &mut self.pending {
+            for v in args.iter_mut() {
+                if let Value::Ref(a) = v {
+                    *a = fwd.forward(*a);
+                }
             }
         }
         let cost = 200 + cstats.live_bytes / 4 + cstats.freed_bytes / 16;
@@ -953,6 +1059,102 @@ mod tests {
         assert!(vm.is_compiled(hot), "threshold 2 compiles on second call");
         assert_eq!(vm.stats().methods_compiled, 1);
         assert!(vm.stats().jit_nanos > 0);
+    }
+
+    #[test]
+    fn async_compile_defers_until_driver_installs() {
+        let mut pb = ProgramBuilder::new();
+        let mut b = pb.function("hot", &[Ty::I32], Some(Ty::I32));
+        let x = b.param(0);
+        let y = b.add(x, x);
+        b.ret(Some(y));
+        let hot = b.finish();
+        let mut vm = Vm::new(
+            pb.finish(),
+            VmConfig {
+                async_compile: true,
+                ..VmConfig::default()
+            },
+            ProcessorConfig::pentium4(),
+        );
+        vm.call(hot, &[Value::I32(1)]).unwrap();
+        vm.call(hot, &[Value::I32(1)]).unwrap();
+        assert!(
+            !vm.is_compiled(hot),
+            "crossing the threshold only enqueues a request"
+        );
+        assert_eq!(vm.take_compile_requests(), vec![hot]);
+        vm.call(hot, &[Value::I32(1)]).unwrap();
+        assert!(
+            vm.take_compile_requests().is_empty(),
+            "at most one outstanding request per method"
+        );
+        assert_eq!(vm.pending_compile_count(), 1);
+        assert!(vm.compile_cost_estimate(hot) >= RECOMPILE_BASE_CYCLES);
+
+        let cycles_before = vm.stats().cycles;
+        let instrs = vm.compile_pending(hot).expect("pending request");
+        assert!(instrs > 0);
+        assert!(vm.is_compiled(hot));
+        assert_eq!(vm.pending_compile_count(), 0);
+        assert_eq!(
+            vm.stats().cycles,
+            cycles_before,
+            "background compiles charge nothing to the tenant clock"
+        );
+        assert_eq!(vm.stats().jit_cycles, 0);
+        assert_eq!(
+            vm.call(hot, &[Value::I32(21)]).unwrap(),
+            Some(Value::I32(42)),
+            "compiled body runs after install"
+        );
+        assert!(vm.compile_pending(hot).is_none(), "nothing left to compile");
+    }
+
+    #[test]
+    fn eviction_forces_reenqueue() {
+        let mut pb = ProgramBuilder::new();
+        let mut b = pb.function("hot", &[Ty::I32], Some(Ty::I32));
+        let x = b.param(0);
+        b.ret(Some(x));
+        let hot = b.finish();
+        let mut vm = Vm::new(
+            pb.finish(),
+            VmConfig {
+                async_compile: true,
+                ..VmConfig::default()
+            },
+            ProcessorConfig::pentium4(),
+        );
+        vm.call(hot, &[Value::I32(1)]).unwrap();
+        vm.call(hot, &[Value::I32(1)]).unwrap();
+        assert_eq!(vm.take_compile_requests(), vec![hot]);
+        vm.compile_pending(hot).unwrap();
+        assert!(vm.is_compiled(hot));
+        assert!(vm.evict_compiled(hot).is_some());
+        assert!(!vm.is_compiled(hot));
+        assert_eq!(vm.stats().code_evictions, 1);
+        assert!(vm.evict_compiled(hot).is_none(), "already evicted");
+        // The next over-threshold invocation re-requests compilation and
+        // runs interpreted meanwhile.
+        vm.call(hot, &[Value::I32(5)]).unwrap();
+        assert_eq!(vm.take_compile_requests(), vec![hot]);
+        assert!(!vm.is_compiled(hot));
+    }
+
+    #[test]
+    fn sync_mode_never_enqueues() {
+        let mut pb = ProgramBuilder::new();
+        let mut b = pb.function("hot", &[Ty::I32], Some(Ty::I32));
+        let x = b.param(0);
+        b.ret(Some(x));
+        let hot = b.finish();
+        let mut vm = vm_for(pb);
+        vm.call(hot, &[Value::I32(1)]).unwrap();
+        vm.call(hot, &[Value::I32(1)]).unwrap();
+        assert!(vm.is_compiled(hot));
+        assert!(vm.take_compile_requests().is_empty());
+        assert_eq!(vm.pending_compile_count(), 0);
     }
 
     #[test]

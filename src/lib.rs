@@ -16,6 +16,8 @@
 //! * [`trace`] — structured event tracing and per-site attribution.
 //! * [`lang`] — a miniature Java-like frontend that lowers to the IR.
 //! * [`workloads`] — the twelve miniature benchmarks of Table 3.
+//! * [`serve`] — multi-tenant serving simulation: a fleet of tenant VMs,
+//!   a background compilation queue, and a bounded shared code cache.
 //! * [`mod@bench`] — the experiment harness regenerating every table and figure.
 //!
 //! See the repository `README.md` for a tour and `EXPERIMENTS.md` for
@@ -29,6 +31,7 @@ pub use spf_heap as heap;
 pub use spf_ir as ir;
 pub use spf_lang as lang;
 pub use spf_memsim as memsim;
+pub use spf_serve as serve;
 pub use spf_trace as trace;
 pub use spf_vm as vm;
 pub use spf_workloads as workloads;

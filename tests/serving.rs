@@ -1,0 +1,82 @@
+//! Serving-layer invariants, end to end through the public facade: the
+//! fleet simulation must be a pure function of its config (bit-identical
+//! across host worker counts), results must be mode-invariant, and the
+//! `SERVE_summary.json` report must round-trip.
+
+use stride_prefetch::memsim::ProcessorConfig;
+use stride_prefetch::prefetch::PrefetchOptions;
+use stride_prefetch::serve::{report, sim, ModeReport, ServeConfig, ServeSummary};
+
+fn small_fleet() -> ServeConfig {
+    ServeConfig {
+        tenants: 24,
+        requests: 80,
+        ..ServeConfig::default()
+    }
+}
+
+#[test]
+fn fleet_is_bit_identical_across_worker_counts() {
+    let cfg = small_fleet();
+    let proc = ProcessorConfig::pentium4();
+    for opts in [PrefetchOptions::off(), PrefetchOptions::adaptive()] {
+        let serial = sim::run(&cfg, &opts, &proc, 1);
+        let parallel = sim::run(&cfg, &opts, &proc, 3);
+        assert_eq!(
+            serial.latencies, parallel.latencies,
+            "{}: latencies changed with --jobs",
+            opts.mode
+        );
+        assert_eq!(serial.events, parallel.events, "{}: events", opts.mode);
+        assert_eq!(
+            serial.queue_depth_samples, parallel.queue_depth_samples,
+            "{}: queue depth",
+            opts.mode
+        );
+        assert_eq!(
+            ModeReport::from_outcome(&opts.mode.to_string(), &serial),
+            ModeReport::from_outcome(&opts.mode.to_string(), &parallel),
+            "{}: report row",
+            opts.mode
+        );
+    }
+}
+
+#[test]
+fn fleet_checksum_is_mode_invariant_and_summary_round_trips() {
+    let cfg = small_fleet();
+    let proc = ProcessorConfig::athlon_mp();
+    let mut rows = Vec::new();
+    let mut checksums = Vec::new();
+    for opts in [
+        PrefetchOptions::off(),
+        PrefetchOptions::inter(),
+        PrefetchOptions::inter_intra(),
+        PrefetchOptions::adaptive(),
+    ] {
+        let out = sim::run(&cfg, &opts, &proc, 2);
+        assert_eq!(out.latencies.len(), cfg.requests as usize);
+        assert!(out.latencies.iter().all(|&l| l > 0), "{}", opts.mode);
+        checksums.push(out.checksum);
+        rows.push(ModeReport::from_outcome(&opts.mode.to_string(), &out));
+    }
+    assert!(
+        checksums.windows(2).all(|w| w[0] == w[1]),
+        "prefetch mode changed a workload result: {checksums:?}"
+    );
+
+    let summary = ServeSummary {
+        processor: proc.name.clone(),
+        tenants: cfg.tenants as u64,
+        requests: u64::from(cfg.requests),
+        mean_interarrival: cfg.mean_interarrival,
+        seed: cfg.seed,
+        slot_cycles: cfg.slot_cycles,
+        compile_workers: cfg.compile_workers as u64,
+        cache_capacity_instrs: cfg.cache_capacity_instrs,
+        modes: rows,
+    };
+    let parsed = report::parse(&report::emit(&summary)).expect("round trip");
+    assert_eq!(parsed, summary);
+    assert!(report::render(&summary).contains("ADAPTIVE"));
+}
