@@ -7,8 +7,9 @@
 //! For every (workload, mode, processor) cell present in both files it
 //! prints the wall-clock speedup and flags any drift in the *simulated*
 //! numbers (cycles, retired instructions, adaptive deopt/recompile
-//! counters, checksum), which must be invariant across hosts, worker
-//! counts, and host-side optimisations.
+//! counters, compile-time inspection cost, static-site counts, checksum),
+//! which must be invariant across hosts, worker counts, and host-side
+//! optimisations.
 //! Exit code: 0 if no simulated number drifted, 1 otherwise (or on usage
 //! and parse errors).
 
@@ -65,6 +66,8 @@ fn main() -> ExitCode {
             && o.deopts == n.deopts
             && o.recompiles == n.recompiles
             && o.reagreed == n.reagreed
+            && o.inspection_cycles == n.inspection_cycles
+            && o.static_sites == n.static_sites
             && o.checksum == n.checksum
         {
             "same"

@@ -5,6 +5,7 @@
 //! cargo run --release -p spf-bench --bin spf-lint -- tiny         # quicker
 //! cargo run --release -p spf-bench --bin spf-lint -- tiny db      # one workload
 //! cargo run -p spf-bench --bin spf-lint -- tiny --agreement-out -
+//! cargo run -p spf-bench --bin spf-lint -- tiny --provenance
 //! ```
 //!
 //! For each workload the original (pre-JIT) method bodies are checked
@@ -13,20 +14,29 @@
 //! the workload is warmed up so the JIT compiles its hot methods, and each
 //! *compiled* body — after inlining, unrolling, DCE, and prefetch insertion
 //! — is linted again with the guarded-policy discipline resolved for that
-//! processor. Under ADAPTIVE mode every compilation *generation* is linted
+//! processor. Under the modes that carry adaptive guards (ADAPTIVE,
+//! STATIC-FIRST) every compilation *generation* is linted
 //! (deoptimized-and-recompiled bodies included), not just the bodies still
-//! installed. Any violation is printed and makes the process exit nonzero.
+//! installed. Each generation also runs the provenance lint
+//! ([`spf_analysis::provenance::check`]): every emitted prefetch site is
+//! tagged static/dynamic/hybrid and checked for wasted inspection budget,
+//! proof-vs-installed-stride soundness, and speculation-safety of
+//! statically-derived addresses. Verifier errors go to **stderr** (before
+//! any lint output for the same body); lint and provenance findings go to
+//! stdout. Any violation makes the process exit nonzero.
 //!
 //! Unless disabled with `--agreement-out -`, the static-vs-inspected stride
 //! cross-check totals of each (workload, processor, mode) cell are written
-//! as JSON lines to `STRIDE_agreement.jsonl`. `--out-dir DIR` redirects
-//! every relative artifact path into `DIR` (created if missing).
+//! as JSON lines to `STRIDE_agreement.jsonl`. With `--provenance`, per-cell
+//! provenance tallies are additionally written to `STRIDE_provenance.jsonl`.
+//! `--out-dir DIR` redirects every relative artifact path into `DIR`
+//! (created if missing).
 
 use std::fmt::Write as _;
 use std::io::Write as _;
 use std::process::ExitCode;
 
-use spf_analysis::{lint, LintConfig};
+use spf_analysis::{lint, LintConfig, Provenance, ProvenanceConfig, SiteProvenance};
 use spf_core::{PrefetchOptions, StrideCrossCheck};
 use spf_memsim::ProcessorConfig;
 use spf_vm::{Vm, VmConfig};
@@ -36,6 +46,7 @@ struct Args {
     size: Size,
     only: Option<String>,
     agreement_out: Option<String>,
+    provenance_out: Option<String>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -43,6 +54,7 @@ fn parse_args() -> Result<Args, String> {
         size: Size::Full,
         only: None,
         agreement_out: Some("STRIDE_agreement.jsonl".to_string()),
+        provenance_out: None,
     };
     let mut out_dir: Option<String> = None;
     let mut it = std::env::args().skip(1);
@@ -55,6 +67,15 @@ fn parse_args() -> Result<Args, String> {
                     .ok_or("--agreement-out needs a path (or - to disable)")?;
                 args.agreement_out = if v == "-" { None } else { Some(v) };
             }
+            "--provenance" => {
+                args.provenance_out = Some("STRIDE_provenance.jsonl".to_string());
+            }
+            "--provenance-out" => {
+                let v = it
+                    .next()
+                    .ok_or("--provenance-out needs a path (or - to disable)")?;
+                args.provenance_out = if v == "-" { None } else { Some(v) };
+            }
             "--out-dir" => {
                 out_dir = Some(it.next().ok_or("--out-dir needs a directory")?);
             }
@@ -64,6 +85,9 @@ fn parse_args() -> Result<Args, String> {
     if let Some(dir) = &out_dir {
         args.agreement_out = args
             .agreement_out
+            .map(|p| spf_bench::out_dir::join(dir, &p));
+        args.provenance_out = args
+            .provenance_out
             .map(|p| spf_bench::out_dir::join(dir, &p));
     }
     if let Some(s) = positional.first() {
@@ -95,14 +119,15 @@ fn emit(text: &str) {
 
 /// Checks a workload's original (pre-optimization) method bodies: the
 /// structural verifier plus the full lint with no policy constraint.
-/// Returns the number of violations.
+/// Verifier errors are reported on stderr, before any lint findings for
+/// the same body. Returns the number of violations.
 fn check_originals(name: &str, program: &spf_ir::program::Program) -> usize {
     let mut violations = 0;
     for mid in program.method_ids() {
         let func = program.method(mid).func();
         for e in spf_ir::verify::verify_all(program, func) {
             violations += 1;
-            emit(&format!("{name}: {}: verify: {e}", func.name()));
+            eprintln!("{name}: {}: verify: {e}", func.name());
         }
         for f in lint(func, &LintConfig::default()) {
             violations += 1;
@@ -112,16 +137,39 @@ fn check_originals(name: &str, program: &spf_ir::program::Program) -> usize {
     violations
 }
 
+/// Per-cell provenance tallies: how many emitted prefetch sites carry each
+/// tag across all compiled generations of the cell.
+#[derive(Clone, Copy, Default)]
+struct ProvenanceTally {
+    r#static: usize,
+    dynamic: usize,
+    hybrid: usize,
+}
+
+impl ProvenanceTally {
+    fn add(&mut self, records: &[SiteProvenance]) {
+        for r in records {
+            match r.provenance {
+                Provenance::Static => self.r#static += 1,
+                Provenance::Dynamic => self.dynamic += 1,
+                Provenance::Hybrid => self.hybrid += 1,
+            }
+        }
+    }
+}
+
 /// Warms one (workload, processor, mode) cell until the JIT has compiled
 /// its hot methods, lints every compiled body under the policy discipline
-/// resolved for `proc`, and returns the violation count plus the cell's
-/// stride cross-check totals.
+/// resolved for `proc`, and runs the provenance lint over every
+/// compilation generation. Returns the violation count, the cell's stride
+/// cross-check totals, the compiled-generation count, and the provenance
+/// tallies.
 fn check_cell(
     spec: &spf_workloads::WorkloadSpec,
     options: &PrefetchOptions,
     proc: &ProcessorConfig,
     size: Size,
-) -> (usize, StrideCrossCheck, usize) {
+) -> (usize, StrideCrossCheck, usize, ProvenanceTally) {
     let built = (spec.build)(size);
     let mut vm = Vm::new(
         built.program,
@@ -149,27 +197,51 @@ fn check_cell(
         .guarded_policy
         .lint_check(proc.swpf_drops_on_tlb_miss);
     let config = LintConfig { policy };
+    let pcfg = ProvenanceConfig {
+        static_first: options.mode.static_first(),
+    };
     let mut violations = 0;
     let mut compiled = 0;
-    // Every compilation the VM ever installed: under ADAPTIVE this
-    // includes deoptimized-and-recompiled generations, not just the
-    // bodies currently live.
+    let mut tally = ProvenanceTally::default();
+    // Every compilation the VM ever installed: under the adaptive-guard
+    // modes this includes deoptimized-and-recompiled generations, not
+    // just the bodies currently live. Reports are paired with bodies by
+    // (method name, generation) — the history and the report list are not
+    // positionally aligned when bodies are installed out of band.
     for (_mid, generation, func) in vm.compiled_generations() {
         compiled += 1;
+        // Verifier errors go to stderr, before this body's lint output.
         for e in spf_ir::verify::verify_all(vm.program(), func) {
             violations += 1;
-            emit(&format!(
+            eprintln!(
                 "{}/{}/{}: {} g{generation}: verify: {e}",
+                spec.name,
+                options.mode,
+                proc.name,
+                func.name()
+            );
+        }
+        for f in lint(func, &config) {
+            violations += 1;
+            emit(&format!(
+                "{}/{}/{}: {} g{generation}: lint: {f}",
                 spec.name,
                 options.mode,
                 proc.name,
                 func.name()
             ));
         }
-        for f in lint(func, &config) {
+        let records: Vec<SiteProvenance> = vm
+            .reports()
+            .iter()
+            .filter(|r| r.method == func.name() && r.generation == generation)
+            .flat_map(|r| r.provenance_records().cloned())
+            .collect();
+        tally.add(&records);
+        for f in spf_analysis::provenance::check(func, &pcfg, &records) {
             violations += 1;
             emit(&format!(
-                "{}/{}/{}: {} g{generation}: lint: {f}",
+                "{}/{}/{}: {} g{generation}: provenance: {f}",
                 spec.name,
                 options.mode,
                 proc.name,
@@ -182,7 +254,7 @@ fn check_cell(
     for r in vm.reports() {
         strides.add(&r.stride_check_totals());
     }
-    (violations, strides, compiled)
+    (violations, strides, compiled, tally)
 }
 
 fn main() -> ExitCode {
@@ -199,7 +271,9 @@ fn main() -> ExitCode {
     let mut cells = 0;
     let mut compiled_total = 0;
     let mut grand = StrideCrossCheck::default();
+    let mut grand_tally = ProvenanceTally::default();
     let mut agreement = String::new();
+    let mut provenance = String::new();
     for spec in spf_workloads::all() {
         if !keep(spec.name) {
             continue;
@@ -214,12 +288,16 @@ fn main() -> ExitCode {
                 PrefetchOptions::inter(),
                 PrefetchOptions::inter_intra(),
                 PrefetchOptions::adaptive(),
+                PrefetchOptions::static_first(),
             ] {
-                let (v, strides, compiled) = check_cell(&spec, &options, &proc, args.size);
+                let (v, strides, compiled, tally) = check_cell(&spec, &options, &proc, args.size);
                 violations += v;
                 cells += 1;
                 compiled_total += compiled;
                 grand.add(&strides);
+                grand_tally.r#static += tally.r#static;
+                grand_tally.dynamic += tally.dynamic;
+                grand_tally.hybrid += tally.hybrid;
                 let _ = writeln!(
                     agreement,
                     "{{\"name\": \"{}\", \"mode\": \"{}\", \"processor\": \"{}\", \
@@ -233,6 +311,12 @@ fn main() -> ExitCode {
                     strides.static_only,
                     strides.dynamic_only
                 );
+                let _ = writeln!(
+                    provenance,
+                    "{{\"name\": \"{}\", \"mode\": \"{}\", \"processor\": \"{}\", \
+                     \"static\": {}, \"dynamic\": {}, \"hybrid\": {}}}",
+                    spec.name, options.mode, proc.name, tally.r#static, tally.dynamic, tally.hybrid
+                );
             }
         }
     }
@@ -244,9 +328,18 @@ fn main() -> ExitCode {
             Err(e) => eprintln!("warning: could not write {path}: {e}"),
         }
     }
+    if let Some(path) = &args.provenance_out {
+        spf_bench::out_dir::ensure_parent(path);
+        match std::fs::write(path, &provenance) {
+            Ok(()) => eprintln!("wrote {path}"),
+            Err(e) => eprintln!("warning: could not write {path}: {e}"),
+        }
+    }
     emit(&format!(
         "spf-lint: {cells} cell(s), {compiled_total} compiled method(s), \
-         strides[{grand}], {violations} violation(s)"
+         strides[{grand}], provenance[static {} / dynamic {} / hybrid {}], \
+         {violations} violation(s)",
+        grand_tally.r#static, grand_tally.dynamic, grand_tally.hybrid
     ));
     if violations == 0 {
         ExitCode::SUCCESS

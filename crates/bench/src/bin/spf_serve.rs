@@ -9,7 +9,10 @@
 //! Runs the `spf-serve` fleet simulation — hundreds of tenant VMs over
 //! sharded heaps, a background compilation queue, and a bounded shared
 //! code cache — once per prefetch mode (BASELINE, INTER, INTER+INTRA,
-//! ADAPTIVE), prints the latency table, and writes `SERVE_summary.json`.
+//! ADAPTIVE, STATIC-FIRST), prints the latency table, and writes
+//! `SERVE_summary.json`. STATIC-FIRST exercises the compile-cost-aware
+//! queue estimates: statically proved sites skip object inspection, so
+//! its scheduled compile latencies come in below the legacy modes'.
 //!
 //! The simulation is bit-identical across `--jobs` values; passing
 //! `--verify-jobs N` re-runs the whole sweep with `N` host workers and
@@ -95,13 +98,14 @@ fn parse_args() -> Result<Args, String> {
     Ok(args)
 }
 
-/// The four matrix modes, in the paper's order.
-fn modes() -> [PrefetchOptions; 4] {
+/// The five matrix modes, in the matrix's canonical order.
+fn modes() -> [PrefetchOptions; 5] {
     [
         PrefetchOptions::off(),
         PrefetchOptions::inter(),
         PrefetchOptions::inter_intra(),
         PrefetchOptions::adaptive(),
+        PrefetchOptions::static_first(),
     ]
 }
 

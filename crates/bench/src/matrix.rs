@@ -9,7 +9,7 @@
 //! is identical to a sequential sweep regardless of the worker count or
 //! scheduling. The checksum cross-check at the join point enforces the
 //! other half of the invariant: a workload computes the same answer in
-//! all eight of its configurations.
+//! all ten of its configurations.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -54,7 +54,10 @@ pub struct CellResult {
 
 /// Enumerates the matrix in canonical order — workloads in Table 3
 /// (registry) order × {Pentium 4, Athlon MP} × {BASELINE, INTER,
-/// INTER+INTRA, ADAPTIVE} — restricted to workloads accepted by `keep`.
+/// INTER+INTRA, ADAPTIVE, STATIC-FIRST} — restricted to workloads
+/// accepted by `keep`. STATIC-FIRST is appended after the four
+/// pre-existing modes so their cells keep their positions (and their
+/// bit-identical numbers) in every artifact derived from this order.
 pub fn cells(keep: impl Fn(&str) -> bool) -> Vec<Cell> {
     let mut out = Vec::new();
     for spec in spf_workloads::all() {
@@ -67,6 +70,7 @@ pub fn cells(keep: impl Fn(&str) -> bool) -> Vec<Cell> {
                 PrefetchOptions::inter(),
                 PrefetchOptions::inter_intra(),
                 PrefetchOptions::adaptive(),
+                PrefetchOptions::static_first(),
             ] {
                 out.push(Cell {
                     spec: spec.clone(),
@@ -283,12 +287,16 @@ mod tests {
     #[test]
     fn cells_enumerate_in_matrix_order() {
         let cs = cells(|_| true);
-        assert_eq!(cs.len(), 12 * 2 * 4);
-        // First workload occupies the first eight cells: P4 then Athlon,
-        // each OFF/INTER/INTER+INTRA/ADAPTIVE.
-        assert!(cs[..8].iter().all(|c| c.spec.name == cs[0].spec.name));
+        assert_eq!(cs.len(), 12 * 2 * 5);
+        // First workload occupies the first ten cells: P4 then Athlon,
+        // each OFF/INTER/INTER+INTRA/ADAPTIVE/STATIC-FIRST.
+        assert!(cs[..10].iter().all(|c| c.spec.name == cs[0].spec.name));
         assert_eq!(cs[0].proc.name, "Pentium 4");
-        assert_eq!(cs[4].proc.name, "Athlon MP");
+        assert_eq!(cs[5].proc.name, "Athlon MP");
+        // STATIC-FIRST is appended after the legacy modes, so their
+        // positions within a (workload, processor) group are unchanged.
+        assert_eq!(cs[4].options.mode, spf_core::PrefetchMode::StaticFirst);
+        assert_eq!(cs[9].options.mode, spf_core::PrefetchMode::StaticFirst);
     }
 
     #[test]
@@ -297,8 +305,8 @@ mod tests {
         let keep = |n: &str| n == "db";
         let seq = run_matrix(&plan, 1, keep);
         let par = run_matrix(&plan, 4, keep);
-        assert_eq!(seq.len(), 8);
-        assert_eq!(par.len(), 8);
+        assert_eq!(seq.len(), 10);
+        assert_eq!(par.len(), 10);
         for (a, b) in seq.iter().zip(&par) {
             let diff = a.measurement.simulated_diff(&b.measurement);
             assert!(diff.is_empty(), "parallel run diverged: {diff:?}");

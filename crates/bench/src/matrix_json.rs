@@ -35,6 +35,12 @@ pub struct CellSummary {
     pub recompiles: u64,
     /// Recompilations that re-agreed on prefetchable strides.
     pub reagreed: u64,
+    /// Deterministic inspection cycles charged by the compile-time cost
+    /// model (zero under BASELINE, lower under STATIC-FIRST).
+    pub inspection_cycles: u64,
+    /// Statically proved sites excluded from inspection (STATIC-FIRST
+    /// only).
+    pub static_sites: u64,
     /// The workload's checksum.
     pub checksum: i32,
 }
@@ -64,7 +70,8 @@ pub fn emit(results: &[CellResult], size: Size, jobs: usize, total_wall_nanos: u
             "    {{\"name\": \"{}\", \"mode\": \"{}\", \"processor\": \"{}\", \
              \"best_cycles\": {}, \"retired\": {}, \"wall_nanos\": {}, \
              \"host_wall_ns\": {}, \
-             \"deopts\": {}, \"recompiles\": {}, \"reagreed\": {}, \"checksum\": {}}}{}\n",
+             \"deopts\": {}, \"recompiles\": {}, \"reagreed\": {}, \
+             \"inspection_cycles\": {}, \"static_sites\": {}, \"checksum\": {}}}{}\n",
             escape(&m.name),
             escape(&m.mode.to_string()),
             escape(&m.processor),
@@ -75,6 +82,8 @@ pub fn emit(results: &[CellResult], size: Size, jobs: usize, total_wall_nanos: u
             m.deopts,
             m.recompiles,
             m.reagreed,
+            m.inspection_cycles,
+            m.static_sites,
             m.checksum,
             if i + 1 == results.len() { "" } else { "," }
         ));
@@ -164,6 +173,13 @@ pub fn parse_with_warnings(text: &str) -> Result<(Vec<CellSummary>, Vec<String>)
             reagreed: field(line, "reagreed")
                 .map_or(Ok(0), str::parse)
                 .map_err(|e| format!("bad reagreed in {line}: {e}"))?,
+            // Tolerate files emitted before the compile-time cost model.
+            inspection_cycles: field(line, "inspection_cycles")
+                .map_or(Ok(0), str::parse)
+                .map_err(|e| format!("bad inspection_cycles in {line}: {e}"))?,
+            static_sites: field(line, "static_sites")
+                .map_or(Ok(0), str::parse)
+                .map_err(|e| format!("bad static_sites in {line}: {e}"))?,
             checksum: get("checksum")?
                 .parse()
                 .map_err(|e| format!("bad checksum in {line}: {e}"))?,
@@ -196,6 +212,8 @@ mod tests {
                 deopts: 0,
                 recompiles: 0,
                 reagreed: 0,
+                inspection_cycles: 160,
+                static_sites: 0,
                 checksum: 42,
             },
             wall_nanos: 12_345,
@@ -218,7 +236,19 @@ mod tests {
         assert_eq!(cells[1].best_cycles, 80);
         assert_eq!(cells[0].wall_nanos, 12_345);
         assert_eq!(cells[0].host_wall_ns, 23_456);
+        assert_eq!(cells[0].inspection_cycles, 160);
+        assert_eq!(cells[0].static_sites, 0);
         assert_eq!(cells[0].checksum, 42);
+    }
+
+    #[test]
+    fn parse_defaults_cost_model_fields_to_zero() {
+        // A file emitted before the compile-time cost model existed.
+        let text = emit(&[sample("db", PrefetchMode::Off, 100)], Size::Tiny, 1, 9)
+            .replace(", \"inspection_cycles\": 160, \"static_sites\": 0", "");
+        let cells = parse(&text).unwrap();
+        assert_eq!(cells[0].inspection_cycles, 0);
+        assert_eq!(cells[0].static_sites, 0);
     }
 
     #[test]

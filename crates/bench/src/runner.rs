@@ -71,6 +71,12 @@ pub struct Measurement {
     /// Recompilations whose re-inspection re-agreed on prefetchable
     /// strides.
     pub reagreed: u64,
+    /// Deterministic inspection cycles charged by the compile-time cost
+    /// model: warm-up plus the best measured run (recompiles re-inspect).
+    pub inspection_cycles: u64,
+    /// Statically proved prefetch sites excluded from object inspection.
+    /// Zero outside [`PrefetchMode::StaticFirst`].
+    pub static_sites: u64,
     /// The workload's checksum (must agree across configurations).
     pub checksum: i32,
 }
@@ -117,6 +123,8 @@ impl Measurement {
         cmp!(deopts);
         cmp!(recompiles);
         cmp!(reagreed);
+        cmp!(inspection_cycles);
+        cmp!(static_sites);
         cmp!(checksum);
         diff
     }
@@ -292,6 +300,8 @@ fn run_prepared_sink<S: TraceSink>(
         deopts: u64,
         recompiles: u64,
         reagreed: u64,
+        inspection_cycles: u64,
+        static_sites: u64,
     }
     let mut best: Option<BestRun> = None;
     let mut best_events: Vec<TraceEvent> = Vec::new();
@@ -316,6 +326,8 @@ fn run_prepared_sink<S: TraceSink>(
                 deopts: s.deopts,
                 recompiles: s.recompiles,
                 reagreed: s.reagreed,
+                inspection_cycles: s.inspection_cycles,
+                static_sites: s.static_sites,
             });
             if S::ENABLED {
                 best_events = vm.sink().snapshot();
@@ -347,6 +359,8 @@ fn run_prepared_sink<S: TraceSink>(
         deopts: warm_stats.deopts + best.deopts,
         recompiles: warm_stats.recompiles + best.recompiles,
         reagreed: warm_stats.reagreed + best.reagreed,
+        inspection_cycles: warm_stats.inspection_cycles + best.inspection_cycles,
+        static_sites: warm_stats.static_sites + best.static_sites,
         checksum,
     };
     (measurement, trace)

@@ -23,6 +23,7 @@
 
 use std::collections::{HashMap, HashSet};
 
+use spf_analysis::Provenance;
 use spf_heap::Layout;
 use spf_ir::{Function, Instr, InstrRef, PrefetchAddr, PrefetchKind, Ty};
 use spf_memsim::ProcessorConfig;
@@ -138,6 +139,23 @@ impl<'a> PrefetchCodegen<'a> {
             },
             _ => return None,
         })
+    }
+
+    /// Provenance tag for a prefetch covering `node`, reached through an
+    /// anchor whose stride is (or is not) statically proved. In the legacy
+    /// modes no node carries a static proof, so everything is `Dynamic`.
+    fn provenance_of(node: &crate::ldg::LdgNode, through_static_anchor: bool) -> Provenance {
+        if node.static_stride.is_some() {
+            if node.recorded {
+                Provenance::Hybrid
+            } else {
+                Provenance::Static
+            }
+        } else if through_static_anchor {
+            Provenance::Hybrid
+        } else {
+            Provenance::Dynamic
+        }
     }
 
     /// The constant offset `F[Lx,Ly]`: maps the value loaded by `Lx` (a
@@ -273,6 +291,7 @@ impl<'a> PrefetchCodegen<'a> {
                     anchor: node.site,
                     kind: GeneratedKind::InterStride { stride: d },
                     mapped: kind,
+                    provenance: Self::provenance_of(node, false),
                 });
                 continue;
             }
@@ -292,7 +311,9 @@ impl<'a> PrefetchCodegen<'a> {
                 anchor: node.site,
                 kind: GeneratedKind::SpeculativeLoad { stride: d },
                 mapped: PrefetchKind::GuardedLoad,
+                provenance: Self::provenance_of(node, false),
             });
+            let anchor_static = node.static_stride.is_some();
             for e in &successors {
                 let ly = e.to;
                 if !deref_worthy(e) {
@@ -318,6 +339,7 @@ impl<'a> PrefetchCodegen<'a> {
                         anchor: ldg.node(ly).site,
                         kind: GeneratedKind::Dereference { offset: f_off },
                         mapped: kind,
+                        provenance: Self::provenance_of(ldg.node(ly), anchor_static),
                     });
                 } else if S::ENABLED {
                     sink.emit(suppressed(ldg.node(ly).site, SuppressReason::LineShared));
@@ -364,6 +386,7 @@ impl<'a> PrefetchCodegen<'a> {
                             anchor: ldg.node(e2.to).site,
                             kind: GeneratedKind::IntraStride { stride: total },
                             mapped: kind,
+                            provenance: Self::provenance_of(ldg.node(e2.to), anchor_static),
                         });
                     }
                 }

@@ -91,5 +91,8 @@ pub use codegen::GuardedPolicy;
 pub use inspect::{InspectionResult, Inspector};
 pub use ldg::{Ldg, LdgNodeId};
 pub use options::{PrefetchMode, PrefetchOptions};
-pub use pipeline::{OptimizeOutcome, StridePrefetcher};
+pub use pipeline::{
+    OptimizeOutcome, StridePrefetcher, INSPECT_CYCLES_PER_SAMPLE, INSPECT_CYCLES_PER_STEP,
+};
 pub use report::{LoopReport, MethodReport, StrideCrossCheck};
+pub use stride::resolve_stride;

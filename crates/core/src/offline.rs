@@ -126,8 +126,12 @@ pub fn optimize_with_profile(
                 .count(),
             intra_patterns: 0,
             prefetches,
-            // Offline profiling has no inspection step to cross-check.
+            // Offline profiling has no inspection step to cross-check,
+            // no inspection cost, and no static proofs.
             stride_check: Default::default(),
+            inspection_cycles: 0,
+            static_sites: 0,
+            site_provenance: Vec::new(),
         });
     }
     apply_insertions(&mut work, &merged);

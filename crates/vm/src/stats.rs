@@ -52,6 +52,14 @@ pub struct VmStats {
     /// Compiled bodies evicted by an external code cache
     /// ([`crate::Vm::evict_compiled`]; only the serving layer evicts).
     pub code_evictions: u64,
+    /// Deterministic cycles attributed to object inspection across all
+    /// compilations (the compile-time cost model). A pure counter, like
+    /// `deopts`/`recompiles`: never added to `cycles`, so the simulated
+    /// clock of the pre-existing modes is untouched.
+    pub inspection_cycles: u64,
+    /// Prefetch candidate sites whose stride was statically proved and
+    /// therefore excluded from object inspection (STATIC-FIRST only).
+    pub static_sites: u64,
     /// Per-method cycles, indexed by method id.
     pub per_method: Vec<MethodCycles>,
 }

@@ -171,7 +171,10 @@ impl<S: TraceSink> Vm<S> {
             per_method: vec![MethodCycles::default(); n],
             ..VmStats::default()
         };
-        let adaptive = config.prefetch.mode == PrefetchMode::Adaptive;
+        // STATIC-FIRST carries the adaptive guards too: a deopt there
+        // recompiles through the static-first pipeline, which re-proves
+        // affine sites instead of re-running the inspector on them.
+        let adaptive = config.prefetch.mode.adaptive_guards();
         let adapt = AdaptState::new(config.adapt);
         let mut pics: Vec<CallPic<S>> = Vec::new();
         let originals = pre
@@ -609,12 +612,60 @@ impl<S: TraceSink> Vm<S> {
     }
 
     /// Deterministic cycle cost of compiling `mid` on a background
-    /// compiler worker, derived from the *original* body's size — known
-    /// before the compile runs, so a compilation queue can schedule the
-    /// job's completion time up front.
+    /// compiler worker, derived from the *original* body's size plus an
+    /// inspection estimate — known before the compile runs, so a
+    /// compilation queue can schedule the job's completion time up front.
     pub fn compile_cost_estimate(&self, mid: MethodId) -> u64 {
-        let instrs = self.originals[mid.index()].tcode.src.instr_sites().count() as u64;
-        RECOMPILE_BASE_CYCLES + RECOMPILE_CYCLES_PER_INSTR * instrs
+        let src = Arc::clone(&self.originals[mid.index()].tcode.src);
+        let instrs = src.instr_sites().count() as u64;
+        RECOMPILE_BASE_CYCLES
+            + RECOMPILE_CYCLES_PER_INSTR * instrs
+            + self.inspection_cost_estimate(&src)
+    }
+
+    /// Deterministic estimate of the object-inspection share of compiling
+    /// `func`: per candidate-bearing loop, interpreting the body for the
+    /// configured iterations costs roughly one step per candidate load per
+    /// iteration plus one recorded sample per inspected load per
+    /// iteration. OFF inspects nothing; STATIC-FIRST discounts the sample
+    /// term by the statically proved sites and skips fully proved loops
+    /// outright, so its queue estimates come in below the legacy modes'.
+    fn inspection_cost_estimate(&self, func: &Function) -> u64 {
+        use spf_ir::{cfg::Cfg, defuse::UseDef, dom::DomTree, loops::LoopForest};
+        let opts = &self.config.prefetch;
+        if opts.mode == PrefetchMode::Off {
+            return 0;
+        }
+        let cfg = Cfg::compute(func);
+        let dom = DomTree::compute(func, &cfg);
+        let forest = LoopForest::compute(func, &cfg, &dom);
+        let ud = UseDef::compute(func, &cfg);
+        let iters = u64::from(opts.inspect_iterations);
+        let mut cycles = 0u64;
+        for target in forest.postorder() {
+            let ldg = spf_core::Ldg::build(func, &ud, &forest, target);
+            if ldg.is_empty() {
+                continue;
+            }
+            let inspected = if opts.mode.static_first() {
+                let proved =
+                    spf_analysis::scev::loop_static_strides(func, &cfg, &dom, &forest, &ud, target);
+                ldg.node_ids()
+                    .filter(|&id| !proved.contains_key(&ldg.node(id).site))
+                    .count() as u64
+            } else {
+                ldg.len() as u64
+            };
+            if inspected == 0 {
+                // Fully proved loop: the record set is empty and the
+                // static-first pipeline never runs the inspector.
+                continue;
+            }
+            cycles += iters
+                * (spf_core::INSPECT_CYCLES_PER_STEP * ldg.len() as u64
+                    + spf_core::INSPECT_CYCLES_PER_SAMPLE * inspected);
+        }
+        cycles
     }
 
     /// Runs the pending background compilation of `mid` and installs the
@@ -728,10 +779,30 @@ impl<S: TraceSink> Vm<S> {
                 "JIT output for {} fails the static lint: {findings:?}",
                 outcome.func.name()
             );
+            // The provenance lint runs on every compilation generation:
+            // a statically-proved site may not also burn inspection
+            // budget, a proof may not disagree with the installed stride,
+            // and static-first address computations must be taint-free.
+            let records: Vec<spf_analysis::SiteProvenance> =
+                outcome.report.provenance_records().cloned().collect();
+            let pcfg = spf_analysis::ProvenanceConfig {
+                static_first: self.config.prefetch.mode.static_first(),
+            };
+            let findings = spf_analysis::provenance::check(&outcome.func, &pcfg, &records);
+            assert!(
+                findings.is_empty(),
+                "JIT output for {} (generation {generation}) fails the provenance lint: \
+                 {findings:?}",
+                outcome.func.name()
+            );
         }
         let total_nanos = t0.elapsed().as_nanos();
         self.stats.jit_nanos += total_nanos;
         self.stats.prefetch_pass_nanos += outcome.report.pass_nanos;
+        // Compile-time cost model: deterministic inspection cycles are
+        // charged as counters (like `recompiles`), never onto `cycles`.
+        self.stats.inspection_cycles += outcome.report.inspection_cycles();
+        self.stats.static_sites += outcome.report.static_sites() as u64;
         if !background {
             let jit_cycles = if generation > 0 {
                 // Adaptive recompilations run inside measured steady-state
@@ -1059,6 +1130,62 @@ mod tests {
         assert!(vm.is_compiled(hot), "threshold 2 compiles on second call");
         assert_eq!(vm.stats().methods_compiled, 1);
         assert!(vm.stats().jit_nanos > 0);
+    }
+
+    #[test]
+    fn static_first_vm_skips_inspection_and_cheapens_compile_estimates() {
+        use spf_core::PrefetchOptions;
+        use spf_ir::CmpOp;
+        // A fully provable affine walk: step 8 over i64 elements.
+        let build = || {
+            let mut pb = ProgramBuilder::new();
+            let mut b = pb.function("affine", &[], Some(Ty::I64));
+            let n = b.const_i32(4096);
+            let arr = b.new_array(ElemTy::I64, n);
+            let sum = b.new_reg(Ty::I64);
+            let z = b.const_i64(0);
+            b.move_(sum, z);
+            b.for_i32(
+                0,
+                8,
+                CmpOp::Lt,
+                |b| b.arraylen(arr),
+                |b, i| {
+                    let v = b.aload(arr, i, ElemTy::I64);
+                    let s = b.add(sum, v);
+                    b.move_(sum, s);
+                },
+            );
+            b.ret(Some(sum));
+            let m = b.finish();
+            (pb.finish(), m)
+        };
+        let run = |opts: PrefetchOptions| {
+            let (p, m) = build();
+            let mut vm = Vm::new(
+                p,
+                VmConfig {
+                    prefetch: opts,
+                    ..VmConfig::default()
+                },
+                ProcessorConfig::pentium4(),
+            );
+            vm.call(m, &[]).unwrap();
+            vm.call(m, &[]).unwrap(); // second call crosses the threshold
+            assert!(vm.is_compiled(m));
+            let est = vm.compile_cost_estimate(m);
+            (vm.stats().clone(), est)
+        };
+        let (sf, sf_est) = run(PrefetchOptions::static_first());
+        let (ii, ii_est) = run(PrefetchOptions::inter_intra());
+        // STATIC-FIRST proves every candidate, skips the inspector, and
+        // charges zero inspection cycles; the legacy pipeline pays.
+        assert!(sf.static_sites > 0);
+        assert_eq!(sf.inspection_cycles, 0);
+        assert_eq!(ii.static_sites, 0);
+        assert!(ii.inspection_cycles > 0);
+        // The background-compile queue estimate sees the same discount.
+        assert!(sf_est < ii_est, "{sf_est} !< {ii_est}");
     }
 
     #[test]
