@@ -46,6 +46,17 @@ pub struct AdaptConfig {
     /// Invocations to wait before the first recompile after a deopt;
     /// doubles with every recompile already used (exponential backoff).
     pub backoff_base: u64,
+    /// Re-arm horizon in GC epochs; 0 disables re-arming (the legacy
+    /// behavior — disarmed guards stay disarmed forever). When non-zero:
+    ///
+    /// * a guard whose budget disarmed it regains **one** recompile
+    ///   credit once the GC epoch has advanced this far past the disarm
+    ///   point, and resumes staleness checking;
+    /// * a deopted method's invocation backoff is waived once the epoch
+    ///   has advanced this far past the deopt — the heap churned on, so
+    ///   the verdict that triggered the backoff is moot and the method
+    ///   may tier back out of the interpreter.
+    pub rearm_stable_epochs: u64,
 }
 
 impl Default for AdaptConfig {
@@ -55,6 +66,7 @@ impl Default for AdaptConfig {
             min_samples: 64,
             max_recompiles: 4,
             backoff_base: 2,
+            rearm_stable_epochs: 0,
         }
     }
 }
@@ -89,17 +101,52 @@ pub struct MethodGuard {
     compiled: bool,
     /// Whether the guards disarmed after spending the recompile budget.
     disabled: bool,
-    /// Times the shared code cache evicted this method's compiled body.
-    /// Each eviction forces a recompile that is *not* an adaptive
-    /// staleness decision, so these recompiles are credited back when the
-    /// budget is checked.
+    /// Recompiles *credited back* because a code-cache eviction forced
+    /// them: incremented when the eviction-forced recompile actually
+    /// lands, so a body evicted and never recompiled earns nothing.
     cache_evictions: u32,
+    /// Set by [`AdaptState::on_evicted`], consumed by the next
+    /// [`AdaptState::on_compile`]: the recompile in flight was forced by
+    /// a cache eviction and must not burn the staleness budget.
+    pending_evict: bool,
+    /// Whether the method was deopted and has not been recompiled since
+    /// (it is running interpreted — "stranded" if this persists).
+    deopted: bool,
+    /// GC epoch at the last deopt (backoff re-arm clock).
+    deopt_epoch: u64,
+    /// GC epoch at which the budget disarmed the guards (re-arm clock).
+    disabled_at_epoch: u64,
+    /// Budget credits granted by re-arming (one per re-arm cycle).
+    rearm_credits: u32,
 }
 
 impl MethodGuard {
-    /// Times the shared code cache evicted this method's compiled body.
+    /// Eviction-forced recompiles credited back against the budget.
     pub fn cache_evictions(&self) -> u32 {
         self.cache_evictions
+    }
+
+    /// Whether the method currently has an installed compiled body.
+    pub fn is_compiled(&self) -> bool {
+        self.compiled
+    }
+
+    /// Whether the method was deopted and not recompiled since. Together
+    /// with `!is_compiled()` this is the "stranded in the interpreter"
+    /// condition the serving recovery sweep targets.
+    pub fn is_deopted(&self) -> bool {
+        self.deopted
+    }
+
+    /// Whether the guards are currently disarmed (budget spent and not
+    /// yet re-armed).
+    pub fn is_disabled(&self) -> bool {
+        self.disabled
+    }
+
+    /// Budget credits granted by re-arming so far.
+    pub fn rearm_credits(&self) -> u32 {
+        self.rearm_credits
     }
 
     /// The useless-prefetch ratio of the current generation (0 when
@@ -119,6 +166,11 @@ impl MethodGuard {
 pub struct AdaptState {
     cfg: AdaptConfig,
     guards: HashMap<usize, MethodGuard>,
+    /// Total re-arms granted (budget credits from stable epochs).
+    rearms: u64,
+    /// `(method, generation)` of re-arms since the last
+    /// [`AdaptState::take_rearmed`] drain, in re-arm order.
+    rearmed_log: Vec<(u32, u32)>,
 }
 
 impl AdaptState {
@@ -127,6 +179,8 @@ impl AdaptState {
         AdaptState {
             cfg,
             guards: HashMap::new(),
+            rearms: 0,
+            rearmed_log: Vec::new(),
         }
     }
 
@@ -154,6 +208,15 @@ impl AdaptState {
                 g.issued = 0;
                 g.useless = 0;
                 g.compiled = true;
+                g.deopted = false;
+                if g.pending_evict {
+                    // This recompile was forced by a cache eviction, not by
+                    // an adaptive staleness verdict: credit it back now —
+                    // and only now, so an eviction whose forced recompile
+                    // never happens cannot refund the budget.
+                    g.pending_evict = false;
+                    g.cache_evictions += 1;
+                }
                 g.generation
             }
             None => {
@@ -169,6 +232,11 @@ impl AdaptState {
                         compiled: true,
                         disabled: false,
                         cache_evictions: 0,
+                        pending_evict: false,
+                        deopted: false,
+                        deopt_epoch: 0,
+                        disabled_at_epoch: 0,
+                        rearm_credits: 0,
                     },
                 );
                 0
@@ -195,8 +263,24 @@ impl AdaptState {
     pub fn check_stale(&mut self, method: usize, epoch: u64) -> Option<StaleReason> {
         let cfg = self.cfg;
         let g = self.guards.get_mut(&method)?;
-        if !g.compiled || g.disabled {
+        if !g.compiled {
             return None;
+        }
+        if g.disabled {
+            if cfg.rearm_stable_epochs == 0
+                || epoch.saturating_sub(g.disabled_at_epoch) < cfg.rearm_stable_epochs
+            {
+                return None;
+            }
+            // Re-arm: the heap has churned through the stability horizon
+            // since the disarm, so the budget verdict is stale too. Grant
+            // exactly one credit and resume watching; if the next verdict
+            // exhausts the budget again the guard disarms at the *new*
+            // epoch, which damps oscillation to one recompile per horizon.
+            g.disabled = false;
+            g.rearm_credits += 1;
+            self.rearms += 1;
+            self.rearmed_log.push((method as u32, g.generation));
         }
         let reason = if g.epoch_at_compile != epoch {
             StaleReason::GcMoved
@@ -205,11 +289,14 @@ impl AdaptState {
         } else {
             return None;
         };
-        if g.generation.saturating_sub(g.cache_evictions) >= cfg.max_recompiles {
+        let credits = u64::from(g.cache_evictions) + u64::from(g.rearm_credits);
+        if u64::from(g.generation).saturating_sub(credits) >= u64::from(cfg.max_recompiles) {
             // Budget spent: keep the current body and stop watching.
             // Recompiles forced by code-cache eviction are credited back —
-            // they were capacity decisions, not adaptive staleness ones.
+            // they were capacity decisions, not adaptive staleness ones —
+            // and so is each re-arm credit.
             g.disabled = true;
+            g.disabled_at_epoch = epoch;
             return None;
         }
         Some(reason)
@@ -217,34 +304,83 @@ impl AdaptState {
 
     /// Records that the shared code cache evicted `method`'s compiled
     /// body. The method falls back to the interpreter (no body to guard)
-    /// and earns one recompile credit: the eviction-forced recompile will
-    /// bump the generation without burning the adaptive staleness budget.
-    /// No backoff applies — the body was healthy, just cold.
+    /// and the *next* recompile is marked eviction-forced: the credit is
+    /// granted by [`AdaptState::on_compile`] when that recompile actually
+    /// lands, never on the eviction itself — repeated evictions of the
+    /// same method across generations each refund at most the one
+    /// recompile they forced. No backoff applies — the body was healthy,
+    /// just cold.
     pub fn on_evicted(&mut self, method: usize) {
         if let Some(g) = self.guards.get_mut(&method) {
-            g.compiled = false;
-            g.cache_evictions += 1;
+            if g.compiled {
+                g.compiled = false;
+                g.pending_evict = true;
+            }
         }
     }
 
     /// Records a deoptimization of `method` at `invocations` total
-    /// invocations: the next recompile is gated behind an exponentially
-    /// growing backoff window.
-    pub fn on_deopt(&mut self, method: usize, invocations: u64) {
+    /// invocations and GC `epoch`: the next recompile is gated behind an
+    /// exponentially growing backoff window (waivable by epoch-based
+    /// re-arm, see [`AdaptConfig::rearm_stable_epochs`]).
+    pub fn on_deopt(&mut self, method: usize, invocations: u64, epoch: u64) {
         let cfg = self.cfg;
         if let Some(g) = self.guards.get_mut(&method) {
             g.compiled = false;
+            g.deopted = true;
+            g.deopt_epoch = epoch;
             let backoff = cfg.backoff_base << g.generation.min(32);
             g.resume_at = invocations + backoff;
         }
     }
 
     /// Whether `method` may be (re)compiled at `invocations` total
-    /// invocations. Always true for methods never deoptimized.
-    pub fn may_recompile(&self, method: usize, invocations: u64) -> bool {
+    /// invocations and GC `epoch`. Always true for methods never
+    /// deoptimized. The invocation backoff is waived once the epoch has
+    /// advanced [`AdaptConfig::rearm_stable_epochs`] past the deopt.
+    pub fn may_recompile(&self, method: usize, invocations: u64, epoch: u64) -> bool {
+        self.guards.get(&method).is_none_or(|g| {
+            invocations >= g.resume_at
+                || (self.cfg.rearm_stable_epochs > 0
+                    && g.deopted
+                    && epoch.saturating_sub(g.deopt_epoch) >= self.cfg.rearm_stable_epochs)
+        })
+    }
+
+    /// Total budget re-arms granted so far.
+    pub fn rearms(&self) -> u64 {
+        self.rearms
+    }
+
+    /// Drains the `(method, generation)` re-arm log accumulated since the
+    /// last drain, in re-arm order.
+    pub fn take_rearmed(&mut self) -> Vec<(u32, u32)> {
+        std::mem::take(&mut self.rearmed_log)
+    }
+
+    /// Number of methods currently stranded in the interpreter: deopted
+    /// by an adaptive staleness verdict and not recompiled since. This is
+    /// the same condition `spf-trace-report deopt-summary` counts from
+    /// the event stream (deopts > recompiles), read directly off the
+    /// guard state.
+    pub fn stranded(&self) -> u64 {
         self.guards
-            .get(&method)
-            .is_none_or(|g| invocations >= g.resume_at)
+            .values()
+            .filter(|g| g.deopted && !g.compiled)
+            .count() as u64
+    }
+
+    /// The stranded methods' ids, ascending (sorted so callers that walk
+    /// them stay deterministic — the backing map has no stable order).
+    pub fn stranded_methods(&self) -> Vec<usize> {
+        let mut ids: Vec<usize> = self
+            .guards
+            .iter()
+            .filter(|(_, g)| g.deopted && !g.compiled)
+            .map(|(&m, _)| m)
+            .collect();
+        ids.sort_unstable();
+        ids
     }
 }
 
@@ -265,7 +401,7 @@ mod tests {
         a.on_compile(0, 0);
         assert_eq!(a.check_stale(0, 0), None, "same epoch is fresh");
         assert_eq!(a.check_stale(0, 1), Some(StaleReason::GcMoved));
-        a.on_deopt(0, 10);
+        a.on_deopt(0, 10, 1);
         assert_eq!(a.check_stale(0, 1), None, "deopted method has no body");
         assert_eq!(a.on_compile(0, 1), 1, "recompile bumps the generation");
         assert_eq!(a.check_stale(0, 1), None, "fresh at the new epoch");
@@ -313,13 +449,13 @@ mod tests {
         };
         let mut a = AdaptState::new(cfg);
         a.on_compile(0, 0);
-        a.on_deopt(0, 100);
-        assert!(!a.may_recompile(0, 101));
-        assert!(a.may_recompile(0, 102), "gen 0 waits backoff_base");
+        a.on_deopt(0, 100, 0);
+        assert!(!a.may_recompile(0, 101, 0));
+        assert!(a.may_recompile(0, 102, 0), "gen 0 waits backoff_base");
         a.on_compile(0, 1);
-        a.on_deopt(0, 200);
-        assert!(!a.may_recompile(0, 203));
-        assert!(a.may_recompile(0, 204), "gen 1 waits 2*backoff_base");
+        a.on_deopt(0, 200, 1);
+        assert!(!a.may_recompile(0, 203, 1));
+        assert!(a.may_recompile(0, 204, 1), "gen 1 waits 2*backoff_base");
     }
 
     #[test]
@@ -335,7 +471,7 @@ mod tests {
         for expect_gen in 1..=2 {
             epoch += 1;
             assert_eq!(a.check_stale(0, epoch), Some(StaleReason::GcMoved));
-            a.on_deopt(0, 0);
+            a.on_deopt(0, 0, epoch);
             assert_eq!(a.on_compile(0, epoch), expect_gen);
         }
         // Budget (2 recompiles) spent: a further epoch bump disarms.
@@ -358,7 +494,7 @@ mod tests {
         for _ in 0..2 {
             a.on_evicted(0);
             assert_eq!(a.check_stale(0, 0), None, "no body to guard");
-            assert!(a.may_recompile(0, 0), "eviction applies no backoff");
+            assert!(a.may_recompile(0, 0, 0), "eviction applies no backoff");
             a.on_compile(0, 0);
         }
         assert_eq!(a.guard(0).unwrap().generation, 2);
@@ -369,7 +505,7 @@ mod tests {
         for expect_gen in 3..=4 {
             epoch += 1;
             assert_eq!(a.check_stale(0, epoch), Some(StaleReason::GcMoved));
-            a.on_deopt(0, 0);
+            a.on_deopt(0, 0, epoch);
             assert_eq!(a.on_compile(0, epoch), expect_gen);
         }
         epoch += 1;
@@ -401,6 +537,135 @@ mod tests {
     fn unguarded_methods_are_never_stale_and_always_compilable() {
         let mut a = AdaptState::new(AdaptConfig::default());
         assert_eq!(a.check_stale(7, 99), None);
-        assert!(a.may_recompile(7, 0));
+        assert!(a.may_recompile(7, 0, 0));
+    }
+
+    #[test]
+    fn repeated_evictions_credit_only_landed_recompiles() {
+        // Regression: `on_evicted` used to grant the budget credit
+        // immediately, so a body evicted twice before its recompile
+        // landed (or never recompiled at all) banked credits it never
+        // earned. The credit must be counted when the eviction-forced
+        // recompile actually installs.
+        let mut a = AdaptState::new(AdaptConfig::default());
+        a.on_compile(0, 0);
+        a.on_evicted(0);
+        a.on_evicted(0); // churn: evicted again before any recompile
+        assert_eq!(a.guard(0).unwrap().cache_evictions(), 0);
+        a.on_compile(0, 0);
+        assert_eq!(
+            a.guard(0).unwrap().cache_evictions(),
+            1,
+            "two raw evictions, one forced recompile, one credit"
+        );
+        a.on_evicted(0);
+        assert_eq!(a.guard(0).unwrap().cache_evictions(), 1);
+        a.on_compile(0, 0);
+        assert_eq!(a.guard(0).unwrap().cache_evictions(), 2);
+    }
+
+    #[test]
+    fn deopt_then_staleness_recompile_consumes_no_evict_credit() {
+        // A staleness-driven recompile must not consume a phantom
+        // eviction credit.
+        let mut a = AdaptState::new(AdaptConfig::default());
+        a.on_compile(0, 0);
+        a.on_deopt(0, 10, 1);
+        a.on_compile(0, 1);
+        assert_eq!(a.guard(0).unwrap().cache_evictions(), 0);
+    }
+
+    #[test]
+    fn budget_rearm_grants_one_credit_per_stable_window() {
+        let cfg = AdaptConfig {
+            max_recompiles: 1,
+            rearm_stable_epochs: 3,
+            backoff_base: 0,
+            ..AdaptConfig::default()
+        };
+        let mut a = AdaptState::new(cfg);
+        a.on_compile(0, 0);
+        // Spend the 1-recompile budget.
+        assert_eq!(a.check_stale(0, 1), Some(StaleReason::GcMoved));
+        a.on_deopt(0, 0, 1);
+        a.on_compile(0, 1);
+        // Budget spent: the next epoch bump disarms instead of deopting.
+        assert_eq!(a.check_stale(0, 2), None);
+        assert!(a.guard(0).unwrap().is_disabled());
+        // Still disarmed while fewer than `rearm_stable_epochs` have
+        // passed since the disarm point.
+        assert_eq!(a.check_stale(0, 3), None);
+        assert!(a.guard(0).unwrap().is_disabled());
+        assert_eq!(a.check_stale(0, 4), None);
+        // Epoch 5 = disarm(2) + 3: re-arms with one credit and the
+        // staleness verdict fires again in the same call.
+        assert_eq!(a.check_stale(0, 5), Some(StaleReason::GcMoved));
+        assert!(!a.guard(0).unwrap().is_disabled());
+        assert_eq!(a.guard(0).unwrap().rearm_credits(), 1);
+        assert_eq!(a.rearms(), 1);
+        assert_eq!(a.take_rearmed(), vec![(0, 1)]);
+        assert_eq!(a.take_rearmed(), vec![], "drain is destructive");
+        // The credit funds exactly one more recompile, then the guard
+        // disarms again and a second stable window re-arms it again.
+        a.on_deopt(0, 0, 5);
+        a.on_compile(0, 5);
+        assert_eq!(a.check_stale(0, 6), None);
+        assert!(a.guard(0).unwrap().is_disabled());
+        assert_eq!(a.check_stale(0, 9), Some(StaleReason::GcMoved));
+        assert_eq!(a.rearms(), 2);
+    }
+
+    #[test]
+    fn rearm_disabled_by_default_keeps_legacy_disarm_forever() {
+        let cfg = AdaptConfig {
+            max_recompiles: 1,
+            backoff_base: 0,
+            ..AdaptConfig::default()
+        };
+        let mut a = AdaptState::new(cfg);
+        a.on_compile(0, 0);
+        assert_eq!(a.check_stale(0, 1), Some(StaleReason::GcMoved));
+        a.on_deopt(0, 0, 1);
+        a.on_compile(0, 1);
+        assert_eq!(a.check_stale(0, 2), None);
+        assert_eq!(a.check_stale(0, 1_000_000), None, "no re-arm at 0");
+        assert_eq!(a.rearms(), 0);
+    }
+
+    #[test]
+    fn stable_epochs_waive_deopt_backoff() {
+        let cfg = AdaptConfig {
+            backoff_base: 1_000,
+            rearm_stable_epochs: 2,
+            ..AdaptConfig::default()
+        };
+        let mut a = AdaptState::new(cfg);
+        a.on_compile(0, 0);
+        a.on_deopt(0, 100, 5);
+        assert!(!a.may_recompile(0, 101, 5), "inside backoff, same epoch");
+        assert!(!a.may_recompile(0, 101, 6), "one epoch is not enough");
+        assert!(
+            a.may_recompile(0, 101, 7),
+            "two stable epochs waive the invocation backoff"
+        );
+        assert!(a.may_recompile(0, 2_000, 5), "backoff served normally");
+    }
+
+    #[test]
+    fn stranded_tracks_deopted_uncompiled_methods_sorted() {
+        let mut a = AdaptState::new(AdaptConfig::default());
+        for m in [9usize, 2, 5] {
+            a.on_compile(m, 0);
+            a.on_deopt(m, 0, 1);
+        }
+        assert_eq!(a.stranded(), 3);
+        assert_eq!(a.stranded_methods(), vec![2, 5, 9]);
+        a.on_compile(5, 1);
+        assert_eq!(a.stranded(), 2);
+        assert_eq!(a.stranded_methods(), vec![2, 9]);
+        // An eviction alone does not strand: the method was not deopted.
+        a.on_compile(7, 1);
+        a.on_evicted(7);
+        assert_eq!(a.stranded(), 2);
     }
 }

@@ -19,14 +19,24 @@
 //! fails (exit 1) if any number differs — the serving analogue of the
 //! matrix's `--verify-serial`. CI additionally byte-compares the emitted
 //! file across two `--jobs` runs with `cmp`.
+//!
+//! `--chaos` additionally runs each mode a second time under the seeded
+//! fault plan (GC storms, compile stalls, cache squeezes, traffic
+//! bursts), checks the recovery invariants against the fault-free twin,
+//! appends a `chaos` section to the summary, and with
+//! `--fault-events-out` writes the chaos event stream as
+//! `FAULT_events.jsonl`. A failed recovery invariant is exit 1.
 
 use std::process::ExitCode;
 
 use spf_bench::{matrix, out_dir};
 use spf_core::PrefetchOptions;
 use spf_memsim::ProcessorConfig;
-use spf_serve::{report, sim, ModeReport, ServeConfig, ServeSummary};
-use spf_trace::export;
+use spf_serve::{
+    faults, report, sim, traffic, ChaosConfig, ChaosRow, ModeReport, ServeConfig, ServeSummary,
+    TrafficConfig,
+};
+use spf_trace::{export, TraceEvent};
 use spf_workloads::Size;
 
 struct Args {
@@ -36,6 +46,8 @@ struct Args {
     verify_jobs: Option<usize>,
     out: Option<String>,
     events_out: Option<String>,
+    chaos: Option<ChaosConfig>,
+    fault_events_out: Option<String>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -46,6 +58,8 @@ fn parse_args() -> Result<Args, String> {
         verify_jobs: None,
         out: Some("SERVE_summary.json".to_string()),
         events_out: None,
+        chaos: None,
+        fault_events_out: None,
     };
     let mut dir_flag: Option<String> = None;
     let mut it = std::env::args().skip(1);
@@ -82,6 +96,15 @@ fn parse_args() -> Result<Args, String> {
             "--events-out" => {
                 args.events_out = Some(it.next().ok_or("--events-out needs a path")?);
             }
+            "--chaos" => {
+                args.chaos.get_or_insert_with(ChaosConfig::default);
+            }
+            "--chaos-seed" => {
+                args.chaos.get_or_insert_with(ChaosConfig::default).seed = num("--chaos-seed")?;
+            }
+            "--fault-events-out" => {
+                args.fault_events_out = Some(it.next().ok_or("--fault-events-out needs a path")?);
+            }
             "--out-dir" => {
                 dir_flag = Some(it.next().ok_or("--out-dir needs a directory")?);
             }
@@ -94,6 +117,10 @@ fn parse_args() -> Result<Args, String> {
     if let Some(dir) = &dir_flag {
         args.out = args.out.map(|p| out_dir::join(dir, &p));
         args.events_out = args.events_out.map(|p| out_dir::join(dir, &p));
+        args.fault_events_out = args.fault_events_out.map(|p| out_dir::join(dir, &p));
+    }
+    if args.fault_events_out.is_some() && args.chaos.is_none() {
+        return Err("--fault-events-out requires --chaos".to_string());
     }
     Ok(args)
 }
@@ -109,9 +136,37 @@ fn modes() -> [PrefetchOptions; 5] {
     ]
 }
 
-fn sweep(args: &Args, jobs: usize) -> (ServeSummary, String) {
+/// Events emitted only by the chaos machinery, for `FAULT_events.jsonl`.
+fn chaos_events(events: &[TraceEvent]) -> Vec<TraceEvent> {
+    events
+        .iter()
+        .filter(|e| {
+            matches!(
+                e,
+                TraceEvent::FaultInjected { .. }
+                    | TraceEvent::RequestShed { .. }
+                    | TraceEvent::CompileRetried { .. }
+                    | TraceEvent::GuardRearmed { .. }
+            )
+        })
+        .cloned()
+        .collect()
+}
+
+fn sweep(args: &Args, jobs: usize) -> Result<(ServeSummary, String, String), String> {
     let mut rows = Vec::new();
+    let mut chaos_rows = Vec::new();
     let mut events_text = String::new();
+    let mut fault_events_text = String::new();
+    // The base stream and fault plan are mode-independent: recompute them
+    // once, exactly as `sim::run` does internally.
+    let base = traffic::generate(&TrafficConfig {
+        tenants: args.cfg.tenants,
+        requests: args.cfg.requests,
+        mean_interarrival: args.cfg.mean_interarrival,
+        seed: args.cfg.seed,
+    });
+    let horizon = base.last().map_or(args.cfg.slot_cycles, |r| r.arrival);
     for opts in modes() {
         eprintln!(
             "serve: {} tenants x {} requests, mode {}, {} job(s)...",
@@ -122,6 +177,36 @@ fn sweep(args: &Args, jobs: usize) -> (ServeSummary, String) {
             events_text.push_str(&export::events_jsonl(&out.events, None));
         }
         rows.push(ModeReport::from_outcome(&opts.mode.to_string(), &out));
+        if let Some(chaos) = &args.chaos {
+            eprintln!("serve: mode {} again, under the fault plan...", opts.mode);
+            let chaos_cfg = ServeConfig {
+                chaos: Some(*chaos),
+                ..args.cfg
+            };
+            let fault = sim::run(&chaos_cfg, &opts, &args.proc, jobs);
+            if args.fault_events_out.is_some() {
+                fault_events_text
+                    .push_str(&export::events_jsonl(&chaos_events(&fault.events), None));
+            }
+            let plan = faults::generate(chaos, args.cfg.tenants, horizon, args.cfg.slot_cycles);
+            let recovery =
+                faults::verify_recovery(&plan, chaos, args.cfg.slot_cycles, &base, &fault, &out)
+                    .map_err(|e| format!("mode {}: recovery invariant failed: {e}", opts.mode))?;
+            let served = ModeReport::from_outcome(&opts.mode.to_string(), &fault);
+            chaos_rows.push(ChaosRow {
+                mode: opts.mode.to_string(),
+                faults: fault.faults,
+                shed: fault.shed.len() as u64,
+                retries: fault.retries,
+                rearms: fault.rearms,
+                stranded_final: fault.stranded_final,
+                completed: served.completed,
+                p99: served.p99,
+                recovery_at: recovery.recovery_at,
+                post_requests: recovery.post_requests,
+                post_p99_ratio_milli: recovery.post_p99_ratio_milli,
+            });
+        }
     }
     let summary = ServeSummary {
         processor: args.proc.name.clone(),
@@ -133,8 +218,9 @@ fn sweep(args: &Args, jobs: usize) -> (ServeSummary, String) {
         compile_workers: args.cfg.compile_workers as u64,
         cache_capacity_instrs: args.cfg.cache_capacity_instrs,
         modes: rows,
+        chaos: chaos_rows,
     };
-    (summary, events_text)
+    Ok((summary, events_text, fault_events_text))
 }
 
 fn main() -> ExitCode {
@@ -146,12 +232,19 @@ fn main() -> ExitCode {
                 "usage: spf-serve [tiny|small|full] [--tenants N] [--requests N] \
                  [--mean-interarrival CYCLES] [--seed N] [--slot-cycles N] \
                  [--compile-workers N] [--cache-instrs N] [--processor pentium4|athlonmp] \
-                 [--jobs N] [--verify-jobs N] [--out PATH|-] [--events-out PATH] [--out-dir DIR]"
+                 [--jobs N] [--verify-jobs N] [--out PATH|-] [--events-out PATH] \
+                 [--chaos] [--chaos-seed N] [--fault-events-out PATH] [--out-dir DIR]"
             );
             return ExitCode::FAILURE;
         }
     };
-    let (summary, events_text) = sweep(&args, args.jobs);
+    let (summary, events_text, fault_events_text) = match sweep(&args, args.jobs) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("serve: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
     print!("{}", report::render(&summary));
 
     // Checksums must agree across modes: prefetching may only change
@@ -164,7 +257,20 @@ fn main() -> ExitCode {
 
     if let Some(verify_jobs) = args.verify_jobs {
         eprintln!("serve: verifying determinism with {verify_jobs} job(s)...");
-        let (again, _) = sweep(&args, verify_jobs);
+        let (again, _, fault_events_again) = match sweep(&args, verify_jobs) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("serve: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        if fault_events_again != fault_events_text {
+            eprintln!(
+                "serve: FAULT EVENT STREAM differs between --jobs {} and --jobs {verify_jobs}",
+                args.jobs
+            );
+            return ExitCode::FAILURE;
+        }
         if again != summary {
             eprintln!(
                 "serve: MISMATCH between --jobs {} and --jobs {verify_jobs}:",
@@ -196,6 +302,16 @@ fn main() -> ExitCode {
     if let Some(path) = &args.events_out {
         out_dir::ensure_parent(path);
         match std::fs::write(path, events_text) {
+            Ok(()) => eprintln!("wrote {path}"),
+            Err(e) => {
+                eprintln!("error: could not write {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if let Some(path) = &args.fault_events_out {
+        out_dir::ensure_parent(path);
+        match std::fs::write(path, fault_events_text) {
             Ok(()) => eprintln!("wrote {path}"),
             Err(e) => {
                 eprintln!("error: could not write {path}: {e}");

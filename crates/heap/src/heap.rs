@@ -158,6 +158,16 @@ impl Heap {
         self.gc_epoch
     }
 
+    /// Bumps the GC epoch without running a collection, modeling an
+    /// external compaction that moved objects behind the VM's back (the
+    /// serving chaos harness injects GC storms this way). Addresses are
+    /// untouched — only the staleness stamp advances, so every compiled
+    /// method guarded against an older epoch re-inspects on its next
+    /// invocation.
+    pub fn force_move_epoch(&mut self) {
+        self.gc_epoch += 1;
+    }
+
     /// The layout tables.
     pub fn layout_tables(&self) -> &Layout {
         &self.layout

@@ -33,16 +33,27 @@ pub struct CacheEntry {
 #[derive(Clone, Debug)]
 pub struct CodeCache {
     capacity: u64,
+    /// Per-tenant residency cap in instructions; 0 disables quotas (the
+    /// legacy behavior — one tenant may fill the whole cache).
+    quota: u64,
     used: u64,
     seq: u64,
     entries: Vec<CacheEntry>,
 }
 
 impl CodeCache {
-    /// Creates a cache holding at most `capacity` compiled instructions.
+    /// Creates a cache holding at most `capacity` compiled instructions,
+    /// with no per-tenant quota.
     pub fn new(capacity: u64) -> Self {
+        CodeCache::with_quota(capacity, 0)
+    }
+
+    /// Creates a cache with a per-tenant residency quota layered on the
+    /// global capacity (0 disables the quota).
+    pub fn with_quota(capacity: u64, quota: u64) -> Self {
         CodeCache {
             capacity,
+            quota,
             used: 0,
             seq: 0,
             entries: Vec::new(),
@@ -57,6 +68,41 @@ impl CodeCache {
     /// The configured capacity.
     pub fn capacity(&self) -> u64 {
         self.capacity
+    }
+
+    /// The per-tenant quota (0 = disabled).
+    pub fn quota(&self) -> u64 {
+        self.quota
+    }
+
+    /// Instructions currently resident for `tenant`.
+    pub fn tenant_used(&self, tenant: u32) -> u64 {
+        self.entries
+            .iter()
+            .filter(|e| e.tenant == tenant)
+            .map(|e| e.instrs)
+            .sum()
+    }
+
+    /// Rebounds the cache to `capacity` mid-run (a chaos squeeze, or the
+    /// squeeze ending), evicting LRU entries until the residency fits.
+    /// Returns the victims in eviction order; growing evicts nothing.
+    pub fn set_capacity(&mut self, capacity: u64) -> Vec<CacheEntry> {
+        self.capacity = capacity;
+        let mut evicted = Vec::new();
+        while self.used > self.capacity && !self.entries.is_empty() {
+            let victim = self
+                .entries
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, e)| (e.last_touch, e.seq))
+                .map(|(i, _)| i)
+                .expect("non-empty");
+            let e = self.entries.swap_remove(victim);
+            self.used -= e.instrs;
+            evicted.push(e);
+        }
+        evicted
     }
 
     /// Number of resident bodies.
@@ -107,6 +153,27 @@ impl CodeCache {
             "double insert of t{tenant}/m{method}"
         );
         let mut evicted = Vec::new();
+        // Quota pass first: the inserting tenant evicts its *own* LRU
+        // bodies until it fits its allowance, so one tenant's spill never
+        // costs another tenant code. A body bigger than the whole quota
+        // is admitted alone, mirroring the capacity rule below.
+        if self.quota > 0 {
+            while self.tenant_used(tenant) + instrs > self.quota
+                && self.entries.iter().any(|e| e.tenant == tenant)
+            {
+                let victim = self
+                    .entries
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, e)| e.tenant == tenant)
+                    .min_by_key(|(_, e)| (e.last_touch, e.seq))
+                    .map(|(i, _)| i)
+                    .expect("non-empty");
+                let e = self.entries.swap_remove(victim);
+                self.used -= e.instrs;
+                evicted.push(e);
+            }
+        }
         while self.used + instrs > self.capacity && !self.entries.is_empty() {
             let victim = self
                 .entries
@@ -187,6 +254,44 @@ mod tests {
         assert_eq!(c.used(), 0);
         assert!(c.is_empty());
         assert_eq!(c.capacity(), 100);
+    }
+
+    #[test]
+    fn quota_evicts_own_tenant_first() {
+        let mut c = CodeCache::with_quota(1_000, 30);
+        assert!(c.insert(0, 0, 20, 1).is_empty());
+        assert!(c.insert(1, 0, 20, 2).is_empty());
+        // Tenant 0's second body busts its 30-instr quota: its own m0 is
+        // the victim, tenant 1 is untouched, global capacity is far off.
+        let evicted = c.insert(0, 1, 20, 3);
+        assert_eq!(evicted.len(), 1);
+        assert_eq!((evicted[0].tenant, evicted[0].method), (0, 0));
+        assert_eq!(c.tenant_used(0), 20);
+        assert_eq!(c.tenant_used(1), 20);
+        assert_eq!(c.quota(), 30);
+    }
+
+    #[test]
+    fn body_over_quota_is_admitted_alone_for_its_tenant() {
+        let mut c = CodeCache::with_quota(1_000, 30);
+        c.insert(0, 0, 10, 1);
+        let evicted = c.insert(0, 1, 99, 2);
+        assert_eq!(evicted.len(), 1, "only the tenant's own body goes");
+        assert_eq!(c.tenant_used(0), 99, "over quota, by design");
+    }
+
+    #[test]
+    fn set_capacity_shrinks_by_lru_and_grows_free() {
+        let mut c = CodeCache::new(100);
+        c.insert(0, 0, 40, 10);
+        c.insert(1, 0, 40, 20);
+        let evicted = c.set_capacity(50);
+        assert_eq!(evicted.len(), 1);
+        assert_eq!(evicted[0].tenant, 0, "oldest touch goes first");
+        assert_eq!(c.used(), 40);
+        assert_eq!(c.capacity(), 50);
+        assert!(c.set_capacity(200).is_empty(), "growing evicts nothing");
+        assert_eq!(c.capacity(), 200);
     }
 
     #[test]

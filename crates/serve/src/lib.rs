@@ -13,6 +13,13 @@
 //!   capacity evictions force interpreter fallback and eventual
 //!   recompilation, and credit spf-adapt's guards so they never burn the
 //!   adaptive staleness budget.
+//! - [`faults`] — deterministic chaos: a seeded [`faults::FaultPlan`]
+//!   schedules GC storms, compile stalls, cache squeezes, and traffic
+//!   bursts at exact epoch boundaries, each paired with a degradation
+//!   mechanism (re-armable recompile budgets, compile deadlines with
+//!   backoff retry, per-tenant cache quotas, admission-control load
+//!   shedding), and [`faults::verify_recovery`] proves the fleet
+//!   recovered after the last window.
 //! - [`sim`] — the epoch-barrier fleet simulation: a work-stealing host
 //!   pool executes requests in parallel, but every shared-state mutation
 //!   happens at serial barriers in canonical order, so results are
@@ -26,11 +33,15 @@
 //! four prefetch modes and writes the artifact.
 
 pub mod cache;
+pub mod faults;
 pub mod report;
 pub mod sim;
 pub mod traffic;
 
 pub use cache::{CacheEntry, CodeCache};
-pub use report::{percentile, ModeReport, ServeSummary};
+pub use faults::{
+    inject_bursts, verify_recovery, ChaosConfig, FaultPlan, FaultWindow, RecoveryReport,
+};
+pub use report::{percentile, ChaosRow, ModeReport, ServeSummary};
 pub use sim::{run, ServeConfig, ServeOutcome};
 pub use traffic::{generate, Request, TrafficConfig};

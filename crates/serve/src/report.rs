@@ -43,6 +43,11 @@ pub struct ModeReport {
     pub deopts: u64,
     /// Adaptive recompilations across the fleet.
     pub recompiles: u64,
+    /// Methods still stranded in the interpreter (deopted, never
+    /// recompiled) at run end — the `deopt-summary` stranding diagnostic
+    /// made machine-checkable. Nonzero on a fault-free ADAPTIVE row is
+    /// the db-blow-up signature.
+    pub stranded: u64,
     /// Fleet checksum (must agree across modes).
     pub checksum: i64,
 }
@@ -60,9 +65,18 @@ pub fn percentile(sorted: &[u64], num: u64, den: u64) -> u64 {
 }
 
 impl ModeReport {
-    /// Condenses one simulation run into its report row.
+    /// Condenses one simulation run into its report row. Shed requests
+    /// never ran, so they are excluded from the latency distribution
+    /// (the shed count is reported in the chaos section instead).
     pub fn from_outcome(mode: &str, out: &ServeOutcome) -> ModeReport {
-        let mut sorted = out.latencies.clone();
+        let shed: std::collections::HashSet<u32> = out.shed.iter().copied().collect();
+        let mut sorted: Vec<u64> = out
+            .latencies
+            .iter()
+            .enumerate()
+            .filter(|(id, _)| !shed.contains(&(*id as u32)))
+            .map(|(_, &l)| l)
+            .collect();
         sorted.sort_unstable();
         let depth_sum: u64 = out.queue_depth_samples.iter().map(|&d| u64::from(d)).sum();
         ModeReport {
@@ -87,9 +101,40 @@ impl ModeReport {
             evictions: out.evictions,
             deopts: out.deopts,
             recompiles: out.recompiles,
+            stranded: out.stranded_final,
             checksum: out.checksum,
         }
     }
+}
+
+/// One prefetch mode's chaos-run statistics: the fault mix that fired,
+/// the degradation it triggered, and what [`crate::verify_recovery`]
+/// measured. Only present when the run injected faults.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ChaosRow {
+    /// Prefetch mode (display form).
+    pub mode: String,
+    /// Fault windows that activated.
+    pub faults: u64,
+    /// Requests shed by admission control.
+    pub shed: u64,
+    /// Compile jobs re-queued after missing their deadline.
+    pub retries: u64,
+    /// Adaptive guard re-arms across the fleet.
+    pub rearms: u64,
+    /// Methods still stranded at run end (must be 0 after recovery).
+    pub stranded_final: u64,
+    /// Requests served (non-shed) in the fault run.
+    pub completed: u64,
+    /// Served-request p99 in the fault run.
+    pub p99: u64,
+    /// Cycle at which the recovery invariants were checked.
+    pub recovery_at: u64,
+    /// Base requests arriving after the recovery point.
+    pub post_requests: u64,
+    /// Post-recovery p99 as milli-ratio of the fault-free run's (1000 =
+    /// parity; bounded by [`crate::faults::RECOVERY_P99_RATIO_MILLI`]).
+    pub post_p99_ratio_milli: u64,
 }
 
 /// The full `SERVE_summary.json`: the configuration that produced the
@@ -116,6 +161,9 @@ pub struct ServeSummary {
     pub cache_capacity_instrs: u64,
     /// One row per prefetch mode, in run order.
     pub modes: Vec<ModeReport>,
+    /// One chaos row per mode, in run order; empty for fault-free runs
+    /// (and then absent from the emitted file).
+    pub chaos: Vec<ChaosRow>,
 }
 
 /// Renders the summary as `SERVE_summary.json`.
@@ -143,7 +191,7 @@ pub fn emit(s: &ServeSummary) -> String {
             "    {{\"mode\": \"{}\", \"completed\": {}, \"p50\": {}, \"p99\": {}, \
              \"p999\": {}, \"max\": {}, \"mean\": {}, \"queue_depth_max\": {}, \
              \"queue_depth_mean_milli\": {}, \"compiles\": {}, \"evictions\": {}, \
-             \"deopts\": {}, \"recompiles\": {}, \"checksum\": {}}}{comma}",
+             \"deopts\": {}, \"recompiles\": {}, \"stranded\": {}, \"checksum\": {}}}{comma}",
             m.mode,
             m.completed,
             m.p50,
@@ -157,7 +205,35 @@ pub fn emit(s: &ServeSummary) -> String {
             m.evictions,
             m.deopts,
             m.recompiles,
+            m.stranded,
             m.checksum,
+        );
+    }
+    out.push_str("  ]");
+    if s.chaos.is_empty() {
+        out.push_str("\n}\n");
+        return out;
+    }
+    out.push_str(",\n  \"chaos\": [\n");
+    for (i, c) in s.chaos.iter().enumerate() {
+        let comma = if i + 1 == s.chaos.len() { "" } else { "," };
+        let _ = writeln!(
+            out,
+            "    {{\"mode\": \"{}\", \"faults\": {}, \"shed\": {}, \"retries\": {}, \
+             \"rearms\": {}, \"stranded_final\": {}, \"completed\": {}, \"p99\": {}, \
+             \"recovery_at\": {}, \"post_requests\": {}, \
+             \"post_p99_ratio_milli\": {}}}{comma}",
+            c.mode,
+            c.faults,
+            c.shed,
+            c.retries,
+            c.rearms,
+            c.stranded_final,
+            c.completed,
+            c.p99,
+            c.recovery_at,
+            c.post_requests,
+            c.post_p99_ratio_milli,
         );
     }
     out.push_str("  ]\n}\n");
@@ -192,10 +268,37 @@ pub fn parse(text: &str) -> Result<ServeSummary, String> {
         compile_workers: 0,
         cache_capacity_instrs: 0,
         modes: Vec::new(),
+        chaos: Vec::new(),
     };
     let mut seen_processor = false;
     for line in text.lines() {
         let line = line.trim();
+        // Chaos rows also carry a "mode" key, so test for their
+        // distinctive field before the mode-row branch.
+        if line.contains("\"post_p99_ratio_milli\"") {
+            let get = |key: &str| {
+                field(line, key).ok_or_else(|| format!("missing field {key} in line: {line}"))
+            };
+            let num = |key: &str| -> Result<u64, String> {
+                get(key)?
+                    .parse()
+                    .map_err(|e| format!("bad {key} in {line}: {e}"))
+            };
+            top.chaos.push(ChaosRow {
+                mode: get("mode")?.to_string(),
+                faults: num("faults")?,
+                shed: num("shed")?,
+                retries: num("retries")?,
+                rearms: num("rearms")?,
+                stranded_final: num("stranded_final")?,
+                completed: num("completed")?,
+                p99: num("p99")?,
+                recovery_at: num("recovery_at")?,
+                post_requests: num("post_requests")?,
+                post_p99_ratio_milli: num("post_p99_ratio_milli")?,
+            });
+            continue;
+        }
         if line.contains("\"mode\"") {
             let get = |key: &str| {
                 field(line, key).ok_or_else(|| format!("missing field {key} in line: {line}"))
@@ -219,6 +322,14 @@ pub fn parse(text: &str) -> Result<ServeSummary, String> {
                 evictions: num("evictions")?,
                 deopts: num("deopts")?,
                 recompiles: num("recompiles")?,
+                // Absent from pre-chaos files; default 0 so old
+                // artifacts still parse.
+                stranded: match field(line, "stranded") {
+                    Some(v) => v
+                        .parse()
+                        .map_err(|e| format!("bad stranded in {line}: {e}"))?,
+                    None => 0,
+                },
                 checksum: get("checksum")?
                     .parse()
                     .map_err(|e| format!("bad checksum in {line}: {e}"))?,
@@ -268,7 +379,7 @@ pub fn render(s: &ServeSummary) -> String {
     );
     let _ = writeln!(
         out,
-        "{:<12} {:>10} {:>12} {:>12} {:>12} {:>10} {:>7} {:>9} {:>8} {:>6} {:>7}",
+        "{:<12} {:>10} {:>12} {:>12} {:>12} {:>10} {:>7} {:>9} {:>8} {:>6} {:>7} {:>7}",
         "mode",
         "p50",
         "p99",
@@ -279,12 +390,13 @@ pub fn render(s: &ServeSummary) -> String {
         "compiles",
         "evicted",
         "deopt",
-        "recomp"
+        "recomp",
+        "strand"
     );
     for m in &s.modes {
         let _ = writeln!(
             out,
-            "{:<12} {:>10} {:>12} {:>12} {:>12} {:>10} {:>7} {:>9} {:>8} {:>6} {:>7}",
+            "{:<12} {:>10} {:>12} {:>12} {:>12} {:>10} {:>7} {:>9} {:>8} {:>6} {:>7} {:>7}",
             m.mode,
             m.p50,
             m.p99,
@@ -300,7 +412,46 @@ pub fn render(s: &ServeSummary) -> String {
             m.evictions,
             m.deopts,
             m.recompiles,
+            m.stranded,
         );
+    }
+    if !s.chaos.is_empty() {
+        let _ = writeln!(
+            out,
+            "\nchaos: fault injection active; recovery invariants checked per mode"
+        );
+        let _ = writeln!(
+            out,
+            "{:<12} {:>7} {:>6} {:>8} {:>7} {:>9} {:>12} {:>9} {:>15}",
+            "mode",
+            "faults",
+            "shed",
+            "retries",
+            "rearms",
+            "stranded",
+            "p99",
+            "post-req",
+            "post-p99-ratio"
+        );
+        for c in &s.chaos {
+            let _ = writeln!(
+                out,
+                "{:<12} {:>7} {:>6} {:>8} {:>7} {:>9} {:>12} {:>9} {:>15}",
+                c.mode,
+                c.faults,
+                c.shed,
+                c.retries,
+                c.rearms,
+                c.stranded_final,
+                c.p99,
+                c.post_requests,
+                format!(
+                    "{}.{:03}",
+                    c.post_p99_ratio_milli / 1000,
+                    c.post_p99_ratio_milli % 1000
+                ),
+            );
+        }
     }
     out
 }
@@ -334,6 +485,7 @@ mod tests {
                     evictions: 3,
                     deopts: 0,
                     recompiles: 0,
+                    stranded: 0,
                     checksum: -12345,
                 },
                 ModeReport {
@@ -350,10 +502,30 @@ mod tests {
                     evictions: 6,
                     deopts: 4,
                     recompiles: 4,
+                    stranded: 1,
                     checksum: -12345,
                 },
             ],
+            chaos: Vec::new(),
         }
+    }
+
+    fn sample_with_chaos() -> ServeSummary {
+        let mut s = sample();
+        s.chaos = vec![ChaosRow {
+            mode: "ADAPTIVE".to_string(),
+            faults: 6,
+            shed: 12,
+            retries: 3,
+            rearms: 5,
+            stranded_final: 0,
+            completed: 588,
+            p99: 9_500,
+            recovery_at: 4_000_000,
+            post_requests: 80,
+            post_p99_ratio_milli: 1_150,
+        }];
+        s
     }
 
     #[test]
@@ -373,6 +545,31 @@ mod tests {
         let text = emit(&s);
         let back = parse(&text).expect("round trip");
         assert_eq!(s, back);
+    }
+
+    #[test]
+    fn chaos_section_round_trips() {
+        let s = sample_with_chaos();
+        let text = emit(&s);
+        assert!(text.contains("\"chaos\": ["));
+        let back = parse(&text).expect("round trip");
+        assert_eq!(s, back);
+    }
+
+    #[test]
+    fn fault_free_summary_has_no_chaos_section() {
+        assert!(!emit(&sample()).contains("chaos"));
+    }
+
+    #[test]
+    fn pre_chaos_mode_rows_parse_with_stranded_defaulted() {
+        // A file written before the stranded field existed.
+        let text = emit(&sample())
+            .replace(", \"stranded\": 0", "")
+            .replace(", \"stranded\": 1", "");
+        let back = parse(&text).expect("backward compatible");
+        assert_eq!(back.modes[0].stranded, 0);
+        assert_eq!(back.modes[1].stranded, 0, "missing field defaults to 0");
     }
 
     #[test]

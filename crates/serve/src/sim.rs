@@ -19,15 +19,17 @@ use std::collections::VecDeque;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 
+use spf_adapt::AdaptConfig;
 use spf_core::PrefetchOptions;
 use spf_heap::shard_bytes;
 use spf_ir::MethodId;
 use spf_memsim::ProcessorConfig;
-use spf_trace::{NoopSink, TraceEvent};
+use spf_trace::{FaultKind, NoopSink, TraceEvent};
 use spf_vm::{Predecoded, Vm, VmConfig};
 use spf_workloads::{all, Size};
 
 use crate::cache::CodeCache;
+use crate::faults::{self, ChaosConfig, FaultPlan};
 use crate::traffic::{self, Request, TrafficConfig};
 
 /// Serving-simulation configuration. Everything that influences a
@@ -58,6 +60,10 @@ pub struct ServeConfig {
     pub heap_floor_bytes: usize,
     /// Workload problem size.
     pub size: Size,
+    /// Chaos mode: fault plan plus degradation knobs. `None` (the
+    /// default) takes the exact legacy code paths — fault-free runs stay
+    /// byte-identical to pre-chaos builds.
+    pub chaos: Option<ChaosConfig>,
 }
 
 impl Default for ServeConfig {
@@ -73,6 +79,7 @@ impl Default for ServeConfig {
             heap_shard_div: 32,
             heap_floor_bytes: 2 << 20,
             size: Size::Tiny,
+            chaos: None,
         }
     }
 }
@@ -102,6 +109,23 @@ pub struct ServeOutcome {
     pub checksum: i64,
     /// Number of epoch barriers executed.
     pub epochs: u64,
+    /// Request ids shed by admission control, in shed order (empty
+    /// without chaos).
+    pub shed: Vec<u32>,
+    /// Shed cycle of each entry in `shed` (parallel vector).
+    pub shed_times: Vec<u64>,
+    /// Compile jobs re-queued after missing their deadline.
+    pub retries: u64,
+    /// Adaptive guard re-arms across the fleet.
+    pub rearms: u64,
+    /// Fault windows that activated.
+    pub faults: u64,
+    /// Methods still stranded (deopted, uncompiled) at run end — the
+    /// `deopt-summary` stranding diagnostic, surfaced machine-checkably.
+    pub stranded_final: u64,
+    /// Fleet stranded-method count sampled once per epoch (chaos runs
+    /// only; empty otherwise).
+    pub stranded_samples: Vec<u64>,
 }
 
 /// One tenant: a VM plus its request queue and serving clock.
@@ -126,6 +150,11 @@ struct CompileJob {
     method: MethodId,
     cost: u64,
     enqueued_at: u64,
+    /// Deadline retries so far (chaos mode; always 0 otherwise).
+    attempts: u32,
+    /// Earliest cycle a worker may pick the job up (retry backoff;
+    /// always 0 without chaos, making assignment exactly FIFO).
+    not_before: u64,
 }
 
 /// Runs the serving simulation: `cfg.requests` requests over
@@ -173,9 +202,23 @@ pub fn run(
         })
         .collect();
 
+    let chaos = cfg.chaos;
     let mut tenants: Vec<Mutex<Tenant>> = (0..cfg.tenants)
         .map(|i| {
             let b = &blueprints[i % blueprints.len()];
+            // Chaos runs harden the adaptive policy: a deliberately tight
+            // recompile budget (so GC storms exhaust it and exercise the
+            // re-arm path) and retained deopt arguments (so the recovery
+            // sweep can recompile stranded methods). Fault-free runs keep
+            // the exact legacy configuration.
+            let adapt = match &chaos {
+                Some(c) => AdaptConfig {
+                    max_recompiles: c.adapt_max_recompiles,
+                    rearm_stable_epochs: c.rearm_stable_epochs,
+                    ..AdaptConfig::default()
+                },
+                None => AdaptConfig::default(),
+            };
             let vm = Vm::from_predecoded(
                 &b.pre,
                 VmConfig {
@@ -183,6 +226,8 @@ pub fn run(
                     prefetch: options.clone(),
                     compile_threshold: b.threshold,
                     async_compile: true,
+                    retain_deopt_args: chaos.is_some(),
+                    adapt,
                     ..VmConfig::default()
                 },
                 proc.clone(),
@@ -200,14 +245,30 @@ pub fn run(
         })
         .collect();
 
-    let requests = traffic::generate(&TrafficConfig {
+    let base_requests = traffic::generate(&TrafficConfig {
         tenants: cfg.tenants,
         requests: cfg.requests,
         mean_interarrival: cfg.mean_interarrival,
         seed: cfg.seed,
     });
+    // The fault plan spans the base stream's arrival horizon; burst
+    // requests take ids after every base id, so base latencies stay
+    // directly comparable with a fault-free run's.
+    let horizon = base_requests.last().map_or(cfg.slot_cycles, |r| r.arrival);
+    let plan = match &chaos {
+        Some(c) => faults::generate(c, cfg.tenants, horizon, cfg.slot_cycles),
+        None => FaultPlan::default(),
+    };
+    let base_len = base_requests.len() as u32;
+    let requests = match &chaos {
+        Some(c) => faults::inject_bursts(&base_requests, &plan, c),
+        None => base_requests,
+    };
 
-    let mut cache = CodeCache::new(cfg.cache_capacity_instrs);
+    let mut cache = CodeCache::with_quota(
+        cfg.cache_capacity_instrs,
+        chaos.map_or(0, |c| c.tenant_quota_instrs),
+    );
     let mut queue: VecDeque<CompileJob> = VecDeque::new();
     // `workers[w]` holds the job worker `w` finishes at `finish_at`.
     let mut workers: Vec<Option<(u64, CompileJob)>> = vec![None; cfg.compile_workers];
@@ -222,23 +283,89 @@ pub fn run(
         recompiles: 0,
         checksum: 0,
         epochs: 0,
+        shed: Vec::new(),
+        shed_times: Vec::new(),
+        retries: 0,
+        rearms: 0,
+        faults: 0,
+        stranded_final: 0,
+        stranded_samples: Vec::new(),
     };
 
     let mut now = 0u64;
     let mut next_arrival = 0usize; // first not-yet-absorbed request
     let mut completed = 0usize;
+    // Windows whose activation has been announced (pointer over the
+    // start-sorted schedule).
+    let mut next_fault = 0usize;
     while completed < requests.len() {
         out.epochs += 1;
 
+        // 0. Chaos: announce newly active fault windows, apply the cache
+        //    squeeze, and drive GC storms — all serially at the barrier.
+        if let Some(c) = &chaos {
+            while next_fault < plan.windows.len() && plan.windows[next_fault].start <= now {
+                let w = plan.windows[next_fault];
+                next_fault += 1;
+                out.faults += 1;
+                out.events.push(TraceEvent::FaultInjected {
+                    kind: w.kind,
+                    tenant: w.tenant,
+                    now,
+                    until: w.end,
+                });
+            }
+            let desired = if plan.is_active(FaultKind::CacheSqueeze, now) {
+                c.squeeze_capacity_instrs
+            } else {
+                cfg.cache_capacity_instrs
+            };
+            if cache.capacity() != desired {
+                for victim in cache.set_capacity(desired) {
+                    let vt = tenants[victim.tenant as usize].get_mut().unwrap();
+                    vt.vm.evict_compiled(MethodId::new(victim.method as usize));
+                    out.evictions += 1;
+                    out.events.push(TraceEvent::CodeCacheEvicted {
+                        tenant: victim.tenant,
+                        method: victim.method,
+                        instrs: victim.instrs as u32,
+                        now,
+                    });
+                }
+            }
+            if plan.is_active(FaultKind::GcStorm, now) {
+                for slot in tenants.iter_mut() {
+                    slot.get_mut().unwrap().vm.inject_heap_move();
+                }
+            }
+        }
+
         // 1. Absorb arrivals up to the barrier into per-tenant queues.
+        //    Chaos adds admission control: *surge* (burst-injected)
+        //    arrivals beyond the per-tenant depth limit are shed (typed
+        //    outcome, excluded from the latency distribution) instead of
+        //    queuing unboundedly. Contracted base traffic always queues,
+        //    so every shed happens inside a burst window and the
+        //    shed-decay recovery invariant holds by construction.
         while next_arrival < requests.len() && requests[next_arrival].arrival <= now {
             let r = requests[next_arrival];
-            tenants[r.tenant as usize]
-                .get_mut()
-                .unwrap()
-                .queue
-                .push_back(r);
             next_arrival += 1;
+            let t = tenants[r.tenant as usize].get_mut().unwrap();
+            if let Some(c) = &chaos {
+                if r.id >= base_len && t.queue.len() >= c.admission_max_depth as usize {
+                    completed += 1;
+                    out.shed.push(r.id);
+                    out.shed_times.push(now);
+                    out.events.push(TraceEvent::RequestShed {
+                        tenant: r.tenant,
+                        request: r.id,
+                        depth: t.queue.len() as u32,
+                        now,
+                    });
+                    continue;
+                }
+            }
+            t.queue.push_back(r);
         }
 
         // 2. Complete finished background compiles, in worker order:
@@ -276,10 +403,35 @@ pub fn run(
             }
         }
 
-        // 3. Hand waiting jobs to idle compiler workers (FIFO).
+        // 2b. Chaos: jobs that waited past the compile deadline re-enter
+        //     the queue with exponential backoff (and count as retries) —
+        //     the degradation pairing for compile-stall windows.
+        if let Some(c) = &chaos {
+            for job in queue.iter_mut() {
+                if job.not_before <= now && now - job.enqueued_at >= c.compile_deadline_cycles {
+                    job.attempts += 1;
+                    job.not_before = now + (c.retry_backoff_base << job.attempts.min(10));
+                    job.enqueued_at = now;
+                    out.retries += 1;
+                    out.events.push(TraceEvent::CompileRetried {
+                        tenant: job.tenant,
+                        method: job.method.index() as u32,
+                        attempt: job.attempts,
+                        now,
+                    });
+                }
+            }
+        }
+
+        // 3. Hand waiting jobs to idle compiler workers: the first
+        //    eligible job in queue order (exact FIFO without chaos, since
+        //    every `not_before` is then 0). A compile-stall window parks
+        //    the workers; in-flight compiles still finish.
+        let stalled = chaos.is_some() && plan.is_active(FaultKind::CompileStall, now);
         for slot in workers.iter_mut() {
-            if slot.is_none() {
-                if let Some(job) = queue.pop_front() {
+            if slot.is_none() && !stalled {
+                if let Some(i) = queue.iter().position(|j| j.not_before <= now) {
+                    let job = queue.remove(i).expect("index from position");
                     *slot = Some((now + job.cost, job));
                 }
             }
@@ -346,6 +498,8 @@ pub fn run(
                     method: mid,
                     cost,
                     enqueued_at: now,
+                    attempts: 0,
+                    not_before: 0,
                 });
                 let busy = workers.iter().filter(|w| w.is_some()).count();
                 out.events.push(TraceEvent::CompileEnqueued {
@@ -354,6 +508,17 @@ pub fn run(
                     depth: (queue.len() + busy) as u32,
                     now,
                 });
+            }
+            if chaos.is_some() {
+                for (method, generation) in t.vm.take_rearmed() {
+                    out.rearms += 1;
+                    out.events.push(TraceEvent::GuardRearmed {
+                        tenant: ti as u32,
+                        method,
+                        generation,
+                        now,
+                    });
+                }
             }
             // The tenant just ran: refresh its cache entries' recency and
             // drop entries whose body the VM deopted away on its own.
@@ -368,9 +533,46 @@ pub fn run(
             }
         }
 
-        // 7. Sample the compilation-queue depth.
+        // 6b. Chaos: the recovery sweep. Stranded methods (deopted,
+        //     uncompiled) are re-enqueued from their retained deopt
+        //     arguments — the degradation pairing for GC storms, and the
+        //     mechanism that drives the stranded count back to zero.
+        if chaos.is_some() {
+            for (ti, slot) in tenants.iter_mut().enumerate() {
+                let t = slot.get_mut().unwrap();
+                t.vm.reenqueue_stranded();
+                for mid in t.vm.take_compile_requests() {
+                    let cost = t.vm.compile_cost_estimate(mid);
+                    queue.push_back(CompileJob {
+                        tenant: ti as u32,
+                        method: mid,
+                        cost,
+                        enqueued_at: now,
+                        attempts: 0,
+                        not_before: 0,
+                    });
+                    let busy = workers.iter().filter(|w| w.is_some()).count();
+                    out.events.push(TraceEvent::CompileEnqueued {
+                        tenant: ti as u32,
+                        method: mid.index() as u32,
+                        depth: (queue.len() + busy) as u32,
+                        now,
+                    });
+                }
+            }
+        }
+
+        // 7. Sample the compilation-queue depth (and, under chaos, the
+        //    fleet stranded-method count).
         let busy = workers.iter().filter(|w| w.is_some()).count();
         out.queue_depth_samples.push((queue.len() + busy) as u32);
+        if chaos.is_some() {
+            let stranded: u64 = tenants
+                .iter_mut()
+                .map(|s| s.get_mut().unwrap().vm.stranded_count())
+                .sum();
+            out.stranded_samples.push(stranded);
+        }
 
         // 8. Advance to the next epoch barrier: at least one slot, or
         //    straight to the next interesting time (rounded up to a slot
@@ -391,6 +593,20 @@ pub fn run(
                 next_event = next_event.min(t.free_at);
             }
         }
+        if chaos.is_some() {
+            // Fault edges are events (activation must land on its exact
+            // barrier), and so are retry-backoff expiries — without them
+            // a queue of backed-off jobs plus an otherwise idle fleet
+            // would trip the stall assertion below.
+            if let Some(b) = plan.next_boundary_after(now) {
+                next_event = next_event.min(b);
+            }
+            for job in &queue {
+                if job.not_before > now {
+                    next_event = next_event.min(job.not_before);
+                }
+            }
+        }
         assert!(
             next_event != u64::MAX,
             "serve simulation stalled at cycle {now} with {} requests outstanding",
@@ -399,11 +615,113 @@ pub fn run(
         now = (now + cfg.slot_cycles).max(next_event.next_multiple_of(cfg.slot_cycles));
     }
 
+    // Chaos cooldown: the last request may complete mid-window, leaving
+    // methods stranded and compiles queued. Keep running barrier-only
+    // epochs (no requests left to dispatch) until the recovery sweep has
+    // drained every stranded method and the compile queue is empty —
+    // this is what makes `stranded_final == 0` a guarantee rather than a
+    // race against the traffic tail.
+    if chaos.is_some() {
+        let mut spins = 0u32;
+        loop {
+            for (ti, slot) in tenants.iter_mut().enumerate() {
+                let t = slot.get_mut().unwrap();
+                t.vm.reenqueue_stranded();
+                for mid in t.vm.take_compile_requests() {
+                    let cost = t.vm.compile_cost_estimate(mid);
+                    queue.push_back(CompileJob {
+                        tenant: ti as u32,
+                        method: mid,
+                        cost,
+                        enqueued_at: now,
+                        attempts: 0,
+                        not_before: 0,
+                    });
+                }
+            }
+            let stranded: u64 = tenants
+                .iter_mut()
+                .map(|s| s.get_mut().unwrap().vm.stranded_count())
+                .sum();
+            if stranded == 0 && queue.is_empty() && workers.iter().all(|w| w.is_none()) {
+                break;
+            }
+            spins += 1;
+            assert!(
+                spins < 10_000,
+                "chaos cooldown failed to converge: {stranded} stranded, {} queued",
+                queue.len()
+            );
+            out.epochs += 1;
+            out.stranded_samples.push(stranded);
+            // Complete finished compiles (same as step 2 of the main
+            // loop, cache accounting included).
+            for slot in workers.iter_mut() {
+                let Some((finish_at, job)) = *slot else {
+                    continue;
+                };
+                if finish_at > now {
+                    continue;
+                }
+                *slot = None;
+                let t = tenants[job.tenant as usize].get_mut().unwrap();
+                let Some(instrs) = t.vm.compile_pending(job.method) else {
+                    continue;
+                };
+                out.compiles += 1;
+                out.events.push(TraceEvent::CompileInstalled {
+                    tenant: job.tenant,
+                    method: job.method.index() as u32,
+                    wait: now - job.enqueued_at,
+                    now,
+                });
+                for victim in cache.insert(job.tenant, job.method.index() as u32, instrs, now) {
+                    let vt = tenants[victim.tenant as usize].get_mut().unwrap();
+                    vt.vm.evict_compiled(MethodId::new(victim.method as usize));
+                    out.evictions += 1;
+                    out.events.push(TraceEvent::CodeCacheEvicted {
+                        tenant: victim.tenant,
+                        method: victim.method,
+                        instrs: victim.instrs as u32,
+                        now,
+                    });
+                }
+            }
+            let stalled = plan.is_active(FaultKind::CompileStall, now);
+            for slot in workers.iter_mut() {
+                if slot.is_none() && !stalled {
+                    if let Some(i) = queue.iter().position(|j| j.not_before <= now) {
+                        let job = queue.remove(i).expect("index from position");
+                        *slot = Some((now + job.cost, job));
+                    }
+                }
+            }
+            let mut next_event = u64::MAX;
+            for w in workers.iter().flatten() {
+                next_event = next_event.min(w.0);
+            }
+            for job in &queue {
+                if job.not_before > now {
+                    next_event = next_event.min(job.not_before);
+                }
+            }
+            if let Some(b) = plan.next_boundary_after(now) {
+                next_event = next_event.min(b);
+            }
+            now = if next_event == u64::MAX {
+                now + cfg.slot_cycles
+            } else {
+                (now + cfg.slot_cycles).max(next_event.next_multiple_of(cfg.slot_cycles))
+            };
+        }
+    }
+
     for slot in tenants.iter_mut() {
         let t = slot.get_mut().unwrap();
         let s = t.vm.stats();
         out.deopts += s.deopts;
         out.recompiles += s.recompiles;
+        out.stranded_final += t.vm.stranded_count();
         out.checksum = out
             .checksum
             .wrapping_mul(31)
@@ -520,5 +838,156 @@ mod tests {
             "prefetching must never change results"
         );
         assert_eq!(off.latencies.len(), ada.latencies.len());
+    }
+
+    fn chaos_cfg() -> ServeConfig {
+        ServeConfig {
+            tenants: 8,
+            requests: 60,
+            mean_interarrival: 50_000,
+            chaos: Some(ChaosConfig::default()),
+            ..ServeConfig::default()
+        }
+    }
+
+    #[test]
+    fn chaos_runs_are_job_invariant() {
+        let cfg = chaos_cfg();
+        let opts = PrefetchOptions::adaptive();
+        let proc = ProcessorConfig::pentium4();
+        let a = run(&cfg, &opts, &proc, 1);
+        let b = run(&cfg, &opts, &proc, 4);
+        assert_eq!(a.latencies, b.latencies, "chaos latencies depend on --jobs");
+        assert_eq!(a.events, b.events, "chaos event stream depends on --jobs");
+        assert_eq!(a.shed, b.shed);
+        assert_eq!(a.shed_times, b.shed_times);
+        assert_eq!(a.stranded_samples, b.stranded_samples);
+        assert_eq!(
+            (a.retries, a.rearms, a.faults, a.stranded_final),
+            (b.retries, b.rearms, b.faults, b.stranded_final)
+        );
+        assert_eq!(a.checksum, b.checksum);
+    }
+
+    #[test]
+    fn chaos_injects_faults_and_recovers() {
+        let cfg = chaos_cfg();
+        let proc = ProcessorConfig::pentium4();
+        let fault = run(&cfg, &PrefetchOptions::adaptive(), &proc, 2);
+        assert!(fault.faults > 0, "the default mix must schedule windows");
+        assert!(
+            fault.rearms > 0,
+            "the default mix must exhaust and re-arm at least one guard"
+        );
+        assert_eq!(
+            fault.stranded_final, 0,
+            "recovery sweep must drain every stranded method"
+        );
+        assert_eq!(
+            fault.latencies.len() as u64,
+            u64::from(cfg.requests)
+                + fault
+                    .events
+                    .iter()
+                    .filter(|e| matches!(
+                        e,
+                        TraceEvent::FaultInjected {
+                            kind: FaultKind::TrafficBurst,
+                            ..
+                        }
+                    ))
+                    .count() as u64
+                    * u64::from(cfg.chaos.unwrap().burst_requests),
+            "every burst request is accounted for"
+        );
+        // The fault-free twin shares the traffic; recovery must hold.
+        let nofault = run(
+            &ServeConfig { chaos: None, ..cfg },
+            &PrefetchOptions::adaptive(),
+            &proc,
+            2,
+        );
+        assert_eq!(fault.checksum, nofault.checksum, "faults changed results");
+        let chaos = cfg.chaos.unwrap();
+        // Recompute the base traffic and plan exactly as `run` does.
+        let base = traffic::generate(&TrafficConfig {
+            tenants: cfg.tenants,
+            requests: cfg.requests,
+            mean_interarrival: cfg.mean_interarrival,
+            seed: cfg.seed,
+        });
+        let horizon = base.last().map_or(cfg.slot_cycles, |r| r.arrival);
+        let plan = faults::generate(&chaos, cfg.tenants, horizon, cfg.slot_cycles);
+        let report =
+            faults::verify_recovery(&plan, &chaos, cfg.slot_cycles, &base, &fault, &nofault)
+                .expect("recovery invariants must hold");
+        assert_eq!(report.stranded_final, 0);
+    }
+
+    #[test]
+    fn chaos_exercises_degradation_paths() {
+        // A harsher mix so every degradation mechanism demonstrably
+        // fires: more storms and bursts, tight admission, long stalls.
+        let chaos = ChaosConfig {
+            gc_storms: 3,
+            traffic_bursts: 3,
+            burst_requests: 40,
+            admission_max_depth: 2,
+            compile_stalls: 2,
+            compile_deadline_cycles: 200_000,
+            ..ChaosConfig::default()
+        };
+        let cfg = ServeConfig {
+            tenants: 6,
+            requests: 60,
+            mean_interarrival: 30_000,
+            chaos: Some(chaos),
+            ..ServeConfig::default()
+        };
+        let out = run(
+            &cfg,
+            &PrefetchOptions::adaptive(),
+            &ProcessorConfig::pentium4(),
+            2,
+        );
+        assert!(!out.shed.is_empty(), "bursts past depth 2 must shed");
+        assert_eq!(out.shed.len(), out.shed_times.len());
+        assert!(out.deopts > 0, "GC storms must stale guards");
+        assert_eq!(out.stranded_final, 0, "and recovery must still drain");
+        assert!(
+            out.stranded_samples.iter().any(|&s| s > 0),
+            "storms should strand methods transiently"
+        );
+        assert_eq!(
+            out.stranded_samples.last().copied().unwrap_or(1),
+            0,
+            "the final sample shows the drained fleet"
+        );
+    }
+
+    #[test]
+    fn fault_free_chaos_config_changes_nothing_but_policy() {
+        // chaos = None and chaos with zero windows differ in adapt policy
+        // and admission bookkeeping, but a zero-window plan must inject
+        // nothing and shed nothing under calm traffic.
+        let chaos = ChaosConfig {
+            gc_storms: 0,
+            compile_stalls: 0,
+            cache_squeezes: 0,
+            traffic_bursts: 0,
+            ..ChaosConfig::default()
+        };
+        let cfg = ServeConfig {
+            chaos: Some(chaos),
+            ..tiny_cfg()
+        };
+        let out = run(
+            &cfg,
+            &PrefetchOptions::inter_intra(),
+            &ProcessorConfig::pentium4(),
+            2,
+        );
+        assert_eq!(out.faults, 0);
+        assert_eq!(out.latencies.len(), 40, "no bursts injected");
     }
 }

@@ -187,7 +187,11 @@ pub fn attribute(events: &[TraceEvent]) -> Attribution {
             | TraceEvent::CompileEnqueued { .. }
             | TraceEvent::CompileInstalled { .. }
             | TraceEvent::CodeCacheEvicted { .. }
-            | TraceEvent::RequestCompleted { .. } => {}
+            | TraceEvent::RequestCompleted { .. }
+            | TraceEvent::FaultInjected { .. }
+            | TraceEvent::RequestShed { .. }
+            | TraceEvent::CompileRetried { .. }
+            | TraceEvent::GuardRearmed { .. } => {}
         }
     }
     let mut per_site: Vec<(SiteId, SiteEffect)> = sites.into_iter().collect();

@@ -89,6 +89,36 @@ impl std::fmt::Display for StaleReason {
     }
 }
 
+/// The kind of a fault injected by the serving chaos harness
+/// (`spf-serve`'s `faults` module). Lives here — like [`StaleReason`] —
+/// so trace events can carry it without the trace crate depending on the
+/// serving crate.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
+pub enum FaultKind {
+    /// Forced heap moves bump every tenant's GC epoch each epoch of the
+    /// window, driving adaptive-guard deopt waves.
+    GcStorm,
+    /// The background compile queue stops assigning jobs to workers.
+    CompileStall,
+    /// The shared code cache shrinks to a squeeze capacity for the
+    /// window, evicting until the fleet fits.
+    CacheSqueeze,
+    /// One tenant receives a burst of extra requests on top of the base
+    /// open-loop stream.
+    TrafficBurst,
+}
+
+impl std::fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            FaultKind::GcStorm => "gc-storm",
+            FaultKind::CompileStall => "compile-stall",
+            FaultKind::CacheSqueeze => "cache-squeeze",
+            FaultKind::TrafficBurst => "traffic-burst",
+        })
+    }
+}
+
 /// The code shape of a planned prefetch (mirrors the report's
 /// `GeneratedKind` without depending on `spf-core`).
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -373,6 +403,56 @@ pub enum TraceEvent {
         now: u64,
     },
 
+    // ---- chaos / degradation ------------------------------------------
+    /// The chaos harness activated a scheduled fault window.
+    FaultInjected {
+        /// What was injected.
+        kind: FaultKind,
+        /// Target tenant, or `u32::MAX` for a fleet-wide fault.
+        tenant: u32,
+        /// Simulated serving-clock cycle the window opened.
+        now: u64,
+        /// Simulated serving-clock cycle the window closes.
+        until: u64,
+    },
+    /// Admission control shed an arriving request because the target
+    /// tenant's queue was at its depth limit — a typed outcome instead of
+    /// unbounded queueing latency.
+    RequestShed {
+        /// Tenant (VM instance) index in the serving fleet.
+        tenant: u32,
+        /// Request sequence number in arrival order.
+        request: u32,
+        /// The tenant's queue depth at the shed decision.
+        depth: u32,
+        /// Simulated serving-clock cycle.
+        now: u64,
+    },
+    /// A queued background compile exceeded its waiting deadline and was
+    /// re-enqueued with exponential backoff instead of running stale.
+    CompileRetried {
+        /// Tenant (VM instance) index in the serving fleet.
+        tenant: u32,
+        /// Method index in the tenant's program.
+        method: u32,
+        /// Retry attempt number (1 for the first retry).
+        attempt: u32,
+        /// Simulated serving-clock cycle.
+        now: u64,
+    },
+    /// A guard whose recompile budget was exhausted regained one credit
+    /// after the configured number of stable GC epochs and re-armed.
+    GuardRearmed {
+        /// Tenant index, or `u32::MAX` when emitted by a standalone VM.
+        tenant: u32,
+        /// Method index in the program.
+        method: u32,
+        /// The guard's generation at re-arm time.
+        generation: u32,
+        /// Simulated serving-clock cycle (barrier time in serve runs).
+        now: u64,
+    },
+
     /// The garbage collector ran a sliding compaction.
     GcSlide {
         /// Simulated cycle.
@@ -413,6 +493,10 @@ impl TraceEvent {
             TraceEvent::CompileInstalled { .. } => "compile_installed",
             TraceEvent::CodeCacheEvicted { .. } => "code_cache_evicted",
             TraceEvent::RequestCompleted { .. } => "request_completed",
+            TraceEvent::FaultInjected { .. } => "fault_injected",
+            TraceEvent::RequestShed { .. } => "request_shed",
+            TraceEvent::CompileRetried { .. } => "compile_retried",
+            TraceEvent::GuardRearmed { .. } => "guard_rearmed",
             TraceEvent::GcSlide { .. } => "gc_slide",
         }
     }
@@ -438,6 +522,10 @@ impl TraceEvent {
             | TraceEvent::CompileInstalled { now, .. }
             | TraceEvent::CodeCacheEvicted { now, .. }
             | TraceEvent::RequestCompleted { now, .. }
+            | TraceEvent::FaultInjected { now, .. }
+            | TraceEvent::RequestShed { now, .. }
+            | TraceEvent::CompileRetried { now, .. }
+            | TraceEvent::GuardRearmed { now, .. }
             | TraceEvent::GcSlide { now, .. } => Some(now),
             _ => None,
         }

@@ -238,6 +238,52 @@ fn fields(out: &mut String, ev: &TraceEvent) {
                  \"now\": {now}"
             );
         }
+        TraceEvent::FaultInjected {
+            kind,
+            tenant,
+            now,
+            until,
+        } => {
+            let _ = write!(
+                out,
+                "\"kind\": \"{kind}\", \"tenant\": {tenant}, \"now\": {now}, \"until\": {until}"
+            );
+        }
+        TraceEvent::RequestShed {
+            tenant,
+            request,
+            depth,
+            now,
+        } => {
+            let _ = write!(
+                out,
+                "\"tenant\": {tenant}, \"request\": {request}, \"depth\": {depth}, \"now\": {now}"
+            );
+        }
+        TraceEvent::CompileRetried {
+            tenant,
+            method,
+            attempt,
+            now,
+        } => {
+            let _ = write!(
+                out,
+                "\"tenant\": {tenant}, \"method\": {method}, \"attempt\": {attempt}, \
+                 \"now\": {now}"
+            );
+        }
+        TraceEvent::GuardRearmed {
+            tenant,
+            method,
+            generation,
+            now,
+        } => {
+            let _ = write!(
+                out,
+                "\"tenant\": {tenant}, \"method\": {method}, \"generation\": {generation}, \
+                 \"now\": {now}"
+            );
+        }
         TraceEvent::GcSlide {
             now,
             live_bytes,

@@ -47,7 +47,9 @@ pub mod site;
 pub mod summary;
 
 pub use attribution::{attribute, Attribution, SiteEffect};
-pub use event::{MissLevel, PlannedShape, SiteId, StaleReason, SuppressReason, TraceEvent};
+pub use event::{
+    FaultKind, MissLevel, PlannedShape, SiteId, StaleReason, SuppressReason, TraceEvent,
+};
 pub use sink::{NoopSink, RingSink, TraceSink};
 pub use site::{SiteInfo, SiteKind, SiteTable};
 pub use summary::SummaryRow;

@@ -66,6 +66,13 @@ pub struct VmConfig {
     /// queue — calls [`crate::Vm::compile_pending`]. Off by default: the
     /// matrix's synchronous JIT-at-threshold behavior is untouched.
     pub async_compile: bool,
+    /// Retain the arguments of the invocation that triggered each deopt,
+    /// so [`crate::Vm::reenqueue_stranded`] can recompile stranded
+    /// methods without waiting for re-invocation. Off by default:
+    /// retained values are GC roots, and extending liveness would perturb
+    /// collection behavior (epochs, moved objects) of every baseline run.
+    /// Only the chaos-mode serving harness switches this on.
+    pub retain_deopt_args: bool,
 }
 
 impl Default for VmConfig {
@@ -82,6 +89,7 @@ impl Default for VmConfig {
             adapt: AdaptConfig::default(),
             fuse_superinstructions: true,
             async_compile: false,
+            retain_deopt_args: false,
         }
     }
 }

@@ -119,6 +119,13 @@ pub struct Vm<S: TraceSink = NoopSink> {
     /// Async-compile mode: requests enqueued since the last
     /// [`Vm::take_compile_requests`] drain.
     fresh_requests: Vec<MethodId>,
+    /// Arguments of the invocation that triggered each method's last
+    /// deopt, retained only under [`VmConfig::retain_deopt_args`] so a
+    /// serving-layer recovery sweep can recompile stranded methods
+    /// without waiting for them to re-cross the compile threshold. Like
+    /// `pending`, entries may hold heap references: [`Vm::gc`] roots and
+    /// forwards them. Insertion-ordered for determinism.
+    deopt_args: Vec<(MethodId, Vec<Value>)>,
 }
 
 impl<S: TraceSink> std::fmt::Debug for Vm<S> {
@@ -216,6 +223,7 @@ impl<S: TraceSink> Vm<S> {
             argv_scratch: Vec::new(),
             pending: Vec::new(),
             fresh_requests: Vec::new(),
+            deopt_args: Vec::new(),
             config,
         }
     }
@@ -458,7 +466,7 @@ impl<S: TraceSink> Vm<S> {
                     // slow path does; a deopt bumps the revision, so the
                     // way dies and resolution falls through (with the
                     // stale check already consumed).
-                    if !self.adaptive || !self.maybe_deopt(mid) {
+                    if !self.adaptive || !self.maybe_deopt(mid, args) {
                         self.pic_hits += 1;
                         self.activate(target, mid, args, ret_dst);
                         return Ok(());
@@ -492,14 +500,16 @@ impl<S: TraceSink> Vm<S> {
         deopt_checked: bool,
     ) -> Result<(), VmError> {
         if !deopt_checked && self.adaptive && self.compiled[mid.index()].is_some() {
-            self.maybe_deopt(mid);
+            self.maybe_deopt(mid, args);
         }
         if self.compiled[mid.index()].is_none()
             && self.invocations[mid.index()] >= self.config.compile_threshold
             && (!self.adaptive
-                || self
-                    .adapt
-                    .may_recompile(mid.index(), u64::from(self.invocations[mid.index()])))
+                || self.adapt.may_recompile(
+                    mid.index(),
+                    u64::from(self.invocations[mid.index()]),
+                    self.heap.gc_epoch(),
+                ))
         {
             if self.config.async_compile {
                 // Production-JVM style: request a background compile and
@@ -522,9 +532,25 @@ impl<S: TraceSink> Vm<S> {
 
     /// Runs the adaptive staleness check for `mid` (which must have a
     /// compiled body installed) and deopts if a guard went stale; returns
-    /// whether a deopt happened.
-    fn maybe_deopt(&mut self, mid: MethodId) -> bool {
-        let Some(reason) = self.adapt.check_stale(mid.index(), self.heap.gc_epoch()) else {
+    /// whether a deopt happened. `args` are the current invocation's
+    /// arguments, retained under [`VmConfig::retain_deopt_args`] so the
+    /// serving recovery sweep can recompile the method later.
+    fn maybe_deopt(&mut self, mid: MethodId, args: &[Value]) -> bool {
+        let verdict = self.adapt.check_stale(mid.index(), self.heap.gc_epoch());
+        if S::ENABLED {
+            // `check_stale` may have re-armed a disarmed guard even when
+            // it returned no verdict; surface that to the trace.
+            let now = self.stats.cycles;
+            for (method, generation) in self.adapt.take_rearmed() {
+                self.mem.sink_mut().emit(TraceEvent::GuardRearmed {
+                    tenant: u32::MAX,
+                    method,
+                    generation,
+                    now,
+                });
+            }
+        }
+        let Some(reason) = verdict else {
             return false;
         };
         let generation = self.adapt.guard(mid.index()).map_or(0, |g| g.generation);
@@ -547,8 +573,23 @@ impl<S: TraceSink> Vm<S> {
         self.compiled[mid.index()] = None;
         self.code_rev[mid.index()] = self.code_rev[mid.index()].wrapping_add(1);
         self.stats.deopts += 1;
-        self.adapt
-            .on_deopt(mid.index(), u64::from(self.invocations[mid.index()]));
+        self.adapt.on_deopt(
+            mid.index(),
+            u64::from(self.invocations[mid.index()]),
+            self.heap.gc_epoch(),
+        );
+        if self.config.retain_deopt_args {
+            // Keep this invocation's arguments so a recovery sweep can
+            // recompile the method without re-crossing the threshold.
+            // Retaining values extends their GC liveness, so this is
+            // strictly opt-in (chaos/serving runs only).
+            if let Some(entry) = self.deopt_args.iter_mut().find(|(m, _)| *m == mid) {
+                entry.1.clear();
+                entry.1.extend_from_slice(args);
+            } else {
+                self.deopt_args.push((mid, args.to_vec()));
+            }
+        }
         true
     }
 
@@ -609,6 +650,55 @@ impl<S: TraceSink> Vm<S> {
     /// Number of methods awaiting background compilation.
     pub fn pending_compile_count(&self) -> usize {
         self.pending.len()
+    }
+
+    /// Forces a GC-epoch advance without moving any object: models an
+    /// external compaction decision (e.g. a fleet-wide GC storm injected
+    /// by the chaos harness). Every epoch-stamped guard becomes stale on
+    /// its next staleness check, exactly as a real sliding compaction
+    /// would make it.
+    pub fn inject_heap_move(&mut self) {
+        self.heap.force_move_epoch();
+    }
+
+    /// Re-enqueues background compiles for every stranded method (deopted
+    /// and still uncompiled) whose deopt-time arguments were retained
+    /// under [`VmConfig::retain_deopt_args`]. This *is* the serving
+    /// layer's recovery path, so it deliberately bypasses the adaptive
+    /// backoff — the stranded set must drain even when invocation counts
+    /// never re-cross the threshold. Requests surface through the normal
+    /// [`Vm::take_compile_requests`] drain; returns the methods enqueued
+    /// (ascending, deterministic).
+    pub fn reenqueue_stranded(&mut self) -> Vec<MethodId> {
+        let mut out = Vec::new();
+        for idx in self.adapt.stranded_methods() {
+            let mid = MethodId::new(idx);
+            if self.compiled[idx].is_some() || self.pending.iter().any(|(m, _)| *m == mid) {
+                continue;
+            }
+            let Some((_, args)) = self.deopt_args.iter().find(|(m, _)| *m == mid) else {
+                continue;
+            };
+            self.pending.push((mid, args.clone()));
+            self.fresh_requests.push(mid);
+            out.push(mid);
+        }
+        out
+    }
+
+    /// Number of methods currently stranded in the interpreter: deopted
+    /// by a stale guard and not recompiled since.
+    pub fn stranded_count(&self) -> u64 {
+        self.adapt.stranded()
+    }
+
+    /// Drains `(method, generation)` guard re-arms since the last drain
+    /// (see [`spf_adapt::AdaptState::take_rearmed`]). Traced VMs emit
+    /// these as [`TraceEvent::GuardRearmed`] instead; this accessor is
+    /// for untraced serving tenants that report re-arms at epoch
+    /// barriers.
+    pub fn take_rearmed(&mut self) -> Vec<(u32, u32)> {
+        self.adapt.take_rearmed()
     }
 
     /// Deterministic cycle cost of compiling `mid` on a background
@@ -850,6 +940,10 @@ impl<S: TraceSink> Vm<S> {
         self.compiled[mid.index()] = Some(installed);
         self.code_rev[mid.index()] = self.code_rev[mid.index()].wrapping_add(1);
         self.reports.push(outcome.report);
+        // A successful compile ends the method's stranding; the retained
+        // deopt arguments are no longer needed (and must stop extending
+        // GC liveness).
+        self.deopt_args.retain(|(m, _)| *m != mid);
         instrs
     }
 
@@ -882,6 +976,18 @@ impl<S: TraceSink> Vm<S> {
                 }
             }
         }
+        // Retained deopt arguments (recovery-sweep inputs) likewise stay
+        // live until the method is recompiled. Empty unless
+        // `retain_deopt_args` is set, so legacy GC liveness is untouched.
+        for (_, args) in &self.deopt_args {
+            for v in args {
+                if let Value::Ref(a) = v {
+                    if *a != NULL && self.heap.contains(*a) {
+                        roots.push(*a);
+                    }
+                }
+            }
+        }
         let (cstats, fwd) = self.heap.collect(&roots);
         if S::ENABLED {
             self.mem.sink_mut().emit(TraceEvent::GcSlide {
@@ -904,6 +1010,13 @@ impl<S: TraceSink> Vm<S> {
             }
         }
         for (_, args) in &mut self.pending {
+            for v in args.iter_mut() {
+                if let Value::Ref(a) = v {
+                    *a = fwd.forward(*a);
+                }
+            }
+        }
+        for (_, args) in &mut self.deopt_args {
             for v in args.iter_mut() {
                 if let Value::Ref(a) = v {
                     *a = fwd.forward(*a);

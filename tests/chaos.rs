@@ -1,0 +1,130 @@
+//! Chaos-harness invariants, end to end through the public facade: the
+//! seeded fault plan must be deterministic, a fault run must degrade
+//! gracefully (typed sheds, compile retries, guard re-arms) and then
+//! provably recover, and the `chaos` summary section must round-trip
+//! while staying absent from fault-free reports.
+
+use stride_prefetch::memsim::ProcessorConfig;
+use stride_prefetch::prefetch::PrefetchOptions;
+use stride_prefetch::serve::{
+    faults, report, sim, traffic, ChaosConfig, ChaosRow, ModeReport, ServeConfig, TrafficConfig,
+};
+use stride_prefetch::trace::TraceEvent;
+
+fn chaos_fleet() -> ServeConfig {
+    ServeConfig {
+        tenants: 8,
+        requests: 60,
+        mean_interarrival: 50_000,
+        chaos: Some(ChaosConfig::default()),
+        ..ServeConfig::default()
+    }
+}
+
+#[test]
+fn fault_runs_degrade_then_recover() {
+    let cfg = chaos_fleet();
+    let proc = ProcessorConfig::pentium4();
+    let opts = PrefetchOptions::adaptive();
+    let fault = sim::run(&cfg, &opts, &proc, 3);
+    let nofault = sim::run(&ServeConfig { chaos: None, ..cfg }, &opts, &proc, 3);
+
+    // Degradation fired and left a typed trail.
+    assert!(fault.faults > 0, "no fault window activated");
+    assert!(fault.rearms > 0, "no exhausted guard was re-armed");
+    assert!(
+        fault
+            .events
+            .iter()
+            .any(|e| matches!(e, TraceEvent::FaultInjected { .. })),
+        "fault activations must be trace events"
+    );
+    assert_eq!(
+        fault.checksum, nofault.checksum,
+        "chaos may change timing, never results"
+    );
+
+    // Recovery is proven against the fault-free twin.
+    let base = traffic::generate(&TrafficConfig {
+        tenants: cfg.tenants,
+        requests: cfg.requests,
+        mean_interarrival: cfg.mean_interarrival,
+        seed: cfg.seed,
+    });
+    let horizon = base.last().map_or(cfg.slot_cycles, |r| r.arrival);
+    let chaos = cfg.chaos.unwrap();
+    let plan = faults::generate(&chaos, cfg.tenants, horizon, cfg.slot_cycles);
+    let recovery = faults::verify_recovery(&plan, &chaos, cfg.slot_cycles, &base, &fault, &nofault)
+        .expect("recovery invariants");
+    assert_eq!(recovery.stranded_final, 0);
+
+    // The plan itself round-trips through its JSON artifact.
+    let reparsed = faults::parse(&faults::emit(&plan)).expect("plan round trip");
+    assert_eq!(reparsed, plan);
+}
+
+#[test]
+fn chaos_summary_section_round_trips_and_stays_optional() {
+    let cfg = chaos_fleet();
+    let proc = ProcessorConfig::pentium4();
+    let opts = PrefetchOptions::inter_intra();
+    let fault = sim::run(&cfg, &opts, &proc, 2);
+
+    let row = ModeReport::from_outcome(&opts.mode.to_string(), &fault);
+    assert!(
+        fault.latencies.len() >= cfg.requests as usize,
+        "bursts only add requests"
+    );
+    assert_eq!(
+        row.completed,
+        (fault.latencies.len() - fault.shed.len()) as u64,
+        "shed requests are excluded from the latency population"
+    );
+
+    let mut summary = report::parse(&report::emit(&sample_summary(vec![row.clone()], vec![])))
+        .expect("fault-free round trip");
+    assert!(
+        summary.chaos.is_empty(),
+        "fault-free summaries carry no chaos section"
+    );
+    assert!(
+        !report::emit(&summary).contains("\"chaos\""),
+        "fault-free files must stay byte-compatible with pre-chaos readers"
+    );
+
+    let chaos_row = ChaosRow {
+        mode: opts.mode.to_string(),
+        faults: fault.faults,
+        shed: fault.shed.len() as u64,
+        retries: fault.retries,
+        rearms: fault.rearms,
+        stranded_final: fault.stranded_final,
+        completed: row.completed,
+        p99: row.p99,
+        recovery_at: 1_234_567,
+        post_requests: 9,
+        post_p99_ratio_milli: 1_005,
+    };
+    summary.chaos = vec![chaos_row];
+    let parsed = report::parse(&report::emit(&summary)).expect("chaos round trip");
+    assert_eq!(parsed, summary);
+    assert!(report::render(&summary).contains("recovery invariants checked per mode"));
+}
+
+fn sample_summary(
+    modes: Vec<ModeReport>,
+    chaos: Vec<ChaosRow>,
+) -> stride_prefetch::serve::ServeSummary {
+    stride_prefetch::serve::ServeSummary {
+        processor: "pentium4".to_string(),
+        tenants: 8,
+        requests: 60,
+        mean_interarrival: 50_000,
+        seed: 1,
+        slot_cycles: 100_000,
+        compile_workers: 2,
+        cache_capacity_instrs: 8_192,
+        modes,
+        chaos,
+    }
+}

@@ -75,6 +75,7 @@ fn fleet_checksum_is_mode_invariant_and_summary_round_trips() {
         compile_workers: cfg.compile_workers as u64,
         cache_capacity_instrs: cfg.cache_capacity_instrs,
         modes: rows,
+        chaos: vec![],
     };
     let parsed = report::parse(&report::emit(&summary)).expect("round trip");
     assert_eq!(parsed, summary);
