@@ -1,61 +1,72 @@
 //! Adaptive reprofiling: deciding *when* the strides learned by one-shot
-//! object inspection stop being trustworthy, and *whether* recompiling is
-//! still worth it.
+//! object inspection stop being trustworthy, and *whether* re-inspecting
+//! is still worth it.
 //!
 //! The paper compiles prefetches from a single inspection at JIT time and
 //! trusts them forever. That is sound only while the heap keeps the shape
 //! the inspector saw: a sliding compaction can change inter-object
 //! distances, and later program phases can walk the same loop over
 //! differently laid-out data. This crate holds the policy half of the
-//! adaptive loop; the mechanism (deopt, re-inspection, recompile) lives in
-//! `spf-vm`:
+//! adaptive loop; the mechanism (per-loop site patching, re-inspection,
+//! repatching) lives in `spf-vm`.
 //!
-//! * every compiled method with prefetch sites gets a [`MethodGuard`]
-//!   stamping the GC epoch at compile time and counting per-site
-//!   useless-prefetch issues (issues that found their line already
-//!   resident);
-//! * [`AdaptState::check_stale`] turns those observations into a
-//!   [`StaleReason`] verdict: the epoch moved, or the useless ratio
-//!   crossed the threshold after enough samples;
-//! * a bounded recompile budget and exponential backoff
-//!   ([`AdaptState::on_deopt`] / [`AdaptState::may_recompile`]) prevent a
-//!   method whose heap churns every run from oscillating between deopt
-//!   and recompile forever — once the budget is spent the guards disarm
-//!   and the last compiled body is kept.
+//! Staleness belongs to *loops*, not methods: the strides the inspector
+//! learned are per-loop facts, so when they rot only that loop's prefetch
+//! sites need to go. Every compiled method gets a [`MethodGuard`] holding
+//! one [`LoopGuard`] per loop that owns prefetch sites (plus a
+//! straight-line pseudo-loop, [`NO_LOOP`]); each loop guard stamps the GC
+//! epoch at compile time and counts useless-prefetch issues attributed to
+//! the sites it owns:
+//!
+//! * [`AdaptState::check_stale`] turns those observations into the *set*
+//!   of stale loops, each with a [`StaleReason`]: the epoch moved, or the
+//!   loop's useless ratio crossed the threshold after enough samples. The
+//!   VM then patches only those loops' sites to no-ops — the rest of the
+//!   compiled body keeps executing;
+//! * a bounded repatch budget and exponential backoff *per loop*
+//!   ([`AdaptState::on_patch`] / [`AdaptState::loops_due`]) prevent a
+//!   loop whose heap churns every run from oscillating between
+//!   invalidation and repatch forever — once a loop's budget is spent its
+//!   guard disarms and the loop keeps running unprefetched.
 //!
 //! The state machine is deterministic and lives entirely on simulated
 //! counters (GC epochs, invocation counts, issue counts), so adaptive
 //! runs are bit-identical across hosts and across traced/untraced
 //! execution.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 use spf_trace::StaleReason;
+
+/// The pseudo-loop header owning prefetch sites that sit outside every
+/// loop (straight-line code).
+pub const NO_LOOP: u32 = u32::MAX;
 
 /// Tuning knobs of the adaptive-reprofiling policy.
 #[derive(Clone, Copy, Debug)]
 pub struct AdaptConfig {
-    /// A method is stale when `useless / issued` exceeds this fraction
+    /// A loop is stale when `useless / issued` exceeds this fraction
     /// (with at least [`AdaptConfig::min_samples`] issues observed).
     pub useless_threshold: f64,
     /// Minimum prefetch issues before the useless ratio is trusted.
     pub min_samples: u64,
-    /// Total adaptive recompilations allowed per method; once spent, the
-    /// guards disarm and the current body is kept.
+    /// Total adaptive repatches allowed per loop; once spent, that loop's
+    /// guard disarms and its current (patched or live) state is kept.
     pub max_recompiles: u32,
-    /// Invocations to wait before the first recompile after a deopt;
-    /// doubles with every recompile already used (exponential backoff).
+    /// Invocations to wait before the first repatch after an
+    /// invalidation; doubles with every repatch already used (exponential
+    /// backoff).
     pub backoff_base: u64,
-    /// Re-arm horizon in GC epochs; 0 disables re-arming (the legacy
-    /// behavior — disarmed guards stay disarmed forever). When non-zero:
+    /// Re-arm horizon in GC epochs; 0 disables re-arming (disarmed loop
+    /// guards stay disarmed forever). When non-zero:
     ///
-    /// * a guard whose budget disarmed it regains **one** recompile
+    /// * a loop guard whose budget disarmed it regains **one** repatch
     ///   credit once the GC epoch has advanced this far past the disarm
     ///   point, and resumes staleness checking;
-    /// * a deopted method's invocation backoff is waived once the epoch
-    ///   has advanced this far past the deopt — the heap churned on, so
-    ///   the verdict that triggered the backoff is moot and the method
-    ///   may tier back out of the interpreter.
+    /// * an invalidated loop's invocation backoff is waived once the
+    ///   epoch has advanced this far past the invalidation — the heap
+    ///   churned on, so the verdict that triggered the backoff is moot
+    ///   and the loop may be repatched early.
     pub rearm_stable_epochs: u64,
 }
 
@@ -72,76 +83,105 @@ impl Default for AdaptConfig {
 }
 
 /// Per-site issue counters, keyed by the site's (block, index) position —
-/// stable across recompilations, unlike trace-level site IDs.
+/// stable across repatches of *other* loops (patching a loop only
+/// rewrites that loop's own blocks).
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
 pub struct SiteCounters {
-    /// Prefetches issued from this site in the current generation.
+    /// Prefetches issued from this site in the current loop generation.
     pub issued: u64,
     /// Issues that found the line already resident (useless work).
     pub useless: u64,
 }
 
-/// Guard state of one compiled method.
-#[derive(Clone, Debug)]
-pub struct MethodGuard {
-    /// GC epoch stamped when the current generation was compiled.
-    pub epoch_at_compile: u64,
-    /// Compilation generation: 0 for the first JIT, +1 per adaptive
-    /// recompile.
+/// The prefetch sites one loop owns in a freshly installed body: the
+/// loop's header block index ([`NO_LOOP`] for straight-line sites) and
+/// the (block, index) positions of its `Prefetch`/`SpecLoad`
+/// instructions.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct LoopSites {
+    /// Innermost-loop header block index, or [`NO_LOOP`].
+    pub header: u32,
+    /// Site positions owned by this loop.
+    pub sites: Vec<(u32, u32)>,
+}
+
+/// One stale-loop verdict from [`AdaptState::check_stale`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct StaleLoop {
+    /// The stale loop's header block index (or [`NO_LOOP`]).
+    pub header: u32,
+    /// The loop generation that went stale.
     pub generation: u32,
-    /// Per-site counters for the current generation.
+    /// Why.
+    pub reason: StaleReason,
+}
+
+/// Guard state of one loop of a compiled method.
+#[derive(Clone, Debug)]
+pub struct LoopGuard {
+    /// GC epoch stamped when this loop's sites were last (re)emitted.
+    pub epoch_at_compile: u64,
+    /// Loop generation: 0 when the method body it was born in was
+    /// installed, +1 per repatch (and per full-body recompile, which
+    /// re-inspects this loop too).
+    pub generation: u32,
+    /// Per-site counters for the current loop generation.
     pub sites: HashMap<(u32, u32), SiteCounters>,
-    /// Aggregate issues across the method's sites (current generation).
+    /// Aggregate issues across the loop's sites (current generation).
     pub issued: u64,
     /// Aggregate useless issues (current generation).
     pub useless: u64,
-    /// Invocation count before which a recompile is not allowed (backoff).
+    /// Invocation count before which a repatch is not allowed (backoff).
     resume_at: u64,
-    /// Whether the method currently has an installed compiled body.
-    compiled: bool,
-    /// Whether the guards disarmed after spending the recompile budget.
+    /// Whether the loop is invalidated (sites patched to no-ops) and not
+    /// yet repatched — "stranded" if this persists.
+    stale: bool,
+    /// GC epoch at the last invalidation (backoff re-arm clock).
+    stale_epoch: u64,
+    /// Whether the guard disarmed after spending the repatch budget.
     disabled: bool,
-    /// Recompiles *credited back* because a code-cache eviction forced
-    /// them: incremented when the eviction-forced recompile actually
-    /// lands, so a body evicted and never recompiled earns nothing.
-    cache_evictions: u32,
-    /// Set by [`AdaptState::on_evicted`], consumed by the next
-    /// [`AdaptState::on_compile`]: the recompile in flight was forced by
-    /// a cache eviction and must not burn the staleness budget.
-    pending_evict: bool,
-    /// Whether the method was deopted and has not been recompiled since
-    /// (it is running interpreted — "stranded" if this persists).
-    deopted: bool,
-    /// GC epoch at the last deopt (backoff re-arm clock).
-    deopt_epoch: u64,
-    /// GC epoch at which the budget disarmed the guards (re-arm clock).
+    /// GC epoch at which the budget disarmed the guard (re-arm clock).
     disabled_at_epoch: u64,
+    /// Repatches *credited back* because a code-cache eviction forced a
+    /// full-body recompile: granted when that recompile lands, so an
+    /// eviction never followed by a recompile earns nothing.
+    cache_evictions: u32,
     /// Budget credits granted by re-arming (one per re-arm cycle).
     rearm_credits: u32,
 }
 
-impl MethodGuard {
+impl LoopGuard {
+    fn fresh(epoch: u64) -> Self {
+        LoopGuard {
+            epoch_at_compile: epoch,
+            generation: 0,
+            sites: HashMap::new(),
+            issued: 0,
+            useless: 0,
+            resume_at: 0,
+            stale: false,
+            stale_epoch: 0,
+            disabled: false,
+            disabled_at_epoch: 0,
+            cache_evictions: 0,
+            rearm_credits: 0,
+        }
+    }
+
+    /// Whether the loop is invalidated and not yet repatched.
+    pub fn is_stale(&self) -> bool {
+        self.stale
+    }
+
+    /// Whether the guard is currently disarmed (budget spent and not yet
+    /// re-armed).
+    pub fn is_disabled(&self) -> bool {
+        self.disabled
+    }
+
     /// Eviction-forced recompiles credited back against the budget.
     pub fn cache_evictions(&self) -> u32 {
         self.cache_evictions
-    }
-
-    /// Whether the method currently has an installed compiled body.
-    pub fn is_compiled(&self) -> bool {
-        self.compiled
-    }
-
-    /// Whether the method was deopted and not recompiled since. Together
-    /// with `!is_compiled()` this is the "stranded in the interpreter"
-    /// condition the serving recovery sweep targets.
-    pub fn is_deopted(&self) -> bool {
-        self.deopted
-    }
-
-    /// Whether the guards are currently disarmed (budget spent and not
-    /// yet re-armed).
-    pub fn is_disabled(&self) -> bool {
-        self.disabled
     }
 
     /// Budget credits granted by re-arming so far.
@@ -160,6 +200,60 @@ impl MethodGuard {
     }
 }
 
+/// Guard state of one compiled method: an install counter plus one
+/// [`LoopGuard`] per site-owning loop.
+#[derive(Clone, Debug)]
+pub struct MethodGuard {
+    /// Install generation of the method body: 0 for the first JIT, +1
+    /// per installed body (full recompile, per-loop patch, or repatch).
+    /// Keys the compiled-generation history `spf-lint` walks.
+    pub generation: u32,
+    /// Per-loop guards, keyed by loop header ([`NO_LOOP`] last). Ordered
+    /// so every walk over loops is deterministic.
+    loops: BTreeMap<u32, LoopGuard>,
+    /// Site position → owning loop header, for issue attribution.
+    site_owner: HashMap<(u32, u32), u32>,
+    /// Whether the method currently has an installed compiled body.
+    compiled: bool,
+    /// Set by [`AdaptState::on_evicted`], consumed by the next
+    /// [`AdaptState::on_compile`]: the recompile in flight was forced by
+    /// a cache eviction and must not burn the loops' staleness budgets.
+    pending_evict: bool,
+}
+
+impl MethodGuard {
+    /// Whether the method currently has an installed compiled body.
+    pub fn is_compiled(&self) -> bool {
+        self.compiled
+    }
+
+    /// The guard of the loop with header block `header`, if that loop
+    /// owns prefetch sites.
+    pub fn loop_guard(&self, header: u32) -> Option<&LoopGuard> {
+        self.loops.get(&header)
+    }
+
+    /// All loop guards, ascending by header ([`NO_LOOP`] last).
+    pub fn loops(&self) -> impl Iterator<Item = (u32, &LoopGuard)> {
+        self.loops.iter().map(|(&h, g)| (h, g))
+    }
+
+    /// Headers of the loops currently invalidated and not repatched,
+    /// ascending.
+    pub fn stale_loops(&self) -> Vec<u32> {
+        self.loops
+            .iter()
+            .filter(|(_, l)| l.stale)
+            .map(|(&h, _)| h)
+            .collect()
+    }
+
+    /// The owning loop header of a site position, if registered.
+    pub fn site_owner(&self, site: (u32, u32)) -> Option<u32> {
+        self.site_owner.get(&site).copied()
+    }
+}
+
 /// Guard state for every method of one VM, plus the adaptive counters the
 /// experiment report exposes.
 #[derive(Clone, Debug, Default)]
@@ -168,7 +262,7 @@ pub struct AdaptState {
     guards: HashMap<usize, MethodGuard>,
     /// Total re-arms granted (budget credits from stable epochs).
     rearms: u64,
-    /// `(method, generation)` of re-arms since the last
+    /// `(method, loop generation)` of re-arms since the last
     /// [`AdaptState::take_rearmed`] drain, in re-arm order.
     rearmed_log: Vec<(u32, u32)>,
 }
@@ -194,49 +288,78 @@ impl AdaptState {
         self.guards.get(&method)
     }
 
-    /// Records a (re)compilation of `method` at GC epoch `epoch` and
-    /// returns the new generation number: 0 for the first compile, +1 per
-    /// recompile. Resets the generation's counters.
-    pub fn on_compile(&mut self, method: usize, epoch: u64) -> u32 {
+    /// Records a full (re)compilation of `method` at GC epoch `epoch`
+    /// with the given per-loop site ownership, and returns the new
+    /// install generation: 0 for the first compile, +1 per install.
+    ///
+    /// Loop guards carry their budget state (generation, eviction and
+    /// re-arm credits, disarm state) across full recompiles keyed by
+    /// header — a full recompile re-inspects every loop, so each
+    /// surviving loop's generation bumps — while counters and epoch
+    /// stamps reset. When the recompile was forced by a cache eviction
+    /// ([`AdaptState::on_evicted`]), each carried loop is credited one
+    /// eviction repatch so capacity churn does not burn staleness budget.
+    pub fn on_compile(&mut self, method: usize, epoch: u64, loops: &[LoopSites]) -> u32 {
         match self.guards.get_mut(&method) {
             // A guard already exists, so a compile already happened: this
-            // install is an adaptive recompile.
+            // install is a recompile of the whole body.
             Some(g) => {
                 g.generation += 1;
-                g.epoch_at_compile = epoch;
-                g.sites.clear();
-                g.issued = 0;
-                g.useless = 0;
                 g.compiled = true;
-                g.deopted = false;
-                if g.pending_evict {
-                    // This recompile was forced by a cache eviction, not by
-                    // an adaptive staleness verdict: credit it back now —
-                    // and only now, so an eviction whose forced recompile
-                    // never happens cannot refund the budget.
-                    g.pending_evict = false;
-                    g.cache_evictions += 1;
+                let credit = g.pending_evict;
+                g.pending_evict = false;
+                let old = std::mem::take(&mut g.loops);
+                g.site_owner.clear();
+                for ls in loops {
+                    let mut lg = match old.get(&ls.header) {
+                        Some(prev) => {
+                            let mut l = prev.clone();
+                            l.generation += 1;
+                            l.epoch_at_compile = epoch;
+                            l.sites.clear();
+                            l.issued = 0;
+                            l.useless = 0;
+                            l.stale = false;
+                            l.resume_at = 0;
+                            if credit {
+                                // This recompile was forced by a cache
+                                // eviction, not by a staleness verdict:
+                                // credit it back now — and only now, so an
+                                // eviction whose forced recompile never
+                                // happens cannot refund the budget.
+                                l.cache_evictions += 1;
+                            }
+                            l
+                        }
+                        None => LoopGuard::fresh(epoch),
+                    };
+                    for &s in &ls.sites {
+                        lg.sites.insert(s, SiteCounters::default());
+                        g.site_owner.insert(s, ls.header);
+                    }
+                    g.loops.insert(ls.header, lg);
                 }
                 g.generation
             }
             None => {
+                let mut loops_map = BTreeMap::new();
+                let mut site_owner = HashMap::new();
+                for ls in loops {
+                    let mut lg = LoopGuard::fresh(epoch);
+                    for &s in &ls.sites {
+                        lg.sites.insert(s, SiteCounters::default());
+                        site_owner.insert(s, ls.header);
+                    }
+                    loops_map.insert(ls.header, lg);
+                }
                 self.guards.insert(
                     method,
                     MethodGuard {
-                        epoch_at_compile: epoch,
                         generation: 0,
-                        sites: HashMap::new(),
-                        issued: 0,
-                        useless: 0,
-                        resume_at: 0,
+                        loops: loops_map,
+                        site_owner,
                         compiled: true,
-                        disabled: false,
-                        cache_evictions: 0,
                         pending_evict: false,
-                        deopted: false,
-                        deopt_epoch: 0,
-                        disabled_at_epoch: 0,
-                        rearm_credits: 0,
                     },
                 );
                 0
@@ -245,71 +368,196 @@ impl AdaptState {
     }
 
     /// Records one prefetch issue from `method` at site `(block, index)`;
-    /// `useless` means the line was already resident when issued.
+    /// `useless` means the line was already resident when issued. The
+    /// issue is attributed to the loop that owns the site.
     pub fn record_issue(&mut self, method: usize, site: (u32, u32), useless: bool) {
         if let Some(g) = self.guards.get_mut(&method) {
-            let s = g.sites.entry(site).or_default();
-            s.issued += 1;
-            s.useless += u64::from(useless);
-            g.issued += 1;
-            g.useless += u64::from(useless);
+            let Some(&owner) = g.site_owner.get(&site) else {
+                return;
+            };
+            if let Some(l) = g.loops.get_mut(&owner) {
+                let s = l.sites.entry(site).or_default();
+                s.issued += 1;
+                s.useless += u64::from(useless);
+                l.issued += 1;
+                l.useless += u64::from(useless);
+            }
         }
     }
 
-    /// Evaluates the guards of a compiled `method` against the current GC
-    /// `epoch`. Returns the staleness verdict, or `None` when the method
-    /// is fresh, unguarded, or its guards disarmed. Spending the last
-    /// budget slot disarms the guards instead of reporting stale.
-    pub fn check_stale(&mut self, method: usize, epoch: u64) -> Option<StaleReason> {
+    /// Evaluates the loop guards of a compiled `method` against the
+    /// current GC `epoch`. Returns the stale loops (ascending by header),
+    /// each with its verdict; empty when the method is fresh, unguarded,
+    /// uncompiled, or every triggered guard disarmed. Spending a loop's
+    /// last budget slot disarms that loop's guard instead of reporting it
+    /// stale.
+    pub fn check_stale(&mut self, method: usize, epoch: u64) -> Vec<StaleLoop> {
         let cfg = self.cfg;
-        let g = self.guards.get_mut(&method)?;
-        if !g.compiled {
-            return None;
-        }
-        if g.disabled {
-            if cfg.rearm_stable_epochs == 0
-                || epoch.saturating_sub(g.disabled_at_epoch) < cfg.rearm_stable_epochs
-            {
-                return None;
-            }
-            // Re-arm: the heap has churned through the stability horizon
-            // since the disarm, so the budget verdict is stale too. Grant
-            // exactly one credit and resume watching; if the next verdict
-            // exhausts the budget again the guard disarms at the *new*
-            // epoch, which damps oscillation to one recompile per horizon.
-            g.disabled = false;
-            g.rearm_credits += 1;
-            self.rearms += 1;
-            self.rearmed_log.push((method as u32, g.generation));
-        }
-        let reason = if g.epoch_at_compile != epoch {
-            StaleReason::GcMoved
-        } else if g.issued >= cfg.min_samples && g.useless_ratio() > cfg.useless_threshold {
-            StaleReason::UselessRatio
-        } else {
-            return None;
+        let Some(g) = self.guards.get_mut(&method) else {
+            return Vec::new();
         };
-        let credits = u64::from(g.cache_evictions) + u64::from(g.rearm_credits);
-        if u64::from(g.generation).saturating_sub(credits) >= u64::from(cfg.max_recompiles) {
-            // Budget spent: keep the current body and stop watching.
-            // Recompiles forced by code-cache eviction are credited back —
-            // they were capacity decisions, not adaptive staleness ones —
-            // and so is each re-arm credit.
-            g.disabled = true;
-            g.disabled_at_epoch = epoch;
-            return None;
+        if !g.compiled {
+            return Vec::new();
         }
-        Some(reason)
+        let mut out = Vec::new();
+        for (&header, l) in &mut g.loops {
+            if l.stale {
+                continue; // already invalidated, waiting for repatch
+            }
+            if l.disabled {
+                if cfg.rearm_stable_epochs == 0
+                    || epoch.saturating_sub(l.disabled_at_epoch) < cfg.rearm_stable_epochs
+                {
+                    continue;
+                }
+                // Re-arm: the heap has churned through the stability
+                // horizon since the disarm, so the budget verdict is stale
+                // too. Grant exactly one credit and resume watching; if
+                // the next verdict exhausts the budget again the guard
+                // disarms at the *new* epoch, which damps oscillation to
+                // one repatch per horizon.
+                l.disabled = false;
+                l.rearm_credits += 1;
+                self.rearms += 1;
+                self.rearmed_log.push((method as u32, l.generation));
+            }
+            let reason = if l.epoch_at_compile != epoch {
+                StaleReason::GcMoved
+            } else if l.issued >= cfg.min_samples && l.useless_ratio() > cfg.useless_threshold {
+                StaleReason::UselessRatio
+            } else {
+                continue;
+            };
+            let credits = u64::from(l.cache_evictions) + u64::from(l.rearm_credits);
+            if u64::from(l.generation).saturating_sub(credits) >= u64::from(cfg.max_recompiles) {
+                // Budget spent: keep the loop as it stands and stop
+                // watching it. Repatches forced by code-cache eviction
+                // are credited back — they were capacity decisions, not
+                // adaptive staleness ones — and so is each re-arm credit.
+                l.disabled = true;
+                l.disabled_at_epoch = epoch;
+                continue;
+            }
+            out.push(StaleLoop {
+                header,
+                generation: l.generation,
+                reason,
+            });
+        }
+        out
+    }
+
+    /// Records that the VM patched the given stale loops' prefetch sites
+    /// to no-ops at `invocations` total invocations and GC `epoch`: each
+    /// loop's repatch is gated behind an exponentially growing backoff
+    /// window (waivable by epoch-based re-arm, see
+    /// [`AdaptConfig::rearm_stable_epochs`]), its counters reset, and its
+    /// sites drop out of issue attribution. Returns the method's new
+    /// install generation (the patched body is a new installed body).
+    pub fn on_patch(
+        &mut self,
+        method: usize,
+        headers: &[u32],
+        invocations: u64,
+        epoch: u64,
+    ) -> u32 {
+        let cfg = self.cfg;
+        let Some(g) = self.guards.get_mut(&method) else {
+            return 0;
+        };
+        for &header in headers {
+            if let Some(l) = g.loops.get_mut(&header) {
+                l.stale = true;
+                l.stale_epoch = epoch;
+                let backoff = cfg.backoff_base << l.generation.min(32);
+                l.resume_at = invocations + backoff;
+                l.sites.clear();
+                l.issued = 0;
+                l.useless = 0;
+            }
+            g.site_owner.retain(|_, &mut h| h != header);
+        }
+        g.generation += 1;
+        g.generation
+    }
+
+    /// The invalidated loops of `method` whose backoff has been served at
+    /// `invocations` total invocations (or waived by
+    /// [`AdaptConfig::rearm_stable_epochs`] stable GC epochs since the
+    /// invalidation), ascending by header. Empty for unguarded or
+    /// uncompiled methods.
+    pub fn loops_due(&self, method: usize, invocations: u64, epoch: u64) -> Vec<u32> {
+        let Some(g) = self.guards.get(&method) else {
+            return Vec::new();
+        };
+        if !g.compiled {
+            return Vec::new();
+        }
+        g.loops
+            .iter()
+            .filter(|(_, l)| {
+                l.stale
+                    && (invocations >= l.resume_at
+                        || (self.cfg.rearm_stable_epochs > 0
+                            && epoch.saturating_sub(l.stale_epoch) >= self.cfg.rearm_stable_epochs))
+            })
+            .map(|(&h, _)| h)
+            .collect()
+    }
+
+    /// Records a repatch of one loop of `method` at GC `epoch`: the
+    /// loop's new sites are registered for attribution and its generation
+    /// bumps (burning one budget slot). Returns the loop's new
+    /// generation. The caller bumps the method install generation once
+    /// per repatched *body* via [`AdaptState::on_repatch_install`].
+    pub fn on_repatch(
+        &mut self,
+        method: usize,
+        header: u32,
+        epoch: u64,
+        sites: &[(u32, u32)],
+    ) -> u32 {
+        let Some(g) = self.guards.get_mut(&method) else {
+            return 0;
+        };
+        let Some(l) = g.loops.get_mut(&header) else {
+            return 0;
+        };
+        l.generation += 1;
+        l.epoch_at_compile = epoch;
+        l.stale = false;
+        l.resume_at = 0;
+        l.sites.clear();
+        l.issued = 0;
+        l.useless = 0;
+        for &s in sites {
+            l.sites.insert(s, SiteCounters::default());
+            g.site_owner.insert(s, header);
+        }
+        l.generation
+    }
+
+    /// Bumps and returns the method install generation after a repatch
+    /// installed a new body (one bump per body, however many loops it
+    /// repatched).
+    pub fn on_repatch_install(&mut self, method: usize) -> u32 {
+        match self.guards.get_mut(&method) {
+            Some(g) => {
+                g.generation += 1;
+                g.generation
+            }
+            None => 0,
+        }
     }
 
     /// Records that the shared code cache evicted `method`'s compiled
     /// body. The method falls back to the interpreter (no body to guard)
-    /// and the *next* recompile is marked eviction-forced: the credit is
-    /// granted by [`AdaptState::on_compile`] when that recompile actually
-    /// lands, never on the eviction itself — repeated evictions of the
-    /// same method across generations each refund at most the one
-    /// recompile they forced. No backoff applies — the body was healthy,
-    /// just cold.
+    /// and the *next* full recompile is marked eviction-forced: each
+    /// loop's credit is granted by [`AdaptState::on_compile`] when that
+    /// recompile actually lands, never on the eviction itself — repeated
+    /// evictions of the same method across generations each refund at
+    /// most the one recompile they forced. No backoff applies — the body
+    /// was healthy, just cold.
     pub fn on_evicted(&mut self, method: usize) {
         if let Some(g) = self.guards.get_mut(&method) {
             if g.compiled {
@@ -319,64 +567,38 @@ impl AdaptState {
         }
     }
 
-    /// Records a deoptimization of `method` at `invocations` total
-    /// invocations and GC `epoch`: the next recompile is gated behind an
-    /// exponentially growing backoff window (waivable by epoch-based
-    /// re-arm, see [`AdaptConfig::rearm_stable_epochs`]).
-    pub fn on_deopt(&mut self, method: usize, invocations: u64, epoch: u64) {
-        let cfg = self.cfg;
-        if let Some(g) = self.guards.get_mut(&method) {
-            g.compiled = false;
-            g.deopted = true;
-            g.deopt_epoch = epoch;
-            let backoff = cfg.backoff_base << g.generation.min(32);
-            g.resume_at = invocations + backoff;
-        }
-    }
-
-    /// Whether `method` may be (re)compiled at `invocations` total
-    /// invocations and GC `epoch`. Always true for methods never
-    /// deoptimized. The invocation backoff is waived once the epoch has
-    /// advanced [`AdaptConfig::rearm_stable_epochs`] past the deopt.
-    pub fn may_recompile(&self, method: usize, invocations: u64, epoch: u64) -> bool {
-        self.guards.get(&method).is_none_or(|g| {
-            invocations >= g.resume_at
-                || (self.cfg.rearm_stable_epochs > 0
-                    && g.deopted
-                    && epoch.saturating_sub(g.deopt_epoch) >= self.cfg.rearm_stable_epochs)
-        })
-    }
-
     /// Total budget re-arms granted so far.
     pub fn rearms(&self) -> u64 {
         self.rearms
     }
 
-    /// Drains the `(method, generation)` re-arm log accumulated since the
-    /// last drain, in re-arm order.
+    /// Drains the `(method, loop generation)` re-arm log accumulated
+    /// since the last drain, in re-arm order.
     pub fn take_rearmed(&mut self) -> Vec<(u32, u32)> {
         std::mem::take(&mut self.rearmed_log)
     }
 
-    /// Number of methods currently stranded in the interpreter: deopted
-    /// by an adaptive staleness verdict and not recompiled since. This is
-    /// the same condition `spf-trace-report deopt-summary` counts from
-    /// the event stream (deopts > recompiles), read directly off the
-    /// guard state.
+    /// Number of loops currently stranded: invalidated by an adaptive
+    /// staleness verdict and not repatched since (their prefetch sites
+    /// are patched out). This is the same condition `spf-trace-report
+    /// deopt-summary` counts from the event stream (invalidations >
+    /// repatches per loop), read directly off the guard state.
     pub fn stranded(&self) -> u64 {
         self.guards
             .values()
-            .filter(|g| g.deopted && !g.compiled)
+            .flat_map(|g| g.loops.values())
+            .filter(|l| l.stale)
             .count() as u64
     }
 
-    /// The stranded methods' ids, ascending (sorted so callers that walk
-    /// them stay deterministic — the backing map has no stable order).
+    /// The ids of methods with at least one stranded loop, ascending
+    /// (sorted so callers that walk them stay deterministic — the backing
+    /// map has no stable order).
     pub fn stranded_methods(&self) -> Vec<usize> {
         let mut ids: Vec<usize> = self
             .guards
             .iter()
-            .filter(|(_, g)| g.deopted && !g.compiled)
+            .filter(|(_, g)| g.loops.values().any(|l| l.stale))
             .map(|(&m, _)| m)
             .collect();
         ids.sort_unstable();
@@ -388,42 +610,85 @@ impl AdaptState {
 mod tests {
     use super::*;
 
+    fn one_loop(header: u32) -> Vec<LoopSites> {
+        vec![LoopSites {
+            header,
+            sites: vec![(header, 1)],
+        }]
+    }
+
+    fn two_loops() -> Vec<LoopSites> {
+        vec![
+            LoopSites {
+                header: 2,
+                sites: vec![(2, 1), (3, 0)],
+            },
+            LoopSites {
+                header: 6,
+                sites: vec![(6, 2)],
+            },
+        ]
+    }
+
+    fn headers(stale: &[StaleLoop]) -> Vec<u32> {
+        stale.iter().map(|s| s.header).collect()
+    }
+
     #[test]
     fn first_compile_is_generation_zero() {
         let mut a = AdaptState::new(AdaptConfig::default());
-        assert_eq!(a.on_compile(3, 0), 0);
-        assert_eq!(a.guard(3).unwrap().generation, 0);
+        assert_eq!(a.on_compile(3, 0, &one_loop(4)), 0);
+        let g = a.guard(3).unwrap();
+        assert_eq!(g.generation, 0);
+        assert_eq!(g.loop_guard(4).unwrap().generation, 0);
+        assert_eq!(g.site_owner((4, 1)), Some(4));
     }
 
     #[test]
-    fn epoch_bump_marks_stale_once() {
+    fn epoch_bump_marks_every_sited_loop_stale_once() {
         let mut a = AdaptState::new(AdaptConfig::default());
-        a.on_compile(0, 0);
-        assert_eq!(a.check_stale(0, 0), None, "same epoch is fresh");
-        assert_eq!(a.check_stale(0, 1), Some(StaleReason::GcMoved));
-        a.on_deopt(0, 10, 1);
-        assert_eq!(a.check_stale(0, 1), None, "deopted method has no body");
-        assert_eq!(a.on_compile(0, 1), 1, "recompile bumps the generation");
-        assert_eq!(a.check_stale(0, 1), None, "fresh at the new epoch");
+        a.on_compile(0, 0, &two_loops());
+        assert!(a.check_stale(0, 0).is_empty(), "same epoch is fresh");
+        let stale = a.check_stale(0, 1);
+        assert_eq!(headers(&stale), vec![2, 6]);
+        assert!(stale.iter().all(|s| s.reason == StaleReason::GcMoved));
+        a.on_patch(0, &[2, 6], 10, 1);
+        assert!(
+            a.check_stale(0, 1).is_empty(),
+            "invalidated loops are not re-reported"
+        );
+        assert_eq!(a.on_repatch(0, 2, 1, &[(2, 1)]), 1);
+        a.on_repatch_install(0);
+        assert!(
+            a.check_stale(0, 1).is_empty(),
+            "repatched loop is fresh at the new epoch; loop 6 still stale"
+        );
+        assert_eq!(a.guard(0).unwrap().stale_loops(), vec![6]);
     }
 
     #[test]
-    fn useless_ratio_needs_samples_and_threshold() {
+    fn useless_ratio_is_attributed_to_the_owning_loop() {
         let cfg = AdaptConfig {
             useless_threshold: 0.5,
             min_samples: 4,
             ..AdaptConfig::default()
         };
         let mut a = AdaptState::new(cfg);
-        a.on_compile(0, 0);
+        a.on_compile(0, 0, &two_loops());
+        // All useless traffic lands on loop 2's site (2, 1).
         a.record_issue(0, (2, 1), true);
         a.record_issue(0, (2, 1), true);
-        assert_eq!(a.check_stale(0, 0), None, "below min_samples");
+        assert!(a.check_stale(0, 0).is_empty(), "below min_samples");
         a.record_issue(0, (2, 1), true);
         a.record_issue(0, (2, 1), false);
-        assert_eq!(a.check_stale(0, 0), Some(StaleReason::UselessRatio));
-        assert_eq!(a.guard(0).unwrap().sites[&(2, 1)].issued, 4);
-        assert_eq!(a.guard(0).unwrap().sites[&(2, 1)].useless, 3);
+        // Loop 6 stays healthy even while loop 2 crosses the threshold.
+        a.record_issue(0, (6, 2), false);
+        let stale = a.check_stale(0, 0);
+        assert_eq!(headers(&stale), vec![2]);
+        assert_eq!(stale[0].reason, StaleReason::UselessRatio);
+        let l = a.guard(0).unwrap().loop_guard(2).unwrap();
+        assert_eq!(l.sites[&(2, 1)].issued, 4);
+        assert_eq!(l.sites[&(2, 1)].useless, 3);
     }
 
     #[test]
@@ -434,32 +699,45 @@ mod tests {
             ..AdaptConfig::default()
         };
         let mut a = AdaptState::new(cfg);
-        a.on_compile(0, 0);
-        a.record_issue(0, (0, 0), true);
-        a.record_issue(0, (0, 0), false);
-        assert_eq!(a.check_stale(0, 0), None, "threshold is strict");
+        a.on_compile(0, 0, &one_loop(0));
+        a.record_issue(0, (0, 1), true);
+        a.record_issue(0, (0, 1), false);
+        assert!(a.check_stale(0, 0).is_empty(), "threshold is strict");
     }
 
     #[test]
-    fn backoff_grows_exponentially() {
+    fn unowned_site_issues_are_ignored() {
+        let mut a = AdaptState::new(AdaptConfig::default());
+        a.on_compile(0, 0, &one_loop(2));
+        a.record_issue(0, (9, 9), true);
+        assert_eq!(a.guard(0).unwrap().loop_guard(2).unwrap().issued, 0);
+    }
+
+    #[test]
+    fn backoff_grows_exponentially_per_loop() {
         let cfg = AdaptConfig {
             backoff_base: 2,
             max_recompiles: 8,
             ..AdaptConfig::default()
         };
         let mut a = AdaptState::new(cfg);
-        a.on_compile(0, 0);
-        a.on_deopt(0, 100, 0);
-        assert!(!a.may_recompile(0, 101, 0));
-        assert!(a.may_recompile(0, 102, 0), "gen 0 waits backoff_base");
-        a.on_compile(0, 1);
-        a.on_deopt(0, 200, 1);
-        assert!(!a.may_recompile(0, 203, 1));
-        assert!(a.may_recompile(0, 204, 1), "gen 1 waits 2*backoff_base");
+        a.on_compile(0, 0, &one_loop(4));
+        a.on_patch(0, &[4], 100, 1);
+        assert!(a.loops_due(0, 101, 1).is_empty());
+        assert_eq!(a.loops_due(0, 102, 1), vec![4], "gen 0 waits backoff_base");
+        a.on_repatch(0, 4, 1, &[(4, 1)]);
+        a.on_repatch_install(0);
+        a.on_patch(0, &[4], 200, 2);
+        assert!(a.loops_due(0, 203, 2).is_empty());
+        assert_eq!(
+            a.loops_due(0, 204, 2),
+            vec![4],
+            "gen 1 waits 2*backoff_base"
+        );
     }
 
     #[test]
-    fn budget_disarms_guards_instead_of_looping() {
+    fn budget_disarms_loop_guards_instead_of_looping() {
         let cfg = AdaptConfig {
             max_recompiles: 2,
             backoff_base: 0,
@@ -467,18 +745,46 @@ mod tests {
         };
         let mut a = AdaptState::new(cfg);
         let mut epoch = 0;
-        a.on_compile(0, epoch);
+        a.on_compile(0, epoch, &one_loop(4));
         for expect_gen in 1..=2 {
             epoch += 1;
-            assert_eq!(a.check_stale(0, epoch), Some(StaleReason::GcMoved));
-            a.on_deopt(0, 0, epoch);
-            assert_eq!(a.on_compile(0, epoch), expect_gen);
+            assert_eq!(headers(&a.check_stale(0, epoch)), vec![4]);
+            a.on_patch(0, &[4], 0, epoch);
+            assert_eq!(a.loops_due(0, 0, epoch), vec![4]);
+            assert_eq!(a.on_repatch(0, 4, epoch, &[(4, 1)]), expect_gen);
+            a.on_repatch_install(0);
         }
-        // Budget (2 recompiles) spent: a further epoch bump disarms.
+        // Budget (2 repatches) spent: a further epoch bump disarms.
         epoch += 1;
-        assert_eq!(a.check_stale(0, epoch), None);
-        assert_eq!(a.check_stale(0, epoch + 1), None, "stays disarmed");
-        assert_eq!(a.guard(0).unwrap().generation, 2);
+        assert!(a.check_stale(0, epoch).is_empty());
+        assert!(a.check_stale(0, epoch + 1).is_empty(), "stays disarmed");
+        let g = a.guard(0).unwrap();
+        assert_eq!(g.loop_guard(4).unwrap().generation, 2);
+        assert!(g.loop_guard(4).unwrap().is_disabled());
+        assert!(g.is_compiled(), "the body never left");
+    }
+
+    #[test]
+    fn budgets_are_independent_across_loops() {
+        let cfg = AdaptConfig {
+            max_recompiles: 1,
+            backoff_base: 0,
+            ..AdaptConfig::default()
+        };
+        let mut a = AdaptState::new(cfg);
+        a.on_compile(0, 0, &two_loops());
+        // Burn loop 2's budget; loop 6 stays untouched (its guard also
+        // fires each epoch but is repatched along with loop 2 here).
+        assert_eq!(headers(&a.check_stale(0, 1)), vec![2, 6]);
+        a.on_patch(0, &[2], 0, 1);
+        a.on_repatch(0, 2, 1, &[(2, 1)]);
+        a.on_repatch_install(0);
+        // Epoch 2: loop 2's budget (1 repatch) is spent and disarms; loop
+        // 6 — never repatched — still reports.
+        let stale = a.check_stale(0, 2);
+        assert_eq!(headers(&stale), vec![6]);
+        assert!(a.guard(0).unwrap().loop_guard(2).unwrap().is_disabled());
+        assert!(!a.guard(0).unwrap().loop_guard(6).unwrap().is_disabled());
     }
 
     #[test]
@@ -489,41 +795,42 @@ mod tests {
             ..AdaptConfig::default()
         };
         let mut a = AdaptState::new(cfg);
-        a.on_compile(0, 0);
+        a.on_compile(0, 0, &one_loop(4));
         // Two cache evictions, each followed by the forced recompile.
         for _ in 0..2 {
             a.on_evicted(0);
-            assert_eq!(a.check_stale(0, 0), None, "no body to guard");
-            assert!(a.may_recompile(0, 0, 0), "eviction applies no backoff");
-            a.on_compile(0, 0);
+            assert!(a.check_stale(0, 0).is_empty(), "no body to guard");
+            a.on_compile(0, 0, &one_loop(4));
         }
-        assert_eq!(a.guard(0).unwrap().generation, 2);
-        assert_eq!(a.guard(0).unwrap().cache_evictions(), 2);
+        let l = a.guard(0).unwrap().loop_guard(4).unwrap();
+        assert_eq!(l.generation, 2);
+        assert_eq!(l.cache_evictions(), 2);
         // The full adaptive budget (2) is still available: two GC-staleness
-        // recompiles fire before the guards disarm.
+        // repatches fire before the guard disarms.
         let mut epoch = 0;
         for expect_gen in 3..=4 {
             epoch += 1;
-            assert_eq!(a.check_stale(0, epoch), Some(StaleReason::GcMoved));
-            a.on_deopt(0, 0, epoch);
-            assert_eq!(a.on_compile(0, epoch), expect_gen);
+            assert_eq!(headers(&a.check_stale(0, epoch)), vec![4]);
+            a.on_patch(0, &[4], 0, epoch);
+            assert_eq!(a.on_repatch(0, 4, epoch, &[(4, 1)]), expect_gen);
+            a.on_repatch_install(0);
         }
         epoch += 1;
-        assert_eq!(a.check_stale(0, epoch), None, "budget now spent");
+        assert!(a.check_stale(0, epoch).is_empty(), "budget now spent");
     }
 
     #[test]
     fn evicted_method_is_not_checked_until_recompiled() {
         let mut a = AdaptState::new(AdaptConfig::default());
-        a.on_compile(3, 0);
+        a.on_compile(3, 0, &one_loop(2));
         a.on_evicted(3);
-        assert_eq!(
-            a.check_stale(3, 99),
-            None,
+        assert!(
+            a.check_stale(3, 99).is_empty(),
             "evicted body cannot be stale: there is nothing installed"
         );
-        a.on_compile(3, 99);
-        assert_eq!(a.check_stale(3, 100), Some(StaleReason::GcMoved));
+        assert!(a.loops_due(3, 1_000, 99).is_empty());
+        a.on_compile(3, 99, &one_loop(2));
+        assert_eq!(headers(&a.check_stale(3, 100)), vec![2]);
     }
 
     #[test]
@@ -534,45 +841,67 @@ mod tests {
     }
 
     #[test]
-    fn unguarded_methods_are_never_stale_and_always_compilable() {
+    fn unguarded_methods_are_never_stale() {
         let mut a = AdaptState::new(AdaptConfig::default());
-        assert_eq!(a.check_stale(7, 99), None);
-        assert!(a.may_recompile(7, 0, 0));
+        assert!(a.check_stale(7, 99).is_empty());
+        assert!(a.loops_due(7, 0, 0).is_empty());
+    }
+
+    #[test]
+    fn methods_without_sites_never_go_stale() {
+        let mut a = AdaptState::new(AdaptConfig::default());
+        a.on_compile(0, 0, &[]);
+        assert!(
+            a.check_stale(0, 50).is_empty(),
+            "no sites, nothing to invalidate"
+        );
+        assert_eq!(a.guard(0).unwrap().generation, 0);
     }
 
     #[test]
     fn repeated_evictions_credit_only_landed_recompiles() {
-        // Regression: `on_evicted` used to grant the budget credit
-        // immediately, so a body evicted twice before its recompile
-        // landed (or never recompiled at all) banked credits it never
-        // earned. The credit must be counted when the eviction-forced
-        // recompile actually installs.
+        // Regression (kept from the method-guard era): `on_evicted` used
+        // to grant the budget credit immediately, so a body evicted twice
+        // before its recompile landed banked credits it never earned. The
+        // credit must be counted when the eviction-forced recompile
+        // actually installs.
         let mut a = AdaptState::new(AdaptConfig::default());
-        a.on_compile(0, 0);
+        a.on_compile(0, 0, &one_loop(4));
         a.on_evicted(0);
         a.on_evicted(0); // churn: evicted again before any recompile
-        assert_eq!(a.guard(0).unwrap().cache_evictions(), 0);
-        a.on_compile(0, 0);
         assert_eq!(
-            a.guard(0).unwrap().cache_evictions(),
+            a.guard(0).unwrap().loop_guard(4).unwrap().cache_evictions(),
+            0
+        );
+        a.on_compile(0, 0, &one_loop(4));
+        assert_eq!(
+            a.guard(0).unwrap().loop_guard(4).unwrap().cache_evictions(),
             1,
             "two raw evictions, one forced recompile, one credit"
         );
         a.on_evicted(0);
-        assert_eq!(a.guard(0).unwrap().cache_evictions(), 1);
-        a.on_compile(0, 0);
-        assert_eq!(a.guard(0).unwrap().cache_evictions(), 2);
+        assert_eq!(
+            a.guard(0).unwrap().loop_guard(4).unwrap().cache_evictions(),
+            1
+        );
+        a.on_compile(0, 0, &one_loop(4));
+        assert_eq!(
+            a.guard(0).unwrap().loop_guard(4).unwrap().cache_evictions(),
+            2
+        );
     }
 
     #[test]
-    fn deopt_then_staleness_recompile_consumes_no_evict_credit() {
-        // A staleness-driven recompile must not consume a phantom
-        // eviction credit.
+    fn staleness_repatch_consumes_no_evict_credit() {
         let mut a = AdaptState::new(AdaptConfig::default());
-        a.on_compile(0, 0);
-        a.on_deopt(0, 10, 1);
-        a.on_compile(0, 1);
-        assert_eq!(a.guard(0).unwrap().cache_evictions(), 0);
+        a.on_compile(0, 0, &one_loop(4));
+        a.on_patch(0, &[4], 10, 1);
+        a.on_repatch(0, 4, 1, &[(4, 1)]);
+        a.on_repatch_install(0);
+        assert_eq!(
+            a.guard(0).unwrap().loop_guard(4).unwrap().cache_evictions(),
+            0
+        );
     }
 
     #[test]
@@ -584,34 +913,36 @@ mod tests {
             ..AdaptConfig::default()
         };
         let mut a = AdaptState::new(cfg);
-        a.on_compile(0, 0);
-        // Spend the 1-recompile budget.
-        assert_eq!(a.check_stale(0, 1), Some(StaleReason::GcMoved));
-        a.on_deopt(0, 0, 1);
-        a.on_compile(0, 1);
-        // Budget spent: the next epoch bump disarms instead of deopting.
-        assert_eq!(a.check_stale(0, 2), None);
-        assert!(a.guard(0).unwrap().is_disabled());
+        a.on_compile(0, 0, &one_loop(4));
+        // Spend the 1-repatch budget.
+        assert_eq!(headers(&a.check_stale(0, 1)), vec![4]);
+        a.on_patch(0, &[4], 0, 1);
+        a.on_repatch(0, 4, 1, &[(4, 1)]);
+        a.on_repatch_install(0);
+        // Budget spent: the next epoch bump disarms instead of firing.
+        assert!(a.check_stale(0, 2).is_empty());
+        assert!(a.guard(0).unwrap().loop_guard(4).unwrap().is_disabled());
         // Still disarmed while fewer than `rearm_stable_epochs` have
         // passed since the disarm point.
-        assert_eq!(a.check_stale(0, 3), None);
-        assert!(a.guard(0).unwrap().is_disabled());
-        assert_eq!(a.check_stale(0, 4), None);
+        assert!(a.check_stale(0, 3).is_empty());
+        assert!(a.check_stale(0, 4).is_empty());
         // Epoch 5 = disarm(2) + 3: re-arms with one credit and the
         // staleness verdict fires again in the same call.
-        assert_eq!(a.check_stale(0, 5), Some(StaleReason::GcMoved));
-        assert!(!a.guard(0).unwrap().is_disabled());
-        assert_eq!(a.guard(0).unwrap().rearm_credits(), 1);
+        assert_eq!(headers(&a.check_stale(0, 5)), vec![4]);
+        let l = a.guard(0).unwrap().loop_guard(4).unwrap();
+        assert!(!l.is_disabled());
+        assert_eq!(l.rearm_credits(), 1);
         assert_eq!(a.rearms(), 1);
         assert_eq!(a.take_rearmed(), vec![(0, 1)]);
         assert_eq!(a.take_rearmed(), vec![], "drain is destructive");
-        // The credit funds exactly one more recompile, then the guard
+        // The credit funds exactly one more repatch, then the guard
         // disarms again and a second stable window re-arms it again.
-        a.on_deopt(0, 0, 5);
-        a.on_compile(0, 5);
-        assert_eq!(a.check_stale(0, 6), None);
-        assert!(a.guard(0).unwrap().is_disabled());
-        assert_eq!(a.check_stale(0, 9), Some(StaleReason::GcMoved));
+        a.on_patch(0, &[4], 0, 5);
+        a.on_repatch(0, 4, 5, &[(4, 1)]);
+        a.on_repatch_install(0);
+        assert!(a.check_stale(0, 6).is_empty());
+        assert!(a.guard(0).unwrap().loop_guard(4).unwrap().is_disabled());
+        assert_eq!(headers(&a.check_stale(0, 9)), vec![4]);
         assert_eq!(a.rearms(), 2);
     }
 
@@ -623,49 +954,80 @@ mod tests {
             ..AdaptConfig::default()
         };
         let mut a = AdaptState::new(cfg);
-        a.on_compile(0, 0);
-        assert_eq!(a.check_stale(0, 1), Some(StaleReason::GcMoved));
-        a.on_deopt(0, 0, 1);
-        a.on_compile(0, 1);
-        assert_eq!(a.check_stale(0, 2), None);
-        assert_eq!(a.check_stale(0, 1_000_000), None, "no re-arm at 0");
+        a.on_compile(0, 0, &one_loop(4));
+        assert_eq!(headers(&a.check_stale(0, 1)), vec![4]);
+        a.on_patch(0, &[4], 0, 1);
+        a.on_repatch(0, 4, 1, &[(4, 1)]);
+        a.on_repatch_install(0);
+        assert!(a.check_stale(0, 2).is_empty());
+        assert!(a.check_stale(0, 1_000_000).is_empty(), "no re-arm at 0");
         assert_eq!(a.rearms(), 0);
     }
 
     #[test]
-    fn stable_epochs_waive_deopt_backoff() {
+    fn stable_epochs_waive_invalidation_backoff() {
         let cfg = AdaptConfig {
             backoff_base: 1_000,
             rearm_stable_epochs: 2,
             ..AdaptConfig::default()
         };
         let mut a = AdaptState::new(cfg);
-        a.on_compile(0, 0);
-        a.on_deopt(0, 100, 5);
-        assert!(!a.may_recompile(0, 101, 5), "inside backoff, same epoch");
-        assert!(!a.may_recompile(0, 101, 6), "one epoch is not enough");
-        assert!(
-            a.may_recompile(0, 101, 7),
+        a.on_compile(0, 0, &one_loop(4));
+        a.on_patch(0, &[4], 100, 5);
+        assert!(a.loops_due(0, 101, 5).is_empty(), "inside backoff");
+        assert!(a.loops_due(0, 101, 6).is_empty(), "one epoch is not enough");
+        assert_eq!(
+            a.loops_due(0, 101, 7),
+            vec![4],
             "two stable epochs waive the invocation backoff"
         );
-        assert!(a.may_recompile(0, 2_000, 5), "backoff served normally");
+        assert_eq!(a.loops_due(0, 2_000, 5), vec![4], "backoff served normally");
     }
 
     #[test]
-    fn stranded_tracks_deopted_uncompiled_methods_sorted() {
+    fn stranded_counts_stale_loops_and_sorts_methods() {
         let mut a = AdaptState::new(AdaptConfig::default());
         for m in [9usize, 2, 5] {
-            a.on_compile(m, 0);
-            a.on_deopt(m, 0, 1);
+            a.on_compile(m, 0, &one_loop(3));
+            a.on_patch(m, &[3], 0, 1);
         }
         assert_eq!(a.stranded(), 3);
         assert_eq!(a.stranded_methods(), vec![2, 5, 9]);
-        a.on_compile(5, 1);
+        a.on_repatch(5, 3, 1, &[(3, 1)]);
+        a.on_repatch_install(5);
         assert_eq!(a.stranded(), 2);
         assert_eq!(a.stranded_methods(), vec![2, 9]);
-        // An eviction alone does not strand: the method was not deopted.
-        a.on_compile(7, 1);
-        a.on_evicted(7);
-        assert_eq!(a.stranded(), 2);
+        // Two stale loops of one method count twice but list the method
+        // once.
+        a.on_compile(7, 0, &two_loops());
+        a.on_patch(7, &[2, 6], 0, 1);
+        assert_eq!(a.stranded(), 4);
+        assert_eq!(a.stranded_methods(), vec![2, 7, 9]);
+        // An eviction alone does not strand: nothing was invalidated.
+        a.on_compile(8, 1, &one_loop(0));
+        a.on_evicted(8);
+        assert_eq!(a.stranded(), 4);
+    }
+
+    #[test]
+    fn full_recompile_clears_staleness_and_carries_budget() {
+        let cfg = AdaptConfig {
+            max_recompiles: 2,
+            backoff_base: 0,
+            ..AdaptConfig::default()
+        };
+        let mut a = AdaptState::new(cfg);
+        a.on_compile(0, 0, &one_loop(4));
+        a.on_patch(0, &[4], 0, 1);
+        assert_eq!(a.stranded(), 1);
+        // The serving sweep may full-recompile a stranded method (e.g.
+        // after an eviction): the fresh body clears staleness but the
+        // loop's generation advanced, so the budget is not reset.
+        a.on_evicted(0);
+        a.on_compile(0, 1, &one_loop(4));
+        assert_eq!(a.stranded(), 0);
+        let l = a.guard(0).unwrap().loop_guard(4).unwrap();
+        assert_eq!(l.generation, 1);
+        assert_eq!(l.cache_evictions(), 1, "eviction-forced install credits");
     }
 }

@@ -6,8 +6,9 @@
 //!
 //! For every (workload, mode, processor) cell present in both files it
 //! prints the wall-clock speedup and flags any drift in the *simulated*
-//! numbers (cycles, retired instructions, adaptive deopt/recompile
-//! counters, compile-time inspection cost, static-site counts, checksum),
+//! numbers (cycles, retired instructions, adaptive deopt/recompile and
+//! per-loop invalidation/repatch counters, compile-time inspection cost,
+//! static-site counts, checksum),
 //! which must be invariant across hosts, worker counts, and host-side
 //! optimisations.
 //! Exit code: 0 if no simulated number drifted, 1 otherwise (or on usage
@@ -65,6 +66,8 @@ fn main() -> ExitCode {
             && o.retired == n.retired
             && o.deopts == n.deopts
             && o.recompiles == n.recompiles
+            && o.loop_deopts == n.loop_deopts
+            && o.loop_repatches == n.loop_repatches
             && o.reagreed == n.reagreed
             && o.inspection_cycles == n.inspection_cycles
             && o.static_sites == n.static_sites

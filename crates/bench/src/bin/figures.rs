@@ -214,27 +214,41 @@ fn traced_sweep(
             ));
         }
         // Adaptive counters must reconcile exactly with the trace: every
-        // deopt/recompile the VM counted (warm-up plus best run) has a
-        // matching event (compile_events plus best-run attribution) —
-        // unless the ring dropped events in either phase.
+        // deopt/recompile and every per-loop invalidation/repatch the VM
+        // counted (warm-up plus best run) has a matching event
+        // (compile_events plus best-run attribution) — unless the ring
+        // dropped events in either phase.
         if t.trace.lost == 0 && t.trace.warm_lost == 0 {
-            let count = |evs: &[TraceEvent], deopt: bool| {
+            let count = |evs: &[TraceEvent], want: &str| {
                 evs.iter()
                     .filter(|e| match e {
-                        TraceEvent::Deopt { .. } => deopt,
-                        TraceEvent::Recompile { .. } => !deopt,
+                        TraceEvent::Deopt { .. } => want == "deopt",
+                        TraceEvent::Recompile { .. } => want == "recompile",
+                        TraceEvent::LoopInvalidated { .. } => want == "loop_invalidated",
+                        TraceEvent::LoopRepatched { .. } => want == "loop_repatched",
                         _ => false,
                     })
                     .count() as u64
             };
-            let ev_deopts = count(&t.trace.compile_events, true) + attr.deopts;
-            let ev_recompiles = count(&t.trace.compile_events, false) + attr.recompiles;
+            let ce = &t.trace.compile_events;
+            let ev_deopts = count(ce, "deopt") + attr.deopts;
+            let ev_recompiles = count(ce, "recompile") + attr.recompiles;
+            let ev_loop_inv = count(ce, "loop_invalidated") + attr.loop_invalidated;
+            let ev_loop_rep = count(ce, "loop_repatched") + attr.loop_repatched;
             if ev_deopts != m.deopts || ev_recompiles != m.recompiles {
                 ok = false;
                 emit(&format!(
                     "trace: {run}: adaptive counters diverge from events: \
                      deopts {} != {ev_deopts}, recompiles {} != {ev_recompiles}",
                     m.deopts, m.recompiles
+                ));
+            }
+            if ev_loop_inv != m.loop_deopts || ev_loop_rep != m.loop_repatches {
+                ok = false;
+                emit(&format!(
+                    "trace: {run}: per-loop counters diverge from events: \
+                     loop_deopts {} != {ev_loop_inv}, loop_repatches {} != {ev_loop_rep}",
+                    m.loop_deopts, m.loop_repatches
                 ));
             }
         }

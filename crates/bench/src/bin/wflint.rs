@@ -1,0 +1,290 @@
+//! Offline workflow lint — a vendored subset of `actionlint`, so CI can
+//! lint its own workflow files without a network fetch or a pinned
+//! third-party binary.
+//!
+//! ```text
+//! cargo run -p spf-bench --bin wflint -- .github/workflows/ci.yml \
+//!     .github/actions/rust-setup/action.yml
+//! ```
+//!
+//! Checks, per file (line-based — the workflows in this repo are plain
+//! block YAML, no flow collections or anchors):
+//!
+//! * every `uses:` is either a version-pinned marketplace action
+//!   (`owner/repo@vN`, never `@main`/`@master`) or a local `./` path
+//!   whose `action.yml` exists relative to the current directory;
+//! * every job under `jobs:` declares `runs-on:`;
+//! * every `run:` step of a composite action declares `shell:`
+//!   (workflow jobs inherit a default shell, composite steps do not);
+//! * `${{` / `}}` expression delimiters are balanced on each line.
+//!
+//! Exit code: 0 when every file is clean, 1 otherwise.
+
+use std::process::ExitCode;
+
+/// One lint finding: file, line number (1-based), message.
+#[derive(Debug, PartialEq)]
+pub struct Finding {
+    pub line: usize,
+    pub message: String,
+}
+
+fn indent_of(line: &str) -> usize {
+    line.len() - line.trim_start().len()
+}
+
+/// Strips a trailing YAML comment (a ` #` outside quotes — good enough
+/// for the block-style workflows this repo writes).
+fn strip_comment(line: &str) -> &str {
+    match line.find(" #") {
+        Some(i) if !line[..i].contains('\'') && !line[..i].contains('"') => &line[..i],
+        _ => line,
+    }
+}
+
+/// The value of a `key: value` line, unquoted, or `None` if the line is
+/// not that key.
+fn value_of<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let t = strip_comment(line).trim_start();
+    let rest = t.strip_prefix(key)?.strip_prefix(':')?;
+    Some(rest.trim().trim_matches('"').trim_matches('\''))
+}
+
+/// `uses:` lines may sit on a step bullet (`- uses: ...`).
+fn uses_of(line: &str) -> Option<&str> {
+    let t = strip_comment(line).trim_start();
+    let t = t.strip_prefix("- ").unwrap_or(t);
+    let rest = t.strip_prefix("uses")?.strip_prefix(':')?;
+    Some(rest.trim().trim_matches('"').trim_matches('\''))
+}
+
+fn check_uses(spec: &str, local_root_exists: impl Fn(&str) -> bool) -> Option<String> {
+    if let Some(path) = spec.strip_prefix("./") {
+        if !local_root_exists(path) {
+            return Some(format!(
+                "local action `{spec}` has no action.yml in the tree"
+            ));
+        }
+        return None;
+    }
+    if spec.starts_with("docker://") {
+        // Out of scope for this repo; flag it so someone looks.
+        return Some(format!("docker action `{spec}` is not allowed here"));
+    }
+    let Some((_, version)) = spec.rsplit_once('@') else {
+        return Some(format!("action `{spec}` is not pinned (missing @version)"));
+    };
+    if version.is_empty() || version == "main" || version == "master" {
+        return Some(format!(
+            "action `{spec}` must pin a release, not `{version}`"
+        ));
+    }
+    None
+}
+
+/// Lints one file's text. `is_composite` switches between workflow rules
+/// (jobs need `runs-on:`) and composite-action rules (`run:` steps need
+/// `shell:`). `local_root_exists` answers whether `<path>/action.yml`
+/// exists, so tests can run hermetically.
+pub fn lint(
+    text: &str,
+    is_composite: bool,
+    local_root_exists: impl Fn(&str) -> bool,
+) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let lines: Vec<&str> = text.lines().collect();
+    for (i, raw) in lines.iter().enumerate() {
+        let n = i + 1;
+        let line = strip_comment(raw);
+        if line.matches("${{").count() != line.matches("}}").count() {
+            findings.push(Finding {
+                line: n,
+                message: "unbalanced ${{ }} expression delimiters".to_string(),
+            });
+        }
+        if let Some(spec) = uses_of(line) {
+            if let Some(msg) = check_uses(spec, &local_root_exists) {
+                findings.push(Finding {
+                    line: n,
+                    message: msg,
+                });
+            }
+        }
+    }
+
+    if is_composite {
+        // Every `run:` step must carry a `shell:` within the same step
+        // (between step bullets).
+        let mut step_start = None;
+        let mut steps: Vec<(usize, usize)> = Vec::new();
+        for (i, raw) in lines.iter().enumerate() {
+            if strip_comment(raw).trim_start().starts_with("- ") {
+                if let Some(s) = step_start {
+                    steps.push((s, i));
+                }
+                step_start = Some(i);
+            }
+        }
+        if let Some(s) = step_start {
+            steps.push((s, lines.len()));
+        }
+        for (s, e) in steps {
+            let block = &lines[s..e];
+            let has_run = block.iter().any(|l| {
+                let t = strip_comment(l).trim_start();
+                let t = t.strip_prefix("- ").unwrap_or(t);
+                t.starts_with("run:")
+            });
+            let has_shell = block.iter().any(|l| value_of(l, "shell").is_some());
+            if has_run && !has_shell {
+                findings.push(Finding {
+                    line: s + 1,
+                    message: "composite run step without an explicit shell:".to_string(),
+                });
+            }
+        }
+    } else {
+        // Every job (a key indented directly under `jobs:`) needs
+        // `runs-on:` unless it is a reusable-workflow call (`uses:`).
+        let jobs_at = lines
+            .iter()
+            .position(|l| strip_comment(l).trim_end() == "jobs:");
+        if let Some(jobs_at) = jobs_at {
+            let job_indent = lines[jobs_at + 1..]
+                .iter()
+                .find(|l| !strip_comment(l).trim().is_empty())
+                .map_or(2, |l| indent_of(l));
+            let mut current: Option<(usize, String)> = None;
+            let mut jobs: Vec<(usize, String, usize)> = Vec::new(); // start, name, end
+            for (i, raw) in lines.iter().enumerate().skip(jobs_at + 1) {
+                let line = strip_comment(raw);
+                if line.trim().is_empty() {
+                    continue;
+                }
+                let ind = indent_of(line);
+                if ind < job_indent {
+                    if let Some((s, name)) = current.take() {
+                        jobs.push((s, name, i));
+                    }
+                    break;
+                }
+                if ind == job_indent && line.trim_end().ends_with(':') {
+                    if let Some((s, name)) = current.take() {
+                        jobs.push((s, name, i));
+                    }
+                    current = Some((i, line.trim().trim_end_matches(':').to_string()));
+                }
+            }
+            if let Some((s, name)) = current {
+                jobs.push((s, name, lines.len()));
+            }
+            for (s, name, e) in jobs {
+                let block = &lines[s..e];
+                let has_runner = block.iter().any(|l| value_of(l, "runs-on").is_some());
+                let is_reusable = block
+                    .iter()
+                    .any(|l| indent_of(l) == job_indent + 2 && value_of(l, "uses").is_some());
+                if !has_runner && !is_reusable {
+                    findings.push(Finding {
+                        line: s + 1,
+                        message: format!("job `{name}` has no runs-on:"),
+                    });
+                }
+            }
+        }
+    }
+    findings
+}
+
+fn main() -> ExitCode {
+    let paths: Vec<String> = std::env::args().skip(1).collect();
+    if paths.is_empty() {
+        eprintln!("usage: wflint FILE.yml [FILE.yml ...]");
+        return ExitCode::FAILURE;
+    }
+    let mut bad = 0usize;
+    for path in &paths {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("wflint: {path}: {e}");
+                bad += 1;
+                continue;
+            }
+        };
+        // Composite actions declare `runs: using: composite`.
+        let is_composite = text.contains("using: composite");
+        let findings = lint(&text, is_composite, |p| {
+            std::path::Path::new(p).join("action.yml").is_file()
+                || std::path::Path::new(p).join("action.yaml").is_file()
+        });
+        for f in &findings {
+            println!("{path}:{}: {}", f.line, f.message);
+        }
+        if findings.is_empty() {
+            eprintln!("wflint: {path}: OK");
+        } else {
+            bad += 1;
+        }
+    }
+    if bad > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pinned_marketplace_actions_pass() {
+        let wf = "jobs:\n  a:\n    runs-on: ubuntu-latest\n    steps:\n      - uses: actions/checkout@v4\n";
+        assert!(lint(wf, false, |_| true).is_empty());
+    }
+
+    #[test]
+    fn unpinned_and_branch_pinned_actions_fail() {
+        let wf = "jobs:\n  a:\n    runs-on: x\n    steps:\n      - uses: actions/checkout\n      - uses: actions/cache@main\n";
+        let f = lint(wf, false, |_| true);
+        assert_eq!(f.len(), 2, "{f:?}");
+        assert!(f[0].message.contains("not pinned"));
+        assert!(f[1].message.contains("must pin a release"));
+    }
+
+    #[test]
+    fn missing_local_action_fails_and_present_one_passes() {
+        let wf =
+            "jobs:\n  a:\n    runs-on: x\n    steps:\n      - uses: ./.github/actions/rust-setup\n";
+        assert!(lint(wf, false, |p| p == ".github/actions/rust-setup").is_empty());
+        let f = lint(wf, false, |_| false);
+        assert_eq!(f.len(), 1);
+        assert!(f[0].message.contains("no action.yml"), "{f:?}");
+    }
+
+    #[test]
+    fn job_without_runs_on_fails() {
+        let wf = "jobs:\n  good:\n    runs-on: x\n    steps: []\n  bad:\n    steps: []\n";
+        let f = lint(wf, false, |_| true);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].message.contains("`bad` has no runs-on"));
+    }
+
+    #[test]
+    fn composite_run_step_requires_shell() {
+        let good = "runs:\n  using: composite\n  steps:\n    - name: a\n      shell: bash\n      run: echo hi\n";
+        assert!(lint(good, true, |_| true).is_empty());
+        let bad = "runs:\n  using: composite\n  steps:\n    - name: a\n      run: echo hi\n";
+        let f = lint(bad, true, |_| true);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].message.contains("without an explicit shell"));
+    }
+
+    #[test]
+    fn unbalanced_expression_flagged() {
+        let wf = "jobs:\n  a:\n    runs-on: ${{ matrix.os\n";
+        let f = lint(wf, false, |_| true);
+        assert!(f.iter().any(|f| f.message.contains("unbalanced")), "{f:?}");
+    }
+}

@@ -344,28 +344,31 @@ impl ExperimentData {
     }
 
     /// Adaptive-reprofiling counters per workload (Pentium 4, ADAPTIVE):
-    /// how often compiled prefetch sites went stale and were deoptimized,
-    /// how often the method was recompiled, and how often re-inspection
-    /// re-agreed on prefetchable strides. Not a paper artifact — it
-    /// characterizes the guard machinery this reproduction adds on top of
-    /// the paper's one-shot inspection.
+    /// how often compiled loops had their prefetch sites invalidated and
+    /// patched to no-ops, how often those loops were repatched through
+    /// tier-2 re-entry, how often the whole method was recompiled, and how
+    /// often re-inspection re-agreed on prefetchable strides. Not a paper
+    /// artifact — it characterizes the guard machinery this reproduction
+    /// adds on top of the paper's one-shot inspection. The `deopts` column
+    /// stays for continuity with older runs; it is always 0 now that
+    /// invalidation is per-loop.
     pub fn adaptive_table(&self) -> String {
         let mut s = String::new();
         let _ = writeln!(
             s,
-            "Adaptive reprofiling: deopts, recompilations, and re-agreements"
+            "Adaptive reprofiling: per-loop invalidations, repatches, and re-agreements"
         );
         let _ = writeln!(
             s,
-            "{:<12} {:>8} {:>12} {:>10}",
-            "program", "deopts", "recompiles", "reagreed"
+            "{:<12} {:>8} {:>9} {:>9} {:>12} {:>10}",
+            "program", "deopts", "loop-inv", "loop-rep", "recompiles", "reagreed"
         );
         for name in self.names() {
             if let Some(m) = self.get(name, "Pentium 4", PrefetchMode::Adaptive) {
                 let _ = writeln!(
                     s,
-                    "{:<12} {:>8} {:>12} {:>10}",
-                    name, m.deopts, m.recompiles, m.reagreed
+                    "{:<12} {:>8} {:>9} {:>9} {:>12} {:>10}",
+                    name, m.deopts, m.loop_deopts, m.loop_repatches, m.recompiles, m.reagreed
                 );
             }
         }

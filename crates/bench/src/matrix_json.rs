@@ -29,10 +29,15 @@ pub struct CellSummary {
     /// repetitions (equals `wall_nanos` in files emitted before the field
     /// existed, or when `timing_runs` was 1).
     pub host_wall_ns: u128,
-    /// Adaptive deoptimizations (zero outside ADAPTIVE mode).
+    /// Whole-method adaptive deoptimizations (always 0 since invalidation
+    /// went per-loop; kept so old readers keep their column).
     pub deopts: u64,
-    /// Adaptive recompilations (zero outside ADAPTIVE mode).
+    /// Full adaptive recompilations (zero outside the adaptive modes).
     pub recompiles: u64,
+    /// Per-loop invalidations (zero outside the adaptive modes).
+    pub loop_deopts: u64,
+    /// Per-loop repatches (zero outside the adaptive modes).
+    pub loop_repatches: u64,
     /// Recompilations that re-agreed on prefetchable strides.
     pub reagreed: u64,
     /// Deterministic inspection cycles charged by the compile-time cost
@@ -70,7 +75,8 @@ pub fn emit(results: &[CellResult], size: Size, jobs: usize, total_wall_nanos: u
             "    {{\"name\": \"{}\", \"mode\": \"{}\", \"processor\": \"{}\", \
              \"best_cycles\": {}, \"retired\": {}, \"wall_nanos\": {}, \
              \"host_wall_ns\": {}, \
-             \"deopts\": {}, \"recompiles\": {}, \"reagreed\": {}, \
+             \"deopts\": {}, \"recompiles\": {}, \"loop_deopts\": {}, \
+             \"loop_repatches\": {}, \"reagreed\": {}, \
              \"inspection_cycles\": {}, \"static_sites\": {}, \"checksum\": {}}}{}\n",
             escape(&m.name),
             escape(&m.mode.to_string()),
@@ -81,6 +87,8 @@ pub fn emit(results: &[CellResult], size: Size, jobs: usize, total_wall_nanos: u
             r.host_wall_ns,
             m.deopts,
             m.recompiles,
+            m.loop_deopts,
+            m.loop_repatches,
             m.reagreed,
             m.inspection_cycles,
             m.static_sites,
@@ -170,6 +178,13 @@ pub fn parse_with_warnings(text: &str) -> Result<(Vec<CellSummary>, Vec<String>)
             recompiles: field(line, "recompiles")
                 .map_or(Ok(0), str::parse)
                 .map_err(|e| format!("bad recompiles in {line}: {e}"))?,
+            // Tolerate files emitted before invalidation went per-loop.
+            loop_deopts: field(line, "loop_deopts")
+                .map_or(Ok(0), str::parse)
+                .map_err(|e| format!("bad loop_deopts in {line}: {e}"))?,
+            loop_repatches: field(line, "loop_repatches")
+                .map_or(Ok(0), str::parse)
+                .map_err(|e| format!("bad loop_repatches in {line}: {e}"))?,
             reagreed: field(line, "reagreed")
                 .map_or(Ok(0), str::parse)
                 .map_err(|e| format!("bad reagreed in {line}: {e}"))?,
@@ -211,6 +226,8 @@ mod tests {
                 stride_check: Default::default(),
                 deopts: 0,
                 recompiles: 0,
+                loop_deopts: 0,
+                loop_repatches: 0,
                 reagreed: 0,
                 inspection_cycles: 160,
                 static_sites: 0,
@@ -249,6 +266,16 @@ mod tests {
         let cells = parse(&text).unwrap();
         assert_eq!(cells[0].inspection_cycles, 0);
         assert_eq!(cells[0].static_sites, 0);
+    }
+
+    #[test]
+    fn parse_defaults_loop_fields_to_zero() {
+        // A file emitted before invalidation went per-loop.
+        let text = emit(&[sample("db", PrefetchMode::Off, 100)], Size::Tiny, 1, 9)
+            .replace(", \"loop_deopts\": 0, \"loop_repatches\": 0", "");
+        let cells = parse(&text).unwrap();
+        assert_eq!(cells[0].loop_deopts, 0);
+        assert_eq!(cells[0].loop_repatches, 0);
     }
 
     #[test]

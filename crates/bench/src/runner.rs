@@ -63,11 +63,19 @@ pub struct Measurement {
     /// Static-vs-inspected stride comparison summed over all compiled
     /// methods (zero under `PrefetchMode::Off`, where no analysis runs).
     pub stride_check: StrideCrossCheck,
-    /// Adaptive deoptimizations: warm-up plus the best measured run.
-    /// Zero outside [`PrefetchMode::Adaptive`].
+    /// Whole-method adaptive deoptimizations: warm-up plus the best
+    /// measured run. Always 0 since invalidation went per-loop; kept so
+    /// existing artifacts and parsers keep their column.
     pub deopts: u64,
-    /// Adaptive recompilations: warm-up plus the best measured run.
+    /// Full adaptive recompilations: warm-up plus the best measured run.
     pub recompiles: u64,
+    /// Per-loop invalidations (stale loops' prefetch sites patched to
+    /// no-ops, body kept compiled): warm-up plus the best measured run.
+    /// Zero outside the adaptive-guard modes.
+    pub loop_deopts: u64,
+    /// Per-loop repatches (invalidated loops re-inspected and re-entered):
+    /// warm-up plus the best measured run.
+    pub loop_repatches: u64,
     /// Recompilations whose re-inspection re-agreed on prefetchable
     /// strides.
     pub reagreed: u64,
@@ -122,6 +130,8 @@ impl Measurement {
         cmp!(stride_check);
         cmp!(deopts);
         cmp!(recompiles);
+        cmp!(loop_deopts);
+        cmp!(loop_repatches);
         cmp!(reagreed);
         cmp!(inspection_cycles);
         cmp!(static_sites);
@@ -299,6 +309,8 @@ fn run_prepared_sink<S: TraceSink>(
         compiled_fraction: f64,
         deopts: u64,
         recompiles: u64,
+        loop_deopts: u64,
+        loop_repatches: u64,
         reagreed: u64,
         inspection_cycles: u64,
         static_sites: u64,
@@ -325,6 +337,8 @@ fn run_prepared_sink<S: TraceSink>(
                 compiled_fraction: s.compiled_code_fraction(),
                 deopts: s.deopts,
                 recompiles: s.recompiles,
+                loop_deopts: s.loop_deopts,
+                loop_repatches: s.loop_repatches,
                 reagreed: s.reagreed,
                 inspection_cycles: s.inspection_cycles,
                 static_sites: s.static_sites,
@@ -358,6 +372,8 @@ fn run_prepared_sink<S: TraceSink>(
         stride_check,
         deopts: warm_stats.deopts + best.deopts,
         recompiles: warm_stats.recompiles + best.recompiles,
+        loop_deopts: warm_stats.loop_deopts + best.loop_deopts,
+        loop_repatches: warm_stats.loop_repatches + best.loop_repatches,
         reagreed: warm_stats.reagreed + best.reagreed,
         inspection_cycles: warm_stats.inspection_cycles + best.inspection_cycles,
         static_sites: warm_stats.static_sites + best.static_sites,

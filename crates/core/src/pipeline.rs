@@ -94,6 +94,54 @@ impl StridePrefetcher {
         proc: &ProcessorConfig,
         sink: &mut S,
     ) -> OptimizeOutcome {
+        self.run(program, func, heap, statics, args, proc, None, sink)
+    }
+
+    /// Per-loop repatch (DESIGN §15): re-runs the pipeline for *only* the
+    /// loops whose header block index is in `due_headers`, on a body that
+    /// may already carry live prefetch sites belonging to other loops.
+    ///
+    /// The due loops' own blocks must have been stripped of their sites
+    /// first (the tier-1 patch does this); anchors elsewhere that already
+    /// have an adjacent `Prefetch`/`SpecLoad` are pre-seeded into the
+    /// codegen's `already` set, so surviving loops come through untouched
+    /// and only the due loops' sites are re-planned from the current heap.
+    #[allow(clippy::too_many_arguments)]
+    pub fn reoptimize_loops<S: TraceSink>(
+        &self,
+        program: &Program,
+        func: &Function,
+        heap: &dyn HeapRead,
+        statics: &[Value],
+        args: &[Value],
+        proc: &ProcessorConfig,
+        due_headers: &HashSet<u32>,
+        sink: &mut S,
+    ) -> OptimizeOutcome {
+        self.run(
+            program,
+            func,
+            heap,
+            statics,
+            args,
+            proc,
+            Some(due_headers),
+            sink,
+        )
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn run<S: TraceSink>(
+        &self,
+        program: &Program,
+        func: &Function,
+        heap: &dyn HeapRead,
+        statics: &[Value],
+        args: &[Value],
+        proc: &ProcessorConfig,
+        filter: Option<&HashSet<u32>>,
+        sink: &mut S,
+    ) -> OptimizeOutcome {
         let start = Instant::now();
         let mut report = MethodReport {
             method: func.name().to_string(),
@@ -122,8 +170,32 @@ impl StridePrefetcher {
         let mut work = func.clone();
         let mut merged: HashMap<InstrRef, Vec<spf_ir::Instr>> = HashMap::new();
         let mut already: HashSet<InstrRef> = HashSet::new();
+        if filter.is_some() {
+            // Repatch runs on an already-optimized body: every anchor that
+            // still has a site spliced right after it belongs to a loop
+            // that survived, and must not be re-planned.
+            for b in func.block_ids() {
+                let instrs = &func.block(b).instrs;
+                for i in 0..instrs.len() {
+                    let is_site = |x: &spf_ir::Instr| {
+                        matches!(
+                            x,
+                            spf_ir::Instr::Prefetch { .. } | spf_ir::Instr::SpecLoad { .. }
+                        )
+                    };
+                    if !is_site(&instrs[i]) && instrs.get(i + 1).is_some_and(is_site) {
+                        already.insert(InstrRef::new(b, i));
+                    }
+                }
+            }
+        }
 
         for target in forest.postorder() {
+            if let Some(due) = filter {
+                if !due.contains(&(forest.info(target).header.index() as u32)) {
+                    continue;
+                }
+            }
             let mut ldg = Ldg::build(func, &ud, &forest, target);
             if ldg.is_empty() {
                 continue;

@@ -39,14 +39,18 @@ pub struct ModeReport {
     pub compiles: u64,
     /// Code-cache capacity evictions.
     pub evictions: u64,
-    /// Adaptive deoptimizations across the fleet.
+    /// Whole-method adaptive deoptimizations across the fleet (always 0
+    /// since invalidation went per-loop; kept for old readers).
     pub deopts: u64,
-    /// Adaptive recompilations across the fleet.
+    /// Full adaptive recompilations across the fleet.
     pub recompiles: u64,
-    /// Methods still stranded in the interpreter (deopted, never
-    /// recompiled) at run end — the `deopt-summary` stranding diagnostic
-    /// made machine-checkable. Nonzero on a fault-free ADAPTIVE row is
-    /// the db-blow-up signature.
+    /// Per-loop invalidations across the fleet.
+    pub loop_deopts: u64,
+    /// Per-loop repatches (tier-2 re-entries) across the fleet.
+    pub loop_repatches: u64,
+    /// Loops still stranded (invalidated, never repatched) at run end —
+    /// the `deopt-summary` stranding diagnostic made machine-checkable.
+    /// Nonzero on a fault-free ADAPTIVE row is the db-blow-up signature.
     pub stranded: u64,
     /// Fleet checksum (must agree across modes).
     pub checksum: i64,
@@ -101,6 +105,8 @@ impl ModeReport {
             evictions: out.evictions,
             deopts: out.deopts,
             recompiles: out.recompiles,
+            loop_deopts: out.loop_deopts,
+            loop_repatches: out.loop_repatches,
             stranded: out.stranded_final,
             checksum: out.checksum,
         }
@@ -191,7 +197,8 @@ pub fn emit(s: &ServeSummary) -> String {
             "    {{\"mode\": \"{}\", \"completed\": {}, \"p50\": {}, \"p99\": {}, \
              \"p999\": {}, \"max\": {}, \"mean\": {}, \"queue_depth_max\": {}, \
              \"queue_depth_mean_milli\": {}, \"compiles\": {}, \"evictions\": {}, \
-             \"deopts\": {}, \"recompiles\": {}, \"stranded\": {}, \"checksum\": {}}}{comma}",
+             \"deopts\": {}, \"recompiles\": {}, \"loop_deopts\": {}, \
+             \"loop_repatches\": {}, \"stranded\": {}, \"checksum\": {}}}{comma}",
             m.mode,
             m.completed,
             m.p50,
@@ -205,6 +212,8 @@ pub fn emit(s: &ServeSummary) -> String {
             m.evictions,
             m.deopts,
             m.recompiles,
+            m.loop_deopts,
+            m.loop_repatches,
             m.stranded,
             m.checksum,
         );
@@ -322,8 +331,20 @@ pub fn parse(text: &str) -> Result<ServeSummary, String> {
                 evictions: num("evictions")?,
                 deopts: num("deopts")?,
                 recompiles: num("recompiles")?,
-                // Absent from pre-chaos files; default 0 so old
-                // artifacts still parse.
+                // The loop_* and stranded fields are absent from older
+                // files; default 0 so old artifacts still parse.
+                loop_deopts: match field(line, "loop_deopts") {
+                    Some(v) => v
+                        .parse()
+                        .map_err(|e| format!("bad loop_deopts in {line}: {e}"))?,
+                    None => 0,
+                },
+                loop_repatches: match field(line, "loop_repatches") {
+                    Some(v) => v
+                        .parse()
+                        .map_err(|e| format!("bad loop_repatches in {line}: {e}"))?,
+                    None => 0,
+                },
                 stranded: match field(line, "stranded") {
                     Some(v) => v
                         .parse()
@@ -379,7 +400,7 @@ pub fn render(s: &ServeSummary) -> String {
     );
     let _ = writeln!(
         out,
-        "{:<12} {:>10} {:>12} {:>12} {:>12} {:>10} {:>7} {:>9} {:>8} {:>6} {:>7} {:>7}",
+        "{:<12} {:>10} {:>12} {:>12} {:>12} {:>10} {:>7} {:>9} {:>8} {:>7} {:>8} {:>8} {:>7}",
         "mode",
         "p50",
         "p99",
@@ -389,14 +410,15 @@ pub fn render(s: &ServeSummary) -> String {
         "qmax",
         "compiles",
         "evicted",
-        "deopt",
         "recomp",
+        "loop-inv",
+        "loop-rep",
         "strand"
     );
     for m in &s.modes {
         let _ = writeln!(
             out,
-            "{:<12} {:>10} {:>12} {:>12} {:>12} {:>10} {:>7} {:>9} {:>8} {:>6} {:>7} {:>7}",
+            "{:<12} {:>10} {:>12} {:>12} {:>12} {:>10} {:>7} {:>9} {:>8} {:>7} {:>8} {:>8} {:>7}",
             m.mode,
             m.p50,
             m.p99,
@@ -410,8 +432,9 @@ pub fn render(s: &ServeSummary) -> String {
             m.queue_depth_max,
             m.compiles,
             m.evictions,
-            m.deopts,
             m.recompiles,
+            m.loop_deopts,
+            m.loop_repatches,
             m.stranded,
         );
     }
@@ -485,6 +508,8 @@ mod tests {
                     evictions: 3,
                     deopts: 0,
                     recompiles: 0,
+                    loop_deopts: 0,
+                    loop_repatches: 0,
                     stranded: 0,
                     checksum: -12345,
                 },
@@ -500,8 +525,10 @@ mod tests {
                     queue_depth_mean_milli: 1_500,
                     compiles: 55,
                     evictions: 6,
-                    deopts: 4,
-                    recompiles: 4,
+                    deopts: 0,
+                    recompiles: 2,
+                    loop_deopts: 4,
+                    loop_repatches: 3,
                     stranded: 1,
                     checksum: -12345,
                 },
@@ -570,6 +597,18 @@ mod tests {
         let back = parse(&text).expect("backward compatible");
         assert_eq!(back.modes[0].stranded, 0);
         assert_eq!(back.modes[1].stranded, 0, "missing field defaults to 0");
+    }
+
+    #[test]
+    fn pre_loop_mode_rows_parse_with_loop_fields_defaulted() {
+        // A file written before invalidation went per-loop.
+        let text = emit(&sample())
+            .replace(", \"loop_deopts\": 0, \"loop_repatches\": 0", "")
+            .replace(", \"loop_deopts\": 4, \"loop_repatches\": 3", "");
+        let back = parse(&text).expect("backward compatible");
+        assert_eq!(back.modes[0].loop_deopts, 0);
+        assert_eq!(back.modes[1].loop_deopts, 0, "missing field defaults to 0");
+        assert_eq!(back.modes[1].loop_repatches, 0);
     }
 
     #[test]

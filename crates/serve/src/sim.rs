@@ -100,10 +100,18 @@ pub struct ServeOutcome {
     pub compiles: u64,
     /// Code-cache capacity evictions.
     pub evictions: u64,
-    /// Adaptive deoptimizations summed over all tenant VMs.
+    /// Whole-method adaptive deoptimizations summed over all tenant VMs.
+    /// Always 0 since invalidation went per-loop; kept so downstream
+    /// reports keep their column.
     pub deopts: u64,
-    /// Adaptive recompilations summed over all tenant VMs.
+    /// Full adaptive recompilations summed over all tenant VMs.
     pub recompiles: u64,
+    /// Per-loop invalidations (prefetch sites patched to no-ops, body
+    /// kept compiled) summed over all tenant VMs.
+    pub loop_deopts: u64,
+    /// Per-loop repatches (stale loops re-inspected and their sites
+    /// re-emitted into the installed body) summed over all tenant VMs.
+    pub loop_repatches: u64,
     /// Order-sensitive fold of every tenant's workload checksum — equal
     /// across modes and `jobs` values, or the fleet diverged.
     pub checksum: i64,
@@ -120,10 +128,11 @@ pub struct ServeOutcome {
     pub rearms: u64,
     /// Fault windows that activated.
     pub faults: u64,
-    /// Methods still stranded (deopted, uncompiled) at run end — the
-    /// `deopt-summary` stranding diagnostic, surfaced machine-checkably.
+    /// Loops still stranded (invalidated, not yet repatched) at run end
+    /// — the `deopt-summary` stranding diagnostic, surfaced
+    /// machine-checkably.
     pub stranded_final: u64,
-    /// Fleet stranded-method count sampled once per epoch (chaos runs
+    /// Fleet stranded-loop count sampled once per epoch (chaos runs
     /// only; empty otherwise).
     pub stranded_samples: Vec<u64>,
 }
@@ -281,6 +290,8 @@ pub fn run(
         evictions: 0,
         deopts: 0,
         recompiles: 0,
+        loop_deopts: 0,
+        loop_repatches: 0,
         checksum: 0,
         epochs: 0,
         shed: Vec::new(),
@@ -390,6 +401,10 @@ pub fn run(
                 wait: now - job.enqueued_at,
                 now,
             });
+            // A per-loop repatch refreshes a body that never left the
+            // cache; drop the stale entry so the insert below re-accounts
+            // the new size instead of double-counting.
+            cache.remove(job.tenant, job.method.index() as u32);
             for victim in cache.insert(job.tenant, job.method.index() as u32, instrs, now) {
                 let vt = tenants[victim.tenant as usize].get_mut().unwrap();
                 vt.vm.evict_compiled(MethodId::new(victim.method as usize));
@@ -675,6 +690,8 @@ pub fn run(
                     wait: now - job.enqueued_at,
                     now,
                 });
+                // Same repatch-refresh rule as step 2 of the main loop.
+                cache.remove(job.tenant, job.method.index() as u32);
                 for victim in cache.insert(job.tenant, job.method.index() as u32, instrs, now) {
                     let vt = tenants[victim.tenant as usize].get_mut().unwrap();
                     vt.vm.evict_compiled(MethodId::new(victim.method as usize));
@@ -721,6 +738,8 @@ pub fn run(
         let s = t.vm.stats();
         out.deopts += s.deopts;
         out.recompiles += s.recompiles;
+        out.loop_deopts += s.loop_deopts;
+        out.loop_repatches += s.loop_repatches;
         out.stranded_final += t.vm.stranded_count();
         out.checksum = out
             .checksum
@@ -866,6 +885,11 @@ mod tests {
             (a.retries, a.rearms, a.faults, a.stranded_final),
             (b.retries, b.rearms, b.faults, b.stranded_final)
         );
+        assert_eq!(
+            (a.loop_deopts, a.loop_repatches),
+            (b.loop_deopts, b.loop_repatches),
+            "per-loop counters depend on --jobs"
+        );
         assert_eq!(a.checksum, b.checksum);
     }
 
@@ -937,10 +961,14 @@ mod tests {
             compile_deadline_cycles: 200_000,
             ..ChaosConfig::default()
         };
+        // 30k inter-arrival packs the whole run so tightly that the GC
+        // storms land before the site-bearing bodies are compiled and
+        // invoked; 50k stretches the stream across the storm windows so
+        // per-loop staleness demonstrably fires.
         let cfg = ServeConfig {
             tenants: 6,
             requests: 60,
-            mean_interarrival: 30_000,
+            mean_interarrival: 50_000,
             chaos: Some(chaos),
             ..ServeConfig::default()
         };
@@ -952,11 +980,19 @@ mod tests {
         );
         assert!(!out.shed.is_empty(), "bursts past depth 2 must shed");
         assert_eq!(out.shed.len(), out.shed_times.len());
-        assert!(out.deopts > 0, "GC storms must stale guards");
+        assert!(out.loop_deopts > 0, "GC storms must stale loop guards");
+        assert_eq!(
+            out.deopts, 0,
+            "invalidation is per-loop, never whole-method"
+        );
         assert_eq!(out.stranded_final, 0, "and recovery must still drain");
         assert!(
-            out.stranded_samples.iter().any(|&s| s > 0),
-            "storms should strand methods transiently"
+            out.loop_repatches >= out.loop_deopts,
+            "every invalidated loop must re-enter through a repatch"
+        );
+        assert!(
+            out.loop_repatches > 0,
+            "invalidated loops must recover through tier-2 re-entry"
         );
         assert_eq!(
             out.stranded_samples.last().copied().unwrap_or(1),

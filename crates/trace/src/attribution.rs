@@ -113,6 +113,10 @@ pub struct Attribution {
     pub deopts: u64,
     /// Adaptive recompilations observed.
     pub recompiles: u64,
+    /// Per-loop invalidations observed (stale loops patched to no-ops).
+    pub loop_invalidated: u64,
+    /// Per-loop repatches observed (stale loops re-inspected in place).
+    pub loop_repatched: u64,
 }
 
 impl Attribution {
@@ -179,6 +183,8 @@ pub fn attribute(events: &[TraceEvent]) -> Attribution {
             TraceEvent::SiteStale { .. } => out.site_stales += 1,
             TraceEvent::Deopt { .. } => out.deopts += 1,
             TraceEvent::Recompile { .. } => out.recompiles += 1,
+            TraceEvent::LoopInvalidated { .. } => out.loop_invalidated += 1,
+            TraceEvent::LoopRepatched { .. } => out.loop_repatched += 1,
             TraceEvent::JitBegin { .. }
             | TraceEvent::LdgBuilt { .. }
             | TraceEvent::Inspected { .. }

@@ -1,15 +1,19 @@
 //! `DEOPT_events.jsonl` — the per-cell adaptive-reprofiling event record,
 //! and the aggregation behind `spf-trace-report deopt-summary`.
 //!
-//! ROADMAP open item 1 is a diagnosis problem: db/ADAPTIVE blows up to
-//! ~16.5M cycles because a single deopt with zero recompiles strands the
-//! cell in the interpreter. The raw evidence is already in the trace
-//! stream ([`TraceEvent::SiteStale`], [`TraceEvent::Deopt`],
-//! [`TraceEvent::Recompile`]), but scattered across per-run JSONL dumps.
-//! This module extracts those events per cell, round-trips them through a
-//! JSONL file, and aggregates them into one row per cell with a
-//! `stranded` column: methods that deopted more often than they
-//! recompiled, i.e. methods currently stuck in the interpreter.
+//! ROADMAP open item 1 was a diagnosis problem: db/ADAPTIVE blew up to
+//! ~16.5M cycles because a single deopt with zero recompiles stranded the
+//! cell in the interpreter. The raw evidence is in the trace stream
+//! ([`TraceEvent::SiteStale`], [`TraceEvent::Deopt`],
+//! [`TraceEvent::Recompile`], and — since deopt went per-loop —
+//! [`TraceEvent::LoopInvalidated`] / [`TraceEvent::LoopRepatched`]), but
+//! scattered across per-run JSONL dumps. This module extracts those
+//! events per cell, round-trips them through a JSONL file, and aggregates
+//! them into one row per cell with a `stranded` column counting *loops*
+//! (not methods) that were invalidated more often than they were
+//! repatched, i.e. loops currently running with their prefetch sites
+//! patched out. Legacy whole-method deopt/recompile events participate as
+//! the pseudo-loop `-` of their method, so old dumps still aggregate.
 //!
 //! Emitter and parser are hand-rolled like `summary` (no serde in this
 //! build environment) and only promise to round-trip each other's output.
@@ -24,16 +28,29 @@ use crate::event::TraceEvent;
 pub struct DeoptRow {
     /// The run key, `workload/mode/processor`.
     pub run: String,
-    /// Event tag: `site_stale`, `deopt`, or `recompile`.
+    /// Event tag: `site_stale`, `deopt`, `recompile`, `loop_invalidated`,
+    /// or `loop_repatched`.
     pub tag: String,
     /// Method index in the program.
     pub method: u32,
+    /// Loop header block index for per-loop rows, `-` for method-level
+    /// rows (and for the straight-line pseudo-loop, rendered as `*`).
+    pub loop_header: String,
     /// Compilation generation the event refers to.
     pub generation: u32,
-    /// Staleness reason for `site_stale` rows, `-` otherwise.
+    /// Staleness reason for `site_stale`/`loop_invalidated` rows, `-`
+    /// otherwise.
     pub reason: String,
     /// Simulated cycle of the event.
     pub now: u64,
+}
+
+fn loop_key(header: u32) -> String {
+    if header == u32::MAX {
+        "*".to_string()
+    } else {
+        header.to_string()
+    }
 }
 
 /// Extracts the adaptive-reprofiling rows of one run from its event
@@ -42,29 +59,78 @@ pub fn rows(run: &str, events: &[TraceEvent]) -> Vec<DeoptRow> {
     events
         .iter()
         .filter_map(|ev| {
-            let (tag, method, generation, reason, now) = match *ev {
+            let (tag, method, lp, generation, reason, now) = match *ev {
                 TraceEvent::SiteStale {
                     method,
                     generation,
                     reason,
                     now,
-                } => ("site_stale", method, generation, reason.to_string(), now),
+                } => (
+                    "site_stale",
+                    method,
+                    "-".to_string(),
+                    generation,
+                    reason.to_string(),
+                    now,
+                ),
                 TraceEvent::Deopt {
                     method,
                     generation,
                     now,
-                } => ("deopt", method, generation, "-".to_string(), now),
+                } => (
+                    "deopt",
+                    method,
+                    "-".to_string(),
+                    generation,
+                    "-".to_string(),
+                    now,
+                ),
                 TraceEvent::Recompile {
                     method,
                     generation,
                     now,
-                } => ("recompile", method, generation, "-".to_string(), now),
+                } => (
+                    "recompile",
+                    method,
+                    "-".to_string(),
+                    generation,
+                    "-".to_string(),
+                    now,
+                ),
+                TraceEvent::LoopInvalidated {
+                    method,
+                    loop_header,
+                    generation,
+                    reason,
+                    now,
+                } => (
+                    "loop_invalidated",
+                    method,
+                    loop_key(loop_header),
+                    generation,
+                    reason.to_string(),
+                    now,
+                ),
+                TraceEvent::LoopRepatched {
+                    method,
+                    loop_header,
+                    generation,
+                    now,
+                } => (
+                    "loop_repatched",
+                    method,
+                    loop_key(loop_header),
+                    generation,
+                    "-".to_string(),
+                    now,
+                ),
                 _ => return None,
             };
             Some(DeoptRow {
                 run: run.to_string(),
                 tag: tag.to_string(),
                 method,
+                loop_header: lp,
                 generation,
                 reason,
                 now,
@@ -83,11 +149,12 @@ pub fn emit(rows: &[DeoptRow]) -> String {
     for r in rows {
         let _ = writeln!(
             s,
-            "{{\"run\": \"{}\", \"tag\": \"{}\", \"method\": {}, \"generation\": {}, \
-             \"reason\": \"{}\", \"now\": {}}}",
+            "{{\"run\": \"{}\", \"tag\": \"{}\", \"method\": {}, \"loop\": \"{}\", \
+             \"generation\": {}, \"reason\": \"{}\", \"now\": {}}}",
             escape(&r.run),
             escape(&r.tag),
             r.method,
+            escape(&r.loop_header),
             r.generation,
             escape(&r.reason),
             r.now,
@@ -109,7 +176,8 @@ fn field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
 
 /// Parses a file produced by [`emit`] back into its rows. Lines whose tag
 /// is not an adaptive-reprofiling event are skipped, so a full
-/// `events.jsonl` dump also parses (its rows get run key `-`).
+/// `events.jsonl` dump also parses (its rows get run key `-`). Rows from
+/// pre-per-loop dumps have no `loop` field and get `-`.
 ///
 /// # Errors
 ///
@@ -122,7 +190,10 @@ pub fn parse(text: &str) -> Result<Vec<DeoptRow>, String> {
             continue;
         }
         let tag = field(line, "tag").ok_or_else(|| format!("missing tag in line: {line}"))?;
-        if !matches!(tag, "site_stale" | "deopt" | "recompile") {
+        if !matches!(
+            tag,
+            "site_stale" | "deopt" | "recompile" | "loop_invalidated" | "loop_repatched"
+        ) {
             continue;
         }
         let num = |key: &str| -> Result<u64, String> {
@@ -135,6 +206,7 @@ pub fn parse(text: &str) -> Result<Vec<DeoptRow>, String> {
             run: field(line, "run").unwrap_or("-").to_string(),
             tag: tag.to_string(),
             method: num("method")? as u32,
+            loop_header: field(line, "loop").unwrap_or("-").to_string(),
             generation: num("generation")? as u32,
             reason: field(line, "reason").unwrap_or("-").to_string(),
             now: num("now")?,
@@ -148,21 +220,29 @@ pub fn parse(text: &str) -> Result<Vec<DeoptRow>, String> {
 pub struct DeoptSummary {
     /// The run key, `workload/mode/processor`.
     pub run: String,
-    /// `SiteStale` verdicts observed.
+    /// `SiteStale` verdicts observed (legacy whole-method staleness).
     pub site_stale: u64,
-    /// Staleness verdicts caused by a GC moving objects.
+    /// Staleness verdicts (method- or loop-level) caused by a GC moving
+    /// objects.
     pub gc_moved: u64,
     /// Staleness verdicts caused by the useless-prefetch ratio.
     pub useless_ratio: u64,
-    /// Deoptimizations (compiled body discarded).
+    /// Whole-method deoptimizations (compiled body discarded).
     pub deopts: u64,
-    /// Recompilations after re-inspection.
+    /// Whole-method recompilations after re-inspection.
     pub recompiles: u64,
+    /// Per-loop invalidations (prefetch sites patched to no-ops, body
+    /// kept live).
+    pub loop_invalidated: u64,
+    /// Per-loop repatches (stale loops re-inspected in place).
+    pub loop_repatched: u64,
     /// Distinct methods with at least one event.
     pub methods: u64,
-    /// Methods with more deopts than recompiles — currently stranded in
-    /// the interpreter. A nonzero count on a slow ADAPTIVE cell is the
-    /// db-blow-up signature.
+    /// Loops (keyed method+loop; whole-method events count as the `-`
+    /// pseudo-loop of their method) invalidated more often than
+    /// repatched — currently running with their prefetch sites patched
+    /// out. A nonzero count on a slow ADAPTIVE cell is the db-blow-up
+    /// signature.
     pub stranded: u64,
     /// Simulated cycle of the cell's first event.
     pub first_now: u64,
@@ -191,39 +271,55 @@ pub fn aggregate(rows: &[DeoptRow]) -> Vec<DeoptSummary> {
                 useless_ratio: 0,
                 deopts: 0,
                 recompiles: 0,
+                loop_invalidated: 0,
+                loop_repatched: 0,
                 methods: 0,
                 stranded: 0,
                 first_now: u64::MAX,
                 last_now: 0,
             };
-            // (deopts, recompiles) per method, in method order.
-            let mut per_method: BTreeMap<u32, (u64, u64)> = BTreeMap::new();
+            // (invalidations, repatches) per (method, loop), in key order.
+            // Whole-method deopt/recompile rows land on pseudo-loop `-`.
+            let mut per_loop: BTreeMap<(u32, String), (u64, u64)> = BTreeMap::new();
+            let mut methods: BTreeMap<u32, ()> = BTreeMap::new();
             for r in rs {
+                methods.insert(r.method, ());
+                let key = (r.method, r.loop_header.clone());
                 match r.tag.as_str() {
                     "site_stale" => {
                         s.site_stale += 1;
-                        match r.reason.as_str() {
-                            "gc-moved" => s.gc_moved += 1,
-                            "useless-ratio" => s.useless_ratio += 1,
-                            _ => {}
-                        }
-                        per_method.entry(r.method).or_default();
+                        per_loop.entry(key).or_default();
                     }
                     "deopt" => {
                         s.deopts += 1;
-                        per_method.entry(r.method).or_default().0 += 1;
+                        per_loop.entry(key).or_default().0 += 1;
                     }
                     "recompile" => {
                         s.recompiles += 1;
-                        per_method.entry(r.method).or_default().1 += 1;
+                        per_loop.entry(key).or_default().1 += 1;
+                    }
+                    "loop_invalidated" => {
+                        s.loop_invalidated += 1;
+                        per_loop.entry(key).or_default().0 += 1;
+                    }
+                    "loop_repatched" => {
+                        s.loop_repatched += 1;
+                        per_loop.entry(key).or_default().1 += 1;
                     }
                     _ => {}
+                }
+                if matches!(r.tag.as_str(), "site_stale" | "loop_invalidated") {
+                    match r.reason.as_str() {
+                        "gc-moved" => s.gc_moved += 1,
+                        "useless-ratio" => s.useless_ratio += 1,
+                        _ => {}
+                    }
                 }
                 s.first_now = s.first_now.min(r.now);
                 s.last_now = s.last_now.max(r.now);
             }
-            s.methods = per_method.len() as u64;
-            s.stranded = per_method.values().filter(|(d, rc)| d > rc).count() as u64;
+            s.methods = methods.len() as u64;
+            s.stranded = per_loop.values().filter(|(inv, rp)| inv > rp).count() as u64;
             if s.first_now == u64::MAX {
                 s.first_now = 0;
             }
@@ -237,20 +333,31 @@ pub fn render(summaries: &[DeoptSummary]) -> String {
     let mut out = String::new();
     let _ = writeln!(
         out,
-        "{:<36} {:>6} {:>9} {:>8} {:>7} {:>10} {:>8} {:>9}",
-        "run", "stale", "gc-moved", "useless", "deopts", "recompiles", "methods", "stranded"
+        "{:<36} {:>6} {:>9} {:>8} {:>7} {:>10} {:>9} {:>9} {:>8} {:>9}",
+        "run",
+        "stale",
+        "gc-moved",
+        "useless",
+        "deopts",
+        "recompiles",
+        "loop-inv",
+        "loop-rep",
+        "methods",
+        "stranded"
     );
-    let mut t = [0u64; 6];
+    let mut t = [0u64; 8];
     for s in summaries {
         let _ = writeln!(
             out,
-            "{:<36} {:>6} {:>9} {:>8} {:>7} {:>10} {:>8} {:>9}{}",
+            "{:<36} {:>6} {:>9} {:>8} {:>7} {:>10} {:>9} {:>9} {:>8} {:>9}{}",
             s.run,
             s.site_stale,
             s.gc_moved,
             s.useless_ratio,
             s.deopts,
             s.recompiles,
+            s.loop_invalidated,
+            s.loop_repatched,
             s.methods,
             s.stranded,
             if s.stranded > 0 { "  <- stranded" } else { "" },
@@ -260,12 +367,15 @@ pub fn render(summaries: &[DeoptSummary]) -> String {
         t[2] += s.useless_ratio;
         t[3] += s.deopts;
         t[4] += s.recompiles;
-        t[5] += s.stranded;
+        t[5] += s.loop_invalidated;
+        t[6] += s.loop_repatched;
+        t[7] += s.stranded;
     }
     let _ = writeln!(
         out,
         "\ntotal: {} cell(s), {} stale ({} gc-moved, {} useless-ratio), \
-         {} deopt(s), {} recompile(s), {} stranded method(s)",
+         {} deopt(s), {} recompile(s), {} loop invalidation(s), \
+         {} loop repatch(es), {} stranded loop(s)",
         summaries.len(),
         t[0],
         t[1],
@@ -273,8 +383,70 @@ pub fn render(summaries: &[DeoptSummary]) -> String {
         t[3],
         t[4],
         t[5],
+        t[6],
+        t[7],
     );
     out
+}
+
+/// Reconciles the per-loop stranding counts of a `DEOPT_events.jsonl`
+/// aggregation against the per-mode `stranded` field of a
+/// `SERVE_summary.json`. The deopt run key is `workload/mode/processor`,
+/// so runs are bucketed by their middle component and each bucket's
+/// stranded-loop total is compared with the serve row of the same mode.
+/// Chaos rows (which carry `stranded_final`, not `stranded`) are ignored.
+/// Returns the report text and the number of mismatching modes.
+///
+/// # Errors
+///
+/// Returns a message when `serve_text` contains no mode rows (wrong
+/// file), or a row's `stranded` field is malformed.
+pub fn reconcile(summaries: &[DeoptSummary], serve_text: &str) -> Result<(String, u64), String> {
+    let mut serve: Vec<(String, u64)> = Vec::new();
+    for line in serve_text.lines() {
+        let line = line.trim();
+        // Mode rows carry `stranded`; chaos rows carry `stranded_final`
+        // and `post_p99_ratio_milli` instead.
+        if !line.contains("\"mode\"") || line.contains("\"post_p99_ratio_milli\"") {
+            continue;
+        }
+        let Some(mode) = field(line, "mode") else {
+            continue;
+        };
+        let Some(stranded) = field(line, "stranded") else {
+            continue;
+        };
+        let stranded: u64 = stranded
+            .parse()
+            .map_err(|e| format!("bad stranded in {line}: {e}"))?;
+        serve.push((mode.to_string(), stranded));
+    }
+    if serve.is_empty() {
+        return Err("not a SERVE_summary.json: no mode rows with a stranded field".to_string());
+    }
+    let mut out = String::new();
+    let mut mismatches = 0u64;
+    let _ = writeln!(out, "\nreconciliation against SERVE_summary.json:");
+    for (mode, serve_stranded) in &serve {
+        let trace_stranded: u64 = summaries
+            .iter()
+            .filter(|s| s.run.split('/').nth(1) == Some(mode))
+            .map(|s| s.stranded)
+            .sum();
+        let ok = trace_stranded == *serve_stranded;
+        if !ok {
+            mismatches += 1;
+        }
+        let _ = writeln!(
+            out,
+            "  {:<14} serve stranded {:>3}, trace stranded {:>3}  {}",
+            mode,
+            serve_stranded,
+            trace_stranded,
+            if ok { "OK" } else { "MISMATCH" },
+        );
+    }
+    Ok((out, mismatches))
 }
 
 #[cfg(test)]
@@ -283,6 +455,37 @@ mod tests {
     use crate::event::{SiteId, StaleReason};
 
     fn sample_events() -> Vec<TraceEvent> {
+        vec![
+            TraceEvent::LoopInvalidated {
+                method: 2,
+                loop_header: 4,
+                generation: 0,
+                reason: StaleReason::GcMoved,
+                now: 100,
+            },
+            TraceEvent::LoopRepatched {
+                method: 2,
+                loop_header: 4,
+                generation: 1,
+                now: 500,
+            },
+            TraceEvent::LoopInvalidated {
+                method: 5,
+                loop_header: 7,
+                generation: 0,
+                reason: StaleReason::UselessRatio,
+                now: 900,
+            },
+            // An unrelated runtime event that must be filtered out.
+            TraceEvent::SwpfIssued {
+                site: SiteId(0),
+                line: 0x40,
+                now: 950,
+            },
+        ]
+    }
+
+    fn legacy_events() -> Vec<TraceEvent> {
         vec![
             TraceEvent::SiteStale {
                 method: 2,
@@ -300,22 +503,10 @@ mod tests {
                 generation: 1,
                 now: 500,
             },
-            TraceEvent::SiteStale {
-                method: 5,
-                generation: 0,
-                reason: StaleReason::UselessRatio,
-                now: 900,
-            },
             TraceEvent::Deopt {
                 method: 5,
                 generation: 0,
                 now: 901,
-            },
-            // An unrelated runtime event that must be filtered out.
-            TraceEvent::SwpfIssued {
-                site: SiteId(0),
-                line: 0x40,
-                now: 950,
             },
         ]
     }
@@ -323,16 +514,33 @@ mod tests {
     #[test]
     fn rows_filter_the_adaptive_events() {
         let rs = rows("db/ADAPTIVE/Pentium 4", &sample_events());
-        assert_eq!(rs.len(), 5);
-        assert_eq!(rs[0].tag, "site_stale");
+        assert_eq!(rs.len(), 3);
+        assert_eq!(rs[0].tag, "loop_invalidated");
+        assert_eq!(rs[0].loop_header, "4");
         assert_eq!(rs[0].reason, "gc-moved");
-        assert_eq!(rs[2].tag, "recompile");
-        assert_eq!(rs[2].generation, 1);
+        assert_eq!(rs[1].tag, "loop_repatched");
+        assert_eq!(rs[1].generation, 1);
+    }
+
+    #[test]
+    fn straight_line_pseudo_loop_renders_as_star() {
+        let rs = rows(
+            "r",
+            &[TraceEvent::LoopInvalidated {
+                method: 1,
+                loop_header: u32::MAX,
+                generation: 0,
+                reason: StaleReason::GcMoved,
+                now: 1,
+            }],
+        );
+        assert_eq!(rs[0].loop_header, "*");
     }
 
     #[test]
     fn emit_parse_round_trip() {
-        let rs = rows("db/ADAPTIVE/Athlon MP", &sample_events());
+        let mut rs = rows("db/ADAPTIVE/Athlon MP", &sample_events());
+        rs.extend(rows("db/ADAPTIVE/Athlon MP", &legacy_events()));
         let parsed = parse(&emit(&rs)).unwrap();
         assert_eq!(parsed, rs);
     }
@@ -344,24 +552,65 @@ mod tests {
         let rs = parse(text).unwrap();
         assert_eq!(rs.len(), 1);
         assert_eq!(rs[0].run, "-", "events.jsonl rows have no run key");
+        assert_eq!(rs[0].loop_header, "-", "legacy rows have no loop field");
         assert!(parse("{\"tag\": \"deopt\", \"method\": 1}").is_err());
     }
 
     #[test]
-    fn aggregate_counts_stranded_methods() {
+    fn aggregate_counts_stranded_loops() {
         let rs = rows("db/ADAPTIVE/Pentium 4", &sample_events());
         let sums = aggregate(&rs);
         assert_eq!(sums.len(), 1);
         let s = &sums[0];
-        assert_eq!(s.site_stale, 2);
+        assert_eq!(s.loop_invalidated, 2);
+        assert_eq!(s.loop_repatched, 1);
         assert_eq!(s.gc_moved, 1);
         assert_eq!(s.useless_ratio, 1);
+        assert_eq!(s.methods, 2);
+        assert_eq!(s.stranded, 1, "loop 7 of method 5 never came back");
+        assert_eq!(s.first_now, 100);
+        assert_eq!(s.last_now, 900);
+    }
+
+    #[test]
+    fn legacy_method_events_strand_on_the_pseudo_loop() {
+        let rs = rows("db/ADAPTIVE/Pentium 4", &legacy_events());
+        let s = &aggregate(&rs)[0];
         assert_eq!(s.deopts, 2);
         assert_eq!(s.recompiles, 1);
-        assert_eq!(s.methods, 2);
         assert_eq!(s.stranded, 1, "method 5 deopted and never came back");
-        assert_eq!(s.first_now, 100);
-        assert_eq!(s.last_now, 901);
+    }
+
+    #[test]
+    fn per_loop_stranding_distinguishes_loops_of_one_method() {
+        // Two loops of one method: one repatched, one not. Method-level
+        // stranding would see 2 invalidations vs 1 repatch on the same
+        // method; per-loop must see exactly one stranded loop.
+        let evs = vec![
+            TraceEvent::LoopInvalidated {
+                method: 9,
+                loop_header: 3,
+                generation: 0,
+                reason: StaleReason::GcMoved,
+                now: 10,
+            },
+            TraceEvent::LoopInvalidated {
+                method: 9,
+                loop_header: 6,
+                generation: 0,
+                reason: StaleReason::GcMoved,
+                now: 10,
+            },
+            TraceEvent::LoopRepatched {
+                method: 9,
+                loop_header: 3,
+                generation: 1,
+                now: 90,
+            },
+        ];
+        let s = &aggregate(&rows("r", &evs))[0];
+        assert_eq!(s.methods, 1);
+        assert_eq!(s.stranded, 1);
     }
 
     #[test]
@@ -374,10 +623,31 @@ mod tests {
     }
 
     #[test]
+    fn reconcile_matches_serve_stranded_by_mode() {
+        let rs = rows("db/ADAPTIVE/Pentium 4", &sample_events());
+        let sums = aggregate(&rs); // 1 stranded loop on ADAPTIVE
+        let serve = "{\"mode\": \"BASELINE\", \"stranded\": 0, \"checksum\": 1}\n\
+                     {\"mode\": \"ADAPTIVE\", \"stranded\": 1, \"checksum\": 1}\n\
+                     {\"mode\": \"ADAPTIVE\", \"stranded_final\": 9, \
+                      \"post_p99_ratio_milli\": 1000}\n";
+        let (text, mismatches) = reconcile(&sums, serve).unwrap();
+        assert_eq!(mismatches, 0, "{text}");
+        assert!(text.contains("ADAPTIVE"));
+        assert!(text.contains("OK"));
+
+        let bad = serve.replace("\"stranded\": 1", "\"stranded\": 5");
+        let (text, mismatches) = reconcile(&sums, &bad).unwrap();
+        assert_eq!(mismatches, 1);
+        assert!(text.contains("MISMATCH"), "{text}");
+
+        assert!(reconcile(&sums, "not json").is_err());
+    }
+
+    #[test]
     fn render_marks_stranded_cells() {
         let rs = rows("db/ADAPTIVE/Pentium 4", &sample_events());
         let table = render(&aggregate(&rs));
         assert!(table.contains("<- stranded"), "{table}");
-        assert!(table.contains("1 stranded method(s)"), "{table}");
+        assert!(table.contains("1 stranded loop(s)"), "{table}");
     }
 }

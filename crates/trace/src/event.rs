@@ -350,6 +350,33 @@ pub enum TraceEvent {
         /// Simulated cycle.
         now: u64,
     },
+    /// One loop of a compiled method went stale and its prefetch sites
+    /// were patched to no-ops; the rest of the body stays live.
+    LoopInvalidated {
+        /// Method index in the program.
+        method: u32,
+        /// The stale loop's header block index (`u32::MAX` for the
+        /// pseudo-loop holding straight-line sites).
+        loop_header: u32,
+        /// The loop's generation that went stale.
+        generation: u32,
+        /// Why.
+        reason: StaleReason,
+        /// Simulated cycle.
+        now: u64,
+    },
+    /// A previously invalidated loop was re-inspected through the normal
+    /// pipeline and its prefetch sites re-emitted into the live body.
+    LoopRepatched {
+        /// Method index in the program.
+        method: u32,
+        /// The repatched loop's header block index.
+        loop_header: u32,
+        /// The loop's new generation (≥ 1).
+        generation: u32,
+        /// Simulated cycle.
+        now: u64,
+    },
 
     // ---- serving ------------------------------------------------------
     /// The serving layer enqueued a background compilation request for a
@@ -489,6 +516,8 @@ impl TraceEvent {
             TraceEvent::SiteStale { .. } => "site_stale",
             TraceEvent::Deopt { .. } => "deopt",
             TraceEvent::Recompile { .. } => "recompile",
+            TraceEvent::LoopInvalidated { .. } => "loop_invalidated",
+            TraceEvent::LoopRepatched { .. } => "loop_repatched",
             TraceEvent::CompileEnqueued { .. } => "compile_enqueued",
             TraceEvent::CompileInstalled { .. } => "compile_installed",
             TraceEvent::CodeCacheEvicted { .. } => "code_cache_evicted",
@@ -518,6 +547,8 @@ impl TraceEvent {
             | TraceEvent::SiteStale { now, .. }
             | TraceEvent::Deopt { now, .. }
             | TraceEvent::Recompile { now, .. }
+            | TraceEvent::LoopInvalidated { now, .. }
+            | TraceEvent::LoopRepatched { now, .. }
             | TraceEvent::CompileEnqueued { now, .. }
             | TraceEvent::CompileInstalled { now, .. }
             | TraceEvent::CodeCacheEvicted { now, .. }

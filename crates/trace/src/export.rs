@@ -193,6 +193,31 @@ fn fields(out: &mut String, ev: &TraceEvent) {
                 "\"method\": {method}, \"generation\": {generation}, \"now\": {now}"
             );
         }
+        TraceEvent::LoopInvalidated {
+            method,
+            loop_header,
+            generation,
+            reason,
+            now,
+        } => {
+            let _ = write!(
+                out,
+                "\"method\": {method}, \"loop_header\": {loop_header}, \
+                 \"generation\": {generation}, \"reason\": \"{reason}\", \"now\": {now}"
+            );
+        }
+        TraceEvent::LoopRepatched {
+            method,
+            loop_header,
+            generation,
+            now,
+        } => {
+            let _ = write!(
+                out,
+                "\"method\": {method}, \"loop_header\": {loop_header}, \
+                 \"generation\": {generation}, \"now\": {now}"
+            );
+        }
         TraceEvent::CompileEnqueued {
             tenant,
             method,

@@ -26,6 +26,18 @@ pub const RECOMPILE_BASE_CYCLES: u64 = 1_000;
 /// adaptive recompilation.
 pub const RECOMPILE_CYCLES_PER_INSTR: u64 = 20;
 
+/// Cycle cost of patching one stale loop's prefetch sites to no-ops
+/// (tier-1 invalidation). A code patch, not a compile: far below
+/// [`RECOMPILE_BASE_CYCLES`], so invalidating one loop never costs like
+/// recompiling the method.
+pub const LOOP_PATCH_CYCLES: u64 = 50;
+
+/// Base cycle cost of re-inspecting and repatching one invalidated loop
+/// (tier-2 re-entry), plus [`RECOMPILE_CYCLES_PER_INSTR`] per instruction
+/// in that loop's blocks. Deterministic, like the recompile constants:
+/// repatches run inside measured windows.
+pub const LOOP_RECOMPILE_BASE_CYCLES: u64 = 200;
+
 /// Configuration of a [`crate::Vm`].
 #[derive(Clone, Debug)]
 pub struct VmConfig {

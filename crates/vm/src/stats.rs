@@ -40,12 +40,21 @@ pub struct VmStats {
     pub gc_count: u64,
     /// Cycles charged for garbage collection.
     pub gc_cycles: u64,
-    /// Adaptive deoptimizations: compiled methods whose guards went stale
-    /// and were dropped back to the interpreter (Adaptive mode only).
+    /// Whole-method adaptive deoptimizations. Always 0 since staleness
+    /// went per-loop (see `loop_deopts`); kept so pre-existing reports
+    /// and parsers keep their column.
     pub deopts: u64,
-    /// Adaptive recompilations after a deopt (each re-inspects the live
-    /// heap and produces the next compilation generation).
+    /// Full adaptive recompilations (a new generation of the whole body,
+    /// e.g. after a code-cache eviction re-crosses the threshold).
     pub recompiles: u64,
+    /// Per-loop invalidations: loops whose guard went stale and whose
+    /// prefetch sites were patched to no-ops. The rest of the compiled
+    /// body keeps running (adaptive guards only).
+    pub loop_deopts: u64,
+    /// Per-loop repatches: invalidated loops re-inspected through the
+    /// normal pipeline and their sites re-emitted into the installed
+    /// body.
+    pub loop_repatches: u64,
     /// Recompilations whose re-inspection re-agreed on prefetchable
     /// strides (the fresh body contains at least one prefetch site).
     pub reagreed: u64,

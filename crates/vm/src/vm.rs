@@ -23,7 +23,10 @@ use spf_ir::{ElemTy, Function, Instr, InstrRef, MethodId, PrefetchKind, Program,
 use spf_memsim::{MemorySystem, ProcessorConfig};
 use spf_trace::{NoopSink, SiteId, SiteInfo, SiteKind, SiteTable, TraceEvent, TraceSink};
 
-use crate::config::{VmConfig, CYCLES_PER_NANO, RECOMPILE_BASE_CYCLES, RECOMPILE_CYCLES_PER_INSTR};
+use crate::config::{
+    VmConfig, CYCLES_PER_NANO, LOOP_PATCH_CYCLES, LOOP_RECOMPILE_BASE_CYCLES,
+    RECOMPILE_BASE_CYCLES, RECOMPILE_CYCLES_PER_INSTR,
+};
 use crate::decode::{decode, ThreadedCode};
 use crate::dispatch::{self, Ctx, Step};
 use crate::error::VmError;
@@ -461,12 +464,13 @@ impl<S: TraceSink> Vm<S> {
             let rev = self.code_rev[mid.index()];
             if let Some(target) = self.pics[slot as usize].lookup(rev) {
                 if target.compiled {
-                    // Cached compiled body. In adaptive mode the staleness
-                    // check still runs on every invocation, exactly as the
-                    // slow path does; a deopt bumps the revision, so the
-                    // way dies and resolution falls through (with the
-                    // stale check already consumed).
-                    if !self.adaptive || !self.maybe_deopt(mid, args) {
+                    // Cached compiled body. In adaptive mode the per-loop
+                    // staleness check still runs on every invocation,
+                    // exactly as the slow path does; a loop patch or
+                    // repatch bumps the revision, so the way dies and
+                    // resolution falls through (with the stale check
+                    // already consumed).
+                    if !self.adaptive || !self.maybe_patch(mid, args) {
                         self.pic_hits += 1;
                         self.activate(target, mid, args, ret_dst);
                         return Ok(());
@@ -500,16 +504,10 @@ impl<S: TraceSink> Vm<S> {
         deopt_checked: bool,
     ) -> Result<(), VmError> {
         if !deopt_checked && self.adaptive && self.compiled[mid.index()].is_some() {
-            self.maybe_deopt(mid, args);
+            self.maybe_patch(mid, args);
         }
         if self.compiled[mid.index()].is_none()
             && self.invocations[mid.index()] >= self.config.compile_threshold
-            && (!self.adaptive
-                || self.adapt.may_recompile(
-                    mid.index(),
-                    u64::from(self.invocations[mid.index()]),
-                    self.heap.gc_epoch(),
-                ))
         {
             if self.config.async_compile {
                 // Production-JVM style: request a background compile and
@@ -530,16 +528,28 @@ impl<S: TraceSink> Vm<S> {
         Ok(())
     }
 
-    /// Runs the adaptive staleness check for `mid` (which must have a
-    /// compiled body installed) and deopts if a guard went stale; returns
-    /// whether a deopt happened. `args` are the current invocation's
-    /// arguments, retained under [`VmConfig::retain_deopt_args`] so the
-    /// serving recovery sweep can recompile the method later.
-    fn maybe_deopt(&mut self, mid: MethodId, args: &[Value]) -> bool {
-        let verdict = self.adapt.check_stale(mid.index(), self.heap.gc_epoch());
+    /// Runs the adaptive per-loop maintenance for `mid` (which must have
+    /// a compiled body installed): first repatches invalidated loops
+    /// whose backoff has been served (tier-2 re-entry), then checks the
+    /// loop guards and patches newly stale loops' prefetch sites to
+    /// no-ops (tier-1 invalidation). Returns whether the installed body
+    /// changed (the caller's PIC way is then dead). `args` are the
+    /// current invocation's arguments: the repatch re-inspects with them,
+    /// and a patch retains them under [`VmConfig::retain_deopt_args`] so
+    /// the serving recovery sweep can repatch the method later.
+    fn maybe_patch(&mut self, mid: MethodId, args: &[Value]) -> bool {
+        let epoch = self.heap.gc_epoch();
+        let invocations = u64::from(self.invocations[mid.index()]);
+        let mut changed = false;
+        let due = self.adapt.loops_due(mid.index(), invocations, epoch);
+        if !due.is_empty() {
+            self.repatch_loops(mid, args, &due, false);
+            changed = true;
+        }
+        let stale = self.adapt.check_stale(mid.index(), epoch);
         if S::ENABLED {
-            // `check_stale` may have re-armed a disarmed guard even when
-            // it returned no verdict; surface that to the trace.
+            // `check_stale` may have re-armed a disarmed loop guard even
+            // when it returned no verdict; surface that to the trace.
             let now = self.stats.cycles;
             for (method, generation) in self.adapt.take_rearmed() {
                 self.mem.sink_mut().emit(TraceEvent::GuardRearmed {
@@ -550,37 +560,84 @@ impl<S: TraceSink> Vm<S> {
                 });
             }
         }
-        let Some(reason) = verdict else {
-            return false;
-        };
-        let generation = self.adapt.guard(mid.index()).map_or(0, |g| g.generation);
+        if stale.is_empty() {
+            return changed;
+        }
+        self.patch_loops(mid, args, &stale);
+        true
+    }
+
+    /// Tier-1 invalidation: strips the `Prefetch`/`SpecLoad` instructions
+    /// from the blocks of the given stale loops and reinstalls the body.
+    /// Everything else — the other loops' sites included — keeps running
+    /// compiled; only the stale loops drop to plain (unprefetched)
+    /// compiled code until their repatch is due.
+    fn patch_loops(&mut self, mid: MethodId, args: &[Value], stale: &[spf_adapt::StaleLoop]) {
+        let src = Arc::clone(
+            &self.compiled[mid.index()]
+                .as_ref()
+                .expect("staleness requires a compiled body")
+                .tcode
+                .src,
+        );
+        let cfg = spf_ir::cfg::Cfg::compute(&src);
+        let dom = spf_ir::dom::DomTree::compute(&src, &cfg);
+        let forest = spf_ir::loops::LoopForest::compute(&src, &cfg, &dom);
+        let stale_headers: std::collections::HashSet<u32> =
+            stale.iter().map(|s| s.header).collect();
+        let mut func = (*src).clone();
+        for b in func.block_ids() {
+            let owner = forest
+                .innermost(b)
+                .map_or(spf_adapt::NO_LOOP, |l| forest.info(l).header.index() as u32);
+            if !stale_headers.contains(&owner) {
+                continue;
+            }
+            func.block_mut(b)
+                .instrs
+                .retain(|i| !matches!(i, Instr::Prefetch { .. } | Instr::SpecLoad { .. }));
+        }
+        // A patch is a deterministic code edit, far cheaper than any
+        // recompile; charged per stale loop.
+        let patch_cycles = LOOP_PATCH_CYCLES * stale.len() as u64;
+        self.stats.jit_cycles += patch_cycles;
+        self.stats.cycles += patch_cycles;
+        self.stats.loop_deopts += stale.len() as u64;
         if S::ENABLED {
             let now = self.stats.cycles;
-            self.mem.sink_mut().emit(TraceEvent::SiteStale {
-                method: mid.index() as u32,
-                generation,
-                reason,
-                now,
-            });
-            self.mem.sink_mut().emit(TraceEvent::Deopt {
-                method: mid.index() as u32,
-                generation,
-                now,
-            });
+            for s in stale {
+                self.mem.sink_mut().emit(TraceEvent::LoopInvalidated {
+                    method: mid.index() as u32,
+                    loop_header: s.header,
+                    generation: s.generation,
+                    reason: s.reason,
+                    now,
+                });
+            }
         }
-        // Deopt: drop back to the unprefetched original body (the
-        // interpreter runs it) until the backoff window elapses.
-        self.compiled[mid.index()] = None;
-        self.code_rev[mid.index()] = self.code_rev[mid.index()].wrapping_add(1);
-        self.stats.deopts += 1;
-        self.adapt.on_deopt(
+        let generation = self.adapt.on_patch(
             mid.index(),
+            &stale.iter().map(|s| s.header).collect::<Vec<_>>(),
             u64::from(self.invocations[mid.index()]),
             self.heap.gc_epoch(),
         );
+        if S::ENABLED {
+            self.register_sites(mid, &func, generation);
+        }
+        let func = Arc::new(func);
+        let tcode = Arc::new(decode(
+            &self.program,
+            self.heap.layout_tables(),
+            &func,
+            self.fuse,
+        ));
+        let installed = self.register_installed(tcode, true);
+        self.history.push((mid, generation, func));
+        self.compiled[mid.index()] = Some(installed);
+        self.code_rev[mid.index()] = self.code_rev[mid.index()].wrapping_add(1);
         if self.config.retain_deopt_args {
             // Keep this invocation's arguments so a recovery sweep can
-            // recompile the method without re-crossing the threshold.
+            // repatch the stranded loops without waiting for the backoff.
             // Retaining values extends their GC liveness, so this is
             // strictly opt-in (chaos/serving runs only).
             if let Some(entry) = self.deopt_args.iter_mut().find(|(m, _)| *m == mid) {
@@ -590,7 +647,172 @@ impl<S: TraceSink> Vm<S> {
                 self.deopt_args.push((mid, args.to_vec()));
             }
         }
-        true
+    }
+
+    /// Tier-2 re-entry: re-runs the prefetch pipeline for the given
+    /// invalidated loops only — static-first re-proves, dynamic
+    /// re-inspects the live heap with `args` — splices the fresh sites
+    /// into the installed body, and reinstalls it. Charges a
+    /// deterministic per-loop cost far below a full recompile unless
+    /// `background` (a compilation-queue worker accounts for latency on
+    /// its own clock). Returns the installed body's instruction count.
+    fn repatch_loops(
+        &mut self,
+        mid: MethodId,
+        args: &[Value],
+        due: &[u32],
+        background: bool,
+    ) -> u64 {
+        let t0 = Instant::now();
+        let src = Arc::clone(
+            &self.compiled[mid.index()]
+                .as_ref()
+                .expect("repatch requires a compiled body")
+                .tcode
+                .src,
+        );
+        let due_set: std::collections::HashSet<u32> = due.iter().copied().collect();
+        let prefetcher = StridePrefetcher::new(self.config.prefetch.clone());
+        let proc = self.mem.config().clone();
+        let mut outcome = prefetcher.reoptimize_loops(
+            &self.program,
+            &src,
+            &self.heap,
+            &self.statics,
+            args,
+            &proc,
+            &due_set,
+            self.mem.sink_mut(),
+        );
+        // Deterministic repatch cost: per due loop, a base charge plus
+        // the per-instruction rate over that loop's own blocks — always
+        // far below RECOMPILE_BASE_CYCLES + per-instr over the whole
+        // body, which is the point of per-loop re-entry.
+        let cfg = spf_ir::cfg::Cfg::compute(&src);
+        let dom = spf_ir::dom::DomTree::compute(&src, &cfg);
+        let forest = spf_ir::loops::LoopForest::compute(&src, &cfg, &dom);
+        let mut loop_instrs: HashMap<u32, u64> = HashMap::new();
+        for b in src.block_ids() {
+            let owner = forest
+                .innermost(b)
+                .map_or(spf_adapt::NO_LOOP, |l| forest.info(l).header.index() as u32);
+            if due_set.contains(&owner) {
+                *loop_instrs.entry(owner).or_default() += src.block(b).instrs.len() as u64;
+            }
+        }
+        let repatch_cycles: u64 = due
+            .iter()
+            .map(|h| {
+                LOOP_RECOMPILE_BASE_CYCLES
+                    + RECOMPILE_CYCLES_PER_INSTR * loop_instrs.get(h).copied().unwrap_or(0)
+            })
+            .sum();
+        let total_nanos = t0.elapsed().as_nanos();
+        self.stats.jit_nanos += total_nanos;
+        self.stats.prefetch_pass_nanos += outcome.report.pass_nanos;
+        self.stats.inspection_cycles += outcome.report.inspection_cycles();
+        self.stats.static_sites += outcome.report.static_sites() as u64;
+        if !background {
+            self.stats.jit_cycles += repatch_cycles;
+            self.stats.cycles += repatch_cycles;
+        }
+        if outcome.report.total_prefetches > 0 {
+            // Re-inspection re-agreed on prefetchable strides.
+            self.stats.reagreed += 1;
+        }
+        #[cfg(debug_assertions)]
+        {
+            let policy = self
+                .config
+                .prefetch
+                .guarded_policy
+                .lint_check(self.mem.config().swpf_drops_on_tlb_miss);
+            let findings = spf_analysis::lint(&outcome.func, &spf_analysis::LintConfig { policy });
+            assert!(
+                findings.is_empty(),
+                "repatched body for {} fails the static lint: {findings:?}",
+                outcome.func.name()
+            );
+        }
+        let epoch = self.heap.gc_epoch();
+        let new_sites = Self::loop_sites_of(&outcome.func);
+        for &h in due {
+            let sites = new_sites
+                .iter()
+                .find(|ls| ls.header == h)
+                .map_or(&[][..], |ls| ls.sites.as_slice());
+            let loop_generation = self.adapt.on_repatch(mid.index(), h, epoch, sites);
+            self.stats.loop_repatches += 1;
+            if S::ENABLED {
+                let now = self.stats.cycles;
+                self.mem.sink_mut().emit(TraceEvent::LoopRepatched {
+                    method: mid.index() as u32,
+                    loop_header: h,
+                    generation: loop_generation,
+                    now,
+                });
+            }
+        }
+        let generation = self.adapt.on_repatch_install(mid.index());
+        outcome.report.generation = generation;
+        let func = Arc::new(outcome.func);
+        if S::ENABLED {
+            self.register_sites(mid, &func, generation);
+        }
+        let tcode = Arc::new(decode(
+            &self.program,
+            self.heap.layout_tables(),
+            &func,
+            self.fuse,
+        ));
+        let installed = self.register_installed(tcode, true);
+        let instrs = func.instr_sites().count() as u64;
+        self.history.push((mid, generation, func));
+        self.compiled[mid.index()] = Some(installed);
+        self.code_rev[mid.index()] = self.code_rev[mid.index()].wrapping_add(1);
+        self.reports.push(outcome.report);
+        // Once no loop of the method is stranded anymore, the retained
+        // invalidation arguments are no longer needed (and must stop
+        // extending GC liveness).
+        if self
+            .adapt
+            .guard(mid.index())
+            .is_none_or(|g| g.stale_loops().is_empty())
+        {
+            self.deopt_args.retain(|(m, _)| *m != mid);
+        }
+        instrs
+    }
+
+    /// Groups the `Prefetch`/`SpecLoad` sites of a freshly built body by
+    /// the innermost loop owning their block ([`spf_adapt::NO_LOOP`] for
+    /// straight-line sites) — the ownership key of the per-loop guards.
+    /// Host-side analysis only; never charged to the simulated clock.
+    fn loop_sites_of(func: &Function) -> Vec<spf_adapt::LoopSites> {
+        let cfg = spf_ir::cfg::Cfg::compute(func);
+        let dom = spf_ir::dom::DomTree::compute(func, &cfg);
+        let forest = spf_ir::loops::LoopForest::compute(func, &cfg, &dom);
+        let mut by_loop: std::collections::BTreeMap<u32, Vec<(u32, u32)>> =
+            std::collections::BTreeMap::new();
+        for site in func.instr_sites() {
+            if !matches!(
+                func.instr(site),
+                Instr::Prefetch { .. } | Instr::SpecLoad { .. }
+            ) {
+                continue;
+            }
+            let owner = forest
+                .innermost(site.block)
+                .map_or(spf_adapt::NO_LOOP, |l| forest.info(l).header.index() as u32);
+            by_loop
+                .entry(owner)
+                .or_default()
+                .push((site.block.index() as u32, site.index));
+        }
+        by_loop
+            .into_iter()
+            .map(|(header, sites)| spf_adapt::LoopSites { header, sites })
+            .collect()
     }
 
     /// Pushes a frame executing `code`, copying `args` over the zeroed
@@ -661,19 +883,21 @@ impl<S: TraceSink> Vm<S> {
         self.heap.force_move_epoch();
     }
 
-    /// Re-enqueues background compiles for every stranded method (deopted
-    /// and still uncompiled) whose deopt-time arguments were retained
-    /// under [`VmConfig::retain_deopt_args`]. This *is* the serving
-    /// layer's recovery path, so it deliberately bypasses the adaptive
-    /// backoff — the stranded set must drain even when invocation counts
-    /// never re-cross the threshold. Requests surface through the normal
-    /// [`Vm::take_compile_requests`] drain; returns the methods enqueued
-    /// (ascending, deterministic).
+    /// Re-enqueues background compiles for every method with stranded
+    /// loops (invalidated and never repatched) whose invalidation-time
+    /// arguments were retained under [`VmConfig::retain_deopt_args`].
+    /// This *is* the serving layer's recovery path, so it deliberately
+    /// bypasses the per-loop backoff — the stranded set must drain even
+    /// when invocation counts never serve the backoff. Requests surface
+    /// through the normal [`Vm::take_compile_requests`] drain (the
+    /// eventual [`Vm::compile_pending`] repatches the stale loops of a
+    /// still-compiled method, or full-compiles an evicted one); returns
+    /// the methods enqueued (ascending, deterministic).
     pub fn reenqueue_stranded(&mut self) -> Vec<MethodId> {
         let mut out = Vec::new();
         for idx in self.adapt.stranded_methods() {
             let mid = MethodId::new(idx);
-            if self.compiled[idx].is_some() || self.pending.iter().any(|(m, _)| *m == mid) {
+            if self.pending.iter().any(|(m, _)| *m == mid) {
                 continue;
             }
             let Some((_, args)) = self.deopt_args.iter().find(|(m, _)| *m == mid) else {
@@ -686,8 +910,8 @@ impl<S: TraceSink> Vm<S> {
         out
     }
 
-    /// Number of methods currently stranded in the interpreter: deopted
-    /// by a stale guard and not recompiled since.
+    /// Number of loops currently stranded: invalidated by a stale guard
+    /// (their prefetch sites patched out) and not repatched since.
     pub fn stranded_count(&self) -> u64 {
         self.adapt.stranded()
     }
@@ -768,6 +992,20 @@ impl<S: TraceSink> Vm<S> {
         let idx = self.pending.iter().position(|(m, _)| *m == mid)?;
         let (_, args) = self.pending.remove(idx);
         if self.compiled[mid.index()].is_some() {
+            // Compiled but possibly carrying stranded (invalidated, never
+            // repatched) loops: the background job repatches them all,
+            // waiving the invocation backoff — this is an explicit
+            // recovery decision by the serving layer, not the adaptive
+            // policy firing early.
+            if self.adaptive {
+                let stale = self
+                    .adapt
+                    .guard(mid.index())
+                    .map_or(Vec::new(), |g| g.stale_loops());
+                if !stale.is_empty() {
+                    return Some(self.repatch_loops(mid, &args, &stale, true));
+                }
+            }
             return None;
         }
         Some(self.jit_compile(mid, &args, true))
@@ -844,9 +1082,12 @@ impl<S: TraceSink> Vm<S> {
         );
         // Stamp the compilation generation and the GC epoch the inspected
         // strides belong to (no GC can run inside `jit_compile`, so the
-        // epoch read here is the one inspection saw).
+        // epoch read here is the one inspection saw). The per-loop guards
+        // key off which loop owns each emitted site.
         let generation = if self.adaptive {
-            self.adapt.on_compile(mid.index(), self.heap.gc_epoch())
+            let loops = Self::loop_sites_of(&outcome.func);
+            self.adapt
+                .on_compile(mid.index(), self.heap.gc_epoch(), &loops)
         } else {
             0
         };

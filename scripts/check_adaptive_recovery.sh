@@ -1,0 +1,48 @@
+#!/usr/bin/env bash
+# Gate on adaptive recovery: the ADAPTIVE cell's simulated best_cycles
+# must stay within MAX_RATIO x the BASELINE cell on every processor.
+# Under whole-method deopt a single GC-epoch staleness verdict stranded
+# db's hot walk in the interpreter (~7x BASELINE cycles); per-loop
+# invalidation keeps the body compiled, so a blow-up past the ratio
+# means the recovery path regressed.
+#
+# Usage: scripts/check_adaptive_recovery.sh BENCH_matrix.json [workload] [max_ratio]
+set -euo pipefail
+
+usage() {
+  echo "usage: scripts/check_adaptive_recovery.sh BENCH_matrix.json [workload] [max_ratio]" >&2
+  exit 2
+}
+
+matrix=${1-}
+[[ -n "$matrix" ]] || usage
+[[ -r "$matrix" ]] || { echo "check_adaptive_recovery: cannot read $matrix" >&2; exit 2; }
+workload=${2-db}
+ratio=${3-2}
+
+# Extracts best_cycles for one (mode, processor) cell. The matrix file
+# writes one cell object per line, so line-wise grep is a safe parse.
+cycles() {
+  grep "\"name\": \"$workload\"" "$matrix" \
+    | grep "\"mode\": \"$1\"" \
+    | grep "\"processor\": \"$2\"" \
+    | sed -E 's/.*"best_cycles": ([0-9]+).*/\1/'
+}
+
+status=0
+for proc in "Pentium 4" "Athlon MP"; do
+  base=$(cycles BASELINE "$proc")
+  adapt=$(cycles ADAPTIVE "$proc")
+  if [[ -z "$base" || -z "$adapt" ]]; then
+    echo "check_adaptive_recovery: $workload/$proc: missing BASELINE or ADAPTIVE cell in $matrix" >&2
+    exit 2
+  fi
+  limit=$((base * ratio))
+  if (( adapt > limit )); then
+    echo "FAIL $workload/$proc: ADAPTIVE $adapt > ${ratio}x BASELINE $base"
+    status=1
+  else
+    echo "ok   $workload/$proc: ADAPTIVE $adapt <= ${ratio}x BASELINE $base"
+  fi
+done
+exit "$status"
